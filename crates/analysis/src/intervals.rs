@@ -1,0 +1,183 @@
+//! Interval bucketing of query streams.
+//!
+//! Section IV of the paper evaluates query-term popularity "at various
+//! evaluation intervals" (15/30/60/120 minutes). [`IntervalIndex`] buckets
+//! a timestamped query stream into fixed intervals, tokenizes every query
+//! through the shared [`TermDict`], and stores per-interval term counts —
+//! the substrate for the transient (Fig 5), stability (Fig 6) and mismatch
+//! (Fig 7) analyses.
+
+use qcp_terms::{tokenize, TermDict};
+use qcp_util::{FxHashMap, Symbol};
+
+/// Term counts for one evaluation interval.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalCounts {
+    /// Interval start, seconds since trace start.
+    pub start: u32,
+    /// Occurrences per term within the interval.
+    pub counts: FxHashMap<Symbol, u32>,
+    /// Total term occurrences in the interval.
+    pub total_terms: u64,
+    /// Number of queries in the interval.
+    pub num_queries: u64,
+}
+
+/// A query stream bucketed into fixed evaluation intervals.
+#[derive(Debug, Clone)]
+pub struct IntervalIndex {
+    /// Interval length in seconds.
+    pub interval_secs: u32,
+    /// Buckets in time order, covering `[0, duration)` exactly.
+    pub intervals: Vec<IntervalCounts>,
+}
+
+impl IntervalIndex {
+    /// Buckets `(time, query_text)` records. Queries are tokenized with the
+    /// protocol tokenizer and interned into `dict` (shared across analyses
+    /// so file terms and query terms live in one symbol space).
+    ///
+    /// Records outside `[0, duration_secs)` are ignored. Input need not be
+    /// sorted.
+    pub fn build<'a, I>(
+        records: I,
+        duration_secs: u32,
+        interval_secs: u32,
+        dict: &mut TermDict,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (u32, &'a str)>,
+    {
+        assert!(interval_secs > 0 && duration_secs > 0);
+        let n_intervals = duration_secs.div_ceil(interval_secs) as usize;
+        let mut intervals: Vec<IntervalCounts> = (0..n_intervals)
+            .map(|i| IntervalCounts {
+                start: i as u32 * interval_secs,
+                ..Default::default()
+            })
+            .collect();
+        for (time, text) in records {
+            if time >= duration_secs {
+                continue;
+            }
+            let bucket = (time / interval_secs) as usize;
+            let iv = &mut intervals[bucket];
+            iv.num_queries += 1;
+            for term in tokenize(text) {
+                let sym = dict.observe(&term);
+                *iv.counts.entry(sym).or_insert(0) += 1;
+                iv.total_terms += 1;
+            }
+        }
+        Self {
+            interval_secs,
+            intervals,
+        }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True when there are no intervals (cannot happen by construction).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total queries across all intervals.
+    pub fn total_queries(&self) -> u64 {
+        self.intervals.iter().map(|iv| iv.num_queries).sum()
+    }
+
+    /// All distinct terms observed in an interval, sorted (the paper's
+    /// `Q_t`).
+    pub fn terms_in(&self, interval: usize) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self.intervals[interval].counts.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_index(records: &[(u32, &str)], duration: u32, interval: u32) -> (IntervalIndex, TermDict) {
+        let mut dict = TermDict::new();
+        let idx = IntervalIndex::build(
+            records.iter().copied(),
+            duration,
+            interval,
+            &mut dict,
+        );
+        (idx, dict)
+    }
+
+    #[test]
+    fn buckets_by_time() {
+        let recs = [
+            (0u32, "madonna prayer"),
+            (59, "madonna"),
+            (60, "nirvana"),
+            (150, "nirvana teen"),
+        ];
+        let (idx, dict) = build_index(&recs, 180, 60);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.intervals[0].num_queries, 2);
+        assert_eq!(idx.intervals[1].num_queries, 1);
+        assert_eq!(idx.intervals[2].num_queries, 1);
+        let madonna = dict.get("madonna").unwrap();
+        assert_eq!(idx.intervals[0].counts[&madonna], 2);
+        assert!(!idx.intervals[1].counts.contains_key(&madonna));
+    }
+
+    #[test]
+    fn covers_duration_with_partial_last_interval() {
+        let (idx, _) = build_index(&[(99, "x1 y1")], 100, 60);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.intervals[1].num_queries, 1);
+    }
+
+    #[test]
+    fn out_of_range_records_ignored() {
+        let (idx, _) = build_index(&[(500, "late query")], 100, 50);
+        assert_eq!(idx.total_queries(), 0);
+    }
+
+    #[test]
+    fn term_counts_accumulate_within_interval() {
+        let recs = [(0u32, "love song"), (1, "love story"), (2, "love")];
+        let (idx, dict) = build_index(&recs, 60, 60);
+        let love = dict.get("love").unwrap();
+        assert_eq!(idx.intervals[0].counts[&love], 3);
+        assert_eq!(idx.intervals[0].total_terms, 5);
+    }
+
+    #[test]
+    fn terms_in_returns_sorted_distinct() {
+        let recs = [(0u32, "zz aa zz mm")];
+        let (idx, _) = build_index(&recs, 60, 60);
+        let terms = idx.terms_in(0);
+        assert_eq!(terms.len(), 3);
+        assert!(terms.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unsorted_input_is_accepted() {
+        let recs = [(150u32, "late"), (0, "early")];
+        let (idx, _) = build_index(&recs, 180, 60);
+        assert_eq!(idx.intervals[0].num_queries, 1);
+        assert_eq!(idx.intervals[2].num_queries, 1);
+    }
+
+    #[test]
+    fn shared_dict_across_indices_aligns_symbols() {
+        let mut dict = TermDict::new();
+        let a = IntervalIndex::build([(0u32, "common term")], 60, 60, &mut dict);
+        let b = IntervalIndex::build([(0u32, "common other")], 60, 60, &mut dict);
+        let common = dict.get("common").unwrap();
+        assert!(a.intervals[0].counts.contains_key(&common));
+        assert!(b.intervals[0].counts.contains_key(&common));
+    }
+}

@@ -1,0 +1,122 @@
+//! Popular-set extraction.
+//!
+//! "Identifying which terms are popular requires a consistent definition of
+//! popularity" (§IV). Three interchangeable rules are provided; all return
+//! a sorted symbol list (the representation every similarity computation
+//! consumes).
+
+use crate::intervals::IntervalCounts;
+use qcp_util::{FxHashMap, Symbol};
+
+/// A definition of "popular".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PopularityRule {
+    /// The `k` highest-count terms (ties broken by symbol for determinism).
+    TopK(usize),
+    /// Every term with at least this many occurrences.
+    MinCount(u32),
+    /// Every term accounting for at least this fraction of total term
+    /// occurrences in the interval.
+    FractionOfTotal(f64),
+}
+
+impl PopularityRule {
+    /// Extracts the popular set from raw term counts, sorted by symbol.
+    pub fn extract(&self, counts: &FxHashMap<Symbol, u32>, total_terms: u64) -> Vec<Symbol> {
+        let mut result: Vec<Symbol> = match *self {
+            PopularityRule::TopK(k) => {
+                let mut pairs: Vec<(Symbol, u32)> =
+                    counts.iter().map(|(&s, &c)| (s, c)).collect();
+                pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                pairs.truncate(k);
+                pairs.into_iter().map(|(s, _)| s).collect()
+            }
+            PopularityRule::MinCount(min) => counts
+                .iter()
+                .filter(|(_, &c)| c >= min)
+                .map(|(&s, _)| s)
+                .collect(),
+            PopularityRule::FractionOfTotal(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction out of range");
+                let threshold = (f * total_terms as f64).ceil().max(1.0) as u32;
+                counts
+                    .iter()
+                    .filter(|(_, &c)| c >= threshold)
+                    .map(|(&s, _)| s)
+                    .collect()
+            }
+        };
+        result.sort_unstable();
+        result
+    }
+
+    /// Extracts the popular set from an interval bucket.
+    pub fn extract_interval(&self, interval: &IntervalCounts) -> Vec<Symbol> {
+        self.extract(&interval.counts, interval.total_terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u32, u32)]) -> FxHashMap<Symbol, u32> {
+        pairs.iter().map(|&(s, c)| (Symbol(s), c)).collect()
+    }
+
+    #[test]
+    fn top_k_takes_highest_counts() {
+        let c = counts(&[(1, 10), (2, 5), (3, 20), (4, 1)]);
+        let top = PopularityRule::TopK(2).extract(&c, 36);
+        assert_eq!(top, vec![Symbol(1), Symbol(3)]);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let c = counts(&[(9, 5), (2, 5), (7, 5)]);
+        let top = PopularityRule::TopK(2).extract(&c, 15);
+        assert_eq!(top, vec![Symbol(2), Symbol(7)]);
+    }
+
+    #[test]
+    fn top_k_larger_than_population() {
+        let c = counts(&[(1, 1)]);
+        let top = PopularityRule::TopK(10).extract(&c, 1);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let c = counts(&[(1, 10), (2, 3), (3, 5)]);
+        let pop = PopularityRule::MinCount(5).extract(&c, 18);
+        assert_eq!(pop, vec![Symbol(1), Symbol(3)]);
+    }
+
+    #[test]
+    fn fraction_of_total_scales_with_volume() {
+        let c = counts(&[(1, 50), (2, 30), (3, 20)]);
+        // 25% of 100 = 25: only terms 1 and 2 qualify.
+        let pop = PopularityRule::FractionOfTotal(0.25).extract(&c, 100);
+        assert_eq!(pop, vec![Symbol(1), Symbol(2)]);
+    }
+
+    #[test]
+    fn outputs_are_sorted() {
+        let c = counts(&[(9, 10), (1, 10), (5, 10)]);
+        for rule in [
+            PopularityRule::TopK(3),
+            PopularityRule::MinCount(1),
+            PopularityRule::FractionOfTotal(0.0),
+        ] {
+            let pop = rule.extract(&c, 30);
+            assert!(pop.windows(2).all(|w| w[0] < w[1]), "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn empty_counts_empty_set() {
+        let c = counts(&[]);
+        assert!(PopularityRule::TopK(5).extract(&c, 0).is_empty());
+        assert!(PopularityRule::MinCount(1).extract(&c, 0).is_empty());
+    }
+}

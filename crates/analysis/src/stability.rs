@@ -1,0 +1,126 @@
+//! Popular-set stability over time (Figure 6).
+//!
+//! For each interval `t`, extract the popular query-term set `Q*_t` and
+//! compute `Jaccard(Q*_t, Q*_{t-1})`. The paper finds the series exceeds
+//! 90% after a short stabilization window; the first few intervals are
+//! noisy "as the overall popularity counts for many terms had yet to be
+//! established" (their footnote 1).
+
+use crate::intervals::IntervalIndex;
+use crate::popularity::PopularityRule;
+use qcp_util::jaccard::jaccard_sorted;
+
+/// Interval-to-interval stability series.
+#[derive(Debug, Clone)]
+pub struct StabilitySeries {
+    /// Interval length in seconds.
+    pub interval_secs: u32,
+    /// `jaccards[i]` = Jaccard(popular(i+1), popular(i)); length is
+    /// `intervals - 1`.
+    pub jaccards: Vec<f64>,
+}
+
+impl StabilitySeries {
+    /// Mean Jaccard over the series after skipping `warmup` comparisons.
+    pub fn mean_after_warmup(&self, warmup: usize) -> f64 {
+        let tail = &self.jaccards[warmup.min(self.jaccards.len())..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// Minimum Jaccard after warm-up.
+    pub fn min_after_warmup(&self, warmup: usize) -> f64 {
+        self.jaccards[warmup.min(self.jaccards.len())..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Computes the Figure 6 series for one interval index.
+pub fn popular_stability(index: &IntervalIndex, rule: PopularityRule) -> StabilitySeries {
+    let mut jaccards = Vec::with_capacity(index.len().saturating_sub(1));
+    let mut prev = index
+        .intervals
+        .first()
+        .map(|iv| rule.extract_interval(iv))
+        .unwrap_or_default();
+    for iv in index.intervals.iter().skip(1) {
+        let current = rule.extract_interval(iv);
+        jaccards.push(jaccard_sorted(&current, &prev));
+        prev = current;
+    }
+    StabilitySeries {
+        interval_secs: index.interval_secs,
+        jaccards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_terms::TermDict;
+
+    fn index_from(records: &[(u32, &str)], duration: u32, interval: u32) -> IntervalIndex {
+        let mut dict = TermDict::new();
+        IntervalIndex::build(records.iter().copied(), duration, interval, &mut dict)
+    }
+
+    #[test]
+    fn identical_intervals_have_unit_stability() {
+        let mut records = Vec::new();
+        for t in 0..300u32 {
+            records.push((t, "alpha beta gamma"));
+        }
+        let idx = index_from(&records, 300, 60);
+        let s = popular_stability(&idx, PopularityRule::TopK(3));
+        assert_eq!(s.jaccards.len(), 4);
+        assert!(s.jaccards.iter().all(|&j| (j - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn disjoint_intervals_have_zero_stability() {
+        let records = vec![(0u32, "one thing"), (60, "other stuff")];
+        let idx = index_from(&records, 120, 60);
+        let s = popular_stability(&idx, PopularityRule::TopK(5));
+        assert_eq!(s.jaccards, vec![0.0]);
+    }
+
+    #[test]
+    fn partial_overlap_measured() {
+        let records = vec![
+            (0u32, "aa bb"),
+            (0, "aa bb"),
+            (60, "aa cc"),
+            (60, "aa cc"),
+        ];
+        let idx = index_from(&records, 120, 60);
+        let s = popular_stability(&idx, PopularityRule::TopK(2));
+        // {aa,bb} vs {aa,cc}: J = 1/3.
+        assert!((s.jaccards[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_intervals_compare_equal() {
+        // Two silent intervals in a row: convention J = 1.
+        let records = vec![(0u32, "only first")];
+        let idx = index_from(&records, 180, 60);
+        let s = popular_stability(&idx, PopularityRule::TopK(5));
+        assert_eq!(s.jaccards.len(), 2);
+        assert_eq!(s.jaccards[0], 0.0); // {only,first} vs {}
+        assert_eq!(s.jaccards[1], 1.0); // {} vs {}
+    }
+
+    #[test]
+    fn warmup_helpers() {
+        let s = StabilitySeries {
+            interval_secs: 60,
+            jaccards: vec![0.1, 0.2, 0.9, 1.0],
+        };
+        assert!((s.mean_after_warmup(2) - 0.95).abs() < 1e-12);
+        assert!((s.min_after_warmup(2) - 0.9).abs() < 1e-12);
+        assert_eq!(s.mean_after_warmup(10), 0.0);
+    }
+}

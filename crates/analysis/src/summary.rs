@@ -1,0 +1,124 @@
+//! Summary statistics reproducing the paper's in-text claims (virtual
+//! tables T1 and T2 in DESIGN.md).
+
+use crate::replication::{ReplicationAnalysis, TermReplicationAnalysis};
+
+/// Crawl-side summary (the §III-A in-text numbers).
+#[derive(Debug, Clone)]
+pub struct CrawlSummary {
+    /// Peer population.
+    pub num_peers: u32,
+    /// Total file copies.
+    pub total_copies: usize,
+    /// Unique objects by raw name.
+    pub unique_objects_raw: usize,
+    /// Unique objects after sanitization.
+    pub unique_objects_sanitized: usize,
+    /// Raw-name singleton fraction (paper: 70.5%).
+    pub singleton_fraction_raw: f64,
+    /// Sanitized singleton fraction (paper: 69.8%).
+    pub singleton_fraction_sanitized: f64,
+    /// Fraction of objects on <= 0.1% of peers, raw (paper: 99.5%).
+    pub below_tenth_percent_raw: f64,
+    /// Fraction of objects on <= 0.1% of peers, sanitized (paper: 99.4%).
+    pub below_tenth_percent_sanitized: f64,
+    /// Fraction of objects on >= 20 peers (paper: < 4%; the Loo et al.
+    /// rare-object threshold).
+    pub at_least_20_peers: f64,
+    /// Fraction of objects on more than 0.1% of peers (paper: ~2% "can be
+    /// popular").
+    pub above_tenth_percent: f64,
+    /// Fraction of objects on at most 37 peers — the paper's *absolute*
+    /// threshold (0.1% of its 37,572 peers). Scale-independent anchor:
+    /// the replica power law puts ~99.5% of objects at or below 37 copies
+    /// regardless of the peer-population size.
+    pub at_most_37_peers: f64,
+    /// Number of distinct name terms (paper: 1.22M).
+    pub unique_terms: usize,
+    /// Fraction of terms on a single peer (paper: 71.3%).
+    pub term_singleton_fraction: f64,
+    /// Fraction of terms on <= 0.1% of peers (paper: 98.3%).
+    pub term_below_tenth_percent: f64,
+    /// Fitted replica-count power-law exponent.
+    pub replica_tail_exponent: f64,
+    /// Mean replicas per unique object.
+    pub mean_replicas: f64,
+}
+
+impl CrawlSummary {
+    /// Builds the summary from the three §III analyses.
+    pub fn build(
+        raw: &ReplicationAnalysis,
+        sanitized: &ReplicationAnalysis,
+        terms: &TermReplicationAnalysis,
+    ) -> Self {
+        let threshold = raw.peers_for_fraction(0.001);
+        Self {
+            num_peers: raw.num_peers,
+            total_copies: raw.total_copies,
+            unique_objects_raw: raw.unique_objects,
+            unique_objects_sanitized: sanitized.unique_objects,
+            singleton_fraction_raw: raw.singleton_fraction(),
+            singleton_fraction_sanitized: sanitized.singleton_fraction(),
+            below_tenth_percent_raw: raw.fraction_at_most(threshold),
+            below_tenth_percent_sanitized: sanitized.fraction_at_most(threshold),
+            at_least_20_peers: raw.fraction_at_least(20),
+            above_tenth_percent: 1.0 - raw.fraction_at_most(threshold),
+            at_most_37_peers: raw.fraction_at_most(37),
+            unique_terms: terms.unique_terms,
+            term_singleton_fraction: terms.singleton_fraction(),
+            term_below_tenth_percent: terms.fraction_at_most(threshold),
+            replica_tail_exponent: raw.tail.exponent,
+            mean_replicas: raw.mean_replicas(),
+        }
+    }
+}
+
+/// Query-trace summary (the §IV in-text numbers).
+#[derive(Debug, Clone)]
+pub struct QuerySummary {
+    /// Total queries in the trace.
+    pub total_queries: u64,
+    /// Trace duration in seconds.
+    pub duration_secs: u32,
+    /// Evaluation interval used for the headline numbers.
+    pub interval_secs: u32,
+    /// Mean popular-set stability after warm-up (paper: > 0.90).
+    pub stability_after_warmup: f64,
+    /// Mean Jaccard(popular query terms, popular file terms)
+    /// (paper: < 0.20, around 0.15).
+    pub mean_popular_mismatch: f64,
+    /// Max of the same series (the "< 20% for all intervals" claim).
+    pub max_popular_mismatch: f64,
+    /// Mean transiently popular terms per interval (paper: low, < 10).
+    pub mean_transients: f64,
+    /// Variance of transient counts (paper: "significant variance").
+    pub transient_variance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication::{ReplicationAnalysis, TermReplicationAnalysis};
+
+    #[test]
+    fn build_composes_analyses() {
+        let records = [(1u32, "Shared - Song.mp3".to_string()),
+            (2, "Shared - Song.mp3".to_string()),
+            (3, "solo file.mp3".to_string())];
+        let iter = || records.iter().map(|(p, n)| (*p, n.as_str()));
+        let raw = ReplicationAnalysis::from_names(1000, iter());
+        let san = ReplicationAnalysis::from_sanitized_names(1000, iter());
+        let terms = TermReplicationAnalysis::from_names(iter());
+        let s = CrawlSummary::build(&raw, &san, &terms);
+        assert_eq!(s.num_peers, 1000);
+        assert_eq!(s.total_copies, 3);
+        assert_eq!(s.unique_objects_raw, 2);
+        assert!((s.singleton_fraction_raw - 0.5).abs() < 1e-12);
+        assert!(s.unique_terms >= 4);
+        // 0.1% of 1000 peers = 1 peer.
+        assert!((s.below_tenth_percent_raw - 0.5).abs() < 1e-12);
+        assert!((s.above_tenth_percent - 0.5).abs() < 1e-12);
+        assert_eq!(s.at_least_20_peers, 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Transient-popularity detection (Figure 5).
+//!
+//! "Terms that deviated significantly from their historical average were
+//! considered to be transiently popular for the evaluation interval"
+//! (§IV-A). The detector:
+//!
+//! 1. consumes a *training prefix* of the intervals to establish per-term
+//!    historical baselines (the paper trains on a fraction of the queries);
+//! 2. walks the remaining intervals in order; a term is flagged transient
+//!    in interval `t` when its count exceeds
+//!    `mean_hist + deviation_sigmas * std_hist` *and* a minimum absolute
+//!    count (raw-count floors keep one-off rare terms from flagging);
+//! 3. folds each evaluated interval into the baselines afterwards
+//!    (walk-forward evaluation, no lookahead).
+//!
+//! Per-term history over `n` intervals is kept as `(sum, sum_sq)` pairs;
+//! intervals where the term never occurs contribute zero to both, so the
+//! mean/std computations account for absences without materializing zeros.
+
+use crate::intervals::IntervalIndex;
+use qcp_util::Symbol;
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientConfig {
+    /// Fraction of intervals used as the training prefix.
+    pub training_fraction: f64,
+    /// Deviation threshold in historical standard deviations.
+    pub deviation_sigmas: f64,
+    /// Minimum interval count for a term to qualify.
+    pub min_count: u32,
+}
+
+impl Default for TransientConfig {
+    fn default() -> Self {
+        Self {
+            training_fraction: 0.10,
+            deviation_sigmas: 4.0,
+            min_count: 8,
+        }
+    }
+}
+
+/// Detector output: one entry per *evaluated* (post-training) interval.
+#[derive(Debug, Clone)]
+pub struct TransientSeries {
+    /// Interval length used.
+    pub interval_secs: u32,
+    /// Index of the first evaluated interval.
+    pub first_evaluated: usize,
+    /// Number of transiently popular terms per evaluated interval.
+    pub counts: Vec<u32>,
+    /// The flagged terms per evaluated interval (aligned with `counts`).
+    pub flagged: Vec<Vec<Symbol>>,
+}
+
+impl TransientSeries {
+    /// Mean number of transient terms per interval.
+    pub fn mean(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().map(|&c| c as f64).sum::<f64>() / self.counts.len() as f64
+    }
+
+    /// Sample variance of the per-interval transient counts.
+    pub fn variance(&self) -> f64 {
+        let values: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        qcp_util::stats::Summary::of(&values).variance
+    }
+}
+
+/// Per-term running history.
+#[derive(Debug, Default, Clone, Copy)]
+struct History {
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl History {
+    /// Mean over `n` intervals (absent intervals count as zero).
+    fn mean(&self, n: f64) -> f64 {
+        self.sum / n
+    }
+
+    /// Sample standard deviation over `n` intervals.
+    fn std(&self, n: f64) -> f64 {
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mean = self.mean(n);
+        let var = (self.sum_sq - n * mean * mean) / (n - 1.0);
+        var.max(0.0).sqrt()
+    }
+}
+
+/// Runs the detector over a bucketed query stream.
+pub fn detect_transients(index: &IntervalIndex, config: &TransientConfig) -> TransientSeries {
+    assert!((0.0..1.0).contains(&config.training_fraction));
+    assert!(config.deviation_sigmas > 0.0);
+    let n_train = ((index.len() as f64 * config.training_fraction).floor() as usize)
+        .clamp(1, index.len().saturating_sub(1).max(1));
+
+    let mut history: Vec<History> = Vec::new();
+    let absorb = |history: &mut Vec<History>, interval: usize| {
+        for (&sym, &count) in &index.intervals[interval].counts {
+            if sym.index() >= history.len() {
+                history.resize(sym.index() + 1, History::default());
+            }
+            let h = &mut history[sym.index()];
+            h.sum += count as f64;
+            h.sum_sq += (count as f64) * (count as f64);
+        }
+    };
+
+    for i in 0..n_train {
+        absorb(&mut history, i);
+    }
+
+    let mut counts = Vec::with_capacity(index.len() - n_train);
+    let mut flagged = Vec::with_capacity(index.len() - n_train);
+    for i in n_train..index.len() {
+        let n_hist = i as f64; // intervals folded into history so far
+        let mut this_flagged: Vec<Symbol> = Vec::new();
+        for (&sym, &count) in &index.intervals[i].counts {
+            if count < config.min_count {
+                continue;
+            }
+            let h = history
+                .get(sym.index())
+                .copied()
+                .unwrap_or_default();
+            let mean = h.mean(n_hist);
+            let std = h.std(n_hist);
+            // Floor the deviation scale at 1.0 count so brand-new terms
+            // need a genuinely large count, not merely a nonzero one.
+            let threshold = mean + config.deviation_sigmas * std.max(1.0);
+            if (count as f64) > threshold {
+                this_flagged.push(sym);
+            }
+        }
+        this_flagged.sort_unstable();
+        counts.push(this_flagged.len() as u32);
+        flagged.push(this_flagged);
+        absorb(&mut history, i);
+    }
+
+    TransientSeries {
+        interval_secs: index.interval_secs,
+        first_evaluated: n_train,
+        counts,
+        flagged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::IntervalIndex;
+    use qcp_terms::TermDict;
+
+    /// Builds a stream with a stable head plus one injected burst.
+    fn stream_with_burst() -> (IntervalIndex, TermDict, u32) {
+        let mut records: Vec<(u32, String)> = Vec::new();
+        // 40 intervals of 60s; steady terms every second.
+        for t in 0..2400u32 {
+            records.push((t, "steady alpha".to_string()));
+            if t % 2 == 0 {
+                records.push((t, "steady beta".to_string()));
+            }
+        }
+        // Burst of "flashmob" through intervals 30-31.
+        for t in 1800..1920u32 {
+            records.push((t, "flashmob clip".to_string()));
+        }
+        let mut dict = TermDict::new();
+        let idx = IntervalIndex::build(
+            records.iter().map(|(t, s)| (*t, s.as_str())),
+            2400,
+            60,
+            &mut dict,
+        );
+        (idx, dict, 2400)
+    }
+
+    #[test]
+    fn burst_is_flagged_steady_terms_are_not() {
+        let (idx, dict, _) = stream_with_burst();
+        let series = detect_transients(
+            &idx,
+            &TransientConfig {
+                training_fraction: 0.2,
+                deviation_sigmas: 4.0,
+                min_count: 5,
+            },
+        );
+        let flash = dict.get("flashmob").unwrap();
+        let steady = dict.get("steady").unwrap();
+        let all_flagged: Vec<Symbol> = series.flagged.iter().flatten().copied().collect();
+        assert!(all_flagged.contains(&flash), "burst term must be flagged");
+        assert!(
+            !all_flagged.contains(&steady),
+            "persistently popular term must not be flagged"
+        );
+    }
+
+    #[test]
+    fn burst_flagged_only_in_burst_intervals() {
+        let (idx, dict, _) = stream_with_burst();
+        let series = detect_transients(&idx, &TransientConfig::default());
+        let flash = dict.get("flashmob").unwrap();
+        for (offset, flagged) in series.flagged.iter().enumerate() {
+            let interval = series.first_evaluated + offset;
+            let in_burst = (30..32).contains(&interval);
+            if flagged.contains(&flash) {
+                assert!(in_burst, "flash flagged outside burst (interval {interval})");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_stream_has_near_zero_transients() {
+        let mut records: Vec<(u32, String)> = Vec::new();
+        for t in 0..1200u32 {
+            records.push((t, "alpha beta".to_string()));
+        }
+        let mut dict = TermDict::new();
+        let idx = IntervalIndex::build(
+            records.iter().map(|(t, s)| (*t, s.as_str())),
+            1200,
+            60,
+            &mut dict,
+        );
+        let series = detect_transients(&idx, &TransientConfig::default());
+        assert_eq!(series.counts.iter().sum::<u32>(), 0);
+        assert_eq!(series.mean(), 0.0);
+    }
+
+    #[test]
+    fn series_alignment() {
+        let (idx, _, _) = stream_with_burst();
+        let cfg = TransientConfig {
+            training_fraction: 0.25,
+            ..Default::default()
+        };
+        let series = detect_transients(&idx, &cfg);
+        assert_eq!(series.first_evaluated, 10);
+        assert_eq!(series.counts.len(), idx.len() - 10);
+        assert_eq!(series.flagged.len(), series.counts.len());
+    }
+
+    #[test]
+    fn repeated_burst_becomes_historical() {
+        // A term bursting in *every* interval after training is only
+        // transient until its history catches up.
+        let mut records: Vec<(u32, String)> = Vec::new();
+        for t in 0..3000u32 {
+            records.push((t, "base noise".to_string()));
+            if t >= 600 {
+                records.push((t, "newcomer hit".to_string()));
+            }
+        }
+        let mut dict = TermDict::new();
+        let idx = IntervalIndex::build(
+            records.iter().map(|(t, s)| (*t, s.as_str())),
+            3000,
+            60,
+            &mut dict,
+        );
+        let series = detect_transients(
+            &idx,
+            &TransientConfig {
+                training_fraction: 0.1,
+                deviation_sigmas: 4.0,
+                min_count: 5,
+            },
+        );
+        let newcomer = dict.get("newcomer").unwrap();
+        let flag_history: Vec<bool> = series
+            .flagged
+            .iter()
+            .map(|f| f.contains(&newcomer))
+            .collect();
+        let first_flag = flag_history.iter().position(|&b| b);
+        let last_flag = flag_history.iter().rposition(|&b| b);
+        assert!(first_flag.is_some(), "newcomer must be flagged initially");
+        assert!(
+            last_flag.unwrap() < flag_history.len() - 1,
+            "newcomer must stop being transient once absorbed into history"
+        );
+    }
+
+    #[test]
+    fn variance_of_bursty_series_positive() {
+        let (idx, _, _) = stream_with_burst();
+        let series = detect_transients(&idx, &TransientConfig::default());
+        assert!(series.variance() > 0.0);
+    }
+}

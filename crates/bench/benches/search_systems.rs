@@ -1,0 +1,95 @@
+//! Per-query cost of each search system over the same world — the
+//! ablation A1/A5 kernels under the Criterion microscope.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qcp_core::search::hybrid::{DhtOnlySearch, HybridSearch};
+use qcp_core::search::{
+    gen_queries, FloodSearch, GiaSearch, RandomWalkSearch, SearchSystem, SearchWorld,
+    SynopsisPolicy, SynopsisSearch, WorkloadConfig, WorldConfig,
+};
+use qcp_core::util::rng::Pcg64;
+use std::hint::black_box;
+
+fn search_systems(c: &mut Criterion) {
+    let world = SearchWorld::generate(&WorldConfig {
+        num_peers: 1_000,
+        num_objects: 8_000,
+        num_terms: 8_000,
+        head_size: 100,
+        seed: 42,
+        ..Default::default()
+    });
+    let queries = gen_queries(
+        &world,
+        &WorkloadConfig {
+            num_queries: 256,
+            seed: 7,
+        },
+    );
+    let train = gen_queries(
+        &world,
+        &WorkloadConfig {
+            num_queries: 2_000,
+            seed: 8,
+        },
+    );
+
+    let mut qc = SynopsisSearch::new(&world, SynopsisPolicy::QueryCentric, 12, 40);
+    qc.observe_queries(&world, &train, 0.5);
+    let mut systems: Vec<(&str, Box<dyn SearchSystem>)> = vec![
+        ("flood_ttl3", Box::new(FloodSearch::new(&world, 3))),
+        ("walk_k4_ttl20", Box::new(RandomWalkSearch::new(4, 20))),
+        ("gia_ttl30", Box::new(GiaSearch::new(&world, 30, 1))),
+        ("hybrid", Box::new(HybridSearch::new(&world, 3, 20, 2))),
+        ("dht_only", Box::new(DhtOnlySearch::new(&world, 2))),
+        (
+            "synopsis_content",
+            Box::new(SynopsisSearch::new(
+                &world,
+                SynopsisPolicy::ContentCentric,
+                12,
+                40,
+            )),
+        ),
+        ("synopsis_query", Box::new(qc)),
+    ];
+
+    let mut g = c.benchmark_group("search_query");
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    for (name, system) in &mut systems {
+        g.bench_function(*name, |b| {
+            let mut rng = Pcg64::new(99);
+            b.iter(|| {
+                for q in &queries {
+                    black_box(system.search(&world, q, &mut rng));
+                }
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("synopsis_rebuild_1k_peers", |b| {
+        let mut sys = SynopsisSearch::new(&world, SynopsisPolicy::QueryCentric, 12, 40);
+        b.iter(|| sys.rebuild(&world))
+    });
+
+    c.bench_function("world_generate_1k_peers", |b| {
+        b.iter(|| {
+            SearchWorld::generate(&WorldConfig {
+                num_peers: 1_000,
+                num_objects: 8_000,
+                num_terms: 8_000,
+                head_size: 100,
+                seed: 43,
+                ..Default::default()
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = search_systems_group;
+    config = Criterion::default().sample_size(10);
+    targets = search_systems
+}
+criterion_main!(search_systems_group);

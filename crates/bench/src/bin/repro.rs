@@ -1,0 +1,87 @@
+//! `repro` — regenerate every figure and table of the paper.
+//!
+//! ```text
+//! repro [--scale test|default|paper] [--out DIR] [--trials N] [--seed S] ARTIFACT...
+//! repro all
+//! repro list
+//! ```
+//!
+//! Artifacts: fig1..fig8, table1..table3, ablation-synopsis, ablation-gia,
+//! ablation-mismatch, ablation-topology, ablation-walk.
+
+use qcp_bench::{Repro, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale test|default|paper] [--out DIR] [--trials N] [--seed S] <artifact>...\n\
+         artifacts: {} | all | list",
+        Repro::all_artifacts().join(" | ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut scale = Scale::Default;
+    let mut out_dir = "results".to_string();
+    let mut trials: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--out" => out_dir = args.next().unwrap_or_else(|| usage()),
+            "--trials" => {
+                trials = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--help" | "-h" => usage(),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        usage();
+    }
+    if artifacts.iter().any(|a| a == "list") {
+        for a in Repro::all_artifacts() {
+            println!("{a}");
+        }
+        return;
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = Repro::all_artifacts().iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut session = Repro::new(&out_dir, scale);
+    if let Some(t) = trials {
+        session.trials = t;
+    }
+    if let Some(s) = seed {
+        session.seed = s;
+    }
+
+    eprintln!(
+        "repro: scale={scale:?}, trials={}, seed={}, out={}",
+        session.trials, session.seed, session.out_dir.display()
+    );
+    for artifact in &artifacts {
+        let started = std::time::Instant::now();
+        let report = session.run(artifact);
+        println!("\n##### {artifact} ({:.1}s) #####", started.elapsed().as_secs_f64());
+        println!("{report}");
+    }
+}

@@ -1,0 +1,190 @@
+//! `qcp-bench` — figure/table regeneration and benchmark harness.
+//!
+//! The [`Repro`] session regenerates every figure and (virtual) table of
+//! the paper into CSV files plus terminal-rendered ASCII plots; the
+//! Criterion benches in `benches/` time the kernels behind each one.
+//!
+//! ```text
+//! cargo run --release -p qcp-bench --bin repro -- all
+//! cargo run --release -p qcp-bench --bin repro -- fig8 --trials 2000
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+
+use qcp_core::{AnalyzerConfig, Findings, QueryCentricAnalyzer};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Scale preset for a repro run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Sub-second sanity scale.
+    Test,
+    /// The default reporting scale (tens of seconds end-to-end).
+    Default,
+    /// The paper's raw trace sizes (minutes of CPU, gigabytes of RAM).
+    Paper,
+}
+
+impl Scale {
+    /// Parses a `--scale` argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "test" => Some(Scale::Test),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The analyzer configuration for this scale.
+    pub fn analyzer_config(self) -> AnalyzerConfig {
+        match self {
+            Scale::Test => AnalyzerConfig::test_scale(),
+            Scale::Default => AnalyzerConfig::default_scale(),
+            Scale::Paper => AnalyzerConfig::paper_scale(),
+        }
+    }
+}
+
+/// A repro session: shared traces/findings plus an output directory.
+///
+/// Figures 1–7 all derive from one analyzer run, computed lazily and
+/// cached so `repro all` pays for trace generation once.
+pub struct Repro {
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+    /// Scale preset.
+    pub scale: Scale,
+    /// Trial count for simulation figures (Figure 8, tables, ablations).
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+    findings: OnceLock<Findings>,
+}
+
+impl Repro {
+    /// Creates a session writing CSVs under `out_dir`.
+    pub fn new<P: AsRef<Path>>(out_dir: P, scale: Scale) -> Self {
+        Self {
+            out_dir: out_dir.as_ref().to_path_buf(),
+            scale,
+            trials: match scale {
+                Scale::Test => 300,
+                Scale::Default => 2_000,
+                Scale::Paper => 10_000,
+            },
+            seed: 2024,
+            findings: OnceLock::new(),
+        }
+    }
+
+    /// The shared Figures-1..7 findings (computed on first use).
+    pub fn findings(&self) -> &Findings {
+        self.findings.get_or_init(|| {
+            let config = self.scale.analyzer_config().with_seed(self.seed);
+            QueryCentricAnalyzer::new(config).run()
+        })
+    }
+
+    /// Writes a table as `<name>.csv` under the output directory and
+    /// returns its path.
+    pub fn write_csv(&self, name: &str, table: &qcp_core::util::Table) -> PathBuf {
+        let path = self.out_dir.join(format!("{name}.csv"));
+        table
+            .write_csv(&path)
+            .unwrap_or_else(|e| panic!("failed writing {}: {e}", path.display()));
+        path
+    }
+
+    /// Runs one named artifact; returns the rendered report.
+    pub fn run(&self, what: &str) -> String {
+        match what {
+            "fig1" => figures::fig1(self),
+            "fig2" => figures::fig2(self),
+            "fig3" => figures::fig3(self),
+            "fig4" => figures::fig4(self),
+            "fig5" => figures::fig5(self),
+            "fig6" => figures::fig6(self),
+            "fig7" => figures::fig7(self),
+            "fig8" => figures::fig8(self),
+            "table1" => figures::table1(self),
+            "table2" => figures::table2(self),
+            "table3" => figures::table3(self),
+            "ablation-synopsis" => ablations::synopsis(self),
+            "ablation-gia" => ablations::gia(self),
+            "ablation-mismatch" => ablations::mismatch(self),
+            "ablation-topology" => ablations::topology(self),
+            "ablation-walk" => ablations::walk(self),
+            "ablation-churn" => ablations::churn(self),
+            "ablation-structured" => ablations::structured(self),
+            "ablation-adaptation" => ablations::adaptation(self),
+            other => panic!("unknown artifact '{other}'"),
+        }
+    }
+
+    /// Every artifact id, in report order.
+    pub fn all_artifacts() -> &'static [&'static str] {
+        &[
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table1",
+            "table2",
+            "table3",
+            "ablation-synopsis",
+            "ablation-gia",
+            "ablation-mismatch",
+            "ablation-topology",
+            "ablation-walk",
+            "ablation-churn",
+            "ablation-structured",
+            "ablation-adaptation",
+        ]
+    }
+}
+
+/// Formats a `(rank, count)` series as a `rank,value` CSV table.
+pub fn rank_table(series: &[(u64, u64)], value_name: &str) -> qcp_core::util::Table {
+    let mut t = qcp_core::util::Table::new(["rank", value_name]);
+    for &(rank, v) in series {
+        t.row_fmt([rank, v]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("test"), Some(Scale::Test));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn findings_are_cached() {
+        let r = Repro::new(std::env::temp_dir().join("qcp-repro-test"), Scale::Test);
+        let a = r.findings() as *const _;
+        let b = r.findings() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_table_shapes() {
+        let t = rank_table(&[(1, 10), (2, 5)], "clients");
+        assert_eq!(t.len(), 2);
+        assert!(t.to_csv().starts_with("rank,clients\n1,10\n"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Analyzer configuration.
+
+use qcp_analysis::{PopularityRule, TransientConfig};
+use qcp_tracegen::{CrawlConfig, ItunesConfig, QueryTraceConfig, VocabularyConfig};
+use qcp_util::rng::child_seed;
+
+/// Configuration for the end-to-end analyzer.
+///
+/// Three preset scales:
+///
+/// * [`AnalyzerConfig::test_scale`] — seconds, for CI and unit tests;
+/// * [`AnalyzerConfig::default_scale`] — tens of seconds, the scale the
+///   `repro` binary uses (all distribution *shapes* match the paper);
+/// * [`AnalyzerConfig::paper_scale`] — the paper's raw sizes (37,572
+///   peers / 8.1M objects / 2.5M queries); minutes of CPU and gigabytes
+///   of RAM.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Vocabulary generation.
+    pub vocab: VocabularyConfig,
+    /// Gnutella crawl generation.
+    pub crawl: CrawlConfig,
+    /// iTunes trace generation.
+    pub itunes: ItunesConfig,
+    /// Query trace generation.
+    pub queries: QueryTraceConfig,
+    /// Evaluation intervals (seconds) for the Figure 5 sweep.
+    pub fig5_intervals: Vec<u32>,
+    /// Evaluation interval (seconds) for Figures 6/7 (paper: 60 minutes).
+    pub headline_interval: u32,
+    /// Popularity rule for popular-set extraction.
+    pub popularity: PopularityRule,
+    /// Transient-detector parameters.
+    pub transient: TransientConfig,
+}
+
+impl AnalyzerConfig {
+    /// Applies `seed` to every sub-generator (deriving independent child
+    /// seeds) and returns the updated config.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.vocab.seed = child_seed(seed, 1);
+        self.crawl.seed = child_seed(seed, 2);
+        self.itunes.seed = child_seed(seed, 3);
+        self.queries.seed = child_seed(seed, 4);
+        self
+    }
+
+    /// Tiny scale: a full pipeline run in well under a second.
+    pub fn test_scale() -> Self {
+        Self {
+            vocab: VocabularyConfig {
+                num_terms: 6_000,
+                head_size: 100,
+                head_overlap: 0.30,
+                seed: 0x5eed,
+            },
+            crawl: CrawlConfig {
+                num_peers: 500,
+                num_objects: 8_000,
+                ..Default::default()
+            },
+            itunes: ItunesConfig {
+                num_clients: 60,
+                catalog_songs: 5_000,
+                catalog_artists: 800,
+                mean_share_size: 150.0,
+                ..Default::default()
+            },
+            queries: QueryTraceConfig {
+                duration_secs: 86_400, // one day
+                num_queries: 40_000,
+                core_size: 100, // matches the test vocabulary head
+                ..Default::default()
+            },
+            fig5_intervals: vec![1_800, 3_600],
+            headline_interval: 3_600,
+            popularity: PopularityRule::TopK(100),
+            transient: TransientConfig::default(),
+        }
+    }
+
+    /// Default scale: every figure regenerated with stable statistics in
+    /// tens of seconds (peers ~1/19, objects ~1/100, queries ~1/10 of the
+    /// paper; all claims are about fractions and shapes, which carry over).
+    pub fn default_scale() -> Self {
+        Self {
+            vocab: VocabularyConfig::default(),
+            crawl: CrawlConfig::default(),
+            itunes: ItunesConfig::default(),
+            queries: QueryTraceConfig::default(),
+            fig5_intervals: vec![900, 1_800, 3_600, 7_200],
+            headline_interval: 3_600,
+            popularity: PopularityRule::TopK(200),
+            transient: TransientConfig::default(),
+        }
+    }
+
+    /// The paper's raw trace sizes. Expect minutes of CPU and gigabytes
+    /// of memory.
+    pub fn paper_scale() -> Self {
+        Self {
+            vocab: VocabularyConfig {
+                num_terms: 1_220_000,
+                head_size: 2_000,
+                ..Default::default()
+            },
+            crawl: CrawlConfig::paper_scale(),
+            itunes: ItunesConfig::paper_scale(),
+            queries: QueryTraceConfig::paper_scale(),
+            fig5_intervals: vec![900, 1_800, 3_600, 7_200],
+            headline_interval: 3_600,
+            popularity: PopularityRule::TopK(2_000),
+            transient: TransientConfig::default(),
+        }
+    }
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_seed_derives_distinct_subseeds() {
+        let c = AnalyzerConfig::test_scale().with_seed(42);
+        let seeds = [c.vocab.seed, c.crawl.seed, c.itunes.seed, c.queries.seed];
+        let set: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(set.len(), 4);
+        // Deterministic.
+        let c2 = AnalyzerConfig::test_scale().with_seed(42);
+        assert_eq!(c.vocab.seed, c2.vocab.seed);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let t = AnalyzerConfig::test_scale();
+        let d = AnalyzerConfig::default_scale();
+        let p = AnalyzerConfig::paper_scale();
+        assert!(t.crawl.num_objects < d.crawl.num_objects);
+        assert!(d.crawl.num_objects < p.crawl.num_objects);
+        assert_eq!(p.crawl.num_peers, 37_572);
+        assert_eq!(p.queries.num_queries, 2_500_000);
+    }
+}

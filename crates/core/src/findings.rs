@@ -1,0 +1,114 @@
+//! The analyzer's output: every figure series plus the anchor statistics.
+
+use qcp_analysis::{
+    AnnotationAnalysis, CrawlSummary, MismatchSeries, QuerySummary, ReplicationAnalysis,
+    StabilitySeries, TermReplicationAnalysis, TransientSeries,
+};
+
+/// Figure 4 bundle: one annotation analysis per iTunes field.
+#[derive(Debug, Clone)]
+pub struct Figure4Findings {
+    /// 4(a): clients per song name.
+    pub songs: AnnotationAnalysis,
+    /// 4(b): clients per genre.
+    pub genres: AnnotationAnalysis,
+    /// 4(c): clients per album.
+    pub albums: AnnotationAnalysis,
+    /// 4(d): clients per artist.
+    pub artists: AnnotationAnalysis,
+    /// Total shared song copies (paper: 533,768).
+    pub total_songs: usize,
+    /// Number of reachable clients (paper: 239).
+    pub num_clients: usize,
+}
+
+/// Everything the paper's evaluation reports, computed from one pair of
+/// synthetic traces.
+#[derive(Debug, Clone)]
+pub struct Findings {
+    /// Figure 1: clients per object, raw names.
+    pub fig1: ReplicationAnalysis,
+    /// Figure 2: clients per object, sanitized names.
+    pub fig2: ReplicationAnalysis,
+    /// Figure 3: clients per name term.
+    pub fig3: TermReplicationAnalysis,
+    /// Figure 4: iTunes annotation distributions.
+    pub fig4: Figure4Findings,
+    /// Figure 5: transient-term series, one per evaluation interval.
+    pub fig5: Vec<TransientSeries>,
+    /// Figure 6: popular-set stability at the headline interval.
+    pub fig6: StabilitySeries,
+    /// Figure 7: query/file similarity at the headline interval.
+    pub fig7: MismatchSeries,
+    /// §III in-text claims (virtual table T1).
+    pub crawl: CrawlSummary,
+    /// §IV in-text claims (virtual table T2).
+    pub query: QuerySummary,
+}
+
+impl Findings {
+    /// Renders the T1/T2 anchor claims as a text table for quick eyeball
+    /// comparison against the paper.
+    pub fn anchors_table(&self) -> qcp_util::Table {
+        use qcp_util::table::percent;
+        let mut t = qcp_util::Table::new(["anchor", "paper", "measured"]);
+        let c = &self.crawl;
+        t.row([
+            "objects on one peer (raw names)".to_string(),
+            "70.5%".to_string(),
+            percent(c.singleton_fraction_raw),
+        ]);
+        t.row([
+            "objects on <= 0.1% of peers (raw)".to_string(),
+            "99.5%".to_string(),
+            percent(c.below_tenth_percent_raw),
+        ]);
+        t.row([
+            "objects on <= 37 peers (paper's absolute cut)".to_string(),
+            "99.5%".to_string(),
+            percent(c.at_most_37_peers),
+        ]);
+        t.row([
+            "objects on one peer (sanitized)".to_string(),
+            "69.8%".to_string(),
+            percent(c.singleton_fraction_sanitized),
+        ]);
+        t.row([
+            "objects on <= 0.1% of peers (sanitized)".to_string(),
+            "99.4%".to_string(),
+            percent(c.below_tenth_percent_sanitized),
+        ]);
+        t.row([
+            "terms on one peer".to_string(),
+            "71.3%".to_string(),
+            percent(c.term_singleton_fraction),
+        ]);
+        t.row([
+            "terms on <= 0.1% of peers".to_string(),
+            "98.3%".to_string(),
+            percent(c.term_below_tenth_percent),
+        ]);
+        t.row([
+            "objects on >= 20 peers (Loo rare rule)".to_string(),
+            "< 4%".to_string(),
+            percent(c.at_least_20_peers),
+        ]);
+        let q = &self.query;
+        t.row([
+            "popular-set stability (after warm-up)".to_string(),
+            "> 90%".to_string(),
+            percent(q.stability_after_warmup),
+        ]);
+        t.row([
+            "popular query vs popular file terms".to_string(),
+            "< 20% (~15%)".to_string(),
+            percent(q.mean_popular_mismatch),
+        ]);
+        t.row([
+            "mean transient terms per interval".to_string(),
+            "low (< 10)".to_string(),
+            format!("{:.2}", q.mean_transients),
+        ]);
+        t
+    }
+}

@@ -1,0 +1,43 @@
+//! `qcp-core` — the primary library entry point of the reproduction.
+//!
+//! The paper's contribution is an end-to-end *measurement argument*:
+//! collect traces, analyze annotation and query-term distributions, show
+//! the temporal mismatch, and derive the implication for overlay design.
+//! [`QueryCentricAnalyzer`] packages that whole argument as one call:
+//!
+//! ```
+//! use qcp_core::{AnalyzerConfig, QueryCentricAnalyzer};
+//!
+//! let config = AnalyzerConfig::test_scale();
+//! let findings = QueryCentricAnalyzer::new(config).run();
+//! // The Zipf long tail: most objects live on a single peer.
+//! assert!(findings.crawl.singleton_fraction_raw > 0.5);
+//! // The paper's headline mismatch: popular query terms and popular file
+//! // terms barely overlap.
+//! assert!(findings.query.mean_popular_mismatch < 0.35);
+//! ```
+//!
+//! Re-exports: the substrate crates are available as `qcp_core::analysis`,
+//! `qcp_core::tracegen`, etc., so downstream users can depend on this one
+//! crate.
+
+#![warn(missing_docs)]
+
+pub use qcp_analysis as analysis;
+pub use qcp_dht as dht;
+pub use qcp_overlay as overlay;
+pub use qcp_search as search;
+pub use qcp_sketch as sketch;
+pub use qcp_terms as terms;
+pub use qcp_tracegen as tracegen;
+pub use qcp_util as util;
+pub use qcp_xpar as xpar;
+pub use qcp_zipf as zipf;
+
+mod analyzer;
+mod config;
+mod findings;
+
+pub use analyzer::QueryCentricAnalyzer;
+pub use config::AnalyzerConfig;
+pub use findings::{Figure4Findings, Findings};

@@ -1,0 +1,445 @@
+//! The Chord ring network.
+//!
+//! A simulated Chord deployment: every node has a random 64-bit id, a
+//! finger table (`finger[i] = successor(id + 2^i)`) and a successor
+//! pointer. Lookups route greedily via the closest preceding finger and
+//! count hops; with `n` nodes they take `O(log n)` hops, the baseline the
+//! paper's §V compares hybrid search against.
+//!
+//! Join/leave rebuild the affected finger entries. This is a simulator,
+//! not a networked implementation, so "stabilization" is immediate and
+//! deterministic — exactly what the evaluation needs.
+
+use crate::ring::{in_interval_oc, in_interval_oo};
+use qcp_util::hash::mix64;
+
+/// Number of finger-table entries (ring is 2^64).
+pub const FINGER_BITS: usize = 64;
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Index (into the network's node table) of the key's owner.
+    pub owner: u32,
+    /// Routing hops taken (0 when the source already owns the key).
+    pub hops: u32,
+}
+
+/// A Chord network of simulated nodes.
+///
+/// ```
+/// use qcp_dht::ChordNetwork;
+///
+/// let net = ChordNetwork::new(256, 7);
+/// let result = net.lookup(0, 0xDEAD_BEEF);
+/// assert_eq!(result.owner, net.successor_of_key(0xDEAD_BEEF));
+/// assert!(result.hops <= net.hop_bound());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChordNetwork {
+    /// Sorted node ids.
+    ids: Vec<u64>,
+    /// `fingers[v][i]` = node index of `successor(ids[v] + 2^i)`.
+    fingers: Vec<Vec<u32>>,
+}
+
+impl ChordNetwork {
+    /// Builds a network of `n` nodes with ids derived from `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut ids: Vec<u64> = (0..n as u64).map(|i| mix64(seed ^ mix64(i))).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "id collision (astronomically unlikely)");
+        let mut net = Self {
+            ids,
+            fingers: Vec::new(),
+        };
+        net.rebuild_all_fingers();
+        net
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the ring has no nodes (cannot happen).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The id of node `v`.
+    pub fn id_of(&self, v: u32) -> u64 {
+        self.ids[v as usize]
+    }
+
+    /// Index of the node owning `key` (its successor on the ring).
+    pub fn successor_of_key(&self, key: u64) -> u32 {
+        let idx = self.ids.partition_point(|&id| id < key);
+        (if idx == self.ids.len() { 0 } else { idx }) as u32
+    }
+
+    fn rebuild_all_fingers(&mut self) {
+        let n = self.ids.len();
+        self.fingers = (0..n)
+            .map(|v| self.build_fingers_for(self.ids[v]))
+            .collect();
+    }
+
+    fn build_fingers_for(&self, id: u64) -> Vec<u32> {
+        (0..FINGER_BITS)
+            .map(|i| self.successor_of_key(id.wrapping_add(1u64 << i)))
+            .collect()
+    }
+
+    /// Greedy Chord lookup from node `from` for `key`.
+    pub fn lookup(&self, from: u32, key: u64) -> LookupResult {
+        let mut current = from;
+        let mut hops = 0u32;
+        loop {
+            let cur_id = self.ids[current as usize];
+            // A node knows its predecessor: if the key falls in
+            // (pred, current] the current node owns it.
+            let n = self.len();
+            let pred_id = self.ids[(current as usize + n - 1) % n];
+            if n == 1 || in_interval_oc(key, pred_id, cur_id) {
+                return LookupResult {
+                    owner: current,
+                    hops,
+                };
+            }
+            let succ = self.fingers[current as usize][0];
+            let succ_id = self.ids[succ as usize];
+            if in_interval_oc(key, cur_id, succ_id) {
+                // Key owned by our successor: one final hop.
+                return LookupResult {
+                    owner: succ,
+                    hops: hops + 1,
+                };
+            }
+            // Closest preceding finger strictly inside (cur, key).
+            let mut next = succ;
+            for i in (0..FINGER_BITS).rev() {
+                let f = self.fingers[current as usize][i];
+                let f_id = self.ids[f as usize];
+                if in_interval_oo(f_id, cur_id, key) {
+                    next = f;
+                    break;
+                }
+            }
+            if next == current {
+                // Degenerate small ring: step to successor.
+                next = succ;
+            }
+            current = next;
+            hops += 1;
+            debug_assert!(hops as usize <= self.len() + FINGER_BITS, "routing loop");
+        }
+    }
+
+    /// Fault-tolerant lookup: routes around nodes marked dead in `alive`
+    /// (indexed like the node table). Models Chord's successor-list
+    /// recovery: a dead finger is skipped in favor of the next-best alive
+    /// one; the key's owner becomes its first *alive* successor.
+    ///
+    /// `from` must be alive; panics if every node is dead.
+    pub fn lookup_with_failures(&self, from: u32, key: u64, alive: &[bool]) -> LookupResult {
+        assert_eq!(alive.len(), self.len());
+        assert!(alive[from as usize], "source node is dead");
+        let owner = self
+            .first_alive_successor(key, alive)
+            .expect("no alive nodes in the ring");
+        let owner_id = self.ids[owner as usize];
+        let mut current = from;
+        let mut hops = 0u32;
+        // Greedy progress toward the owner's id, never stepping on a dead
+        // node; bounded fallback walks the sorted ring.
+        while current != owner {
+            let cur_id = self.ids[current as usize];
+            let mut next: Option<u32> = None;
+            for i in (0..FINGER_BITS).rev() {
+                let f = self.fingers[current as usize][i];
+                if f == current || !alive[f as usize] {
+                    continue;
+                }
+                let f_id = self.ids[f as usize];
+                if in_interval_oc(f_id, cur_id, owner_id) {
+                    next = Some(f);
+                    break;
+                }
+            }
+            let next = next.unwrap_or_else(|| {
+                // Successor-list fallback: the next alive node clockwise.
+                let n = self.len();
+                let mut idx = (current as usize + 1) % n;
+                while !alive[idx] {
+                    idx = (idx + 1) % n;
+                }
+                idx as u32
+            });
+            current = next;
+            hops += 1;
+            debug_assert!(
+                (hops as usize) <= 2 * self.len() + FINGER_BITS,
+                "fault-tolerant routing loop"
+            );
+        }
+        LookupResult { owner, hops }
+    }
+
+    /// The first alive node at or clockwise after `key`.
+    pub fn first_alive_successor(&self, key: u64, alive: &[bool]) -> Option<u32> {
+        let n = self.len();
+        let start = self.ids.partition_point(|&id| id < key) % n;
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if alive[idx] {
+                return Some(idx as u32);
+            }
+        }
+        None
+    }
+
+    /// Adds a node with an id derived from `id_seed`; returns its index.
+    /// All finger tables are rebuilt (simulator semantics: instantaneous
+    /// stabilization).
+    pub fn join(&mut self, id_seed: u64) -> u32 {
+        let id = mix64(id_seed ^ 0x10ad);
+        let pos = self.ids.partition_point(|&x| x < id);
+        assert!(
+            self.ids.get(pos) != Some(&id),
+            "id collision on join (astronomically unlikely)"
+        );
+        self.ids.insert(pos, id);
+        self.rebuild_all_fingers();
+        pos as u32
+    }
+
+    /// Removes node `v`. Remaining indices shift down by one past `v`.
+    pub fn leave(&mut self, v: u32) {
+        assert!(self.ids.len() > 1, "cannot empty the ring");
+        self.ids.remove(v as usize);
+        self.rebuild_all_fingers();
+    }
+
+    /// Expected maximum lookup hops: `O(log2 n)` with slack for the
+    /// greedy-finger constant (useful in assertions and reports).
+    pub fn hop_bound(&self) -> u32 {
+        (self.len() as f64).log2().ceil() as u32 * 2 + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_owns_key() {
+        let net = ChordNetwork::new(64, 1);
+        for key in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            let owner = net.successor_of_key(key);
+            let owner_id = net.id_of(owner);
+            // No node id lies strictly between key and owner_id (clockwise).
+            for v in 0..net.len() as u32 {
+                let id = net.id_of(v);
+                assert!(
+                    !crate::ring::in_interval_oo(id, key.wrapping_sub(1), owner_id),
+                    "node {id:x} between key {key:x} and owner {owner_id:x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_agrees_with_successor() {
+        let net = ChordNetwork::new(128, 2);
+        for k in 0..200u64 {
+            let key = mix64(k);
+            let expected = net.successor_of_key(key);
+            for from in [0u32, 5, 63, 127] {
+                let r = net.lookup(from, key);
+                assert_eq!(r.owner, expected, "key {key:x} from {from}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_hops_logarithmic() {
+        let net = ChordNetwork::new(4_096, 3);
+        let mut max_hops = 0;
+        let mut total = 0u64;
+        let samples = 500;
+        for k in 0..samples {
+            let key = mix64(0xabc ^ k);
+            let r = net.lookup((k % 4096) as u32, key);
+            max_hops = max_hops.max(r.hops);
+            total += r.hops as u64;
+        }
+        let mean = total as f64 / samples as f64;
+        // log2(4096) = 12; greedy Chord averages ~log2(n)/2.
+        assert!(mean < 14.0, "mean hops {mean}");
+        assert!(max_hops <= net.hop_bound(), "max hops {max_hops}");
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let net = ChordNetwork::new(1, 4);
+        let r = net.lookup(0, 12345);
+        assert_eq!(r.owner, 0);
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn two_node_ring_routes() {
+        let net = ChordNetwork::new(2, 5);
+        for key in [0u64, u64::MAX / 3, u64::MAX / 2, u64::MAX - 1] {
+            let r = net.lookup(0, key);
+            assert_eq!(r.owner, net.successor_of_key(key));
+            assert!(r.hops <= 2);
+        }
+    }
+
+    #[test]
+    fn join_preserves_lookup_correctness() {
+        let mut net = ChordNetwork::new(32, 6);
+        let keys: Vec<u64> = (0..50).map(|k| mix64(k ^ 0x77)).collect();
+        net.join(999);
+        net.join(1001);
+        for &key in &keys {
+            let r = net.lookup(3, key);
+            assert_eq!(r.owner, net.successor_of_key(key));
+        }
+        assert_eq!(net.len(), 34);
+    }
+
+    #[test]
+    fn leave_preserves_lookup_correctness() {
+        let mut net = ChordNetwork::new(32, 7);
+        net.leave(10);
+        net.leave(0);
+        assert_eq!(net.len(), 30);
+        for k in 0..50u64 {
+            let key = mix64(k ^ 0x88);
+            let r = net.lookup(1, key);
+            assert_eq!(r.owner, net.successor_of_key(key));
+        }
+    }
+
+    #[test]
+    fn lookup_from_owner_is_cheap() {
+        let net = ChordNetwork::new(256, 8);
+        let key = mix64(42);
+        let owner = net.successor_of_key(key);
+        let r = net.lookup(owner, key);
+        assert_eq!(r.owner, owner);
+        assert!(r.hops <= 1, "hops from owner {}", r.hops);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = ChordNetwork::new(100, 9);
+        let b = ChordNetwork::new(100, 9);
+        assert_eq!(a.id_of(50), b.id_of(50));
+        assert_eq!(a.lookup(0, 777), b.lookup(0, 777));
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use qcp_util::rng::Pcg64;
+
+    #[test]
+    fn no_failures_matches_plain_lookup_owner() {
+        let net = ChordNetwork::new(128, 21);
+        let alive = vec![true; 128];
+        for k in 0..80u64 {
+            let key = mix64(k);
+            let ft = net.lookup_with_failures(5, key, &alive);
+            assert_eq!(ft.owner, net.successor_of_key(key));
+        }
+    }
+
+    #[test]
+    fn routes_around_random_failures() {
+        let net = ChordNetwork::new(256, 22);
+        let mut rng = Pcg64::new(23);
+        let mut alive = vec![true; 256];
+        for idx in rng.sample_distinct(256, 64) {
+            alive[idx] = false;
+        }
+        let sources: Vec<u32> = (0..256u32).filter(|&v| alive[v as usize]).take(8).collect();
+        for k in 0..60u64 {
+            let key = mix64(k ^ 0x77aa);
+            let expected = net.first_alive_successor(key, &alive).unwrap();
+            for &from in &sources {
+                let r = net.lookup_with_failures(from, key, &alive);
+                assert_eq!(r.owner, expected, "key {key:x} from {from}");
+                assert!(alive[r.owner as usize]);
+                assert!(
+                    (r.hops as usize) <= 2 * net.len(),
+                    "hops {} explode",
+                    r.hops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survives_heavy_failure() {
+        // 90% dead: lookups must still resolve to alive owners.
+        let net = ChordNetwork::new(100, 24);
+        let mut alive = vec![false; 100];
+        for idx in [3usize, 17, 42, 56, 61, 77, 80, 91, 95, 99] {
+            alive[idx] = true;
+        }
+        for k in 0..40u64 {
+            let key = mix64(k ^ 0xdead);
+            let r = net.lookup_with_failures(42, key, &alive);
+            assert!(alive[r.owner as usize]);
+            assert_eq!(r.owner, net.first_alive_successor(key, &alive).unwrap());
+        }
+    }
+
+    #[test]
+    fn hops_degrade_gracefully_with_failures() {
+        let net = ChordNetwork::new(1_024, 25);
+        let mut rng = Pcg64::new(26);
+        let mut mean_hops = Vec::new();
+        for dead_frac in [0.0f64, 0.3] {
+            let mut alive = vec![true; 1_024];
+            let dead = (1_024.0 * dead_frac) as usize;
+            for idx in rng.sample_distinct(1_024, dead) {
+                alive[idx] = false;
+            }
+            let sources: Vec<u32> =
+                (0..1_024u32).filter(|&v| alive[v as usize]).take(16).collect();
+            let mut total = 0u64;
+            let mut count = 0u64;
+            for k in 0..100u64 {
+                let key = mix64(k ^ 0xfade);
+                for &from in &sources {
+                    total += net.lookup_with_failures(from, key, &alive).hops as u64;
+                    count += 1;
+                }
+            }
+            mean_hops.push(total as f64 / count as f64);
+        }
+        // 30% failures should cost extra hops but stay near O(log n).
+        assert!(mean_hops[1] >= mean_hops[0]);
+        assert!(
+            mean_hops[1] < mean_hops[0] + 8.0,
+            "failure overhead too high: {mean_hops:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "source node is dead")]
+    fn dead_source_rejected() {
+        let net = ChordNetwork::new(8, 27);
+        let mut alive = vec![true; 8];
+        alive[2] = false;
+        let _ = net.lookup_with_failures(2, 42, &alive);
+    }
+}

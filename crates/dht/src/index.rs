@@ -1,0 +1,226 @@
+//! Distributed inverted keyword index over the Chord ring.
+//!
+//! Keyword search over a DHT (the approach of the paper's hybrid refs):
+//! every object is published once per annotation term — the posting list
+//! for term `t` lives at `successor(hash(t))`. A multi-term query performs
+//! one lookup per term, fetches the posting lists, and intersects them at
+//! the querier (Gnutella AND semantics). Costs are accounted in routing
+//! hops plus one message per posting-list transfer.
+
+use crate::chord::ChordNetwork;
+use crate::ring::key_for_term;
+use qcp_util::FxHashMap;
+
+/// Outcome of a DHT keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhtQueryOutcome {
+    /// Objects matching *all* query terms.
+    pub results: Vec<u32>,
+    /// Total routing hops across all term lookups.
+    pub hops: u32,
+    /// Total messages: hops plus one transfer per posting list.
+    pub messages: u64,
+}
+
+/// The index: per-node storage of term posting lists.
+#[derive(Debug, Clone)]
+pub struct DhtIndex {
+    /// Per node: term-key → sorted posting list of object ids.
+    storage: Vec<FxHashMap<u64, Vec<u32>>>,
+    /// Publication cost in hops (accumulated for reporting).
+    publish_hops: u64,
+}
+
+impl DhtIndex {
+    /// Creates an empty index for `net`.
+    pub fn new(net: &ChordNetwork) -> Self {
+        Self {
+            storage: vec![FxHashMap::default(); net.len()],
+            publish_hops: 0,
+        }
+    }
+
+    /// Publishes `object` under `term`, routing from `from`.
+    pub fn publish(&mut self, net: &ChordNetwork, from: u32, term: &str, object: u32) {
+        self.publish_key(net, from, key_for_term(term), object);
+    }
+
+    /// Publishes `object` under a pre-hashed ring key (symbol-level callers
+    /// hash their own term space).
+    pub fn publish_key(&mut self, net: &ChordNetwork, from: u32, key: u64, object: u32) {
+        let r = net.lookup(from, key);
+        self.publish_hops += r.hops as u64;
+        let list = self.storage[r.owner as usize].entry(key).or_default();
+        if let Err(pos) = list.binary_search(&object) {
+            list.insert(pos, object);
+        }
+    }
+
+    /// Total hops spent on publications so far.
+    pub fn publish_hops(&self) -> u64 {
+        self.publish_hops
+    }
+
+    /// Number of `(node, term)` posting lists stored.
+    pub fn stored_lists(&self) -> usize {
+        self.storage.iter().map(|m| m.len()).sum()
+    }
+
+    /// Multi-term AND query from node `from`.
+    ///
+    /// Empty term sets return no results (as in `qcp-terms` matching).
+    pub fn query(&self, net: &ChordNetwork, from: u32, terms: &[&str]) -> DhtQueryOutcome {
+        let keys: Vec<u64> = terms.iter().map(|t| key_for_term(t)).collect();
+        self.query_keys(net, from, &keys)
+    }
+
+    /// Multi-key AND query (symbol-level variant of [`Self::query`]).
+    pub fn query_keys(&self, net: &ChordNetwork, from: u32, terms: &[u64]) -> DhtQueryOutcome {
+        if terms.is_empty() {
+            return DhtQueryOutcome {
+                results: Vec::new(),
+                hops: 0,
+                messages: 0,
+            };
+        }
+        let mut hops = 0u32;
+        let mut messages = 0u64;
+        let mut result: Option<Vec<u32>> = None;
+        for &key in terms {
+            let r = net.lookup(from, key);
+            hops += r.hops;
+            messages += r.hops as u64 + 1; // +1 posting-list transfer
+            let empty: Vec<u32> = Vec::new();
+            let list = self.storage[r.owner as usize]
+                .get(&key)
+                .unwrap_or(&empty);
+            result = Some(match result {
+                None => list.clone(),
+                Some(acc) => intersect_sorted(&acc, list),
+            });
+            if result.as_ref().is_some_and(|r| r.is_empty()) {
+                break; // AND already failed; remaining terms can't help
+            }
+        }
+        DhtQueryOutcome {
+            results: result.unwrap_or_default(),
+            hops,
+            messages,
+        }
+    }
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indexed_net() -> (ChordNetwork, DhtIndex) {
+        let net = ChordNetwork::new(64, 42);
+        let mut idx = DhtIndex::new(&net);
+        // Object 1: "madonna like prayer"; object 2: "madonna hits";
+        // object 3: "nirvana hits".
+        for (obj, terms) in [
+            (1u32, vec!["madonna", "like", "prayer"]),
+            (2, vec!["madonna", "hits"]),
+            (3, vec!["nirvana", "hits"]),
+        ] {
+            for t in terms {
+                idx.publish(&net, obj % 64, t, obj);
+            }
+        }
+        (net, idx)
+    }
+
+    #[test]
+    fn single_term_query_returns_posting_list() {
+        let (net, idx) = indexed_net();
+        let out = idx.query(&net, 0, &["madonna"]);
+        assert_eq!(out.results, vec![1, 2]);
+        assert!(out.messages >= 1);
+    }
+
+    #[test]
+    fn multi_term_query_intersects() {
+        let (net, idx) = indexed_net();
+        let out = idx.query(&net, 5, &["madonna", "hits"]);
+        assert_eq!(out.results, vec![2]);
+        let out2 = idx.query(&net, 5, &["madonna", "nirvana"]);
+        assert!(out2.results.is_empty());
+    }
+
+    #[test]
+    fn unknown_term_yields_empty() {
+        let (net, idx) = indexed_net();
+        let out = idx.query(&net, 9, &["unknown"]);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn empty_query_is_empty_and_free() {
+        let (net, idx) = indexed_net();
+        let out = idx.query(&net, 0, &[]);
+        assert!(out.results.is_empty());
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn duplicate_publish_is_idempotent() {
+        let net = ChordNetwork::new(16, 1);
+        let mut idx = DhtIndex::new(&net);
+        idx.publish(&net, 0, "dup", 7);
+        idx.publish(&net, 3, "dup", 7);
+        let out = idx.query(&net, 2, &["dup"]);
+        assert_eq!(out.results, vec![7]);
+    }
+
+    #[test]
+    fn query_cost_scales_with_terms_not_network() {
+        let net = ChordNetwork::new(1024, 2);
+        let mut idx = DhtIndex::new(&net);
+        idx.publish(&net, 0, "aa", 1);
+        idx.publish(&net, 0, "bb", 1);
+        idx.publish(&net, 0, "cc", 1);
+        let one = idx.query(&net, 7, &["aa"]);
+        let three = idx.query(&net, 7, &["aa", "bb", "cc"]);
+        assert_eq!(three.results, vec![1]);
+        // Each term lookup is O(log n): 3-term cost is bounded by ~3x the
+        // 1-term bound, not by network size.
+        assert!(three.hops <= 3 * net.hop_bound());
+        assert!(one.hops <= net.hop_bound());
+    }
+
+    #[test]
+    fn posting_lists_live_on_the_ring_owner() {
+        let net = ChordNetwork::new(32, 3);
+        let mut idx = DhtIndex::new(&net);
+        idx.publish(&net, 11, "owner-check", 5);
+        let key = key_for_term("owner-check");
+        let owner = net.successor_of_key(key);
+        assert!(idx.storage[owner as usize].contains_key(&key));
+        assert_eq!(idx.stored_lists(), 1);
+    }
+
+    #[test]
+    fn intersect_sorted_basic() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert!(intersect_sorted(&[], &[1]).is_empty());
+    }
+}

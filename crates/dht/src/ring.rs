@@ -1,0 +1,100 @@
+//! 64-bit identifier-ring arithmetic.
+//!
+//! Chord places nodes and keys on a ring of size `2^64`; a key is owned by
+//! its *successor* — the first node clockwise at or after the key. All
+//! interval logic here is modular.
+
+use qcp_util::hash::{hash_bytes, mix64};
+
+/// Clockwise distance from `a` to `b` on the 2^64 ring.
+#[inline]
+pub fn distance_cw(a: u64, b: u64) -> u64 {
+    b.wrapping_sub(a)
+}
+
+/// True when `x` lies in the half-open clockwise interval `(a, b]`.
+///
+/// When `a == b` the interval covers the whole ring (every `x` except
+///... none: by convention the full ring, matching Chord's single-node
+/// case where the node owns everything).
+#[inline]
+pub fn in_interval_oc(x: u64, a: u64, b: u64) -> bool {
+    if a == b {
+        return true;
+    }
+    distance_cw(a, x) <= distance_cw(a, b) && x != a
+}
+
+/// True when `x` lies in the open clockwise interval `(a, b)`.
+#[inline]
+pub fn in_interval_oo(x: u64, a: u64, b: u64) -> bool {
+    if a == b {
+        return x != a;
+    }
+    distance_cw(a, x) < distance_cw(a, b) && x != a
+}
+
+/// Ring key for a term string.
+#[inline]
+pub fn key_for_term(term: &str) -> u64 {
+    mix64(hash_bytes(term.as_bytes()))
+}
+
+/// Ring key for an exact object name (structured lookups are exact-match —
+/// §I of the paper).
+#[inline]
+pub fn key_for_name(name: &str) -> u64 {
+    mix64(hash_bytes(name.as_bytes()) ^ 0x000b_9ec7_ba5e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(distance_cw(10, 20), 10);
+        assert_eq!(distance_cw(20, 10), u64::MAX - 9);
+        assert_eq!(distance_cw(5, 5), 0);
+    }
+
+    #[test]
+    fn interval_oc_basic() {
+        assert!(in_interval_oc(15, 10, 20));
+        assert!(in_interval_oc(20, 10, 20)); // closed at b
+        assert!(!in_interval_oc(10, 10, 20)); // open at a
+        assert!(!in_interval_oc(25, 10, 20));
+    }
+
+    #[test]
+    fn interval_oc_wrapping() {
+        // Interval (u64::MAX - 5, 5].
+        assert!(in_interval_oc(0, u64::MAX - 5, 5));
+        assert!(in_interval_oc(5, u64::MAX - 5, 5));
+        assert!(in_interval_oc(u64::MAX, u64::MAX - 5, 5));
+        assert!(!in_interval_oc(100, u64::MAX - 5, 5));
+    }
+
+    #[test]
+    fn interval_oc_degenerate_full_ring() {
+        assert!(in_interval_oc(123, 7, 7));
+    }
+
+    #[test]
+    fn interval_oo_excludes_both_ends() {
+        assert!(in_interval_oo(15, 10, 20));
+        assert!(!in_interval_oo(20, 10, 20));
+        assert!(!in_interval_oo(10, 10, 20));
+    }
+
+    #[test]
+    fn term_keys_spread() {
+        let a = key_for_term("madonna");
+        let b = key_for_term("madonnb");
+        assert_ne!(a, b);
+        // Same string, same key.
+        assert_eq!(a, key_for_term("madonna"));
+        // Term and name keys are independent spaces.
+        assert_ne!(key_for_term("x"), key_for_name("x"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration: Chord correctness through arbitrary join/leave sequences,
+//! and index behaviour across ownership changes.
+
+use qcp_dht::{ChordNetwork, DhtIndex};
+use qcp_util::hash::mix64;
+use qcp_util::rng::Pcg64;
+
+#[test]
+fn lookups_stay_correct_through_random_churn() {
+    let mut net = ChordNetwork::new(48, 1);
+    let mut rng = Pcg64::new(2);
+    let keys: Vec<u64> = (0..40).map(|k| mix64(k ^ 0xfeed)).collect();
+    for round in 0..30 {
+        // Alternate joins and leaves, keeping the ring nontrivial.
+        if round % 2 == 0 || net.len() <= 8 {
+            net.join(mix64(round as u64 ^ 0xadd));
+        } else {
+            let victim = rng.index(net.len()) as u32;
+            net.leave(victim);
+        }
+        for &key in &keys {
+            let from = rng.index(net.len()) as u32;
+            let r = net.lookup(from, key);
+            assert_eq!(
+                r.owner,
+                net.successor_of_key(key),
+                "round {round}: wrong owner for key {key:x}"
+            );
+            assert!(r.hops <= net.hop_bound(), "round {round}: hops {}", r.hops);
+        }
+    }
+}
+
+#[test]
+fn shrinking_to_minimum_ring_still_routes() {
+    let mut net = ChordNetwork::new(16, 3);
+    while net.len() > 2 {
+        net.leave(0);
+    }
+    for k in 0..50u64 {
+        let key = mix64(k);
+        let r = net.lookup(0, key);
+        assert_eq!(r.owner, net.successor_of_key(key));
+    }
+}
+
+#[test]
+fn index_republish_after_ownership_change() {
+    // A posting published before a join may land on a node that no longer
+    // owns the key afterwards — the classic DHT data-migration problem.
+    // The simulator models republication: publishing again after churn
+    // restores availability.
+    let mut net = ChordNetwork::new(16, 4);
+    let mut idx = DhtIndex::new(&net);
+    idx.publish(&net, 0, "migrating-term", 42);
+    assert_eq!(idx.query(&net, 3, &["migrating-term"]).results, vec![42]);
+
+    // Heavy churn: many joins shift ownership boundaries.
+    for j in 0..16 {
+        net.join(mix64(j ^ 0x9999));
+    }
+    // Storage indices shifted under the old publication; a fresh index +
+    // republish (what a real node's stabilization would do) restores it.
+    let mut fresh = DhtIndex::new(&net);
+    fresh.publish(&net, 1, "migrating-term", 42);
+    let out = fresh.query(&net, 9, &["migrating-term"]);
+    assert_eq!(out.results, vec![42]);
+    assert!(out.hops <= 2 * net.hop_bound());
+}
+
+#[test]
+fn hop_counts_scale_logarithmically_across_sizes() {
+    let mut means = Vec::new();
+    for &n in &[64usize, 512, 4_096] {
+        let net = ChordNetwork::new(n, 7);
+        let mut rng = Pcg64::new(8);
+        let total: u64 = (0..400)
+            .map(|_| {
+                let key = rng.next();
+                let from = rng.index(n) as u32;
+                net.lookup(from, key).hops as u64
+            })
+            .sum();
+        means.push(total as f64 / 400.0);
+    }
+    // Each 8x growth adds ~3 hops (log2(8)=3) for greedy Chord; allow
+    // generous slack but require clearly sublinear growth.
+    assert!(means[1] - means[0] < 6.0, "64->512 hop growth {means:?}");
+    assert!(means[2] - means[1] < 6.0, "512->4096 hop growth {means:?}");
+    assert!(means[2] < 4.0 * means[0], "growth must be sublinear: {means:?}");
+}

@@ -1,0 +1,150 @@
+//! Node churn: fail-stop departures.
+//!
+//! The paper's companion work (its ref [14], "Improving search using a
+//! fault-tolerant overlay") motivates asking how the Figure 8 conclusions
+//! hold up when peers leave. This module applies fail-stop churn to a
+//! topology: failed nodes lose all edges (and, at the search layer, their
+//! replicas), surviving structure is otherwise untouched.
+
+use crate::graph::Graph;
+use qcp_util::rng::Pcg64;
+
+/// Result of applying churn.
+#[derive(Debug, Clone)]
+pub struct ChurnedOverlay {
+    /// The surviving graph (same node-id space; failed nodes isolated).
+    pub graph: Graph,
+    /// `alive[n]` is false for failed nodes.
+    pub alive: Vec<bool>,
+    /// Number of failed nodes.
+    pub failed: usize,
+}
+
+/// Fails a uniformly random `fraction` of nodes.
+pub fn fail_random(graph: &Graph, fraction: f64, seed: u64) -> ChurnedOverlay {
+    assert!((0.0..1.0).contains(&fraction));
+    let n = graph.num_nodes();
+    let mut rng = Pcg64::with_stream(seed, 0xc8de);
+    let k = (n as f64 * fraction).round() as usize;
+    let mut alive = vec![true; n];
+    for idx in rng.sample_distinct(n, k) {
+        alive[idx] = false;
+    }
+    rebuild(graph, alive)
+}
+
+/// Fails the `fraction` highest-degree nodes — targeted churn, the worst
+/// case for hub-dependent topologies (ultrapeers, BA hubs).
+pub fn fail_highest_degree(graph: &Graph, fraction: f64) -> ChurnedOverlay {
+    assert!((0.0..1.0).contains(&fraction));
+    let n = graph.num_nodes();
+    let k = (n as f64 * fraction).round() as usize;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&u| std::cmp::Reverse(graph.degree(u)));
+    let mut alive = vec![true; n];
+    for &u in order.iter().take(k) {
+        alive[u as usize] = false;
+    }
+    rebuild(graph, alive)
+}
+
+fn rebuild(graph: &Graph, alive: Vec<bool>) -> ChurnedOverlay {
+    let mut edges = Vec::new();
+    for u in 0..graph.num_nodes() as u32 {
+        if !alive[u as usize] {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            if u < v && alive[v as usize] {
+                edges.push((u, v));
+            }
+        }
+    }
+    let failed = alive.iter().filter(|&&a| !a).count();
+    ChurnedOverlay {
+        graph: Graph::from_edges(graph.num_nodes(), &edges),
+        alive,
+        failed,
+    }
+}
+
+/// Filters a sorted holder list down to alive peers.
+pub fn surviving_holders(holders: &[u32], alive: &[bool]) -> Vec<u32> {
+    holders
+        .iter()
+        .copied()
+        .filter(|&h| alive[h as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{erdos_renyi, gnutella_two_tier, TopologyConfig};
+
+    #[test]
+    fn fail_random_removes_requested_fraction() {
+        let t = erdos_renyi(1_000, 6.0, 1);
+        let c = fail_random(&t.graph, 0.3, 2);
+        assert_eq!(c.failed, 300);
+        assert_eq!(c.alive.iter().filter(|&&a| !a).count(), 300);
+        // Failed nodes are isolated.
+        for u in 0..1_000u32 {
+            if !c.alive[u as usize] {
+                assert_eq!(c.graph.degree(u), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn surviving_edges_connect_only_alive_nodes() {
+        let t = erdos_renyi(500, 5.0, 3);
+        let c = fail_random(&t.graph, 0.2, 4);
+        for u in 0..500u32 {
+            for &v in c.graph.neighbors(u) {
+                assert!(c.alive[u as usize] && c.alive[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_churn_preserves_graph() {
+        let t = erdos_renyi(300, 5.0, 5);
+        let c = fail_random(&t.graph, 0.0, 6);
+        assert_eq!(c.failed, 0);
+        assert_eq!(c.graph.num_edges(), t.graph.num_edges());
+    }
+
+    #[test]
+    fn targeted_churn_hits_hubs() {
+        let t = gnutella_two_tier(&TopologyConfig {
+            num_nodes: 1_000,
+            ..Default::default()
+        });
+        let c = fail_highest_degree(&t.graph, 0.10);
+        // The 10% highest-degree nodes in a two-tier net are ultrapeers;
+        // connectivity collapses far more than under random churn.
+        let random = fail_random(&t.graph, 0.10, 7);
+        assert!(
+            c.graph.largest_component() < random.graph.largest_component(),
+            "targeted churn must fragment more: {} vs {}",
+            c.graph.largest_component(),
+            random.graph.largest_component()
+        );
+    }
+
+    #[test]
+    fn surviving_holders_filters() {
+        let alive = vec![true, false, true, false];
+        assert_eq!(surviving_holders(&[0, 1, 2, 3], &alive), vec![0, 2]);
+        assert!(surviving_holders(&[1, 3], &alive).is_empty());
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let t = erdos_renyi(400, 5.0, 8);
+        let a = fail_random(&t.graph, 0.25, 9);
+        let b = fail_random(&t.graph, 0.25, 9);
+        assert_eq!(a.alive, b.alive);
+    }
+}

@@ -1,0 +1,111 @@
+//! Expanding-ring (iterative deepening) search.
+//!
+//! Floods with TTL 1, then TTL 2, … up to `max_ttl`, stopping at the first
+//! success. Cheaper than a full flood for nearby content, more expensive
+//! for distant content (early rings are re-covered) — the standard
+//! trade-off the hybrid designs in §V try to exploit.
+
+use crate::flood::{FloodEngine, FloodOutcome};
+use crate::graph::Graph;
+
+/// Result of an expanding-ring search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandingOutcome {
+    /// Whether any ring found the object.
+    pub found: bool,
+    /// TTL of the successful ring.
+    pub found_at_ttl: Option<u32>,
+    /// Total messages across every ring attempted.
+    pub messages: u64,
+    /// Peers reached by the final (successful or last) ring.
+    pub final_reach: u32,
+}
+
+/// Runs the expanding-ring search.
+pub fn expanding_ring_search(
+    engine: &mut FloodEngine,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+) -> ExpandingOutcome {
+    let mut total_messages = 0u64;
+    let mut last: Option<FloodOutcome> = None;
+    for ttl in 1..=max_ttl {
+        let out = engine.flood(graph, source, ttl, holders, forwarders);
+        total_messages += out.messages;
+        let found = out.found;
+        let reached = out.reached;
+        last = Some(out);
+        if found {
+            return ExpandingOutcome {
+                found: true,
+                found_at_ttl: Some(ttl),
+                messages: total_messages,
+                final_reach: reached,
+            };
+        }
+        // If the ring stopped growing the network is exhausted.
+        if let Some(prev) = last {
+            if ttl > 1 && prev.reached == reached && reached == graph.num_nodes() as u32 {
+                break;
+            }
+        }
+    }
+    ExpandingOutcome {
+        found: false,
+        found_at_ttl: None,
+        messages: total_messages,
+        final_reach: last.map(|o| o.reached).unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn stops_at_first_successful_ring() {
+        let g = path(10);
+        let mut e = FloodEngine::new(10);
+        let out = expanding_ring_search(&mut e, &g, 0, 9, &[3], None);
+        assert!(out.found);
+        assert_eq!(out.found_at_ttl, Some(3));
+    }
+
+    #[test]
+    fn nearby_object_is_cheap_far_object_is_expensive() {
+        let g = path(20);
+        let mut e = FloodEngine::new(20);
+        let near = expanding_ring_search(&mut e, &g, 0, 19, &[1], None);
+        let far = expanding_ring_search(&mut e, &g, 0, 19, &[15], None);
+        assert!(near.found && far.found);
+        assert!(near.messages < far.messages / 4);
+    }
+
+    #[test]
+    fn miss_reports_total_cost() {
+        let g = path(5);
+        let mut e = FloodEngine::new(5);
+        let out = expanding_ring_search(&mut e, &g, 0, 2, &[4], None);
+        assert!(!out.found);
+        assert!(out.messages > 0);
+        assert_eq!(out.found_at_ttl, None);
+    }
+
+    #[test]
+    fn source_holder_found_at_ttl_one() {
+        // The hop-0 check happens inside the first ring.
+        let g = path(5);
+        let mut e = FloodEngine::new(5);
+        let out = expanding_ring_search(&mut e, &g, 2, 4, &[2], None);
+        assert!(out.found);
+        assert_eq!(out.found_at_ttl, Some(1));
+    }
+}

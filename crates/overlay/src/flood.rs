@@ -1,0 +1,249 @@
+//! TTL-limited flooding.
+//!
+//! Gnutella flooding is breadth-first: the source hands the query to every
+//! neighbor with the configured TTL; each receiver decrements the TTL and
+//! forwards to all its other neighbors while TTL remains. In a two-tier
+//! network only ultrapeers forward; leaves receive and answer.
+//!
+//! [`FloodEngine`] is a reusable BFS context: visit marks are epoch-stamped
+//! `u32`s, so consecutive queries on the same graph allocate nothing.
+
+use crate::graph::Graph;
+
+/// Result of one flooded query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodOutcome {
+    /// Whether any reached peer held the target object.
+    pub found: bool,
+    /// Hop count at which the first replica was found.
+    pub found_at_hop: Option<u32>,
+    /// Number of distinct peers reached (including the source).
+    pub reached: u32,
+    /// Query messages sent (edge traversals).
+    pub messages: u64,
+}
+
+/// Reusable flooding engine for one graph size.
+///
+/// ```
+/// use qcp_overlay::{FloodEngine, Graph};
+///
+/// // Path 0-1-2-3: a TTL-2 flood from node 0 reaches nodes 0,1,2.
+/// let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let mut engine = FloodEngine::new(4);
+/// let out = engine.flood(&graph, 0, 2, &[2], None);
+/// assert!(out.found);
+/// assert_eq!(out.found_at_hop, Some(2));
+/// assert_eq!(out.reached, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloodEngine {
+    mark: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl FloodEngine {
+    /// Creates an engine for graphs with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            mark: vec![0; num_nodes],
+            epoch: 0,
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset marks and restart epochs.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    /// Floods from `source` with `ttl` hops and reports coverage plus
+    /// whether a holder of the target was reached.
+    ///
+    /// * `holders` — sorted peer list holding the target (empty = pure
+    ///   coverage measurement);
+    /// * `forwarders` — optional mask; nodes with `false` receive but do
+    ///   not forward (Gnutella leaves). `None` = everyone forwards.
+    pub fn flood(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+    ) -> FloodOutcome {
+        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+        self.begin();
+        let epoch = self.epoch;
+        let mut reached = 1u32;
+        let mut messages = 0u64;
+        let mut found_at_hop = None;
+        self.mark[source as usize] = epoch;
+        if holders.binary_search(&source).is_ok() {
+            found_at_hop = Some(0);
+        }
+        self.frontier.push(source);
+        let mut hop = 0u32;
+        while hop < ttl && !self.frontier.is_empty() {
+            hop += 1;
+            self.next.clear();
+            for &u in &self.frontier {
+                // Only forwarders expand (the source always sends).
+                if u != source {
+                    if let Some(mask) = forwarders {
+                        if !mask[u as usize] {
+                            continue;
+                        }
+                    }
+                }
+                for &v in graph.neighbors(u) {
+                    messages += 1;
+                    if self.mark[v as usize] != epoch {
+                        self.mark[v as usize] = epoch;
+                        reached += 1;
+                        if found_at_hop.is_none() && holders.binary_search(&v).is_ok() {
+                            found_at_hop = Some(hop);
+                        }
+                        self.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        FloodOutcome {
+            found: found_at_hop.is_some(),
+            found_at_hop,
+            reached,
+            messages,
+        }
+    }
+
+    /// True if `node` was reached by the most recent flood.
+    #[inline]
+    pub fn was_reached(&self, node: u32) -> bool {
+        self.mark[node as usize] == self.epoch
+    }
+
+    /// Number of `holders` reached by the most recent flood — the "result
+    /// count" a hybrid system uses to decide whether a query is rare
+    /// (Loo et al. use `< 20` results).
+    pub fn hits_in_last_flood(&self, holders: &[u32]) -> u32 {
+        holders.iter().filter(|&&h| self.was_reached(h)).count() as u32
+    }
+
+    /// Coverage-only flood: how many peers a TTL-`ttl` flood reaches.
+    pub fn coverage(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        ttl: u32,
+        forwarders: Option<&[bool]>,
+    ) -> u32 {
+        self.flood(graph, source, ttl, &[], forwarders).reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3-4.
+    fn path() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn ttl_limits_reach() {
+        let g = path();
+        let mut e = FloodEngine::new(5);
+        assert_eq!(e.coverage(&g, 0, 0, None), 1);
+        assert_eq!(e.coverage(&g, 0, 1, None), 2);
+        assert_eq!(e.coverage(&g, 0, 2, None), 3);
+        assert_eq!(e.coverage(&g, 0, 4, None), 5);
+        assert_eq!(e.coverage(&g, 2, 1, None), 3);
+    }
+
+    #[test]
+    fn finds_object_within_ttl() {
+        let g = path();
+        let mut e = FloodEngine::new(5);
+        let out = e.flood(&g, 0, 3, &[3], None);
+        assert!(out.found);
+        assert_eq!(out.found_at_hop, Some(3));
+        let out = e.flood(&g, 0, 2, &[3], None);
+        assert!(!out.found);
+        assert_eq!(out.found_at_hop, None);
+    }
+
+    #[test]
+    fn source_holding_object_found_at_hop_zero() {
+        let g = path();
+        let mut e = FloodEngine::new(5);
+        let out = e.flood(&g, 2, 0, &[2], None);
+        assert!(out.found);
+        assert_eq!(out.found_at_hop, Some(0));
+        assert_eq!(out.reached, 1);
+    }
+
+    #[test]
+    fn leaves_do_not_forward() {
+        // Star: 0 center; 1,2,3 leaves; leaf 1 connects to 4 (another
+        // ultrapeer) — but node 1 is a leaf so the flood must stop there.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4)]);
+        let forwarders = vec![true, false, false, false, true];
+        let mut e = FloodEngine::new(5);
+        let out = e.flood(&g, 0, 3, &[4], Some(&forwarders));
+        assert!(!out.found, "leaf must not forward toward node 4");
+        assert_eq!(out.reached, 4);
+        // Same flood with full forwarding reaches node 4.
+        let out2 = e.flood(&g, 0, 3, &[4], None);
+        assert!(out2.found);
+    }
+
+    #[test]
+    fn source_leaf_still_sends() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let forwarders = vec![false, true, true];
+        let mut e = FloodEngine::new(3);
+        let out = e.flood(&g, 0, 2, &[2], Some(&forwarders));
+        assert!(out.found, "a leaf source must still issue its own query");
+    }
+
+    #[test]
+    fn message_count_on_path() {
+        let g = path();
+        let mut e = FloodEngine::new(5);
+        // TTL 2 from node 0: hop1 sends 1 msg (0->1), hop2 sends 2 (1->0,
+        // 1->2).
+        let out = e.flood(&g, 0, 2, &[], None);
+        assert_eq!(out.messages, 3);
+    }
+
+    #[test]
+    fn engine_reuse_is_clean() {
+        let g = path();
+        let mut e = FloodEngine::new(5);
+        for _ in 0..1000 {
+            let out = e.flood(&g, 0, 1, &[1], None);
+            assert!(out.found);
+            assert_eq!(out.reached, 2);
+        }
+    }
+
+    #[test]
+    fn cycle_graph_counts_each_node_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut e = FloodEngine::new(4);
+        let out = e.flood(&g, 0, 4, &[], None);
+        assert_eq!(out.reached, 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Compact undirected graphs in CSR (compressed sparse row) form.
+
+use qcp_util::FxHashSet;
+
+/// An undirected graph over nodes `0..n` stored as CSR adjacency.
+///
+/// Parallel edges and self-loops are removed at construction. Memory is
+/// `O(n + m)` with `u32` node ids — a 40,000-node Gnutella graph with half
+/// a million edges fits in a few megabytes.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds from an edge list. Edges are deduplicated (as unordered
+    /// pairs) and self-loops dropped.
+    pub fn from_edges(num_nodes: usize, edge_list: &[(u32, u32)]) -> Self {
+        assert!(num_nodes <= u32::MAX as usize);
+        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+        seen.reserve(edge_list.len());
+        let mut degree = vec![0u32; num_nodes];
+        let mut clean: Vec<(u32, u32)> = Vec::with_capacity(edge_list.len());
+        for &(a, b) in edge_list {
+            assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if seen.insert(key) {
+                clean.push(key);
+                degree[a as usize] += 1;
+                degree[b as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut edges = vec![0u32; *offsets.last().unwrap() as usize];
+        let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+        for &(a, b) in &clean {
+            edges[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            edges[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        Self { offsets, edges }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.edges.len() as f64 / self.num_nodes() as f64
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as u32)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Size of the largest connected component.
+    pub fn largest_component(&self) -> usize {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut best = 0usize;
+        let mut stack: Vec<u32> = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut size = 0usize;
+            seen[start] = true;
+            stack.push(start as u32);
+            while let Some(u) = stack.pop() {
+                size += 1;
+                for &v in self.neighbors(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best
+    }
+
+    /// True when every node is reachable from node 0 (and the graph is
+    /// nonempty).
+    pub fn is_connected(&self) -> bool {
+        self.num_nodes() > 0 && self.largest_component() == self.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_adjacency_both_directions() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn deduplicates_and_drops_self_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let connected = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(connected.is_connected());
+        assert_eq!(connected.largest_component(), 3);
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!split.is_connected());
+        assert_eq!(split.largest_component(), 2);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert!(!g.is_connected());
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+}

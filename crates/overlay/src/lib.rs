@@ -1,0 +1,40 @@
+//! `qcp-overlay` — unstructured overlay simulation substrate.
+//!
+//! Section V of the paper backs its position with "a simple simulation":
+//! a 40,000-node Gnutella network, objects placed either uniformly with a
+//! fixed replica count or with the measured Zipf replica distribution, and
+//! TTL-limited flooding. This crate is that simulator, built properly:
+//!
+//! * [`graph`] — compact CSR adjacency with degree/connectivity helpers;
+//! * [`topology`] — generators: two-tier ultrapeer/leaf Gnutella,
+//!   Erdős–Rényi, Barabási–Albert preferential attachment, and random
+//!   regular graphs;
+//! * [`placement`] — object→peer placement models: uniform-k replicas and
+//!   power-law (Zipf) replica counts;
+//! * [`flood`] — TTL-limited BFS flooding with message accounting and a
+//!   reusable engine (epoch-stamped visit marks, zero per-query allocation
+//!   in the hot path);
+//! * [`walk`] — k-walker random walks;
+//! * [`expanding`] — expanding-ring (iterative deepening) search;
+//! * [`sim`] — parallel trial sweeps producing success-rate curves
+//!   (Figure 8) with deterministic per-trial seeds.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod expanding;
+pub mod flood;
+pub mod graph;
+pub mod metrics;
+pub mod placement;
+pub mod sim;
+pub mod topology;
+pub mod walk;
+
+pub use churn::{fail_highest_degree, fail_random, ChurnedOverlay};
+pub use flood::{FloodEngine, FloodOutcome};
+pub use graph::Graph;
+pub use metrics::{graph_metrics, GraphMetrics};
+pub use placement::{Placement, PlacementModel};
+pub use sim::{flood_trials, sweep_ttl, SimConfig, SweepPoint, TargetModel};
+pub use topology::TopologyConfig;

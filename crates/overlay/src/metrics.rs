@@ -1,0 +1,193 @@
+//! Graph metrics: degree distributions, clustering, path lengths.
+//!
+//! The topology ablation (A4) and the Figure 8 calibration both need to
+//! characterize *why* one graph floods differently from another; these are
+//! the standard structural metrics.
+
+use crate::graph::Graph;
+use qcp_util::rng::Pcg64;
+use qcp_util::stats::Summary;
+use std::collections::VecDeque;
+
+/// Structural summary of a graph.
+#[derive(Debug, Clone)]
+pub struct GraphMetrics {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Degree summary (mean/min/max/std).
+    pub degree: Summary,
+    /// Global clustering coefficient estimate (transitivity over sampled
+    /// wedges).
+    pub clustering: f64,
+    /// Mean shortest-path length over sampled pairs (largest component).
+    pub mean_path_length: f64,
+    /// Estimated diameter (max sampled eccentricity; lower bound).
+    pub diameter_lower_bound: u32,
+}
+
+/// Computes metrics; `samples` bounds the wedge/path sampling effort.
+pub fn graph_metrics(graph: &Graph, samples: usize, seed: u64) -> GraphMetrics {
+    let n = graph.num_nodes();
+    let degrees: Vec<f64> = (0..n as u32).map(|u| graph.degree(u) as f64).collect();
+    let mut rng = Pcg64::with_stream(seed, 0x3e79);
+
+    let clustering = sampled_clustering(graph, samples, &mut rng);
+    let (mean_path_length, diameter_lower_bound) =
+        sampled_path_length(graph, samples.clamp(1, 64), &mut rng);
+    GraphMetrics {
+        nodes: n,
+        edges: graph.num_edges(),
+        degree: Summary::of(&degrees),
+        clustering,
+        mean_path_length,
+        diameter_lower_bound,
+    }
+}
+
+/// Transitivity estimate: fraction of sampled wedges (u-v-w paths) that
+/// close into triangles.
+fn sampled_clustering(graph: &Graph, samples: usize, rng: &mut Pcg64) -> f64 {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut wedges = 0u64;
+    let mut closed = 0u64;
+    let mut attempts = 0usize;
+    while wedges < samples as u64 && attempts < samples * 20 {
+        attempts += 1;
+        let v = rng.index(n) as u32;
+        let nb = graph.neighbors(v);
+        if nb.len() < 2 {
+            continue;
+        }
+        let i = rng.index(nb.len());
+        let mut j = rng.index(nb.len());
+        if i == j {
+            j = (j + 1) % nb.len();
+        }
+        let (a, b) = (nb[i], nb[j]);
+        wedges += 1;
+        // Closed iff a and b are adjacent (scan the smaller list).
+        let (small, target) = if graph.degree(a) <= graph.degree(b) {
+            (graph.neighbors(a), b)
+        } else {
+            (graph.neighbors(b), a)
+        };
+        if small.contains(&target) {
+            closed += 1;
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+/// BFS from sampled sources: (mean distance over reached pairs, max
+/// distance seen).
+fn sampled_path_length(graph: &Graph, sources: usize, rng: &mut Pcg64) -> (f64, u32) {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return (0.0, 0);
+    }
+    let mut dist_sum = 0u64;
+    let mut dist_count = 0u64;
+    let mut max_dist = 0u32;
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for _ in 0..sources {
+        let src = rng.index(n) as u32;
+        dist.fill(u32::MAX);
+        dist[src as usize] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in graph.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    dist_sum += (du + 1) as u64;
+                    dist_count += 1;
+                    max_dist = max_dist.max(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    if dist_count == 0 {
+        (0.0, 0)
+    } else {
+        (dist_sum as f64 / dist_count as f64, max_dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{barabasi_albert, erdos_renyi, random_regular};
+
+    #[test]
+    fn ring_metrics_are_exact() {
+        // 10-cycle: degree 2 everywhere, no triangles, mean path 2.78.
+        let edges: Vec<(u32, u32)> = (0..10).map(|i| (i, (i + 1) % 10)).collect();
+        let g = Graph::from_edges(10, &edges);
+        let m = graph_metrics(&g, 500, 1);
+        assert_eq!(m.nodes, 10);
+        assert_eq!(m.edges, 10);
+        assert!((m.degree.mean - 2.0).abs() < 1e-12);
+        assert_eq!(m.clustering, 0.0);
+        // Mean over distances 1..=5 weighted (1,1,1,1,0.5 pairs per node):
+        // (1+2+3+4+5+1+2+3+4)/9 = 25/9 ≈ 2.78.
+        assert!((m.mean_path_length - 25.0 / 9.0).abs() < 1e-9);
+        assert_eq!(m.diameter_lower_bound, 5);
+    }
+
+    #[test]
+    fn complete_graph_fully_clustered() {
+        let mut edges = Vec::new();
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                edges.push((a, b));
+            }
+        }
+        let g = Graph::from_edges(8, &edges);
+        let m = graph_metrics(&g, 500, 2);
+        assert!((m.clustering - 1.0).abs() < 1e-12);
+        assert!((m.mean_path_length - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn er_graph_has_low_clustering() {
+        let t = erdos_renyi(3_000, 8.0, 3);
+        let m = graph_metrics(&t.graph, 3_000, 4);
+        // Expected clustering ~ degree/n ≈ 0.003.
+        assert!(m.clustering < 0.02, "ER clustering {}", m.clustering);
+        assert!(m.mean_path_length > 2.0 && m.mean_path_length < 8.0);
+    }
+
+    #[test]
+    fn ba_paths_shorter_than_regular() {
+        let ba = barabasi_albert(3_000, 4, 5);
+        let rr = random_regular(3_000, 8, 5);
+        let mba = graph_metrics(&ba.graph, 1_000, 6);
+        let mrr = graph_metrics(&rr.graph, 1_000, 6);
+        assert!(
+            mba.mean_path_length < mrr.mean_path_length,
+            "hubs shorten paths: BA {} vs RR {}",
+            mba.mean_path_length,
+            mrr.mean_path_length
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = Graph::from_edges(0, &[]);
+        let m = graph_metrics(&g, 100, 7);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.mean_path_length, 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Object→peer placement models.
+//!
+//! Figure 8 compares two placements on the same 40,000-node network:
+//! uniform (every object on exactly `k` random peers, for
+//! `k ∈ {1, 4, 9, 19, 39}`) and Zipf (replica counts drawn from the
+//! measured power law, mean ≈ the crawl's). [`Placement`] stores, per
+//! object, the sorted list of holder peers; membership checks during
+//! flooding are binary searches over those (typically tiny) lists.
+
+use qcp_util::rng::Pcg64;
+use qcp_zipf::DiscretePowerLaw;
+
+/// How objects are placed on peers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementModel {
+    /// Every object on exactly `k` distinct uniformly-random peers.
+    UniformK(u32),
+    /// Replica counts drawn from `P(r) ∝ r^{-tau}` on `[1, num_peers]`,
+    /// placed on uniformly-random distinct peers.
+    ZipfReplicas {
+        /// Power-law exponent.
+        tau: f64,
+    },
+}
+
+/// A realized placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Sorted holder peers per object.
+    holders: Vec<Vec<u32>>,
+    num_peers: u32,
+}
+
+impl Placement {
+    /// Realizes `model` for `num_objects` objects over `num_peers` peers.
+    pub fn generate(
+        model: PlacementModel,
+        num_peers: u32,
+        num_objects: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(num_peers >= 1 && num_objects >= 1);
+        let mut rng = Pcg64::with_stream(seed, 0x91ace);
+        let law = match model {
+            PlacementModel::ZipfReplicas { tau } => {
+                Some(DiscretePowerLaw::new(1, num_peers as u64, tau))
+            }
+            PlacementModel::UniformK(k) => {
+                assert!(k >= 1 && k <= num_peers, "invalid uniform replica count");
+                None
+            }
+        };
+        let holders: Vec<Vec<u32>> = (0..num_objects)
+            .map(|_| {
+                let r = match model {
+                    PlacementModel::UniformK(k) => k,
+                    PlacementModel::ZipfReplicas { .. } => {
+                        law.as_ref().unwrap().sample(&mut rng) as u32
+                    }
+                };
+                let mut peers: Vec<u32> = rng
+                    .sample_distinct(num_peers as usize, r as usize)
+                    .into_iter()
+                    .map(|p| p as u32)
+                    .collect();
+                peers.sort_unstable();
+                peers
+            })
+            .collect();
+        Self { holders, num_peers }
+    }
+
+    /// Builds a placement from explicit holder lists (e.g. the ground
+    /// truth of a generated crawl). Lists are sorted and deduplicated.
+    pub fn from_holder_lists(num_peers: u32, mut holders: Vec<Vec<u32>>) -> Self {
+        for h in &mut holders {
+            h.sort_unstable();
+            h.dedup();
+            if let Some(&max) = h.last() {
+                assert!(max < num_peers, "holder peer out of range");
+            }
+        }
+        Self { holders, num_peers }
+    }
+
+    /// Number of objects.
+    pub fn num_objects(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Peer population size.
+    pub fn num_peers(&self) -> u32 {
+        self.num_peers
+    }
+
+    /// Sorted holders of `object`.
+    #[inline]
+    pub fn holders(&self, object: u32) -> &[u32] {
+        &self.holders[object as usize]
+    }
+
+    /// True if `peer` holds `object`.
+    #[inline]
+    pub fn peer_holds(&self, peer: u32, object: u32) -> bool {
+        self.holders[object as usize].binary_search(&peer).is_ok()
+    }
+
+    /// Replica count of `object`.
+    #[inline]
+    pub fn replicas(&self, object: u32) -> u32 {
+        self.holders[object as usize].len() as u32
+    }
+
+    /// Mean replicas per object.
+    pub fn mean_replicas(&self) -> f64 {
+        if self.holders.is_empty() {
+            return 0.0;
+        }
+        self.holders.iter().map(|h| h.len()).sum::<usize>() as f64 / self.holders.len() as f64
+    }
+
+    /// Replication ratio of `object` (replicas / peers).
+    pub fn replication_ratio(&self, object: u32) -> f64 {
+        self.replicas(object) as f64 / self.num_peers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_k_places_exactly_k_distinct() {
+        let p = Placement::generate(PlacementModel::UniformK(5), 100, 50, 1);
+        for o in 0..50 {
+            let h = p.holders(o);
+            assert_eq!(h.len(), 5);
+            assert!(h.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert!(h.iter().all(|&x| x < 100));
+            assert_eq!(p.replicas(o), 5);
+        }
+        assert!((p.mean_replicas() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_placement_is_long_tailed() {
+        let p = Placement::generate(
+            PlacementModel::ZipfReplicas { tau: 2.4 },
+            10_000,
+            20_000,
+            2,
+        );
+        let singles = (0..20_000).filter(|&o| p.replicas(o) == 1).count();
+        let frac = singles as f64 / 20_000.0;
+        assert!((0.6..0.85).contains(&frac), "singleton fraction {frac}");
+        assert!(p.mean_replicas() < 10.0);
+    }
+
+    #[test]
+    fn peer_holds_matches_holder_lists() {
+        let p = Placement::generate(PlacementModel::UniformK(3), 50, 20, 3);
+        for o in 0..20 {
+            for peer in 0..50 {
+                let expected = p.holders(o).contains(&peer);
+                assert_eq!(p.peer_holds(peer, o), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn from_holder_lists_normalizes() {
+        let p = Placement::from_holder_lists(10, vec![vec![5, 2, 5, 9]]);
+        assert_eq!(p.holders(0), &[2, 5, 9]);
+        assert!(p.peer_holds(5, 0));
+        assert!(!p.peer_holds(3, 0));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Placement::generate(PlacementModel::UniformK(4), 100, 30, 7);
+        let b = Placement::generate(PlacementModel::UniformK(4), 100, 30, 7);
+        for o in 0..30 {
+            assert_eq!(a.holders(o), b.holders(o));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform replica count")]
+    fn uniform_k_rejects_k_above_population() {
+        let _ = Placement::generate(PlacementModel::UniformK(11), 10, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_holder_lists_validates_range() {
+        let _ = Placement::from_holder_lists(4, vec![vec![4]]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Parallel trial sweeps (the Figure 8 driver).
+//!
+//! For each TTL value, run many independent query trials: pick a source
+//! peer and a target object, flood, record success/reach/messages. Trials
+//! are deterministic functions of `(seed, trial_index)` and run across the
+//! `qcp-xpar` pool in chunks, each chunk owning one reusable
+//! [`FloodEngine`].
+
+use crate::flood::FloodEngine;
+use crate::graph::Graph;
+use crate::placement::Placement;
+use qcp_util::rng::{child_seed, Pcg64};
+use qcp_xpar::Pool;
+
+/// How the queried object is chosen per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetModel {
+    /// Uniformly over all objects (the paper's setup: success then depends
+    /// purely on the replica distribution).
+    UniformObject,
+    /// Proportional to each object's replica count (an optimistic model
+    /// where queries favor well-replicated content; used in ablations).
+    ProportionalToReplicas,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Query trials per TTL point.
+    pub trials: usize,
+    /// Target selection model.
+    pub target: TargetModel,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            trials: 10_000,
+            target: TargetModel::UniformObject,
+            seed: 0xf18,
+        }
+    }
+}
+
+/// One point of the success-rate curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// TTL used.
+    pub ttl: u32,
+    /// Fraction of trials that found the target.
+    pub success_rate: f64,
+    /// Mean peers reached per flood.
+    pub mean_reached: f64,
+    /// Mean fraction of the network reached.
+    pub mean_reach_fraction: f64,
+    /// Mean messages per query.
+    pub mean_messages: f64,
+}
+
+/// Cumulative-weight target sampler.
+struct TargetSampler<'a> {
+    placement: &'a Placement,
+    model: TargetModel,
+    /// Cumulative replica counts for proportional sampling.
+    cumulative: Vec<u64>,
+}
+
+impl<'a> TargetSampler<'a> {
+    fn new(placement: &'a Placement, model: TargetModel) -> Self {
+        let cumulative = match model {
+            TargetModel::UniformObject => Vec::new(),
+            TargetModel::ProportionalToReplicas => {
+                let mut acc = 0u64;
+                (0..placement.num_objects() as u32)
+                    .map(|o| {
+                        acc += placement.replicas(o) as u64;
+                        acc
+                    })
+                    .collect()
+            }
+        };
+        Self {
+            placement,
+            model,
+            cumulative,
+        }
+    }
+
+    fn sample(&self, rng: &mut Pcg64) -> u32 {
+        match self.model {
+            TargetModel::UniformObject => rng.index(self.placement.num_objects()) as u32,
+            TargetModel::ProportionalToReplicas => {
+                let total = *self.cumulative.last().expect("no objects");
+                let x = rng.below(total);
+                self.cumulative.partition_point(|&c| c <= x) as u32
+            }
+        }
+    }
+}
+
+/// Runs `config.trials` flooded queries at a single TTL.
+pub fn flood_trials(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttl: u32,
+    config: &SimConfig,
+) -> SweepPoint {
+    let n = graph.num_nodes();
+    assert!(n > 0 && placement.num_objects() > 0);
+    let sampler = TargetSampler::new(placement, config.target);
+    let chunks = (pool.threads() * 4).max(1);
+    let per_chunk = config.trials.div_ceil(chunks);
+
+    #[derive(Default, Clone, Copy)]
+    struct Acc {
+        successes: u64,
+        reached: u64,
+        messages: u64,
+        trials: u64,
+    }
+
+    let partials: Vec<Acc> = pool.par_map_indexed(chunks, |c| {
+        let mut engine = FloodEngine::new(n);
+        let mut acc = Acc::default();
+        let lo = c * per_chunk;
+        let hi = (lo + per_chunk).min(config.trials);
+        for trial in lo..hi {
+            let mut rng = Pcg64::new(child_seed(config.seed, (ttl as u64) << 32 | trial as u64));
+            let source = rng.index(n) as u32;
+            let object = sampler.sample(&mut rng);
+            let out = engine.flood(graph, source, ttl, placement.holders(object), forwarders);
+            acc.trials += 1;
+            acc.successes += out.found as u64;
+            acc.reached += out.reached as u64;
+            acc.messages += out.messages;
+        }
+        acc
+    });
+
+    let mut total = Acc::default();
+    for p in partials {
+        total.successes += p.successes;
+        total.reached += p.reached;
+        total.messages += p.messages;
+        total.trials += p.trials;
+    }
+    let t = total.trials.max(1) as f64;
+    SweepPoint {
+        ttl,
+        success_rate: total.successes as f64 / t,
+        mean_reached: total.reached as f64 / t,
+        mean_reach_fraction: total.reached as f64 / t / n as f64,
+        mean_messages: total.messages as f64 / t,
+    }
+}
+
+/// Sweeps TTLs, producing one curve (e.g. one Figure 8 line).
+pub fn sweep_ttl(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttls: &[u32],
+    config: &SimConfig,
+) -> Vec<SweepPoint> {
+    ttls.iter()
+        .map(|&ttl| flood_trials(pool, graph, placement, forwarders, ttl, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementModel;
+    use crate::topology::erdos_renyi;
+
+    fn pool() -> Pool {
+        Pool::new(4)
+    }
+
+    #[test]
+    fn full_replication_always_succeeds() {
+        let t = erdos_renyi(200, 6.0, 1);
+        let p = Placement::generate(PlacementModel::UniformK(200), 200, 50, 2);
+        let point = flood_trials(
+            &pool(),
+            &t.graph,
+            &p,
+            None,
+            1,
+            &SimConfig {
+                trials: 500,
+                ..Default::default()
+            },
+        );
+        assert_eq!(point.success_rate, 1.0);
+    }
+
+    #[test]
+    fn zero_ttl_success_equals_replication_ratio() {
+        // With TTL 0 only the source is checked: success ≈ k / n.
+        let t = erdos_renyi(100, 6.0, 3);
+        let p = Placement::generate(PlacementModel::UniformK(10), 100, 200, 4);
+        let point = flood_trials(
+            &pool(),
+            &t.graph,
+            &p,
+            None,
+            0,
+            &SimConfig {
+                trials: 4_000,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (point.success_rate - 0.10).abs() < 0.03,
+            "success {} vs expected 0.10",
+            point.success_rate
+        );
+    }
+
+    #[test]
+    fn success_monotone_in_ttl() {
+        let t = erdos_renyi(1_000, 5.0, 5);
+        let p = Placement::generate(PlacementModel::UniformK(5), 1_000, 100, 6);
+        let curve = sweep_ttl(
+            &pool(),
+            &t.graph,
+            &p,
+            None,
+            &[1, 2, 3, 4, 5],
+            &SimConfig {
+                trials: 1_000,
+                ..Default::default()
+            },
+        );
+        for w in curve.windows(2) {
+            assert!(
+                w[1].success_rate >= w[0].success_rate - 0.02,
+                "success should not decrease with TTL: {curve:?}"
+            );
+            assert!(w[1].mean_reached >= w[0].mean_reached);
+        }
+    }
+
+    #[test]
+    fn more_replicas_help() {
+        let t = erdos_renyi(1_000, 5.0, 7);
+        let cfg = SimConfig {
+            trials: 2_000,
+            ..Default::default()
+        };
+        let p1 = Placement::generate(PlacementModel::UniformK(1), 1_000, 100, 8);
+        let p40 = Placement::generate(PlacementModel::UniformK(40), 1_000, 100, 8);
+        let s1 = flood_trials(&pool(), &t.graph, &p1, None, 2, &cfg).success_rate;
+        let s40 = flood_trials(&pool(), &t.graph, &p40, None, 2, &cfg).success_rate;
+        assert!(s40 > s1 * 3.0, "40 replicas {s40} vs 1 replica {s1}");
+    }
+
+    #[test]
+    fn zipf_placement_tracks_low_uniform_replication() {
+        // The paper's core simulation finding: Zipf placement behaves like
+        // a *very low* uniform replication even though its mean is higher.
+        let t = erdos_renyi(2_000, 6.0, 9);
+        let cfg = SimConfig {
+            trials: 3_000,
+            ..Default::default()
+        };
+        let zipf = Placement::generate(
+            PlacementModel::ZipfReplicas { tau: 2.4 },
+            2_000,
+            5_000,
+            10,
+        );
+        let uniform_mean = Placement::generate(
+            PlacementModel::UniformK(zipf.mean_replicas().round().max(1.0) as u32),
+            2_000,
+            5_000,
+            11,
+        );
+        let s_zipf = flood_trials(&pool(), &t.graph, &zipf, None, 3, &cfg).success_rate;
+        let s_uniform = flood_trials(&pool(), &t.graph, &uniform_mean, None, 3, &cfg).success_rate;
+        assert!(
+            s_zipf < s_uniform,
+            "zipf ({s_zipf}) must underperform uniform at equal mean ({s_uniform})"
+        );
+    }
+
+    #[test]
+    fn deterministic_sweep() {
+        let t = erdos_renyi(300, 5.0, 12);
+        let p = Placement::generate(PlacementModel::UniformK(3), 300, 50, 13);
+        let cfg = SimConfig {
+            trials: 500,
+            ..Default::default()
+        };
+        let a = flood_trials(&pool(), &t.graph, &p, None, 2, &cfg);
+        let b = flood_trials(&pool(), &t.graph, &p, None, 2, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn proportional_target_beats_uniform_target() {
+        let t = erdos_renyi(1_000, 6.0, 14);
+        let p = Placement::generate(
+            PlacementModel::ZipfReplicas { tau: 2.2 },
+            1_000,
+            3_000,
+            15,
+        );
+        let base = SimConfig {
+            trials: 2_000,
+            ..Default::default()
+        };
+        let uni = flood_trials(&pool(), &t.graph, &p, None, 2, &base).success_rate;
+        let prop = flood_trials(
+            &pool(),
+            &t.graph,
+            &p,
+            None,
+            2,
+            &SimConfig {
+                target: TargetModel::ProportionalToReplicas,
+                ..base
+            },
+        )
+        .success_rate;
+        assert!(
+            prop > uni,
+            "querying popular objects ({prop}) must beat uniform ({uni})"
+        );
+    }
+}

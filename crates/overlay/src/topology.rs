@@ -1,0 +1,274 @@
+//! Overlay topology generators.
+//!
+//! The Figure 8 experiment needs a Gnutella-like 40,000-node network; the
+//! topology ablation (A4) compares against Erdős–Rényi and
+//! Barabási–Albert. The two-tier generator mirrors the modern (post-2003)
+//! Gnutella structure the paper's crawler saw: a minority of ultrapeers
+//! forming a dense random mesh, with leaves attached to a few ultrapeers
+//! each; only ultrapeers route queries.
+
+use crate::graph::Graph;
+use qcp_util::rng::Pcg64;
+use qcp_util::FxHashSet;
+
+/// Node role in a two-tier topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Routes and forwards queries.
+    Ultrapeer,
+    /// Receives queries from its ultrapeers but does not forward.
+    Leaf,
+}
+
+/// A generated topology: the graph plus per-node roles.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The overlay graph.
+    pub graph: Graph,
+    /// Role per node (all `Ultrapeer` for flat topologies).
+    pub kinds: Vec<NodeKind>,
+}
+
+impl Topology {
+    /// Boolean forwarding mask (true = node forwards queries).
+    pub fn forwarders(&self) -> Vec<bool> {
+        self.kinds
+            .iter()
+            .map(|k| *k == NodeKind::Ultrapeer)
+            .collect()
+    }
+
+    /// Number of ultrapeers.
+    pub fn num_ultrapeers(&self) -> usize {
+        self.kinds
+            .iter()
+            .filter(|k| **k == NodeKind::Ultrapeer)
+            .count()
+    }
+}
+
+/// Configuration for [`gnutella_two_tier`].
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Total nodes.
+    pub num_nodes: usize,
+    /// Fraction of nodes that are ultrapeers (modern Gnutella: ~15%).
+    pub ultrapeer_fraction: f64,
+    /// Mean degree of the ultrapeer mesh (Gnutella ultrapeers keep ~30
+    /// connections, most to leaves; ~10 to other ultrapeers).
+    pub ultra_mesh_degree: usize,
+    /// Ultrapeers each leaf attaches to (Gnutella default: 3).
+    pub leaf_degree: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 40_000,
+            ultrapeer_fraction: 0.15,
+            ultra_mesh_degree: 10,
+            leaf_degree: 3,
+            seed: 0x70b0,
+        }
+    }
+}
+
+/// Generates a two-tier Gnutella-like topology.
+pub fn gnutella_two_tier(config: &TopologyConfig) -> Topology {
+    assert!(config.num_nodes >= 4);
+    assert!((0.0..=1.0).contains(&config.ultrapeer_fraction));
+    let n = config.num_nodes;
+    let n_ultra = ((n as f64 * config.ultrapeer_fraction) as usize).max(2);
+    let mut rng = Pcg64::with_stream(config.seed, 0x707e);
+
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Ultrapeer mesh: ring (guarantees connectivity) + random chords up to
+    // the target mean degree.
+    for u in 0..n_ultra {
+        edges.push((u as u32, ((u + 1) % n_ultra) as u32));
+    }
+    let chords = n_ultra * config.ultra_mesh_degree.saturating_sub(2) / 2;
+    for _ in 0..chords {
+        let a = rng.index(n_ultra) as u32;
+        let b = rng.index(n_ultra) as u32;
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    // Leaves attach to `leaf_degree` distinct ultrapeers.
+    for leaf in n_ultra..n {
+        let k = config.leaf_degree.min(n_ultra);
+        for u in rng.sample_distinct(n_ultra, k) {
+            edges.push((leaf as u32, u as u32));
+        }
+    }
+    let graph = Graph::from_edges(n, &edges);
+    let kinds = (0..n)
+        .map(|i| {
+            if i < n_ultra {
+                NodeKind::Ultrapeer
+            } else {
+                NodeKind::Leaf
+            }
+        })
+        .collect();
+    Topology { graph, kinds }
+}
+
+/// Erdős–Rényi G(n, m) with `m = n * mean_degree / 2` random edges, plus a
+/// connecting ring.
+pub fn erdos_renyi(n: usize, mean_degree: f64, seed: u64) -> Topology {
+    assert!(n >= 3);
+    let mut rng = Pcg64::with_stream(seed, 0xe2d0);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for u in 0..n {
+        edges.push((u as u32, ((u + 1) % n) as u32));
+    }
+    let m = ((n as f64 * mean_degree / 2.0) as usize).saturating_sub(n);
+    for _ in 0..m {
+        let a = rng.index(n) as u32;
+        let b = rng.index(n) as u32;
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    flat(Graph::from_edges(n, &edges))
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches `m`
+/// edges to existing nodes with probability proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Topology {
+    assert!(n > m && m >= 1);
+    let mut rng = Pcg64::with_stream(seed, 0xba0a);
+    // Repeated-endpoints list: sampling uniformly from it implements
+    // preferential attachment.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Seed clique over m+1 nodes.
+    for a in 0..=m {
+        for b in (a + 1)..=m {
+            edges.push((a as u32, b as u32));
+            endpoints.push(a as u32);
+            endpoints.push(b as u32);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets: FxHashSet<u32> = FxHashSet::default();
+        while targets.len() < m {
+            let t = endpoints[rng.index(endpoints.len())];
+            targets.insert(t);
+        }
+        for t in targets {
+            edges.push((v as u32, t));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    flat(Graph::from_edges(n, &edges))
+}
+
+/// Random `k`-regular-ish graph via the configuration model with rejection
+/// of self-loops/duplicates (residual stubs are dropped, so degrees are
+/// `k ± 1` for a few nodes).
+pub fn random_regular(n: usize, k: usize, seed: u64) -> Topology {
+    assert!(n > k && k >= 2);
+    let mut rng = Pcg64::with_stream(seed, 0x4e94);
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|u| std::iter::repeat_n(u, k)).collect();
+    rng.shuffle(&mut stubs);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            edges.push((pair[0], pair[1]));
+        }
+    }
+    // Ring to guarantee connectivity.
+    for u in 0..n {
+        edges.push((u as u32, ((u + 1) % n) as u32));
+    }
+    flat(Graph::from_edges(n, &edges))
+}
+
+fn flat(graph: Graph) -> Topology {
+    let kinds = vec![NodeKind::Ultrapeer; graph.num_nodes()];
+    Topology { graph, kinds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_tier_structure() {
+        let t = gnutella_two_tier(&TopologyConfig {
+            num_nodes: 2_000,
+            ..Default::default()
+        });
+        assert_eq!(t.graph.num_nodes(), 2_000);
+        let n_ultra = t.num_ultrapeers();
+        assert_eq!(n_ultra, 300);
+        assert!(t.graph.is_connected(), "two-tier graph must be connected");
+        // Leaves have degree ~leaf_degree; ultrapeers much higher.
+        let leaf_deg = t.graph.degree(1_999);
+        assert!(leaf_deg <= 3, "leaf degree {leaf_deg}");
+    }
+
+    #[test]
+    fn two_tier_leaves_touch_only_ultrapeers() {
+        let t = gnutella_two_tier(&TopologyConfig {
+            num_nodes: 500,
+            ..Default::default()
+        });
+        let n_ultra = t.num_ultrapeers() as u32;
+        for leaf in n_ultra..500 {
+            for &nb in t.graph.neighbors(leaf) {
+                assert!(nb < n_ultra, "leaf {leaf} connected to leaf {nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_mean_degree_near_target() {
+        let t = erdos_renyi(5_000, 8.0, 1);
+        assert!(t.graph.is_connected());
+        let d = t.graph.mean_degree();
+        assert!((6.0..9.0).contains(&d), "mean degree {d}");
+    }
+
+    #[test]
+    fn barabasi_albert_has_hubs() {
+        let t = barabasi_albert(5_000, 3, 2);
+        assert!(t.graph.is_connected());
+        let max = t.graph.max_degree() as f64;
+        let mean = t.graph.mean_degree();
+        assert!(max > 8.0 * mean, "BA should grow hubs: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn random_regular_degrees_concentrated() {
+        let t = random_regular(2_000, 6, 3);
+        assert!(t.graph.is_connected());
+        let d = t.graph.mean_degree();
+        // k=6 stubs + ring(2) - rejected dupes.
+        assert!((6.0..8.5).contains(&d), "mean degree {d}");
+    }
+
+    #[test]
+    fn topologies_are_deterministic() {
+        let a = gnutella_two_tier(&TopologyConfig::default());
+        let b = gnutella_two_tier(&TopologyConfig::default());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.graph.neighbors(17), b.graph.neighbors(17));
+    }
+
+    #[test]
+    fn forwarders_mask_matches_kinds() {
+        let t = gnutella_two_tier(&TopologyConfig {
+            num_nodes: 100,
+            ..Default::default()
+        });
+        let mask = t.forwarders();
+        assert_eq!(mask.iter().filter(|&&f| f).count(), t.num_ultrapeers());
+    }
+}

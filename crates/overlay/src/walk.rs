@@ -1,0 +1,176 @@
+//! k-walker random walks (Lv et al. / the paper's ref [4] style).
+//!
+//! Random walks are the classic low-overhead alternative to flooding:
+//! `k` walkers each take up to `ttl` steps, preferring not to backtrack.
+//! Message cost is the number of steps taken, not exponential in TTL.
+
+use crate::graph::Graph;
+use qcp_util::rng::Pcg64;
+
+/// Result of one k-walker search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkOutcome {
+    /// Whether any walker hit a holder.
+    pub found: bool,
+    /// Steps taken by the first successful walker.
+    pub found_at_step: Option<u32>,
+    /// Total messages (steps across all walkers).
+    pub messages: u64,
+    /// Distinct peers visited across all walkers.
+    pub visited: u32,
+}
+
+/// Runs `k` random walkers of `ttl` steps each from `source`.
+///
+/// Walkers avoid immediately stepping back to the node they came from
+/// (unless it is the only neighbor). All walkers run to completion or
+/// until their own success; the search succeeds if any walker found a
+/// holder. `holders` must be sorted.
+pub fn random_walk_search(
+    graph: &Graph,
+    source: u32,
+    k: usize,
+    ttl: u32,
+    holders: &[u32],
+    rng: &mut Pcg64,
+) -> WalkOutcome {
+    debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+    let mut messages = 0u64;
+    let mut found_at_step: Option<u32> = None;
+    let mut visited: Vec<u32> = vec![source];
+
+    if holders.binary_search(&source).is_ok() {
+        return WalkOutcome {
+            found: true,
+            found_at_step: Some(0),
+            messages: 0,
+            visited: 1,
+        };
+    }
+
+    for _walker in 0..k {
+        let mut current = source;
+        let mut previous = u32::MAX;
+        for step in 1..=ttl {
+            let neighbors = graph.neighbors(current);
+            if neighbors.is_empty() {
+                break;
+            }
+            // Prefer a neighbor other than where we came from.
+            let next = if neighbors.len() == 1 {
+                neighbors[0]
+            } else {
+                let mut pick = neighbors[rng.index(neighbors.len())];
+                let mut tries = 0;
+                while pick == previous && tries < 4 {
+                    pick = neighbors[rng.index(neighbors.len())];
+                    tries += 1;
+                }
+                pick
+            };
+            messages += 1;
+            previous = current;
+            current = next;
+            visited.push(current);
+            if holders.binary_search(&current).is_ok() {
+                found_at_step = match found_at_step {
+                    Some(existing) => Some(existing.min(step)),
+                    None => Some(step),
+                };
+                break;
+            }
+        }
+    }
+    visited.sort_unstable();
+    visited.dedup();
+    WalkOutcome {
+        found: found_at_step.is_some(),
+        found_at_step,
+        messages,
+        visited: visited.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn source_holder_is_instant() {
+        let g = path(5);
+        let mut rng = Pcg64::new(1);
+        let out = random_walk_search(&g, 2, 4, 10, &[2], &mut rng);
+        assert!(out.found);
+        assert_eq!(out.found_at_step, Some(0));
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn walker_on_path_marches_forward() {
+        // On a path with no backtracking, a single walker from 0 must
+        // reach node 4 in exactly 4 steps.
+        let g = path(5);
+        let mut rng = Pcg64::new(2);
+        let out = random_walk_search(&g, 0, 1, 10, &[4], &mut rng);
+        assert!(out.found);
+        assert_eq!(out.found_at_step, Some(4));
+    }
+
+    #[test]
+    fn ttl_bounds_messages() {
+        let g = path(100);
+        let mut rng = Pcg64::new(3);
+        let out = random_walk_search(&g, 0, 3, 7, &[99], &mut rng);
+        assert!(!out.found);
+        assert!(out.messages <= 3 * 7);
+    }
+
+    #[test]
+    fn more_walkers_find_more_often() {
+        let g = crate::topology::erdos_renyi(500, 6.0, 4).graph;
+        let holders = vec![250u32];
+        let trials = 200;
+        let mut hits1 = 0;
+        let mut hits16 = 0;
+        let mut rng = Pcg64::new(5);
+        for t in 0..trials {
+            let src = (t % 500) as u32;
+            if src == 250 {
+                continue;
+            }
+            if random_walk_search(&g, src, 1, 30, &holders, &mut rng).found {
+                hits1 += 1;
+            }
+            if random_walk_search(&g, src, 16, 30, &holders, &mut rng).found {
+                hits16 += 1;
+            }
+        }
+        assert!(
+            hits16 > hits1 * 2,
+            "16 walkers ({hits16}) should beat 1 walker ({hits1})"
+        );
+    }
+
+    #[test]
+    fn isolated_node_walk_terminates() {
+        let g = Graph::from_edges(2, &[]);
+        let mut rng = Pcg64::new(6);
+        let out = random_walk_search(&g, 0, 4, 10, &[1], &mut rng);
+        assert!(!out.found);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn visited_counts_distinct_nodes() {
+        let g = path(5);
+        let mut rng = Pcg64::new(7);
+        let out = random_walk_search(&g, 0, 8, 10, &[], &mut rng);
+        assert!(out.visited <= 5);
+        assert!(out.visited >= 2);
+    }
+}

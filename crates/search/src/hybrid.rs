@@ -1,0 +1,283 @@
+//! Hybrid flood + DHT search (Loo et al., IPTPS'04 — the paper's ref [5]).
+//!
+//! The hybrid strategy: flood with a small TTL first (cheap for popular
+//! content); if the flood returns fewer than `rare_threshold` results the
+//! query is deemed *rare* and re-issued over the structured overlay, whose
+//! global inverted index always finds published content in `O(log n)` hops
+//! per term.
+//!
+//! The paper's §V claim, which `repro table3` reproduces: under the real
+//! (Zipf) replica distribution almost every query is "rare", so the hybrid
+//! pays the flood *and* the DHT cost and ends up strictly worse than a
+//! pure DHT. The [`DhtOnlySearch`] baseline makes that comparison direct.
+
+use crate::systems::{SearchOutcome, SearchSystem};
+use crate::world::{QuerySpec, SearchWorld};
+use qcp_dht::{ChordNetwork, DhtIndex};
+use qcp_overlay::flood::FloodEngine;
+use qcp_util::hash::mix64;
+use qcp_util::rng::Pcg64;
+
+/// Ring key for a world term id.
+#[inline]
+fn term_key(term: u32) -> u64 {
+    mix64(term as u64 ^ 0xd47_0000_7e21)
+}
+
+/// Builds the global DHT index for a world: every object published under
+/// every one of its terms, from one of its holders.
+fn build_index(world: &SearchWorld, net: &ChordNetwork) -> DhtIndex {
+    let mut index = DhtIndex::new(net);
+    for obj in 0..world.num_objects() as u32 {
+        let holders = world.placement.holders(obj);
+        if holders.is_empty() {
+            continue;
+        }
+        let publisher = holders[0];
+        for &t in &world.object_terms[obj as usize] {
+            index.publish_key(net, publisher, term_key(t), obj);
+        }
+    }
+    index
+}
+
+/// Flood-then-DHT hybrid search.
+#[derive(Debug)]
+pub struct HybridSearch {
+    /// Unstructured phase TTL.
+    pub flood_ttl: u32,
+    /// Result-count threshold below which the query is "rare".
+    pub rare_threshold: u32,
+    net: ChordNetwork,
+    index: DhtIndex,
+    engine: FloodEngine,
+    forwarders: Vec<bool>,
+    /// Queries that fell back to the DHT (for reports).
+    pub fallbacks: u64,
+    /// Total queries served.
+    pub queries: u64,
+}
+
+impl HybridSearch {
+    /// Creates the hybrid system: Chord ring over the same peer population
+    /// plus a fully published inverted index.
+    pub fn new(world: &SearchWorld, flood_ttl: u32, rare_threshold: u32, seed: u64) -> Self {
+        let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
+        let index = build_index(world, &net);
+        Self {
+            flood_ttl,
+            rare_threshold,
+            net,
+            index,
+            engine: FloodEngine::new(world.num_peers()),
+            forwarders: world.topology.forwarders(),
+            fallbacks: 0,
+            queries: 0,
+        }
+    }
+
+    /// Fraction of queries that needed the structured fallback.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.fallbacks as f64 / self.queries as f64
+    }
+}
+
+impl SearchSystem for HybridSearch {
+    fn name(&self) -> String {
+        format!(
+            "hybrid(ttl={},rare<{})",
+            self.flood_ttl, self.rare_threshold
+        )
+    }
+
+    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+        self.queries += 1;
+        let matching = world.matching_objects(&query.terms);
+        let holders = world.holders_of(&matching);
+        let flood = self.engine.flood(
+            &world.topology.graph,
+            query.source,
+            self.flood_ttl,
+            &holders,
+            Some(&self.forwarders),
+        );
+        let hits = self.engine.hits_in_last_flood(&holders);
+        if hits >= self.rare_threshold {
+            return SearchOutcome {
+                success: true,
+                messages: flood.messages,
+                hops: flood.found_at_hop,
+            };
+        }
+        // Rare query: re-issue over the DHT.
+        self.fallbacks += 1;
+        let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
+        let dht = self.index.query_keys(&self.net, query.source, &keys);
+        SearchOutcome {
+            success: flood.found || !dht.results.is_empty(),
+            messages: flood.messages + dht.messages,
+            hops: flood.found_at_hop.or(Some(dht.hops)),
+        }
+    }
+
+    fn maintenance_messages(&self) -> u64 {
+        self.index.publish_hops()
+    }
+}
+
+/// Pure structured search: every query goes straight to the DHT index.
+#[derive(Debug)]
+pub struct DhtOnlySearch {
+    net: ChordNetwork,
+    index: DhtIndex,
+}
+
+impl DhtOnlySearch {
+    /// Builds the ring + index.
+    pub fn new(world: &SearchWorld, seed: u64) -> Self {
+        let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
+        let index = build_index(world, &net);
+        Self { net, index }
+    }
+}
+
+impl SearchSystem for DhtOnlySearch {
+    fn name(&self) -> String {
+        "dht-only".to_string()
+    }
+
+    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+        let _ = world;
+        let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
+        let out = self.index.query_keys(&self.net, query.source, &keys);
+        SearchOutcome {
+            success: !out.results.is_empty(),
+            messages: out.messages,
+            hops: Some(out.hops),
+        }
+    }
+
+    fn maintenance_messages(&self) -> u64 {
+        self.index.publish_hops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 500,
+            num_objects: 4_000,
+            num_terms: 5_000,
+            head_size: 100,
+            seed: 55,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn dht_only_always_finds_published_content() {
+        let w = world();
+        let mut dht = DhtOnlySearch::new(&w, 1);
+        let mut rng = Pcg64::new(2);
+        for obj in [3u32, 77, 512] {
+            let q = QuerySpec {
+                terms: w.object_terms[obj as usize].clone(),
+                source: 9,
+            };
+            let out = dht.search(&w, &q, &mut rng);
+            assert!(out.success, "object {obj} must be findable via DHT");
+        }
+    }
+
+    #[test]
+    fn dht_only_fails_cleanly_for_absent_terms() {
+        let w = world();
+        let mut dht = DhtOnlySearch::new(&w, 1);
+        let mut rng = Pcg64::new(3);
+        let out = dht.search(
+            &w,
+            &QuerySpec {
+                terms: vec![4_999_999],
+                source: 0,
+            },
+            &mut rng,
+        );
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn hybrid_succeeds_via_fallback_for_rare_objects() {
+        let w = world();
+        // Find a singleton object (rare by construction under Zipf).
+        let rare_obj = (0..w.num_objects() as u32)
+            .find(|&o| w.placement.replicas(o) == 1)
+            .expect("zipf placement has singletons");
+        let mut hybrid = HybridSearch::new(&w, 2, 5, 4);
+        let mut rng = Pcg64::new(5);
+        let q = QuerySpec {
+            terms: w.object_terms[rare_obj as usize].clone(),
+            source: 0,
+        };
+        let out = hybrid.search(&w, &q, &mut rng);
+        assert!(out.success, "hybrid must find rare content via the DHT");
+        assert_eq!(hybrid.fallbacks, 1);
+    }
+
+    #[test]
+    fn hybrid_pays_more_than_dht_when_floods_fail() {
+        let w = world();
+        let mut hybrid = HybridSearch::new(&w, 3, 20, 6);
+        let mut dht = DhtOnlySearch::new(&w, 6);
+        let mut rng = Pcg64::new(7);
+        let queries: Vec<QuerySpec> = (0..150).map(|_| w.sample_query(&mut rng)).collect();
+        let mut hybrid_msgs = 0u64;
+        let mut dht_msgs = 0u64;
+        for q in &queries {
+            hybrid_msgs += hybrid.search(&w, q, &mut rng).messages;
+            dht_msgs += dht.search(&w, q, &mut rng).messages;
+        }
+        // Under Zipf replicas + Loo's threshold, nearly every query falls
+        // back: hybrid cost strictly dominates pure DHT (the paper's §V).
+        assert!(hybrid.fallback_rate() > 0.8, "fallback {}", hybrid.fallback_rate());
+        assert!(
+            hybrid_msgs > dht_msgs,
+            "hybrid {hybrid_msgs} must exceed dht {dht_msgs}"
+        );
+    }
+
+    #[test]
+    fn well_replicated_query_avoids_fallback() {
+        let w = world();
+        // Most-replicated object.
+        let popular = (0..w.num_objects() as u32)
+            .max_by_key(|&o| w.placement.replicas(o))
+            .unwrap();
+        assert!(w.placement.replicas(popular) >= 10, "need a popular object");
+        let mut hybrid = HybridSearch::new(&w, 4, 3, 8);
+        let mut rng = Pcg64::new(9);
+        let q = QuerySpec {
+            terms: w.object_terms[popular as usize].clone(),
+            source: 1,
+        };
+        let out = hybrid.search(&w, &q, &mut rng);
+        assert!(out.success);
+        assert_eq!(
+            hybrid.fallbacks, 0,
+            "popular content should resolve in the flood phase"
+        );
+    }
+
+    #[test]
+    fn maintenance_cost_reported() {
+        let w = world();
+        let hybrid = HybridSearch::new(&w, 2, 10, 10);
+        assert!(hybrid.maintenance_messages() > 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! `qcp-search` — search systems over unstructured overlays.
+//!
+//! Everything Section V of the paper reasons about, as runnable systems
+//! sharing one interface:
+//!
+//! * [`world`] — the shared simulation world: topology, object placement,
+//!   per-object term sets, inverted posting lists, and a query workload
+//!   model with the planted query/file popularity mismatch;
+//! * [`systems`] — the [`SearchSystem`](systems::SearchSystem) trait and
+//!   baseline implementations: TTL flooding, k-walker random walks;
+//! * [`gia`] — the Gia baseline (paper ref [17]): capacity-weighted
+//!   topology roles, one-hop replication, biased walks;
+//! * [`hybrid`] — flood-then-DHT hybrid search with the Loo et al.
+//!   rare-query rule (paper ref [5]);
+//! * [`advertise`] — ASAP-style advertisement-based search (paper ref
+//!   [21]): content pushed ahead of queries, the content-centric push
+//!   counterpart to the synopsis pull;
+//! * [`qrp`] — Gnutella's deployed Query Routing Protocol: leaf keyword
+//!   tables gating flood deliveries (prunes misses; cannot create hits);
+//! * [`synopsis`] — synopsis-directed walks with two weighting policies:
+//!   content-centric (advertise what you store) and **query-centric**
+//!   (advertise what users ask for) — the paper's position, plus the
+//!   adaptive variant that re-weights from the observed query stream;
+//! * [`eval`] — a workload evaluator that runs the same query set through
+//!   every system and tabulates success rates and message costs.
+
+#![warn(missing_docs)]
+
+pub mod advertise;
+pub mod eval;
+pub mod gia;
+pub mod hybrid;
+pub mod qrp;
+pub mod synopsis;
+pub mod systems;
+pub mod world;
+
+pub use advertise::AdvertiseSearch;
+pub use eval::{evaluate, gen_queries, ComparisonRow, WorkloadConfig};
+pub use gia::GiaSearch;
+pub use hybrid::{DhtOnlySearch, HybridSearch};
+pub use qrp::QrpFloodSearch;
+pub use synopsis::{SynopsisPolicy, SynopsisSearch};
+pub use systems::{ExpandingRingSearch, FloodSearch, RandomWalkSearch, SearchOutcome, SearchSystem};
+pub use world::{QuerySpec, SearchWorld, WorldConfig};

@@ -1,0 +1,315 @@
+//! The search-system interface and the two classic baselines.
+
+use crate::world::{QuerySpec, SearchWorld};
+use qcp_overlay::flood::FloodEngine;
+use qcp_overlay::walk::random_walk_search;
+use qcp_util::rng::Pcg64;
+
+/// Result of one query through one system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchOutcome {
+    /// Whether a peer holding a matching object was located.
+    pub success: bool,
+    /// Query messages spent.
+    pub messages: u64,
+    /// Hop distance at which the result was found (if any).
+    pub hops: Option<u32>,
+}
+
+/// A search system: given a world and a query, locate a matching peer.
+pub trait SearchSystem {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Executes one query.
+    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, rng: &mut Pcg64) -> SearchOutcome;
+
+    /// One-time/maintenance message cost this system has accumulated
+    /// outside of queries (index publication, synopsis gossip). Reported
+    /// separately from per-query cost.
+    fn maintenance_messages(&self) -> u64 {
+        0
+    }
+}
+
+/// Gnutella-style TTL-limited flooding.
+#[derive(Debug)]
+pub struct FloodSearch {
+    /// Flood TTL.
+    pub ttl: u32,
+    engine: FloodEngine,
+    forwarders: Vec<bool>,
+}
+
+impl FloodSearch {
+    /// Creates a flooding system for `world`.
+    pub fn new(world: &SearchWorld, ttl: u32) -> Self {
+        Self {
+            ttl,
+            engine: FloodEngine::new(world.num_peers()),
+            forwarders: world.topology.forwarders(),
+        }
+    }
+}
+
+impl SearchSystem for FloodSearch {
+    fn name(&self) -> String {
+        format!("flood(ttl={})", self.ttl)
+    }
+
+    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+        let matching = world.matching_objects(&query.terms);
+        let holders = world.holders_of(&matching);
+        let out = self.engine.flood(
+            &world.topology.graph,
+            query.source,
+            self.ttl,
+            &holders,
+            Some(&self.forwarders),
+        );
+        SearchOutcome {
+            success: out.found,
+            messages: out.messages,
+            hops: out.found_at_hop,
+        }
+    }
+}
+
+/// k-walker random walk search.
+#[derive(Debug)]
+pub struct RandomWalkSearch {
+    /// Number of walkers.
+    pub walkers: usize,
+    /// Steps per walker.
+    pub ttl: u32,
+}
+
+impl RandomWalkSearch {
+    /// Creates a walk system.
+    pub fn new(walkers: usize, ttl: u32) -> Self {
+        Self { walkers, ttl }
+    }
+}
+
+impl SearchSystem for RandomWalkSearch {
+    fn name(&self) -> String {
+        format!("walk(k={},ttl={})", self.walkers, self.ttl)
+    }
+
+    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, rng: &mut Pcg64) -> SearchOutcome {
+        let matching = world.matching_objects(&query.terms);
+        let holders = world.holders_of(&matching);
+        let out = random_walk_search(
+            &world.topology.graph,
+            query.source,
+            self.walkers,
+            self.ttl,
+            &holders,
+            rng,
+        );
+        SearchOutcome {
+            success: out.found,
+            messages: out.messages,
+            hops: out.found_at_step,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{SearchWorld, WorldConfig};
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 400,
+            num_objects: 3_000,
+            num_terms: 4_000,
+            head_size: 80,
+            seed: 99,
+            ..Default::default()
+        })
+    }
+
+    /// A query that matches an object held by a known peer.
+    fn query_for_object(world: &SearchWorld, obj: u32) -> QuerySpec {
+        QuerySpec {
+            terms: world.object_terms[obj as usize].clone(),
+            source: 0,
+        }
+    }
+
+    #[test]
+    fn flood_from_holder_succeeds_immediately() {
+        let w = world();
+        let obj = 5u32;
+        let holder = w.placement.holders(obj)[0];
+        let mut sys = FloodSearch::new(&w, 0);
+        let q = QuerySpec {
+            terms: w.object_terms[obj as usize].clone(),
+            source: holder,
+        };
+        let mut rng = Pcg64::new(1);
+        let out = sys.search(&w, &q, &mut rng);
+        assert!(out.success);
+        assert_eq!(out.hops, Some(0));
+    }
+
+    #[test]
+    fn flood_success_grows_with_ttl() {
+        let w = world();
+        let mut rng = Pcg64::new(2);
+        let queries: Vec<QuerySpec> = (0..150).map(|_| w.sample_query(&mut rng)).collect();
+        let mut hits_low = 0;
+        let mut hits_high = 0;
+        let mut low = FloodSearch::new(&w, 1);
+        let mut high = FloodSearch::new(&w, 5);
+        for q in &queries {
+            if low.search(&w, q, &mut rng).success {
+                hits_low += 1;
+            }
+            if high.search(&w, q, &mut rng).success {
+                hits_high += 1;
+            }
+        }
+        assert!(hits_high >= hits_low);
+        assert!(hits_high > 0);
+    }
+
+    #[test]
+    fn unsatisfiable_query_fails_everywhere() {
+        let w = world();
+        let q = QuerySpec {
+            terms: vec![999_999],
+            source: 3,
+        };
+        let mut rng = Pcg64::new(3);
+        let mut flood = FloodSearch::new(&w, 6);
+        let mut walk = RandomWalkSearch::new(8, 100);
+        assert!(!flood.search(&w, &q, &mut rng).success);
+        assert!(!walk.search(&w, &q, &mut rng).success);
+    }
+
+    #[test]
+    fn walk_costs_less_than_flood_at_scale() {
+        let w = world();
+        let mut rng = Pcg64::new(4);
+        let q = query_for_object(&w, 100);
+        let mut flood = FloodSearch::new(&w, 5);
+        let mut walk = RandomWalkSearch::new(4, 20);
+        let f = flood.search(&w, &q, &mut rng);
+        let wk = walk.search(&w, &q, &mut rng);
+        assert!(wk.messages < f.messages, "walk {} flood {}", wk.messages, f.messages);
+    }
+
+    #[test]
+    fn names_describe_parameters() {
+        let w = world();
+        assert_eq!(FloodSearch::new(&w, 3).name(), "flood(ttl=3)");
+        assert_eq!(RandomWalkSearch::new(2, 7).name(), "walk(k=2,ttl=7)");
+    }
+}
+
+/// Expanding-ring (iterative-deepening) search: floods with TTL 1, 2, …
+/// `max_ttl`, stopping at the first ring that finds a match. Cheap for
+/// nearby content, wasteful for distant content — §V's observation that
+/// "lower TTL values … rapidly identify rare queries" is this system's
+/// failure mode under Zipf placement.
+#[derive(Debug)]
+pub struct ExpandingRingSearch {
+    /// Deepest ring to try.
+    pub max_ttl: u32,
+    engine: FloodEngine,
+    forwarders: Vec<bool>,
+}
+
+impl ExpandingRingSearch {
+    /// Creates an expanding-ring system for `world`.
+    pub fn new(world: &SearchWorld, max_ttl: u32) -> Self {
+        Self {
+            max_ttl,
+            engine: FloodEngine::new(world.num_peers()),
+            forwarders: world.topology.forwarders(),
+        }
+    }
+}
+
+impl SearchSystem for ExpandingRingSearch {
+    fn name(&self) -> String {
+        format!("expanding-ring(max={})", self.max_ttl)
+    }
+
+    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+        let matching = world.matching_objects(&query.terms);
+        let holders = world.holders_of(&matching);
+        let out = qcp_overlay::expanding::expanding_ring_search(
+            &mut self.engine,
+            &world.topology.graph,
+            query.source,
+            self.max_ttl,
+            &holders,
+            Some(&self.forwarders),
+        );
+        SearchOutcome {
+            success: out.found,
+            messages: out.messages,
+            hops: out.found_at_ttl,
+        }
+    }
+}
+
+#[cfg(test)]
+mod expanding_tests {
+    use super::*;
+    use crate::world::{SearchWorld, WorldConfig};
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 400,
+            num_objects: 3_000,
+            num_terms: 4_000,
+            head_size: 80,
+            seed: 99,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn expanding_ring_matches_flood_success_at_equal_depth() {
+        let w = world();
+        let mut rng = Pcg64::new(1);
+        let queries: Vec<QuerySpec> = (0..150).map(|_| w.sample_query(&mut rng)).collect();
+        let mut ring = ExpandingRingSearch::new(&w, 4);
+        let mut flood = FloodSearch::new(&w, 4);
+        for q in &queries {
+            let a = ring.search(&w, q, &mut rng);
+            let b = flood.search(&w, q, &mut rng);
+            assert_eq!(a.success, b.success, "ring and flood must agree on reachability");
+        }
+    }
+
+    #[test]
+    fn expanding_ring_cheaper_for_nearby_content() {
+        let w = world();
+        let mut rng = Pcg64::new(2);
+        // Query issued by a direct neighbor of a holder: ring stops at 1.
+        let obj = 40u32;
+        let holder = w.placement.holders(obj)[0];
+        let neighbor = w.topology.graph.neighbors(holder)[0];
+        let q = QuerySpec {
+            terms: w.object_terms[obj as usize].clone(),
+            source: neighbor,
+        };
+        let mut ring = ExpandingRingSearch::new(&w, 5);
+        let mut flood = FloodSearch::new(&w, 5);
+        let a = ring.search(&w, &q, &mut rng);
+        let b = flood.search(&w, &q, &mut rng);
+        assert!(a.success);
+        assert!(
+            a.messages < b.messages,
+            "ring {} should be cheaper than full flood {}",
+            a.messages,
+            b.messages
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Attenuated Bloom filters.
+//!
+//! An attenuated Bloom filter is a stack of `d` plain filters: level 0
+//! summarizes a peer's own content, level `i` summarizes content reachable
+//! through that peer in exactly `i` overlay hops. Neighbors exchange their
+//! stacks; a peer merges each neighbor's level `i` into its own level
+//! `i + 1`. Routing a query then means forwarding toward the neighbor whose
+//! shallowest matching level is smallest — the standard probabilistic-hint
+//! routing structure for unstructured overlays, and the carrier for the
+//! paper's query-centric synopses.
+
+use crate::bloom::BloomFilter;
+
+/// A stack of Bloom filters indexed by hop distance.
+#[derive(Debug, Clone)]
+pub struct AttenuatedBloom {
+    levels: Vec<BloomFilter>,
+}
+
+impl AttenuatedBloom {
+    /// Creates a `depth`-level stack of `m`-bit, `k`-hash filters.
+    pub fn new(depth: usize, m: usize, k: u32) -> Self {
+        assert!(depth >= 1, "need at least one level");
+        Self {
+            levels: (0..depth).map(|_| BloomFilter::new(m, k)).collect(),
+        }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Inserts a key at hop distance `level`.
+    pub fn insert_at(&mut self, level: usize, key: u64) {
+        self.levels[level].insert(key);
+    }
+
+    /// Inserts a key at level 0 (the peer's own content).
+    pub fn insert_local(&mut self, key: u64) {
+        self.insert_at(0, key);
+    }
+
+    /// Returns the smallest level whose filter claims the key, or `None`.
+    ///
+    /// Smaller is better when routing: the content is (probabilistically)
+    /// fewer hops away.
+    pub fn min_distance(&self, key: u64) -> Option<usize> {
+        self.levels.iter().position(|f| f.contains(key))
+    }
+
+    /// True if any level claims the key.
+    pub fn contains(&self, key: u64) -> bool {
+        self.min_distance(key).is_some()
+    }
+
+    /// Merges a neighbor's stack into this one, shifted one hop outward:
+    /// the neighbor's level `i` lands in our level `i + 1`; the neighbor's
+    /// deepest level is dropped (it would exceed our horizon).
+    pub fn absorb_neighbor(&mut self, neighbor: &AttenuatedBloom) {
+        assert_eq!(self.depth(), neighbor.depth(), "depth mismatch");
+        for i in (1..self.levels.len()).rev() {
+            let (head, tail) = self.levels.split_at_mut(i);
+            let _ = head; // self.levels[i] updated from neighbor, not self
+            tail[0].union_in_place(&neighbor.levels[i - 1]);
+        }
+    }
+
+    /// Direct access to one level.
+    pub fn level(&self, i: usize) -> &BloomFilter {
+        &self.levels[i]
+    }
+
+    /// Clears every level.
+    pub fn clear(&mut self) {
+        for l in &mut self.levels {
+            l.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_content_is_distance_zero() {
+        let mut a = AttenuatedBloom::new(3, 1024, 4);
+        a.insert_local(42);
+        assert_eq!(a.min_distance(42), Some(0));
+        assert!(a.contains(42));
+    }
+
+    #[test]
+    fn absent_key_has_no_distance() {
+        let a = AttenuatedBloom::new(3, 1024, 4);
+        assert_eq!(a.min_distance(42), None);
+        assert!(!a.contains(42));
+    }
+
+    #[test]
+    fn absorb_shifts_levels_outward() {
+        let mut me = AttenuatedBloom::new(3, 2048, 4);
+        let mut neigh = AttenuatedBloom::new(3, 2048, 4);
+        neigh.insert_local(7); // neighbor holds key 7
+        me.absorb_neighbor(&neigh);
+        assert_eq!(me.min_distance(7), Some(1));
+    }
+
+    #[test]
+    fn two_hop_propagation() {
+        let mut a = AttenuatedBloom::new(3, 2048, 4);
+        let mut b = AttenuatedBloom::new(3, 2048, 4);
+        let mut c = AttenuatedBloom::new(3, 2048, 4);
+        c.insert_local(99);
+        b.absorb_neighbor(&c); // b sees 99 at distance 1
+        a.absorb_neighbor(&b); // a sees 99 at distance 2
+        assert_eq!(a.min_distance(99), Some(2));
+    }
+
+    #[test]
+    fn deepest_level_is_dropped_on_absorb() {
+        let mut a = AttenuatedBloom::new(2, 2048, 4);
+        let mut b = AttenuatedBloom::new(2, 2048, 4);
+        b.insert_at(1, 5); // at b's horizon already
+        a.absorb_neighbor(&b);
+        // Would need level 2, which doesn't exist: key must not appear.
+        assert_eq!(a.min_distance(5), None);
+    }
+
+    #[test]
+    fn min_distance_prefers_closer_level() {
+        let mut a = AttenuatedBloom::new(3, 2048, 4);
+        a.insert_at(2, 11);
+        a.insert_at(0, 11);
+        assert_eq!(a.min_distance(11), Some(0));
+    }
+
+    #[test]
+    fn clear_resets_all_levels() {
+        let mut a = AttenuatedBloom::new(2, 512, 3);
+        a.insert_local(1);
+        a.insert_at(1, 2);
+        a.clear();
+        assert!(!a.contains(1));
+        assert!(!a.contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn absorb_rejects_depth_mismatch() {
+        let mut a = AttenuatedBloom::new(2, 512, 3);
+        let b = AttenuatedBloom::new(3, 512, 3);
+        a.absorb_neighbor(&b);
+    }
+}

@@ -1,0 +1,178 @@
+//! Counting Bloom filter: supports deletion at 8 bits per cell.
+//!
+//! Synopses in a live overlay are not write-once — peers add and remove
+//! shared files, and the adaptive synopsis evicts terms whose query
+//! popularity decays. A counting filter supports removal; saturated cells
+//! (255) stick, trading accuracy for safety exactly as the classic design
+//! prescribes.
+
+use qcp_util::hash::mix64;
+
+/// A counting Bloom filter over pre-hashed `u64` keys.
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    cells: Vec<u8>,
+    k: u32,
+    items: isize,
+}
+
+impl CountingBloom {
+    /// Creates a filter with `m` cells (rounded up to a multiple of 64 so
+    /// that probe positions stay aligned with [`crate::bloom::BloomFilter`]
+    /// for `to_bloom`) and `k` hash functions.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0 && k > 0);
+        let m = m.div_ceil(64) * 64;
+        Self {
+            cells: vec![0; m],
+            k,
+            items: 0,
+        }
+    }
+
+    /// Sizes for `n` items at target false-positive rate `p` (same formula
+    /// as the plain filter; cells instead of bits).
+    pub fn for_capacity(n: usize, p: f64) -> Self {
+        let proto = crate::bloom::BloomFilter::for_capacity(n, p);
+        Self::new(proto.bit_len(), proto.k())
+    }
+
+    #[inline]
+    fn probes(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let h1 = mix64(key);
+        let h2 = mix64(key ^ 0x9e37_79b9_7f4a_7c15) | 1;
+        let m = self.cells.len() as u64;
+        (0..self.k).map(move |i| (h1.wrapping_add(h2.wrapping_mul(i as u64)) % m) as usize)
+    }
+
+    /// Inserts a key (increments its cells, saturating at 255).
+    pub fn insert(&mut self, key: u64) {
+        let probes: Vec<usize> = self.probes(key).collect();
+        for c in probes {
+            self.cells[c] = self.cells[c].saturating_add(1);
+        }
+        self.items += 1;
+    }
+
+    /// Removes a key previously inserted. Saturated cells are left
+    /// untouched (they can no longer be decremented safely). Removing a key
+    /// that was never inserted corrupts the filter, as with any counting
+    /// Bloom filter; callers own that invariant.
+    pub fn remove(&mut self, key: u64) {
+        let probes: Vec<usize> = self.probes(key).collect();
+        for c in probes {
+            if self.cells[c] != u8::MAX && self.cells[c] > 0 {
+                self.cells[c] -= 1;
+            }
+        }
+        self.items -= 1;
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        self.probes(key).all(|c| self.cells[c] > 0)
+    }
+
+    /// Number of live insertions (insertions minus removals).
+    pub fn items(&self) -> isize {
+        self.items
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the filter has no cells (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Collapses to a plain Bloom filter (cell > 0 ⇒ bit set).
+    pub fn to_bloom(&self) -> crate::bloom::BloomFilter {
+        let mut b = crate::bloom::BloomFilter::new(self.cells.len(), self.k);
+        // Direct bit construction: replay probes is impossible (keys are
+        // gone), so copy the occupancy pattern cell-by-cell.
+        for (i, &c) in self.cells.iter().enumerate() {
+            if c > 0 {
+                b.set_bit_raw(i);
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = CountingBloom::new(1024, 4);
+        f.insert(10);
+        f.insert(20);
+        assert!(f.contains(10));
+        assert!(f.contains(20));
+        assert!(!f.contains(30));
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut f = CountingBloom::new(2048, 4);
+        f.insert(7);
+        assert!(f.contains(7));
+        f.remove(7);
+        assert!(!f.contains(7));
+        assert_eq!(f.items(), 0);
+    }
+
+    #[test]
+    fn remove_keeps_other_members() {
+        let mut f = CountingBloom::for_capacity(500, 0.01);
+        for i in 0..500u64 {
+            f.insert(i);
+        }
+        for i in 0..250u64 {
+            f.remove(i);
+        }
+        for i in 250..500u64 {
+            assert!(f.contains(i), "lost {i} after unrelated removals");
+        }
+    }
+
+    #[test]
+    fn double_insert_needs_double_remove() {
+        let mut f = CountingBloom::new(1024, 3);
+        f.insert(99);
+        f.insert(99);
+        f.remove(99);
+        assert!(f.contains(99));
+        f.remove(99);
+        assert!(!f.contains(99));
+    }
+
+    #[test]
+    fn saturation_sticks() {
+        let mut f = CountingBloom::new(64, 1);
+        for _ in 0..300 {
+            f.insert(5);
+        }
+        for _ in 0..300 {
+            f.remove(5);
+        }
+        // Saturated cell cannot be decremented: stays a member forever.
+        assert!(f.contains(5));
+    }
+
+    #[test]
+    fn to_bloom_preserves_membership() {
+        let mut f = CountingBloom::for_capacity(200, 0.01);
+        for i in 0..200u64 {
+            f.insert(i * 3);
+        }
+        let b = f.to_bloom();
+        for i in 0..200u64 {
+            assert!(b.contains(i * 3));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Interned term dictionaries with occurrence and peer counts.
+//!
+//! `TermDict` is the backbone of the term-level analysis (Figure 3,
+//! Figures 5–7): it interns term strings to dense symbols and tracks, per
+//! term, (a) total occurrences and (b) the number of *distinct peers*
+//! sharing at least one object containing the term.
+
+use qcp_util::{FxHashSet, Interner, Symbol};
+
+/// A term dictionary with per-term statistics.
+#[derive(Debug, Default, Clone)]
+pub struct TermDict {
+    interner: Interner,
+    /// Total occurrences per symbol (indexed by symbol).
+    occurrences: Vec<u64>,
+    /// Number of distinct peers per symbol.
+    peer_counts: Vec<u32>,
+    /// Per-symbol scratch set of peers, used when building peer counts
+    /// exactly. Kept small: peers are recorded per term only once.
+    peer_sets: Vec<FxHashSet<u32>>,
+    /// Whether exact peer sets are being tracked.
+    track_peers: bool,
+}
+
+impl TermDict {
+    /// Creates an empty dictionary that tracks occurrence counts only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary that also tracks exact per-term peer sets (more
+    /// memory; needed for Figure 3-style "clients with term" analysis).
+    pub fn with_peer_tracking() -> Self {
+        Self {
+            track_peers: true,
+            ..Self::default()
+        }
+    }
+
+    /// Interns `term` and counts one occurrence. Returns the symbol.
+    pub fn observe(&mut self, term: &str) -> Symbol {
+        let sym = self.intern(term);
+        self.occurrences[sym.index()] += 1;
+        sym
+    }
+
+    /// Interns `term`, counts one occurrence, and records that `peer`
+    /// shares it.
+    pub fn observe_on_peer(&mut self, term: &str, peer: u32) -> Symbol {
+        let sym = self.observe(term);
+        if self.track_peers && self.peer_sets[sym.index()].insert(peer) {
+            self.peer_counts[sym.index()] += 1;
+        }
+        sym
+    }
+
+    /// Interns without counting (useful for lookups during matching).
+    pub fn intern(&mut self, term: &str) -> Symbol {
+        let sym = self.interner.intern(term);
+        if sym.index() >= self.occurrences.len() {
+            self.occurrences.push(0);
+            self.peer_counts.push(0);
+            if self.track_peers {
+                self.peer_sets.push(FxHashSet::default());
+            }
+        }
+        sym
+    }
+
+    /// Looks up a term without inserting.
+    pub fn get(&self, term: &str) -> Option<Symbol> {
+        self.interner.get(term)
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Occurrence count for a symbol.
+    pub fn occurrences(&self, sym: Symbol) -> u64 {
+        self.occurrences[sym.index()]
+    }
+
+    /// Number of distinct peers sharing the term (0 unless peer tracking).
+    pub fn peer_count(&self, sym: Symbol) -> u32 {
+        self.peer_counts[sym.index()]
+    }
+
+    /// All per-term peer counts (aligned with symbol index).
+    pub fn peer_counts(&self) -> &[u32] {
+        &self.peer_counts
+    }
+
+    /// All per-term occurrence counts (aligned with symbol index).
+    pub fn occurrence_counts(&self) -> &[u64] {
+        &self.occurrences
+    }
+
+    /// The top-`k` terms by occurrence count, descending, ties broken by
+    /// symbol index for determinism.
+    pub fn top_by_occurrence(&self, k: usize) -> Vec<Symbol> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.occurrences[b as usize]
+                .cmp(&self.occurrences[a as usize])
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order.into_iter().map(Symbol).collect()
+    }
+
+    /// Releases the per-term peer scratch sets, keeping the counts. Call
+    /// after ingest to reclaim memory before analysis.
+    pub fn seal(&mut self) {
+        self.peer_sets = Vec::new();
+        self.track_peers = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_occurrences() {
+        let mut d = TermDict::new();
+        let a = d.observe("madonna");
+        d.observe("madonna");
+        let b = d.observe("prayer");
+        assert_eq!(d.occurrences(a), 2);
+        assert_eq!(d.occurrences(b), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn peer_tracking_counts_distinct_peers() {
+        let mut d = TermDict::with_peer_tracking();
+        let t = d.observe_on_peer("live", 1);
+        d.observe_on_peer("live", 1); // same peer again
+        d.observe_on_peer("live", 2);
+        assert_eq!(d.peer_count(t), 2);
+        assert_eq!(d.occurrences(t), 3);
+    }
+
+    #[test]
+    fn peer_tracking_off_yields_zero_counts() {
+        let mut d = TermDict::new();
+        let t = d.observe_on_peer("x1", 9);
+        assert_eq!(d.peer_count(t), 0);
+    }
+
+    #[test]
+    fn intern_does_not_count() {
+        let mut d = TermDict::new();
+        let t = d.intern("silent");
+        assert_eq!(d.occurrences(t), 0);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn top_by_occurrence_orders_and_breaks_ties() {
+        let mut d = TermDict::new();
+        for _ in 0..3 {
+            d.observe("aa");
+        }
+        for _ in 0..5 {
+            d.observe("bb");
+        }
+        for _ in 0..3 {
+            d.observe("cc");
+        }
+        let top = d.top_by_occurrence(3);
+        assert_eq!(d.resolve(top[0]), "bb");
+        assert_eq!(d.resolve(top[1]), "aa"); // tie with cc, lower symbol wins
+        assert_eq!(d.resolve(top[2]), "cc");
+    }
+
+    #[test]
+    fn top_k_larger_than_dict_is_clamped() {
+        let mut d = TermDict::new();
+        d.observe("only");
+        assert_eq!(d.top_by_occurrence(10).len(), 1);
+    }
+
+    #[test]
+    fn seal_preserves_counts() {
+        let mut d = TermDict::with_peer_tracking();
+        let t = d.observe_on_peer("keep", 4);
+        d.seal();
+        assert_eq!(d.peer_count(t), 1);
+        // Further peer observations no longer tracked.
+        d.observe_on_peer("keep", 5);
+        assert_eq!(d.peer_count(t), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = TermDict::new();
+        let t = d.observe("björk");
+        assert_eq!(d.resolve(t), "björk");
+        assert_eq!(d.get("björk"), Some(t));
+        assert_eq!(d.get("missing"), None);
+    }
+}

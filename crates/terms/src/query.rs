@@ -1,0 +1,151 @@
+//! Query representation and Gnutella AND-matching.
+//!
+//! A Gnutella query is a bag of terms; an object satisfies the query when
+//! *every* query term appears among the object's name terms. (Structured
+//! systems, by contrast, require an exact object-name match — Section I of
+//! the paper.)
+
+use crate::tokenize::token_set;
+use qcp_util::Symbol;
+
+/// A tokenized query: a sorted, deduplicated set of term symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    terms: Vec<Symbol>,
+}
+
+impl Query {
+    /// Builds a query from pre-interned symbols (deduplicates and sorts).
+    pub fn from_symbols(mut terms: Vec<Symbol>) -> Self {
+        terms.sort_unstable();
+        terms.dedup();
+        Self { terms }
+    }
+
+    /// Tokenizes `text` and interns each term through `intern`.
+    pub fn parse<F: FnMut(&str) -> Symbol>(text: &str, mut intern: F) -> Self {
+        let terms = token_set(text).iter().map(|t| intern(t)).collect();
+        Self::from_symbols(terms)
+    }
+
+    /// The query's term symbols (sorted, deduplicated).
+    pub fn terms(&self) -> &[Symbol] {
+        &self.terms
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True for a query with no recognizable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Gnutella AND semantics: true when every query term appears in
+    /// `object_terms` (sorted, deduplicated).
+    pub fn matches(&self, object_terms: &[Symbol]) -> bool {
+        matches_all_terms(&self.terms, object_terms)
+    }
+}
+
+/// True when every element of `needles` (sorted, dedup) appears in
+/// `haystack` (sorted, dedup). Empty `needles` matches nothing — a query
+/// with no terms cannot retrieve objects, mirroring real servent behaviour.
+pub fn matches_all_terms(needles: &[Symbol], haystack: &[Symbol]) -> bool {
+    if needles.is_empty() {
+        return false;
+    }
+    let mut h = 0usize;
+    for needle in needles {
+        // Advance through the haystack; both sides are sorted.
+        while h < haystack.len() && haystack[h] < *needle {
+            h += 1;
+        }
+        if h >= haystack.len() || haystack[h] != *needle {
+            return false;
+        }
+        h += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::TermDict;
+
+    fn q(text: &str, d: &mut TermDict) -> Query {
+        Query::parse(text, |t| d.intern(t))
+    }
+
+    fn obj(text: &str, d: &mut TermDict) -> Vec<Symbol> {
+        let mut syms: Vec<Symbol> = crate::tokenize::token_set(text)
+            .iter()
+            .map(|t| d.intern(t))
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    #[test]
+    fn all_terms_present_matches() {
+        let mut d = TermDict::new();
+        let object = obj("Aaron Neville - I Don't Know Much.mp3", &mut d);
+        let query = q("aaron neville", &mut d);
+        assert!(query.matches(&object));
+    }
+
+    #[test]
+    fn missing_term_fails() {
+        let mut d = TermDict::new();
+        let object = obj("Aaron Neville - Don't Know Much", &mut d);
+        let query = q("aaron neville ronstadt", &mut d);
+        assert!(!query.matches(&object));
+    }
+
+    #[test]
+    fn match_is_case_insensitive_via_tokenizer() {
+        let mut d = TermDict::new();
+        let object = obj("MADONNA like a prayer", &mut d);
+        let query = q("Madonna PRAYER", &mut d);
+        assert!(query.matches(&object));
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let mut d = TermDict::new();
+        let object = obj("anything at all", &mut d);
+        let query = q("!!!", &mut d);
+        assert!(query.is_empty());
+        assert!(!query.matches(&object));
+    }
+
+    #[test]
+    fn duplicate_query_terms_collapse() {
+        let mut d = TermDict::new();
+        let query = q("love love love", &mut d);
+        assert_eq!(query.len(), 1);
+    }
+
+    #[test]
+    fn subset_direction_matters() {
+        let mut d = TermDict::new();
+        let object = obj("short name", &mut d);
+        let query = q("short name extra", &mut d);
+        assert!(!query.matches(&object));
+        let query2 = q("short", &mut d);
+        assert!(query2.matches(&object));
+    }
+
+    #[test]
+    fn matches_all_terms_on_raw_symbols() {
+        let needles = [Symbol(2), Symbol(5)];
+        let hay = [Symbol(1), Symbol(2), Symbol(5), Symbol(9)];
+        assert!(matches_all_terms(&needles, &hay));
+        assert!(!matches_all_terms(&[Symbol(3)], &hay));
+        assert!(!matches_all_terms(&[], &hay));
+    }
+}

@@ -1,0 +1,166 @@
+//! Gnutella-protocol tokenization.
+//!
+//! The Gnutella v0.6 query-routing specification tokenizes names and query
+//! strings by splitting on any character that is not alphanumeric, then
+//! lower-casing. Multi-byte UTF-8 letters (the crawl in the paper observed
+//! UTF-8 names) are kept: any Unicode alphanumeric counts as token content.
+//! Tokens shorter than a configurable minimum are dropped, mirroring the
+//! QRP rule that ignores very short words.
+
+/// Tokenizer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenizerConfig {
+    /// Minimum token length in characters; shorter tokens are dropped.
+    pub min_len: usize,
+    /// Whether tokens are lower-cased (the protocol behaviour).
+    pub lowercase: bool,
+    /// Whether pure-numeric tokens are dropped (track numbers, bitrates —
+    /// the paper's "0 Track" example shows these carry no identity).
+    pub drop_numeric: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            min_len: 2,
+            lowercase: true,
+            drop_numeric: false,
+        }
+    }
+}
+
+/// Tokenizes with the default (protocol) configuration.
+///
+/// ```
+/// use qcp_terms::tokenize;
+///
+/// assert_eq!(
+///     tokenize("Aaron Neville - I Don't Know Much.mp3"),
+///     vec!["aaron", "neville", "don", "know", "much", "mp3"]
+/// );
+/// ```
+pub fn tokenize(input: &str) -> Vec<String> {
+    tokenize_with(input, TokenizerConfig::default())
+}
+
+/// Tokenizes `input` according to `config`.
+pub fn tokenize_with(input: &str, config: TokenizerConfig) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in input.chars() {
+        if ch.is_alphanumeric() {
+            if config.lowercase {
+                current.extend(ch.to_lowercase());
+            } else {
+                current.push(ch);
+            }
+        } else if !current.is_empty() {
+            push_token(&mut tokens, std::mem::take(&mut current), config);
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, current, config);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, token: String, config: TokenizerConfig) {
+    if token.chars().count() < config.min_len {
+        return;
+    }
+    if config.drop_numeric && token.chars().all(|c| c.is_numeric()) {
+        return;
+    }
+    tokens.push(token);
+}
+
+/// Tokenizes and deduplicates, preserving first-occurrence order — the term
+/// *set* of a name, which is what annotation-level analysis counts.
+pub fn token_set(input: &str) -> Vec<String> {
+    let mut seen = qcp_util::FxHashSet::default();
+    tokenize(input)
+        .into_iter()
+        .filter(|t| seen.insert(t.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        let t = tokenize("Aaron Neville - I Don't Know Much.mp3");
+        assert_eq!(
+            t,
+            vec!["aaron", "neville", "don", "know", "much", "mp3"]
+        );
+    }
+
+    #[test]
+    fn single_char_tokens_dropped_by_default() {
+        let t = tokenize("a b cd");
+        assert_eq!(t, vec!["cd"]);
+    }
+
+    #[test]
+    fn lowercases_by_default() {
+        let t = tokenize("MADONNA Like A Prayer");
+        assert_eq!(t, vec!["madonna", "like", "prayer"]);
+    }
+
+    #[test]
+    fn preserves_case_when_configured() {
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            ..Default::default()
+        };
+        let t = tokenize_with("MiXeD Case", cfg);
+        assert_eq!(t, vec!["MiXeD", "Case"]);
+    }
+
+    #[test]
+    fn utf8_names_tokenize() {
+        let t = tokenize("Björk — Jóga.mp3");
+        assert_eq!(t, vec!["björk", "jóga", "mp3"]);
+    }
+
+    #[test]
+    fn numerics_kept_by_default_dropped_on_request() {
+        assert_eq!(tokenize("01 Track 128kbps"), vec!["01", "track", "128kbps"]);
+        let cfg = TokenizerConfig {
+            drop_numeric: true,
+            ..Default::default()
+        };
+        assert_eq!(
+            tokenize_with("01 Track 128kbps", cfg),
+            vec!["track", "128kbps"]
+        );
+    }
+
+    #[test]
+    fn empty_and_separator_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ... ///").is_empty());
+    }
+
+    #[test]
+    fn min_len_counts_chars_not_bytes() {
+        // 'é' is 2 bytes but 1 char; "éa" has 2 chars and must survive.
+        let t = tokenize("éa x");
+        assert_eq!(t, vec!["éa"]);
+    }
+
+    #[test]
+    fn token_set_deduplicates_preserving_order() {
+        let t = token_set("la la land la");
+        assert_eq!(t, vec!["la", "land"]);
+    }
+
+    #[test]
+    fn apostrophes_split_words() {
+        // Gnutella treats ' as a separator: "don't" -> "don", "t" (dropped).
+        let t = tokenize("don't");
+        assert_eq!(t, vec!["don"]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests tying the tokenizer, sanitizer and matcher together.
+
+use proptest::prelude::*;
+use qcp_terms::{matches_all_terms, sanitize_name, tokenize, Query, TermDict};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sanitization and tokenization are the same normalization at
+    /// different granularities: tokenizing the sanitized name yields
+    /// exactly the tokens of the raw name.
+    #[test]
+    fn tokenize_commutes_with_sanitize(name in ".{0,100}") {
+        prop_assert_eq!(tokenize(&sanitize_name(&name)), tokenize(&name));
+    }
+
+    /// A query built from an object's own name always matches that object
+    /// (provided the name produced at least one token).
+    #[test]
+    fn self_query_always_matches(name in "[a-zA-Z0-9 .'_-]{2,60}") {
+        let mut dict = TermDict::new();
+        let mut object: Vec<_> = tokenize(&name).iter().map(|t| dict.intern(t)).collect();
+        object.sort_unstable();
+        object.dedup();
+        let query = Query::parse(&name, |t| dict.intern(t));
+        if !query.is_empty() {
+            prop_assert!(query.matches(&object), "query from '{}' must match itself", name);
+        }
+    }
+
+    /// Adding terms to a query can only shrink its match set.
+    #[test]
+    fn query_matching_is_antitone_in_terms(
+        object in proptest::collection::vec(0u32..50, 1..20),
+        query in proptest::collection::vec(0u32..50, 1..10),
+        extra in 0u32..50,
+    ) {
+        use qcp_util::Symbol;
+        let mut obj: Vec<Symbol> = object.iter().map(|&x| Symbol(x)).collect();
+        obj.sort_unstable();
+        obj.dedup();
+        let mut q: Vec<Symbol> = query.iter().map(|&x| Symbol(x)).collect();
+        q.sort_unstable();
+        q.dedup();
+        let mut q_more = q.clone();
+        if let Err(pos) = q_more.binary_search(&Symbol(extra)) {
+            q_more.insert(pos, Symbol(extra));
+        }
+        // If the larger query matches, the smaller must too.
+        if matches_all_terms(&q_more, &obj) {
+            prop_assert!(matches_all_terms(&q, &obj));
+        }
+    }
+
+    /// Dictionary counting is exact regardless of interleaving.
+    #[test]
+    fn dict_occurrence_counts_are_exact(terms in proptest::collection::vec("[a-z]{2,6}", 1..100)) {
+        let mut dict = TermDict::new();
+        for t in &terms {
+            dict.observe(t);
+        }
+        let mut expected: std::collections::HashMap<&str, u64> = Default::default();
+        for t in &terms {
+            *expected.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (t, &count) in &expected {
+            let sym = dict.get(t).unwrap();
+            prop_assert_eq!(dict.occurrences(sym), count);
+        }
+        prop_assert_eq!(dict.len(), expected.len());
+    }
+
+    /// top_by_occurrence is sorted by count descending.
+    #[test]
+    fn top_terms_sorted_by_count(terms in proptest::collection::vec("[a-c]{2}", 1..60)) {
+        let mut dict = TermDict::new();
+        for t in &terms {
+            dict.observe(t);
+        }
+        let top = dict.top_by_occurrence(dict.len());
+        for w in top.windows(2) {
+            prop_assert!(dict.occurrences(w[0]) >= dict.occurrences(w[1]));
+        }
+    }
+}

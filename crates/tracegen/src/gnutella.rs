@@ -1,0 +1,404 @@
+//! Gnutella crawl generator.
+//!
+//! Emulates the output of a Cruiser-style file crawl (the paper's §II-A):
+//! for every peer, the list of file names it shares. The generative model,
+//! with every parameter calibrated against §III-A of the paper:
+//!
+//! * canonical objects are bags of 2–6 vocabulary terms drawn from a Zipf
+//!   over the *file* ranking (term-level Figure 3 shape);
+//! * each object's replica count is drawn from a bounded discrete power
+//!   law `P(r) ∝ r^{-τ}` with τ defaulting to the value that yields the
+//!   paper's ~70% singleton objects;
+//! * replicas are placed on distinct peers sampled proportionally to a
+//!   heavy-tailed per-peer library-size weight (big sharers hold more);
+//! * every placed copy's name passes through the [`crate::noise`] model,
+//!   so raw-name replica counts (Figure 1) undercount true replicas and
+//!   sanitization (Figure 2) recovers the case/punctuation part only.
+
+use crate::noise::NoiseModel;
+use crate::vocab::Vocabulary;
+use qcp_util::rng::{child_seed, Pcg64};
+use qcp_util::FxHashSet;
+use qcp_zipf::{AliasTable, DiscretePowerLaw, Zipf};
+
+/// One crawled file record: a peer and the name it shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRecord {
+    /// Peer index in `0..num_peers`.
+    pub peer: u32,
+    /// The shared file name as the crawler saw it.
+    pub name: String,
+    /// Generator-side ground truth: which canonical object this copy is.
+    /// The measurement pipeline must not use this (it exists for test
+    /// oracles and for placement in the overlay simulator).
+    pub object: u32,
+}
+
+/// Crawl generator configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Number of peers.
+    pub num_peers: u32,
+    /// Number of canonical (ground-truth) objects.
+    pub num_objects: u32,
+    /// Replica-count power-law exponent τ.
+    pub tau: f64,
+    /// Terms per object name: uniform in `[min_terms, max_terms]`.
+    pub min_terms: usize,
+    /// See `min_terms`.
+    pub max_terms: usize,
+    /// Zipf exponent of term popularity in names.
+    pub term_zipf_s: f64,
+    /// Name noise model.
+    pub noise: NoiseModel,
+    /// Exponent of the peer library-size weight (Zipf over peers).
+    pub peer_weight_s: f64,
+    /// Probability an object's name carries a unique tag term (track
+    /// numbers, rip tags, release-group markers — the junk vocabulary that
+    /// makes 71.3% of real Gnutella terms single-peer, Figure 3).
+    pub p_unique_tag: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        Self {
+            // Scaled-down default: ~1/19 of the paper's 37,572 peers and
+            // ~1/100 of its 8.1M unique objects; shapes are scale-free.
+            num_peers: 2_000,
+            num_objects: 80_000,
+            // τ ≈ 2.3 puts ~70% of objects at a single replica on this
+            // support (paper: 70.5%).
+            tau: 2.3,
+            min_terms: 2,
+            max_terms: 6,
+            term_zipf_s: 1.05,
+            noise: NoiseModel::default(),
+            peer_weight_s: 0.6,
+            p_unique_tag: 0.55,
+            seed: 0xc4a71,
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// Full paper-scale parameters (April 2007 crawl: 37,572 peers,
+    /// 8.1M unique objects). Heavy: minutes of CPU and gigabytes of RAM.
+    pub fn paper_scale() -> Self {
+        Self {
+            num_peers: 37_572,
+            num_objects: 8_100_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// A generated crawl.
+#[derive(Debug, Clone)]
+pub struct Crawl {
+    /// Configuration used.
+    pub num_peers: u32,
+    /// Flattened `(peer, name, object)` records, sorted by peer.
+    pub files: Vec<FileRecord>,
+    /// Canonical object names (ground truth), indexed by object id.
+    pub canonical_names: Vec<String>,
+    /// Ground-truth replica count per object id.
+    pub replica_counts: Vec<u32>,
+}
+
+/// Deterministic pseudo-random tag like "tk3f9qx1" (base-36 of a mixed
+/// counter). Unique per `(seed, counter)` pair.
+fn unique_tag(seed: u64, counter: u64) -> String {
+    let mut x = qcp_util::hash::mix64(seed ^ counter.wrapping_mul(0x9e37_79b9));
+    let mut tag = String::with_capacity(10);
+    tag.push_str("tk");
+    for _ in 0..6 {
+        let d = (x % 36) as u32;
+        let c = char::from_digit(d % 10, 10).unwrap();
+        tag.push(if d < 10 { c } else { (b'a' + (d - 10) as u8) as char });
+        x /= 36;
+    }
+    // Counter suffix guarantees uniqueness even across hash collisions.
+    tag.push_str(&format!("{counter}"));
+    tag
+}
+
+impl Crawl {
+    /// Generates a crawl from the vocabulary and config.
+    pub fn generate(vocab: &Vocabulary, config: &CrawlConfig) -> Self {
+        assert!(config.num_peers >= 2);
+        assert!(config.min_terms >= 1 && config.max_terms >= config.min_terms);
+        let mut rng = Pcg64::with_stream(config.seed, 0xc4a71);
+
+        // --- Canonical object names -----------------------------------
+        let term_zipf = Zipf::new(vocab.len(), config.term_zipf_s);
+        let mut name_set: FxHashSet<String> = FxHashSet::default();
+        name_set.reserve(config.num_objects as usize);
+        let mut canonical_names = Vec::with_capacity(config.num_objects as usize);
+        let extensions = ["mp3", "mp3", "mp3", "wma", "avi", "ogg"];
+        let mut tag_counter = 0u64;
+        while canonical_names.len() < config.num_objects as usize {
+            let k = config.min_terms
+                + rng.index(config.max_terms - config.min_terms + 1);
+            let mut terms: Vec<&str> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let rank = term_zipf.sample_index(&mut rng);
+                terms.push(vocab.term(vocab.file_term_at_rank(rank)));
+            }
+            let ext = extensions[rng.index(extensions.len())];
+            let name = if rng.chance(config.p_unique_tag) {
+                // A unique junk term: track/rip tags survive tokenization
+                // as single-peer vocabulary, reproducing Figure 3's tail.
+                tag_counter += 1;
+                let tag = unique_tag(config.seed, tag_counter);
+                format!("{} {}.{}", terms.join(" "), tag, ext)
+            } else {
+                format!("{}.{}", terms.join(" "), ext)
+            };
+            if name_set.insert(name.clone()) {
+                canonical_names.push(name);
+            }
+            // Head-heavy Zipf term draws collide often; the loop keeps
+            // drawing (each attempt is cheap) until enough unique names.
+        }
+        drop(name_set);
+
+        // --- Replica counts --------------------------------------------
+        let replica_law = DiscretePowerLaw::new(1, config.num_peers as u64, config.tau);
+        let replica_counts: Vec<u32> = (0..config.num_objects)
+            .map(|_| replica_law.sample(&mut rng) as u32)
+            .collect();
+
+        // --- Placement ---------------------------------------------------
+        // Peer weights: peer p's propensity to hold files ~ Zipf(s) over a
+        // shuffled peer order (so peer id carries no meaning).
+        let mut peer_order: Vec<u32> = (0..config.num_peers).collect();
+        rng.shuffle(&mut peer_order);
+        let mut weights = vec![0.0f64; config.num_peers as usize];
+        for (rank, &peer) in peer_order.iter().enumerate() {
+            weights[peer as usize] = ((rank + 1) as f64).powf(-config.peer_weight_s);
+        }
+        let peer_table = AliasTable::new(&weights);
+
+        let mut files: Vec<FileRecord> = Vec::new();
+        let mut scratch: FxHashSet<u32> = FxHashSet::default();
+        for (obj, &r) in replica_counts.iter().enumerate() {
+            scratch.clear();
+            let r = r.min(config.num_peers);
+            if r as usize > config.num_peers as usize / 2 {
+                // Dense placement: weighted rejection would thrash; sample
+                // a uniform distinct subset instead (rare, huge-r objects).
+                for p in rng.sample_distinct(config.num_peers as usize, r as usize) {
+                    scratch.insert(p as u32);
+                }
+            } else {
+                while scratch.len() < r as usize {
+                    scratch.insert(peer_table.sample(&mut rng) as u32);
+                }
+            }
+            let canonical = &canonical_names[obj];
+            for &peer in &scratch {
+                let name = config.noise.apply(canonical, &mut rng);
+                files.push(FileRecord {
+                    peer,
+                    name,
+                    object: obj as u32,
+                });
+            }
+        }
+        files.sort_by_key(|f| f.peer);
+
+        Self {
+            num_peers: config.num_peers,
+            files,
+            canonical_names,
+            replica_counts,
+        }
+    }
+
+    /// Total shared-file copies (the paper's "12 million objects").
+    pub fn total_copies(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of canonical objects (ground truth).
+    pub fn num_objects(&self) -> usize {
+        self.canonical_names.len()
+    }
+
+    /// Iterates per-peer file-name slices (files are sorted by peer).
+    pub fn shares_by_peer(&self) -> impl Iterator<Item = (u32, &[FileRecord])> {
+        PeerGroups {
+            files: &self.files,
+            pos: 0,
+        }
+    }
+
+    /// Derives a deterministic sub-seed for auxiliary consumers.
+    pub fn derived_seed(&self, tag: u64) -> u64 {
+        child_seed(self.files.len() as u64 ^ 0xc4a71, tag)
+    }
+}
+
+struct PeerGroups<'a> {
+    files: &'a [FileRecord],
+    pos: usize,
+}
+
+impl<'a> Iterator for PeerGroups<'a> {
+    type Item = (u32, &'a [FileRecord]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.files.len() {
+            return None;
+        }
+        let peer = self.files[self.pos].peer;
+        let start = self.pos;
+        while self.pos < self.files.len() && self.files[self.pos].peer == peer {
+            self.pos += 1;
+        }
+        Some((peer, &self.files[start..self.pos]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::VocabularyConfig;
+
+    fn tiny_crawl() -> (Vocabulary, Crawl) {
+        let vocab = Vocabulary::generate(&VocabularyConfig {
+            num_terms: 3_000,
+            head_size: 50,
+            head_overlap: 0.3,
+            seed: 7,
+        });
+        let config = CrawlConfig {
+            num_peers: 300,
+            num_objects: 5_000,
+            seed: 11,
+            ..Default::default()
+        };
+        let crawl = Crawl::generate(&vocab, &config);
+        (vocab, crawl)
+    }
+
+    #[test]
+    fn generates_requested_object_count() {
+        let (_, crawl) = tiny_crawl();
+        assert_eq!(crawl.num_objects(), 5_000);
+        assert_eq!(crawl.replica_counts.len(), 5_000);
+        assert!(crawl.total_copies() >= 5_000);
+    }
+
+    #[test]
+    fn canonical_names_unique() {
+        let (_, crawl) = tiny_crawl();
+        let set: FxHashSet<&str> = crawl.canonical_names.iter().map(|s| s.as_str()).collect();
+        assert_eq!(set.len(), crawl.num_objects());
+    }
+
+    #[test]
+    fn replicas_placed_on_distinct_peers() {
+        let (_, crawl) = tiny_crawl();
+        let mut by_object: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+        for f in &crawl.files {
+            by_object.entry(f.object).or_default().push(f.peer);
+        }
+        for (obj, peers) in by_object {
+            let mut p = peers.clone();
+            p.sort_unstable();
+            p.dedup();
+            assert_eq!(
+                p.len(),
+                peers.len(),
+                "object {obj} placed twice on one peer"
+            );
+            assert_eq!(
+                peers.len() as u32,
+                crawl.replica_counts[obj as usize].min(300),
+                "object {obj} replica count mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_fraction_near_calibration() {
+        let (_, crawl) = tiny_crawl();
+        let singles = crawl.replica_counts.iter().filter(|&&r| r == 1).count();
+        let frac = singles as f64 / crawl.num_objects() as f64;
+        // τ=2.3 on support [1, 300] gives ~71% singletons.
+        assert!((0.62..0.85).contains(&frac), "singleton fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (_, a) = tiny_crawl();
+        let (_, b) = tiny_crawl();
+        assert_eq!(a.files.len(), b.files.len());
+        assert_eq!(a.files[0], b.files[0]);
+        assert_eq!(a.files[a.files.len() / 2], b.files[b.files.len() / 2]);
+    }
+
+    #[test]
+    fn files_sorted_by_peer_and_groups_cover_all() {
+        let (_, crawl) = tiny_crawl();
+        assert!(crawl.files.windows(2).all(|w| w[0].peer <= w[1].peer));
+        let total: usize = crawl.shares_by_peer().map(|(_, fs)| fs.len()).sum();
+        assert_eq!(total, crawl.total_copies());
+    }
+
+    #[test]
+    fn noise_produces_name_variants_for_replicated_objects() {
+        let (_, crawl) = tiny_crawl();
+        let mut by_object: std::collections::HashMap<u32, FxHashSet<&str>> = Default::default();
+        for f in &crawl.files {
+            by_object
+                .entry(f.object)
+                .or_default()
+                .insert(f.name.as_str());
+        }
+        let variants = by_object
+            .values()
+            .filter(|names| names.len() > 1)
+            .count();
+        assert!(variants > 0, "noise should create at least some variants");
+    }
+
+    #[test]
+    fn noiseless_crawl_names_equal_canonical() {
+        let vocab = Vocabulary::generate(&VocabularyConfig {
+            num_terms: 2_000,
+            head_size: 50,
+            head_overlap: 0.3,
+            seed: 7,
+        });
+        let config = CrawlConfig {
+            num_peers: 100,
+            num_objects: 1_000,
+            noise: NoiseModel::none(),
+            seed: 13,
+            ..Default::default()
+        };
+        let crawl = Crawl::generate(&vocab, &config);
+        for f in &crawl.files {
+            assert_eq!(f.name, crawl.canonical_names[f.object as usize]);
+        }
+    }
+
+    #[test]
+    fn heavy_peers_hold_more_files() {
+        let (_, crawl) = tiny_crawl();
+        let mut per_peer = vec![0usize; 300];
+        for f in &crawl.files {
+            per_peer[f.peer as usize] += 1;
+        }
+        let max = *per_peer.iter().max().unwrap();
+        let mean = crawl.total_copies() as f64 / 300.0;
+        assert!(
+            max as f64 > 3.0 * mean,
+            "library sizes should be heavy-tailed: max {max}, mean {mean}"
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! iTunes campus-share generator.
+//!
+//! Emulates the paper's §II-B trace: 239 reachable iTunes shares inside a
+//! university network, crawled via Zeroconf with an AppleRecords-style
+//! agent. Unlike Gnutella's single name, iTunes objects carry structured
+//! annotations (song name, artist, album, genre), mostly sourced from
+//! Gracenote (so replicas of the same song usually agree) but user-editable
+//! (so genres drift) and sometimes missing entirely.
+//!
+//! Calibration targets from the paper's §III-B / Figure 4:
+//!
+//! * 533,768 total objects, 171,068 unique, 239 clients;
+//! * 64% of unique songs on exactly one client;
+//! * ~1,452 genres, 8.7% of songs without a genre, 56% of genres on one peer;
+//! * ~32,353 unique albums, 8.1% without an album, 65.7% unreplicated;
+//! * ~25,309 unique artists, 65% on a single peer.
+
+use crate::vocab::Vocabulary;
+use qcp_util::rng::Pcg64;
+use qcp_zipf::Zipf;
+
+/// One song as seen in one client's share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SongRecord {
+    /// Ground-truth catalogue id (the measurement pipeline must not use it).
+    pub song_id: u32,
+    /// Track name annotation.
+    pub name: String,
+    /// Artist annotation.
+    pub artist: String,
+    /// Album annotation; empty string = missing.
+    pub album: String,
+    /// Genre annotation; empty string = missing.
+    pub genre: String,
+}
+
+/// One client's share (library).
+#[derive(Debug, Clone)]
+pub struct Share {
+    /// Client index.
+    pub client: u32,
+    /// Songs in the share.
+    pub songs: Vec<SongRecord>,
+}
+
+/// iTunes trace generator configuration.
+#[derive(Debug, Clone)]
+pub struct ItunesConfig {
+    /// Number of reachable client shares (paper: 239).
+    pub num_clients: u32,
+    /// Catalogue size (distinct songs that exist in the world).
+    pub catalog_songs: u32,
+    /// Number of distinct artists in the catalogue.
+    pub catalog_artists: u32,
+    /// Mean albums per artist.
+    pub albums_per_artist: f64,
+    /// Mean share size in songs (paper: 533,768 / 239 ≈ 2,233).
+    pub mean_share_size: f64,
+    /// Zipf exponent of song popularity across clients.
+    pub popularity_s: f64,
+    /// Probability a song instance lacks a genre (paper: 8.7%).
+    pub p_missing_genre: f64,
+    /// Probability a song instance lacks an album (paper: 8.1%).
+    pub p_missing_album: f64,
+    /// Probability a user rewrote the genre to a personal label.
+    pub p_user_genre: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ItunesConfig {
+    fn default() -> Self {
+        Self {
+            num_clients: 239,
+            // Catalogue breadth and popularity skew calibrated so the
+            // Figure 4 singleton fractions land near the paper's 64-66%
+            // at ~100k total copies; `paper_scale()` restores raw sizes.
+            catalog_songs: 80_000,
+            catalog_artists: 12_000,
+            albums_per_artist: 2.4,
+            mean_share_size: 400.0,
+            popularity_s: 1.4,
+            p_missing_genre: 0.087,
+            p_missing_album: 0.081,
+            p_user_genre: 0.02,
+            seed: 0x17e5,
+        }
+    }
+}
+
+impl ItunesConfig {
+    /// Paper-scale parameters (533,768 copies over 239 shares).
+    pub fn paper_scale() -> Self {
+        Self {
+            catalog_songs: 450_000,
+            catalog_artists: 65_000,
+            mean_share_size: 2_233.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// The 24 genres iTunes shipped with (paper §III-B).
+const STOCK_GENRES: [&str; 24] = [
+    "Rock", "Pop", "Alternative", "Jazz", "Classical", "Hip-Hop", "Rap", "Country", "Blues",
+    "Electronic", "Dance", "Folk", "Latin", "Reggae", "Soundtrack", "Metal", "Punk", "R&B",
+    "Soul", "World", "Gospel", "Ambient", "Indie", "Holiday",
+];
+
+/// Catalogue-side ground truth for one song.
+#[derive(Debug, Clone)]
+struct CatalogSong {
+    name: String,
+    artist: u32,
+    album: u32,
+    genre: String,
+}
+
+/// A generated iTunes trace.
+#[derive(Debug, Clone)]
+pub struct ItunesTrace {
+    /// All client shares.
+    pub shares: Vec<Share>,
+    /// Catalogue artist names (ground truth).
+    pub artist_names: Vec<String>,
+    /// Catalogue album titles (ground truth).
+    pub album_titles: Vec<String>,
+}
+
+impl ItunesTrace {
+    /// Generates a trace.
+    pub fn generate(vocab: &Vocabulary, config: &ItunesConfig) -> Self {
+        assert!(config.num_clients >= 1 && config.catalog_songs >= 1);
+        let mut rng = Pcg64::with_stream(config.seed, 0x17e5);
+
+        // --- Catalogue ---------------------------------------------------
+        // Artists: two-word pseudo names from the vocabulary mid-range.
+        let artist_names: Vec<String> = (0..config.catalog_artists)
+            .map(|i| {
+                let a = vocab.term(vocab.file_term_at_rank(
+                    (i as usize * 7 + 13) % vocab.len(),
+                ));
+                let b = vocab.term(vocab.file_term_at_rank(
+                    (i as usize * 31 + 101) % vocab.len(),
+                ));
+                format!("{a} {b}")
+            })
+            .collect();
+
+        // Albums: assigned to artists with a small Poisson-ish count.
+        let mut album_titles = Vec::new();
+        let mut album_artist = Vec::new();
+        for artist in 0..config.catalog_artists {
+            let n_albums = 1 + rng.index((2.0 * config.albums_per_artist) as usize + 1);
+            for _ in 0..n_albums {
+                let w = vocab.term(vocab.file_term_at_rank(rng.index(vocab.len())));
+                album_titles.push(format!("{w} {}", album_titles.len()));
+                album_artist.push(artist);
+            }
+        }
+
+        // Genre per artist: Zipf over the stock list (some genres dominate).
+        let genre_zipf = Zipf::new(STOCK_GENRES.len(), 1.1);
+        let artist_genre: Vec<&str> = (0..config.catalog_artists)
+            .map(|_| STOCK_GENRES[genre_zipf.sample_index(&mut rng)])
+            .collect();
+
+        // Songs: albums are filled with 8-14 tracks each until the
+        // catalogue target is reached; titles are 1-4 vocabulary words
+        // drawn Zipf to give the Figure 4(a) long-tail of song-name
+        // popularity. Track lists matter: clients rip *albums*, which is
+        // what clusters obscure artists onto single clients (the paper's
+        // 65% artist-singleton anchor).
+        let title_zipf = Zipf::new(vocab.len(), 1.0);
+        let mut catalog: Vec<CatalogSong> = Vec::with_capacity(config.catalog_songs as usize);
+        let mut album_tracks: Vec<Vec<u32>> = vec![Vec::new(); album_titles.len()];
+        // Fill albums in shuffled order so the populated subset (when the
+        // song target is below total capacity) spans all artists.
+        let mut fill_order: Vec<u32> = (0..album_titles.len() as u32).collect();
+        rng.shuffle(&mut fill_order);
+        let mut album_cursor = 0usize;
+        while catalog.len() < config.catalog_songs as usize {
+            let album = fill_order[album_cursor % fill_order.len()];
+            album_cursor += 1;
+            let artist = album_artist[album as usize];
+            let n_tracks = 8 + rng.index(7);
+            for _ in 0..n_tracks {
+                if catalog.len() >= config.catalog_songs as usize {
+                    break;
+                }
+                let k = 1 + rng.index(4);
+                let title = (0..k)
+                    .map(|_| vocab.term(vocab.file_term_at_rank(title_zipf.sample_index(&mut rng))))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                album_tracks[album as usize].push(catalog.len() as u32);
+                catalog.push(CatalogSong {
+                    name: title,
+                    artist,
+                    album,
+                    genre: artist_genre[artist as usize].to_string(),
+                });
+            }
+        }
+
+        // --- Shares ------------------------------------------------------
+        // Clients sample *albums* (Zipf popularity over a shuffled album
+        // order so album id is popularity-free) and take most tracks of
+        // each sampled album — whole-album ripping.
+        let populated: Vec<u32> = (0..album_titles.len() as u32)
+            .filter(|&a| !album_tracks[a as usize].is_empty())
+            .collect();
+        let mut pop_order: Vec<u32> = populated.clone();
+        rng.shuffle(&mut pop_order);
+        let album_zipf = Zipf::new(pop_order.len(), config.popularity_s);
+
+        let shares: Vec<Share> = (0..config.num_clients)
+            .map(|client| {
+                // Share sizes: heavy-ish spread around the mean (half the
+                // mass in a uniform [0.1, 1.9] * mean band).
+                let size = ((0.1 + 1.8 * rng.next_f64()) * config.mean_share_size) as usize;
+                let mut seen_albums = qcp_util::FxHashSet::default();
+                let mut song_ids: Vec<u32> = Vec::with_capacity(size + 16);
+                let mut attempts = 0usize;
+                while song_ids.len() < size && attempts < size * 20 + 50 {
+                    attempts += 1;
+                    let album_id = pop_order[album_zipf.sample_index(&mut rng)];
+                    if !seen_albums.insert(album_id) {
+                        continue; // one copy of an album per library
+                    }
+                    for &track in &album_tracks[album_id as usize] {
+                        // Rippers keep most tracks, skipping a few.
+                        if rng.chance(0.9) {
+                            song_ids.push(track);
+                        }
+                    }
+                }
+                let mut songs = Vec::with_capacity(song_ids.len());
+                for song_id in song_ids {
+                    let song = &catalog[song_id as usize];
+                    let genre = if rng.chance(config.p_missing_genre) {
+                        String::new()
+                    } else if rng.chance(config.p_user_genre) {
+                        // A user-invented genre label, client-specific.
+                        format!("my-{}-{}", song.genre.to_lowercase(), client % 97)
+                    } else {
+                        song.genre.clone()
+                    };
+                    let album = if rng.chance(config.p_missing_album) {
+                        String::new()
+                    } else {
+                        album_titles[song.album as usize].clone()
+                    };
+                    songs.push(SongRecord {
+                        song_id,
+                        name: song.name.clone(),
+                        artist: artist_names[song.artist as usize].clone(),
+                        album,
+                        genre,
+                    });
+                }
+                Share { client, songs }
+            })
+            .collect();
+
+        Self {
+            shares,
+            artist_names,
+            album_titles,
+        }
+    }
+
+    /// Total shared song copies across all clients.
+    pub fn total_songs(&self) -> usize {
+        self.shares.iter().map(|s| s.songs.len()).sum()
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.shares.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::VocabularyConfig;
+
+    fn tiny_trace() -> ItunesTrace {
+        let vocab = Vocabulary::generate(&VocabularyConfig {
+            num_terms: 3_000,
+            head_size: 50,
+            head_overlap: 0.3,
+            seed: 3,
+        });
+        let config = ItunesConfig {
+            num_clients: 40,
+            catalog_songs: 4_000,
+            catalog_artists: 600,
+            mean_share_size: 120.0,
+            seed: 5,
+            ..Default::default()
+        };
+        ItunesTrace::generate(&vocab, &config)
+    }
+
+    #[test]
+    fn generates_all_clients() {
+        let t = tiny_trace();
+        assert_eq!(t.num_clients(), 40);
+        assert!(t.total_songs() > 1_000);
+    }
+
+    #[test]
+    fn no_duplicate_songs_within_a_share() {
+        let t = tiny_trace();
+        for share in &t.shares {
+            let mut ids: Vec<u32> = share.songs.iter().map(|s| s.song_id).collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "client {} has dup songs", share.client);
+        }
+    }
+
+    #[test]
+    fn replicas_share_catalogue_annotations() {
+        let t = tiny_trace();
+        let mut names: std::collections::HashMap<u32, &str> = Default::default();
+        let mut artists: std::collections::HashMap<u32, &str> = Default::default();
+        for share in &t.shares {
+            for s in &share.songs {
+                assert_eq!(*names.entry(s.song_id).or_insert(&s.name), s.name);
+                assert_eq!(*artists.entry(s.song_id).or_insert(&s.artist), s.artist);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_genre_fraction_near_target() {
+        let t = tiny_trace();
+        let total = t.total_songs();
+        let missing = t
+            .shares
+            .iter()
+            .flat_map(|s| &s.songs)
+            .filter(|s| s.genre.is_empty())
+            .count();
+        let frac = missing as f64 / total as f64;
+        assert!((0.05..0.13).contains(&frac), "missing genre {frac}");
+    }
+
+    #[test]
+    fn missing_album_fraction_near_target() {
+        let t = tiny_trace();
+        let total = t.total_songs();
+        let missing = t
+            .shares
+            .iter()
+            .flat_map(|s| &s.songs)
+            .filter(|s| s.album.is_empty())
+            .count();
+        let frac = missing as f64 / total as f64;
+        assert!((0.05..0.12).contains(&frac), "missing album {frac}");
+    }
+
+    #[test]
+    fn song_popularity_is_long_tailed() {
+        let t = tiny_trace();
+        let mut counts: std::collections::HashMap<u32, u32> = Default::default();
+        for share in &t.shares {
+            for s in &share.songs {
+                *counts.entry(s.song_id).or_insert(0) += 1;
+            }
+        }
+        let singles = counts.values().filter(|&&c| c == 1).count();
+        let frac = singles as f64 / counts.len() as f64;
+        // Paper: 64% of songs on a single client; generator lands nearby.
+        assert!((0.45..0.85).contains(&frac), "singleton songs {frac}");
+    }
+
+    #[test]
+    fn user_genres_create_new_labels() {
+        let t = tiny_trace();
+        let mut genres: qcp_util::FxHashSet<&str> = Default::default();
+        for share in &t.shares {
+            for s in &share.songs {
+                if !s.genre.is_empty() {
+                    genres.insert(&s.genre);
+                }
+            }
+        }
+        assert!(
+            genres.len() > STOCK_GENRES.len(),
+            "expected user-invented genres beyond the stock 24, got {}",
+            genres.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny_trace();
+        let b = tiny_trace();
+        assert_eq!(a.total_songs(), b.total_songs());
+        assert_eq!(a.shares[7].songs[3], b.shares[7].songs[3]);
+    }
+}

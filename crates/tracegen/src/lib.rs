@@ -1,0 +1,37 @@
+//! `qcp-tracegen` — synthetic trace substrate.
+//!
+//! The paper's raw traces (an April 2007 Gnutella file crawl, a campus
+//! iTunes/Zeroconf trace, and a one-week Phex query capture) were never
+//! released. Per the reproduction's substitution rule (DESIGN.md §4), this
+//! crate generates synthetic traces whose *distributional* properties are
+//! calibrated to every statistic the paper reports:
+//!
+//! * [`vocab`] — a deterministic pseudo-word vocabulary with independent
+//!   file-side and query-side popularity rankings whose *heads overlap by a
+//!   controlled fraction* (the paper's central mismatch observation);
+//! * [`noise`] — the filename noise model (capitalization, punctuation and
+//!   misspelling variants; Zaharia et al. measured ~20% of descriptions
+//!   misspelt);
+//! * [`gnutella`] — a crawl generator: peers, objects with power-law
+//!   replica counts, per-copy noised names;
+//! * [`itunes`] — a campus-share generator: a Gracenote-style canonical
+//!   catalogue sampled into 239 client libraries with missing/edited
+//!   annotations;
+//! * [`queries`] — a one-week query stream with a stable Zipf–Mandelbrot
+//!   head, Poisson transient bursts, and diurnal rate modulation.
+//!
+//! All generators are deterministic functions of a `u64` seed.
+
+#![warn(missing_docs)]
+
+pub mod gnutella;
+pub mod itunes;
+pub mod noise;
+pub mod queries;
+pub mod vocab;
+
+pub use gnutella::{Crawl, CrawlConfig, FileRecord};
+pub use noise::NoiseModel;
+pub use itunes::{ItunesConfig, ItunesTrace, Share, SongRecord};
+pub use queries::{QueryRecord, QueryTrace, QueryTraceConfig};
+pub use vocab::{Vocabulary, VocabularyConfig};

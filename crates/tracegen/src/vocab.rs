@@ -1,0 +1,279 @@
+//! Deterministic pseudo-word vocabulary with dual popularity rankings.
+//!
+//! The vocabulary is the shared universe of annotation/query terms. Two
+//! rankings are defined over it:
+//!
+//! * the **file ranking** — term at file-rank `r` is the `r`-th most common
+//!   term in object names (drawn by the crawl generator's Zipf sampler);
+//! * the **query ranking** — term at query-rank `r` is the `r`-th most
+//!   likely term in user queries.
+//!
+//! The rankings are constructed so that the top `head_size` file terms and
+//! the top `head_size` query terms share exactly
+//! `round(head_overlap * head_size)` members. This is the generator-side
+//! knob for the paper's Figure 7 finding (popular query terms vs popular
+//! file terms: Jaccard < 20%); the analysis pipeline never sees the knob,
+//! it measures the resulting streams.
+
+use qcp_util::rng::Pcg64;
+use qcp_util::FxHashSet;
+
+/// Configuration for [`Vocabulary::generate`].
+#[derive(Debug, Clone)]
+pub struct VocabularyConfig {
+    /// Number of distinct terms.
+    pub num_terms: usize,
+    /// Size of the "popular head" on both rankings.
+    pub head_size: usize,
+    /// Fraction of the query head that also belongs to the file head
+    /// (`0.0` = fully disjoint popular sets, `1.0` = identical).
+    pub head_overlap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VocabularyConfig {
+    fn default() -> Self {
+        Self {
+            num_terms: 50_000,
+            head_size: 200,
+            // Calibrated so Jaccard(popular query terms, popular file
+            // terms) lands at the paper's ~15% (J = a/(2-a) at a=0.3
+            // gives 0.176; measured values land under 0.2 per Figure 7).
+            head_overlap: 0.30,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A generated vocabulary with file- and query-side rankings.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    /// Term strings indexed by *term id*.
+    terms: Vec<String>,
+    /// `file_ranking[r]` = term id at file-popularity rank `r` (0 = best).
+    file_ranking: Vec<u32>,
+    /// `query_ranking[r]` = term id at query-popularity rank `r`.
+    query_ranking: Vec<u32>,
+    head_size: usize,
+}
+
+const SYLLABLES: &[&str] = &[
+    "ba", "be", "bo", "ka", "ke", "ko", "da", "de", "do", "fa", "fi", "fo", "ga", "ge", "go",
+    "la", "le", "lo", "ma", "me", "mo", "na", "ne", "no", "pa", "pe", "po", "ra", "re", "ro",
+    "sa", "se", "so", "ta", "te", "to", "va", "ve", "vo", "za", "ze", "zo", "shi", "cha", "tru",
+    "lin", "mar", "son", "ton", "ville", "stone", "wood", "light", "star", "blue", "gold",
+];
+
+/// Generates the `i`-th deterministic pseudo-word (no RNG: pure function of
+/// the index, so vocabularies of different sizes share prefixes).
+fn pseudo_word(i: usize) -> String {
+    let mut x = qcp_util::hash::mix64(i as u64 ^ 0x90bd_0000_0001_d0e5);
+    let syllable_count = 2 + (x % 3) as usize;
+    let mut word = String::new();
+    for _ in 0..syllable_count {
+        x = qcp_util::hash::mix64(x);
+        word.push_str(SYLLABLES[(x % SYLLABLES.len() as u64) as usize]);
+    }
+    word
+}
+
+impl Vocabulary {
+    /// Generates a vocabulary per `config`.
+    pub fn generate(config: &VocabularyConfig) -> Self {
+        assert!(config.num_terms >= 2 * config.head_size.max(1));
+        assert!((0.0..=1.0).contains(&config.head_overlap));
+        let mut rng = Pcg64::with_stream(config.seed, 0x70ca8);
+
+        // Unique term strings. pseudo_word can collide; disambiguate with a
+        // numeric suffix which survives tokenization as part of the word.
+        let mut seen: FxHashSet<String> = FxHashSet::default();
+        let mut terms = Vec::with_capacity(config.num_terms);
+        let mut i = 0usize;
+        while terms.len() < config.num_terms {
+            let mut w = pseudo_word(i);
+            if !seen.insert(w.clone()) {
+                w = format!("{w}{}", i);
+                let fresh = seen.insert(w.clone());
+                debug_assert!(fresh);
+            }
+            terms.push(w);
+            i += 1;
+        }
+
+        // File ranking: identity (term id r is the r-th most file-popular).
+        let file_ranking: Vec<u32> = (0..config.num_terms as u32).collect();
+
+        // Query ranking head: `overlap_count` terms drawn from the file
+        // head, the rest drawn from the file mid-tail (never the head), so
+        // popular-query ∩ popular-file is exactly the planted overlap.
+        let h = config.head_size;
+        let overlap_count = (config.head_overlap * h as f64).round() as usize;
+        let from_file_head = rng.sample_distinct(h, overlap_count);
+        // Non-overlapping query-head terms come from ranks [h, h*20) —
+        // mid-tail terms that exist in files but are not file-popular.
+        let mid_span = (h * 20).min(config.num_terms) - h;
+        let from_mid: Vec<usize> = rng
+            .sample_distinct(mid_span, h - overlap_count)
+            .into_iter()
+            .map(|x| x + h)
+            .collect();
+        let mut query_head: Vec<u32> = from_file_head
+            .into_iter()
+            .chain(from_mid)
+            .map(|x| x as u32)
+            .collect();
+        rng.shuffle(&mut query_head);
+
+        // Tail: all remaining term ids in a shuffled order.
+        let head_set: FxHashSet<u32> = query_head.iter().copied().collect();
+        let mut tail: Vec<u32> = (0..config.num_terms as u32)
+            .filter(|t| !head_set.contains(t))
+            .collect();
+        rng.shuffle(&mut tail);
+        let mut query_ranking = query_head;
+        query_ranking.extend(tail);
+
+        Self {
+            terms,
+            file_ranking,
+            query_ranking,
+            head_size: h,
+        }
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True for an empty vocabulary (cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The term string with id `id`.
+    pub fn term(&self, id: u32) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Term id at file-popularity rank `rank` (0-based, 0 = most popular).
+    pub fn file_term_at_rank(&self, rank: usize) -> u32 {
+        self.file_ranking[rank]
+    }
+
+    /// Term id at query-popularity rank `rank`.
+    pub fn query_term_at_rank(&self, rank: usize) -> u32 {
+        self.query_ranking[rank]
+    }
+
+    /// The configured head size.
+    pub fn head_size(&self) -> usize {
+        self.head_size
+    }
+
+    /// The planted overlap between the two heads (for test assertions; the
+    /// measurement pipeline must *recover* this without being told).
+    pub fn planted_head_overlap(&self) -> usize {
+        let file_head: FxHashSet<u32> =
+            self.file_ranking[..self.head_size].iter().copied().collect();
+        self.query_ranking[..self.head_size]
+            .iter()
+            .filter(|t| file_head.contains(t))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> VocabularyConfig {
+        VocabularyConfig {
+            num_terms: 5_000,
+            head_size: 100,
+            head_overlap: 0.3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generates_requested_term_count_unique() {
+        let v = Vocabulary::generate(&small_config());
+        assert_eq!(v.len(), 5_000);
+        let set: FxHashSet<&str> = (0..5_000).map(|i| v.term(i as u32)).collect();
+        assert_eq!(set.len(), 5_000, "terms must be unique");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Vocabulary::generate(&small_config());
+        let b = Vocabulary::generate(&small_config());
+        assert_eq!(a.term(17), b.term(17));
+        assert_eq!(a.query_term_at_rank(3), b.query_term_at_rank(3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Vocabulary::generate(&small_config());
+        let b = Vocabulary::generate(&VocabularyConfig {
+            seed: 43,
+            ..small_config()
+        });
+        let same = (0..100).filter(|&r| a.query_term_at_rank(r) == b.query_term_at_rank(r)).count();
+        assert!(same < 30, "query rankings should differ across seeds: {same}");
+    }
+
+    #[test]
+    fn planted_overlap_is_exact() {
+        for overlap in [0.0, 0.3, 0.5, 1.0] {
+            let v = Vocabulary::generate(&VocabularyConfig {
+                head_overlap: overlap,
+                ..small_config()
+            });
+            let expected = (overlap * 100.0).round() as usize;
+            assert_eq!(v.planted_head_overlap(), expected, "overlap {overlap}");
+        }
+    }
+
+    #[test]
+    fn query_ranking_is_a_permutation() {
+        let v = Vocabulary::generate(&small_config());
+        let mut ids: Vec<u32> = (0..5_000).map(|r| v.query_term_at_rank(r)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5_000);
+    }
+
+    #[test]
+    fn terms_are_tokenizer_stable() {
+        // Term strings must survive tokenization unchanged (single token,
+        // already lowercase) so term-level analysis recovers them exactly.
+        let v = Vocabulary::generate(&small_config());
+        for r in 0..200 {
+            let t = v.term(v.file_term_at_rank(r));
+            let tokens = qcp_terms_tokenize(t);
+            assert_eq!(tokens, vec![t.to_string()], "term {t} not stable");
+        }
+    }
+
+    // Minimal local tokenizer mirror to keep dev-deps acyclic; matches
+    // qcp-terms default behaviour for alphanumeric lowercase words.
+    fn qcp_terms_tokenize(s: &str) -> Vec<String> {
+        s.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| t.chars().count() >= 2)
+            .map(|t| t.to_lowercase())
+            .collect()
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_head_larger_than_half_vocab() {
+        let _ = Vocabulary::generate(&VocabularyConfig {
+            num_terms: 100,
+            head_size: 80,
+            head_overlap: 0.5,
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the trace generators: structural invariants that
+//! must hold for *any* configuration, not just the calibrated defaults.
+
+use proptest::prelude::*;
+use qcp_tracegen::{
+    Crawl, CrawlConfig, ItunesConfig, ItunesTrace, QueryTrace, QueryTraceConfig, Vocabulary,
+    VocabularyConfig,
+};
+
+fn vocab(seed: u64) -> Vocabulary {
+    Vocabulary::generate(&VocabularyConfig {
+        num_terms: 2_000,
+        head_size: 50,
+        head_overlap: 0.3,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn crawl_structure_holds_for_any_seed(seed in any::<u64>(), tau in 1.5f64..3.5) {
+        let v = vocab(seed);
+        let crawl = Crawl::generate(&v, &CrawlConfig {
+            num_peers: 150,
+            num_objects: 1_500,
+            tau,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(crawl.num_objects(), 1_500);
+        // Every record's peer is in range and names are non-empty.
+        for f in &crawl.files {
+            prop_assert!(f.peer < 150);
+            prop_assert!(!f.name.is_empty());
+            prop_assert!((f.object as usize) < 1_500);
+        }
+        // Ground-truth replica counts equal actual placements.
+        let mut placed = vec![0u32; 1_500];
+        for f in &crawl.files {
+            placed[f.object as usize] += 1;
+        }
+        for (obj, &count) in placed.iter().enumerate() {
+            prop_assert_eq!(count, crawl.replica_counts[obj].min(150));
+        }
+    }
+
+    #[test]
+    fn vocab_overlap_planted_exactly(seed in any::<u64>(), overlap in 0.0f64..=1.0) {
+        let v = Vocabulary::generate(&VocabularyConfig {
+            num_terms: 1_000,
+            head_size: 40,
+            head_overlap: overlap,
+            seed,
+        });
+        prop_assert_eq!(v.planted_head_overlap(), (overlap * 40.0).round() as usize);
+    }
+
+    #[test]
+    fn query_trace_respects_bounds(seed in any::<u64>(), n in 500usize..3_000) {
+        let v = vocab(seed);
+        let trace = QueryTrace::generate(&v, &QueryTraceConfig {
+            num_queries: n,
+            duration_secs: 3_600,
+            core_size: 50,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(trace.len(), n);
+        prop_assert!(trace.queries.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(trace.queries.iter().all(|q| q.time < 3_600));
+        prop_assert!(trace.queries.iter().all(|q| !q.text.is_empty()));
+        for b in &trace.bursts {
+            prop_assert!(b.start <= b.end && b.end <= 3_600);
+        }
+    }
+
+    #[test]
+    fn itunes_annotations_internally_consistent(seed in any::<u64>()) {
+        let v = vocab(seed);
+        let trace = ItunesTrace::generate(&v, &ItunesConfig {
+            num_clients: 20,
+            catalog_songs: 2_000,
+            catalog_artists: 300,
+            mean_share_size: 60.0,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(trace.num_clients(), 20);
+        // A song id always maps to the same (name, artist) across shares.
+        let mut names: std::collections::HashMap<u32, (&str, &str)> = Default::default();
+        for share in &trace.shares {
+            for s in &share.songs {
+                let entry = names.entry(s.song_id).or_insert((&s.name, &s.artist));
+                prop_assert_eq!(entry.0, s.name.as_str());
+                prop_assert_eq!(entry.1, s.artist.as_str());
+            }
+        }
+    }
+}

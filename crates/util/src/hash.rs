@@ -1,0 +1,163 @@
+//! Fx-style hashing.
+//!
+//! The measurement pipeline hashes millions of small keys (interned term
+//! symbols, object ids, node ids). The standard library's SipHash defends
+//! against HashDoS, which is irrelevant for an offline simulator, and is
+//! several times slower for short keys. This module implements the
+//! multiply-rotate "Fx" hash used by rustc, exposed through the usual
+//! `BuildHasher` plumbing so `FxHashMap<K, V>` is a drop-in replacement for
+//! `HashMap<K, V>`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+///
+/// Each word of input is combined with `rotate_left(5) ^ word` followed by a
+/// multiplication with a fixed odd constant (the golden-ratio multiplier).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a single `u64` to a well-mixed `u64` (SplitMix64 finalizer).
+///
+/// Useful for deriving hash-based positions (e.g. DHT ids) from sequential
+/// integers without constructing a `Hasher`.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes arbitrary bytes with [`FxHasher`] in one call.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        let a = hash_bytes(b"madonna");
+        let b = hash_bytes(b"madonnb");
+        let c = hash_bytes(b"madonn");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn trailing_zero_bytes_are_distinguished() {
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ab\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_bytes(b"gnutella"), hash_bytes(b"gnutella"));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("artist", 1);
+        m.insert("album", 2);
+        assert_eq!(m.get("artist"), Some(&1));
+        assert_eq!(m.get("album"), Some(&2));
+        assert_eq!(m.get("genre"), None);
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // mix64 is a permutation of u64; sampled outputs must be distinct.
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn mix64_changes_roughly_half_the_bits() {
+        let mut total = 0u32;
+        let n = 1000u64;
+        for i in 0..n {
+            total += (mix64(i) ^ mix64(i + 1)).count_ones();
+        }
+        let avg = total as f64 / n as f64;
+        assert!((24.0..40.0).contains(&avg), "avalanche avg {avg}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Histograms, rank-frequency series and complementary CDFs.
+//!
+//! Every figure in the paper is either a rank plot ("number of clients with
+//! object", Figures 1–4) or a time series; this module provides the rank and
+//! tail machinery.
+
+use crate::hash::FxHashMap;
+use std::hash::Hash;
+
+/// A fixed-bin histogram over `u64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: FxHashMap<u64, u64>,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: FxHashMap::default(),
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `weight` observations of `value`.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, weight: u64) {
+        *self.counts.entry(value).or_insert(0) += weight;
+        self.total += weight;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct values observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations with value `<= threshold`.
+    pub fn fraction_at_most(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let c: u64 = self
+            .counts
+            .iter()
+            .filter(|(v, _)| **v <= threshold)
+            .map(|(_, c)| *c)
+            .sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Fraction of observations with value `>= threshold`.
+    pub fn fraction_at_least(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let c: u64 = self
+            .counts
+            .iter()
+            .filter(|(v, _)| **v >= threshold)
+            .map(|(_, c)| *c)
+            .sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Sorted `(value, count)` pairs, ascending by value.
+    pub fn sorted(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mean observed value.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self
+            .counts
+            .iter()
+            .map(|(v, c)| *v as u128 * *c as u128)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+}
+
+/// Counts occurrences of each item and returns counts sorted descending —
+/// the "rank-frequency" view used for Zipf plots. Ties are broken
+/// deterministically by the natural order of counts only (item identity is
+/// discarded).
+pub fn rank_counts<T: Eq + Hash, I: IntoIterator<Item = T>>(items: I) -> Vec<u64> {
+    let mut counts: FxHashMap<T, u64> = FxHashMap::default();
+    for item in items {
+        *counts.entry(item).or_insert(0) += 1;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+/// Complementary CDF of a sample of counts: returns `(x, P(X >= x))` pairs
+/// for each distinct observed value `x`, ascending in `x`.
+pub fn ccdf(values: &[u64]) -> Vec<(u64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let x = sorted[i];
+        // Observations >= x are those from index i (first occurrence) on.
+        out.push((x, (sorted.len() - i) as f64 / n));
+        while i < sorted.len() && sorted[i] == x {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Downsamples a rank series (descending counts) to at most `max_points`
+/// log-spaced ranks — rank plots with millions of points are unreadable and
+/// slow to emit, and log spacing preserves the visual shape exactly.
+pub fn logspace_ranks(len: usize, max_points: usize) -> Vec<usize> {
+    if len == 0 || max_points == 0 {
+        return Vec::new();
+    }
+    if len <= max_points {
+        return (0..len).collect();
+    }
+    let mut out = Vec::with_capacity(max_points);
+    let log_max = (len as f64).ln();
+    let mut last = usize::MAX;
+    for i in 0..max_points {
+        let f = i as f64 / (max_points - 1) as f64;
+        let rank = ((f * log_max).exp() - 1.0).round() as usize;
+        let rank = rank.min(len - 1);
+        if rank != last {
+            out.push(rank);
+            last = rank;
+        }
+    }
+    if *out.last().unwrap() != len - 1 {
+        out.push(len - 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_fractions() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 1, 2, 5, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.distinct(), 4);
+        assert_eq!(h.count(1), 3);
+        assert!((h.fraction_at_most(2) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((h.fraction_at_least(5) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((h.mean() - 20.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_weighted_record() {
+        let mut h = Histogram::new();
+        h.record_n(3, 10);
+        h.record_n(7, 5);
+        assert_eq!(h.total(), 15);
+        assert_eq!(h.count(3), 10);
+        assert!((h.fraction_at_most(3) - 10.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.fraction_at_most(100), 0.0);
+        assert_eq!(h.fraction_at_least(0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn rank_counts_sorts_descending() {
+        let items = ["a", "b", "a", "c", "a", "b"];
+        let ranks = rank_counts(items);
+        assert_eq!(ranks, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn ccdf_of_simple_sample() {
+        let c = ccdf(&[1, 1, 2, 4]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], (1, 1.0));
+        assert!((c[1].1 - 0.5).abs() < 1e-12);
+        assert!((c[2].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_empty() {
+        assert!(ccdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn logspace_ranks_covers_ends() {
+        let r = logspace_ranks(1_000_000, 50);
+        assert!(r.len() <= 51);
+        assert_eq!(r[0], 0);
+        assert_eq!(*r.last().unwrap(), 999_999);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn logspace_ranks_small_input_identity() {
+        assert_eq!(logspace_ranks(5, 10), vec![0, 1, 2, 3, 4]);
+        assert!(logspace_ranks(0, 10).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! String interning.
+//!
+//! Term-level analysis touches each term string once at ingest and then
+//! operates exclusively on dense `u32` [`Symbol`]s: hash-map keys become
+//! integers, per-term tables become flat vectors, and set operations become
+//! sorted-slice merges.
+
+use crate::hash::FxHashMap;
+
+/// A dense handle to an interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping strings to dense [`Symbol`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner pre-sized for roughly `capacity` strings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: {
+                let mut m = FxHashMap::default();
+                m.reserve(capacity);
+                m
+            },
+            strings: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Interns `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// Panics if the symbol did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("madonna");
+        let b = i.intern("madonna");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered_by_first_use() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), Symbol(0));
+        assert_eq!(i.intern("b"), Symbol(1));
+        assert_eq!(i.intern("a"), Symbol(0));
+        assert_eq!(i.intern("c"), Symbol(2));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let s = i.intern("don't know much");
+        assert_eq!(i.resolve(s), "don't know much");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        assert_eq!(i.len(), 0);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        i.intern("one");
+        i.intern("two");
+        let pairs: Vec<_> = i.iter().map(|(s, t)| (s.0, t.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "one".to_string()), (1, "two".to_string())]);
+    }
+
+    #[test]
+    fn empty_and_unicode_strings() {
+        let mut i = Interner::new();
+        let e = i.intern("");
+        let u = i.intern("ñandú 東京");
+        assert_ne!(e, u);
+        assert_eq!(i.resolve(u), "ñandú 東京");
+    }
+}

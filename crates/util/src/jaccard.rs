@@ -1,0 +1,124 @@
+//! Jaccard set similarity.
+//!
+//! The paper's Section IV uses the Jaccard index
+//! `J(A, B) = |A ∩ B| / |A ∪ B|` to quantify (a) stability of the popular
+//! query-term set over time (Figure 6) and (b) the mismatch between popular
+//! query terms and popular file-annotation terms (Figure 7).
+
+use crate::hash::FxHashSet;
+use std::hash::Hash;
+
+/// Jaccard index of two hash sets. Returns 1.0 when both sets are empty
+/// (identical-by-vacuity, matching the convention used in the paper's
+/// stability plots where an empty interval compares equal to another empty
+/// interval).
+pub fn jaccard_sets<T: Eq + Hash>(a: &FxHashSet<T>, b: &FxHashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let inter = small.iter().filter(|x| large.contains(*x)).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard index of two *sorted, deduplicated* slices.
+///
+/// Linear-time merge; used on interned symbol lists where sorting once and
+/// comparing many times is cheaper than building hash sets per interval.
+pub fn jaccard_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input not sorted/dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input not sorted/dedup");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Intersection size of two sorted, deduplicated slices.
+pub fn intersection_size<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> FxHashSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let a = set(&[1, 2, 3]);
+        assert_eq!(jaccard_sets(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_similarity_zero() {
+        let a = set(&[1, 2]);
+        let b = set(&[3, 4]);
+        assert_eq!(jaccard_sets(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[2, 3, 4]);
+        assert!((jaccard_sets(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_are_identical() {
+        let a: FxHashSet<u32> = FxHashSet::default();
+        let b: FxHashSet<u32> = FxHashSet::default();
+        assert_eq!(jaccard_sets(&a, &b), 1.0);
+        let c = set(&[1]);
+        assert_eq!(jaccard_sets(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn sorted_matches_hash_version() {
+        let a = [1u32, 5, 9, 11];
+        let b = [2u32, 5, 11, 20, 30];
+        let ja = jaccard_sorted(&a, &b);
+        let jb = jaccard_sets(&set(&a), &set(&b));
+        assert!((ja - jb).abs() < 1e-12);
+        assert!((ja - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_size_counts_common_elements() {
+        assert_eq!(intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_size::<u32>(&[], &[1, 2]), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! ASCII plots for terminal figure rendering.
+//!
+//! The `repro` binary prints each reproduced figure both as CSV (for real
+//! plotting) and as an ASCII scatter so the shape is visible directly in a
+//! terminal. Supports linear and log10 axes — the paper's rank plots are
+//! log-log.
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Log10 axis; non-positive values are dropped from the plot.
+    Log,
+}
+
+/// Configuration for an ASCII plot.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Plot title.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// X axis scale.
+    pub x_scale: Scale,
+    /// Y axis scale.
+    pub y_scale: Scale,
+    /// Canvas width in characters.
+    pub width: usize,
+    /// Canvas height in characters.
+    pub height: usize,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        Self {
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            width: 72,
+            height: 20,
+        }
+    }
+}
+
+impl PlotConfig {
+    /// Convenience constructor for a log-log plot.
+    pub fn loglog(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Log,
+            y_scale: Scale::Log,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience constructor for a linear plot.
+    pub fn linear(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            ..Self::default()
+        }
+    }
+}
+
+/// A named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series.
+    pub glyph: char,
+}
+
+impl Series {
+    /// Creates a series with an automatic glyph (callers typically use
+    /// [`render`] which assigns distinct glyphs per series index).
+    pub fn new<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            glyph: '*',
+        }
+    }
+}
+
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+fn transform(v: f64, scale: Scale) -> Option<f64> {
+    match scale {
+        Scale::Linear => Some(v),
+        Scale::Log => {
+            if v > 0.0 {
+                Some(v.log10())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Renders series onto an ASCII canvas.
+///
+/// Returns a multi-line string; empty input yields a stub with the title.
+pub fn render(config: &PlotConfig, series: &[Series]) -> String {
+    let mut transformed: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+    for (si, s) in series.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .filter_map(|&(x, y)| {
+                Some((transform(x, config.x_scale)?, transform(y, config.y_scale)?))
+            })
+            .collect();
+        transformed.push((si, pts));
+    }
+    let all: Vec<(f64, f64)> = transformed.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    let mut out = String::new();
+    if !config.title.is_empty() {
+        out.push_str(&format!("== {} ==\n", config.title));
+    }
+    if all.is_empty() {
+        out.push_str("(no plottable points)\n");
+        return out;
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    if (max_x - min_x).abs() < f64::EPSILON {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < f64::EPSILON {
+        max_y = min_y + 1.0;
+    }
+    let w = config.width.max(8);
+    let h = config.height.max(4);
+    let mut canvas = vec![vec![' '; w]; h];
+    for (si, pts) in &transformed {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = ((x - min_x) / (max_x - min_x) * (w - 1) as f64).round() as usize;
+            let cy = ((y - min_y) / (max_y - min_y) * (h - 1) as f64).round() as usize;
+            canvas[h - 1 - cy][cx] = glyph;
+        }
+    }
+    let fmt_axis = |v: f64, scale: Scale| -> String {
+        match scale {
+            Scale::Linear => format!("{v:.3}"),
+            Scale::Log => format!("1e{v:.1}"),
+        }
+    };
+    out.push_str(&format!(
+        "y: {} .. {} ({})\n",
+        fmt_axis(min_y, config.y_scale),
+        fmt_axis(max_y, config.y_scale),
+        config.y_label
+    ));
+    for row in &canvas {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    out.push_str(&format!(
+        "x: {} .. {} ({})\n",
+        fmt_axis(min_x, config.x_scale),
+        fmt_axis(max_x, config.x_scale),
+        config.x_label
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_canvas() {
+        let cfg = PlotConfig::linear("test", "x", "y");
+        let s = Series::new("data", vec![(0.0, 0.0), (1.0, 1.0), (0.5, 0.25)]);
+        let text = render(&cfg, &[s]);
+        assert!(text.contains("== test =="));
+        assert!(text.contains('*'));
+        assert!(text.contains("data"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive() {
+        let cfg = PlotConfig::loglog("ll", "rank", "count");
+        let s = Series::new("d", vec![(0.0, 5.0), (-1.0, 2.0)]);
+        let text = render(&cfg, &[s]);
+        assert!(text.contains("no plottable points"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let cfg = PlotConfig::linear("multi", "x", "y");
+        let a = Series::new("a", vec![(0.0, 0.0)]);
+        let b = Series::new("b", vec![(1.0, 1.0)]);
+        let text = render(&cfg, &[a, b]);
+        assert!(text.contains("* a"));
+        assert!(text.contains("+ b"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let cfg = PlotConfig::linear("p", "x", "y");
+        let s = Series::new("one", vec![(2.0, 3.0)]);
+        let text = render(&cfg, &[s]);
+        assert!(text.contains('*'));
+    }
+}

@@ -1,0 +1,270 @@
+//! Descriptive statistics and least-squares fitting.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample variance with Bessel's correction (0 when `n < 2`).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over a sample in one pass
+    /// (Welford's online algorithm, numerically stable).
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                variance: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &x) in values.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i as f64 + 1.0);
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let n = values.len();
+        let variance = if n > 1 { m2 / (n as f64 - 1.0) } else { 0.0 };
+        Summary {
+            n,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Incremental mean/variance accumulator (Welford).
+///
+/// Used by the transient-popularity detector to maintain per-term historical
+/// baselines without storing every observation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current sample standard deviation (0 when `n < 2`).
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        if self.n > 1 {
+            (self.m2 / (self.n as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of a sample using linear
+/// interpolation between order statistics. The input does not need to be
+/// sorted; a sorted copy is made internally.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    assert!(!values.is_empty(), "quantile of empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over an already-sorted sample (ascending).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Result of an ordinary least-squares line fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares fit of paired observations.
+///
+/// Panics if fewer than two points are supplied or if all `x` are equal.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched fit inputs");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "degenerate fit: all x equal");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Log-log least-squares fit: fits `log10(y) = slope * log10(x) + c`.
+///
+/// Pairs where either coordinate is non-positive are skipped (they have no
+/// logarithm); at least two valid pairs must remain.
+pub fn loglog_fit(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len());
+    let mut lx = Vec::with_capacity(xs.len());
+    let mut ly = Vec::with_capacity(ys.len());
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x > 0.0 && y > 0.0 {
+            lx.push(x.log10());
+            ly.push(y.log10());
+        }
+    }
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_summary() {
+        let data = [1.0, 2.0, 3.5, -1.0, 10.0, 0.25];
+        let mut acc = Accumulator::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let s = Summary::of(&data);
+        assert_eq!(acc.count() as usize, s.n);
+        assert!((acc.mean() - s.mean).abs() < 1e-12);
+        assert!((acc.std_dev() - s.std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-10);
+        assert!((fit.intercept + 7.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_fit_recovers_power_law() {
+        let xs: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 * x.powf(-1.5)).collect();
+        let fit = loglog_fit(&xs, &ys);
+        assert!((fit.slope + 1.5).abs() < 1e-9, "slope {}", fit.slope);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_fit_skips_nonpositive_points() {
+        let xs = [0.0, 1.0, 10.0, 100.0];
+        let ys = [5.0, 1.0, 0.1, 0.01];
+        let fit = loglog_fit(&xs, &ys);
+        assert!((fit.slope + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn linear_fit_rejects_constant_x() {
+        let _ = linear_fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Tabular report emission: CSV files and aligned text tables.
+//!
+//! The `repro` binary regenerates every figure/table of the paper as a CSV
+//! series plus a human-readable rendering; this module is the shared
+//! formatting layer.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-oriented table: a header row plus string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of display-formatted values.
+    pub fn row_fmt<D: std::fmt::Display, I: IntoIterator<Item = D>>(&mut self, cells: I) -> &mut Self {
+        self.row(cells.into_iter().map(|c| c.to_string()))
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC-4180 quoting for cells containing
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        write_csv_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_csv_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Renders an aligned, pipe-separated text table.
+    pub fn to_text(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "| {}{} ", cell, " ".repeat(pad));
+            }
+            out.push_str("|\n");
+        };
+        fmt_row(&mut out, &self.header);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i + 1 == ncols {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+fn write_csv_row(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains([',', '"', '\n']) {
+            out.push('"');
+            out.push_str(&cell.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
+/// Formats a float with `digits` significant-looking decimal places,
+/// trimming trailing zeros ("1.25", "0.5", "3").
+pub fn fnum(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.contains('.') {
+        let t = s.trim_end_matches('0').trim_end_matches('.');
+        t.to_string()
+    } else {
+        s
+    }
+}
+
+/// Formats a fraction as a percentage string ("42.3%").
+pub fn percent(frac: f64) -> String {
+    format!("{}%", fnum(frac * 100.0, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["plain", "1"]);
+        t.row(["with,comma", "quote\"inside"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+        assert!(csv.starts_with("name,value\n"));
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = Table::new(["a", "longheader"]);
+        t.row(["xxxx", "1"]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn fnum_trims_zeros() {
+        assert_eq!(fnum(1.2500, 4), "1.25");
+        assert_eq!(fnum(3.0, 2), "3");
+        assert_eq!(fnum(0.5004, 2), "0.5");
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.705), "70.5%");
+        assert_eq!(percent(1.0), "100%");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("qcp_table_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new(["x"]);
+        t.row(["1"]);
+        t.write_csv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the statistics substrate.
+
+use proptest::prelude::*;
+use qcp_util::hist::{ccdf, logspace_ranks, Histogram};
+use qcp_util::stats::{quantile, Accumulator, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_orders_min_mean_max(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert!((s.std_dev * s.std_dev - s.variance).abs() < 1e-6 * (1.0 + s.variance));
+    }
+
+    #[test]
+    fn accumulator_matches_summary(values in proptest::collection::vec(-1e4f64..1e4, 1..100)) {
+        let mut acc = Accumulator::new();
+        for &v in &values {
+            acc.push(v);
+        }
+        let s = Summary::of(&values);
+        prop_assert!((acc.mean() - s.mean).abs() < 1e-6);
+        prop_assert!((acc.std_dev() - s.std_dev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(values in proptest::collection::vec(-1e5f64..1e5, 1..100),
+                                        q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo);
+        let b = quantile(&values, hi);
+        prop_assert!(a <= b + 1e-9);
+        let s = Summary::of(&values);
+        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn histogram_totals_are_consistent(values in proptest::collection::vec(0u64..50, 0..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let from_sorted: u64 = h.sorted().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(from_sorted, values.len() as u64);
+        // fraction_at_most(max) == 1 whenever nonempty.
+        if !values.is_empty() {
+            prop_assert!((h.fraction_at_most(49) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ccdf_is_monotone_decreasing(values in proptest::collection::vec(1u64..1000, 1..200)) {
+        let c = ccdf(&values);
+        prop_assert!((c[0].1 - 1.0).abs() < 1e-12, "P(X >= min) must be 1");
+        for w in c.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn logspace_ranks_valid_for_any_size(len in 0usize..100_000, points in 1usize..200) {
+        let r = logspace_ranks(len, points);
+        if len == 0 {
+            prop_assert!(r.is_empty());
+        } else {
+            prop_assert_eq!(r[0], 0);
+            prop_assert_eq!(*r.last().unwrap(), len - 1);
+            prop_assert!(r.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(r.iter().all(|&i| i < len));
+        }
+    }
+}

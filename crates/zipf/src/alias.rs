@@ -1,0 +1,168 @@
+//! Walker/Vose alias method: O(n) construction, O(1) sampling from any
+//! finite discrete distribution.
+//!
+//! The trace generators draw hundreds of millions of term/object samples
+//! from fixed Zipf distributions; the alias table turns each draw into one
+//! uniform variate, one table lookup and one comparison.
+
+use qcp_util::rng::Pcg64;
+
+/// A pre-built alias table over outcomes `0..n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability for the "home" outcome of each column.
+    prob: Vec<f64>,
+    /// Alias outcome taken when the home outcome is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (not necessarily
+    /// normalized). Panics on an empty slice, a zero/negative total, any
+    /// negative weight, or more than `u32::MAX` outcomes.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table limited to u32 outcomes"
+        );
+        let total: f64 = weights
+            .iter()
+            .inspect(|&&w| assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}"))
+            .sum();
+        assert!(total > 0.0, "total weight must be positive");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = vec![0; n];
+
+        // Partition columns into under-full and over-full stacks.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // The large column donates (1 - prob[s]) of its mass.
+            let remaining = (prob[l as usize] + prob[s as usize]) - 1.0;
+            prob[l as usize] = remaining;
+            if remaining < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: saturate.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has zero outcomes (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Pcg64) -> usize {
+        let col = rng.index(self.prob.len());
+        if rng.next_f64() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Pcg64::new(seed);
+        let mut counts = vec![0u64; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let freqs = empirical(&t, 200_000, 1);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_probabilities() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let t = AliasTable::new(&weights);
+        let freqs = empirical(&t, 400_000, 2);
+        for (f, w) in freqs.iter().zip(&weights) {
+            let expected = w / total;
+            assert!((f - expected).abs() < 0.01, "freq {f} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 3.0, 0.0]);
+        let freqs = empirical(&t, 100_000, 3);
+        assert_eq!(freqs[1], 0.0);
+        assert_eq!(freqs[3], 0.0);
+        assert!((freqs[0] - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = Pcg64::new(4);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_accepted() {
+        let a = AliasTable::new(&[0.25, 0.75]);
+        let b = AliasTable::new(&[25.0, 75.0]);
+        let fa = empirical(&a, 200_000, 5);
+        let fb = empirical(&b, 200_000, 5);
+        assert!((fa[0] - fb[0]).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Tail-exponent estimation and goodness-of-fit.
+//!
+//! The analysis pipeline fits the synthetic (and, were they available, real)
+//! count distributions to verify the "Zipf-like" claims of the paper's
+//! Section III. Two estimators are provided:
+//!
+//! * [`fit_rank_frequency`] — the classic log-log least-squares slope of
+//!   the rank-frequency plot (what the paper eyeballs in Figures 1–4);
+//! * [`fit_tail_mle`] — the discrete maximum-likelihood estimator of
+//!   Clauset–Shalizi–Newman, which is statistically sound where regression
+//!   is biased.
+//!
+//! [`ks_distance_powerlaw`] reports the Kolmogorov–Smirnov distance between
+//! the empirical counts and a fitted discrete power law.
+
+use qcp_util::stats::loglog_fit;
+
+/// Result of a tail fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailFit {
+    /// Estimated exponent. For rank-frequency fits this is the Zipf `s`
+    /// (slope magnitude); for MLE it is the power-law `τ` of `P(X=r)∝r^-τ`.
+    pub exponent: f64,
+    /// Goodness measure: R² for regression, normalized log-likelihood for
+    /// MLE.
+    pub goodness: f64,
+    /// Number of observations used.
+    pub n_used: usize,
+}
+
+/// Fits the rank-frequency plot of descending `counts` by least squares in
+/// log-log space, returning the Zipf exponent `s` (positive).
+///
+/// `counts` must be sorted descending (as produced by
+/// `qcp_util::hist::rank_counts`); zero counts are skipped.
+pub fn fit_rank_frequency(counts: &[u64]) -> TailFit {
+    assert!(counts.len() >= 2, "need at least two ranks to fit");
+    debug_assert!(counts.windows(2).all(|w| w[0] >= w[1]), "counts not descending");
+    let mut xs = Vec::with_capacity(counts.len());
+    let mut ys = Vec::with_capacity(counts.len());
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            xs.push((i + 1) as f64);
+            ys.push(c as f64);
+        }
+    }
+    let fit = loglog_fit(&xs, &ys);
+    TailFit {
+        exponent: -fit.slope,
+        goodness: fit.r_squared,
+        n_used: xs.len(),
+    }
+}
+
+/// Discrete power-law MLE (Clauset–Shalizi–Newman) for values
+/// `x >= x_min`, maximizing `L(τ) = -n ln ζ(τ, x_min) - τ Σ ln x_i` over a
+/// grid with golden-section refinement.
+///
+/// Returns the estimated `τ`. The zeta function is truncated at a large
+/// cutoff, which is exact for bounded supports (all our data is bounded by
+/// the peer count).
+pub fn fit_tail_mle(values: &[u64], x_min: u64) -> TailFit {
+    assert!(x_min >= 1);
+    let tail: Vec<u64> = values.iter().copied().filter(|&v| v >= x_min).collect();
+    assert!(tail.len() >= 10, "need at least 10 tail observations");
+    let n = tail.len() as f64;
+    let sum_ln: f64 = tail.iter().map(|&v| (v as f64).ln()).sum();
+    let max_v = *tail.iter().max().unwrap();
+    // Truncated Hurwitz zeta on [x_min, cutoff].
+    let cutoff = (max_v * 4).max(10_000);
+    let log_lik = |tau: f64| -> f64 {
+        let z: f64 = (x_min..=cutoff).map(|r| (r as f64).powf(-tau)).sum();
+        -n * z.ln() - tau * sum_ln
+    };
+    // Golden-section search on [1.01, 8].
+    let (mut a, mut b) = (1.01f64, 8.0f64);
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let mut fc = log_lik(c);
+    let mut fd = log_lik(d);
+    for _ in 0..60 {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = log_lik(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = log_lik(d);
+        }
+    }
+    let tau = 0.5 * (a + b);
+    TailFit {
+        exponent: tau,
+        goodness: log_lik(tau) / n,
+        n_used: tail.len(),
+    }
+}
+
+/// Kolmogorov–Smirnov distance between the empirical distribution of
+/// `values >= x_min` and a discrete power law with exponent `tau` on
+/// `[x_min, max(values)]`.
+pub fn ks_distance_powerlaw(values: &[u64], x_min: u64, tau: f64) -> f64 {
+    let mut tail: Vec<u64> = values.iter().copied().filter(|&v| v >= x_min).collect();
+    assert!(!tail.is_empty());
+    tail.sort_unstable();
+    let max_v = *tail.last().unwrap();
+    // Model CDF.
+    let z: f64 = (x_min..=max_v).map(|r| (r as f64).powf(-tau)).sum();
+    let mut model_cdf = Vec::with_capacity((max_v - x_min + 1) as usize);
+    let mut acc = 0.0;
+    for r in x_min..=max_v {
+        acc += (r as f64).powf(-tau) / z;
+        model_cdf.push(acc);
+    }
+    let n = tail.len() as f64;
+    let mut max_d = 0.0f64;
+    let mut i = 0usize;
+    while i < tail.len() {
+        let v = tail[i];
+        let mut j = i;
+        while j < tail.len() && tail[j] == v {
+            j += 1;
+        }
+        let emp = j as f64 / n;
+        let model = model_cdf[(v - x_min) as usize];
+        max_d = max_d.max((emp - model).abs());
+        i = j;
+    }
+    max_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::DiscretePowerLaw;
+    use qcp_util::rng::Pcg64;
+
+    fn synthetic_counts(n_items: usize, s: f64, draws: usize, seed: u64) -> Vec<u64> {
+        let z = crate::zipf::Zipf::new(n_items, s);
+        let mut rng = Pcg64::new(seed);
+        let mut counts = vec![0u64; n_items];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+
+    #[test]
+    fn rank_frequency_recovers_exponent() {
+        let counts = synthetic_counts(2000, 1.0, 2_000_000, 1);
+        let fit = fit_rank_frequency(&counts[..500]);
+        assert!(
+            (fit.exponent - 1.0).abs() < 0.15,
+            "estimated {}",
+            fit.exponent
+        );
+        assert!(fit.goodness > 0.95);
+    }
+
+    #[test]
+    fn rank_frequency_skips_zero_counts() {
+        let counts = vec![100, 50, 25, 0, 0];
+        let fit = fit_rank_frequency(&counts);
+        assert_eq!(fit.n_used, 3);
+        assert!(fit.exponent > 0.0);
+    }
+
+    #[test]
+    fn mle_recovers_tau() {
+        let d = DiscretePowerLaw::new(1, 100_000, 2.3);
+        let mut rng = Pcg64::new(2);
+        let values: Vec<u64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = fit_tail_mle(&values, 1);
+        assert!((fit.exponent - 2.3).abs() < 0.1, "tau {}", fit.exponent);
+    }
+
+    #[test]
+    fn mle_with_higher_xmin_still_recovers() {
+        let d = DiscretePowerLaw::new(1, 100_000, 2.0);
+        let mut rng = Pcg64::new(3);
+        let values: Vec<u64> = (0..80_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = fit_tail_mle(&values, 3);
+        assert!((fit.exponent - 2.0).abs() < 0.15, "tau {}", fit.exponent);
+    }
+
+    #[test]
+    fn ks_distance_small_for_true_model() {
+        let d = DiscretePowerLaw::new(1, 10_000, 2.2);
+        let mut rng = Pcg64::new(4);
+        let values: Vec<u64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        let good = ks_distance_powerlaw(&values, 1, 2.2);
+        let bad = ks_distance_powerlaw(&values, 1, 4.0);
+        assert!(good < 0.02, "good KS {good}");
+        assert!(bad > good * 3.0, "bad {bad} vs good {good}");
+    }
+
+    #[test]
+    fn geometric_data_is_not_powerlaw() {
+        // Geometric decay should fit poorly relative to true power law data.
+        let mut rng = Pcg64::new(5);
+        let values: Vec<u64> = (0..30_000)
+            .map(|_| {
+                let mut v = 1u64;
+                while rng.chance(0.5) && v < 64 {
+                    v += 1;
+                }
+                v
+            })
+            .collect();
+        let fit = fit_tail_mle(&values, 1);
+        let ks = ks_distance_powerlaw(&values, 1, fit.exponent);
+        assert!(ks > 0.05, "geometric data KS unexpectedly small: {ks}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn fit_rank_frequency_rejects_tiny_input() {
+        let _ = fit_rank_frequency(&[5]);
+    }
+}

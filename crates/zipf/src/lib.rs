@@ -1,0 +1,27 @@
+//! `qcp-zipf` — heavy-tailed distributions and tail fitting.
+//!
+//! The paper's entire argument rests on Zipf-like long tails: object names,
+//! annotation terms, query terms and replica counts all follow (different)
+//! power laws. This crate provides:
+//!
+//! * [`alias`] — Walker/Vose alias tables for O(1) sampling from arbitrary
+//!   finite discrete distributions;
+//! * [`zipf`] — Zipf and Zipf–Mandelbrot samplers over ranks `1..=n`;
+//! * [`powerlaw`] — discrete power-law *value* samplers `P(X = r) ∝ r^{-τ}`
+//!   on a bounded support, used for replica-count generation;
+//! * [`fit`] — rank-frequency regression and discrete maximum-likelihood
+//!   estimation of the tail exponent, plus a Kolmogorov–Smirnov distance
+//!   for goodness-of-fit, so the analysis pipeline can *verify* that the
+//!   synthetic traces are as Zipf as the paper claims the real ones are.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod fit;
+pub mod powerlaw;
+pub mod zipf;
+
+pub use alias::AliasTable;
+pub use fit::{fit_rank_frequency, fit_tail_mle, ks_distance_powerlaw, TailFit};
+pub use powerlaw::DiscretePowerLaw;
+pub use zipf::{Zipf, ZipfMandelbrot};

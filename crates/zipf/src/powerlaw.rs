@@ -1,0 +1,232 @@
+//! Discrete power-law value samplers.
+//!
+//! Where [`crate::zipf`] samples *ranks*, this module samples *values*:
+//! `P(X = r) ∝ r^{-τ}` for `r ∈ [r_min, r_max]`. This is the replica-count
+//! model behind Figures 1–4: the paper reports ~70% of objects existing on
+//! exactly one peer and >99% on fewer than 0.1% of peers, which is the
+//! signature of a discrete power law with τ ≈ 2.2–2.4.
+
+use qcp_util::rng::Pcg64;
+
+/// Discrete bounded power law `P(X = r) ∝ r^{-τ}`, `r ∈ [min, max]`.
+#[derive(Debug, Clone)]
+pub struct DiscretePowerLaw {
+    min: u64,
+    /// CDF table for supports small enough to tabulate; `None` beyond that
+    /// (falls back to inverse-CDF approximation).
+    cdf: Option<Vec<f64>>,
+    max: u64,
+    tau: f64,
+}
+
+/// Largest support tabulated exactly.
+const TABLE_LIMIT: u64 = 1 << 22;
+
+impl DiscretePowerLaw {
+    /// Builds a sampler on `[min, max]` with exponent `tau > 0`.
+    pub fn new(min: u64, max: u64, tau: f64) -> Self {
+        assert!(min >= 1, "support must start at 1 or above");
+        assert!(max >= min, "empty support");
+        assert!(tau > 0.0 && tau.is_finite());
+        let span = max - min + 1;
+        let cdf = if span <= TABLE_LIMIT {
+            let mut acc = 0.0f64;
+            let mut table = Vec::with_capacity(span as usize);
+            for r in min..=max {
+                acc += (r as f64).powf(-tau);
+                table.push(acc);
+            }
+            let total = acc;
+            for v in &mut table {
+                *v /= total;
+            }
+            Some(table)
+        } else {
+            None
+        };
+        Self { min, cdf, max, tau }
+    }
+
+    /// Lower support bound.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Upper support bound.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exponent.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut Pcg64) -> u64 {
+        let u = rng.next_f64();
+        match &self.cdf {
+            Some(table) => {
+                // Binary search for the first entry >= u.
+                let idx = table.partition_point(|&c| c < u);
+                self.min + (idx as u64).min(table.len() as u64 - 1)
+            }
+            None => {
+                // Continuous bounded-Pareto inverse CDF, rounded down.
+                let a = 1.0 - self.tau;
+                let lo = self.min as f64;
+                let hi = self.max as f64 + 1.0;
+                let x = if a.abs() < 1e-9 {
+                    lo * (hi / lo).powf(u)
+                } else {
+                    (u * (hi.powf(a) - lo.powf(a)) + lo.powf(a)).powf(1.0 / a)
+                };
+                (x.floor() as u64).clamp(self.min, self.max)
+            }
+        }
+    }
+
+    /// Exact probability mass at `r` (only for tabulated supports).
+    pub fn pmf(&self, r: u64) -> f64 {
+        assert!((self.min..=self.max).contains(&r));
+        let table = self
+            .cdf
+            .as_ref()
+            .expect("pmf available only for tabulated supports");
+        let i = (r - self.min) as usize;
+        if i == 0 {
+            table[0]
+        } else {
+            table[i] - table[i - 1]
+        }
+    }
+
+    /// Expected value (tabulated supports only).
+    pub fn mean(&self) -> f64 {
+        (self.min..=self.max).map(|r| r as f64 * self.pmf(r)).sum()
+    }
+
+    /// Finds the exponent `τ` for which `P(X = min)` equals
+    /// `singleton_fraction` on `[min, max]`, by bisection.
+    ///
+    /// This is how experiments calibrate the replica-count model to the
+    /// paper's "70.5% of objects had exactly one replica".
+    pub fn calibrate_singleton(min: u64, max: u64, singleton_fraction: f64) -> f64 {
+        assert!((0.0..1.0).contains(&singleton_fraction) && singleton_fraction > 0.0);
+        let p_min = |tau: f64| -> f64 {
+            let z: f64 = (min..=max.min(min + 1_000_000))
+                .map(|r| (r as f64).powf(-tau))
+                .sum();
+            (min as f64).powf(-tau) / z
+        };
+        let (mut lo, mut hi) = (0.05f64, 12.0f64);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if p_min(mid) < singleton_fraction {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_support() {
+        let d = DiscretePowerLaw::new(1, 100, 2.3);
+        let mut rng = Pcg64::new(1);
+        for _ in 0..10_000 {
+            let r = d.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = DiscretePowerLaw::new(1, 500, 2.0);
+        let total: f64 = (1..=500).map(|r| d.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_singleton_fraction_matches_pmf() {
+        let d = DiscretePowerLaw::new(1, 1000, 2.3);
+        let mut rng = Pcg64::new(2);
+        let draws = 200_000;
+        let singles = (0..draws).filter(|_| d.sample(&mut rng) == 1).count();
+        let frac = singles as f64 / draws as f64;
+        assert!((frac - d.pmf(1)).abs() < 0.01, "frac {frac} pmf {}", d.pmf(1));
+    }
+
+    #[test]
+    fn tau_2_3_gives_seventyish_percent_singletons() {
+        // The calibration target from the paper's Figure 1 analysis.
+        let d = DiscretePowerLaw::new(1, 37_572, 2.3);
+        let p1 = d.pmf(1);
+        assert!((0.65..0.82).contains(&p1), "p1 = {p1}");
+    }
+
+    #[test]
+    fn calibrate_singleton_recovers_target() {
+        for target in [0.60, 0.705, 0.80] {
+            let tau = DiscretePowerLaw::calibrate_singleton(1, 37_572, target);
+            let d = DiscretePowerLaw::new(1, 37_572, tau);
+            assert!(
+                (d.pmf(1) - target).abs() < 0.005,
+                "target {target}, tau {tau}, got {}",
+                d.pmf(1)
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_support_works() {
+        let d = DiscretePowerLaw::new(5, 50, 1.5);
+        let mut rng = Pcg64::new(3);
+        for _ in 0..5000 {
+            let r = d.sample(&mut rng);
+            assert!((5..=50).contains(&r));
+        }
+        assert!(d.pmf(5) > d.pmf(6));
+    }
+
+    #[test]
+    fn huge_support_uses_approximation() {
+        let d = DiscretePowerLaw::new(1, 1 << 30, 2.0);
+        let mut rng = Pcg64::new(4);
+        let mut singles = 0u64;
+        let draws = 100_000;
+        for _ in 0..draws {
+            let r = d.sample(&mut rng);
+            assert!((1..=1 << 30).contains(&r));
+            if r == 1 {
+                singles += 1;
+            }
+        }
+        // For tau=2 the exact singleton mass is 1/zeta(2) ≈ 0.608; the
+        // continuous approximation lands near 0.5-0.65.
+        let frac = singles as f64 / draws as f64;
+        assert!((0.4..0.75).contains(&frac), "singleton frac {frac}");
+    }
+
+    #[test]
+    fn mean_matches_empirical() {
+        let d = DiscretePowerLaw::new(1, 200, 2.3);
+        let mut rng = Pcg64::new(5);
+        let draws = 300_000;
+        let sum: u64 = (0..draws).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum as f64 / draws as f64;
+        assert!((emp - d.mean()).abs() < 0.05, "emp {emp} vs {}", d.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn rejects_inverted_bounds() {
+        let _ = DiscretePowerLaw::new(10, 5, 2.0);
+    }
+}

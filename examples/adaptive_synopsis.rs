@@ -1,0 +1,78 @@
+//! The paper's position, demonstrated: a query-centric synopsis overlay
+//! observing the live query stream beats a content-centric one at the same
+//! per-peer budget, and keeps adapting as transient bursts shift the
+//! workload.
+//!
+//! ```text
+//! cargo run --release --example adaptive_synopsis
+//! ```
+
+use qcp2p::search::{
+    evaluate, gen_queries, RandomWalkSearch, SearchWorld, SynopsisPolicy, SynopsisSearch,
+    WorkloadConfig, WorldConfig,
+};
+
+fn main() {
+    let world = SearchWorld::generate(&WorldConfig {
+        num_peers: 2_000,
+        num_objects: 20_000,
+        head_overlap: 0.3, // the measured query/file mismatch
+        seed: 43,
+        ..Default::default()
+    });
+    let budget = 12; // synopsis slots per peer
+    let ttl = 40;
+
+    // One "day" of observed queries to learn from, one test set to score.
+    let train = gen_queries(
+        &world,
+        &WorkloadConfig {
+            num_queries: 6_000,
+            seed: 47,
+        },
+    );
+    let test = gen_queries(
+        &world,
+        &WorkloadConfig {
+            num_queries: 1_200,
+            seed: 53,
+        },
+    );
+
+    let mut blind = RandomWalkSearch::new(1, ttl);
+    let mut content = SynopsisSearch::new(&world, SynopsisPolicy::ContentCentric, budget, ttl);
+    let mut adaptive = SynopsisSearch::new(&world, SynopsisPolicy::QueryCentric, budget, ttl);
+
+    // The adaptive system watches the stream in daily batches (EWMA decay
+    // keeps it responsive to transient bursts).
+    for batch in train.chunks(2_000) {
+        adaptive.observe_queries(&world, batch, 0.5);
+    }
+
+    let rows = evaluate(
+        &world,
+        &mut [&mut blind, &mut content, &mut adaptive],
+        &test,
+        59,
+    );
+    println!(
+        "budget: {budget} synopsis terms/peer; walk TTL {ttl}; query/file head overlap 30%\n"
+    );
+    println!("{:<28} {:>9} {:>12}", "system", "success", "msgs/query");
+    for r in &rows {
+        println!(
+            "{:<28} {:>8.1}% {:>12.1}",
+            r.system,
+            r.success_rate * 100.0,
+            r.mean_messages
+        );
+    }
+
+    let content_rate = rows[1].success_rate;
+    let adaptive_rate = rows[2].success_rate;
+    println!(
+        "\nquery-centric synopses resolve {:.1}x the queries of content-centric ones at identical budget —",
+        adaptive_rate / content_rate.max(1e-9)
+    );
+    println!("advertising what users *ask for* beats advertising what peers *store*, exactly because the two vocabularies barely overlap (Figure 7).");
+}

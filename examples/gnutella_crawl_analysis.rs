@@ -1,0 +1,87 @@
+//! Crawl-side analysis (the paper's §III): generate a Gnutella file crawl,
+//! measure object/term replication, fit the power-law tails, and show the
+//! effect of name sanitization — Figures 1, 2 and 3 from the library API.
+//!
+//! ```text
+//! cargo run --release --example gnutella_crawl_analysis
+//! ```
+
+use qcp2p::analysis::{ReplicationAnalysis, TermReplicationAnalysis};
+use qcp2p::tracegen::{Crawl, CrawlConfig, Vocabulary, VocabularyConfig};
+use qcp2p::util::plot::{render, PlotConfig, Series};
+
+fn main() {
+    let vocab = Vocabulary::generate(&VocabularyConfig {
+        num_terms: 20_000,
+        head_size: 200,
+        head_overlap: 0.3,
+        seed: 11,
+    });
+    let crawl = Crawl::generate(
+        &vocab,
+        &CrawlConfig {
+            num_peers: 2_000,
+            num_objects: 60_000,
+            seed: 13,
+            ..Default::default()
+        },
+    );
+    println!(
+        "crawled {} peers: {} file copies, {} ground-truth objects",
+        crawl.num_peers,
+        crawl.total_copies(),
+        crawl.num_objects()
+    );
+
+    let records = || crawl.files.iter().map(|f| (f.peer, f.name.as_str()));
+    let raw = ReplicationAnalysis::from_names(crawl.num_peers, records());
+    let sanitized = ReplicationAnalysis::from_sanitized_names(crawl.num_peers, records());
+    let terms = TermReplicationAnalysis::from_names(records());
+
+    // Figure 1/2 comparison.
+    println!(
+        "\nraw names      : {} unique, {:.1}% singletons, {:.1}% on <= 37 peers, tail exponent {:.2}",
+        raw.unique_objects,
+        raw.singleton_fraction() * 100.0,
+        raw.fraction_at_most(37) * 100.0,
+        raw.tail.exponent
+    );
+    println!(
+        "sanitized names: {} unique, {:.1}% singletons, {:.1}% on <= 37 peers",
+        sanitized.unique_objects,
+        sanitized.singleton_fraction() * 100.0,
+        sanitized.fraction_at_most(37) * 100.0,
+    );
+    println!(
+        "sanitization merged {} name variants (case/punctuation); misspellings survive it.",
+        raw.unique_objects - sanitized.unique_objects
+    );
+
+    // Figure 3.
+    println!(
+        "\nname terms: {} unique, {:.1}% on a single peer (paper: 71.3%)",
+        terms.unique_terms,
+        terms.singleton_fraction() * 100.0
+    );
+
+    let to_pts = |series: &[(u64, u64)]| -> Vec<(f64, f64)> {
+        series.iter().map(|&(x, y)| (x as f64, y as f64)).collect()
+    };
+    println!(
+        "\n{}",
+        render(
+            &PlotConfig::loglog("clients with object (Figure 1 shape)", "rank", "clients"),
+            &[
+                Series::new("raw", to_pts(&raw.rank_series(200))),
+                Series::new("sanitized", to_pts(&sanitized.rank_series(200))),
+            ],
+        )
+    );
+
+    // The implication the paper draws from these tails:
+    println!(
+        "only {:.2}% of objects are on >= 20 peers — under Loo et al.'s rule, {:.1}% of content is 'rare' and unstructured search cannot serve it.",
+        raw.fraction_at_least(20) * 100.0,
+        (1.0 - raw.fraction_at_least(20)) * 100.0
+    );
+}

@@ -1,0 +1,103 @@
+//! Query-side temporal analysis (the paper's §IV): bucket a week-long
+//! query stream into evaluation intervals, track popular-set stability,
+//! detect transient bursts, and measure the query/file term mismatch —
+//! Figures 5, 6 and 7 driven directly through the library API.
+//!
+//! ```text
+//! cargo run --release --example query_mismatch_timeline
+//! ```
+
+use qcp2p::analysis::{
+    mismatch, stability, transient, IntervalIndex, PopularityRule, TransientConfig,
+};
+use qcp2p::terms::TermDict;
+use qcp2p::tracegen::{Crawl, CrawlConfig, QueryTrace, QueryTraceConfig, Vocabulary, VocabularyConfig};
+
+fn main() {
+    let vocab = Vocabulary::generate(&VocabularyConfig {
+        num_terms: 20_000,
+        head_size: 200,
+        head_overlap: 0.3,
+        seed: 17,
+    });
+    let crawl = Crawl::generate(
+        &vocab,
+        &CrawlConfig {
+            num_peers: 1_000,
+            num_objects: 30_000,
+            seed: 19,
+            ..Default::default()
+        },
+    );
+    let trace = QueryTrace::generate(
+        &vocab,
+        &QueryTraceConfig {
+            num_queries: 250_000,
+            seed: 23,
+            ..Default::default()
+        },
+    );
+    println!(
+        "query trace: {} queries over {} days, {} planted transient bursts",
+        trace.len(),
+        trace.duration_secs / 86_400,
+        trace.bursts.len()
+    );
+
+    // Shared symbol space between file terms and query terms.
+    let mut dict = TermDict::new();
+    let rule = PopularityRule::TopK(200);
+    let popular_files = mismatch::popular_file_terms(
+        crawl.files.iter().map(|f| (f.peer, f.name.as_str())),
+        rule,
+        &mut dict,
+    );
+    let idx = IntervalIndex::build(
+        trace.queries.iter().map(|q| (q.time, q.text.as_str())),
+        trace.duration_secs,
+        3_600,
+        &mut dict,
+    );
+
+    // Figure 6: stability.
+    let stab = stability::popular_stability(&idx, rule);
+    let warm = (stab.jaccards.len() / 10).max(3);
+    println!(
+        "\npopular-set stability (60-min intervals): mean {:.1}% after warm-up, min {:.1}% (paper: > 90%)",
+        stab.mean_after_warmup(warm) * 100.0,
+        stab.min_after_warmup(warm) * 100.0
+    );
+
+    // Figure 7: mismatch.
+    let mm = mismatch::query_file_mismatch(&idx, &popular_files, rule);
+    println!(
+        "query terms vs popular file terms: mean {:.1}%, never above {:.1}% (paper: < 20%)",
+        mm.mean_popular_similarity() * 100.0,
+        mm.max_popular_similarity() * 100.0
+    );
+
+    // Figure 5: transients, with the generator's ground truth as oracle.
+    let series = transient::detect_transients(&idx, &TransientConfig::default());
+    println!(
+        "\ntransient detector (60-min intervals): mean {:.2} flagged terms/interval, variance {:.2}",
+        series.mean(),
+        series.variance()
+    );
+    let burst_terms: std::collections::HashSet<&str> = trace
+        .bursts
+        .iter()
+        .map(|b| vocab.term(b.term))
+        .collect();
+    let flagged_names: std::collections::HashSet<&str> = series
+        .flagged
+        .iter()
+        .flatten()
+        .map(|&s| dict.resolve(s))
+        .collect();
+    let recovered = burst_terms.intersection(&flagged_names).count();
+    println!(
+        "ground truth check: {recovered}/{} planted burst terms were flagged transient",
+        burst_terms.len()
+    );
+    println!("\nconclusion: the popular query vocabulary is stable but *different* from the stored vocabulary — a synopsis keyed to content wastes its budget.");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: run the paper's full measurement pipeline on synthetic
+//! traces and print the anchor claims next to the paper's numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qcp2p::{AnalyzerConfig, QueryCentricAnalyzer};
+
+fn main() {
+    // Pick a scale: `test_scale` finishes in well under a second;
+    // `default_scale` takes tens of seconds and gives tighter statistics.
+    let config = AnalyzerConfig::test_scale().with_seed(2024);
+    println!(
+        "generating traces: {} peers / {} objects (Gnutella), {} clients (iTunes), {} queries…",
+        config.crawl.num_peers,
+        config.crawl.num_objects,
+        config.itunes.num_clients,
+        config.queries.num_queries
+    );
+
+    let findings = QueryCentricAnalyzer::new(config).run();
+
+    println!("\n=== paper anchors vs measured ===");
+    println!("{}", findings.anchors_table().to_text());
+
+    println!("highlights:");
+    println!(
+        "  * {:.1}% of unique objects exist on exactly one peer — flooding cannot find them.",
+        findings.crawl.singleton_fraction_raw * 100.0
+    );
+    println!(
+        "  * the popular query-term set is {:.1}% stable hour-to-hour…",
+        findings.query.stability_after_warmup * 100.0
+    );
+    println!(
+        "  * …but overlaps the popular file-annotation terms by only {:.1}% —",
+        findings.query.mean_popular_mismatch * 100.0
+    );
+    println!("    the mismatch that motivates query-centric overlays.");
+}

@@ -1,0 +1,65 @@
+//! # qcp2p — query-centric unstructured peer-to-peer overlays
+//!
+//! A full reproduction of *"On the need for query-centric unstructured
+//! peer-to-peer overlays"* (Acosta & Chandra, IEEE IPDPS/IPPS 2008) as a
+//! Rust workspace: synthetic trace substrates calibrated to the paper's
+//! measurements, the complete term/interval/similarity analysis pipeline,
+//! unstructured-overlay and Chord-DHT simulators, the hybrid and Gia
+//! baselines, and the query-centric adaptive-synopsis search the paper
+//! argues for.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`util`] | `qcp-util` | hashing, RNG, stats, histograms, Jaccard, tables, plots |
+//! | [`xpar`] | `qcp-xpar` | fork-join parallel executor |
+//! | [`zipf`] | `qcp-zipf` | Zipf/power-law samplers and tail fitting |
+//! | [`terms`] | `qcp-terms` | tokenization, sanitization, term dictionaries |
+//! | [`sketch`] | `qcp-sketch` | Bloom filters and budgeted term synopses |
+//! | [`tracegen`] | `qcp-tracegen` | Gnutella/iTunes/query trace generators |
+//! | [`analysis`] | `qcp-analysis` | the paper's measurement pipeline (Figs 1–7) |
+//! | [`overlay`] | `qcp-overlay` | topologies, placement, flood/walk simulation (Fig 8) |
+//! | [`dht`] | `qcp-dht` | Chord ring + distributed keyword index |
+//! | [`search`] | `qcp-search` | flood/walk/Gia/hybrid/synopsis search systems |
+//! | [`core`] | `qcp-core` | [`QueryCentricAnalyzer`]: traces → findings, end to end |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qcp2p::{AnalyzerConfig, QueryCentricAnalyzer};
+//!
+//! let findings = QueryCentricAnalyzer::new(
+//!     AnalyzerConfig::test_scale().with_seed(7),
+//! )
+//! .run();
+//!
+//! // The Zipf long tail (Figure 1): most objects live on a single peer…
+//! assert!(findings.crawl.singleton_fraction_raw > 0.5);
+//! // …the popular query-term set is stable over time (Figure 6)…
+//! assert!(findings.query.stability_after_warmup > 0.8);
+//! // …yet barely overlaps the popular file terms (Figure 7).
+//! assert!(findings.query.mean_popular_mismatch < 0.35);
+//! ```
+//!
+//! See `examples/` for the domain scenarios and
+//! `cargo run --release -p qcp-bench --bin repro -- all` for full figure
+//! regeneration.
+
+#![warn(missing_docs)]
+
+pub use qcp_core::analysis;
+pub use qcp_core::dht;
+pub use qcp_core::overlay;
+pub use qcp_core::search;
+pub use qcp_core::sketch;
+pub use qcp_core::terms;
+pub use qcp_core::tracegen;
+pub use qcp_core::util;
+pub use qcp_core::xpar;
+pub use qcp_core::zipf;
+
+/// The `qcp-core` crate (analyzer, config, findings).
+pub use qcp_core as core;
+
+pub use qcp_core::{AnalyzerConfig, Figure4Findings, Findings, QueryCentricAnalyzer};

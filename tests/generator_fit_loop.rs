@@ -1,0 +1,99 @@
+//! Closing the loop between generation and estimation: the statistical
+//! machinery must *recover* the parameters the trace generators planted.
+//! This is what makes the calibration claims in EXPERIMENTS.md auditable.
+
+use qcp2p::analysis::ReplicationAnalysis;
+use qcp2p::tracegen::{Crawl, CrawlConfig, NoiseModel, Vocabulary, VocabularyConfig};
+use qcp2p::zipf::{fit_tail_mle, ks_distance_powerlaw};
+
+fn vocab() -> Vocabulary {
+    Vocabulary::generate(&VocabularyConfig {
+        num_terms: 8_000,
+        head_size: 100,
+        head_overlap: 0.3,
+        seed: 404,
+    })
+}
+
+#[test]
+fn mle_recovers_planted_replica_exponent() {
+    let v = vocab();
+    for planted_tau in [2.0f64, 2.3, 2.8] {
+        let crawl = Crawl::generate(
+            &v,
+            &CrawlConfig {
+                num_peers: 1_000,
+                num_objects: 30_000,
+                tau: planted_tau,
+                // Noise splits names and would bias a name-level fit;
+                // fit the ground-truth replica counts here.
+                noise: NoiseModel::none(),
+                seed: 405,
+                ..Default::default()
+            },
+        );
+        let counts: Vec<u64> = crawl.replica_counts.iter().map(|&c| c as u64).collect();
+        let fit = fit_tail_mle(&counts, 1);
+        assert!(
+            (fit.exponent - planted_tau).abs() < 0.12,
+            "planted {planted_tau}, recovered {}",
+            fit.exponent
+        );
+        let ks = ks_distance_powerlaw(&counts, 1, fit.exponent);
+        assert!(ks < 0.02, "tau {planted_tau}: KS {ks}");
+    }
+}
+
+#[test]
+fn name_level_analysis_recovers_exponent_without_ground_truth() {
+    // The honest pipeline path: strings in, exponent out. Noise shifts the
+    // estimate slightly (it splits replica groups), so the tolerance is
+    // looser than the ground-truth fit above.
+    let v = vocab();
+    let planted_tau = 2.3;
+    let crawl = Crawl::generate(
+        &v,
+        &CrawlConfig {
+            num_peers: 1_000,
+            num_objects: 30_000,
+            tau: planted_tau,
+            seed: 406,
+            ..Default::default()
+        },
+    );
+    let analysis = ReplicationAnalysis::from_names(
+        crawl.num_peers,
+        crawl.files.iter().map(|f| (f.peer, f.name.as_str())),
+    );
+    assert!(
+        (analysis.tail.exponent - planted_tau).abs() < 0.4,
+        "planted {planted_tau}, measured {}",
+        analysis.tail.exponent
+    );
+}
+
+#[test]
+fn calibrate_singleton_inverts_the_generator() {
+    use qcp2p::zipf::DiscretePowerLaw;
+    // Pick a target singleton fraction, calibrate tau, generate, measure.
+    let v = vocab();
+    let target = 0.705; // the paper's Figure 1 anchor
+    let tau = DiscretePowerLaw::calibrate_singleton(1, 1_000, target);
+    let crawl = Crawl::generate(
+        &v,
+        &CrawlConfig {
+            num_peers: 1_000,
+            num_objects: 40_000,
+            tau,
+            noise: NoiseModel::none(),
+            seed: 407,
+            ..Default::default()
+        },
+    );
+    let singles = crawl.replica_counts.iter().filter(|&&r| r == 1).count();
+    let measured = singles as f64 / crawl.num_objects() as f64;
+    assert!(
+        (measured - target).abs() < 0.02,
+        "target {target}, measured {measured} at tau {tau}"
+    );
+}

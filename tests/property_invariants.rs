@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) on the core invariants the whole
+//! reproduction rests on: similarity metrics, sanitization/tokenization,
+//! sketches, placement, ring routing, and the parallel executor.
+
+use proptest::prelude::*;
+use qcp2p::dht::ChordNetwork;
+use qcp2p::overlay::{Placement, PlacementModel};
+use qcp2p::sketch::BloomFilter;
+use qcp2p::terms::{sanitize_name, tokenize};
+use qcp2p::util::hash::mix64;
+use qcp2p::util::jaccard::{jaccard_sets, jaccard_sorted};
+use qcp2p::util::FxHashSet;
+use qcp2p::zipf::{AliasTable, DiscretePowerLaw};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- Jaccard ----------------
+
+    #[test]
+    fn jaccard_is_bounded_and_symmetric(a in proptest::collection::hash_set(0u32..500, 0..60),
+                                        b in proptest::collection::hash_set(0u32..500, 0..60)) {
+        let fa: FxHashSet<u32> = a.iter().copied().collect();
+        let fb: FxHashSet<u32> = b.iter().copied().collect();
+        let jab = jaccard_sets(&fa, &fb);
+        let jba = jaccard_sets(&fb, &fa);
+        prop_assert!((0.0..=1.0).contains(&jab));
+        prop_assert!((jab - jba).abs() < 1e-12);
+        // Identity.
+        prop_assert!((jaccard_sets(&fa, &fa) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_sorted_agrees_with_hash_sets(mut a in proptest::collection::vec(0u32..300, 0..50),
+                                            mut b in proptest::collection::vec(0u32..300, 0..50)) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let fa: FxHashSet<u32> = a.iter().copied().collect();
+        let fb: FxHashSet<u32> = b.iter().copied().collect();
+        prop_assert!((jaccard_sorted(&a, &b) - jaccard_sets(&fa, &fb)).abs() < 1e-12);
+    }
+
+    // ---------------- Terms ----------------
+
+    #[test]
+    fn sanitize_is_idempotent_and_lowercase(name in ".{0,80}") {
+        let once = sanitize_name(&name);
+        prop_assert_eq!(sanitize_name(&once), once.clone());
+        // Lowercase-idempotent (some uppercase code points, e.g. the
+        // mathematical alphanumerics, have no lowercase mapping).
+        prop_assert_eq!(once.to_lowercase(), once.clone());
+        // Only alphanumerics and single spaces survive.
+        prop_assert!(once.chars().all(|c| c.is_alphanumeric() || c == ' '));
+        prop_assert!(!once.contains("  "));
+        prop_assert!(!once.starts_with(' ') && !once.ends_with(' '));
+    }
+
+    #[test]
+    fn tokenize_produces_only_lowercase_alphanumerics(name in ".{0,80}") {
+        for token in tokenize(&name) {
+            prop_assert!(token.chars().count() >= 2);
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(token.to_lowercase(), token.clone());
+        }
+    }
+
+    #[test]
+    fn tokenize_is_case_insensitive(name in "[a-zA-Z0-9 .-]{0,60}") {
+        prop_assert_eq!(tokenize(&name), tokenize(&name.to_uppercase()));
+    }
+
+    // ---------------- Sketches ----------------
+
+    #[test]
+    fn bloom_has_no_false_negatives(keys in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut f = BloomFilter::for_capacity(keys.len(), 0.01);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn bloom_union_is_superset(a in proptest::collection::vec(any::<u64>(), 1..100),
+                               b in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let mut fa = BloomFilter::new(4096, 4);
+        let mut fb = BloomFilter::new(4096, 4);
+        for &k in &a { fa.insert(k); }
+        for &k in &b { fb.insert(k); }
+        fa.union_in_place(&fb);
+        for &k in a.iter().chain(&b) {
+            prop_assert!(fa.contains(k));
+        }
+    }
+
+    // ---------------- Distributions ----------------
+
+    #[test]
+    fn alias_table_samples_stay_in_support(weights in proptest::collection::vec(0.0f64..10.0, 1..50),
+                                           seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = qcp2p::util::rng::Pcg64::new(seed);
+        for _ in 0..100 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            // Zero-weight outcomes must never be drawn.
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight outcome {}", i);
+        }
+    }
+
+    #[test]
+    fn powerlaw_respects_bounds(min in 1u64..5, span in 1u64..200, tau in 0.5f64..4.0, seed in any::<u64>()) {
+        let law = DiscretePowerLaw::new(min, min + span, tau);
+        let mut rng = qcp2p::util::rng::Pcg64::new(seed);
+        for _ in 0..100 {
+            let v = law.sample(&mut rng);
+            prop_assert!((min..=min + span).contains(&v));
+        }
+    }
+
+    // ---------------- Placement ----------------
+
+    #[test]
+    fn uniform_placement_invariants(peers in 2u32..200, objects in 1u32..100, seed in any::<u64>()) {
+        let k = 1 + seed as u32 % peers;
+        let p = Placement::generate(PlacementModel::UniformK(k), peers, objects, seed);
+        for o in 0..objects {
+            let h = p.holders(o);
+            prop_assert_eq!(h.len() as u32, k);
+            prop_assert!(h.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(h.iter().all(|&x| x < peers));
+        }
+    }
+
+    // ---------------- Chord ----------------
+
+    #[test]
+    fn chord_lookup_owner_is_successor(n in 1usize..120, key in any::<u64>(), from_seed in any::<u64>()) {
+        let net = ChordNetwork::new(n, 12345);
+        let from = (from_seed % n as u64) as u32;
+        let result = net.lookup(from, key);
+        prop_assert_eq!(result.owner, net.successor_of_key(key));
+        prop_assert!(result.hops <= net.hop_bound());
+    }
+
+    // ---------------- Parallel executor ----------------
+
+    #[test]
+    fn par_map_equals_sequential(data in proptest::collection::vec(any::<u64>(), 0..500)) {
+        let pool = qcp2p::xpar::Pool::global();
+        let par = pool.par_map(&data, |&x| mix64(x));
+        let seq: Vec<u64> = data.iter().map(|&x| mix64(x)).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_reduce_equals_sequential_for_commutative_ops(data in proptest::collection::vec(any::<u64>(), 0..500)) {
+        let pool = qcp2p::xpar::Pool::global();
+        let par = pool.par_reduce(&data, 0u64, |&x| x, |a, b| a ^ b);
+        let seq = data.iter().fold(0u64, |a, &b| a ^ b);
+        prop_assert_eq!(par, seq);
+    }
+}
+
+// Non-proptest cross-checks that belong with the invariants.
+
+#[test]
+fn sanitized_names_merge_supersets_of_raw_names() {
+    // Sanitization is a canonicalizing map: distinct sanitized names imply
+    // distinct raw names (never the other way).
+    let names = [
+        "Artist - Song.mp3",
+        "artist song.MP3",
+        "ARTIST_SONG.mp3",
+        "other tune.ogg",
+    ];
+    let raw: FxHashSet<&str> = names.iter().copied().collect();
+    let sanitized: FxHashSet<String> = names.iter().map(|n| sanitize_name(n)).collect();
+    assert!(sanitized.len() <= raw.len());
+    assert_eq!(sanitized.len(), 2);
+}
