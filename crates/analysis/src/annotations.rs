@@ -43,6 +43,9 @@ impl AnnotationAnalysis {
             }
             by_value.entry(value).or_default().insert(client);
         }
+        // qcplint: allow(unordered-iter) — plain counts are collected and
+        // then fully sorted; duplicates are indistinguishable, so hash
+        // order cannot reach the output.
         let mut counts_desc: Vec<u32> = by_value.values().map(|s| s.len() as u32).collect();
         counts_desc.sort_unstable_by(|a, b| b.cmp(a));
         let tail = if counts_desc.len() >= 10 {
@@ -141,14 +144,8 @@ mod tests {
 
     #[test]
     fn rank_series_descends() {
-        let recs: Vec<(u32, &str)> = vec![
-            (1, "a"),
-            (2, "a"),
-            (3, "a"),
-            (1, "b"),
-            (2, "b"),
-            (1, "c"),
-        ];
+        let recs: Vec<(u32, &str)> =
+            vec![(1, "a"), (2, "a"), (3, "a"), (1, "b"), (2, "b"), (1, "c")];
         let a = AnnotationAnalysis::from_records("f", recs);
         let series = a.rank_series(10);
         assert_eq!(series, vec![(1, 3), (2, 2), (3, 1)]);

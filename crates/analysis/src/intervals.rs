@@ -93,6 +93,8 @@ impl IntervalIndex {
     /// All distinct terms observed in an interval, sorted (the paper's
     /// `Q_t`).
     pub fn terms_in(&self, interval: usize) -> Vec<Symbol> {
+        // qcplint: allow(unordered-iter) — keys are collected and fully
+        // sorted on the next line; hash order cannot reach the output.
         let mut v: Vec<Symbol> = self.intervals[interval].counts.keys().copied().collect();
         v.sort_unstable();
         v
@@ -103,14 +105,13 @@ impl IntervalIndex {
 mod tests {
     use super::*;
 
-    fn build_index(records: &[(u32, &str)], duration: u32, interval: u32) -> (IntervalIndex, TermDict) {
+    fn build_index(
+        records: &[(u32, &str)],
+        duration: u32,
+        interval: u32,
+    ) -> (IntervalIndex, TermDict) {
         let mut dict = TermDict::new();
-        let idx = IntervalIndex::build(
-            records.iter().copied(),
-            duration,
-            interval,
-            &mut dict,
-        );
+        let idx = IntervalIndex::build(records.iter().copied(), duration, interval, &mut dict);
         (idx, dict)
     }
 

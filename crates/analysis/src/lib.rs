@@ -18,6 +18,7 @@
 //! generator-side ground truth — so the same code would run unchanged on
 //! the real traces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod annotations;

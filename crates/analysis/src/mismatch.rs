@@ -47,6 +47,8 @@ where
         .iter()
         .map(|(&s, peers)| (s, peers.len() as u32))
         .collect();
+    // qcplint: allow(unordered-iter) — commutative integer sum; the fold
+    // is order-independent by construction.
     let total: u64 = counts.values().map(|&c| c as u64).sum();
     let popular = rule.extract(&counts, total);
     PopularFileTerms {
@@ -126,9 +128,11 @@ mod tests {
     #[test]
     fn popular_file_terms_counts_distinct_peers() {
         let mut dict = TermDict::new();
-        let records = [(1u32, "madonna prayer"),
+        let records = [
+            (1u32, "madonna prayer"),
             (2, "madonna hits"),
-            (3, "nirvana teen")];
+            (3, "nirvana teen"),
+        ];
         let f = popular_file_terms(
             records.iter().map(|(p, n)| (*p, *n)),
             PopularityRule::MinCount(2),
@@ -189,11 +193,7 @@ mod tests {
     #[test]
     fn series_lengths_match_intervals() {
         let mut dict = TermDict::new();
-        let f = popular_file_terms(
-            [(1u32, "stored")],
-            PopularityRule::MinCount(1),
-            &mut dict,
-        );
+        let f = popular_file_terms([(1u32, "stored")], PopularityRule::MinCount(1), &mut dict);
         let idx = IntervalIndex::build(
             [(0u32, "q1 one"), (70, "q2 two"), (130, "q3 three")],
             180,

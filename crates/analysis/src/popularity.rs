@@ -26,6 +26,9 @@ impl PopularityRule {
         let mut result: Vec<Symbol> = match *self {
             PopularityRule::TopK(k) => {
                 let mut pairs: Vec<(Symbol, u32)> =
+                    // qcplint: allow(unordered-iter) — pairs are fully
+                    // sorted under a total order (count desc, symbol asc)
+                    // on the next line; hash order cannot reach the output.
                     counts.iter().map(|(&s, &c)| (s, c)).collect();
                 pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
                 pairs.truncate(k);

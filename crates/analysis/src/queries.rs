@@ -47,6 +47,9 @@ impl QueryStringAnalysis {
             max_terms = max_terms.max(terms);
         }
         let distinct = counts.len();
+        // qcplint: allow(unordered-iter) — plain counts are collected and
+        // then fully sorted; duplicates are indistinguishable, so hash
+        // order cannot reach the output.
         let mut counts_desc: Vec<u32> = counts.into_values().collect();
         counts_desc.sort_unstable_by(|a, b| b.cmp(a));
         let tail = if counts_desc.len() >= 10 {
@@ -103,7 +106,9 @@ mod tests {
     #[test]
     fn counts_distinct_and_repeats() {
         let a = QueryStringAnalysis::from_queries(
-            ["madonna", "madonna", "nirvana teen", "madonna "].iter().copied(),
+            ["madonna", "madonna", "nirvana teen", "madonna "]
+                .iter()
+                .copied(),
         );
         assert_eq!(a.total_queries, 4);
         // Trimmed: "madonna" x3 + "nirvana teen".

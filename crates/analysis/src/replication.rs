@@ -55,6 +55,9 @@ impl ReplicationAnalysis {
             total += 1;
             by_name.entry(canonicalize(name)).or_default().insert(peer);
         }
+        // qcplint: allow(unordered-iter) — plain counts are collected and
+        // then fully sorted; duplicates are indistinguishable, so hash
+        // order cannot reach the output.
         let mut counts_desc: Vec<u32> = by_name.values().map(|s| s.len() as u32).collect();
         counts_desc.sort_unstable_by(|a, b| b.cmp(a));
         let tail = fit_tail(&counts_desc);
@@ -145,6 +148,9 @@ impl TermReplicationAnalysis {
                 by_term.entry(term).or_default().insert(peer);
             }
         }
+        // qcplint: allow(unordered-iter) — plain counts are collected and
+        // then fully sorted; duplicates are indistinguishable, so hash
+        // order cannot reach the output.
         let mut counts_desc: Vec<u32> = by_term.values().map(|s| s.len() as u32).collect();
         counts_desc.sort_unstable_by(|a, b| b.cmp(a));
         let tail = fit_tail(&counts_desc);

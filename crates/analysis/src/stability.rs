@@ -90,12 +90,7 @@ mod tests {
 
     #[test]
     fn partial_overlap_measured() {
-        let records = vec![
-            (0u32, "aa bb"),
-            (0, "aa bb"),
-            (60, "aa cc"),
-            (60, "aa cc"),
-        ];
+        let records = vec![(0u32, "aa bb"), (0, "aa bb"), (60, "aa cc"), (60, "aa cc")];
         let idx = index_from(&records, 120, 60);
         let s = popular_stability(&idx, PopularityRule::TopK(2));
         // {aa,bb} vs {aa,cc}: J = 1/3.

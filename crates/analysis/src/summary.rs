@@ -103,9 +103,11 @@ mod tests {
 
     #[test]
     fn build_composes_analyses() {
-        let records = [(1u32, "Shared - Song.mp3".to_string()),
+        let records = [
+            (1u32, "Shared - Song.mp3".to_string()),
             (2, "Shared - Song.mp3".to_string()),
-            (3, "solo file.mp3".to_string())];
+            (3, "solo file.mp3".to_string()),
+        ];
         let iter = || records.iter().map(|(p, n)| (*p, n.as_str()));
         let raw = ReplicationAnalysis::from_names(1000, iter());
         let san = ReplicationAnalysis::from_sanitized_names(1000, iter());

@@ -126,10 +126,7 @@ pub fn detect_transients(index: &IntervalIndex, config: &TransientConfig) -> Tra
             if count < config.min_count {
                 continue;
             }
-            let h = history
-                .get(sym.index())
-                .copied()
-                .unwrap_or_default();
+            let h = history.get(sym.index()).copied().unwrap_or_default();
             let mean = h.mean(n_hist);
             let std = h.std(n_hist);
             // Floor the deviation scale at 1.0 count so brand-new terms
@@ -213,7 +210,10 @@ mod tests {
             let interval = series.first_evaluated + offset;
             let in_burst = (30..32).contains(&interval);
             if flagged.contains(&flash) {
-                assert!(in_burst, "flash flagged outside burst (interval {interval})");
+                assert!(
+                    in_burst,
+                    "flash flagged outside burst (interval {interval})"
+                );
             }
         }
     }

@@ -79,9 +79,15 @@ fn distributions(c: &mut Criterion) {
     let law = DiscretePowerLaw::new(1, 40_000, 2.3);
     let mut g = c.benchmark_group("distributions");
     g.throughput(Throughput::Elements(1));
-    g.bench_function("zipf_sample", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
-    g.bench_function("alias_sample", |b| b.iter(|| black_box(alias.sample(&mut rng))));
-    g.bench_function("powerlaw_sample", |b| b.iter(|| black_box(law.sample(&mut rng))));
+    g.bench_function("zipf_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    g.bench_function("alias_sample", |b| {
+        b.iter(|| black_box(alias.sample(&mut rng)))
+    });
+    g.bench_function("powerlaw_sample", |b| {
+        b.iter(|| black_box(law.sample(&mut rng)))
+    });
     g.bench_function("pcg_next", |b| b.iter(|| black_box(rng.next())));
     g.finish();
 }

@@ -12,9 +12,14 @@ use qcp_core::analysis::{
 use qcp_core::overlay::topology::{gnutella_two_tier, TopologyConfig};
 use qcp_core::overlay::{flood_trials, Placement, PlacementModel, SimConfig};
 use qcp_core::search::hybrid::{DhtOnlySearch, HybridSearch};
-use qcp_core::search::{evaluate, gen_queries, FloodSearch, SearchWorld, WorkloadConfig, WorldConfig};
+use qcp_core::search::{
+    evaluate, gen_queries, FloodSearch, SearchWorld, WorkloadConfig, WorldConfig,
+};
 use qcp_core::terms::TermDict;
-use qcp_core::tracegen::{Crawl, CrawlConfig, ItunesConfig, ItunesTrace, QueryTrace, QueryTraceConfig, Vocabulary, VocabularyConfig};
+use qcp_core::tracegen::{
+    Crawl, CrawlConfig, ItunesConfig, ItunesTrace, QueryTrace, QueryTraceConfig, Vocabulary,
+    VocabularyConfig,
+};
 use qcp_core::xpar::Pool;
 use std::hint::black_box;
 
@@ -162,12 +167,8 @@ fn fig8(c: &mut Criterion) {
         ..Default::default()
     });
     let forwarders = topo.forwarders();
-    let placement = Placement::generate(
-        PlacementModel::ZipfReplicas { tau: 2.05 },
-        8_000,
-        4_000,
-        6,
-    );
+    let placement =
+        Placement::generate(PlacementModel::ZipfReplicas { tau: 2.05 }, 8_000, 4_000, 6);
     let pool = Pool::global();
     let sim = SimConfig {
         trials: 400,

@@ -2,7 +2,9 @@
 //! paper raises but does not evaluate, answered with the same substrates.
 
 use crate::{Repro, Scale};
-use qcp_core::overlay::topology::{barabasi_albert, erdos_renyi, gnutella_two_tier, TopologyConfig};
+use qcp_core::overlay::topology::{
+    barabasi_albert, erdos_renyi, gnutella_two_tier, TopologyConfig,
+};
 use qcp_core::overlay::{flood_trials, Placement, PlacementModel, SimConfig};
 use qcp_core::search::{
     evaluate, gen_queries, AdvertiseSearch, FloodSearch, GiaSearch, RandomWalkSearch, SearchWorld,
@@ -64,7 +66,13 @@ pub fn synopsis(r: &Repro) -> String {
 
     let rows = evaluate(
         &world,
-        &mut [&mut flood, &mut walk, &mut ads, &mut content, &mut query_centric],
+        &mut [
+            &mut flood,
+            &mut walk,
+            &mut ads,
+            &mut content,
+            &mut query_centric,
+        ],
         &test,
         r.seed,
     );
@@ -202,7 +210,11 @@ pub fn topology(r: &Repro) -> String {
         ..Default::default()
     });
     let er = erdos_renyi(n, two_tier.graph.mean_degree(), r.seed ^ 1);
-    let ba = barabasi_albert(n, (two_tier.graph.mean_degree() / 2.0).round() as usize, r.seed ^ 2);
+    let ba = barabasi_albert(
+        n,
+        (two_tier.graph.mean_degree() / 2.0).round() as usize,
+        r.seed ^ 2,
+    );
     let mut t = Table::new(["topology", "ttl", "success_rate", "reach_fraction"]);
     let mut out = String::new();
     for (label, topo, fwd) in [
@@ -292,7 +304,12 @@ pub fn churn(r: &Repro) -> String {
     );
     let pool = Pool::global();
     let trials = r.trials;
-    let mut t = Table::new(["churn_model", "failed_fraction", "success_rate", "reach_fraction"]);
+    let mut t = Table::new([
+        "churn_model",
+        "failed_fraction",
+        "success_rate",
+        "reach_fraction",
+    ]);
     let mut out = String::new();
     for &frac in &[0.0f64, 0.1, 0.25, 0.5] {
         for (model, overlay) in [
@@ -311,8 +328,7 @@ pub fn churn(r: &Repro) -> String {
                 let mut count = 0u64;
                 let per = trials / 8;
                 for i in 0..per {
-                    let mut rng =
-                        Pcg64::new(child_seed(r.seed, (chunk * per + i) as u64 ^ 0xab6));
+                    let mut rng = Pcg64::new(child_seed(r.seed, (chunk * per + i) as u64 ^ 0xab6));
                     let src = alive_nodes[rng.index(alive_nodes.len())];
                     let obj = rng.index(placement.num_objects()) as u32;
                     let holders = surviving_holders(placement.holders(obj), &overlay.alive);
@@ -363,7 +379,13 @@ pub fn structured(r: &Repro) -> String {
         _ => &[1_024, 4_096, 16_384, 40_000],
     };
     let samples = (r.trials / 2).max(200);
-    let mut t = Table::new(["nodes", "chord_mean_hops", "pastry_mean_hops", "log2(n)", "log16(n)"]);
+    let mut t = Table::new([
+        "nodes",
+        "chord_mean_hops",
+        "pastry_mean_hops",
+        "log2(n)",
+        "log16(n)",
+    ]);
     let mut out = String::new();
     for &n in sizes {
         let chord = ChordNetwork::new(n, r.seed);
@@ -461,7 +483,11 @@ pub fn adaptation(r: &Repro) -> String {
         r.seed ^ 0xe7,
     );
     let mut t = Table::new(["system", "phase_b_success", "mean_messages"]);
-    let labels = ["adaptive (re-observed)", "frozen (trained pre-shift)", "content-centric"];
+    let labels = [
+        "adaptive (re-observed)",
+        "frozen (trained pre-shift)",
+        "content-centric",
+    ];
     let mut out = String::new();
     for (label, row) in labels.iter().zip(&rows) {
         t.row([

@@ -9,6 +9,8 @@
 //! Artifacts: fig1..fig8, table1..table3, ablation-synopsis, ablation-gia,
 //! ablation-mismatch, ablation-topology, ablation-walk.
 
+#![forbid(unsafe_code)]
+
 use qcp_bench::{Repro, Scale};
 
 fn usage() -> ! {
@@ -63,7 +65,10 @@ fn main() {
         return;
     }
     if artifacts.iter().any(|a| a == "all") {
-        artifacts = Repro::all_artifacts().iter().map(|s| s.to_string()).collect();
+        artifacts = Repro::all_artifacts()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
     let mut session = Repro::new(&out_dir, scale);
@@ -76,12 +81,17 @@ fn main() {
 
     eprintln!(
         "repro: scale={scale:?}, trials={}, seed={}, out={}",
-        session.trials, session.seed, session.out_dir.display()
+        session.trials,
+        session.seed,
+        session.out_dir.display()
     );
     for artifact in &artifacts {
         let started = std::time::Instant::now();
         let report = session.run(artifact);
-        println!("\n##### {artifact} ({:.1}s) #####", started.elapsed().as_secs_f64());
+        println!(
+            "\n##### {artifact} ({:.1}s) #####",
+            started.elapsed().as_secs_f64()
+        );
         println!("{report}");
     }
 }

@@ -100,8 +100,7 @@ pub fn fig4(r: &Repro) -> String {
     for (file, label, analysis) in panels {
         let series = analysis.rank_series(300);
         r.write_csv(file, &rank_table(&series, "clients_with_value"));
-        let pts: Vec<(f64, f64)> =
-            series.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+        let pts: Vec<(f64, f64)> = series.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
         out.push_str(&render(
             &PlotConfig::loglog(
                 &format!("Fig 4 — iTunes clients with {label}"),
@@ -208,7 +207,11 @@ pub fn fig6(r: &Repro) -> String {
 /// Figure 7: query-term vs popular-file-term similarity over time.
 pub fn fig7(r: &Repro) -> String {
     let f = r.findings();
-    let mut table = Table::new(["interval_index", "all_terms_vs_popular_files", "popular_vs_popular_files"]);
+    let mut table = Table::new([
+        "interval_index",
+        "all_terms_vs_popular_files",
+        "popular_vs_popular_files",
+    ]);
     let mut all_pts = Vec::new();
     let mut pop_pts = Vec::new();
     for (i, (&a, &p)) in f
@@ -284,9 +287,20 @@ pub fn fig8(r: &Repro) -> String {
 
     // Uniform placements: the paper's 1/4/9/19/39 replicas.
     for &k in &[1u32, 4, 9, 19, 39] {
-        let placement =
-            Placement::generate(PlacementModel::UniformK(k), n, num_objects, r.seed ^ k as u64);
-        let curve = sweep_ttl(pool, &topo.graph, &placement, Some(&forwarders), &ttls, &sim);
+        let placement = Placement::generate(
+            PlacementModel::UniformK(k),
+            n,
+            num_objects,
+            r.seed ^ k as u64,
+        );
+        let curve = sweep_ttl(
+            pool,
+            &topo.graph,
+            &placement,
+            Some(&forwarders),
+            &ttls,
+            &sim,
+        );
         let label = format!("uniform-{k}");
         let pts: Vec<(f64, f64)> = curve
             .iter()

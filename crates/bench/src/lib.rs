@@ -9,6 +9,7 @@
 //! cargo run --release -p qcp-bench --bin repro -- fig8 --trials 2000
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;

@@ -3,8 +3,8 @@
 use crate::config::AnalyzerConfig;
 use crate::findings::{Figure4Findings, Findings};
 use qcp_analysis::{
-    mismatch, stability, transient, AnnotationAnalysis, CrawlSummary, IntervalIndex,
-    QuerySummary, ReplicationAnalysis, TermReplicationAnalysis,
+    mismatch, stability, transient, AnnotationAnalysis, CrawlSummary, IntervalIndex, QuerySummary,
+    ReplicationAnalysis, TermReplicationAnalysis,
 };
 use qcp_terms::TermDict;
 use qcp_tracegen::{Crawl, ItunesTrace, QueryTrace, Vocabulary};
@@ -37,12 +37,7 @@ impl QueryCentricAnalyzer {
 
     /// Analyzes externally supplied traces (the path a user with real
     /// crawl/query data would take).
-    pub fn analyze(
-        &self,
-        crawl: &Crawl,
-        itunes: &ItunesTrace,
-        queries: &QueryTrace,
-    ) -> Findings {
+    pub fn analyze(&self, crawl: &Crawl, itunes: &ItunesTrace, queries: &QueryTrace) -> Findings {
         // --- Figures 1-3: crawl-side distributions --------------------
         let records = || crawl.files.iter().map(|f| (f.peer, f.name.as_str()));
         let fig1 = ReplicationAnalysis::from_names(crawl.num_peers, records());
@@ -91,11 +86,8 @@ impl QueryCentricAnalyzer {
         // One shared dictionary so query terms and file terms live in the
         // same symbol space (needed for the Figure 7 Jaccard).
         let mut dict = TermDict::new();
-        let popular_files = mismatch::popular_file_terms(
-            records(),
-            self.config.popularity,
-            &mut dict,
-        );
+        let popular_files =
+            mismatch::popular_file_terms(records(), self.config.popularity, &mut dict);
 
         let query_records = || queries.queries.iter().map(|q| (q.time, q.text.as_str()));
 
@@ -123,11 +115,8 @@ impl QueryCentricAnalyzer {
             &mut dict,
         );
         let fig6 = stability::popular_stability(&headline_idx, self.config.popularity);
-        let fig7 = mismatch::query_file_mismatch(
-            &headline_idx,
-            &popular_files,
-            self.config.popularity,
-        );
+        let fig7 =
+            mismatch::query_file_mismatch(&headline_idx, &popular_files, self.config.popularity);
 
         // --- Summaries --------------------------------------------------
         let crawl_summary = CrawlSummary::build(&fig1, &fig2, &fig3);

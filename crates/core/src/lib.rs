@@ -21,6 +21,7 @@
 //! `qcp_core::tracegen`, etc., so downstream users can depend on this one
 //! crate.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use qcp_analysis as analysis;

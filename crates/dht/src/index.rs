@@ -91,9 +91,7 @@ impl DhtIndex {
             hops += r.hops;
             messages += r.hops as u64 + 1; // +1 posting-list transfer
             let empty: Vec<u32> = Vec::new();
-            let list = self.storage[r.owner as usize]
-                .get(&key)
-                .unwrap_or(&empty);
+            let list = self.storage[r.owner as usize].get(&key).unwrap_or(&empty);
             result = Some(match result {
                 None => list.clone(),
                 Some(acc) => intersect_sorted(&acc, list),

@@ -14,6 +14,7 @@
 //!   (term → posting list at `successor(hash(term))`), with multi-term
 //!   AND queries and message-cost accounting.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chord;

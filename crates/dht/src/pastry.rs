@@ -71,7 +71,9 @@ impl PastryNetwork {
     /// Builds a network of `n` nodes with ids derived from `seed`.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 1);
-        let mut ids: Vec<u64> = (0..n as u64).map(|i| mix64(seed ^ mix64(i ^ 0x9a57))).collect();
+        let mut ids: Vec<u64> = (0..n as u64)
+            .map(|i| mix64(seed ^ mix64(i ^ 0x9a57)))
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n, "id collision (astronomically unlikely)");

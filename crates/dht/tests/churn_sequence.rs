@@ -87,5 +87,8 @@ fn hop_counts_scale_logarithmically_across_sizes() {
     // generous slack but require clearly sublinear growth.
     assert!(means[1] - means[0] < 6.0, "64->512 hop growth {means:?}");
     assert!(means[2] - means[1] < 6.0, "512->4096 hop growth {means:?}");
-    assert!(means[2] < 4.0 * means[0], "growth must be sublinear: {means:?}");
+    assert!(
+        means[2] < 4.0 * means[0],
+        "growth must be sublinear: {means:?}"
+    );
 }

@@ -35,11 +35,13 @@ impl Graph {
             }
         }
         let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut total = 0u32;
         offsets.push(0u32);
         for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+            total += d;
+            offsets.push(total);
         }
-        let mut edges = vec![0u32; *offsets.last().unwrap() as usize];
+        let mut edges = vec![0u32; total as usize];
         let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
         for &(a, b) in &clean {
             edges[cursor[a as usize] as usize] = b;

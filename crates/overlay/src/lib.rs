@@ -19,6 +19,7 @@
 //! * [`sim`] — parallel trial sweeps producing success-rate curves
 //!   (Figure 8) with deterministic per-trial seeds.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;

@@ -33,12 +33,7 @@ pub struct Placement {
 
 impl Placement {
     /// Realizes `model` for `num_objects` objects over `num_peers` peers.
-    pub fn generate(
-        model: PlacementModel,
-        num_peers: u32,
-        num_objects: u32,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(model: PlacementModel, num_peers: u32, num_objects: u32, seed: u64) -> Self {
         assert!(num_peers >= 1 && num_objects >= 1);
         let mut rng = Pcg64::with_stream(seed, 0x91ace);
         let law = match model {
@@ -55,6 +50,9 @@ impl Placement {
                 let r = match model {
                     PlacementModel::UniformK(k) => k,
                     PlacementModel::ZipfReplicas { .. } => {
+                        // qcplint: allow(panic) — `law` is Some exactly
+                        // when the model is ZipfReplicas, established by
+                        // the match right above.
                         law.as_ref().unwrap().sample(&mut rng) as u32
                     }
                 };
@@ -144,12 +142,7 @@ mod tests {
 
     #[test]
     fn zipf_placement_is_long_tailed() {
-        let p = Placement::generate(
-            PlacementModel::ZipfReplicas { tau: 2.4 },
-            10_000,
-            20_000,
-            2,
-        );
+        let p = Placement::generate(PlacementModel::ZipfReplicas { tau: 2.4 }, 10_000, 20_000, 2);
         let singles = (0..20_000).filter(|&o| p.replicas(o) == 1).count();
         let frac = singles as f64 / 20_000.0;
         assert!((0.6..0.85).contains(&frac), "singleton fraction {frac}");

@@ -92,6 +92,8 @@ impl<'a> TargetSampler<'a> {
         match self.model {
             TargetModel::UniformObject => rng.index(self.placement.num_objects()) as u32,
             TargetModel::ProportionalToReplicas => {
+                // qcplint: allow(panic) — `cumulative` has one entry per
+                // object and the constructor asserts num_objects >= 1.
                 let total = *self.cumulative.last().expect("no objects");
                 let x = rng.below(total);
                 self.cumulative.partition_point(|&c| c <= x) as u32
@@ -270,12 +272,7 @@ mod tests {
             trials: 3_000,
             ..Default::default()
         };
-        let zipf = Placement::generate(
-            PlacementModel::ZipfReplicas { tau: 2.4 },
-            2_000,
-            5_000,
-            10,
-        );
+        let zipf = Placement::generate(PlacementModel::ZipfReplicas { tau: 2.4 }, 2_000, 5_000, 10);
         let uniform_mean = Placement::generate(
             PlacementModel::UniformK(zipf.mean_replicas().round().max(1.0) as u32),
             2_000,
@@ -306,12 +303,7 @@ mod tests {
     #[test]
     fn proportional_target_beats_uniform_target() {
         let t = erdos_renyi(1_000, 6.0, 14);
-        let p = Placement::generate(
-            PlacementModel::ZipfReplicas { tau: 2.2 },
-            1_000,
-            3_000,
-            15,
-        );
+        let p = Placement::generate(PlacementModel::ZipfReplicas { tau: 2.2 }, 1_000, 3_000, 15);
         let base = SimConfig {
             trials: 2_000,
             ..Default::default()

@@ -160,7 +160,14 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Topology {
             let t = endpoints[rng.index(endpoints.len())];
             targets.insert(t);
         }
-        for t in targets {
+        // Sort before iterating: set order would leak hasher internals
+        // into the edge list and the endpoints multiset, perturbing every
+        // later preferential-attachment draw.
+        // qcplint: allow(unordered-iter) — collected then fully sorted on
+        // the next line before any order-sensitive use.
+        let mut attach: Vec<u32> = targets.into_iter().collect();
+        attach.sort_unstable();
+        for t in attach {
             edges.push((v as u32, t));
             endpoints.push(v as u32);
             endpoints.push(t);
@@ -175,7 +182,9 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Topology {
 pub fn random_regular(n: usize, k: usize, seed: u64) -> Topology {
     assert!(n > k && k >= 2);
     let mut rng = Pcg64::with_stream(seed, 0x4e94);
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|u| std::iter::repeat_n(u, k)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|u| std::iter::repeat_n(u, k))
+        .collect();
     rng.shuffle(&mut stubs);
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
     for pair in stubs.chunks_exact(2) {
@@ -242,7 +251,10 @@ mod tests {
         assert!(t.graph.is_connected());
         let max = t.graph.max_degree() as f64;
         let mean = t.graph.mean_degree();
-        assert!(max > 8.0 * mean, "BA should grow hubs: max {max}, mean {mean}");
+        assert!(
+            max > 8.0 * mean,
+            "BA should grow hubs: max {max}, mean {mean}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Workload evaluation: the same query set through every system.
 
-use crate::systems::{SearchSystem, SearchOutcome};
+use crate::systems::{SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_util::rng::{child_seed, Pcg64};
 
@@ -112,10 +112,13 @@ mod tests {
     #[test]
     fn evaluate_reports_one_row_per_system() {
         let w = world();
-        let queries = gen_queries(&w, &WorkloadConfig {
-            num_queries: 100,
-            seed: 1,
-        });
+        let queries = gen_queries(
+            &w,
+            &WorkloadConfig {
+                num_queries: 100,
+                seed: 1,
+            },
+        );
         let mut flood = FloodSearch::new(&w, 3);
         let mut walk = RandomWalkSearch::new(4, 20);
         let rows = evaluate(&w, &mut [&mut flood, &mut walk], &queries, 7);
@@ -129,10 +132,13 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic() {
         let w = world();
-        let queries = gen_queries(&w, &WorkloadConfig {
-            num_queries: 80,
-            seed: 2,
-        });
+        let queries = gen_queries(
+            &w,
+            &WorkloadConfig {
+                num_queries: 80,
+                seed: 2,
+            },
+        );
         let run = |seed| {
             let mut walk = RandomWalkSearch::new(2, 15);
             evaluate(&w, &mut [&mut walk], &queries, seed)

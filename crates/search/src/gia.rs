@@ -163,9 +163,9 @@ mod tests {
         let mut levels: Vec<f64> = (0..600).map(|n| gia.capacity(n)).collect();
         levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
         levels.dedup();
-        assert!(levels.iter().all(|c| {
-            [1.0, 10.0, 100.0, 1_000.0, 10_000.0].contains(c)
-        }));
+        assert!(levels
+            .iter()
+            .all(|c| { [1.0, 10.0, 100.0, 1_000.0, 10_000.0].contains(c) }));
         assert!(levels.len() >= 3, "expected several capacity levels");
     }
 

@@ -93,7 +93,12 @@ impl SearchSystem for HybridSearch {
         )
     }
 
-    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+    fn search(
+        &mut self,
+        world: &SearchWorld,
+        query: &QuerySpec,
+        _rng: &mut Pcg64,
+    ) -> SearchOutcome {
         self.queries += 1;
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
@@ -149,7 +154,12 @@ impl SearchSystem for DhtOnlySearch {
         "dht-only".to_string()
     }
 
-    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+    fn search(
+        &mut self,
+        world: &SearchWorld,
+        query: &QuerySpec,
+        _rng: &mut Pcg64,
+    ) -> SearchOutcome {
         let _ = world;
         let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
         let out = self.index.query_keys(&self.net, query.source, &keys);
@@ -245,7 +255,11 @@ mod tests {
         }
         // Under Zipf replicas + Loo's threshold, nearly every query falls
         // back: hybrid cost strictly dominates pure DHT (the paper's §V).
-        assert!(hybrid.fallback_rate() > 0.8, "fallback {}", hybrid.fallback_rate());
+        assert!(
+            hybrid.fallback_rate() > 0.8,
+            "fallback {}",
+            hybrid.fallback_rate()
+        );
         assert!(
             hybrid_msgs > dht_msgs,
             "hybrid {hybrid_msgs} must exceed dht {dht_msgs}"

@@ -24,6 +24,7 @@
 //! * [`eval`] — a workload evaluator that runs the same query set through
 //!   every system and tabulates success rates and message costs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod advertise;
@@ -41,5 +42,7 @@ pub use gia::GiaSearch;
 pub use hybrid::{DhtOnlySearch, HybridSearch};
 pub use qrp::QrpFloodSearch;
 pub use synopsis::{SynopsisPolicy, SynopsisSearch};
-pub use systems::{ExpandingRingSearch, FloodSearch, RandomWalkSearch, SearchOutcome, SearchSystem};
+pub use systems::{
+    ExpandingRingSearch, FloodSearch, RandomWalkSearch, SearchOutcome, SearchSystem,
+};
 pub use world::{QuerySpec, SearchWorld, WorldConfig};

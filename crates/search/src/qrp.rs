@@ -83,7 +83,12 @@ impl SearchSystem for QrpFloodSearch {
         format!("qrp-flood(ttl={})", self.ttl)
     }
 
-    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+    fn search(
+        &mut self,
+        world: &SearchWorld,
+        query: &QuerySpec,
+        _rng: &mut Pcg64,
+    ) -> SearchOutcome {
         // For an unsatisfiable query `matching` is empty, but the flood
         // still happens — the querier doesn't know — so costs are paid.
         let matching = world.matching_objects(&query.terms);

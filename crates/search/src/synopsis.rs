@@ -80,8 +80,7 @@ impl SynopsisSearch {
                                 // Query popularity dominates; the local
                                 // count is a deterministic tie-breaker so
                                 // unqueried terms still fill spare budget.
-                                self.query_weights.get(&t).copied().unwrap_or(0.0)
-                                    * 1_000.0
+                                self.query_weights.get(&t).copied().unwrap_or(0.0) * 1_000.0
                                     + c as f64 * 1e-3
                             }
                         };
@@ -99,6 +98,8 @@ impl SynopsisSearch {
     /// factor `decay` applied to the old mass) and rebuilds synopses.
     pub fn observe_queries(&mut self, world: &SearchWorld, queries: &[QuerySpec], decay: f64) {
         assert!((0.0..=1.0).contains(&decay));
+        // qcplint: allow(unordered-iter) — independent per-entry scaling;
+        // no cross-entry state, so visit order cannot affect any value.
         for w in self.query_weights.values_mut() {
             *w *= decay;
         }
@@ -113,10 +114,7 @@ impl SynopsisSearch {
     /// How many of `terms` a peer's synopsis advertises.
     fn advertised_count(&self, peer: u32, terms: &[u32]) -> usize {
         let syn = &self.synopses[peer as usize];
-        terms
-            .iter()
-            .filter(|&&t| syn.advertises(Symbol(t)))
-            .count()
+        terms.iter().filter(|&&t| syn.advertises(Symbol(t))).count()
     }
 }
 

@@ -57,7 +57,12 @@ impl SearchSystem for FloodSearch {
         format!("flood(ttl={})", self.ttl)
     }
 
-    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+    fn search(
+        &mut self,
+        world: &SearchWorld,
+        query: &QuerySpec,
+        _rng: &mut Pcg64,
+    ) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
         let out = self.engine.flood(
@@ -199,7 +204,12 @@ mod tests {
         let mut walk = RandomWalkSearch::new(4, 20);
         let f = flood.search(&w, &q, &mut rng);
         let wk = walk.search(&w, &q, &mut rng);
-        assert!(wk.messages < f.messages, "walk {} flood {}", wk.messages, f.messages);
+        assert!(
+            wk.messages < f.messages,
+            "walk {} flood {}",
+            wk.messages,
+            f.messages
+        );
     }
 
     #[test]
@@ -239,7 +249,12 @@ impl SearchSystem for ExpandingRingSearch {
         format!("expanding-ring(max={})", self.max_ttl)
     }
 
-    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, _rng: &mut Pcg64) -> SearchOutcome {
+    fn search(
+        &mut self,
+        world: &SearchWorld,
+        query: &QuerySpec,
+        _rng: &mut Pcg64,
+    ) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
         let out = qcp_overlay::expanding::expanding_ring_search(
@@ -284,7 +299,10 @@ mod expanding_tests {
         for q in &queries {
             let a = ring.search(&w, q, &mut rng);
             let b = flood.search(&w, q, &mut rng);
-            assert_eq!(a.success, b.success, "ring and flood must agree on reachability");
+            assert_eq!(
+                a.success, b.success,
+                "ring and flood must agree on reachability"
+            );
         }
     }
 

@@ -193,7 +193,11 @@ mod tests {
     fn for_capacity_chooses_sane_parameters() {
         let f = BloomFilter::for_capacity(1000, 0.01);
         // ~9.6 bits/item and ~7 hashes are the textbook optima.
-        assert!(f.bit_len() >= 9000 && f.bit_len() <= 11000, "{}", f.bit_len());
+        assert!(
+            f.bit_len() >= 9000 && f.bit_len() <= 11000,
+            "{}",
+            f.bit_len()
+        );
         assert!((6..=8).contains(&f.k()), "{}", f.k());
     }
 

@@ -16,6 +16,7 @@
 //!   search system weights terms by query popularity rather than by local
 //!   frequency — that single difference is the paper's thesis, made code.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attenuated;

@@ -60,12 +60,10 @@ impl TermSynopsis {
     /// once (first occurrence wins). Weights must be finite.
     pub fn build(budget: SynopsisBudget, candidates: &[(Symbol, f64)]) -> Self {
         let mut sorted: Vec<(Symbol, f64)> = candidates.to_vec();
-        // Deterministic order: weight descending, then symbol ascending.
-        sorted.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("non-finite synopsis weight")
-                .then(a.0.cmp(&b.0))
-        });
+        // Deterministic *total* order: weight descending (total_cmp, so
+        // even non-finite weights order reproducibly), then symbol
+        // ascending.
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut filter = BloomFilter::new(budget.bits, budget.k);
         let mut admitted = Vec::new();
         let mut seen = qcp_util::FxHashSet::default();
@@ -171,12 +169,9 @@ mod tests {
     #[test]
     fn unadmitted_terms_mostly_not_advertised() {
         let budget = SynopsisBudget::for_terms(50, 0.001);
-        let candidates: Vec<(Symbol, f64)> =
-            (0..50).map(|i| (Symbol(i), 10.0)).collect();
+        let candidates: Vec<(Symbol, f64)> = (0..50).map(|i| (Symbol(i), 10.0)).collect();
         let s = TermSynopsis::build(budget, &candidates);
-        let false_pos = (1000..11_000)
-            .filter(|&i| s.advertises(Symbol(i)))
-            .count();
+        let false_pos = (1000..11_000).filter(|&i| s.advertises(Symbol(i))).count();
         assert!(false_pos < 60, "too many false positives: {false_pos}");
     }
 

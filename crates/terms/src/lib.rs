@@ -14,6 +14,7 @@
 //!   peer counts;
 //! * [`query`] — query representation and AND-matching.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dict;

@@ -91,10 +91,7 @@ mod tests {
     #[test]
     fn splits_on_punctuation_and_whitespace() {
         let t = tokenize("Aaron Neville - I Don't Know Much.mp3");
-        assert_eq!(
-            t,
-            vec!["aaron", "neville", "don", "know", "much", "mp3"]
-        );
+        assert_eq!(t, vec!["aaron", "neville", "don", "know", "much", "mp3"]);
     }
 
     #[test]

@@ -116,7 +116,11 @@ fn unique_tag(seed: u64, counter: u64) -> String {
     for _ in 0..6 {
         let d = (x % 36) as u32;
         let c = char::from_digit(d % 10, 10).unwrap();
-        tag.push(if d < 10 { c } else { (b'a' + (d - 10) as u8) as char });
+        tag.push(if d < 10 {
+            c
+        } else {
+            (b'a' + (d - 10) as u8) as char
+        });
         x /= 36;
     }
     // Counter suffix guarantees uniqueness even across hash collisions.
@@ -139,8 +143,7 @@ impl Crawl {
         let extensions = ["mp3", "mp3", "mp3", "wma", "avi", "ogg"];
         let mut tag_counter = 0u64;
         while canonical_names.len() < config.num_objects as usize {
-            let k = config.min_terms
-                + rng.index(config.max_terms - config.min_terms + 1);
+            let k = config.min_terms + rng.index(config.max_terms - config.min_terms + 1);
             let mut terms: Vec<&str> = Vec::with_capacity(k);
             for _ in 0..k {
                 let rank = term_zipf.sample_index(&mut rng);
@@ -198,7 +201,14 @@ impl Crawl {
                 }
             }
             let canonical = &canonical_names[obj];
-            for &peer in &scratch {
+            // Sort before iterating: set order would decide which peer
+            // consumes which noise draw from the shared rng stream, tying
+            // generated names to hasher internals.
+            // qcplint: allow(unordered-iter) — collected then fully sorted
+            // on the next line before any order-sensitive use.
+            let mut placed: Vec<u32> = scratch.iter().copied().collect();
+            placed.sort_unstable();
+            for peer in placed {
                 let name = config.noise.apply(canonical, &mut rng);
                 files.push(FileRecord {
                     peer,
@@ -359,10 +369,7 @@ mod tests {
                 .or_default()
                 .insert(f.name.as_str());
         }
-        let variants = by_object
-            .values()
-            .filter(|names| names.len() > 1)
-            .count();
+        let variants = by_object.values().filter(|names| names.len() > 1).count();
         assert!(variants > 0, "noise should create at least some variants");
     }
 

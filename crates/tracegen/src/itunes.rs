@@ -102,9 +102,30 @@ impl ItunesConfig {
 
 /// The 24 genres iTunes shipped with (paper §III-B).
 const STOCK_GENRES: [&str; 24] = [
-    "Rock", "Pop", "Alternative", "Jazz", "Classical", "Hip-Hop", "Rap", "Country", "Blues",
-    "Electronic", "Dance", "Folk", "Latin", "Reggae", "Soundtrack", "Metal", "Punk", "R&B",
-    "Soul", "World", "Gospel", "Ambient", "Indie", "Holiday",
+    "Rock",
+    "Pop",
+    "Alternative",
+    "Jazz",
+    "Classical",
+    "Hip-Hop",
+    "Rap",
+    "Country",
+    "Blues",
+    "Electronic",
+    "Dance",
+    "Folk",
+    "Latin",
+    "Reggae",
+    "Soundtrack",
+    "Metal",
+    "Punk",
+    "R&B",
+    "Soul",
+    "World",
+    "Gospel",
+    "Ambient",
+    "Indie",
+    "Holiday",
 ];
 
 /// Catalogue-side ground truth for one song.
@@ -137,12 +158,8 @@ impl ItunesTrace {
         // Artists: two-word pseudo names from the vocabulary mid-range.
         let artist_names: Vec<String> = (0..config.catalog_artists)
             .map(|i| {
-                let a = vocab.term(vocab.file_term_at_rank(
-                    (i as usize * 7 + 13) % vocab.len(),
-                ));
-                let b = vocab.term(vocab.file_term_at_rank(
-                    (i as usize * 31 + 101) % vocab.len(),
-                ));
+                let a = vocab.term(vocab.file_term_at_rank((i as usize * 7 + 13) % vocab.len()));
+                let b = vocab.term(vocab.file_term_at_rank((i as usize * 31 + 101) % vocab.len()));
                 format!("{a} {b}")
             })
             .collect();

@@ -22,6 +22,7 @@
 //!
 //! All generators are deterministic functions of a `u64` seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gnutella;
@@ -31,7 +32,7 @@ pub mod queries;
 pub mod vocab;
 
 pub use gnutella::{Crawl, CrawlConfig, FileRecord};
-pub use noise::NoiseModel;
 pub use itunes::{ItunesConfig, ItunesTrace, Share, SongRecord};
+pub use noise::NoiseModel;
 pub use queries::{QueryRecord, QueryTrace, QueryTraceConfig};
 pub use vocab::{Vocabulary, VocabularyConfig};

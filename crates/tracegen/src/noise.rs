@@ -152,7 +152,10 @@ mod tests {
         let m = NoiseModel::none();
         let mut rng = Pcg64::new(1);
         for _ in 0..50 {
-            assert_eq!(m.apply("aaron neville know much", &mut rng), "aaron neville know much");
+            assert_eq!(
+                m.apply("aaron neville know much", &mut rng),
+                "aaron neville know much"
+            );
         }
     }
 
@@ -186,7 +189,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 80, "misspelling almost always alters letters: {changed}");
+        assert!(
+            changed > 80,
+            "misspelling almost always alters letters: {changed}"
+        );
     }
 
     #[test]

@@ -174,11 +174,8 @@ impl QueryTrace {
         // Two-component mixture: a flat persistent core over the query
         // ranking's head, plus a Zipf-Mandelbrot background over the rest.
         let core = Zipf::new(config.core_size, config.core_zipf_s);
-        let background = ZipfMandelbrot::new(
-            vocab.len() - config.core_size,
-            config.zipf_s,
-            config.zipf_q,
-        );
+        let background =
+            ZipfMandelbrot::new(vocab.len() - config.core_size, config.zipf_s, config.zipf_q);
         let mut active: Vec<Burst> = Vec::new();
         let mut burst_cursor = 0usize;
         let queries: Vec<QueryRecord> = times
@@ -304,7 +301,9 @@ mod tests {
         let vocab = small_vocab();
         let t = small_trace();
         // Count queries containing the top-10 query-rank terms.
-        let head: Vec<&str> = (0..10).map(|r| vocab.term(vocab.query_term_at_rank(r))).collect();
+        let head: Vec<&str> = (0..10)
+            .map(|r| vocab.term(vocab.query_term_at_rank(r)))
+            .collect();
         let hits = t
             .queries
             .iter()
@@ -341,7 +340,9 @@ mod tests {
         let outside_count = t
             .queries
             .iter()
-            .filter(|q| (q.time < b.start || q.time >= b.end) && q.text.split(' ').any(|w| w == term))
+            .filter(|q| {
+                (q.time < b.start || q.time >= b.end) && q.text.split(' ').any(|w| w == term)
+            })
             .count();
         let inside_count = inside
             .iter()
@@ -349,8 +350,7 @@ mod tests {
             .count();
         assert!(!inside.is_empty());
         let inside_rate = inside_count as f64 / inside.len() as f64;
-        let outside_rate = outside_count as f64
-            / (t.len() - inside.len()).max(1) as f64;
+        let outside_rate = outside_count as f64 / (t.len() - inside.len()).max(1) as f64;
         assert!(
             inside_rate > 10.0 * outside_rate.max(1e-6),
             "burst should dominate: inside {inside_rate}, outside {outside_rate}"

@@ -59,10 +59,10 @@ pub struct Vocabulary {
 }
 
 const SYLLABLES: &[&str] = &[
-    "ba", "be", "bo", "ka", "ke", "ko", "da", "de", "do", "fa", "fi", "fo", "ga", "ge", "go",
-    "la", "le", "lo", "ma", "me", "mo", "na", "ne", "no", "pa", "pe", "po", "ra", "re", "ro",
-    "sa", "se", "so", "ta", "te", "to", "va", "ve", "vo", "za", "ze", "zo", "shi", "cha", "tru",
-    "lin", "mar", "son", "ton", "ville", "stone", "wood", "light", "star", "blue", "gold",
+    "ba", "be", "bo", "ka", "ke", "ko", "da", "de", "do", "fa", "fi", "fo", "ga", "ge", "go", "la",
+    "le", "lo", "ma", "me", "mo", "na", "ne", "no", "pa", "pe", "po", "ra", "re", "ro", "sa", "se",
+    "so", "ta", "te", "to", "va", "ve", "vo", "za", "ze", "zo", "shi", "cha", "tru", "lin", "mar",
+    "son", "ton", "ville", "stone", "wood", "light", "star", "blue", "gold",
 ];
 
 /// Generates the `i`-th deterministic pseudo-word (no RNG: pure function of
@@ -175,8 +175,10 @@ impl Vocabulary {
     /// The planted overlap between the two heads (for test assertions; the
     /// measurement pipeline must *recover* this without being told).
     pub fn planted_head_overlap(&self) -> usize {
-        let file_head: FxHashSet<u32> =
-            self.file_ranking[..self.head_size].iter().copied().collect();
+        let file_head: FxHashSet<u32> = self.file_ranking[..self.head_size]
+            .iter()
+            .copied()
+            .collect();
         self.query_ranking[..self.head_size]
             .iter()
             .filter(|t| file_head.contains(t))
@@ -220,8 +222,13 @@ mod tests {
             seed: 43,
             ..small_config()
         });
-        let same = (0..100).filter(|&r| a.query_term_at_rank(r) == b.query_term_at_rank(r)).count();
-        assert!(same < 30, "query rankings should differ across seeds: {same}");
+        let same = (0..100)
+            .filter(|&r| a.query_term_at_rank(r) == b.query_term_at_rank(r))
+            .count();
+        assert!(
+            same < 30,
+            "query rankings should differ across seeds: {same}"
+        );
     }
 
     #[test]

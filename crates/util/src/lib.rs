@@ -22,6 +22,7 @@
 //! * [`plot`] — ASCII scatter/line plots with optional log axes, used by the
 //!   `repro` binary to render figures in the terminal.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hash;

@@ -124,7 +124,10 @@ pub fn render(config: &PlotConfig, series: &[Series]) -> String {
             .collect();
         transformed.push((si, pts));
     }
-    let all: Vec<(f64, f64)> = transformed.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = transformed
+        .iter()
+        .flat_map(|(_, p)| p.iter().copied())
+        .collect();
     let mut out = String::new();
     if !config.title.is_empty() {
         out.push_str(&format!("== {} ==\n", config.title));

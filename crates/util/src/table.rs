@@ -39,7 +39,10 @@ impl Table {
     }
 
     /// Appends a row of display-formatted values.
-    pub fn row_fmt<D: std::fmt::Display, I: IntoIterator<Item = D>>(&mut self, cells: I) -> &mut Self {
+    pub fn row_fmt<D: std::fmt::Display, I: IntoIterator<Item = D>>(
+        &mut self,
+        cells: I,
+    ) -> &mut Self {
         self.row(cells.into_iter().map(|c| c.to_string()))
     }
 

@@ -132,6 +132,8 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("qcp-xpar-{i}"))
                     .spawn(move || worker_loop(rx))
+                    // qcplint: allow(panic) — pool construction happens once
+                    // at startup; failing to spawn a worker is unrecoverable.
                     .expect("failed to spawn xpar worker")
             })
             .collect();
@@ -168,15 +170,14 @@ impl Pool {
             f(0);
             return;
         }
+        let task: Box<dyn Fn(usize) + Send + Sync> = Box::new(f);
         // SAFETY: the closure (and everything it borrows) outlives the
         // batch because this function does not return until `active == 0`
         // and the batch's task pointer is never invoked after that: workers
         // `enter()` before their first claim, and a worker that receives
         // the Arc after drain-complete claims an index >= n and exits
         // immediately without touching borrowed state.
-        let task: Box<dyn Fn(usize) + Send + Sync> = Box::new(f);
-        let task: Box<dyn Fn(usize) + Send + Sync + 'static> =
-            unsafe { std::mem::transmute(task) };
+        let task: Box<dyn Fn(usize) + Send + Sync + 'static> = unsafe { std::mem::transmute(task) };
         let batch = Arc::new(Batch {
             next: AtomicUsize::new(0),
             n,
@@ -198,6 +199,9 @@ impl Pool {
         batch.exit();
         batch.wait();
         if batch.poisoned.load(Ordering::Acquire) {
+            // qcplint: allow(panic) — deliberate panic *propagation*: a
+            // worker's task panicked and the failure must surface on the
+            // caller's thread, matching rayon's join semantics.
             panic!("qcp-xpar: a parallel task panicked");
         }
     }
@@ -340,18 +344,36 @@ fn chunk_size(n: usize, threads: usize) -> usize {
 }
 
 struct SharedSlots<U>(*mut std::mem::MaybeUninit<U>);
+// SAFETY: `SharedSlots` is a write-only view into a `MaybeUninit` buffer
+// owned by `par_map_indexed`, which outlives every worker's use of it (the
+// batch barrier in `Pool::run` guarantees all writes complete before the
+// buffer is read). Each index is written by exactly one task, so sending
+// the pointer to another thread cannot create an aliased write; `U: Send`
+// ensures the written values may themselves cross threads.
 unsafe impl<U: Send> Send for SharedSlots<U> {}
+// SAFETY: shared access only permits `write(i, ..)`, and the caller
+// contract (one writer per index, enforced by the batch's atomic index
+// claim) means concurrent `&SharedSlots` use never aliases a slot.
 unsafe impl<U: Send> Sync for SharedSlots<U> {}
 impl<U> SharedSlots<U> {
     /// # Safety
     /// `i` must be in bounds and written at most once across all threads.
     unsafe fn write(&self, i: usize, value: U) {
-        (*self.0.add(i)).write(value);
+        // SAFETY: caller upholds the `# Safety` contract above — `i` is in
+        // bounds of the allocation and no other thread writes this slot.
+        unsafe { (*self.0.add(i)).write(value) };
     }
 }
 
 struct SharedMutPtr<T>(*mut T);
+// SAFETY: the pointer originates from a `&mut [T]` held exclusively by
+// `par_chunks_mut` for the duration of the batch; tasks reconstruct
+// *disjoint* chunk slices from it, so moving the wrapper to worker
+// threads transfers no aliased access. `T: Send` bounds the element type.
 unsafe impl<T: Send> Send for SharedMutPtr<T> {}
+// SAFETY: sharing `&SharedMutPtr` only exposes `get()`; the chunk
+// arithmetic in `par_chunks_mut` (one task per disjoint `[start, end)`
+// range) guarantees no two threads dereference overlapping regions.
 unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
 impl<T> SharedMutPtr<T> {
     /// Accessor (rather than direct field use) so edition-2021 closures

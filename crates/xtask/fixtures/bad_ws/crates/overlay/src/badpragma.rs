@@ -1,0 +1,7 @@
+//! Fixture: malformed pragmas. Each must trip `bad-pragma`.
+
+// qcplint: allow(no-such-rule) — reason present but the rule is unknown
+pub fn a() {}
+
+// qcplint: deny(panic) — only `allow` exists
+pub fn b() {}

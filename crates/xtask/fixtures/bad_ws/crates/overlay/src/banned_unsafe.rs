@@ -1,0 +1,8 @@
+//! Fixture: `unsafe` in a crate that bans unsafe entirely.
+//! Must trip `forbidden-unsafe` (even with a SAFETY comment: the crate
+//! is not allowed any unsafe at all).
+
+pub fn peek(p: *const u32) -> u32 {
+    // SAFETY: irrelevant — this crate may not contain unsafe at all.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+//! Fixture: sim-facing crate root WITHOUT `#![forbid(unsafe_code)]`.
+//! Must trip `missing-forbid`.
+
+pub mod nondet;

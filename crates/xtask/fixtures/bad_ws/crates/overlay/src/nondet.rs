@@ -1,0 +1,19 @@
+//! Fixture: nondeterminism sources in sim-facing library code.
+//! Must trip `nondet` (twice) — but NOT for the test-gated use below.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside cfg(test) the same token is fine.
+    fn _timer() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: panic-family calls in hot-path library code.
+//! Must trip `panic` (three times), plus once for the reason-less pragma
+//! below (`bad-pragma`) — a bad pragma does NOT suppress.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+// qcplint: allow(panic)
+pub fn boom() {
+    panic!("fixture");
+}

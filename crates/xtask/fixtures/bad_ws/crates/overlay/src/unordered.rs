@@ -1,0 +1,19 @@
+//! Fixture: hash-order iteration over an Fx map in sim-facing code.
+//! Must trip `unordered-iter` (twice: method call and for-loop).
+
+pub fn leak_order(m: &FxHashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn leak_order_for() -> u64 {
+    let set: FxHashSet<u64> = FxHashSet::default();
+    let mut acc = 0;
+    for v in &set {
+        acc = acc * 31 + v; // order-sensitive fold
+    }
+    acc
+}

@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` in the unsafe-allowed crate but WITHOUT a SAFETY
+//! comment. Must trip `undocumented-unsafe`.
+
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}

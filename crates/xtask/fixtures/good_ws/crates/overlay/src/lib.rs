@@ -1,0 +1,5 @@
+//! Fixture: a clean sim-facing crate root. Must produce no diagnostics.
+
+#![forbid(unsafe_code)]
+
+pub mod ok;

@@ -1,0 +1,26 @@
+//! Fixture: every risky construct written the sanctioned way.
+//! Must produce no diagnostics.
+
+/// Sorted iteration: hash order never escapes.
+pub fn sorted_keys(m: &FxHashMap<u32, u32>) -> Vec<u32> {
+    // qcplint: allow(unordered-iter) — keys are collected and fully
+    // sorted on the next line; hash order cannot reach the output.
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// A justified pragma waives the panic rule.
+pub fn head(v: &[u32]) -> u32 {
+    // qcplint: allow(panic) — caller guarantees nonempty by construction.
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

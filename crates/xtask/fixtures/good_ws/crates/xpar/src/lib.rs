@@ -1,0 +1,8 @@
+//! Fixture: the unsafe-allowed crate, with documented unsafe.
+//! Must produce no diagnostics (no `missing-forbid` here: this crate is
+//! the designated unsafe core).
+
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: fixture — `p` is valid and aligned by caller contract.
+    unsafe { *p }
+}

@@ -1,0 +1,285 @@
+//! A minimal line-preserving lexer for Rust source.
+//!
+//! qcplint's rules are line/token-level: they need to know, for every
+//! source line, *which text is code* and *which text is comment*, with
+//! string-literal contents blanked out so a doc sentence like "uses
+//! `Instant::now`" or a format string containing `panic!(` can never
+//! trip a rule. This is deliberately not a full Rust lexer — it only
+//! understands the token classes that affect code/comment/string
+//! boundaries:
+//!
+//! * `//` line comments (incl. `///` and `//!` doc comments),
+//! * `/* .. */` block comments with nesting,
+//! * string literals with escapes (`".."`), byte strings (`b".."`),
+//! * raw strings with hash fences (`r".."`, `r#".."#`, `br#".."#`),
+//! * char literals vs. lifetimes (`'a'`, `b'\n'` vs. `'static`).
+
+/// One source line, split into its code text and its comment text.
+///
+/// String-literal contents are replaced by `"…"` in `code` so token
+/// searches cannot match inside them; the quotes remain as boundaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineView {
+    /// Code text with strings blanked and comments removed.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` / `/*`).
+    pub comment: String,
+}
+
+impl LineView {
+    /// True when the line holds no code tokens (blank or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits `source` into per-line code/comment views.
+pub fn split_lines(source: &str) -> Vec<LineView> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut current = LineView::default();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut current));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: r"..", r#"..."#, br".." etc.
+                if (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r')))
+                    && !prev_is_ident(&current.code)
+                {
+                    let after_r = if c == 'b' { i + 2 } else { i + 1 };
+                    let mut hashes = 0usize;
+                    let mut j = after_r;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        current.code.push('"');
+                        current.code.push('…');
+                        current.code.push('"');
+                        state = State::RawStr(hashes as u32);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    current.code.push('"');
+                    current.code.push('…');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                    // `'\n'`): a char literal closes with `'` after one
+                    // (possibly escaped) character.
+                    let is_char_lit = match chars.get(i + 1) {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        current.code.push('\'');
+                        current.code.push('…');
+                        state = State::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    current.code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                current.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                current.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if depth == 1 {
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    current.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character
+                } else if c == '"' {
+                    current.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Normal;
+                        i = j;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    current.code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !current.code.is_empty() || !current.comment.is_empty() {
+        lines.push(current);
+    }
+    lines
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// True when `haystack` contains `needle` as a standalone token (not as a
+/// substring of a longer identifier). `needle` may itself contain `.`,
+/// `:` or `!` (e.g. `.unwrap()`, `Instant::now`, `panic!(`).
+pub fn contains_token(haystack: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    // A boundary is only required on ends of the needle that are
+    // themselves identifier-like: `.unwrap()` may legally follow `x`,
+    // and `panic!(` may legally precede an argument.
+    let check_before = needle.chars().next().is_some_and(is_ident);
+    let check_after = needle.chars().last().is_some_and(is_ident);
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok =
+            !check_before || at == 0 || !haystack[..at].chars().last().is_some_and(is_ident);
+        let end = at + needle.len();
+        let after_ok = !check_after
+            || end >= haystack.len()
+            || !haystack[end..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let lines = split_lines("let x = 1; // Instant::now mention\nlet y = 2;");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("Instant::now"));
+        assert!(!lines[0].code.contains("Instant"));
+        assert_eq!(lines[1].code.trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let lines = split_lines("let s = \"panic!( inside\"; s.len();");
+        assert!(!lines[0].code.contains("panic!("));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lines = split_lines("let s = r#\"has \"quotes\" and panic!(\"#; x();");
+        assert!(!lines[0].code.contains("panic!("));
+        assert!(lines[0].code.contains("x()"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let lines = split_lines("a(); /* outer /* inner */ still comment\npanic!( */ b();");
+        assert!(lines[0].code.contains("a()"));
+        assert!(!lines[1].code.contains("panic!("));
+        assert!(lines[1].code.contains("b()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = split_lines("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("&'a str"));
+        let lines = split_lines("let c = 'x'; let d = '\\n'; y();");
+        assert!(!lines[0].code.contains('x'));
+        assert!(lines[0].code.contains("y()"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(contains_token("a.unwrap()", ".unwrap()"));
+        assert!(!contains_token("a.unwrap_or(1)", ".unwrap()"));
+        assert!(contains_token("unsafe { x }", "unsafe"));
+        assert!(!contains_token("forbid(unsafe_code)", "unsafe"));
+        assert!(contains_token("Instant::now()", "Instant::now"));
+        assert!(!contains_token("MyInstant::nowish()", "Instant::now"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let lines = split_lines(r#"let s = "a\"b.unwrap()"; t();"#);
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].code.contains("t()"));
+    }
+}

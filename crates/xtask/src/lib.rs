@@ -1,0 +1,249 @@
+//! The qcp2p workspace static-analysis gate (qcplint).
+//!
+//! Run as `cargo xtask lint` (alias for `cargo run -p qcp-xtask -- lint`).
+//! Walks every tracked `.rs` file in the workspace and enforces the four
+//! rule families described in `DESIGN.md`:
+//!
+//! * **D1 `nondet`** — no wall-clock / OS-entropy nondeterminism in
+//!   sim-facing crates outside test code,
+//! * **D2 `unordered-iter`** — no order-sensitive iteration over
+//!   `FxHashMap` / `FxHashSet` in sim-facing crates without an audited
+//!   `// qcplint: allow(unordered-iter) — <reason>` pragma,
+//! * **S1 `undocumented-unsafe` / `missing-forbid` / `forbidden-unsafe`**
+//!   — every `unsafe` is documented with `// SAFETY:` and confined to the
+//!   crates allowed to use it; everyone else forbids it at the crate root,
+//! * **P1 `panic`** — no `unwrap()` / `expect(` / `panic!(` in non-test
+//!   library code of hot-path crates without an allow pragma.
+//!
+//! The library half (this file + [`lexer`] + [`rules`]) is pure: it maps
+//! `(path, source) -> Vec<Diagnostic>` with no I/O, so the whole engine is
+//! unit-testable from strings. The binary half (`src/main.rs`) adds the
+//! filesystem walk and exit codes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use rules::{Diagnostic, FileContext, FileKind, LintConfig};
+
+/// Aggregated result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files inspected.
+    pub files_checked: usize,
+    /// All diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Per-rule violation counts, keyed by rule name.
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.rule.key()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Machine-readable one-line JSON summary.
+    ///
+    /// Shape: `{"files":N,"violations":M,"rules":{"<rule>":K,...}}` with
+    /// rule keys sorted, so the output is byte-stable for a given input.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"files\":{},\"violations\":{},\"rules\":{{",
+            self.files_checked,
+            self.diagnostics.len()
+        ));
+        let counts = self.rule_counts();
+        let mut first = true;
+        for (rule, n) in counts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{rule}\":{n}"));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(f, "{}", self.summary_json())
+    }
+}
+
+/// Classifies a workspace-relative path into its owning crate and kind.
+///
+/// Returns `None` for paths qcplint must not lint: build outputs
+/// (`target/`), VCS internals, and the lint fixtures themselves (which
+/// contain violations *on purpose*).
+pub fn classify_path(rel: &Path) -> Option<FileContext> {
+    let comps: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    if comps.is_empty() {
+        return None;
+    }
+    // Skips: build output, VCS, editor litter, and intentional-violation
+    // fixtures under crates/xtask/fixtures/.
+    if comps
+        .iter()
+        .any(|c| *c == "target" || *c == ".git" || *c == "fixtures")
+    {
+        return None;
+    }
+
+    let (crate_name, rest): (String, &[&str]) = match comps[0] {
+        "crates" | "vendor" => {
+            if comps.len() < 2 {
+                return None;
+            }
+            (comps[1].to_string(), &comps[2..])
+        }
+        // Root package: src/, tests/, examples/, benches/ at repo root.
+        _ => ("qcp2p".to_string(), &comps[..]),
+    };
+
+    let kind = match rest.first().copied() {
+        Some("tests") | Some("benches") | Some("examples") => FileKind::Test,
+        _ => FileKind::Lib,
+    };
+
+    let is_crate_root = matches!(
+        rest,
+        ["src", "lib.rs"] | ["src", "main.rs"] | ["src", "bin", _]
+    );
+
+    Some(FileContext {
+        crate_name,
+        kind,
+        is_crate_root,
+    })
+}
+
+/// Recursively collects every `.rs` file under `root`, returning
+/// workspace-relative paths in sorted order (deterministic walk).
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every `.rs` file under `root` and returns the aggregated report.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in collect_rs_files(root)? {
+        let Some(ctx) = classify_path(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        report.files_checked += 1;
+        report
+            .diagnostics
+            .extend(rules::lint_source(&rel, &source, &ctx, cfg));
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule.key()).cmp(&(&b.file, b.line, b.rule.key())));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str) -> Option<FileContext> {
+        classify_path(Path::new(path))
+    }
+
+    #[test]
+    fn classify_crate_lib_files() {
+        let c = ctx("crates/search/src/flood.rs").unwrap();
+        assert_eq!(c.crate_name, "search");
+        assert_eq!(c.kind, FileKind::Lib);
+        assert!(!c.is_crate_root);
+    }
+
+    #[test]
+    fn classify_crate_roots() {
+        assert!(ctx("crates/overlay/src/lib.rs").unwrap().is_crate_root);
+        assert!(ctx("crates/xtask/src/main.rs").unwrap().is_crate_root);
+        assert!(ctx("src/lib.rs").unwrap().is_crate_root);
+        assert!(!ctx("crates/overlay/src/graph.rs").unwrap().is_crate_root);
+    }
+
+    #[test]
+    fn classify_test_dirs() {
+        assert_eq!(
+            ctx("crates/util/tests/prop_rng.rs").unwrap().kind,
+            FileKind::Test
+        );
+        assert_eq!(ctx("tests/determinism.rs").unwrap().kind, FileKind::Test);
+        assert_eq!(
+            ctx("crates/bench/benches/flood.rs").unwrap().kind,
+            FileKind::Test
+        );
+        assert_eq!(ctx("examples/figure8.rs").unwrap().kind, FileKind::Test);
+    }
+
+    #[test]
+    fn classify_root_package() {
+        let c = ctx("src/figures.rs").unwrap();
+        assert_eq!(c.crate_name, "qcp2p");
+        assert_eq!(c.kind, FileKind::Lib);
+    }
+
+    #[test]
+    fn classify_skips_fixtures_and_target() {
+        assert!(ctx("crates/xtask/fixtures/bad_nondet.rs").is_none());
+        assert!(ctx("target/debug/build/foo.rs").is_none());
+    }
+
+    #[test]
+    fn summary_json_is_stable() {
+        let report = Report {
+            files_checked: 3,
+            diagnostics: vec![],
+        };
+        assert_eq!(
+            report.summary_json(),
+            "{\"files\":3,\"violations\":0,\"rules\":{}}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! `qcp-xtask` — workspace automation binary.
+//!
+//! Subcommands:
+//!
+//! * `lint [--root <dir>]` — run qcplint over the workspace. Prints one
+//!   `file:line: rule — message` diagnostic per violation, then a
+//!   machine-readable JSON summary line. Exit codes: `0` clean, `1`
+//!   violations found, `2` usage / I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qcp_xtask::{lint_workspace, rules::LintConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let Some(cmd) = iter.next() else {
+        eprintln!("usage: qcp-xtask lint [--root <dir>]");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "lint" => {
+            let mut root: Option<PathBuf> = None;
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--root" => match iter.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => {
+                            eprintln!("error: --root requires a directory argument");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("error: unknown argument `{other}`");
+                        eprintln!("usage: qcp-xtask lint [--root <dir>]");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            run_lint(&root)
+        }
+        other => {
+            eprintln!("error: unknown subcommand `{other}`");
+            eprintln!("usage: qcp-xtask lint [--root <dir>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locates the workspace root: `$CARGO_MANIFEST_DIR/../..` when invoked
+/// through cargo, else the current directory.
+fn workspace_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn run_lint(root: &std::path::Path) -> ExitCode {
+    let cfg = LintConfig::default();
+    match lint_workspace(root, &cfg) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!("{}", report.summary_json());
+            if report.is_clean() {
+                eprintln!("qcplint: {} files checked, clean", report.files_checked);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "qcplint: {} files checked, {} violation(s)",
+                    report.files_checked,
+                    report.diagnostics.len()
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("qcplint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

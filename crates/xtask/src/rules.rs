@@ -1,0 +1,755 @@
+//! qcplint's rule engine.
+//!
+//! Four rule families guard the project invariants that make the paper's
+//! figures (seeded simulation, Figs 1–8) bit-for-bit reproducible and
+//! keep the `qcp-xpar` unsafe core auditable:
+//!
+//! * **D1 `nondet`** — no wall-clock or ambient-randomness sources
+//!   (`thread_rng`, `rand::random`, `SystemTime::now`, `Instant::now`,
+//!   `RandomState`) in sim-facing crates outside test/bench code. Every
+//!   random or temporal input must flow from the experiment seed.
+//! * **D2 `unordered-iter`** — no order-sensitive iteration over
+//!   `FxHashMap`/`FxHashSet` in sim-facing library code: hash-order
+//!   iteration silently couples results to hasher internals and
+//!   insertion history.
+//! * **S1 `undocumented-unsafe` / `missing-forbid`** — every `unsafe`
+//!   token must be justified by an immediately preceding `// SAFETY:`
+//!   comment (or `# Safety` doc section), and every crate except the
+//!   designated unsafe core must declare `#![forbid(unsafe_code)]` at
+//!   its crate roots.
+//! * **P1 `panic`** — no `unwrap()` / `expect(` / `panic!(` in non-test
+//!   library code of hot-path crates.
+//!
+//! Any rule can be locally waived with an audited pragma on the line or
+//! the line above: `// qcplint: allow(<rule>) — <reason>`. A pragma
+//! without a reason, or naming an unknown rule, is itself a violation
+//! (`bad-pragma`), so waivers stay greppable and justified.
+
+use crate::lexer::{contains_token, split_lines, LineView};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// D1: nondeterminism source in sim-facing code.
+    Nondet,
+    /// D2: hash-order iteration over an Fx map/set.
+    UnorderedIter,
+    /// S1a: `unsafe` without an adjacent `// SAFETY:` justification.
+    UndocumentedUnsafe,
+    /// S1b: crate root missing `#![forbid(unsafe_code)]`.
+    MissingForbid,
+    /// S1c: `unsafe` token in a crate where unsafe is banned outright.
+    ForbiddenUnsafe,
+    /// P1: panic-family call in hot-path library code.
+    Panic,
+    /// Malformed or unjustified `qcplint: allow(..)` pragma.
+    BadPragma,
+}
+
+impl Rule {
+    /// The key used in pragmas and the machine-readable summary.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::Nondet => "nondet",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::MissingForbid => "missing-forbid",
+            Rule::ForbiddenUnsafe => "forbidden-unsafe",
+            Rule::Panic => "panic",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// The rule family named in ISSUE/DESIGN docs (D1/D2/S1/P1).
+    pub fn family(self) -> &'static str {
+        match self {
+            Rule::Nondet => "D1",
+            Rule::UnorderedIter => "D2",
+            Rule::UndocumentedUnsafe | Rule::MissingForbid | Rule::ForbiddenUnsafe => "S1",
+            Rule::Panic => "P1",
+            Rule::BadPragma => "P0",
+        }
+    }
+
+    /// All pragma-addressable rule keys.
+    pub fn known_keys() -> &'static [&'static str] {
+        &[
+            "nondet",
+            "unordered-iter",
+            "undocumented-unsafe",
+            "forbidden-unsafe",
+            "panic",
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.family(), self.key())
+    }
+}
+
+/// One finding, printed as `file:line: rule — message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as scanned (workspace-relative when walking a workspace).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} — {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// What kind of target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library/binary code shipped in the crate.
+    Lib,
+    /// Tests, benches, examples, fixtures: determinism/panic rules relax.
+    Test,
+}
+
+/// Per-file lint context: which crate it is in and what rules apply.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name (`overlay`, `xpar`, ... or `qcp2p` for the
+    /// workspace root package).
+    pub crate_name: String,
+    /// Library or test-ish target.
+    pub kind: FileKind,
+    /// Whether this file is a crate root (`src/lib.rs`, `src/main.rs`,
+    /// `src/bin/*.rs`) and must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Engine configuration: which crates each rule family applies to.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates whose library code feeds seeded simulation results (D1/D2).
+    pub sim_facing: Vec<String>,
+    /// Crates on the simulation hot path (P1).
+    pub hot_path: Vec<String>,
+    /// Crates allowed to contain `unsafe` (with SAFETY comments).
+    pub unsafe_allowed: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            sim_facing: [
+                "overlay", "search", "dht", "sketch", "tracegen", "analysis", "terms", "zipf",
+                "core",
+            ]
+            .map(String::from)
+            .to_vec(),
+            hot_path: ["overlay", "search", "dht", "sketch", "zipf", "core", "xpar"]
+                .map(String::from)
+                .to_vec(),
+            unsafe_allowed: ["xpar"].map(String::from).to_vec(),
+        }
+    }
+}
+
+/// Tokens that make seeded simulation irreproducible (rule D1).
+const NONDET_TOKENS: &[&str] = &[
+    "thread_rng",
+    "rand::random",
+    "SystemTime::now",
+    "Instant::now",
+    "RandomState",
+];
+
+/// Iterator adapters whose order is hash-dependent on Fx maps (rule D2).
+const ORDER_SENSITIVE_CALLS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain()",
+    ".retain(",
+];
+
+/// Panic-family tokens banned from hot-path library code (rule P1).
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+
+/// Lints one file's source text under the given context and config.
+pub fn lint_source(
+    path: &Path,
+    source: &str,
+    ctx: &FileContext,
+    cfg: &LintConfig,
+) -> Vec<Diagnostic> {
+    let lines = split_lines(source);
+    let mut out = Vec::new();
+
+    let sim_facing = cfg.sim_facing.contains(&ctx.crate_name);
+    let hot_path = cfg.hot_path.contains(&ctx.crate_name);
+    let unsafe_allowed = cfg.unsafe_allowed.contains(&ctx.crate_name);
+
+    // Pragma scan runs on every line, even in tests: a malformed pragma
+    // anywhere is a defect in the audit trail.
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(err) = pragma_error(&line.comment) {
+            out.push(Diagnostic {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: Rule::BadPragma,
+                message: err,
+            });
+        }
+    }
+
+    // S1b: crate roots must forbid unsafe (except the unsafe core).
+    if ctx.is_crate_root && !unsafe_allowed {
+        let has_forbid = lines
+            .iter()
+            .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+        if !has_forbid {
+            out.push(Diagnostic {
+                file: path.to_path_buf(),
+                line: 1,
+                rule: Rule::MissingForbid,
+                message: format!(
+                    "crate `{}` root must declare #![forbid(unsafe_code)] \
+                     (only the designated unsafe core is exempt)",
+                    ctx.crate_name
+                ),
+            });
+        }
+    }
+
+    let fx_idents = collect_fx_idents(&lines);
+    let test_lines = compute_test_regions(&lines);
+
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let in_test = ctx.kind == FileKind::Test || test_lines[i];
+        let allowed = |rule: Rule| pragma_allows(&lines, i, rule);
+
+        // S1a / S1c: unsafe hygiene applies everywhere, tests included —
+        // an unsound test is still unsound.
+        if contains_token(&line.code, "unsafe") {
+            if !unsafe_allowed {
+                if !allowed(Rule::ForbiddenUnsafe) {
+                    out.push(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::ForbiddenUnsafe,
+                        message: format!(
+                            "`unsafe` in crate `{}`, which bans unsafe code entirely; \
+                             move the code into the unsafe core or redesign",
+                            ctx.crate_name
+                        ),
+                    });
+                }
+            } else if !has_safety_comment(&lines, i) && !allowed(Rule::UndocumentedUnsafe) {
+                out.push(Diagnostic {
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    rule: Rule::UndocumentedUnsafe,
+                    message: "`unsafe` must be immediately preceded by a `// SAFETY:` \
+                              comment (or a `# Safety` doc section) stating the invariant"
+                        .to_string(),
+                });
+            }
+        }
+
+        if in_test {
+            continue;
+        }
+
+        // D1: nondeterminism sources in sim-facing library code.
+        if sim_facing {
+            for token in NONDET_TOKENS {
+                if contains_token(&line.code, token) && !allowed(Rule::Nondet) {
+                    out.push(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::Nondet,
+                        message: format!(
+                            "`{token}` is a nondeterminism source; simulation inputs \
+                             must derive from the experiment seed (see qcp_util::rng)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // D2: hash-order iteration over Fx maps/sets.
+        if sim_facing {
+            if let Some(ident) = find_unordered_iteration(&line.code, &fx_idents) {
+                if !allowed(Rule::UnorderedIter) {
+                    out.push(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::UnorderedIter,
+                        message: format!(
+                            "iteration over FxHashMap/FxHashSet `{ident}` is \
+                             hash-order-dependent; sort keys first, use a BTreeMap, \
+                             or annotate `// qcplint: allow(unordered-iter) — <reason>` \
+                             if order provably cannot leak into results"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // P1: panic discipline in hot-path library code.
+        if hot_path {
+            for token in PANIC_TOKENS {
+                if contains_token(&line.code, token) && !allowed(Rule::Panic) {
+                    out.push(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::Panic,
+                        message: format!(
+                            "`{token}` in hot-path library code; return a Result, \
+                             restructure, or annotate \
+                             `// qcplint: allow(panic) — <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Identifiers declared (or annotated) as `FxHashMap`/`FxHashSet` in this
+/// file. A purely lexical approximation of type inference: it catches
+/// `let m: FxHashMap<..>`, struct fields, fn params, and
+/// `let m = FxHashMap::default()` / `..collect::<FxHashSet<..>>()`.
+fn collect_fx_idents(lines: &[LineView]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        // `name: FxHashMap<..>` (field, param, or typed let).
+        for (pos, _) in code.match_indices("FxHash") {
+            if !code[pos..].starts_with("FxHashMap") && !code[pos..].starts_with("FxHashSet") {
+                continue;
+            }
+            // Strip reference/mut qualifiers preceding the type, so
+            // `m: &FxHashMap<..>` and `m: &mut FxHashSet<..>` still bind.
+            let mut before = code[..pos].trim_end();
+            loop {
+                if let Some(b) = before.strip_suffix('&') {
+                    before = b.trim_end();
+                    continue;
+                }
+                if let Some(b) = before.strip_suffix("mut") {
+                    let boundary = b
+                        .chars()
+                        .last()
+                        .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+                    if boundary {
+                        before = b.trim_end();
+                        continue;
+                    }
+                }
+                break;
+            }
+            if let Some(rest) = before.strip_suffix(':') {
+                let rest = rest.trim_end();
+                if let Some(name) = trailing_ident(rest) {
+                    push_unique(&mut idents, name);
+                }
+            } else if let Some(rest) = before.strip_suffix('=') {
+                // `let name = FxHashMap::default()` and friends.
+                let rest = rest.trim_end();
+                if let Some(name) = trailing_ident(rest) {
+                    push_unique(&mut idents, name);
+                }
+            }
+        }
+        // `let name = ...collect::<FxHashMap<..>>()`.
+        if code.contains("collect::<FxHash") {
+            if let Some(eq) = code.find('=') {
+                if let Some(name) = trailing_ident(code[..eq].trim_end()) {
+                    push_unique(&mut idents, name);
+                }
+            }
+        }
+    }
+    idents
+}
+
+fn push_unique(idents: &mut Vec<String>, name: String) {
+    if !idents.contains(&name) {
+        idents.push(name);
+    }
+}
+
+/// The identifier ending `text`, if any (`let mut counts` → `counts`).
+fn trailing_ident(text: &str) -> Option<String> {
+    let ident: String = text
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    // Reference patterns like `&self` or generic params are not bindings.
+    if matches!(ident.as_str(), "mut" | "let" | "pub" | "self" | "ref") {
+        return None;
+    }
+    Some(ident)
+}
+
+/// Finds an order-sensitive iteration over a known Fx identifier:
+/// `ident.iter()`, `for x in &ident`, `for x in ident`, etc.
+fn find_unordered_iteration(code: &str, fx_idents: &[String]) -> Option<String> {
+    for ident in fx_idents {
+        for call in ORDER_SENSITIVE_CALLS {
+            let needle = format!("{ident}{call}");
+            if contains_token(code, &needle) {
+                return Some(ident.clone());
+            }
+        }
+        // `for pat in &ident` / `for pat in &mut ident` / `for pat in ident`
+        if let Some(pos) = code.find(" in ") {
+            let tail = code[pos + 4..].trim_start();
+            let tail = tail.strip_prefix("&mut ").unwrap_or(tail);
+            let tail = tail.strip_prefix('&').unwrap_or(tail);
+            let tail_ident: String = tail
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if tail_ident == *ident && code.trim_start().starts_with("for ") {
+                return Some(ident.clone());
+            }
+        }
+    }
+    None
+}
+
+/// True when line `i` (containing `unsafe`) is justified by a SAFETY
+/// comment: on the same line, or in the contiguous comment block directly
+/// above (also accepting `# Safety` doc sections for `unsafe fn`).
+fn has_safety_comment(lines: &[LineView], i: usize) -> bool {
+    let is_safety = |comment: &str| {
+        let c = comment.trim();
+        c.contains("SAFETY:") || c.contains("Safety:") || c.contains("# Safety")
+    };
+    if is_safety(&lines[i].comment) {
+        return true;
+    }
+    // Walk the contiguous comment-only block immediately above.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let line = &lines[j];
+        let comment_only = line.is_code_blank() && !line.comment.trim().is_empty();
+        let attr_line = {
+            let t = line.code.trim();
+            t.starts_with("#[") || t.starts_with("#![")
+        };
+        if comment_only || attr_line {
+            if is_safety(&line.comment) {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// True when line `i`, or any line of the contiguous comment-only block
+/// directly above it, carries a well-formed
+/// `qcplint: allow(<rule>) — <reason>` pragma naming `rule`. (Allowing
+/// the whole block lets the mandatory reason wrap across lines.)
+fn pragma_allows(lines: &[LineView], i: usize, rule: Rule) -> bool {
+    let check = |line: &LineView| {
+        parse_pragma(&line.comment)
+            .ok()
+            .flatten()
+            .is_some_and(|keys| keys.iter().any(|k| k == rule.key()))
+    };
+    if check(&lines[i]) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let line = &lines[j];
+        if !line.is_code_blank() || line.comment.trim().is_empty() {
+            break;
+        }
+        if check(line) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `Err(msg)` when the comment holds a malformed pragma.
+fn pragma_error(comment: &str) -> Option<String> {
+    parse_pragma(comment).err()
+}
+
+/// Parses `qcplint: allow(a, b) — reason` out of comment text.
+///
+/// Returns `Ok(None)` when no pragma is present, `Ok(Some(keys))` for a
+/// well-formed pragma, and `Err` for a malformed one (unknown rule key or
+/// missing reason).
+fn parse_pragma(comment: &str) -> Result<Option<Vec<String>>, String> {
+    // A pragma must START the comment (after doc-comment markers); a
+    // `qcplint:` mentioned mid-prose — e.g. docs quoting the syntax — is
+    // not a pragma.
+    let head = comment.trim_start_matches(['/', '!']).trim_start();
+    let Some(rest) = head.strip_prefix("qcplint:") else {
+        return Ok(None);
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err(format!(
+            "unrecognized qcplint pragma `{}`; expected `qcplint: allow(<rule>) — <reason>`",
+            comment.trim()
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("qcplint pragma: missing `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("qcplint pragma: unterminated rule list".to_string());
+    };
+    let keys: Vec<String> = rest[..close]
+        .split(',')
+        .map(|k| k.trim().to_string())
+        .filter(|k| !k.is_empty())
+        .collect();
+    if keys.is_empty() {
+        return Err("qcplint pragma: empty rule list".to_string());
+    }
+    for key in &keys {
+        if !Rule::known_keys().contains(&key.as_str()) {
+            return Err(format!(
+                "qcplint pragma: unknown rule `{key}` (known: {})",
+                Rule::known_keys().join(", ")
+            ));
+        }
+    }
+    // A reason is mandatory: `— reason`, `-- reason` or `- reason`.
+    let after = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '-', ':'])
+        .trim();
+    if after.chars().filter(|c| c.is_alphanumeric()).count() < 3 {
+        return Err("qcplint pragma: missing justification; write \
+             `qcplint: allow(<rule>) — <reason>`"
+            .to_string());
+    }
+    Ok(Some(keys))
+}
+
+/// Per-line flags: true when the line sits inside a `#[cfg(test)]` (or
+/// test/bench-gated) region or a `#[test]`/`#[bench]` function.
+fn compute_test_regions(lines: &[LineView]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Brace depths at which a test region was entered.
+    let mut region_stack: Vec<i64> = Vec::new();
+    let mut pending_marker = false;
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let trimmed = code.trim();
+        if trimmed.contains("#[cfg(test)]")
+            || trimmed.contains("#[cfg(all(test")
+            || trimmed.contains("#[cfg(any(test")
+            || trimmed.contains("#[test]")
+            || trimmed.contains("#[bench]")
+        {
+            pending_marker = true;
+        }
+
+        let mut line_in_region = !region_stack.is_empty();
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_marker {
+                        region_stack.push(depth);
+                        pending_marker = false;
+                        line_in_region = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_stack.last().is_some_and(|&d| d == depth) {
+                        region_stack.pop();
+                    }
+                }
+                // `#[cfg(test)] use foo;` — marker consumed by a
+                // braceless item.
+                ';' if pending_marker && region_stack.is_empty() => {
+                    pending_marker = false;
+                }
+                _ => {}
+            }
+        }
+        flags[i] = line_in_region || !region_stack.is_empty() || pending_marker;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(name: &str, kind: FileKind) -> FileContext {
+        FileContext {
+            crate_name: name.to_string(),
+            kind,
+            is_crate_root: false,
+        }
+    }
+
+    fn lint(name: &str, source: &str) -> Vec<Diagnostic> {
+        lint_source(
+            Path::new("test.rs"),
+            source,
+            &ctx(name, FileKind::Lib),
+            &LintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn d1_fires_outside_tests_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let diags = lint("overlay", src);
+        assert!(diags.iter().any(|d| d.rule == Rule::Nondet));
+
+        let src_test = "#[cfg(test)]\nmod tests {\n fn f() { let t = Instant::now(); }\n}\n";
+        assert!(lint("overlay", src_test).is_empty());
+    }
+
+    #[test]
+    fn d1_scopes_to_sim_facing_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint("util", src).is_empty());
+        assert!(!lint("dht", src).is_empty());
+    }
+
+    #[test]
+    fn d2_tracks_fx_bindings() {
+        let src = "fn f() {\n let mut m: FxHashMap<u32, u32> = FxHashMap::default();\n for (k, v) in &m { use_it(k, v); }\n}\n";
+        let diags = lint("search", src);
+        assert!(diags.iter().any(|d| d.rule == Rule::UnorderedIter));
+    }
+
+    #[test]
+    fn d2_pragma_suppresses() {
+        let src = "fn f() {\n let m: FxHashSet<u32> = FxHashSet::default();\n // qcplint: allow(unordered-iter) — order folded through a commutative sum\n let s: u32 = m.iter().sum();\n}\n";
+        assert!(lint("search", src).is_empty());
+    }
+
+    #[test]
+    fn d2_ignores_vec_of_fx() {
+        let src = "fn f(storage: &Vec<FxHashMap<u32, u32>>) -> usize {\n storage.iter().map(|m| m.len()).sum()\n}\n";
+        // `storage` is a Vec; its iteration order is positional.
+        assert!(lint("dht", src).is_empty());
+    }
+
+    #[test]
+    fn s1_requires_safety_comment() {
+        let src = "fn f() {\n unsafe { do_it(); }\n}\n";
+        let diags = lint("xpar", src);
+        assert!(diags.iter().any(|d| d.rule == Rule::UndocumentedUnsafe));
+
+        let ok = "fn f() {\n // SAFETY: exclusive access guaranteed by the batch barrier.\n unsafe { do_it(); }\n}\n";
+        assert!(lint("xpar", ok).is_empty());
+    }
+
+    #[test]
+    fn s1_bans_unsafe_outside_core() {
+        let src = "fn f() { unsafe { do_it(); } }\n";
+        let diags = lint("overlay", src);
+        assert!(diags.iter().any(|d| d.rule == Rule::ForbiddenUnsafe));
+    }
+
+    #[test]
+    fn s1_missing_forbid_on_crate_root() {
+        let root_ctx = FileContext {
+            crate_name: "overlay".into(),
+            kind: FileKind::Lib,
+            is_crate_root: true,
+        };
+        let diags = lint_source(
+            Path::new("lib.rs"),
+            "pub mod x;\n",
+            &root_ctx,
+            &LintConfig::default(),
+        );
+        assert!(diags.iter().any(|d| d.rule == Rule::MissingForbid));
+        let diags = lint_source(
+            Path::new("lib.rs"),
+            "#![forbid(unsafe_code)]\npub mod x;\n",
+            &root_ctx,
+            &LintConfig::default(),
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn p1_fires_in_hot_path_lib_only() {
+        let src = "fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n";
+        assert!(lint("overlay", src).iter().any(|d| d.rule == Rule::Panic));
+        assert!(lint("analysis", src).iter().all(|d| d.rule != Rule::Panic));
+    }
+
+    #[test]
+    fn p1_pragma_on_previous_line() {
+        let src = "fn f(v: &[u32]) -> u32 {\n // qcplint: allow(panic) — caller guarantees nonempty by construction\n *v.first().unwrap()\n}\n";
+        assert!(lint("overlay", src).is_empty());
+    }
+
+    #[test]
+    fn bad_pragmas_are_diagnosed() {
+        let src = "// qcplint: allow(panic)\nfn f() {}\n";
+        assert!(lint("util", src).iter().any(|d| d.rule == Rule::BadPragma));
+        let src = "// qcplint: allow(made-up-rule) — because\nfn f() {}\n";
+        assert!(lint("util", src).iter().any(|d| d.rule == Rule::BadPragma));
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_fire() {
+        let src = "fn f() { log(\"Instant::now is banned\"); } // Instant::now\n";
+        assert!(lint("overlay", src).is_empty());
+    }
+
+    #[test]
+    fn test_kind_files_relax_d_and_p_rules() {
+        let src = "fn f() { let t = Instant::now(); t.elapsed(); v.unwrap(); }\n";
+        let test_ctx = ctx("overlay", FileKind::Test);
+        let diags = lint_source(Path::new("t.rs"), src, &test_ctx, &LintConfig::default());
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end qcplint tests over the fixture workspaces in
+//! `crates/xtask/fixtures/`: every rule fires on `bad_ws`, nothing fires
+//! on `good_ws`, and the binary's exit codes match the contract
+//! (0 clean / 1 violations / 2 usage error).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use qcp_xtask::lint_workspace;
+use qcp_xtask::rules::{LintConfig, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_ws_trips_every_rule() {
+    let report = lint_workspace(&fixture("bad_ws"), &LintConfig::default()).unwrap();
+    let counts = report.rule_counts();
+    assert_eq!(counts.get(Rule::Nondet.key()), Some(&2), "{report}");
+    assert_eq!(counts.get(Rule::UnorderedIter.key()), Some(&2), "{report}");
+    assert_eq!(counts.get(Rule::MissingForbid.key()), Some(&1), "{report}");
+    assert_eq!(
+        counts.get(Rule::ForbiddenUnsafe.key()),
+        Some(&1),
+        "{report}"
+    );
+    assert_eq!(
+        counts.get(Rule::UndocumentedUnsafe.key()),
+        Some(&1),
+        "{report}"
+    );
+    // 3 direct panic sites; the reason-less pragma does not suppress.
+    assert_eq!(counts.get(Rule::Panic.key()), Some(&3), "{report}");
+    // 2 malformed pragmas in badpragma.rs + 1 reason-less one in panics.rs.
+    assert_eq!(counts.get(Rule::BadPragma.key()), Some(&3), "{report}");
+}
+
+#[test]
+fn bad_ws_diagnostics_are_sorted_and_formatted() {
+    let report = lint_workspace(&fixture("bad_ws"), &LintConfig::default()).unwrap();
+    // Emitted in (file, numeric line, rule) order.
+    for pair in report.diagnostics.windows(2) {
+        let a = (&pair[0].file, pair[0].line, pair[0].rule.key());
+        let b = (&pair[1].file, pair[1].line, pair[1].rule.key());
+        assert!(
+            a <= b,
+            "diagnostics out of order: {} before {}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // `file:line: rule — message` shape.
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    for line in &rendered {
+        assert!(line.contains(".rs:"), "missing file:line in {line}");
+        assert!(line.contains(" — "), "missing em-dash separator in {line}");
+    }
+}
+
+#[test]
+fn good_ws_is_clean() {
+    let report = lint_workspace(&fixture("good_ws"), &LintConfig::default()).unwrap();
+    assert!(report.is_clean(), "expected clean, got:\n{report}");
+    assert!(report.files_checked >= 3);
+}
+
+#[test]
+fn summary_json_shape() {
+    let report = lint_workspace(&fixture("good_ws"), &LintConfig::default()).unwrap();
+    let json = report.summary_json();
+    assert!(json.starts_with("{\"files\":"), "{json}");
+    assert!(json.ends_with("\"rules\":{}}"), "{json}");
+}
+
+fn run_lint(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_qcp-xtask"))
+        .arg("lint")
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("failed to run qcp-xtask")
+}
+
+#[test]
+fn binary_exit_codes() {
+    let bad = run_lint(&fixture("bad_ws"));
+    assert_eq!(bad.status.code(), Some(1), "bad_ws must exit 1");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("\"violations\":"),
+        "summary missing: {stdout}"
+    );
+    assert!(stdout.contains("nondet"), "rule names missing: {stdout}");
+
+    let good = run_lint(&fixture("good_ws"));
+    assert_eq!(good.status.code(), Some(0), "good_ws must exit 0");
+    let stdout = String::from_utf8_lossy(&good.stdout);
+    assert!(stdout.contains("\"violations\":0"), "bad summary: {stdout}");
+}
+
+#[test]
+fn binary_usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qcp-xtask"))
+        .output()
+        .expect("failed to run qcp-xtask");
+    assert_eq!(out.status.code(), Some(2), "no subcommand must exit 2");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_qcp-xtask"))
+        .arg("frobnicate")
+        .output()
+        .expect("failed to run qcp-xtask");
+    assert_eq!(out.status.code(), Some(2), "unknown subcommand must exit 2");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_qcp-xtask"))
+        .args(["lint", "--root"])
+        .output()
+        .expect("failed to run qcp-xtask");
+    assert_eq!(out.status.code(), Some(2), "dangling --root must exit 2");
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    // The real repo must satisfy its own gate. Walk up from the crate dir
+    // to the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file());
+    let report = lint_workspace(&root, &LintConfig::default()).unwrap();
+    assert!(report.is_clean(), "workspace violates qcplint:\n{report}");
+}

@@ -21,7 +21,10 @@ impl AliasTable {
     /// normalized). Panics on an empty slice, a zero/negative total, any
     /// negative weight, or more than `u32::MAX` outcomes.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         assert!(
             weights.len() <= u32::MAX as usize,
             "alias table limited to u32 outcomes"

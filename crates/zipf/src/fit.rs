@@ -35,7 +35,10 @@ pub struct TailFit {
 /// `qcp_util::hist::rank_counts`); zero counts are skipped.
 pub fn fit_rank_frequency(counts: &[u64]) -> TailFit {
     assert!(counts.len() >= 2, "need at least two ranks to fit");
-    debug_assert!(counts.windows(2).all(|w| w[0] >= w[1]), "counts not descending");
+    debug_assert!(
+        counts.windows(2).all(|w| w[0] >= w[1]),
+        "counts not descending"
+    );
     let mut xs = Vec::with_capacity(counts.len());
     let mut ys = Vec::with_capacity(counts.len());
     for (i, &c) in counts.iter().enumerate() {
@@ -65,6 +68,7 @@ pub fn fit_tail_mle(values: &[u64], x_min: u64) -> TailFit {
     assert!(tail.len() >= 10, "need at least 10 tail observations");
     let n = tail.len() as f64;
     let sum_ln: f64 = tail.iter().map(|&v| (v as f64).ln()).sum();
+    // qcplint: allow(panic) — nonempty: `tail.len() >= 10` asserted above.
     let max_v = *tail.iter().max().unwrap();
     // Truncated Hurwitz zeta on [x_min, cutoff].
     let cutoff = (max_v * 4).max(10_000);
@@ -109,6 +113,7 @@ pub fn ks_distance_powerlaw(values: &[u64], x_min: u64, tau: f64) -> f64 {
     let mut tail: Vec<u64> = values.iter().copied().filter(|&v| v >= x_min).collect();
     assert!(!tail.is_empty());
     tail.sort_unstable();
+    // qcplint: allow(panic) — nonempty: asserted two lines above.
     let max_v = *tail.last().unwrap();
     // Model CDF.
     let z: f64 = (x_min..=max_v).map(|r| (r as f64).powf(-tau)).sum();

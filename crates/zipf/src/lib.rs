@@ -14,6 +14,7 @@
 //!   for goodness-of-fit, so the analysis pipeline can *verify* that the
 //!   synthetic traces are as Zipf as the paper claims the real ones are.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alias;

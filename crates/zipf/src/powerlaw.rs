@@ -92,6 +92,8 @@ impl DiscretePowerLaw {
         let table = self
             .cdf
             .as_ref()
+            // qcplint: allow(panic) — documented API contract: pmf exists
+            // only for tabulated supports; misuse is a programmer error.
             .expect("pmf available only for tabulated supports");
         let i = (r - self.min) as usize;
         if i == 0 {
@@ -160,7 +162,11 @@ mod tests {
         let draws = 200_000;
         let singles = (0..draws).filter(|_| d.sample(&mut rng) == 1).count();
         let frac = singles as f64 / draws as f64;
-        assert!((frac - d.pmf(1)).abs() < 0.01, "frac {frac} pmf {}", d.pmf(1));
+        assert!(
+            (frac - d.pmf(1)).abs() < 0.01,
+            "frac {frac} pmf {}",
+            d.pmf(1)
+        );
     }
 
     #[test]

@@ -55,9 +55,7 @@ fn main() {
         &test,
         59,
     );
-    println!(
-        "budget: {budget} synopsis terms/peer; walk TTL {ttl}; query/file head overlap 30%\n"
-    );
+    println!("budget: {budget} synopsis terms/peer; walk TTL {ttl}; query/file head overlap 30%\n");
     println!("{:<28} {:>9} {:>12}", "system", "success", "msgs/query");
     for r in &rows {
         println!(

@@ -41,7 +41,10 @@ fn main() {
         41,
     );
 
-    println!("\n{:<24} {:>9} {:>14} {:>12}", "system", "success", "msgs/query", "maintenance");
+    println!(
+        "\n{:<24} {:>9} {:>14} {:>12}",
+        "system", "success", "msgs/query", "maintenance"
+    );
     for r in &rows {
         println!(
             "{:<24} {:>8.1}% {:>14.1} {:>12}",

@@ -11,7 +11,9 @@ use qcp2p::analysis::{
     mismatch, stability, transient, IntervalIndex, PopularityRule, TransientConfig,
 };
 use qcp2p::terms::TermDict;
-use qcp2p::tracegen::{Crawl, CrawlConfig, QueryTrace, QueryTraceConfig, Vocabulary, VocabularyConfig};
+use qcp2p::tracegen::{
+    Crawl, CrawlConfig, QueryTrace, QueryTraceConfig, Vocabulary, VocabularyConfig,
+};
 
 fn main() {
     let vocab = Vocabulary::generate(&VocabularyConfig {
@@ -83,11 +85,8 @@ fn main() {
         series.mean(),
         series.variance()
     );
-    let burst_terms: std::collections::HashSet<&str> = trace
-        .bursts
-        .iter()
-        .map(|b| vocab.term(b.term))
-        .collect();
+    let burst_terms: std::collections::HashSet<&str> =
+        trace.bursts.iter().map(|b| vocab.term(b.term)).collect();
     let flagged_names: std::collections::HashSet<&str> = series
         .flagged
         .iter()

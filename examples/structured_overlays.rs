@@ -44,7 +44,10 @@ fn main() {
         for idx in rng.sample_distinct(n, (n as f64 * dead_frac) as usize) {
             alive[idx] = false;
         }
-        let sources: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).take(32).collect();
+        let sources: Vec<u32> = (0..n as u32)
+            .filter(|&v| alive[v as usize])
+            .take(32)
+            .collect();
         let mut total = 0u64;
         let mut count = 0u64;
         for k in 0..200u64 {

@@ -46,6 +46,7 @@
 //! `cargo run --release -p qcp-bench --bin repro -- all` for full figure
 //! regeneration.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use qcp_core::analysis;

@@ -70,7 +70,10 @@ fn stability_and_mismatch_section_iv() {
         "max mismatch {}",
         f.query.max_popular_mismatch
     );
-    assert!(f.query.mean_popular_mismatch > 0.02, "heads do overlap a bit");
+    assert!(
+        f.query.mean_popular_mismatch > 0.02,
+        "heads do overlap a bit"
+    );
     // The gap itself is the paper's thesis.
     assert!(f.query.stability_after_warmup > 3.0 * f.query.mean_popular_mismatch);
 }

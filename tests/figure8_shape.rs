@@ -57,7 +57,10 @@ fn zipf_placement_tracks_lowest_uniform_curves() {
         7,
     );
     let mean_k = zipf.mean_replicas().round().max(1.0) as u32;
-    assert!(mean_k >= 3, "calibration: zipf mean should be ~4-6, got {mean_k}");
+    assert!(
+        mean_k >= 3,
+        "calibration: zipf mean should be ~4-6, got {mean_k}"
+    );
     let uniform1 = Placement::generate(PlacementModel::UniformK(1), N as u32, 4_000, 8);
     let uniform_mean = Placement::generate(PlacementModel::UniformK(mean_k), N as u32, 4_000, 9);
 
@@ -90,7 +93,10 @@ fn reach_grows_roughly_geometrically_then_saturates() {
     // Early rings expand by a large factor; the last ring saturates.
     let growth_23 = curve[2].mean_reached / curve[1].mean_reached;
     assert!(growth_23 > 3.0, "ttl2->3 growth {growth_23}");
-    assert!(curve[4].mean_reach_fraction > 0.5, "ttl5 should cover most of the net");
+    assert!(
+        curve[4].mean_reach_fraction > 0.5,
+        "ttl5 should cover most of the net"
+    );
 }
 
 #[test]

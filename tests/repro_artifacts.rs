@@ -12,8 +12,8 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 }
 
 fn read_csv(dir: &std::path::Path, name: &str) -> Vec<Vec<String>> {
-    let text = std::fs::read_to_string(dir.join(name))
-        .unwrap_or_else(|e| panic!("missing {name}: {e}"));
+    let text =
+        std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("missing {name}: {e}"));
     text.lines()
         .map(|l| l.split(',').map(|c| c.to_string()).collect())
         .collect()
@@ -61,9 +61,15 @@ fn fig8_csv_covers_all_series_and_ttls() {
     let report = session.run("fig8");
     assert!(report.contains("zipf"));
     let rows = read_csv(&dir, "fig8.csv");
-    let series: std::collections::HashSet<&str> =
-        rows[1..].iter().map(|r| r[0].as_str()).collect();
-    for expected in ["uniform-1", "uniform-4", "uniform-9", "uniform-19", "uniform-39", "zipf"] {
+    let series: std::collections::HashSet<&str> = rows[1..].iter().map(|r| r[0].as_str()).collect();
+    for expected in [
+        "uniform-1",
+        "uniform-4",
+        "uniform-9",
+        "uniform-19",
+        "uniform-39",
+        "zipf",
+    ] {
         assert!(series.contains(expected), "missing series {expected}");
     }
     // 6 series x 5 TTLs.
@@ -81,7 +87,10 @@ fn tables_and_ablations_produce_reports() {
     session.trials = 100;
     for artifact in ["table1", "table2", "ablation-structured"] {
         let report = session.run(artifact);
-        assert!(report.contains("paper") || report.contains("chord"), "{artifact}: {report}");
+        assert!(
+            report.contains("paper") || report.contains("chord"),
+            "{artifact}: {report}"
+        );
     }
     assert!(dir.join("table1.csv").exists());
     assert!(dir.join("table2.csv").exists());

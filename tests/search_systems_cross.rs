@@ -60,7 +60,11 @@ fn hybrid_matches_dht_success_at_higher_cost() {
         rows[1].mean_messages
     );
     // Under Zipf replicas almost everything is 'rare'.
-    assert!(hybrid.fallback_rate() > 0.7, "fallback {}", hybrid.fallback_rate());
+    assert!(
+        hybrid.fallback_rate() > 0.7,
+        "fallback {}",
+        hybrid.fallback_rate()
+    );
 }
 
 #[test]
@@ -77,8 +81,14 @@ fn gia_beats_blind_walk_loses_to_dht() {
     let mut gia = GiaSearch::new(&w, 30, 8);
     let mut dht = DhtOnlySearch::new(&w, 8);
     let rows = evaluate(&w, &mut [&mut walk, &mut gia, &mut dht], &queries, 9);
-    assert!(rows[1].success_rate > rows[0].success_rate, "gia must beat walk");
-    assert!(rows[2].success_rate > rows[1].success_rate, "dht must beat gia");
+    assert!(
+        rows[1].success_rate > rows[0].success_rate,
+        "gia must beat walk"
+    );
+    assert!(
+        rows[2].success_rate > rows[1].success_rate,
+        "dht must beat gia"
+    );
 }
 
 #[test]
@@ -140,7 +150,11 @@ fn all_systems_report_consistent_outcomes() {
             if out.success {
                 assert!(out.hops.is_some(), "{}: success without hops", sys.name());
             }
-            assert!(out.messages < 2_000_000, "{}: absurd message count", sys.name());
+            assert!(
+                out.messages < 2_000_000,
+                "{}: absurd message count",
+                sys.name()
+            );
         }
     }
 }

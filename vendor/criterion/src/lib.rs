@@ -1,0 +1,290 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This stub keeps every bench target compiling
+//! and runnable:
+//!
+//! * under `cargo bench` (cargo passes `--bench` to `harness = false`
+//!   targets) each benchmark runs a short warmup plus a few timed
+//!   iterations and prints a mean wall-clock time — a smoke-level signal,
+//!   not a statistically rigorous measurement;
+//! * under `cargo test` (no `--bench` argument) benchmarks are listed but
+//!   not executed, so the test suite stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` inputs are sized (API-compatibility only; the stub
+/// regenerates the input for every iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            enabled: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (the stub caps actual iterations far
+    /// lower; see [`Bencher::iter`]).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Reads the process arguments the way cargo invokes bench targets:
+    /// benchmarks execute only when `--bench` is present.
+    pub fn configure_from_args(mut self) -> Self {
+        self.enabled = std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Runs (or, when disabled, lists) a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.enabled, id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs (or lists) one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion.enabled, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to drive timed iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// `None` while only listing; `Some` accumulated samples otherwise.
+    samples: Option<Vec<Duration>>,
+}
+
+/// Iteration budget when benchmarks actually run. Intentionally tiny:
+/// the stub provides a smoke signal, not statistics.
+const WARMUP_ITERS: usize = 1;
+const TIMED_ITERS: usize = 3;
+
+impl Bencher {
+    /// Times `f` over a few iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let Some(samples) = self.samples.as_mut() else {
+            return;
+        };
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        for _ in 0..TIMED_ITERS {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over a few iterations, regenerating its input with
+    /// `setup` outside the timed section.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let Some(samples) = self.samples.as_mut() else {
+            return;
+        };
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        for _ in 0..TIMED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    enabled: bool,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !enabled {
+        println!("criterion-stub: {id} ... skipped (run with `cargo bench` to time)");
+        return;
+    }
+    let mut bencher = Bencher {
+        samples: Some(Vec::new()),
+    };
+    f(&mut bencher);
+    let samples = bencher.samples.unwrap_or_default();
+    if samples.is_empty() {
+        println!("criterion-stub: {id} ... no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!(" ({:.3e} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if mean.as_secs_f64() > 0.0 => {
+            format!(" ({:.3e} B/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "criterion-stub: {id} ... mean {:?} over {} iters{rate}",
+        mean,
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark targets (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bencher_runs_nothing() {
+        let mut c = Criterion::default(); // enabled = false
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 0, "closures must not run under cargo test");
+    }
+
+    #[test]
+    fn enabled_bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Some(Vec::new()),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls as usize, WARMUP_ITERS + TIMED_ITERS);
+        assert_eq!(b.samples.as_ref().map(Vec::len), Some(TIMED_ITERS));
+    }
+
+    #[test]
+    fn iter_batched_regenerates_input() {
+        let mut b = Bencher {
+            samples: Some(Vec::new()),
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups as usize, WARMUP_ITERS + TIMED_ITERS);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function(format!("case{}", 1), |_b| {});
+        g.finish();
+    }
+}

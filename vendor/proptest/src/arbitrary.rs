@@ -1,0 +1,88 @@
+//! `any::<T>()` support (mirrors `proptest::arbitrary`).
+
+use crate::strategy::{Strategy, TestRng};
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward boundary values now and then, like proptest.
+                match rng.next_u64() % 16 {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning many magnitudes; no NaN/inf (tests that
+        // want those ask for them explicitly upstream, none here do).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        mantissa * 2f64.powi(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_hits_boundaries() {
+        let mut rng = TestRng::new(21);
+        let mut zero = false;
+        let mut max = false;
+        for _ in 0..500 {
+            match u64::arbitrary(&mut rng) {
+                0 => zero = true,
+                u64::MAX => max = true,
+                _ => {}
+            }
+        }
+        assert!(zero && max);
+    }
+
+    #[test]
+    fn f64_is_finite() {
+        let mut rng = TestRng::new(22);
+        for _ in 0..1000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::strategy::{Strategy, TestRng};
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive size bounds for generated collections (mirrors
+/// `proptest::collection::SizeRange`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let span = self.max - self.min + 1;
+        self.min + rng.biased_index(span as u128) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range {r:?}");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range {r:?}");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates `Vec`s whose length lies in `size` (end-exclusive when given
+/// a `Range<usize>`, matching proptest).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `HashSet`s of values from `element`.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates `HashSet`s whose size lies in `size` where feasible: element
+/// collisions are retried a bounded number of times, so a set may come up
+/// short only when the element domain is close to exhausted.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash + Debug,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(16).max(64);
+        while out.len() < target && attempts < max_attempts {
+            attempts += 1;
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_are_end_exclusive() {
+        let mut rng = TestRng::new(11);
+        let strat = vec(0u32..10, 1..5);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=4).contains(&v.len()), "len {} out of 1..5", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn vec_reaches_min_and_max_lengths() {
+        let mut rng = TestRng::new(12);
+        let strat = vec(0u64..100, 0..4);
+        let lens: HashSet<usize> = (0..400).map(|_| strat.generate(&mut rng).len()).collect();
+        assert!(lens.contains(&0) && lens.contains(&3));
+    }
+
+    #[test]
+    fn hash_set_hits_target_when_domain_is_large() {
+        let mut rng = TestRng::new(13);
+        let strat = hash_set(0u64..1_000_000, 10..11);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut rng).len(), 10);
+        }
+    }
+
+    #[test]
+    fn hash_set_degrades_gracefully_on_tiny_domain() {
+        let mut rng = TestRng::new(14);
+        let strat = hash_set(0u8..2, 5..6);
+        let s = strat.generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn nested_tuple_elements() {
+        let mut rng = TestRng::new(15);
+        let strat = vec((0u32..1000, 0.0f64..100.0), 0..80);
+        let v = strat.generate(&mut rng);
+        assert!(v.len() < 80);
+        for &(a, b) in &v {
+            assert!(a < 1000 && (0.0..100.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This crate re-implements the slice of the API
+//! the workspace's property tests rely on:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` headers),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * range strategies (`0u32..500`, `-1e6f64..1e6`, `0..=9`),
+//! * [`arbitrary::any`] (`any::<u64>()` and friends),
+//! * [`collection::vec`] and [`collection::hash_set`],
+//! * tuple strategies (pairs/triples/quads of strategies),
+//! * string strategies from a simple regex subset (`".{0,80}"`,
+//!   `"[a-zA-Z0-9 .'_-]{2,60}"`).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   fully-qualified name (overridable via `PROPTEST_STUB_SEED`), so runs
+//!   are bit-for-bit reproducible — in line with this repo's determinism
+//!   discipline (see `cargo xtask lint`).
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; with deterministic seeding the failure replays exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current property-test case unless `cond` holds.
+///
+/// Unlike `assert!`, this returns a [`test_runner::TestCaseError`] so the
+/// harness can report the generated inputs alongside the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current property-test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a run)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// expands to a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __cases: u32 = __config.cases;
+                let mut __rng = $crate::strategy::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut __ran: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts: u32 = __cases.saturating_mul(16).max(1024);
+                while __ran < __cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest stub: {} rejected too many cases ({} attempts for {} runs)",
+                        stringify!($name), __attempts, __ran
+                    );
+                    let __values = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    let __inputs = format!(
+                        "({}) = {:?}",
+                        stringify!($($arg),+),
+                        &__values
+                    );
+                    let __outcome = $crate::test_runner::run_case(
+                        __values,
+                        |($($arg,)+)| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        },
+                    );
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __ran += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "property `{}` failed at case #{}:\n{}\ninputs: {}",
+                                stringify!($name), __ran, msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

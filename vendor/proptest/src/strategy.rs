@@ -1,0 +1,246 @@
+//! The [`Strategy`] trait, the deterministic [`TestRng`], and strategy
+//! implementations for ranges, tuples and regex-subset string literals.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator backing all strategies (SplitMix64).
+///
+/// Seeded from the fully-qualified test name so every run of a given test
+/// generates the same case sequence; set `PROPTEST_STUB_SEED=<u64>` to
+/// explore a different sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Creates the canonical generator for the named test.
+    pub fn for_test(test_name: &str) -> Self {
+        if let Ok(s) = std::env::var("PROPTEST_STUB_SEED") {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                return Self::new(seed ^ fnv1a(test_name));
+            }
+        }
+        Self::new(fnv1a(test_name))
+    }
+
+    /// Next 64 random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        // 128-bit modulo; the bias is ~2^-64 at worst, irrelevant for
+        // test-case generation.
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Picks an index in `[0, len)`, biased toward the first and last
+    /// index once in a while so boundary cases are exercised early.
+    pub fn biased_index(&mut self, len: u128) -> u128 {
+        debug_assert!(len > 0);
+        match self.next_u64() % 16 {
+            0 => 0,
+            1 => len - 1,
+            _ => self.below(len),
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A source of generated values (mirrors `proptest::strategy::Strategy`,
+/// without shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + rng.biased_index(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {:?}", self);
+                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                self.start() + rng.biased_index(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.biased_index(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {:?}", self);
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + rng.biased_index(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                // Occasionally emit the lower endpoint exactly.
+                if rng.next_u64() % 16 == 0 {
+                    return self.start;
+                }
+                let u = rng.unit_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {:?}", self);
+                match rng.next_u64() % 16 {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => {
+                        let u = rng.unit_f64() as $t;
+                        self.start() + u * (self.end() - self.start())
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("some::test");
+        let mut b = TestRng::for_test("some::test");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..2000 {
+            let v = (5u32..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let w = (-10i64..10).generate(&mut rng);
+            assert!((-10..10).contains(&w));
+            let x = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&x));
+            let y = (3u64..=3).generate(&mut rng);
+            assert_eq!(y, 3);
+        }
+    }
+
+    #[test]
+    fn ranges_hit_both_endpoints() {
+        let mut rng = TestRng::new(2);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match (0u8..4).generate(&mut rng) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi, "edge biasing must reach both endpoints");
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::new(3);
+        let (a, b) = (0u32..10, 0.0f64..1.0).generate(&mut rng);
+        assert!(a < 10 && (0.0..1.0).contains(&b));
+    }
+}

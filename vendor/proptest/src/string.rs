@@ -1,0 +1,247 @@
+//! String generation from the regex subset the workspace's property
+//! tests use: sequences of atoms (`.` or a `[...]` character class), each
+//! optionally quantified with `{n}`, `{m,n}`, `?`, `*` or `+`.
+//!
+//! Examples accepted: `".{0,80}"`, `"[a-zA-Z0-9 .'_-]{2,60}"`,
+//! `"[a-z]{2,6}"`, `"[a-c]{2}"`. Anything outside the subset panics with
+//! a clear message rather than silently generating the wrong language.
+
+use crate::strategy::TestRng;
+
+/// Characters produced by `.`: printable ASCII plus a deliberately spiky
+/// set of non-ASCII code points (accented Latin, Greek, Cyrillic, CJK,
+/// combining marks, mathematical alphanumerics without lowercase
+/// mappings, an astral-plane emoji) so Unicode handling is exercised.
+const DOT_EXTRA: &[char] = &[
+    'é', 'Ü', 'ß', 'ñ', 'ç', 'å', 'ø', 'λ', 'Ω', 'Ж', 'ю', '中', '日', '本', '語', 'ー',
+    '\u{0301}', '\u{0308}', '𝔘', '𝒜', 'Ⅷ', '€', '—', '…', '🎵', '\u{00a0}',
+];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any character from the dot pool.
+    Dot,
+    /// `[...]` — inclusive character ranges (singletons are `(c, c)`).
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = piece.max - piece.min + 1;
+        let count = piece.min + rng.biased_index(span as u128) as usize;
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => {
+            // 1-in-8 draws come from the non-ASCII pool.
+            if rng.next_u64().is_multiple_of(8) {
+                DOT_EXTRA[rng.below(DOT_EXTRA.len() as u128) as usize]
+            } else {
+                // Printable ASCII: 0x20 ..= 0x7e.
+                char::from(0x20 + rng.below(0x5f) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u128 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u128 - lo as u128 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let size = hi as u128 - lo as u128 + 1;
+                if pick < size {
+                    let code = lo as u32 + pick as u32;
+                    return char::from_u32(code).unwrap_or(lo);
+                }
+                pick -= size;
+            }
+            unreachable!("pick is bounded by the total class size")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                let (class, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                Atom::Class(vec![(c, c)])
+            }
+            c if !"{}?*+()|^$".contains(c) => {
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+            c => panic!("proptest stub: unsupported regex construct `{c}` in pattern {pattern:?}"),
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<(char, char)>, usize) {
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "proptest stub: negated classes are unsupported in pattern {pattern:?}"
+    );
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // `a-z` range (the `-` must not be the final class character).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(
+                lo <= hi,
+                "proptest stub: inverted range in pattern {pattern:?}"
+            );
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "proptest stub: unterminated class in pattern {pattern:?}"
+    );
+    assert!(
+        !ranges.is_empty(),
+        "proptest stub: empty class in pattern {pattern:?}"
+    );
+    (ranges, i + 1)
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| {
+                    panic!("proptest stub: unterminated quantifier in pattern {pattern:?}")
+                });
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("proptest stub: bad quantifier `{body}` in {pattern:?}")
+                    }),
+                    hi.trim().parse().unwrap_or_else(|_| {
+                        panic!("proptest stub: bad quantifier `{body}` in {pattern:?}")
+                    }),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or_else(|_| {
+                        panic!("proptest stub: bad quantifier `{body}` in {pattern:?}")
+                    });
+                    (n, n)
+                }
+            };
+            assert!(
+                min <= max,
+                "proptest stub: inverted quantifier `{body}` in {pattern:?}"
+            );
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(7)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-zA-Z0-9 .'_-]{2,60}", &mut r);
+            let n = s.chars().count();
+            assert!((2..=60).contains(&n), "bad length {n}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " .'_-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_respects_length_bounds_and_emits_non_ascii() {
+        let mut r = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = generate_from_pattern(".{0,80}", &mut r);
+            assert!(s.chars().count() <= 80);
+            saw_non_ascii |= !s.is_ascii();
+        }
+        assert!(saw_non_ascii, "dot must exercise Unicode");
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-c]{2}", &mut r);
+            assert_eq!(s.chars().count(), 2);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn sequences_and_escapes() {
+        let mut r = rng();
+        let s = generate_from_pattern("ab[0-9]{3}\\.", &mut r);
+        assert!(s.starts_with("ab"));
+        assert!(s.ends_with('.'));
+        assert_eq!(s.chars().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_is_rejected_loudly() {
+        generate_from_pattern("a|b", &mut rng());
+    }
+}

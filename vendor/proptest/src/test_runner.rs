@@ -1,0 +1,42 @@
+//! Test-runner configuration and case outcomes (mirrors
+//! `proptest::test_runner`).
+
+/// Per-test configuration. Only the fields this workspace uses exist.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Runs one generated case. Exists so the `proptest!` macro can hand a
+/// destructuring closure a concretely-typed value tuple (closure
+/// parameter inference alone picks unsized types from slice-y bodies).
+pub fn run_case<V, F>(values: V, case: F) -> Result<(), TestCaseError>
+where
+    F: FnOnce(V) -> Result<(), TestCaseError>,
+{
+    case(values)
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; the message explains how.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is regenerated
+    /// without counting toward the case budget.
+    Reject(String),
+}

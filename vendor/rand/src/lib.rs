@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the real `rand` crate
+//! cannot be fetched from crates.io. The workspace only relies on the two
+//! core traits ([`RngCore`], [`SeedableRng`]) so that `qcp_util::rng`'s
+//! deterministic generators compose with `rand`-style call sites; this
+//! crate provides exactly that surface with identical semantics. If the
+//! real `rand` ever becomes available, deleting the `[patch]`/path entry
+//! in the workspace `Cargo.toml` restores the upstream crate with no code
+//! changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations.
+///
+/// The deterministic generators in this workspace never fail, so this is
+/// an opaque marker type mirroring `rand::Error`'s role in signatures.
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new_static(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Error").field("msg", &self.msg).finish()
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 bits of randomness.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of randomness.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Seedable construction of generators (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds a generator from a byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a `u64`, expanding it over the byte seed
+    /// with a SplitMix64 stream (same scheme as upstream `rand`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn default_try_fill_bytes_delegates() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 5];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let a = Counter::seed_from_u64(42).0;
+        let b = Counter::seed_from_u64(42).0;
+        assert_eq!(a, b);
+        assert_ne!(a, Counter::seed_from_u64(43).0);
+    }
+}
