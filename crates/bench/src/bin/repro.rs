@@ -6,8 +6,8 @@
 //! repro list
 //! ```
 //!
-//! Artifacts: fig1..fig8, table1..table3, ablation-synopsis, ablation-gia,
-//! ablation-mismatch, ablation-topology, ablation-walk.
+//! Artifacts: fig1..fig8, fig8-churn, table1..table3, ablation-synopsis,
+//! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk.
 
 #![forbid(unsafe_code)]
 

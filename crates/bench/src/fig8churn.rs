@@ -1,0 +1,370 @@
+//! `fig8-churn` — Figure 8 under failure: a loss × churn grid.
+//!
+//! The robustness capstone: the Figure-8 flood pipeline plus the
+//! flood/hybrid/DHT-only search systems, re-run at every point of a
+//! message-loss × node-churn grid under a deterministic [`FaultPlan`].
+//! Every fault draw is a pure function of the plan seed, so the whole
+//! grid is bit-identical across runs and across thread-pool widths
+//! (pinned by `tests/determinism.rs`), and the `(loss=0, churn=0)` cell
+//! reproduces the fault-free Figure-8 Zipf curve exactly.
+//!
+//! Output: `fig8_churn.csv` (flat rows) and `fig8_churn.json`
+//! (hand-written, structured per cell) under the session directory.
+
+use crate::{Repro, Scale};
+use qcp_core::faults::{FaultConfig, FaultPlan, RetryPolicy};
+use qcp_core::overlay::topology::gnutella_two_tier;
+use qcp_core::overlay::{sweep_ttl_faulty, FaultySweepPoint, Placement, PlacementModel, SimConfig};
+use qcp_core::search::{
+    evaluate, gen_queries, ComparisonRow, DhtOnlySearch, FaultContext, FloodSearch, HybridSearch,
+    SearchWorld, WorkloadConfig, WorldConfig,
+};
+use qcp_core::util::plot::{render, PlotConfig, Series};
+use qcp_core::util::rng::child_seed;
+use qcp_core::util::table::{fnum, percent};
+use qcp_core::util::Table;
+use qcp_core::xpar::Pool;
+use std::fmt::Write as _;
+
+/// Mean per-message drop probabilities swept.
+pub const LOSSES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
+/// Fractions of peers that go down during the workload.
+pub const CHURNS: [f64; 3] = [0.0, 0.10, 0.25];
+
+/// One `(loss, churn)` grid cell: the Figure-8 flood curve and the
+/// search-system comparison rows evaluated under that cell's fault plan.
+#[derive(Debug, Clone)]
+pub struct Fig8ChurnCell {
+    /// Mean per-message drop probability.
+    pub loss: f64,
+    /// Fraction of peers that churn within the workload horizon.
+    pub churn: f64,
+    /// Figure-8 Zipf flood curve (TTL 1..=5) under this cell's plan.
+    pub flood: Vec<FaultySweepPoint>,
+    /// flood / hybrid / DHT-only rows over the shared search world.
+    pub systems: Vec<ComparisonRow>,
+}
+
+/// The search world used for the system comparison (smaller than the
+/// Figure-8 overlay: every query exercises a full system end to end).
+pub fn churn_world_config(r: &Repro) -> WorldConfig {
+    WorldConfig {
+        num_peers: match r.scale {
+            Scale::Test => 600,
+            _ => 2_000,
+        },
+        num_objects: match r.scale {
+            Scale::Test => 5_000,
+            _ => 20_000,
+        },
+        num_terms: match r.scale {
+            Scale::Test => 6_000,
+            _ => 20_000,
+        },
+        seed: r.seed ^ 0x8c1,
+        ..Default::default()
+    }
+}
+
+/// Builds the plan for one cell. The fault-free cell uses the explicit
+/// none-plan so its trial streams are *provably* those of the fault-free
+/// pipeline, not merely a plan whose draws all happen to pass.
+fn cell_plan(loss: f64, churn: f64, n: usize, horizon: u64, seed: u64) -> FaultPlan {
+    if loss == 0.0 && churn == 0.0 {
+        FaultPlan::none(n)
+    } else {
+        FaultPlan::build(
+            n,
+            &FaultConfig {
+                loss,
+                churn,
+                horizon: horizon.max(1),
+                mean_latency: 2,
+                rejoin: true,
+                seed,
+            },
+        )
+    }
+}
+
+/// Computes the full grid. Exposed (with an explicit pool) so the
+/// determinism suite can fingerprint it bit-for-bit across runs and
+/// thread counts; [`fig8_churn`] is the rendering wrapper.
+pub fn fig8_churn_data(r: &Repro, pool: &Pool) -> Vec<Fig8ChurnCell> {
+    // Flood side: identical inputs to `figures::fig8`'s Zipf series.
+    let topo = gnutella_two_tier(&crate::figures::fig8_topology(r.scale));
+    let forwarders = topo.forwarders();
+    let n = topo.graph.num_nodes() as u32;
+    let num_objects = (n / 2).max(1_000);
+    let ttls = [1u32, 2, 3, 4, 5];
+    let sim = SimConfig {
+        trials: r.trials,
+        seed: r.seed,
+        ..Default::default()
+    };
+    let placement = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        n,
+        num_objects,
+        r.seed ^ 0x21f,
+    );
+
+    // System side: one shared world and workload for every cell, so the
+    // only thing varying across the grid is the fault plan.
+    let world = SearchWorld::generate(&churn_world_config(r));
+    let num_queries = r.trials.min(2_000);
+    let queries = gen_queries(
+        &world,
+        &WorkloadConfig {
+            num_queries,
+            seed: r.seed ^ 0x5ee,
+        },
+    );
+    let policy = RetryPolicy::default();
+
+    let mut grid = Vec::with_capacity(LOSSES.len() * CHURNS.len());
+    for (li, &loss) in LOSSES.iter().enumerate() {
+        for (ci, &churn) in CHURNS.iter().enumerate() {
+            let cell = (li * CHURNS.len() + ci) as u64;
+            let flood_plan = cell_plan(
+                loss,
+                churn,
+                topo.graph.num_nodes(),
+                r.trials as u64,
+                child_seed(r.seed ^ 0xf8c0, cell),
+            );
+            let flood = sweep_ttl_faulty(
+                pool,
+                &topo.graph,
+                &placement,
+                Some(&forwarders),
+                &ttls,
+                &sim,
+                &flood_plan,
+            );
+
+            let sys_plan = cell_plan(
+                loss,
+                churn,
+                world.num_peers(),
+                num_queries as u64,
+                child_seed(r.seed ^ 0xf8c1, cell),
+            );
+            let ctx = |stream: u64| {
+                FaultContext::new(
+                    sys_plan.clone(),
+                    policy,
+                    child_seed(r.seed ^ 0xf8c2, cell << 8 | stream),
+                )
+            };
+            let mut flood_sys = FloodSearch::with_faults(&world, 3, ctx(1));
+            let mut hybrid = HybridSearch::with_faults(&world, 2, 5, r.seed ^ 0x4b1d, ctx(2));
+            let mut dht = DhtOnlySearch::with_faults(&world, r.seed ^ 0xd47, ctx(3));
+            let systems = evaluate(
+                &world,
+                &mut [&mut flood_sys, &mut hybrid, &mut dht],
+                &queries,
+                r.seed ^ 0x90d,
+            );
+            grid.push(Fig8ChurnCell {
+                loss,
+                churn,
+                flood,
+                systems,
+            });
+        }
+    }
+    grid
+}
+
+/// A finite `f64` as a JSON number; NaN/inf as `null` (JSON has neither).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Hand-written JSON for the grid (the workspace vendors no serde).
+fn grid_json(r: &Repro, grid: &[Fig8ChurnCell]) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"experiment\": \"fig8-churn\",\n  \"seed\": {},\n  \"trials\": {},\n  \"grid\": [",
+        r.seed, r.trials
+    );
+    for (i, cell) in grid.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n    {{\"loss\": {}, \"churn\": {}, \"flood\": [",
+            jf(cell.loss),
+            jf(cell.churn)
+        );
+        for (j, fp) in cell.flood.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(
+                s,
+                "{sep}{{\"ttl\": {}, \"success_rate\": {}, \"mean_messages\": {}, \
+                 \"mean_reach_fraction\": {}, \"dropped\": {}, \"dead_targets\": {}, \
+                 \"dead_sources\": {}}}",
+                fp.point.ttl,
+                jf(fp.point.success_rate),
+                jf(fp.point.mean_messages),
+                jf(fp.point.mean_reach_fraction),
+                fp.faults.dropped,
+                fp.faults.dead_targets,
+                fp.dead_sources,
+            );
+        }
+        s.push_str("], \"systems\": [");
+        for (j, row) in cell.systems.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(
+                s,
+                "{sep}{{\"system\": {:?}, \"queries\": {}, \"success_rate\": {}, \
+                 \"mean_messages\": {}, \"mean_success_hops\": {}, \"dropped\": {}, \
+                 \"dead_targets\": {}, \"retries\": {}, \"timeouts\": {}, \
+                 \"stale_misses\": {}, \"wasted\": {}}}",
+                row.system,
+                row.queries,
+                jf(row.success_rate),
+                jf(row.mean_messages),
+                jf(row.mean_success_hops),
+                row.faults.dropped,
+                row.faults.dead_targets,
+                row.faults.retries,
+                row.faults.timeouts,
+                row.faults.stale_misses,
+                row.faults.wasted(),
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Figure 8 under failure: renders the report, writes CSV + JSON.
+pub fn fig8_churn(r: &Repro) -> String {
+    let grid = fig8_churn_data(r, Pool::global());
+
+    let mut t = Table::new([
+        "loss",
+        "churn",
+        "series",
+        "success_rate",
+        "mean_messages",
+        "dropped",
+        "dead_targets",
+        "retries",
+        "timeouts",
+        "stale_misses",
+        "dead_sources",
+    ]);
+    for cell in &grid {
+        for fp in &cell.flood {
+            t.row([
+                fnum(cell.loss, 2),
+                fnum(cell.churn, 2),
+                format!("fig8-flood(ttl={})", fp.point.ttl),
+                fnum(fp.point.success_rate, 5),
+                fnum(fp.point.mean_messages, 1),
+                fp.faults.dropped.to_string(),
+                fp.faults.dead_targets.to_string(),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                fp.dead_sources.to_string(),
+            ]);
+        }
+        for row in &cell.systems {
+            t.row([
+                fnum(cell.loss, 2),
+                fnum(cell.churn, 2),
+                row.system.clone(),
+                fnum(row.success_rate, 5),
+                fnum(row.mean_messages, 1),
+                row.faults.dropped.to_string(),
+                row.faults.dead_targets.to_string(),
+                row.faults.retries.to_string(),
+                row.faults.timeouts.to_string(),
+                row.faults.stale_misses.to_string(),
+                "0".into(),
+            ]);
+        }
+    }
+    r.write_csv("fig8_churn", &t);
+
+    let json = grid_json(r, &grid);
+    let path = r.out_dir.join("fig8_churn.json");
+    std::fs::write(&path, &json)
+        .unwrap_or_else(|e| panic!("failed writing {}: {e}", path.display()));
+
+    // Report: success vs loss at the heaviest churn, one series per
+    // system plus the deepest flood, and the fault-free anchors.
+    let worst_churn = CHURNS[CHURNS.len() - 1];
+    let at = |loss: f64, churn: f64| {
+        grid.iter()
+            .find(|c| c.loss == loss && c.churn == churn)
+            // qcplint: allow(panic) — grid is built from the same constants.
+            .expect("grid covers the full loss x churn cross product")
+    };
+    let mut series = Vec::new();
+    for si in 0..at(0.0, worst_churn).systems.len() {
+        let pts: Vec<(f64, f64)> = LOSSES
+            .iter()
+            .map(|&l| (l, at(l, worst_churn).systems[si].success_rate))
+            .collect();
+        series.push(Series::new(
+            at(0.0, worst_churn).systems[si].system.clone(),
+            pts,
+        ));
+    }
+    let flood_pts: Vec<(f64, f64)> = LOSSES
+        .iter()
+        .map(|&l| (l, at(l, worst_churn).flood[4].point.success_rate))
+        .collect();
+    series.push(Series::new("fig8-flood(ttl=5)".to_string(), flood_pts));
+
+    let mut out = String::new();
+    out.push_str(&render(
+        &PlotConfig::linear(
+            &format!("Fig 8 under failure — success vs loss (churn {worst_churn})"),
+            "mean message loss",
+            "success rate",
+        ),
+        &series,
+    ));
+    let clean = at(0.0, 0.0);
+    let worst = at(LOSSES[LOSSES.len() - 1], worst_churn);
+    let _ = writeln!(
+        out,
+        "fault-free anchor: fig8 zipf ttl5 success {} (bitwise-identical to `repro fig8`)",
+        percent(clean.flood[4].point.success_rate),
+    );
+    for si in 0..clean.systems.len() {
+        let c = &clean.systems[si];
+        let w = &worst.systems[si];
+        let _ = writeln!(
+            out,
+            "{}: success {} -> {} at loss {:.2}/churn {:.2}; drops {}, retries {}, timeouts {}, stale {}",
+            c.system,
+            percent(c.success_rate),
+            percent(w.success_rate),
+            LOSSES[LOSSES.len() - 1],
+            worst_churn,
+            w.faults.dropped,
+            w.faults.retries,
+            w.faults.timeouts,
+            w.faults.stale_misses,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "wrote {} cells to fig8_churn.csv and fig8_churn.json",
+        grid.len()
+    );
+    out
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod fig8churn;
 pub mod figures;
 
 use qcp_core::{AnalyzerConfig, Findings, QueryCentricAnalyzer};
@@ -112,6 +113,7 @@ impl Repro {
             "fig6" => figures::fig6(self),
             "fig7" => figures::fig7(self),
             "fig8" => figures::fig8(self),
+            "fig8-churn" => fig8churn::fig8_churn(self),
             "table1" => figures::table1(self),
             "table2" => figures::table2(self),
             "table3" => figures::table3(self),
@@ -138,6 +140,7 @@ impl Repro {
             "fig6",
             "fig7",
             "fig8",
+            "fig8-churn",
             "table1",
             "table2",
             "table3",

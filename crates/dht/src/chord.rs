@@ -11,6 +11,7 @@
 //! deterministic — exactly what the evaluation needs.
 
 use crate::ring::{in_interval_oc, in_interval_oo};
+use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
 use qcp_util::hash::mix64;
 
 /// Number of finger-table entries (ring is 2^64).
@@ -23,6 +24,18 @@ pub struct LookupResult {
     pub owner: u32,
     /// Routing hops taken (0 when the source already owns the key).
     pub hops: u32,
+}
+
+/// Result of a fault-aware lookup ([`ChordNetwork::lookup_faulty`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultyLookupResult {
+    /// The resolved owner, or `None` when routing failed outright (dead
+    /// source, no alive owner, or every route timed out).
+    pub owner: Option<u32>,
+    /// Successful routing hops taken.
+    pub hops: u32,
+    /// Total transmissions, including retries and wasted probes.
+    pub messages: u64,
 }
 
 /// A Chord network of simulated nodes.
@@ -188,6 +201,158 @@ impl ChordNetwork {
             );
         }
         LookupResult { owner, hops }
+    }
+
+    /// Lookup under a [`FaultPlan`]: every hop is a real transmission that
+    /// can be lost in flight or addressed to a departed finger.
+    ///
+    /// Per-hop protocol, mirroring a request/response RPC layer:
+    ///
+    /// 1. pick the best next hop — the closest preceding alive-looking
+    ///    finger inside `(current, owner]`, falling back to the clockwise
+    ///    ring scan (successor-list recovery);
+    /// 2. transmit; a message **lost in flight** is retried after
+    ///    `policy.timeout_after(attempt)` ticks, up to
+    ///    `policy.max_retries` times — when the budget is exhausted the
+    ///    hop *times out*, the finger is excluded for this lookup, and the
+    ///    router repairs by picking the next-best candidate;
+    /// 3. a message to a **departed node** wastes one probe and one base
+    ///    timeout, then the finger is excluded immediately (there is no
+    ///    point re-sending to a dead peer).
+    ///
+    /// This keeps the [`FaultStats`] identity for retrying engines:
+    /// `dropped == retries + timeouts`. Delivered hops charge the link
+    /// latency to `ticks`.
+    ///
+    /// Returns `owner: None` when the lookup fails outright: the source is
+    /// down, no alive owner exists, or every route to the owner was
+    /// excluded by timeouts.
+    pub fn lookup_faulty(
+        &self,
+        from: u32,
+        key: u64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        time: u64,
+        nonce: u64,
+    ) -> (FaultyLookupResult, FaultStats) {
+        assert_eq!(plan.num_nodes(), self.len(), "plan must cover the ring");
+        let mut stats = FaultStats::default();
+        let fail = |hops, messages, stats| {
+            (
+                FaultyLookupResult {
+                    owner: None,
+                    hops,
+                    messages,
+                },
+                stats,
+            )
+        };
+        if !plan.alive_at(from, time) {
+            return fail(0, 0, stats);
+        }
+        let Some(owner) = self.first_alive_successor_at(key, plan, time) else {
+            return fail(0, 0, stats);
+        };
+        let owner_id = self.ids[owner as usize];
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut messages = 0u64;
+        // Fingers ruled out for this lookup (timed out or found dead).
+        let mut excluded: Vec<u32> = Vec::new();
+        while current != owner {
+            let Some(cand) = self.next_hop_candidate(current, owner_id, &excluded) else {
+                return fail(hops, messages, stats);
+            };
+            if !plan.alive_at(cand, time) {
+                // One probe wasted discovering the departure.
+                messages += 1;
+                stats.dead_targets += 1;
+                stats.ticks += policy.timeout_after(0);
+                excluded.push(cand);
+                continue;
+            }
+            // Transmit with the bounded-retry budget.
+            let mut attempt = 0u32;
+            let delivered = loop {
+                messages += 1;
+                if plan.drop_message(current, cand, nonce, messages) {
+                    stats.dropped += 1;
+                    stats.ticks += policy.timeout_after(attempt);
+                    if attempt >= policy.max_retries {
+                        stats.timeouts += 1;
+                        if cand == owner {
+                            // The destination itself is unreachable: no
+                            // amount of repair can route around the owner.
+                            return fail(hops, messages, stats);
+                        }
+                        excluded.push(cand);
+                        break false;
+                    }
+                    attempt += 1;
+                    stats.retries += 1;
+                } else {
+                    stats.ticks += plan.latency(current, cand);
+                    break true;
+                }
+            };
+            if delivered {
+                current = cand;
+                hops += 1;
+            }
+            debug_assert!(
+                (hops as usize) <= 2 * self.len() + FINGER_BITS,
+                "faulty routing loop"
+            );
+        }
+        (
+            FaultyLookupResult {
+                owner: Some(owner),
+                hops,
+                messages,
+            },
+            stats,
+        )
+    }
+
+    /// Best next hop from `current` toward the node owning `owner_id`:
+    /// the closest preceding finger strictly progressing inside
+    /// `(current, owner]`, else the closest clockwise ring node
+    /// (successor-list fallback). Nodes in `excluded` are skipped.
+    fn next_hop_candidate(&self, current: u32, owner_id: u64, excluded: &[u32]) -> Option<u32> {
+        let cur_id = self.ids[current as usize];
+        for i in (0..FINGER_BITS).rev() {
+            let f = self.fingers[current as usize][i];
+            if f == current || excluded.contains(&f) {
+                continue;
+            }
+            if in_interval_oc(self.ids[f as usize], cur_id, owner_id) {
+                return Some(f);
+            }
+        }
+        let n = self.len();
+        for off in 1..n {
+            let idx = ((current as usize + off) % n) as u32;
+            if !excluded.contains(&idx) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// The first node at or clockwise after `key` that is alive at tick
+    /// `time` under `plan` (fault-plan variant of
+    /// [`Self::first_alive_successor`]).
+    pub fn first_alive_successor_at(&self, key: u64, plan: &FaultPlan, time: u64) -> Option<u32> {
+        let n = self.len();
+        let start = self.ids.partition_point(|&id| id < key) % n;
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if plan.alive_at(idx as u32, time) {
+                return Some(idx as u32);
+            }
+        }
+        None
     }
 
     /// The first alive node at or clockwise after `key`.
@@ -445,5 +610,143 @@ mod failure_tests {
         let mut alive = vec![true; 8];
         alive[2] = false;
         let _ = net.lookup_with_failures(2, 42, &alive);
+    }
+}
+
+#[cfg(test)]
+mod faulty_tests {
+    use super::*;
+    use qcp_faults::FaultConfig;
+
+    #[test]
+    fn none_plan_resolves_the_true_owner_with_clean_stats() {
+        let net = ChordNetwork::new(256, 30);
+        let plan = FaultPlan::none(256);
+        let policy = RetryPolicy::default();
+        for k in 0..60u64 {
+            let key = mix64(k ^ 0xfa);
+            let (r, stats) = net.lookup_faulty(7, key, &plan, &policy, 0, k);
+            assert_eq!(r.owner, Some(net.successor_of_key(key)));
+            assert!(r.hops <= net.hop_bound(), "hops {}", r.hops);
+            // Every message is a delivered hop; only latency is charged.
+            assert_eq!(r.messages, r.hops as u64);
+            assert_eq!(stats.dropped, 0);
+            assert_eq!(stats.wasted(), 0);
+            assert!(stats.ticks >= r.hops as u64, "latency charged per hop");
+        }
+    }
+
+    #[test]
+    fn drops_obey_the_retry_timeout_identity() {
+        let net = ChordNetwork::new(256, 31);
+        let plan = FaultPlan::build(
+            256,
+            &FaultConfig {
+                loss: 0.3,
+                churn: 0.0,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        let mut total = FaultStats::default();
+        let mut resolved = 0u32;
+        for k in 0..120u64 {
+            let key = mix64(k ^ 0x1e55);
+            let (r, stats) = net.lookup_faulty((k % 256) as u32, key, &plan, &policy, 0, k);
+            total.absorb(&stats);
+            if let Some(owner) = r.owner {
+                assert_eq!(owner, net.successor_of_key(key));
+                resolved += 1;
+            }
+            // Transmissions = delivered hops + every lost message.
+            assert_eq!(r.messages, r.hops as u64 + stats.wasted());
+        }
+        assert!(total.dropped > 0, "30% loss must drop");
+        assert_eq!(
+            total.dropped,
+            total.retries + total.timeouts,
+            "every drop is retried or times out"
+        );
+        assert!(resolved > 100, "retries should save most lookups");
+    }
+
+    #[test]
+    fn churn_routes_to_first_alive_successor_or_fails_cleanly() {
+        let net = ChordNetwork::new(200, 32);
+        let plan = FaultPlan::build(
+            200,
+            &FaultConfig {
+                loss: 0.0,
+                churn: 0.5,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        let mut total = FaultStats::default();
+        for t in [0u64, 100, 500, 900] {
+            for k in 0..40u64 {
+                let key = mix64(k ^ t);
+                let from = (k % 200) as u32;
+                let (r, stats) = net.lookup_faulty(from, key, &plan, &policy, t, k);
+                total.absorb(&stats);
+                match r.owner {
+                    Some(owner) => {
+                        assert!(plan.alive_at(owner, t), "owner must be alive");
+                        assert_eq!(Some(owner), net.first_alive_successor_at(key, &plan, t));
+                    }
+                    None => assert!(
+                        !plan.alive_at(from, t),
+                        "with loss=0, only a dead source fails"
+                    ),
+                }
+            }
+        }
+        assert!(total.dead_targets > 0, "50% churn must hit dead fingers");
+        assert_eq!(total.dropped, 0, "no in-flight loss configured");
+    }
+
+    #[test]
+    fn faulty_lookup_is_deterministic() {
+        let net = ChordNetwork::new(128, 33);
+        let plan = FaultPlan::build(
+            128,
+            &FaultConfig {
+                loss: 0.25,
+                churn: 0.25,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        for k in 0..30u64 {
+            let key = mix64(k);
+            let a = net.lookup_faulty(3, key, &plan, &policy, k, k);
+            let b = net.lookup_faulty(3, key, &plan, &policy, k, k);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_retry_policy_fails_fast_but_still_counts() {
+        let net = ChordNetwork::new(64, 34);
+        let plan = FaultPlan::build(
+            64,
+            &FaultConfig {
+                loss: 0.9,
+                churn: 0.0,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy {
+            max_retries: 0,
+            base_timeout: 4,
+            backoff: 2,
+        };
+        let mut total = FaultStats::default();
+        for k in 0..40u64 {
+            let (_, stats) = net.lookup_faulty(0, mix64(k), &plan, &policy, 0, k);
+            total.absorb(&stats);
+        }
+        assert_eq!(total.retries, 0, "fail-fast policy never retries");
+        assert_eq!(total.dropped, total.timeouts);
     }
 }

@@ -9,6 +9,8 @@
 
 use crate::chord::ChordNetwork;
 use crate::ring::key_for_term;
+use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
+use qcp_util::hash::mix64;
 use qcp_util::FxHashMap;
 
 /// Outcome of a DHT keyword query.
@@ -105,6 +107,95 @@ impl DhtIndex {
             hops,
             messages,
         }
+    }
+
+    /// Multi-key AND query under a [`FaultPlan`].
+    ///
+    /// Each term lookup routes with [`ChordNetwork::lookup_faulty`] (so
+    /// hops can be dropped, retried, and timed out). A term whose lookup
+    /// fails outright makes the whole AND query fail — the querier cannot
+    /// distinguish "no postings" from "index unreachable".
+    ///
+    /// **Staleness**: when a resolved (alive) owner has no posting list
+    /// for a term, but the term's *fault-free* home node is currently
+    /// down and does hold the list, the posting is stranded on a departed
+    /// owner — counted in [`FaultStats::stale_misses`]. This models an
+    /// index whose re-replication has not caught up with churn.
+    #[allow(clippy::too_many_arguments)] // mirrors `query_keys` + the fault context
+    pub fn query_keys_faulty(
+        &self,
+        net: &ChordNetwork,
+        from: u32,
+        terms: &[u64],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        time: u64,
+        nonce: u64,
+    ) -> (DhtQueryOutcome, FaultStats) {
+        let mut stats = FaultStats::default();
+        if terms.is_empty() {
+            return (
+                DhtQueryOutcome {
+                    results: Vec::new(),
+                    hops: 0,
+                    messages: 0,
+                },
+                stats,
+            );
+        }
+        let mut hops = 0u32;
+        let mut messages = 0u64;
+        let mut result: Option<Vec<u32>> = None;
+        for (i, &key) in terms.iter().enumerate() {
+            let (r, term_stats) =
+                net.lookup_faulty(from, key, plan, policy, time, mix64(nonce ^ i as u64));
+            stats.absorb(&term_stats);
+            hops += r.hops;
+            messages += r.messages;
+            let Some(owner) = r.owner else {
+                // Routing failed: the AND query fails outright.
+                result = Some(Vec::new());
+                break;
+            };
+            messages += 1; // posting-list transfer
+            let list = self.storage[owner as usize].get(&key);
+            if list.is_none() {
+                let home = net.successor_of_key(key);
+                if home != owner && self.storage[home as usize].contains_key(&key) {
+                    stats.stale_misses += 1;
+                }
+            }
+            let empty: Vec<u32> = Vec::new();
+            let list = list.unwrap_or(&empty);
+            result = Some(match result {
+                None => list.clone(),
+                Some(acc) => intersect_sorted(&acc, list),
+            });
+            if result.as_ref().is_some_and(|r| r.is_empty()) {
+                break; // AND already failed; remaining terms can't help
+            }
+        }
+        (
+            DhtQueryOutcome {
+                results: result.unwrap_or_default(),
+                hops,
+                messages,
+            },
+            stats,
+        )
+    }
+
+    /// Removes node `v`'s storage slot, keeping the index aligned with the
+    /// shifted node table after [`ChordNetwork::leave`]. Call this with
+    /// the same `v` passed to `leave`, *after* the ring update.
+    ///
+    /// Returns the departed node's posting lists. Callers model a
+    /// *graceful* departure by re-publishing the returned `(key, objects)`
+    /// pairs (ownership handoff), or an *abrupt* one by dropping them —
+    /// in which case those postings are simply gone and later queries for
+    /// the keys come back empty.
+    pub fn remove_node(&mut self, v: u32) -> FxHashMap<u64, Vec<u32>> {
+        self.storage.remove(v as usize)
     }
 }
 
@@ -220,5 +311,86 @@ mod tests {
     fn intersect_sorted_basic() {
         assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
         assert!(intersect_sorted(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn faulty_query_under_none_plan_matches_plain_results() {
+        let (net, idx) = indexed_net();
+        let plan = FaultPlan::none(64);
+        let policy = RetryPolicy::default();
+        for terms in [vec!["madonna"], vec!["madonna", "hits"], vec!["unknown"]] {
+            let keys: Vec<u64> = terms.iter().map(|t| key_for_term(t)).collect();
+            let plain = idx.query_keys(&net, 0, &keys);
+            let (faulty, stats) = idx.query_keys_faulty(&net, 0, &keys, &plan, &policy, 0, 7);
+            assert_eq!(plain.results, faulty.results, "terms {terms:?}");
+            assert_eq!(stats.wasted(), 0);
+            assert_eq!(stats.stale_misses, 0);
+        }
+    }
+
+    #[test]
+    fn stranded_posting_on_departed_owner_counts_stale() {
+        use qcp_faults::FaultConfig;
+        let net = ChordNetwork::new(48, 5);
+        let mut idx = DhtIndex::new(&net);
+        idx.publish(&net, 0, "stale-term", 9);
+        let key = key_for_term("stale-term");
+        let home = net.successor_of_key(key);
+        // Find a (plan, time) where the term's home node is down but
+        // routing still resolves (some successor alive) and the querier
+        // lives. Deterministic scan over seeds and ticks.
+        let policy = RetryPolicy::default();
+        let found = (0..200u64).find_map(|seed| {
+            let plan = FaultPlan::build(
+                48,
+                &FaultConfig {
+                    loss: 0.0,
+                    churn: 0.6,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            (0..1_000u64)
+                .find(|&t| {
+                    !plan.alive_at(home, t)
+                        && plan.alive_at(0, t)
+                        && net.first_alive_successor_at(key, &plan, t).is_some()
+                })
+                .map(|t| (plan, t))
+        });
+        let (plan, t) = found.expect("churn=0.6 must down the home node somewhere");
+        let (out, stats) = idx.query_keys_faulty(&net, 0, &[key], &plan, &policy, t, 11);
+        assert!(
+            out.results.is_empty(),
+            "posting stranded on dead owner is unreachable"
+        );
+        assert_eq!(stats.stale_misses, 1, "stranded posting must count stale");
+    }
+
+    #[test]
+    fn remove_node_keeps_surviving_postings_aligned() {
+        let net0 = ChordNetwork::new(32, 7);
+        let mut net = net0.clone();
+        let mut idx = DhtIndex::new(&net);
+        let terms = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        for (i, t) in terms.iter().enumerate() {
+            idx.publish(&net, (i % 32) as u32, t, i as u32);
+        }
+        // Remove a node that is NOT the owner of any published term, so
+        // every posting must survive the index shift.
+        let owners: Vec<u32> = terms
+            .iter()
+            .map(|t| net.successor_of_key(key_for_term(t)))
+            .collect();
+        let victim = (0..32u32)
+            .find(|v| !owners.contains(v))
+            .expect("32 nodes, 5 owners");
+        net.leave(victim);
+        let stranded = idx.remove_node(victim);
+        assert!(stranded.is_empty(), "victim owned no posting lists");
+        for (i, t) in terms.iter().enumerate() {
+            let out = idx.query(&net, 0, &[t]);
+            assert_eq!(out.results, vec![i as u32], "term {t} lost after leave");
+        }
     }
 }

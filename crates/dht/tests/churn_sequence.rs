@@ -69,6 +69,78 @@ fn index_republish_after_ownership_change() {
 }
 
 #[test]
+fn index_survives_leave_with_graceful_handoff() {
+    // `ChordNetwork::leave` shifts node indices; `DhtIndex::remove_node`
+    // keeps storage aligned and hands back the departed node's posting
+    // lists. Re-publishing them (graceful departure) must leave every
+    // posting resolvable, including the ones the victim owned.
+    let mut net = ChordNetwork::new(24, 11);
+    let mut idx = DhtIndex::new(&net);
+    let terms: Vec<String> = (0..40).map(|i| format!("term-{i}")).collect();
+    for (i, t) in terms.iter().enumerate() {
+        idx.publish(&net, (i % 24) as u32, t, i as u32);
+    }
+    let mut rng = Pcg64::new(12);
+    for round in 0..6 {
+        let victim = rng.index(net.len()) as u32;
+        net.leave(victim);
+        let stranded = idx.remove_node(victim);
+        // Graceful handoff: the victim pushes its lists to new owners.
+        let mut pairs: Vec<(u64, Vec<u32>)> = stranded.into_iter().collect();
+        pairs.sort_unstable_by_key(|(k, _)| *k); // deterministic republish order
+        for (key, objects) in pairs {
+            for obj in objects {
+                idx.publish_key(&net, 0, key, obj);
+            }
+        }
+        for (i, t) in terms.iter().enumerate() {
+            let out = idx.query(&net, round as u32 % net.len() as u32, &[t.as_str()]);
+            assert_eq!(
+                out.results,
+                vec![i as u32],
+                "round {round}: posting for {t} lost after leave"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_abrupt_leave_loses_only_the_victims_postings() {
+    // Abrupt departure: the victim's lists vanish. Everything it did NOT
+    // own must still resolve; what it owned is gone (the stale scenario
+    // `query_keys_faulty` accounts for at the fault layer).
+    let mut net = ChordNetwork::new(24, 13);
+    let mut idx = DhtIndex::new(&net);
+    let terms: Vec<String> = (0..40).map(|i| format!("abrupt-{i}")).collect();
+    for (i, t) in terms.iter().enumerate() {
+        idx.publish(&net, (i % 24) as u32, t, i as u32);
+    }
+    let victim = 5u32;
+    let victim_keys: Vec<bool> = terms
+        .iter()
+        .map(|t| net.successor_of_key(qcp_dht::key_for_term(t)) == victim)
+        .collect();
+    assert!(
+        victim_keys.iter().any(|&v| v),
+        "victim should own something with 40 terms over 24 nodes"
+    );
+    net.leave(victim);
+    let dropped = idx.remove_node(victim); // dropped on the floor
+    assert!(!dropped.is_empty());
+    for (i, t) in terms.iter().enumerate() {
+        let out = idx.query(&net, 0, &[t.as_str()]);
+        if victim_keys[i] {
+            assert!(
+                out.results.is_empty(),
+                "{t} was on the victim; must be gone"
+            );
+        } else {
+            assert_eq!(out.results, vec![i as u32], "{t} must survive the leave");
+        }
+    }
+}
+
+#[test]
 fn hop_counts_scale_logarithmically_across_sizes() {
     let mut means = Vec::new();
     for &n in &[64usize, 512, 4_096] {

@@ -1,0 +1,379 @@
+//! The seeded fault plan: message loss, link latency, and node sessions.
+//!
+//! A [`FaultPlan`] is built once per experiment from a [`FaultConfig`] and
+//! then consulted — never mutated — by every engine that simulates
+//! network activity. All three fault families are derived by stateless
+//! hashing of the plan seed:
+//!
+//! * **message loss** — each overlay edge gets a drop probability around
+//!   the configured mean (heterogeneous links: some lossier than others),
+//!   and each individual message transmission is an independent Bernoulli
+//!   draw keyed by `(edge, nonce, message index)`;
+//! * **latency** — each link gets a fixed latency in abstract ticks,
+//!   uniform around the configured mean (used by retry/timeout
+//!   accounting);
+//! * **sessions** — each node gets at most one down-interval
+//!   `[down_start, down_end)` over the workload horizon, drawn from a
+//!   dedicated per-node `Pcg64` stream. Time is the workload clock
+//!   (query index), so departures fire *during* the query stream, not
+//!   before it.
+
+use qcp_util::hash::mix64;
+use qcp_util::rng::Pcg64;
+
+/// Converts hash bits to a uniform `f64` in `[0, 1)` (53-bit precision).
+#[inline]
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Canonical 64-bit key for an undirected link `{u, v}`.
+#[inline]
+fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+/// Fault-model parameters.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Mean per-message drop probability (per-edge rates vary around it).
+    pub loss: f64,
+    /// Fraction of nodes that go down at some point during the workload.
+    pub churn: f64,
+    /// Workload length in ticks (one query = one tick).
+    pub horizon: u64,
+    /// Mean per-link latency in ticks (minimum 1).
+    pub mean_latency: u32,
+    /// Whether departed nodes come back within the horizon.
+    pub rejoin: bool,
+    /// Plan seed: all fault draws derive from it.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            loss: 0.05,
+            churn: 0.10,
+            horizon: 1_000,
+            mean_latency: 2,
+            rejoin: true,
+            seed: 0xfa17,
+        }
+    }
+}
+
+/// A realized fault plan for `n` nodes (immutable once built).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    loss: f64,
+    mean_latency: u32,
+    seed: u64,
+    horizon: u64,
+    /// Per node: first tick of the down interval (`u64::MAX` = never).
+    down_start: Vec<u64>,
+    /// Per node: first tick after the down interval (`u64::MAX` = gone
+    /// for good once down).
+    down_end: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// Builds a plan for `n` nodes from `config`.
+    ///
+    /// Session draws use one dedicated `Pcg64` stream per node, so the
+    /// schedule of node `i` is independent of `n` and of every other
+    /// node's schedule.
+    pub fn build(n: usize, config: &FaultConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.loss), "loss out of [0,1]");
+        assert!((0.0..=1.0).contains(&config.churn), "churn out of [0,1]");
+        let horizon = config.horizon.max(1);
+        let mut down_start = vec![u64::MAX; n];
+        let mut down_end = vec![u64::MAX; n];
+        if config.churn > 0.0 {
+            for node in 0..n {
+                let mut rng =
+                    Pcg64::with_stream(config.seed ^ mix64(node as u64), 0xc8de_5e55_0000_0001);
+                if !rng.chance(config.churn) {
+                    continue;
+                }
+                let start = rng.below(horizon);
+                // Down for a quarter to three quarters of the horizon:
+                // long enough to matter, short enough that rejoins fire
+                // inside the workload for early departures.
+                let len = horizon / 4 + rng.below(horizon / 2 + 1);
+                down_start[node] = start;
+                down_end[node] = if config.rejoin {
+                    start.saturating_add(len)
+                } else {
+                    u64::MAX
+                };
+            }
+        }
+        Self {
+            loss: config.loss,
+            mean_latency: config.mean_latency.max(1),
+            seed: config.seed,
+            horizon,
+            down_start,
+            down_end,
+        }
+    }
+
+    /// The trivial plan: no loss, no departures. Fault-aware code paths
+    /// running under it must reproduce fault-free results exactly.
+    pub fn none(n: usize) -> Self {
+        Self {
+            loss: 0.0,
+            mean_latency: 1,
+            seed: 0,
+            horizon: 1,
+            down_start: vec![u64::MAX; n],
+            down_end: vec![u64::MAX; n],
+        }
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn num_nodes(&self) -> usize {
+        self.down_start.len()
+    }
+
+    /// Workload horizon in ticks.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// True when the plan can produce no fault at all (loss 0, no
+    /// scheduled departure) — the fast-path discriminant.
+    pub fn is_none(&self) -> bool {
+        self.loss == 0.0 && self.down_start.iter().all(|&s| s == u64::MAX)
+    }
+
+    /// Whether `node` is up at workload tick `t`.
+    #[inline]
+    pub fn alive_at(&self, node: u32, t: u64) -> bool {
+        let i = node as usize;
+        t < self.down_start[i] || t >= self.down_end[i]
+    }
+
+    /// Materializes the alive mask at tick `t`.
+    pub fn alive_mask_at(&self, t: u64) -> Vec<bool> {
+        (0..self.num_nodes() as u32)
+            .map(|v| self.alive_at(v, t))
+            .collect()
+    }
+
+    /// Number of nodes down at tick `t`.
+    pub fn dead_count_at(&self, t: u64) -> usize {
+        (0..self.num_nodes() as u32)
+            .filter(|&v| !self.alive_at(v, t))
+            .count()
+    }
+
+    /// The first alive node at or cyclically after `start` at tick `t`,
+    /// or `None` when every node is down.
+    pub fn first_alive_from(&self, start: u32, t: u64) -> Option<u32> {
+        let n = self.num_nodes();
+        for off in 0..n {
+            let idx = ((start as usize + off) % n) as u32;
+            if self.alive_at(idx, t) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// The drop probability of link `{u, v}`: heterogeneous per edge,
+    /// mean equal to the configured loss rate, capped at 1.
+    #[inline]
+    pub fn edge_loss(&self, u: u32, v: u32) -> f64 {
+        if self.loss == 0.0 {
+            return 0.0;
+        }
+        // Weight uniform in [0, 2): preserves the mean, spreads the rates.
+        let w = 2.0 * unit(mix64(self.seed ^ 0x10f5_ed6e ^ edge_key(u, v)));
+        (self.loss * w).min(1.0)
+    }
+
+    /// Whether the `msg`-th message of the query identified by `nonce`
+    /// is dropped on link `{u, v}`.
+    ///
+    /// Stateless: the decision depends only on `(seed, edge, nonce, msg)`,
+    /// never on call order — so traversal order, chunking, and thread
+    /// count cannot perturb it.
+    #[inline]
+    pub fn drop_message(&self, u: u32, v: u32, nonce: u64, msg: u64) -> bool {
+        let p = self.edge_loss(u, v);
+        if p == 0.0 {
+            return false;
+        }
+        let h = mix64(
+            self.seed
+                ^ edge_key(u, v).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ mix64(nonce ^ msg.wrapping_mul(0xa076_1d64_78bd_642f)),
+        );
+        unit(h) < p
+    }
+
+    /// Latency of link `{u, v}` in ticks: fixed per link, uniform in
+    /// `[1, 2*mean - 1]` so the mean over links is `mean_latency`.
+    #[inline]
+    pub fn latency(&self, u: u32, v: u32) -> u64 {
+        let m = self.mean_latency as u64;
+        if m <= 1 {
+            return 1;
+        }
+        let h = mix64(self.seed ^ 0x1a7e_4c7e ^ edge_key(u, v));
+        1 + h % (2 * m - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(loss: f64, churn: f64) -> FaultConfig {
+        FaultConfig {
+            loss,
+            churn,
+            horizon: 1_000,
+            mean_latency: 3,
+            rejoin: true,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = FaultPlan::build(500, &cfg(0.1, 0.3));
+        let b = FaultPlan::build(500, &cfg(0.1, 0.3));
+        for v in 0..500u32 {
+            for t in [0u64, 250, 500, 999] {
+                assert_eq!(a.alive_at(v, t), b.alive_at(v, t));
+            }
+        }
+        for m in 0..200u64 {
+            assert_eq!(a.drop_message(3, 77, 42, m), b.drop_message(3, 77, 42, m));
+        }
+        assert_eq!(a.latency(3, 77), b.latency(3, 77));
+    }
+
+    #[test]
+    fn none_plan_is_inert() {
+        let p = FaultPlan::none(100);
+        assert!(p.is_none());
+        for v in 0..100u32 {
+            assert!(p.alive_at(v, 0) && p.alive_at(v, u64::MAX - 1));
+        }
+        for m in 0..1_000u64 {
+            assert!(!p.drop_message(0, 1, m, m));
+        }
+        assert_eq!(p.dead_count_at(500), 0);
+    }
+
+    #[test]
+    fn zero_loss_never_drops_even_with_churn() {
+        let p = FaultPlan::build(200, &cfg(0.0, 0.5));
+        for m in 0..500u64 {
+            assert!(!p.drop_message(5, 6, 1, m));
+        }
+        assert_eq!(p.edge_loss(5, 6), 0.0);
+    }
+
+    #[test]
+    fn drop_rate_tracks_configured_loss() {
+        let p = FaultPlan::build(100, &cfg(0.2, 0.0));
+        let mut drops = 0u64;
+        let trials = 40_000u64;
+        for m in 0..trials {
+            // Vary the edge too, so per-edge weights average out.
+            let u = (m % 50) as u32;
+            let v = 50 + (m % 37) as u32;
+            if p.drop_message(u, v, 99, m) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / trials as f64;
+        assert!((rate - 0.2).abs() < 0.02, "drop rate {rate} vs 0.2");
+    }
+
+    #[test]
+    fn drop_is_symmetric_in_edge_direction() {
+        let p = FaultPlan::build(10, &cfg(0.5, 0.0));
+        for m in 0..200u64 {
+            assert_eq!(p.drop_message(2, 7, 5, m), p.drop_message(7, 2, 5, m));
+        }
+        assert_eq!(p.latency(2, 7), p.latency(7, 2));
+    }
+
+    #[test]
+    fn churn_fraction_matches_config() {
+        let n = 4_000;
+        let p = FaultPlan::build(n, &cfg(0.0, 0.25));
+        let churning = (0..n).filter(|&i| p.down_start[i] != u64::MAX).count();
+        let frac = churning as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "churning fraction {frac}");
+        // Departures are spread across the workload, not front-loaded.
+        let early = (0..n)
+            .filter(|&i| p.down_start[i] != u64::MAX && p.down_start[i] < 500)
+            .count();
+        let ratio = early as f64 / churning as f64;
+        assert!(
+            (0.35..0.65).contains(&ratio),
+            "early-departure ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn rejoin_brings_nodes_back() {
+        let n = 2_000;
+        let with_rejoin = FaultPlan::build(n, &cfg(0.0, 0.5));
+        let no_rejoin = FaultPlan::build(
+            n,
+            &FaultConfig {
+                rejoin: false,
+                ..cfg(0.0, 0.5)
+            },
+        );
+        // At the end of the horizon some early departures have returned
+        // under rejoin; none have without it.
+        let end = 999;
+        assert!(with_rejoin.dead_count_at(end) < no_rejoin.dead_count_at(end));
+        let rejoined = (0..n as u32)
+            .filter(|&v| !with_rejoin.alive_at(v, 500) && with_rejoin.alive_at(v, 999))
+            .count();
+        assert!(rejoined > 0, "someone must rejoin within the horizon");
+    }
+
+    #[test]
+    fn latency_in_declared_range_with_right_mean() {
+        let p = FaultPlan::build(100, &cfg(0.0, 0.0));
+        let mut total = 0u64;
+        let links = 5_000u64;
+        for i in 0..links {
+            let l = p.latency((i % 80) as u32, 80 + (i % 20) as u32);
+            assert!((1..=5).contains(&l), "latency {l} out of [1, 2*3-1]");
+            total += l;
+        }
+        let mean = total as f64 / links as f64;
+        assert!((mean - 3.0).abs() < 0.2, "mean latency {mean}");
+    }
+
+    #[test]
+    fn first_alive_from_skips_dead_nodes() {
+        let mut p = FaultPlan::none(5);
+        p.down_start = vec![u64::MAX, 0, 0, u64::MAX, u64::MAX];
+        p.down_end = vec![u64::MAX, 10, u64::MAX, u64::MAX, u64::MAX];
+        assert_eq!(p.first_alive_from(1, 5), Some(3));
+        assert_eq!(p.first_alive_from(1, 20), Some(1)); // node 1 rejoined
+        p.down_start = vec![0; 5];
+        p.down_end = vec![u64::MAX; 5];
+        assert_eq!(p.first_alive_from(0, 5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss out of [0,1]")]
+    fn invalid_loss_rejected() {
+        let _ = FaultPlan::build(10, &cfg(1.5, 0.0));
+    }
+}

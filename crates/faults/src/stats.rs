@@ -1,0 +1,144 @@
+//! Degraded-mode accounting and the retry/backoff policy.
+
+/// Counters describing how a query (or a whole workload) degraded under
+/// faults. All fields are additive, so stats from sub-operations merge
+/// with [`FaultStats::absorb`].
+///
+/// # Accounting identities
+///
+/// * `wasted() = dropped + dead_targets` — messages paid for but never
+///   delivered;
+/// * in retrying engines (the DHT path), **every dropped message is
+///   either retried or times out**: `dropped == retries + timeouts`;
+/// * fire-and-forget engines (flooding, walks) never retry: their drops
+///   contribute to `dropped` only.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages lost in flight (per-edge Bernoulli drops).
+    pub dropped: u64,
+    /// Messages addressed to a node that was down at send time.
+    pub dead_targets: u64,
+    /// Re-transmissions attempted after a drop (bounded by the policy).
+    pub retries: u64,
+    /// Hops abandoned after the retry budget was exhausted.
+    pub timeouts: u64,
+    /// DHT reads that routed correctly but found the posting stranded on
+    /// a departed owner (stale index state).
+    pub stale_misses: u64,
+    /// Simulated time spent: link latencies plus timeout waits.
+    pub ticks: u64,
+}
+
+impl FaultStats {
+    /// Messages spent without a delivery: drops plus dead-target sends.
+    pub fn wasted(&self) -> u64 {
+        self.dropped + self.dead_targets
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.dead_targets += other.dead_targets;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.stale_misses += other.stale_misses;
+        self.ticks += other.ticks;
+    }
+}
+
+/// Bounded-retry-with-exponential-backoff policy for request/response
+/// engines (the structured-overlay hops of [`qcp-dht`]).
+///
+/// A transmission that is dropped is retried after a timeout of
+/// `base_timeout * backoff^attempt` ticks, up to `max_retries` retries;
+/// when the budget is exhausted the hop *times out* and the router must
+/// repair (pick another finger) or fail the lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first transmission (0 = fail fast).
+    pub max_retries: u32,
+    /// Timeout before the first retry, in ticks.
+    pub base_timeout: u64,
+    /// Multiplicative backoff factor applied per retry.
+    pub backoff: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_timeout: 4,
+            backoff: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Timeout in ticks charged when attempt number `attempt` (0-based)
+    /// is lost: `base_timeout * backoff^attempt`, saturating.
+    pub fn timeout_after(&self, attempt: u32) -> u64 {
+        (self.backoff as u64)
+            .saturating_pow(attempt)
+            .saturating_mul(self.base_timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut a = FaultStats {
+            dropped: 1,
+            dead_targets: 2,
+            retries: 3,
+            timeouts: 4,
+            stale_misses: 5,
+            ticks: 6,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            FaultStats {
+                dropped: 2,
+                dead_targets: 4,
+                retries: 6,
+                timeouts: 8,
+                stale_misses: 10,
+                ticks: 12,
+            }
+        );
+        assert_eq!(a.wasted(), 6);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_timeout: 4,
+            backoff: 2,
+        };
+        assert_eq!(p.timeout_after(0), 4);
+        assert_eq!(p.timeout_after(1), 8);
+        assert_eq!(p.timeout_after(2), 16);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_retries: 200,
+            base_timeout: u64::MAX / 2,
+            backoff: 3,
+        };
+        assert_eq!(p.timeout_after(199), u64::MAX);
+    }
+
+    #[test]
+    fn default_stats_are_zero() {
+        let s = FaultStats::default();
+        assert_eq!(s.wasted(), 0);
+        assert_eq!(s, FaultStats::default());
+    }
+}

@@ -21,8 +21,11 @@ pub struct ChurnedOverlay {
 }
 
 /// Fails a uniformly random `fraction` of nodes.
+///
+/// `fraction` is inclusive on both ends: `0.0` fails nobody and `1.0`
+/// fails the whole network (useful as a degenerate bound in sweeps).
 pub fn fail_random(graph: &Graph, fraction: f64, seed: u64) -> ChurnedOverlay {
-    assert!((0.0..1.0).contains(&fraction));
+    assert!((0.0..=1.0).contains(&fraction));
     let n = graph.num_nodes();
     let mut rng = Pcg64::with_stream(seed, 0xc8de);
     let k = (n as f64 * fraction).round() as usize;
@@ -35,12 +38,18 @@ pub fn fail_random(graph: &Graph, fraction: f64, seed: u64) -> ChurnedOverlay {
 
 /// Fails the `fraction` highest-degree nodes — targeted churn, the worst
 /// case for hub-dependent topologies (ultrapeers, BA hubs).
+///
+/// `fraction` is inclusive on both ends, like [`fail_random`]. Ties in
+/// degree are broken by node id (ascending), so the failed set is a
+/// deterministic function of the graph alone — `sort_unstable` with a
+/// degree-only key would let equal-degree nodes land in
+/// implementation-defined order.
 pub fn fail_highest_degree(graph: &Graph, fraction: f64) -> ChurnedOverlay {
-    assert!((0.0..1.0).contains(&fraction));
+    assert!((0.0..=1.0).contains(&fraction));
     let n = graph.num_nodes();
     let k = (n as f64 * fraction).round() as usize;
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_unstable_by_key(|&u| std::cmp::Reverse(graph.degree(u)));
+    order.sort_unstable_by_key(|&u| (std::cmp::Reverse(graph.degree(u)), u));
     let mut alive = vec![true; n];
     for &u in order.iter().take(k) {
         alive[u as usize] = false;
@@ -146,5 +155,83 @@ mod tests {
         let a = fail_random(&t.graph, 0.25, 9);
         let b = fail_random(&t.graph, 0.25, 9);
         assert_eq!(a.alive, b.alive);
+    }
+
+    #[test]
+    fn targeted_churn_breaks_degree_ties_by_node_id() {
+        // A cycle is maximally tie-heavy: every node has degree 2, so the
+        // failed set is decided purely by the tie-break. It must be the
+        // lowest node ids, and identical across repeated calls.
+        let n = 100u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(n as usize, &edges);
+        let c = fail_highest_degree(&g, 0.25);
+        assert_eq!(c.failed, 25);
+        for u in 0..n {
+            assert_eq!(
+                c.alive[u as usize],
+                u >= 25,
+                "equal-degree ties must fail ascending node ids first"
+            );
+        }
+        let again = fail_highest_degree(&g, 0.25);
+        assert_eq!(c.alive, again.alive);
+    }
+
+    #[test]
+    fn fraction_endpoints_are_inclusive() {
+        let t = erdos_renyi(50, 4.0, 30);
+        let none_r = fail_random(&t.graph, 0.0, 31);
+        assert_eq!(none_r.failed, 0);
+        let all_r = fail_random(&t.graph, 1.0, 31);
+        assert_eq!(all_r.failed, 50);
+        assert_eq!(all_r.graph.num_edges(), 0);
+        let none_t = fail_highest_degree(&t.graph, 0.0);
+        assert_eq!(none_t.failed, 0);
+        assert_eq!(none_t.graph.num_edges(), t.graph.num_edges());
+        let all_t = fail_highest_degree(&t.graph, 1.0);
+        assert_eq!(all_t.failed, 50);
+        assert_eq!(all_t.graph.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fraction_above_one_is_rejected() {
+        let t = erdos_renyi(10, 3.0, 32);
+        let _ = fail_random(&t.graph, 1.01, 33);
+    }
+
+    #[test]
+    fn churned_overlay_invariants_hold() {
+        // Cross-cutting invariants after rebuild, under both churn kinds:
+        // (1) no surviving edge touches a dead node, (2) `failed` matches
+        // the alive mask, (3) the rebuilt degree sum equals 2x the
+        // surviving edge count and never exceeds the original.
+        let t = gnutella_two_tier(&TopologyConfig {
+            num_nodes: 600,
+            ..Default::default()
+        });
+        for c in [
+            fail_random(&t.graph, 0.35, 40),
+            fail_highest_degree(&t.graph, 0.35),
+        ] {
+            assert_eq!(c.alive.len(), t.graph.num_nodes());
+            assert_eq!(c.failed, c.alive.iter().filter(|&&a| !a).count());
+            assert_eq!(c.graph.num_nodes(), t.graph.num_nodes());
+            let mut degree_sum = 0usize;
+            for u in 0..c.graph.num_nodes() as u32 {
+                let d = c.graph.degree(u);
+                degree_sum += d;
+                if !c.alive[u as usize] {
+                    assert_eq!(d, 0, "dead node {u} kept edges");
+                }
+                for &v in c.graph.neighbors(u) {
+                    assert!(c.alive[v as usize], "edge {u}-{v} touches dead node");
+                    assert!(c.graph.neighbors(v).contains(&u), "edge {u}-{v} one-way");
+                }
+                assert!(d <= t.graph.degree(u), "churn grew degree of {u}");
+            }
+            assert_eq!(degree_sum, 2 * c.graph.num_edges());
+        }
     }
 }

@@ -7,6 +7,8 @@
 
 use crate::flood::{FloodEngine, FloodOutcome};
 use crate::graph::Graph;
+use qcp_faults::{FaultPlan, FaultStats};
+use qcp_util::hash::mix64;
 
 /// Result of an expanding-ring search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,71 @@ pub fn expanding_ring_search(
     }
 }
 
+/// Fault-aware expanding-ring search: each ring floods through
+/// [`FloodEngine::flood_faulty`]. Rings are independent transmissions, so
+/// each ring gets its own drop nonce (`mix64(nonce ^ ttl)`): a message
+/// lost at TTL 2 may succeed on the retry implicit in the TTL-3 ring —
+/// iterative deepening doubles as coarse retry under loss.
+#[allow(clippy::too_many_arguments)] // mirrors the plain search + fault context
+pub fn expanding_ring_search_faulty(
+    engine: &mut FloodEngine,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+    plan: &FaultPlan,
+    time: u64,
+    nonce: u64,
+) -> (ExpandingOutcome, FaultStats) {
+    let mut total_messages = 0u64;
+    let mut stats = FaultStats::default();
+    let mut last: Option<FloodOutcome> = None;
+    for ttl in 1..=max_ttl {
+        let (out, ring_stats) = engine.flood_faulty(
+            graph,
+            source,
+            ttl,
+            holders,
+            forwarders,
+            plan,
+            time,
+            mix64(nonce ^ ttl as u64),
+        );
+        stats.absorb(&ring_stats);
+        total_messages += out.messages;
+        let found = out.found;
+        let reached = out.reached;
+        last = Some(out);
+        if found {
+            return (
+                ExpandingOutcome {
+                    found: true,
+                    found_at_ttl: Some(ttl),
+                    messages: total_messages,
+                    final_reach: reached,
+                },
+                stats,
+            );
+        }
+        // If the ring stopped growing the network is exhausted.
+        if let Some(prev) = last {
+            if ttl > 1 && prev.reached == reached && reached == graph.num_nodes() as u32 {
+                break;
+            }
+        }
+    }
+    (
+        ExpandingOutcome {
+            found: false,
+            found_at_ttl: None,
+            messages: total_messages,
+            final_reach: last.map(|o| o.reached).unwrap_or(1),
+        },
+        stats,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +164,39 @@ mod tests {
         assert!(!out.found);
         assert!(out.messages > 0);
         assert_eq!(out.found_at_ttl, None);
+    }
+
+    #[test]
+    fn faulty_rings_match_plain_under_none_plan() {
+        let g = crate::topology::erdos_renyi(300, 5.0, 31).graph;
+        let plan = FaultPlan::none(300);
+        let mut e = FloodEngine::new(300);
+        for nonce in 0..5u64 {
+            let plain = expanding_ring_search(&mut e, &g, 7, 6, &[200], None);
+            let (faulty, stats) =
+                expanding_ring_search_faulty(&mut e, &g, 7, 6, &[200], None, &plan, 0, nonce);
+            assert_eq!(plain, faulty);
+            assert_eq!(stats, FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn faulty_rings_accumulate_drop_stats() {
+        use qcp_faults::FaultConfig;
+        let g = crate::topology::erdos_renyi(300, 5.0, 32).graph;
+        let plan = FaultPlan::build(
+            300,
+            &FaultConfig {
+                loss: 0.5,
+                churn: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut e = FloodEngine::new(300);
+        let (out, stats) = expanding_ring_search_faulty(&mut e, &g, 0, 5, &[], None, &plan, 0, 9);
+        assert!(!out.found);
+        assert!(stats.dropped > 0, "50% loss over 5 rings must drop");
+        assert!(stats.wasted() <= out.messages);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `u32`s, so consecutive queries on the same graph allocate nothing.
 
 use crate::graph::Graph;
+use qcp_faults::{FaultPlan, FaultStats};
 
 /// Result of one flooded query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,101 @@ impl FloodEngine {
             reached,
             messages,
         }
+    }
+
+    /// Fault-aware flood: like [`Self::flood`], but every transmission
+    /// consults `plan` — messages to nodes that are down at workload tick
+    /// `time` are wasted ([`FaultStats::dead_targets`]), in-flight drops
+    /// are wasted ([`FaultStats::dropped`]), and dead nodes neither
+    /// receive, answer, nor forward. Flooding is fire-and-forget: lost
+    /// messages are never retried.
+    ///
+    /// `nonce` identifies this query in the plan's drop stream; distinct
+    /// queries must pass distinct nonces.
+    ///
+    /// Under [`FaultPlan::none`] this is *exactly* [`Self::flood`]: the
+    /// same traversal, the same message accounting, bit for bit (pinned
+    /// by tests here and in `tests/determinism.rs`). A dead source sends
+    /// nothing and fails immediately.
+    #[allow(clippy::too_many_arguments)] // mirrors `flood` + the fault context
+    pub fn flood_faulty(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+        plan: &FaultPlan,
+        time: u64,
+        nonce: u64,
+    ) -> (FloodOutcome, FaultStats) {
+        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+        let mut stats = FaultStats::default();
+        if !plan.alive_at(source, time) {
+            return (
+                FloodOutcome {
+                    found: false,
+                    found_at_hop: None,
+                    reached: 0,
+                    messages: 0,
+                },
+                stats,
+            );
+        }
+        self.begin();
+        let epoch = self.epoch;
+        let mut reached = 1u32;
+        let mut messages = 0u64;
+        let mut found_at_hop = None;
+        self.mark[source as usize] = epoch;
+        if holders.binary_search(&source).is_ok() {
+            found_at_hop = Some(0);
+        }
+        self.frontier.push(source);
+        let mut hop = 0u32;
+        while hop < ttl && !self.frontier.is_empty() {
+            hop += 1;
+            self.next.clear();
+            for &u in &self.frontier {
+                // Only forwarders expand (the source always sends).
+                if u != source {
+                    if let Some(mask) = forwarders {
+                        if !mask[u as usize] {
+                            continue;
+                        }
+                    }
+                }
+                for &v in graph.neighbors(u) {
+                    messages += 1;
+                    if !plan.alive_at(v, time) {
+                        stats.dead_targets += 1;
+                        continue;
+                    }
+                    if plan.drop_message(u, v, nonce, messages) {
+                        stats.dropped += 1;
+                        continue;
+                    }
+                    if self.mark[v as usize] != epoch {
+                        self.mark[v as usize] = epoch;
+                        reached += 1;
+                        if found_at_hop.is_none() && holders.binary_search(&v).is_ok() {
+                            found_at_hop = Some(hop);
+                        }
+                        self.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        (
+            FloodOutcome {
+                found: found_at_hop.is_some(),
+                found_at_hop,
+                reached,
+                messages,
+            },
+            stats,
+        )
     }
 
     /// True if `node` was reached by the most recent flood.
@@ -245,5 +341,129 @@ mod tests {
         let mut e = FloodEngine::new(4);
         let out = e.flood(&g, 0, 4, &[], None);
         assert_eq!(out.reached, 4);
+    }
+}
+
+#[cfg(test)]
+mod faulty_tests {
+    use super::*;
+    use qcp_faults::FaultConfig;
+
+    fn er(n: usize, seed: u64) -> Graph {
+        crate::topology::erdos_renyi(n, 6.0, seed).graph
+    }
+
+    #[test]
+    fn none_plan_reproduces_flood_exactly() {
+        let g = er(500, 1);
+        let plan = FaultPlan::none(500);
+        let mut a = FloodEngine::new(500);
+        let mut b = FloodEngine::new(500);
+        for src in [0u32, 7, 100, 499] {
+            for ttl in 0..5 {
+                let holders = [src / 2, src / 2 + 5, 400];
+                let mut h: Vec<u32> = holders.to_vec();
+                h.sort_unstable();
+                h.dedup();
+                let plain = a.flood(&g, src, ttl, &h, None);
+                let (faulty, stats) = b.flood_faulty(&g, src, ttl, &h, None, &plan, 0, 99);
+                assert_eq!(plain, faulty, "src {src} ttl {ttl}");
+                assert_eq!(stats, FaultStats::default());
+            }
+        }
+    }
+
+    #[test]
+    fn loss_reduces_reach_and_counts_drops() {
+        let g = er(1_000, 2);
+        let lossy = FaultPlan::build(
+            1_000,
+            &FaultConfig {
+                loss: 0.4,
+                churn: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut e = FloodEngine::new(1_000);
+        let clean = e.flood(&g, 3, 4, &[], None);
+        let (faulty, stats) = e.flood_faulty(&g, 3, 4, &[], None, &lossy, 0, 5);
+        assert!(faulty.reached < clean.reached, "loss must shrink coverage");
+        assert!(stats.dropped > 0);
+        assert_eq!(stats.dead_targets, 0);
+        // Every message was either delivered or dropped, never retried.
+        assert!(stats.dropped <= faulty.messages);
+        assert_eq!(stats.retries + stats.timeouts, 0);
+    }
+
+    #[test]
+    fn dead_nodes_block_and_waste_messages() {
+        // Path 0-1-2: kill node 1 mid-workload; the flood cannot cross it.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let plan = FaultPlan::build(
+            3,
+            &FaultConfig {
+                loss: 0.0,
+                churn: 0.999,
+                horizon: 10,
+                rejoin: false,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        // Find a time where node 1 is down but node 0 is up.
+        let t = (0..10u64)
+            .find(|&t| !plan.alive_at(1, t) && plan.alive_at(0, t))
+            .expect("churn=0.999 must take node 1 down within the horizon");
+        let mut e = FloodEngine::new(3);
+        let (out, stats) = e.flood_faulty(&g, 0, 3, &[2], None, &plan, t, 1);
+        assert!(!out.found, "flood cannot cross a dead relay");
+        assert!(stats.dead_targets >= 1);
+        assert_eq!(stats.dropped, 0, "loss is zero; only dead-target waste");
+        assert!(stats.wasted() <= out.messages);
+    }
+
+    #[test]
+    fn dead_source_sends_nothing() {
+        let g = er(50, 3);
+        let plan = FaultPlan::build(
+            50,
+            &FaultConfig {
+                churn: 1.0,
+                horizon: 4,
+                rejoin: false,
+                loss: 0.0,
+                ..Default::default()
+            },
+        );
+        let t = (0..4u64)
+            .find(|&t| !plan.alive_at(0, t))
+            .expect("full churn downs node 0");
+        let mut e = FloodEngine::new(50);
+        let (out, stats) = e.flood_faulty(&g, 0, 5, &[1], None, &plan, t, 0);
+        assert!(!out.found);
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.reached, 0);
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn faulty_flood_is_deterministic() {
+        let g = er(300, 4);
+        let plan = FaultPlan::build(
+            300,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.3,
+                horizon: 100,
+                ..Default::default()
+            },
+        );
+        let mut e = FloodEngine::new(300);
+        let a = e.flood_faulty(&g, 5, 4, &[200], None, &plan, 42, 7);
+        let b = e.flood_faulty(&g, 5, 4, &[200], None, &plan, 42, 7);
+        assert_eq!(a, b);
+        // A different nonce sees different drops.
+        let c = e.flood_faulty(&g, 5, 4, &[200], None, &plan, 42, 8);
+        assert!(a != c || a.0.messages == 0, "nonce must perturb drops");
     }
 }

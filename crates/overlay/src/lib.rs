@@ -33,9 +33,14 @@ pub mod topology;
 pub mod walk;
 
 pub use churn::{fail_highest_degree, fail_random, ChurnedOverlay};
+pub use expanding::{expanding_ring_search, expanding_ring_search_faulty, ExpandingOutcome};
 pub use flood::{FloodEngine, FloodOutcome};
 pub use graph::Graph;
 pub use metrics::{graph_metrics, GraphMetrics};
 pub use placement::{Placement, PlacementModel};
-pub use sim::{flood_trials, sweep_ttl, SimConfig, SweepPoint, TargetModel};
+pub use sim::{
+    flood_trials, flood_trials_faulty, sweep_ttl, sweep_ttl_faulty, FaultySweepPoint, SimConfig,
+    SweepPoint, TargetModel,
+};
 pub use topology::TopologyConfig;
+pub use walk::{random_walk_search, random_walk_search_faulty, WalkOutcome};

@@ -9,8 +9,15 @@
 use crate::flood::FloodEngine;
 use crate::graph::Graph;
 use crate::placement::Placement;
+use qcp_faults::{FaultPlan, FaultStats};
 use qcp_util::rng::{child_seed, Pcg64};
 use qcp_xpar::Pool;
+
+/// Stream tag XOR-ed into the base seed to derive per-trial fault nonces.
+/// Keeping the nonce on a separate `child_seed` stream means the trial RNG
+/// consumes exactly the same draws as the fault-free sweep, which is what
+/// makes the zero-fault run bit-identical to [`flood_trials`].
+const FAULT_NONCE_STREAM: u64 = 0xfa17_5eed_0b5e_55ed;
 
 /// How the queried object is chosen per trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +167,142 @@ pub fn flood_trials(
     }
 }
 
+/// One point of a fault-sweep curve: the plain success/cost numbers plus
+/// the degraded-mode accounting aggregated over every trial at this TTL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultySweepPoint {
+    /// Success/reach/cost point, same semantics as the fault-free sweep.
+    pub point: SweepPoint,
+    /// Fault counters summed across all trials at this TTL.
+    pub faults: FaultStats,
+    /// Trials whose sampled source was down at query time and had to be
+    /// re-issued from the next alive peer (0 when churn is off).
+    pub dead_sources: u64,
+}
+
+/// Runs `config.trials` flooded queries at a single TTL under `plan`.
+///
+/// Per-trial derivation is identical to [`flood_trials`]: the same
+/// `(seed, ttl, trial)` → RNG stream and the same source-then-object draw
+/// order, so under [`FaultPlan::none`] the returned [`SweepPoint`] is
+/// bit-identical to the fault-free sweep. Fault draws use a *separate*
+/// per-trial nonce derived with [`FAULT_NONCE_STREAM`], leaving the trial
+/// RNG untouched.
+///
+/// Each trial executes at tick `trial % horizon`, so the plan's churn
+/// schedule plays out across the workload. A trial whose sampled source
+/// is down is re-issued from the next alive node id (wrapping scan); if
+/// nobody is alive at that tick the trial counts as an outright failure
+/// with zero messages.
+pub fn flood_trials_faulty(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttl: u32,
+    config: &SimConfig,
+    plan: &FaultPlan,
+) -> FaultySweepPoint {
+    let n = graph.num_nodes();
+    assert!(n > 0 && placement.num_objects() > 0);
+    assert_eq!(plan.num_nodes(), n, "fault plan must cover every node");
+    let sampler = TargetSampler::new(placement, config.target);
+    let chunks = (pool.threads() * 4).max(1);
+    let per_chunk = config.trials.div_ceil(chunks);
+    let horizon = plan.horizon().max(1);
+
+    #[derive(Default, Clone, Copy)]
+    struct Acc {
+        successes: u64,
+        reached: u64,
+        messages: u64,
+        trials: u64,
+        faults: FaultStats,
+        dead_sources: u64,
+    }
+
+    let partials: Vec<Acc> = pool.par_map_indexed(chunks, |c| {
+        let mut engine = FloodEngine::new(n);
+        let mut acc = Acc::default();
+        let lo = c * per_chunk;
+        let hi = (lo + per_chunk).min(config.trials);
+        for trial in lo..hi {
+            let key = (ttl as u64) << 32 | trial as u64;
+            let mut rng = Pcg64::new(child_seed(config.seed, key));
+            let source = rng.index(n) as u32;
+            let object = sampler.sample(&mut rng);
+            let time = trial as u64 % horizon;
+            let nonce = child_seed(config.seed ^ FAULT_NONCE_STREAM, key);
+            let source = if plan.alive_at(source, time) {
+                source
+            } else {
+                acc.dead_sources += 1;
+                match plan.first_alive_from(source, time) {
+                    Some(s) => s,
+                    None => {
+                        // Whole network down at this tick: query fails.
+                        acc.trials += 1;
+                        continue;
+                    }
+                }
+            };
+            let (out, stats) = engine.flood_faulty(
+                graph,
+                source,
+                ttl,
+                placement.holders(object),
+                forwarders,
+                plan,
+                time,
+                nonce,
+            );
+            acc.trials += 1;
+            acc.successes += out.found as u64;
+            acc.reached += out.reached as u64;
+            acc.messages += out.messages;
+            acc.faults.absorb(&stats);
+        }
+        acc
+    });
+
+    let mut total = Acc::default();
+    for p in partials {
+        total.successes += p.successes;
+        total.reached += p.reached;
+        total.messages += p.messages;
+        total.trials += p.trials;
+        total.faults.absorb(&p.faults);
+        total.dead_sources += p.dead_sources;
+    }
+    let t = total.trials.max(1) as f64;
+    FaultySweepPoint {
+        point: SweepPoint {
+            ttl,
+            success_rate: total.successes as f64 / t,
+            mean_reached: total.reached as f64 / t,
+            mean_reach_fraction: total.reached as f64 / t / n as f64,
+            mean_messages: total.messages as f64 / t,
+        },
+        faults: total.faults,
+        dead_sources: total.dead_sources,
+    }
+}
+
+/// Sweeps TTLs under a fault plan, producing one degraded curve.
+pub fn sweep_ttl_faulty(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttls: &[u32],
+    config: &SimConfig,
+    plan: &FaultPlan,
+) -> Vec<FaultySweepPoint> {
+    ttls.iter()
+        .map(|&ttl| flood_trials_faulty(pool, graph, placement, forwarders, ttl, config, plan))
+        .collect()
+}
+
 /// Sweeps TTLs, producing one curve (e.g. one Figure 8 line).
 pub fn sweep_ttl(
     pool: &Pool,
@@ -298,6 +441,85 @@ mod tests {
         let a = flood_trials(&pool(), &t.graph, &p, None, 2, &cfg);
         let b = flood_trials(&pool(), &t.graph, &p, None, 2, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulty_sweep_under_none_plan_is_bitwise_identical() {
+        let t = erdos_renyi(400, 5.0, 20);
+        let p = Placement::generate(PlacementModel::UniformK(4), 400, 80, 21);
+        let cfg = SimConfig {
+            trials: 800,
+            ..Default::default()
+        };
+        let plan = FaultPlan::none(400);
+        let plain = sweep_ttl(&pool(), &t.graph, &p, None, &[1, 2, 3], &cfg);
+        let faulty = sweep_ttl_faulty(&pool(), &t.graph, &p, None, &[1, 2, 3], &cfg, &plan);
+        for (a, b) in plain.iter().zip(&faulty) {
+            assert_eq!(a.success_rate.to_bits(), b.point.success_rate.to_bits());
+            assert_eq!(a.mean_reached.to_bits(), b.point.mean_reached.to_bits());
+            assert_eq!(a.mean_messages.to_bits(), b.point.mean_messages.to_bits());
+            assert_eq!(b.faults, FaultStats::default());
+            assert_eq!(b.dead_sources, 0);
+        }
+    }
+
+    #[test]
+    fn loss_and_churn_degrade_success() {
+        use qcp_faults::FaultConfig;
+        let t = erdos_renyi(600, 5.0, 22);
+        let p = Placement::generate(PlacementModel::UniformK(6), 600, 100, 23);
+        let cfg = SimConfig {
+            trials: 1_500,
+            ..Default::default()
+        };
+        let clean =
+            flood_trials_faulty(&pool(), &t.graph, &p, None, 3, &cfg, &FaultPlan::none(600));
+        let harsh = FaultPlan::build(
+            600,
+            &FaultConfig {
+                loss: 0.4,
+                churn: 0.3,
+                ..Default::default()
+            },
+        );
+        let degraded = flood_trials_faulty(&pool(), &t.graph, &p, None, 3, &cfg, &harsh);
+        assert!(
+            degraded.point.success_rate < clean.point.success_rate,
+            "40% loss + 30% churn must hurt: {} vs {}",
+            degraded.point.success_rate,
+            clean.point.success_rate
+        );
+        assert!(degraded.faults.dropped > 0);
+        assert!(degraded.faults.dead_targets > 0);
+        assert!(
+            degraded.dead_sources > 0,
+            "30% churn must down some sources"
+        );
+        assert!(degraded.faults.wasted() <= degraded.point.mean_messages as u64 * 1_500 + 1_500);
+    }
+
+    #[test]
+    fn faulty_sweep_is_thread_count_independent() {
+        use qcp_faults::FaultConfig;
+        let t = erdos_renyi(300, 5.0, 24);
+        let p = Placement::generate(PlacementModel::UniformK(3), 300, 50, 25);
+        let cfg = SimConfig {
+            trials: 600,
+            ..Default::default()
+        };
+        let plan = FaultPlan::build(
+            300,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.2,
+                ..Default::default()
+            },
+        );
+        let p1 = Pool::new(1);
+        let p4 = Pool::new(4);
+        let a = flood_trials_faulty(&p1, &t.graph, &p, None, 3, &cfg, &plan);
+        let b = flood_trials_faulty(&p4, &t.graph, &p, None, 3, &cfg, &plan);
+        assert_eq!(a, b, "fault sweep must not depend on thread count");
     }
 
     #[test]

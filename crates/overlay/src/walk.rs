@@ -5,6 +5,7 @@
 //! Message cost is the number of steps taken, not exponential in TTL.
 
 use crate::graph::Graph;
+use qcp_faults::{FaultPlan, FaultStats};
 use qcp_util::rng::Pcg64;
 
 /// Result of one k-walker search.
@@ -91,6 +92,111 @@ pub fn random_walk_search(
     }
 }
 
+/// Fault-aware k-walker search: like [`random_walk_search`], but every
+/// step consults `plan`. A step toward a node that is down at tick `time`
+/// wastes the message and strands the walker in place for that step; an
+/// in-flight drop does the same. Walks are fire-and-forget: no retries.
+///
+/// Under [`FaultPlan::none`] this consumes the same RNG stream and
+/// returns the same outcome as [`random_walk_search`] (tested below). A
+/// dead source issues nothing.
+#[allow(clippy::too_many_arguments)] // mirrors the plain walk + fault context
+pub fn random_walk_search_faulty(
+    graph: &Graph,
+    source: u32,
+    k: usize,
+    ttl: u32,
+    holders: &[u32],
+    rng: &mut Pcg64,
+    plan: &FaultPlan,
+    time: u64,
+    nonce: u64,
+) -> (WalkOutcome, FaultStats) {
+    debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+    let mut stats = FaultStats::default();
+    if !plan.alive_at(source, time) {
+        return (
+            WalkOutcome {
+                found: false,
+                found_at_step: None,
+                messages: 0,
+                visited: 0,
+            },
+            stats,
+        );
+    }
+    let mut messages = 0u64;
+    let mut found_at_step: Option<u32> = None;
+    let mut visited: Vec<u32> = vec![source];
+
+    if holders.binary_search(&source).is_ok() {
+        return (
+            WalkOutcome {
+                found: true,
+                found_at_step: Some(0),
+                messages: 0,
+                visited: 1,
+            },
+            stats,
+        );
+    }
+
+    for _walker in 0..k {
+        let mut current = source;
+        let mut previous = u32::MAX;
+        for step in 1..=ttl {
+            let neighbors = graph.neighbors(current);
+            if neighbors.is_empty() {
+                break;
+            }
+            // Prefer a neighbor other than where we came from (identical
+            // RNG consumption to the fault-free walk).
+            let next = if neighbors.len() == 1 {
+                neighbors[0]
+            } else {
+                let mut pick = neighbors[rng.index(neighbors.len())];
+                let mut tries = 0;
+                while pick == previous && tries < 4 {
+                    pick = neighbors[rng.index(neighbors.len())];
+                    tries += 1;
+                }
+                pick
+            };
+            messages += 1;
+            if !plan.alive_at(next, time) {
+                // Message to a departed peer: wasted; walker stays put.
+                stats.dead_targets += 1;
+                continue;
+            }
+            if plan.drop_message(current, next, nonce, messages) {
+                stats.dropped += 1;
+                continue;
+            }
+            previous = current;
+            current = next;
+            visited.push(current);
+            if holders.binary_search(&current).is_ok() {
+                found_at_step = match found_at_step {
+                    Some(existing) => Some(existing.min(step)),
+                    None => Some(step),
+                };
+                break;
+            }
+        }
+    }
+    visited.sort_unstable();
+    visited.dedup();
+    (
+        WalkOutcome {
+            found: found_at_step.is_some(),
+            found_at_step,
+            messages,
+            visited: visited.len() as u32,
+        },
+        stats,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +278,65 @@ mod tests {
         let out = random_walk_search(&g, 0, 8, 10, &[], &mut rng);
         assert!(out.visited <= 5);
         assert!(out.visited >= 2);
+    }
+
+    #[test]
+    fn faulty_walk_matches_plain_walk_under_none_plan() {
+        let g = crate::topology::erdos_renyi(400, 5.0, 8).graph;
+        let plan = FaultPlan::none(400);
+        for seed in 0..10u64 {
+            let mut r1 = Pcg64::new(seed);
+            let mut r2 = Pcg64::new(seed);
+            let plain = random_walk_search(&g, 3, 4, 25, &[111, 222], &mut r1);
+            let (faulty, stats) =
+                random_walk_search_faulty(&g, 3, 4, 25, &[111, 222], &mut r2, &plan, 0, seed);
+            assert_eq!(plain, faulty, "seed {seed}");
+            assert_eq!(stats, FaultStats::default());
+            // RNG streams stayed in lockstep.
+            assert_eq!(r1.next(), r2.next());
+        }
+    }
+
+    #[test]
+    fn faulty_walk_wastes_messages_on_drops() {
+        use qcp_faults::FaultConfig;
+        let g = crate::topology::erdos_renyi(400, 5.0, 9).graph;
+        let plan = FaultPlan::build(
+            400,
+            &FaultConfig {
+                loss: 0.5,
+                churn: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut rng = Pcg64::new(10);
+        let (out, stats) = random_walk_search_faulty(&g, 0, 8, 30, &[], &mut rng, &plan, 0, 1);
+        assert!(stats.dropped > 0, "50% loss must drop something");
+        assert!(stats.wasted() <= out.messages);
+        // Stranded walkers visit fewer distinct peers than their budget.
+        assert!(out.visited as u64 <= out.messages + 1);
+    }
+
+    #[test]
+    fn dead_source_issues_no_walkers() {
+        use qcp_faults::FaultConfig;
+        let g = path(5);
+        let plan = FaultPlan::build(
+            5,
+            &FaultConfig {
+                churn: 1.0,
+                horizon: 2,
+                rejoin: false,
+                loss: 0.0,
+                ..Default::default()
+            },
+        );
+        let t = (0..2u64)
+            .find(|&t| !plan.alive_at(0, t))
+            .expect("full churn downs node 0");
+        let mut rng = Pcg64::new(11);
+        let (out, _) = random_walk_search_faulty(&g, 0, 4, 10, &[4], &mut rng, &plan, t, 0);
+        assert!(!out.found);
+        assert_eq!(out.messages, 0);
     }
 }

@@ -76,6 +76,7 @@ impl SearchSystem for AdvertiseSearch {
                 success: false,
                 messages: 0,
                 hops: None,
+                faults: Default::default(),
             };
         }
         // Local store first, then a short random consultation walk.
@@ -84,6 +85,7 @@ impl SearchSystem for AdvertiseSearch {
                 success: true,
                 messages: 0,
                 hops: Some(0),
+                faults: Default::default(),
             };
         }
         let graph = &world.topology.graph;
@@ -114,6 +116,7 @@ impl SearchSystem for AdvertiseSearch {
                     success: true,
                     messages,
                     hops: Some(step),
+                    faults: Default::default(),
                 };
             }
         }
@@ -121,6 +124,7 @@ impl SearchSystem for AdvertiseSearch {
             success: false,
             messages,
             hops: None,
+            faults: Default::default(),
         }
     }
 

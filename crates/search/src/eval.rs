@@ -2,6 +2,7 @@
 
 use crate::systems::{SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
+use qcp_faults::FaultStats;
 use qcp_util::rng::{child_seed, Pcg64};
 
 /// Workload generation parameters.
@@ -45,6 +46,9 @@ pub struct ComparisonRow {
     pub mean_success_hops: f64,
     /// One-time/maintenance messages accumulated by the system.
     pub maintenance_messages: u64,
+    /// Degraded-mode counters summed over the workload (all zero for
+    /// fault-free systems).
+    pub faults: FaultStats,
 }
 
 /// Runs every system over the same queries; per-query RNG streams are
@@ -63,6 +67,7 @@ pub fn evaluate(
             let mut messages = 0u64;
             let mut hop_sum = 0u64;
             let mut hop_count = 0u64;
+            let mut faults = FaultStats::default();
             for (i, q) in queries.iter().enumerate() {
                 let mut rng = Pcg64::new(child_seed(seed, i as u64));
                 let out: SearchOutcome = system.search(world, q, &mut rng);
@@ -74,6 +79,7 @@ pub fn evaluate(
                     }
                 }
                 messages += out.messages;
+                faults.absorb(&out.faults);
             }
             let n = queries.len().max(1) as f64;
             ComparisonRow {
@@ -87,6 +93,7 @@ pub fn evaluate(
                     f64::NAN
                 },
                 maintenance_messages: system.maintenance_messages(),
+                faults,
             }
         })
         .collect()

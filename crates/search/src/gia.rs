@@ -83,6 +83,7 @@ impl SearchSystem for GiaSearch {
                 success: false,
                 messages: 0,
                 hops: None,
+                faults: Default::default(),
             };
         }
         let graph = &world.topology.graph;
@@ -96,6 +97,7 @@ impl SearchSystem for GiaSearch {
                 success: true,
                 messages: 0,
                 hops: Some(0),
+                faults: Default::default(),
             };
         }
         for step in 1..=self.ttl {
@@ -128,6 +130,7 @@ impl SearchSystem for GiaSearch {
                     success: true,
                     messages,
                     hops: Some(step),
+                    faults: Default::default(),
                 };
             }
         }
@@ -135,6 +138,7 @@ impl SearchSystem for GiaSearch {
             success: false,
             messages,
             hops: None,
+            faults: Default::default(),
         }
     }
 }

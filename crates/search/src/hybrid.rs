@@ -11,9 +11,10 @@
 //! pays the flood *and* the DHT cost and ends up strictly worse than a
 //! pure DHT. The [`DhtOnlySearch`] baseline makes that comparison direct.
 
-use crate::systems::{SearchOutcome, SearchSystem};
+use crate::systems::{FaultContext, SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_dht::{ChordNetwork, DhtIndex};
+use qcp_faults::FaultStats;
 use qcp_overlay::flood::FloodEngine;
 use qcp_util::hash::mix64;
 use qcp_util::rng::Pcg64;
@@ -52,6 +53,7 @@ pub struct HybridSearch {
     index: DhtIndex,
     engine: FloodEngine,
     forwarders: Vec<bool>,
+    faults: Option<FaultContext>,
     /// Queries that fell back to the DHT (for reports).
     pub fallbacks: u64,
     /// Total queries served.
@@ -71,9 +73,27 @@ impl HybridSearch {
             index,
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
+            faults: None,
             fallbacks: 0,
             queries: 0,
         }
+    }
+
+    /// Creates the hybrid system under a fault context. The flood phase
+    /// is fire-and-forget (lost messages are just lost); the DHT fallback
+    /// is request/response — every hop gets explicit timeouts and the
+    /// bounded-retry-with-backoff of `faults.policy`. A query whose
+    /// issuer is down at query time fails outright.
+    pub fn with_faults(
+        world: &SearchWorld,
+        flood_ttl: u32,
+        rare_threshold: u32,
+        seed: u64,
+        faults: FaultContext,
+    ) -> Self {
+        let mut s = Self::new(world, flood_ttl, rare_threshold, seed);
+        s.faults = Some(faults);
+        s
     }
 
     /// Fraction of queries that needed the structured fallback.
@@ -82,6 +102,62 @@ impl HybridSearch {
             return 0.0;
         }
         self.fallbacks as f64 / self.queries as f64
+    }
+
+    /// The faulty query path (see [`Self::with_faults`]).
+    fn search_faulty(&mut self, world: &SearchWorld, query: &QuerySpec) -> SearchOutcome {
+        // qcplint: allow(panic) — only called when `faults` is set.
+        let ctx = self.faults.as_mut().expect("faulty path requires context");
+        let (time, nonce) = ctx.next_query();
+        if !ctx.plan.alive_at(query.source, time) {
+            // A departed peer issues nothing.
+            return SearchOutcome {
+                success: false,
+                messages: 0,
+                hops: None,
+                faults: FaultStats::default(),
+            };
+        }
+        let matching = world.matching_objects(&query.terms);
+        let holders = world.holders_of(&matching);
+        let (flood, mut stats) = self.engine.flood_faulty(
+            &world.topology.graph,
+            query.source,
+            self.flood_ttl,
+            &holders,
+            Some(&self.forwarders),
+            &ctx.plan,
+            time,
+            nonce,
+        );
+        let hits = self.engine.hits_in_last_flood(&holders);
+        if hits >= self.rare_threshold {
+            return SearchOutcome {
+                success: true,
+                messages: flood.messages,
+                hops: flood.found_at_hop,
+                faults: stats,
+            };
+        }
+        // Rare query: re-issue over the DHT with retry/backoff per hop.
+        self.fallbacks += 1;
+        let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
+        let (dht, dht_stats) = self.index.query_keys_faulty(
+            &self.net,
+            query.source,
+            &keys,
+            &ctx.plan,
+            &ctx.policy,
+            time,
+            mix64(nonce ^ 0xd47),
+        );
+        stats.absorb(&dht_stats);
+        SearchOutcome {
+            success: flood.found || !dht.results.is_empty(),
+            messages: flood.messages + dht.messages,
+            hops: flood.found_at_hop.or(Some(dht.hops)),
+            faults: stats,
+        }
     }
 }
 
@@ -100,6 +176,9 @@ impl SearchSystem for HybridSearch {
         _rng: &mut Pcg64,
     ) -> SearchOutcome {
         self.queries += 1;
+        if self.faults.is_some() {
+            return self.search_faulty(world, query);
+        }
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
         let flood = self.engine.flood(
@@ -115,6 +194,7 @@ impl SearchSystem for HybridSearch {
                 success: true,
                 messages: flood.messages,
                 hops: flood.found_at_hop,
+                faults: FaultStats::default(),
             };
         }
         // Rare query: re-issue over the DHT.
@@ -125,6 +205,7 @@ impl SearchSystem for HybridSearch {
             success: flood.found || !dht.results.is_empty(),
             messages: flood.messages + dht.messages,
             hops: flood.found_at_hop.or(Some(dht.hops)),
+            faults: FaultStats::default(),
         }
     }
 
@@ -138,6 +219,7 @@ impl SearchSystem for HybridSearch {
 pub struct DhtOnlySearch {
     net: ChordNetwork,
     index: DhtIndex,
+    faults: Option<FaultContext>,
 }
 
 impl DhtOnlySearch {
@@ -145,7 +227,19 @@ impl DhtOnlySearch {
     pub fn new(world: &SearchWorld, seed: u64) -> Self {
         let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
         let index = build_index(world, &net);
-        Self { net, index }
+        Self {
+            net,
+            index,
+            faults: None,
+        }
+    }
+
+    /// Builds the ring + index with every lookup hop subject to
+    /// `faults.plan`, retried under `faults.policy`.
+    pub fn with_faults(world: &SearchWorld, seed: u64, faults: FaultContext) -> Self {
+        let mut s = Self::new(world, seed);
+        s.faults = Some(faults);
+        s
     }
 }
 
@@ -162,11 +256,30 @@ impl SearchSystem for DhtOnlySearch {
     ) -> SearchOutcome {
         let _ = world;
         let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
+        if let Some(ctx) = &mut self.faults {
+            let (time, nonce) = ctx.next_query();
+            let (out, stats) = self.index.query_keys_faulty(
+                &self.net,
+                query.source,
+                &keys,
+                &ctx.plan,
+                &ctx.policy,
+                time,
+                nonce,
+            );
+            return SearchOutcome {
+                success: !out.results.is_empty(),
+                messages: out.messages,
+                hops: Some(out.hops),
+                faults: stats,
+            };
+        }
         let out = self.index.query_keys(&self.net, query.source, &keys);
         SearchOutcome {
             success: !out.results.is_empty(),
             messages: out.messages,
             hops: Some(out.hops),
+            faults: FaultStats::default(),
         }
     }
 
@@ -293,5 +406,195 @@ mod tests {
         let w = world();
         let hybrid = HybridSearch::new(&w, 2, 10, 10);
         assert!(hybrid.maintenance_messages() > 0);
+    }
+}
+
+#[cfg(test)]
+mod faulty_tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use qcp_faults::{FaultConfig, FaultPlan, RetryPolicy};
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 500,
+            num_objects: 4_000,
+            num_terms: 5_000,
+            head_size: 100,
+            seed: 55,
+            ..Default::default()
+        })
+    }
+
+    fn ctx(n: usize, loss: f64, churn: f64, seed: u64) -> FaultContext {
+        FaultContext::new(
+            FaultPlan::build(
+                n,
+                &FaultConfig {
+                    loss,
+                    churn,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            RetryPolicy::default(),
+            seed ^ 0x0c7e,
+        )
+    }
+
+    /// Runs `queries` through a system, returning (success rate, stats).
+    fn run(
+        sys: &mut dyn SearchSystem,
+        w: &SearchWorld,
+        queries: &[QuerySpec],
+    ) -> (f64, FaultStats) {
+        let mut rng = Pcg64::new(77);
+        let mut hits = 0usize;
+        let mut stats = FaultStats::default();
+        for q in queries {
+            let out = sys.search(w, q, &mut rng);
+            hits += out.success as usize;
+            stats.absorb(&out.faults);
+        }
+        (hits as f64 / queries.len() as f64, stats)
+    }
+
+    fn queries(w: &SearchWorld, n: usize) -> Vec<QuerySpec> {
+        let mut rng = Pcg64::new(13);
+        (0..n).map(|_| w.sample_query(&mut rng)).collect()
+    }
+
+    #[test]
+    fn none_plan_hybrid_matches_fault_free_success() {
+        let w = world();
+        let qs = queries(&w, 120);
+        let mut plain = HybridSearch::new(&w, 2, 5, 4);
+        let mut faulty = HybridSearch::with_faults(
+            &w,
+            2,
+            5,
+            4,
+            FaultContext::new(FaultPlan::none(500), RetryPolicy::default(), 1),
+        );
+        let mut rng = Pcg64::new(9);
+        for q in &qs {
+            let a = plain.search(&w, q, &mut rng);
+            let b = faulty.search(&w, q, &mut rng);
+            assert_eq!(a.success, b.success, "none plan must not change outcomes");
+            // Latency ticks are charged even without faults; everything
+            // else must be zero.
+            assert_eq!(b.faults.wasted(), 0);
+            assert_eq!(b.faults.retries, 0);
+            assert_eq!(b.faults.timeouts, 0);
+            assert_eq!(b.faults.stale_misses, 0);
+        }
+        assert_eq!(plain.fallbacks, faulty.fallbacks);
+    }
+
+    #[test]
+    fn hybrid_success_falls_monotonically_with_loss() {
+        let w = world();
+        let qs = queries(&w, 200);
+        let mut rates = Vec::new();
+        for loss in [0.0f64, 0.25, 0.6] {
+            let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, loss, 0.0, 21));
+            rates.push(run(&mut sys, &w, &qs).0);
+        }
+        for wnd in rates.windows(2) {
+            assert!(
+                wnd[1] <= wnd[0] + 0.03,
+                "success must fall (within noise) as loss rises: {rates:?}"
+            );
+        }
+        assert!(
+            rates[2] < rates[0] - 0.05,
+            "60% loss must visibly hurt: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_success_falls_monotonically_with_churn() {
+        let w = world();
+        let qs = queries(&w, 200);
+        let mut rates = Vec::new();
+        for churn in [0.0f64, 0.25, 0.6] {
+            let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.0, churn, 22));
+            rates.push(run(&mut sys, &w, &qs).0);
+        }
+        for wnd in rates.windows(2) {
+            assert!(
+                wnd[1] <= wnd[0] + 0.03,
+                "success must fall (within noise) as churn rises: {rates:?}"
+            );
+        }
+        assert!(
+            rates[2] < rates[0] - 0.05,
+            "60% churn must visibly hurt: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_counters_respect_the_accounting_identities() {
+        let w = world();
+        let qs = queries(&w, 150);
+        let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.3, 0.2, 23));
+        let (_, stats) = run(&mut sys, &w, &qs);
+        assert!(stats.dropped > 0, "30% loss must drop");
+        assert!(stats.retries > 0, "DHT fallback must retry");
+        assert!(stats.timeouts > 0, "some retry budgets must exhaust");
+        assert_eq!(stats.wasted(), stats.dropped + stats.dead_targets);
+        // The flood phase is fire-and-forget (drops never retried); the
+        // DHT phase retries every drop. So across the hybrid:
+        assert!(
+            stats.retries + stats.timeouts <= stats.dropped,
+            "only the DHT share of drops is retried: {stats:?}"
+        );
+        assert!(stats.ticks > 0, "timeouts and latency must consume time");
+    }
+
+    #[test]
+    fn dht_only_drops_are_all_retried_or_timed_out() {
+        let w = world();
+        let qs = queries(&w, 120);
+        let mut sys = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.3, 0.0, 24));
+        let (rate, stats) = run(&mut sys, &w, &qs);
+        assert!(stats.dropped > 0);
+        assert_eq!(
+            stats.dropped,
+            stats.retries + stats.timeouts,
+            "request/response engine: every drop is retried or times out"
+        );
+        // Retries keep the DHT useful under 30% loss.
+        let mut clean = DhtOnlySearch::new(&w, 6);
+        let (clean_rate, _) = run(&mut clean, &w, &qs);
+        assert!(rate > clean_rate * 0.5, "{rate} vs clean {clean_rate}");
+    }
+
+    #[test]
+    fn stale_misses_surface_under_churn() {
+        let w = world();
+        let qs = queries(&w, 250);
+        let mut sys = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.0, 0.5, 25));
+        let (_, stats) = run(&mut sys, &w, &qs);
+        assert!(
+            stats.stale_misses > 0,
+            "50% churn strands postings on departed owners: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn eval_rows_carry_fault_counters() {
+        let w = world();
+        let qs = queries(&w, 60);
+        let mut faulty = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.3, 0.2, 26));
+        let mut plain = HybridSearch::new(&w, 2, 5, 4);
+        let rows = crate::eval::evaluate(
+            &w,
+            &mut [&mut faulty as &mut dyn SearchSystem, &mut plain],
+            &qs,
+            3,
+        );
+        assert!(rows[0].faults.wasted() > 0, "faulty row must degrade");
+        assert_eq!(rows[1].faults, FaultStats::default());
     }
 }

@@ -43,6 +43,6 @@ pub use hybrid::{DhtOnlySearch, HybridSearch};
 pub use qrp::QrpFloodSearch;
 pub use synopsis::{SynopsisPolicy, SynopsisSearch};
 pub use systems::{
-    ExpandingRingSearch, FloodSearch, RandomWalkSearch, SearchOutcome, SearchSystem,
+    ExpandingRingSearch, FaultContext, FloodSearch, RandomWalkSearch, SearchOutcome, SearchSystem,
 };
 pub use world::{QuerySpec, SearchWorld, WorldConfig};

@@ -151,6 +151,7 @@ impl SearchSystem for QrpFloodSearch {
             success: found_at.is_some(),
             messages,
             hops: found_at,
+            faults: Default::default(),
         }
     }
 

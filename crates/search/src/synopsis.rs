@@ -134,6 +134,7 @@ impl SearchSystem for SynopsisSearch {
                 success: false,
                 messages: 0,
                 hops: None,
+                faults: Default::default(),
             };
         }
         let graph = &world.topology.graph;
@@ -145,6 +146,7 @@ impl SearchSystem for SynopsisSearch {
                 success: true,
                 messages: 0,
                 hops: Some(0),
+                faults: Default::default(),
             };
         }
         let mut messages = 0u64;
@@ -189,6 +191,7 @@ impl SearchSystem for SynopsisSearch {
                     success: true,
                     messages,
                     hops: Some(step),
+                    faults: Default::default(),
                 };
             }
         }
@@ -196,6 +199,7 @@ impl SearchSystem for SynopsisSearch {
             success: false,
             messages,
             hops: None,
+            faults: Default::default(),
         }
     }
 

@@ -1,9 +1,10 @@
 //! The search-system interface and the two classic baselines.
 
 use crate::world::{QuerySpec, SearchWorld};
+use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
 use qcp_overlay::flood::FloodEngine;
-use qcp_overlay::walk::random_walk_search;
-use qcp_util::rng::Pcg64;
+use qcp_overlay::walk::{random_walk_search, random_walk_search_faulty};
+use qcp_util::rng::{child_seed, Pcg64};
 
 /// Result of one query through one system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -14,6 +15,46 @@ pub struct SearchOutcome {
     pub messages: u64,
     /// Hop distance at which the result was found (if any).
     pub hops: Option<u32>,
+    /// Degraded-mode accounting for this query (all zero in fault-free
+    /// runs: drops, retries, timeouts, stale index misses, ticks).
+    pub faults: FaultStats,
+}
+
+/// Per-system fault context: the shared [`FaultPlan`], the retry policy
+/// for request/response engines, and a query clock.
+///
+/// Each query the system serves advances the clock by one tick (wrapping
+/// at the plan horizon), so the plan's churn schedule plays out across a
+/// workload; per-query fault nonces come from a dedicated `child_seed`
+/// stream, so attaching faults never perturbs the query RNG.
+#[derive(Debug, Clone)]
+pub struct FaultContext {
+    /// The fault plan every transmission consults.
+    pub plan: FaultPlan,
+    /// Retry/backoff policy for DHT-style request/response hops.
+    pub policy: RetryPolicy,
+    clock: u64,
+    nonce_seed: u64,
+}
+
+impl FaultContext {
+    /// Creates a context at tick 0.
+    pub fn new(plan: FaultPlan, policy: RetryPolicy, nonce_seed: u64) -> Self {
+        Self {
+            plan,
+            policy,
+            clock: 0,
+            nonce_seed,
+        }
+    }
+
+    /// Advances the query clock; returns `(time, nonce)` for this query.
+    pub fn next_query(&mut self) -> (u64, u64) {
+        let time = self.clock % self.plan.horizon().max(1);
+        let nonce = child_seed(self.nonce_seed, self.clock);
+        self.clock = self.clock.wrapping_add(1);
+        (time, nonce)
+    }
 }
 
 /// A search system: given a world and a query, locate a matching peer.
@@ -39,6 +80,7 @@ pub struct FloodSearch {
     pub ttl: u32,
     engine: FloodEngine,
     forwarders: Vec<bool>,
+    faults: Option<FaultContext>,
 }
 
 impl FloodSearch {
@@ -48,7 +90,16 @@ impl FloodSearch {
             ttl,
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
+            faults: None,
         }
+    }
+
+    /// Creates a flooding system whose every transmission consults
+    /// `faults` (fire-and-forget: drops are never retried).
+    pub fn with_faults(world: &SearchWorld, ttl: u32, faults: FaultContext) -> Self {
+        let mut s = Self::new(world, ttl);
+        s.faults = Some(faults);
+        s
     }
 }
 
@@ -65,6 +116,25 @@ impl SearchSystem for FloodSearch {
     ) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
+        if let Some(ctx) = &mut self.faults {
+            let (time, nonce) = ctx.next_query();
+            let (out, stats) = self.engine.flood_faulty(
+                &world.topology.graph,
+                query.source,
+                self.ttl,
+                &holders,
+                Some(&self.forwarders),
+                &ctx.plan,
+                time,
+                nonce,
+            );
+            return SearchOutcome {
+                success: out.found,
+                messages: out.messages,
+                hops: out.found_at_hop,
+                faults: stats,
+            };
+        }
         let out = self.engine.flood(
             &world.topology.graph,
             query.source,
@@ -76,6 +146,7 @@ impl SearchSystem for FloodSearch {
             success: out.found,
             messages: out.messages,
             hops: out.found_at_hop,
+            faults: FaultStats::default(),
         }
     }
 }
@@ -87,12 +158,25 @@ pub struct RandomWalkSearch {
     pub walkers: usize,
     /// Steps per walker.
     pub ttl: u32,
+    faults: Option<FaultContext>,
 }
 
 impl RandomWalkSearch {
     /// Creates a walk system.
     pub fn new(walkers: usize, ttl: u32) -> Self {
-        Self { walkers, ttl }
+        Self {
+            walkers,
+            ttl,
+            faults: None,
+        }
+    }
+
+    /// Creates a walk system running under `faults`: a step toward a
+    /// dead or unreachable peer strands the walker for that step.
+    pub fn with_faults(walkers: usize, ttl: u32, faults: FaultContext) -> Self {
+        let mut s = Self::new(walkers, ttl);
+        s.faults = Some(faults);
+        s
     }
 }
 
@@ -104,6 +188,26 @@ impl SearchSystem for RandomWalkSearch {
     fn search(&mut self, world: &SearchWorld, query: &QuerySpec, rng: &mut Pcg64) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
+        if let Some(ctx) = &mut self.faults {
+            let (time, nonce) = ctx.next_query();
+            let (out, stats) = random_walk_search_faulty(
+                &world.topology.graph,
+                query.source,
+                self.walkers,
+                self.ttl,
+                &holders,
+                rng,
+                &ctx.plan,
+                time,
+                nonce,
+            );
+            return SearchOutcome {
+                success: out.found,
+                messages: out.messages,
+                hops: out.found_at_step,
+                faults: stats,
+            };
+        }
         let out = random_walk_search(
             &world.topology.graph,
             query.source,
@@ -116,6 +220,7 @@ impl SearchSystem for RandomWalkSearch {
             success: out.found,
             messages: out.messages,
             hops: out.found_at_step,
+            faults: FaultStats::default(),
         }
     }
 }
@@ -231,6 +336,7 @@ pub struct ExpandingRingSearch {
     pub max_ttl: u32,
     engine: FloodEngine,
     forwarders: Vec<bool>,
+    faults: Option<FaultContext>,
 }
 
 impl ExpandingRingSearch {
@@ -240,7 +346,16 @@ impl ExpandingRingSearch {
             max_ttl,
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
+            faults: None,
         }
+    }
+
+    /// Creates an expanding-ring system under `faults`: each ring is an
+    /// independent lossy flood, so deeper rings double as coarse retries.
+    pub fn with_faults(world: &SearchWorld, max_ttl: u32, faults: FaultContext) -> Self {
+        let mut s = Self::new(world, max_ttl);
+        s.faults = Some(faults);
+        s
     }
 }
 
@@ -257,6 +372,26 @@ impl SearchSystem for ExpandingRingSearch {
     ) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
+        if let Some(ctx) = &mut self.faults {
+            let (time, nonce) = ctx.next_query();
+            let (out, stats) = qcp_overlay::expanding::expanding_ring_search_faulty(
+                &mut self.engine,
+                &world.topology.graph,
+                query.source,
+                self.max_ttl,
+                &holders,
+                Some(&self.forwarders),
+                &ctx.plan,
+                time,
+                nonce,
+            );
+            return SearchOutcome {
+                success: out.found,
+                messages: out.messages,
+                hops: out.found_at_ttl,
+                faults: stats,
+            };
+        }
         let out = qcp_overlay::expanding::expanding_ring_search(
             &mut self.engine,
             &world.topology.graph,
@@ -269,6 +404,7 @@ impl SearchSystem for ExpandingRingSearch {
             success: out.found,
             messages: out.messages,
             hops: out.found_at_ttl,
+            faults: FaultStats::default(),
         }
     }
 }

@@ -154,14 +154,16 @@ impl Default for LintConfig {
     fn default() -> Self {
         Self {
             sim_facing: [
-                "overlay", "search", "dht", "sketch", "tracegen", "analysis", "terms", "zipf",
-                "core",
+                "overlay", "search", "dht", "faults", "sketch", "tracegen", "analysis", "terms",
+                "zipf", "core",
             ]
             .map(String::from)
             .to_vec(),
-            hot_path: ["overlay", "search", "dht", "sketch", "zipf", "core", "xpar"]
-                .map(String::from)
-                .to_vec(),
+            hot_path: [
+                "overlay", "search", "dht", "faults", "sketch", "zipf", "core", "xpar",
+            ]
+            .map(String::from)
+            .to_vec(),
             unsafe_allowed: ["xpar"].map(String::from).to_vec(),
         }
     }

@@ -106,3 +106,145 @@ fn different_seeds_actually_differ() {
     let b = fig8_fingerprint(&pool, 0xf19);
     assert_ne!(a, b, "fingerprint must be sensitive to the seed");
 }
+
+// ---------------------------------------------------------------------
+// fig8-churn: the fault-injected grid obeys the same contract. Fault
+// draws are stateless hashes of (plan seed, edge, nonce, message index)
+// and fault nonces live on their own seed stream, so neither thread
+// width nor the presence of a plan may perturb a single bit.
+// ---------------------------------------------------------------------
+
+use qcp_bench::fig8churn::{fig8_churn_data, Fig8ChurnCell};
+use qcp_bench::{Repro, Scale};
+
+fn churn_session() -> Repro {
+    let mut r = Repro::new(std::env::temp_dir().join("qcp-determinism"), Scale::Test);
+    r.trials = 40;
+    r.seed = 0xf8c;
+    r
+}
+
+/// Every f64 as raw bits + every integer counter, in grid order.
+fn churn_fingerprint(grid: &[Fig8ChurnCell]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for cell in grid {
+        out.push(cell.loss.to_bits());
+        out.push(cell.churn.to_bits());
+        for fp in &cell.flood {
+            out.push(fp.point.ttl as u64);
+            out.push(fp.point.success_rate.to_bits());
+            out.push(fp.point.mean_messages.to_bits());
+            out.push(fp.point.mean_reach_fraction.to_bits());
+            out.push(fp.faults.dropped);
+            out.push(fp.faults.dead_targets);
+            out.push(fp.faults.ticks);
+            out.push(fp.dead_sources);
+        }
+        for row in &cell.systems {
+            out.push(row.success_rate.to_bits());
+            out.push(row.mean_messages.to_bits());
+            out.push(row.mean_success_hops.to_bits());
+            out.push(row.faults.dropped);
+            out.push(row.faults.dead_targets);
+            out.push(row.faults.retries);
+            out.push(row.faults.timeouts);
+            out.push(row.faults.stale_misses);
+            out.push(row.faults.ticks);
+        }
+    }
+    out
+}
+
+#[test]
+fn fig8_churn_same_seed_is_bit_identical() {
+    let r = churn_session();
+    let pool = Pool::new(2);
+    let a = churn_fingerprint(&fig8_churn_data(&r, &pool));
+    let b = churn_fingerprint(&fig8_churn_data(&r, &pool));
+    assert_eq!(a, b, "fig8-churn must reproduce bit-identical results");
+}
+
+#[test]
+fn fig8_churn_thread_width_does_not_leak() {
+    let r = churn_session();
+    let a = churn_fingerprint(&fig8_churn_data(&r, &Pool::new(1)));
+    let b = churn_fingerprint(&fig8_churn_data(&r, &Pool::new(4)));
+    assert_eq!(
+        a, b,
+        "fault draws are stateless hashes keyed per trial; pool width \
+         must not perturb them"
+    );
+}
+
+#[test]
+fn fig8_churn_zero_fault_cell_reproduces_fig8() {
+    // The (loss=0, churn=0) cell must equal the fault-free Figure-8 Zipf
+    // sweep bit-for-bit: fault nonces are drawn from a separate seed
+    // stream, so the trial RNGs consume identical randomness.
+    let r = churn_session();
+    let pool = Pool::new(2);
+    let grid = fig8_churn_data(&r, &pool);
+    let clean = grid
+        .iter()
+        .find(|c| c.loss == 0.0 && c.churn == 0.0)
+        .expect("grid contains the fault-free cell");
+    assert_eq!(clean.flood.iter().map(|f| f.faults.dropped).sum::<u64>(), 0);
+    assert_eq!(clean.flood.iter().map(|f| f.dead_sources).sum::<u64>(), 0);
+
+    let topo = gnutella_two_tier(&qcp_bench::figures::fig8_topology(Scale::Test));
+    let fwd = topo.forwarders();
+    let n = topo.graph.num_nodes() as u32;
+    let placement = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        n,
+        (n / 2).max(1_000),
+        r.seed ^ 0x21f,
+    );
+    let sim = SimConfig {
+        trials: r.trials,
+        seed: r.seed,
+        ..Default::default()
+    };
+    let plain = sweep_ttl(
+        &pool,
+        &topo.graph,
+        &placement,
+        Some(&fwd),
+        &[1, 2, 3, 4, 5],
+        &sim,
+    );
+    assert_eq!(plain.len(), clean.flood.len());
+    for (p, f) in plain.iter().zip(&clean.flood) {
+        assert_eq!(p.ttl, f.point.ttl);
+        assert_eq!(
+            p.success_rate.to_bits(),
+            f.point.success_rate.to_bits(),
+            "ttl {}: zero-fault success must match fig8 exactly",
+            p.ttl
+        );
+        assert_eq!(p.mean_messages.to_bits(), f.point.mean_messages.to_bits());
+        assert_eq!(
+            p.mean_reach_fraction.to_bits(),
+            f.point.mean_reach_fraction.to_bits()
+        );
+    }
+}
+
+#[test]
+fn fig8_churn_faults_actually_bite() {
+    // Guard: the heaviest cell must differ from the clean one, otherwise
+    // the identity tests above could pass on a plan that never fires.
+    let r = churn_session();
+    let pool = Pool::new(2);
+    let grid = fig8_churn_data(&r, &pool);
+    let clean = &grid[0];
+    let worst = grid
+        .iter()
+        .max_by(|a, b| (a.loss + a.churn).total_cmp(&(b.loss + b.churn)))
+        .expect("nonempty grid");
+    assert!(worst.flood.iter().any(|f| f.faults.dropped > 0));
+    assert_ne!(
+        churn_fingerprint(std::slice::from_ref(clean)),
+        churn_fingerprint(std::slice::from_ref(worst))
+    );
+}
