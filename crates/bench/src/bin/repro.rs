@@ -1,13 +1,15 @@
 //! `repro` — regenerate every figure and table of the paper.
 //!
 //! ```text
-//! repro [--scale test|default|paper] [--out DIR] [--trials N] [--seed S] ARTIFACT...
+//! repro [--scale test|smoke|default|paper] [--out DIR] [--trials N] [--seed S] ARTIFACT...
 //! repro all
+//! repro bench --scale smoke   # census-vs-reference perf gate + BENCH_fig8.json
 //! repro list
 //! ```
 //!
 //! Artifacts: fig1..fig8, fig8-churn, table1..table3, ablation-synopsis,
-//! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk.
+//! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk, and
+//! `bench` (the Figure-8 perf-trajectory harness; not part of `all`).
 
 #![forbid(unsafe_code)]
 
@@ -15,8 +17,8 @@ use qcp_bench::{Repro, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale test|default|paper] [--out DIR] [--trials N] [--seed S] <artifact>...\n\
-         artifacts: {} | all | list",
+        "usage: repro [--scale test|smoke|default|paper] [--out DIR] [--trials N] [--seed S] <artifact>...\n\
+         artifacts: {} | bench | all | list",
         Repro::all_artifacts().join(" | ")
     );
     std::process::exit(2);

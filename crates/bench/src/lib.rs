@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod fig8churn;
 pub mod figures;
+pub mod timing;
 
 use qcp_core::{AnalyzerConfig, Findings, QueryCentricAnalyzer};
 use std::path::{Path, PathBuf};
@@ -32,10 +33,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses a `--scale` argument.
+    /// Parses a `--scale` argument (`smoke` is an alias of `test`,
+    /// matching the `repro bench` CI gate's vocabulary).
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
-            "test" => Some(Scale::Test),
+            "test" | "smoke" => Some(Scale::Test),
             "default" => Some(Scale::Default),
             "paper" => Some(Scale::Paper),
             _ => None,
@@ -125,6 +127,7 @@ impl Repro {
             "ablation-churn" => ablations::churn(self),
             "ablation-structured" => ablations::structured(self),
             "ablation-adaptation" => ablations::adaptation(self),
+            "bench" => timing::bench(self),
             other => panic!("unknown artifact '{other}'"),
         }
     }
@@ -172,6 +175,7 @@ mod tests {
     #[test]
     fn scale_parses() {
         assert_eq!(Scale::parse("test"), Some(Scale::Test));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Test));
         assert_eq!(Scale::parse("default"), Some(Scale::Default));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("bogus"), None);

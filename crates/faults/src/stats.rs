@@ -44,6 +44,21 @@ impl FaultStats {
         self.stale_misses += other.stale_misses;
         self.ticks += other.ticks;
     }
+
+    /// Turns a slice of *per-level increments* into *cumulative prefix
+    /// sums* in place: after the call, `levels[i]` holds the counters a
+    /// search truncated at level `i` would have accumulated.
+    ///
+    /// This is the hop-census companion (`FloodEngine::flood_census_faulty`
+    /// records one increment per BFS level): because every counter is
+    /// additive, the TTL-`t` flood's fault accounting is exactly the
+    /// prefix sum of the per-level draws of the TTL-max flood.
+    pub fn accumulate_prefix(levels: &mut [FaultStats]) {
+        for i in 1..levels.len() {
+            let prev = levels[i - 1];
+            levels[i].absorb(&prev);
+        }
+    }
 }
 
 /// Bounded-retry-with-exponential-backoff policy for request/response
@@ -133,6 +148,40 @@ mod tests {
             backoff: 3,
         };
         assert_eq!(p.timeout_after(199), u64::MAX);
+    }
+
+    #[test]
+    fn accumulate_prefix_builds_running_totals() {
+        let mut levels = [
+            FaultStats {
+                dropped: 1,
+                ..Default::default()
+            },
+            FaultStats {
+                dropped: 2,
+                dead_targets: 5,
+                ..Default::default()
+            },
+            FaultStats {
+                ticks: 3,
+                ..Default::default()
+            },
+        ];
+        FaultStats::accumulate_prefix(&mut levels);
+        assert_eq!(levels[0].dropped, 1);
+        assert_eq!(levels[1].dropped, 3);
+        assert_eq!(levels[1].dead_targets, 5);
+        assert_eq!(levels[2].dropped, 3);
+        assert_eq!(levels[2].dead_targets, 5);
+        assert_eq!(levels[2].ticks, 3);
+        // Idempotent on empty and singleton slices.
+        FaultStats::accumulate_prefix(&mut []);
+        let mut one = [FaultStats {
+            retries: 9,
+            ..Default::default()
+        }];
+        FaultStats::accumulate_prefix(&mut one);
+        assert_eq!(one[0].retries, 9);
     }
 
     #[test]

@@ -4,8 +4,25 @@
 //! success. Cheaper than a full flood for nearby content, more expensive
 //! for distant content (early rings are re-covered) — the standard
 //! trade-off the hybrid designs in §V try to exploit.
+//!
+//! # Census-backed ring accounting
+//!
+//! A TTL-`t` flood is a prefix of the TTL-`max` flood, so the per-ring
+//! costs of the whole iterative-deepening schedule can be read off **one**
+//! BFS: [`FloodEngine::flood_census_pruned`] runs a single flood that
+//! stops at the first level containing a holder, and every ring's
+//! `(reached, messages)` is a prefix snapshot ([`CensusOutcome::at`]).
+//! The fault-free search below does exactly that — one BFS instead of
+//! `r*` overlapping ones, with bitwise-identical outcomes (pinned by the
+//! `matches_naive_*` tests against the naive per-ring oracle).
+//!
+//! The *faulty* search cannot be censused: each ring is an independent
+//! transmission with its own drop nonce (`mix64(nonce ^ ttl)`), so ring
+//! `t+1` re-draws every edge rather than extending ring `t`'s draws. That
+//! asymmetry is deliberate — iterative deepening doubles as coarse retry
+//! under loss — so the faulty path keeps the per-ring loop.
 
-use crate::flood::{FloodEngine, FloodOutcome};
+use crate::flood::{CensusOutcome, FloodEngine, FloodOutcome};
 use crate::graph::Graph;
 use qcp_faults::{FaultPlan, FaultStats};
 use qcp_util::hash::mix64;
@@ -21,22 +38,22 @@ pub struct ExpandingOutcome {
     pub messages: u64,
     /// Peers reached by the final (successful or last) ring.
     pub final_reach: u32,
+    /// Number of rings attempted (TTL-1 through the final ring).
+    pub rings: u32,
 }
 
-/// Runs the expanding-ring search.
-pub fn expanding_ring_search(
-    engine: &mut FloodEngine,
-    graph: &Graph,
-    source: u32,
-    max_ttl: u32,
-    holders: &[u32],
-    forwarders: Option<&[bool]>,
-) -> ExpandingOutcome {
+/// Folds the iterative-deepening schedule over a hop census: ring `t`
+/// costs `census.at(t).messages` (a full standalone TTL-`t` flood), the
+/// schedule stops at the first successful ring or once a ring covers the
+/// whole graph.
+fn schedule_over_census(census: &CensusOutcome, max_ttl: u32, num_nodes: u32) -> ExpandingOutcome {
     let mut total_messages = 0u64;
+    let mut rings = 0u32;
     let mut last: Option<FloodOutcome> = None;
     for ttl in 1..=max_ttl {
-        let out = engine.flood(graph, source, ttl, holders, forwarders);
+        let out = census.at(ttl);
         total_messages += out.messages;
+        rings += 1;
         let found = out.found;
         let reached = out.reached;
         last = Some(out);
@@ -46,13 +63,12 @@ pub fn expanding_ring_search(
                 found_at_ttl: Some(ttl),
                 messages: total_messages,
                 final_reach: reached,
+                rings,
             };
         }
-        // If the ring stopped growing the network is exhausted.
-        if let Some(prev) = last {
-            if ttl > 1 && prev.reached == reached && reached == graph.num_nodes() as u32 {
-                break;
-            }
+        // If the ring covers the whole network, deeper rings are futile.
+        if ttl > 1 && reached == num_nodes {
+            break;
         }
     }
     ExpandingOutcome {
@@ -60,14 +76,35 @@ pub fn expanding_ring_search(
         found_at_ttl: None,
         messages: total_messages,
         final_reach: last.map(|o| o.reached).unwrap_or(1),
+        rings,
     }
+}
+
+/// Runs the expanding-ring search.
+///
+/// Internally performs **one** pruned hop-census BFS and reconstructs the
+/// per-ring cost schedule from its prefix snapshots — equivalent to (and
+/// pinned bitwise against) flooding each ring from scratch, at roughly
+/// `1/r*` of the cost for a hit on ring `r*`.
+pub fn expanding_ring_search(
+    engine: &mut FloodEngine,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+) -> ExpandingOutcome {
+    let census = engine.flood_census_pruned(graph, source, max_ttl, holders, forwarders);
+    schedule_over_census(&census, max_ttl, graph.num_nodes() as u32)
 }
 
 /// Fault-aware expanding-ring search: each ring floods through
 /// [`FloodEngine::flood_faulty`]. Rings are independent transmissions, so
 /// each ring gets its own drop nonce (`mix64(nonce ^ ttl)`): a message
 /// lost at TTL 2 may succeed on the retry implicit in the TTL-3 ring —
-/// iterative deepening doubles as coarse retry under loss.
+/// iterative deepening doubles as coarse retry under loss. Because the
+/// per-ring nonces differ, rings are *not* prefixes of one another and
+/// the census shortcut does not apply (see the module docs).
 #[allow(clippy::too_many_arguments)] // mirrors the plain search + fault context
 pub fn expanding_ring_search_faulty(
     engine: &mut FloodEngine,
@@ -81,6 +118,7 @@ pub fn expanding_ring_search_faulty(
     nonce: u64,
 ) -> (ExpandingOutcome, FaultStats) {
     let mut total_messages = 0u64;
+    let mut rings = 0u32;
     let mut stats = FaultStats::default();
     let mut last: Option<FloodOutcome> = None;
     for ttl in 1..=max_ttl {
@@ -96,6 +134,7 @@ pub fn expanding_ring_search_faulty(
         );
         stats.absorb(&ring_stats);
         total_messages += out.messages;
+        rings += 1;
         let found = out.found;
         let reached = out.reached;
         last = Some(out);
@@ -106,15 +145,14 @@ pub fn expanding_ring_search_faulty(
                     found_at_ttl: Some(ttl),
                     messages: total_messages,
                     final_reach: reached,
+                    rings,
                 },
                 stats,
             );
         }
-        // If the ring stopped growing the network is exhausted.
-        if let Some(prev) = last {
-            if ttl > 1 && prev.reached == reached && reached == graph.num_nodes() as u32 {
-                break;
-            }
+        // If the ring covers the whole network, deeper rings are futile.
+        if ttl > 1 && reached == graph.num_nodes() as u32 {
+            break;
         }
     }
     (
@@ -123,6 +161,7 @@ pub fn expanding_ring_search_faulty(
             found_at_ttl: None,
             messages: total_messages,
             final_reach: last.map(|o| o.reached).unwrap_or(1),
+            rings,
         },
         stats,
     )
@@ -137,6 +176,47 @@ mod tests {
         Graph::from_edges(n, &edges)
     }
 
+    /// The pre-census oracle: literally flood every ring from scratch.
+    fn naive_expanding_ring(
+        engine: &mut FloodEngine,
+        graph: &Graph,
+        source: u32,
+        max_ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+    ) -> ExpandingOutcome {
+        let mut total_messages = 0u64;
+        let mut rings = 0u32;
+        let mut last: Option<FloodOutcome> = None;
+        for ttl in 1..=max_ttl {
+            let out = engine.flood(graph, source, ttl, holders, forwarders);
+            total_messages += out.messages;
+            rings += 1;
+            let found = out.found;
+            let reached = out.reached;
+            last = Some(out);
+            if found {
+                return ExpandingOutcome {
+                    found: true,
+                    found_at_ttl: Some(ttl),
+                    messages: total_messages,
+                    final_reach: reached,
+                    rings,
+                };
+            }
+            if ttl > 1 && reached == graph.num_nodes() as u32 {
+                break;
+            }
+        }
+        ExpandingOutcome {
+            found: false,
+            found_at_ttl: None,
+            messages: total_messages,
+            final_reach: last.map(|o| o.reached).unwrap_or(1),
+            rings,
+        }
+    }
+
     #[test]
     fn stops_at_first_successful_ring() {
         let g = path(10);
@@ -144,6 +224,7 @@ mod tests {
         let out = expanding_ring_search(&mut e, &g, 0, 9, &[3], None);
         assert!(out.found);
         assert_eq!(out.found_at_ttl, Some(3));
+        assert_eq!(out.rings, 3);
     }
 
     #[test]
@@ -164,6 +245,33 @@ mod tests {
         assert!(!out.found);
         assert!(out.messages > 0);
         assert_eq!(out.found_at_ttl, None);
+        assert_eq!(out.rings, 2);
+    }
+
+    #[test]
+    fn matches_naive_per_ring_floods_on_random_graphs() {
+        // The census-backed search must be bitwise-identical to flooding
+        // every ring from scratch: hits, misses, masks, saturation.
+        for seed in 0..4u64 {
+            let g = crate::topology::erdos_renyi(400, 4.0, seed).graph;
+            let mut masked = vec![true; 400];
+            for i in (0..400).step_by(3) {
+                masked[i] = false;
+            }
+            let mut e = FloodEngine::new(400);
+            for (src, holders, fwd) in [
+                (0u32, vec![333u32], None),
+                (7, vec![], None),
+                (11, vec![11], None),
+                (5, vec![120, 300], Some(&masked)),
+                (2, vec![399], Some(&masked)),
+            ] {
+                let fwd: Option<&[bool]> = fwd.map(|m: &Vec<bool>| m.as_slice());
+                let fast = expanding_ring_search(&mut e, &g, src, 9, &holders, fwd);
+                let slow = naive_expanding_ring(&mut e, &g, src, 9, &holders, fwd);
+                assert_eq!(fast, slow, "seed {seed} src {src}");
+            }
+        }
     }
 
     #[test]
@@ -197,6 +305,7 @@ mod tests {
         assert!(!out.found);
         assert!(stats.dropped > 0, "50% loss over 5 rings must drop");
         assert!(stats.wasted() <= out.messages);
+        assert_eq!(out.rings, 5);
     }
 
     #[test]
@@ -207,5 +316,23 @@ mod tests {
         let out = expanding_ring_search(&mut e, &g, 2, 4, &[2], None);
         assert!(out.found);
         assert_eq!(out.found_at_ttl, Some(1));
+        assert_eq!(out.rings, 1);
+    }
+
+    #[test]
+    fn zero_max_ttl_is_a_no_op() {
+        let g = path(5);
+        let mut e = FloodEngine::new(5);
+        let out = expanding_ring_search(&mut e, &g, 0, 0, &[4], None);
+        assert_eq!(
+            out,
+            ExpandingOutcome {
+                found: false,
+                found_at_ttl: None,
+                messages: 0,
+                final_reach: 1,
+                rings: 0,
+            }
+        );
     }
 }

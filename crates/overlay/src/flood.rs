@@ -7,9 +7,65 @@
 //!
 //! [`FloodEngine`] is a reusable BFS context: visit marks are epoch-stamped
 //! `u32`s, so consecutive queries on the same graph allocate nothing.
+//!
+//! # The hop census and the BFS prefix property
+//!
+//! A TTL-`t` flood executes *exactly* the first `t` levels of a TTL-max
+//! flood: the frontier at hop `h` is a pure function of the first `h`
+//! levels, message counters advance transmission by transmission in the
+//! same order, and fault draws key on `(edge, nonce, message index)` —
+//! none of which mention the TTL. [`FloodEngine::flood_census`] exploits
+//! this: one BFS at `max_ttl` records, per hop level, the cumulative
+//! `reached`/`messages` (and, in the faulty variant, cumulative fault
+//! counters), from which [`CensusOutcome::at`] reconstructs the
+//! [`FloodOutcome`] of *every* TTL ≤ `max_ttl` bit for bit. An 8-point
+//! TTL curve then costs one expanding ball instead of the sum of eight.
 
 use crate::graph::Graph;
 use qcp_faults::{FaultPlan, FaultStats};
+
+/// Per-hop census of one flood: the cumulative coverage and cost of every
+/// TTL prefix of a single BFS (see the module docs for why prefixes of
+/// one flood *are* independent shorter floods).
+///
+/// Index `h` of [`Self::reached`]/[`Self::messages`] holds the values a
+/// standalone TTL-`h` flood would report. The vectors stop at the level
+/// where the BFS exhausted the graph (or at `max_ttl`); [`Self::at`]
+/// clamps, because a deeper flood of a dead frontier changes nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CensusOutcome {
+    /// `reached[h]` — distinct peers a TTL-`h` flood reaches (index 0 is
+    /// the source alone; all-zero when a faulty census had a dead source).
+    pub reached: Vec<u32>,
+    /// `messages[h]` — query messages a TTL-`h` flood sends.
+    pub messages: Vec<u64>,
+    /// Hop at which the first holder is reached, if any (TTL-independent:
+    /// every flood deep enough finds it at this hop, shallower ones miss).
+    pub first_hit_hop: Option<u32>,
+}
+
+impl CensusOutcome {
+    /// Deepest recorded level (the BFS ran `levels()` hops before the
+    /// TTL cap or frontier exhaustion stopped it).
+    pub fn levels(&self) -> u32 {
+        debug_assert_eq!(self.reached.len(), self.messages.len());
+        self.reached.len() as u32 - 1
+    }
+
+    /// Reconstructs the outcome of a standalone TTL-`ttl` flood from the
+    /// census. For `ttl` beyond the recorded levels the flood had already
+    /// exhausted its frontier, so the last level's numbers stand.
+    pub fn at(&self, ttl: u32) -> FloodOutcome {
+        let level = ttl.min(self.levels()) as usize;
+        let found_at_hop = self.first_hit_hop.filter(|&h| h <= ttl);
+        FloodOutcome {
+            found: found_at_hop.is_some(),
+            found_at_hop,
+            reached: self.reached[level],
+            messages: self.messages[level],
+        }
+    }
+}
 
 /// Result of one flooded query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +182,200 @@ impl FloodEngine {
             reached,
             messages,
         }
+    }
+
+    /// Hop-census flood: one BFS at `max_ttl` whose per-level snapshots
+    /// reconstruct the [`FloodOutcome`] of every TTL ≤ `max_ttl`
+    /// ([`CensusOutcome::at`]), bit-identical to running [`Self::flood`]
+    /// separately at each TTL (pinned by tests and proptests).
+    pub fn flood_census(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        max_ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+    ) -> CensusOutcome {
+        self.census_impl(graph, source, max_ttl, holders, forwarders, false)
+    }
+
+    /// Like [`Self::flood_census`], but stops expanding as soon as the
+    /// level containing the first holder hit is complete — the
+    /// expanding-ring driver, which never needs prefix sums past its
+    /// successful ring. Levels up to the stop point are identical to
+    /// [`Self::flood_census`]'s.
+    pub fn flood_census_pruned(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        max_ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+    ) -> CensusOutcome {
+        self.census_impl(graph, source, max_ttl, holders, forwarders, true)
+    }
+
+    fn census_impl(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        max_ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+        stop_on_hit: bool,
+    ) -> CensusOutcome {
+        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+        self.begin();
+        let epoch = self.epoch;
+        let mut reached = 1u32;
+        let mut messages = 0u64;
+        let mut first_hit_hop = None;
+        self.mark[source as usize] = epoch;
+        if holders.binary_search(&source).is_ok() {
+            first_hit_hop = Some(0);
+        }
+        self.frontier.push(source);
+        let mut cum_reached = Vec::with_capacity(max_ttl as usize + 1);
+        let mut cum_messages = Vec::with_capacity(max_ttl as usize + 1);
+        cum_reached.push(reached);
+        cum_messages.push(messages);
+        let mut hop = 0u32;
+        while hop < max_ttl && !self.frontier.is_empty() {
+            hop += 1;
+            self.next.clear();
+            for &u in &self.frontier {
+                // Only forwarders expand (the source always sends).
+                if u != source {
+                    if let Some(mask) = forwarders {
+                        if !mask[u as usize] {
+                            continue;
+                        }
+                    }
+                }
+                for &v in graph.neighbors(u) {
+                    messages += 1;
+                    if self.mark[v as usize] != epoch {
+                        self.mark[v as usize] = epoch;
+                        reached += 1;
+                        if first_hit_hop.is_none() && holders.binary_search(&v).is_ok() {
+                            first_hit_hop = Some(hop);
+                        }
+                        self.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            cum_reached.push(reached);
+            cum_messages.push(messages);
+            // Expanding-ring early exit: the successful ring is
+            // `max(first_hit_hop, 1)`, and its prefix sums are complete
+            // once this level is.
+            if stop_on_hit && first_hit_hop.is_some() {
+                break;
+            }
+        }
+        CensusOutcome {
+            reached: cum_reached,
+            messages: cum_messages,
+            first_hit_hop,
+        }
+    }
+
+    /// Fault-aware hop census: one faulty BFS at `max_ttl`, per-level
+    /// snapshots plus *cumulative* per-level [`FaultStats`] (entry `h` =
+    /// the counters a standalone TTL-`h` [`Self::flood_faulty`] with the
+    /// same `(plan, time, nonce)` reports). Fault draws key on
+    /// `(edge, nonce, message index)` and message indices advance
+    /// identically in every TTL prefix, so the reconstruction is exact —
+    /// bit for bit, drops included. A dead source yields the all-zero
+    /// census, mirroring [`Self::flood_faulty`].
+    #[allow(clippy::too_many_arguments)] // mirrors `flood_faulty`
+    pub fn flood_census_faulty(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        max_ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+        plan: &FaultPlan,
+        time: u64,
+        nonce: u64,
+    ) -> (CensusOutcome, Vec<FaultStats>) {
+        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+        if !plan.alive_at(source, time) {
+            return (
+                CensusOutcome {
+                    reached: vec![0],
+                    messages: vec![0],
+                    first_hit_hop: None,
+                },
+                vec![FaultStats::default()],
+            );
+        }
+        self.begin();
+        let epoch = self.epoch;
+        let mut reached = 1u32;
+        let mut messages = 0u64;
+        let mut first_hit_hop = None;
+        self.mark[source as usize] = epoch;
+        if holders.binary_search(&source).is_ok() {
+            first_hit_hop = Some(0);
+        }
+        self.frontier.push(source);
+        let mut cum_reached = Vec::with_capacity(max_ttl as usize + 1);
+        let mut cum_messages = Vec::with_capacity(max_ttl as usize + 1);
+        let mut level_stats = Vec::with_capacity(max_ttl as usize + 1);
+        cum_reached.push(reached);
+        cum_messages.push(messages);
+        level_stats.push(FaultStats::default());
+        let mut hop = 0u32;
+        while hop < max_ttl && !self.frontier.is_empty() {
+            hop += 1;
+            self.next.clear();
+            let mut stats = FaultStats::default();
+            for &u in &self.frontier {
+                // Only forwarders expand (the source always sends).
+                if u != source {
+                    if let Some(mask) = forwarders {
+                        if !mask[u as usize] {
+                            continue;
+                        }
+                    }
+                }
+                for &v in graph.neighbors(u) {
+                    messages += 1;
+                    if !plan.alive_at(v, time) {
+                        stats.dead_targets += 1;
+                        continue;
+                    }
+                    if plan.drop_message(u, v, nonce, messages) {
+                        stats.dropped += 1;
+                        continue;
+                    }
+                    if self.mark[v as usize] != epoch {
+                        self.mark[v as usize] = epoch;
+                        reached += 1;
+                        if first_hit_hop.is_none() && holders.binary_search(&v).is_ok() {
+                            first_hit_hop = Some(hop);
+                        }
+                        self.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            cum_reached.push(reached);
+            cum_messages.push(messages);
+            level_stats.push(stats);
+        }
+        FaultStats::accumulate_prefix(&mut level_stats);
+        (
+            CensusOutcome {
+                reached: cum_reached,
+                messages: cum_messages,
+                first_hit_hop,
+            },
+            level_stats,
+        )
     }
 
     /// Fault-aware flood: like [`Self::flood`], but every transmission
@@ -342,6 +592,74 @@ mod tests {
         let out = e.flood(&g, 0, 4, &[], None);
         assert_eq!(out.reached, 4);
     }
+
+    #[test]
+    fn census_prefixes_equal_standalone_floods() {
+        // The prefix property, exhaustively on a random graph: every TTL
+        // slice of one census must equal an independent flood.
+        let g = crate::topology::erdos_renyi(400, 5.0, 77).graph;
+        let mut a = FloodEngine::new(400);
+        let mut b = FloodEngine::new(400);
+        for src in [0u32, 9, 250, 399] {
+            let holders = [src / 3, 120, 377];
+            let mut h: Vec<u32> = holders.to_vec();
+            h.sort_unstable();
+            h.dedup();
+            let census = a.flood_census(&g, src, 7, &h, None);
+            for ttl in 0..=9u32 {
+                let plain = b.flood(&g, src, ttl.min(7), &h, None);
+                if ttl <= 7 {
+                    assert_eq!(census.at(ttl), plain, "src {src} ttl {ttl}");
+                }
+            }
+            // Beyond max_ttl the census clamps to its last level.
+            assert_eq!(census.at(99), census.at(census.levels()));
+        }
+    }
+
+    #[test]
+    fn census_respects_forwarder_masks() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4)]);
+        let forwarders = vec![true, false, false, false, true];
+        let mut e = FloodEngine::new(5);
+        let census = e.flood_census(&g, 0, 3, &[4], Some(&forwarders));
+        let mut f = FloodEngine::new(5);
+        for ttl in 0..=3 {
+            assert_eq!(census.at(ttl), f.flood(&g, 0, ttl, &[4], Some(&forwarders)));
+        }
+        assert_eq!(census.first_hit_hop, None, "leaf must not forward");
+    }
+
+    #[test]
+    fn census_vectors_are_monotone_and_hop0_is_source() {
+        let g = path();
+        let mut e = FloodEngine::new(5);
+        let census = e.flood_census(&g, 2, 4, &[0], None);
+        assert_eq!(census.reached[0], 1);
+        assert_eq!(census.messages[0], 0);
+        assert!(census.reached.windows(2).all(|w| w[0] <= w[1]));
+        assert!(census.messages.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(census.first_hit_hop, Some(2));
+        assert!(!census.at(1).found && census.at(2).found);
+    }
+
+    #[test]
+    fn pruned_census_matches_full_census_up_to_hit_level() {
+        let g = crate::topology::erdos_renyi(300, 5.0, 78).graph;
+        let mut e = FloodEngine::new(300);
+        let holders = [150u32];
+        let full = e.flood_census(&g, 3, 8, &holders, None);
+        let pruned = e.flood_census_pruned(&g, 3, 8, &holders, None);
+        assert_eq!(pruned.first_hit_hop, full.first_hit_hop);
+        let hit = full.first_hit_hop.expect("holder reachable");
+        // The pruned census carries every level the ring driver needs:
+        // through level max(hit, 1).
+        let need = hit.max(1);
+        assert!(pruned.levels() >= need);
+        for l in 0..=need {
+            assert_eq!(pruned.at(l), full.at(l), "level {l}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +762,77 @@ mod faulty_tests {
         assert_eq!(out.messages, 0);
         assert_eq!(out.reached, 0);
         assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn faulty_census_prefixes_equal_standalone_faulty_floods() {
+        // The load-bearing claim: fault draws key on (edge, nonce, msg
+        // index), all TTL-independent, so the faulty census reconstructs
+        // every shorter faulty flood bit for bit — drops, dead targets,
+        // reach and message counts included.
+        let g = er(500, 5);
+        let plan = FaultPlan::build(
+            500,
+            &FaultConfig {
+                loss: 0.25,
+                churn: 0.3,
+                horizon: 64,
+                ..Default::default()
+            },
+        );
+        let mut a = FloodEngine::new(500);
+        let mut b = FloodEngine::new(500);
+        for (src, time, nonce) in [(0u32, 0u64, 1u64), (13, 17, 2), (250, 40, 3), (499, 63, 4)] {
+            let holders = [7u32, 123, 400];
+            let (census, level_stats) =
+                a.flood_census_faulty(&g, src, 6, &holders, None, &plan, time, nonce);
+            assert_eq!(level_stats.len(), census.reached.len());
+            for ttl in 0..=6u32 {
+                let (plain, stats) =
+                    b.flood_faulty(&g, src, ttl, &holders, None, &plan, time, nonce);
+                assert_eq!(census.at(ttl), plain, "src {src} ttl {ttl}");
+                let level = ttl.min(census.levels()) as usize;
+                assert_eq!(level_stats[level], stats, "src {src} ttl {ttl} stats");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_census_under_none_plan_matches_plain_census() {
+        let g = er(300, 6);
+        let plan = FaultPlan::none(300);
+        let mut e = FloodEngine::new(300);
+        let holders = [42u32, 250];
+        let plain = e.flood_census(&g, 5, 5, &holders, None);
+        let (faulty, stats) = e.flood_census_faulty(&g, 5, 5, &holders, None, &plan, 0, 9);
+        assert_eq!(plain, faulty);
+        assert!(stats.iter().all(|s| *s == FaultStats::default()));
+    }
+
+    #[test]
+    fn faulty_census_dead_source_is_all_zero() {
+        let g = er(50, 3);
+        let plan = FaultPlan::build(
+            50,
+            &FaultConfig {
+                churn: 1.0,
+                horizon: 4,
+                rejoin: false,
+                loss: 0.0,
+                ..Default::default()
+            },
+        );
+        let t = (0..4u64)
+            .find(|&t| !plan.alive_at(0, t))
+            .expect("full churn downs node 0");
+        let mut e = FloodEngine::new(50);
+        let (census, stats) = e.flood_census_faulty(&g, 0, 5, &[1], None, &plan, t, 0);
+        for ttl in 0..=5 {
+            let out = census.at(ttl);
+            assert!(!out.found);
+            assert_eq!((out.reached, out.messages), (0, 0));
+        }
+        assert_eq!(stats, vec![FaultStats::default()]);
     }
 
     #[test]

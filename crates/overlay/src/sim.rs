@@ -1,10 +1,28 @@
 //! Parallel trial sweeps (the Figure 8 driver).
 //!
-//! For each TTL value, run many independent query trials: pick a source
-//! peer and a target object, flood, record success/reach/messages. Trials
-//! are deterministic functions of `(seed, trial_index)` and run across the
-//! `qcp-xpar` pool in chunks, each chunk owning one reusable
-//! [`FloodEngine`].
+//! For each trial, pick a source peer and a target object, flood, and
+//! record success/reach/messages. Trials are deterministic functions of
+//! `(seed, trial_index)` and run across the `qcp-xpar` pool in chunks,
+//! each chunk owning one reusable [`FloodEngine`].
+//!
+//! # One census per trial
+//!
+//! [`sweep_ttl`]/[`sweep_ttl_faulty`] produce a whole TTL curve from
+//! **one** BFS per trial: [`FloodEngine::flood_census`] runs at
+//! `max(ttls)` and its per-level snapshots reconstruct every shorter
+//! flood exactly (the BFS prefix property — see `flood`'s module docs).
+//! Trials use *common random numbers* across TTLs: the trial RNG is
+//! keyed by `trial` alone, so every TTL point of a curve shares the same
+//! `(source, object)` stream. An 8-point curve therefore costs one
+//! expanding ball instead of the sum of eight, and the per-TTL
+//! differences within a curve are purely the TTL's doing, never sampling
+//! noise.
+//!
+//! [`sweep_ttl_reference`]/[`sweep_ttl_faulty_reference`] keep the
+//! pre-census path — one full flood per (trial, TTL) over the *same*
+//! trial stream — as the correctness oracle: both sweeps are pinned
+//! bitwise-equal in tests, the census one is just ≥3× cheaper on the
+//! 8-TTL Figure-8 curve (`repro bench`).
 
 use crate::flood::FloodEngine;
 use crate::graph::Graph;
@@ -33,7 +51,8 @@ pub enum TargetModel {
 /// Sweep configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Query trials per TTL point.
+    /// Query trials per curve (shared across every TTL point via common
+    /// random numbers).
     pub trials: usize,
     /// Target selection model.
     pub target: TargetModel,
@@ -66,7 +85,9 @@ pub struct SweepPoint {
     pub mean_messages: f64,
 }
 
-/// Cumulative-weight target sampler.
+/// Cumulative-weight target sampler, built **once per sweep** (not per
+/// TTL point): the proportional model's cumulative vector is O(objects)
+/// to construct and read-only afterwards.
 struct TargetSampler<'a> {
     placement: &'a Placement,
     model: TargetModel,
@@ -109,7 +130,40 @@ impl<'a> TargetSampler<'a> {
     }
 }
 
-/// Runs `config.trials` flooded queries at a single TTL.
+/// Per-TTL integer accumulator (reduced across chunks with plain sums,
+/// so pool width cannot perturb the result).
+#[derive(Default, Clone, Copy)]
+struct PointAcc {
+    successes: u64,
+    reached: u64,
+    messages: u64,
+}
+
+impl PointAcc {
+    fn absorb(&mut self, other: &PointAcc) {
+        self.successes += other.successes;
+        self.reached += other.reached;
+        self.messages += other.messages;
+    }
+
+    fn point(&self, ttl: u32, trials: u64, n: usize) -> SweepPoint {
+        // Loud guard: a zero-trial sweep must fail, not report 0.0 rates.
+        assert!(trials > 0, "sweep ran zero trials (SimConfig.trials == 0?)");
+        let t = trials as f64;
+        SweepPoint {
+            ttl,
+            success_rate: self.successes as f64 / t,
+            mean_reached: self.reached as f64 / t,
+            mean_reach_fraction: self.reached as f64 / t / n as f64,
+            mean_messages: self.messages as f64 / t,
+        }
+    }
+}
+
+/// Runs `config.trials` flooded queries at a single TTL — the per-TTL
+/// *reference* path (one full flood per trial). The trial stream is keyed
+/// by `trial` alone, so [`sweep_ttl`]'s census point at the same TTL is
+/// bitwise-identical (pinned in tests).
 pub fn flood_trials(
     pool: &Pool,
     graph: &Graph,
@@ -118,53 +172,57 @@ pub fn flood_trials(
     ttl: u32,
     config: &SimConfig,
 ) -> SweepPoint {
-    let n = graph.num_nodes();
-    assert!(n > 0 && placement.num_objects() > 0);
+    assert!(graph.num_nodes() > 0 && placement.num_objects() > 0);
     let sampler = TargetSampler::new(placement, config.target);
+    flood_trials_with_sampler(pool, graph, &sampler, forwarders, ttl, config)
+}
+
+/// Reference trials with a pre-built sampler (hoisted out of the per-TTL
+/// call path by [`sweep_ttl_reference`]).
+fn flood_trials_with_sampler(
+    pool: &Pool,
+    graph: &Graph,
+    sampler: &TargetSampler<'_>,
+    forwarders: Option<&[bool]>,
+    ttl: u32,
+    config: &SimConfig,
+) -> SweepPoint {
+    let n = graph.num_nodes();
     let chunks = (pool.threads() * 4).max(1);
     let per_chunk = config.trials.div_ceil(chunks);
 
-    #[derive(Default, Clone, Copy)]
-    struct Acc {
-        successes: u64,
-        reached: u64,
-        messages: u64,
-        trials: u64,
-    }
-
-    let partials: Vec<Acc> = pool.par_map_indexed(chunks, |c| {
+    let partials: Vec<(PointAcc, u64)> = pool.par_map_indexed(chunks, |c| {
         let mut engine = FloodEngine::new(n);
-        let mut acc = Acc::default();
+        let mut acc = PointAcc::default();
+        let mut trials = 0u64;
         let lo = c * per_chunk;
         let hi = (lo + per_chunk).min(config.trials);
         for trial in lo..hi {
-            let mut rng = Pcg64::new(child_seed(config.seed, (ttl as u64) << 32 | trial as u64));
+            let mut rng = Pcg64::new(child_seed(config.seed, trial as u64));
             let source = rng.index(n) as u32;
             let object = sampler.sample(&mut rng);
-            let out = engine.flood(graph, source, ttl, placement.holders(object), forwarders);
-            acc.trials += 1;
+            let out = engine.flood(
+                graph,
+                source,
+                ttl,
+                sampler.placement.holders(object),
+                forwarders,
+            );
+            trials += 1;
             acc.successes += out.found as u64;
             acc.reached += out.reached as u64;
             acc.messages += out.messages;
         }
-        acc
+        (acc, trials)
     });
 
-    let mut total = Acc::default();
-    for p in partials {
-        total.successes += p.successes;
-        total.reached += p.reached;
-        total.messages += p.messages;
-        total.trials += p.trials;
+    let mut total = PointAcc::default();
+    let mut trials = 0u64;
+    for (p, t) in partials {
+        total.absorb(&p);
+        trials += t;
     }
-    let t = total.trials.max(1) as f64;
-    SweepPoint {
-        ttl,
-        success_rate: total.successes as f64 / t,
-        mean_reached: total.reached as f64 / t,
-        mean_reach_fraction: total.reached as f64 / t / n as f64,
-        mean_messages: total.messages as f64 / t,
-    }
+    total.point(ttl, trials, n)
 }
 
 /// One point of a fault-sweep curve: the plain success/cost numbers plus
@@ -176,18 +234,24 @@ pub struct FaultySweepPoint {
     /// Fault counters summed across all trials at this TTL.
     pub faults: FaultStats,
     /// Trials whose sampled source was down at query time and had to be
-    /// re-issued from the next alive peer (0 when churn is off).
+    /// re-issued from the next alive peer (0 when churn is off). Source
+    /// liveness is TTL-independent, so under common random numbers every
+    /// point of one curve reports the same count.
     pub dead_sources: u64,
 }
 
-/// Runs `config.trials` flooded queries at a single TTL under `plan`.
+/// Runs `config.trials` flooded queries at a single TTL under `plan` —
+/// the faulty per-TTL *reference* path.
 ///
 /// Per-trial derivation is identical to [`flood_trials`]: the same
-/// `(seed, ttl, trial)` → RNG stream and the same source-then-object draw
+/// `(seed, trial)` → RNG stream and the same source-then-object draw
 /// order, so under [`FaultPlan::none`] the returned [`SweepPoint`] is
 /// bit-identical to the fault-free sweep. Fault draws use a *separate*
 /// per-trial nonce derived with [`FAULT_NONCE_STREAM`], leaving the trial
-/// RNG untouched.
+/// RNG untouched — and the nonce is keyed by `trial` alone, never the
+/// TTL, which is what lets [`sweep_ttl_faulty`] reconstruct every TTL
+/// point from one census (fault draws key on `(edge, nonce, msg index)`,
+/// all TTL-independent).
 ///
 /// Each trial executes at tick `trial % horizon`, so the plan's churn
 /// schedule plays out across the workload. A trial whose sampled source
@@ -203,19 +267,34 @@ pub fn flood_trials_faulty(
     config: &SimConfig,
     plan: &FaultPlan,
 ) -> FaultySweepPoint {
-    let n = graph.num_nodes();
-    assert!(n > 0 && placement.num_objects() > 0);
-    assert_eq!(plan.num_nodes(), n, "fault plan must cover every node");
+    assert!(graph.num_nodes() > 0 && placement.num_objects() > 0);
+    assert_eq!(
+        plan.num_nodes(),
+        graph.num_nodes(),
+        "fault plan must cover every node"
+    );
     let sampler = TargetSampler::new(placement, config.target);
+    flood_trials_faulty_with_sampler(pool, graph, &sampler, forwarders, ttl, config, plan)
+}
+
+/// Faulty reference trials with a pre-built sampler.
+fn flood_trials_faulty_with_sampler(
+    pool: &Pool,
+    graph: &Graph,
+    sampler: &TargetSampler<'_>,
+    forwarders: Option<&[bool]>,
+    ttl: u32,
+    config: &SimConfig,
+    plan: &FaultPlan,
+) -> FaultySweepPoint {
+    let n = graph.num_nodes();
     let chunks = (pool.threads() * 4).max(1);
     let per_chunk = config.trials.div_ceil(chunks);
     let horizon = plan.horizon().max(1);
 
     #[derive(Default, Clone, Copy)]
     struct Acc {
-        successes: u64,
-        reached: u64,
-        messages: u64,
+        point: PointAcc,
         trials: u64,
         faults: FaultStats,
         dead_sources: u64,
@@ -227,7 +306,7 @@ pub fn flood_trials_faulty(
         let lo = c * per_chunk;
         let hi = (lo + per_chunk).min(config.trials);
         for trial in lo..hi {
-            let key = (ttl as u64) << 32 | trial as u64;
+            let key = trial as u64;
             let mut rng = Pcg64::new(child_seed(config.seed, key));
             let source = rng.index(n) as u32;
             let object = sampler.sample(&mut rng);
@@ -250,16 +329,16 @@ pub fn flood_trials_faulty(
                 graph,
                 source,
                 ttl,
-                placement.holders(object),
+                sampler.placement.holders(object),
                 forwarders,
                 plan,
                 time,
                 nonce,
             );
             acc.trials += 1;
-            acc.successes += out.found as u64;
-            acc.reached += out.reached as u64;
-            acc.messages += out.messages;
+            acc.point.successes += out.found as u64;
+            acc.point.reached += out.reached as u64;
+            acc.point.messages += out.messages;
             acc.faults.absorb(&stats);
         }
         acc
@@ -267,28 +346,108 @@ pub fn flood_trials_faulty(
 
     let mut total = Acc::default();
     for p in partials {
-        total.successes += p.successes;
-        total.reached += p.reached;
-        total.messages += p.messages;
+        total.point.absorb(&p.point);
         total.trials += p.trials;
         total.faults.absorb(&p.faults);
         total.dead_sources += p.dead_sources;
     }
-    let t = total.trials.max(1) as f64;
     FaultySweepPoint {
-        point: SweepPoint {
-            ttl,
-            success_rate: total.successes as f64 / t,
-            mean_reached: total.reached as f64 / t,
-            mean_reach_fraction: total.reached as f64 / t / n as f64,
-            mean_messages: total.messages as f64 / t,
-        },
+        point: total.point.point(ttl, total.trials, n),
         faults: total.faults,
         dead_sources: total.dead_sources,
     }
 }
 
-/// Sweeps TTLs under a fault plan, producing one degraded curve.
+/// Sweeps TTLs with **one hop-census flood per trial**: the BFS runs at
+/// `max(ttls)` and every TTL point of the curve is reconstructed from
+/// its per-level snapshots ([`CensusOutcome::at`]) — bitwise-identical
+/// to [`sweep_ttl_reference`] at a fraction of the cost.
+///
+/// [`CensusOutcome::at`]: crate::flood::CensusOutcome::at
+pub fn sweep_ttl(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttls: &[u32],
+    config: &SimConfig,
+) -> Vec<SweepPoint> {
+    let n = graph.num_nodes();
+    assert!(n > 0 && placement.num_objects() > 0);
+    if ttls.is_empty() {
+        return Vec::new();
+    }
+    let max_ttl = ttls.iter().copied().max().unwrap_or(0);
+    let sampler = TargetSampler::new(placement, config.target);
+    let chunks = (pool.threads() * 4).max(1);
+    let per_chunk = config.trials.div_ceil(chunks);
+
+    let partials: Vec<(Vec<PointAcc>, u64)> = pool.par_map_indexed(chunks, |c| {
+        let mut engine = FloodEngine::new(n);
+        let mut accs = vec![PointAcc::default(); ttls.len()];
+        let mut trials = 0u64;
+        let lo = c * per_chunk;
+        let hi = (lo + per_chunk).min(config.trials);
+        for trial in lo..hi {
+            let mut rng = Pcg64::new(child_seed(config.seed, trial as u64));
+            let source = rng.index(n) as u32;
+            let object = sampler.sample(&mut rng);
+            let census = engine.flood_census(
+                graph,
+                source,
+                max_ttl,
+                sampler.placement.holders(object),
+                forwarders,
+            );
+            trials += 1;
+            for (acc, &ttl) in accs.iter_mut().zip(ttls) {
+                let out = census.at(ttl);
+                acc.successes += out.found as u64;
+                acc.reached += out.reached as u64;
+                acc.messages += out.messages;
+            }
+        }
+        (accs, trials)
+    });
+
+    let mut totals = vec![PointAcc::default(); ttls.len()];
+    let mut trials = 0u64;
+    for (accs, t) in partials {
+        for (total, p) in totals.iter_mut().zip(&accs) {
+            total.absorb(p);
+        }
+        trials += t;
+    }
+    totals
+        .iter()
+        .zip(ttls)
+        .map(|(total, &ttl)| total.point(ttl, trials, n))
+        .collect()
+}
+
+/// Reference TTL sweep: one full flood per (trial, TTL) over the same
+/// trial stream as [`sweep_ttl`]. Kept as the census's correctness
+/// oracle and the baseline side of `repro bench`; the sampler is built
+/// once for the whole sweep, not per TTL point.
+pub fn sweep_ttl_reference(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttls: &[u32],
+    config: &SimConfig,
+) -> Vec<SweepPoint> {
+    assert!(graph.num_nodes() > 0 && placement.num_objects() > 0);
+    let sampler = TargetSampler::new(placement, config.target);
+    ttls.iter()
+        .map(|&ttl| flood_trials_with_sampler(pool, graph, &sampler, forwarders, ttl, config))
+        .collect()
+}
+
+/// Sweeps TTLs under a fault plan with **one faulty census per trial**:
+/// bitwise-identical to [`sweep_ttl_faulty_reference`] (fault draws are
+/// TTL-independent — see [`flood_trials_faulty`]) at a fraction of the
+/// cost, per-level cumulative [`FaultStats`] included.
 pub fn sweep_ttl_faulty(
     pool: &Pool,
     graph: &Graph,
@@ -298,22 +457,128 @@ pub fn sweep_ttl_faulty(
     config: &SimConfig,
     plan: &FaultPlan,
 ) -> Vec<FaultySweepPoint> {
-    ttls.iter()
-        .map(|&ttl| flood_trials_faulty(pool, graph, placement, forwarders, ttl, config, plan))
+    let n = graph.num_nodes();
+    assert!(n > 0 && placement.num_objects() > 0);
+    assert_eq!(plan.num_nodes(), n, "fault plan must cover every node");
+    if ttls.is_empty() {
+        return Vec::new();
+    }
+    let max_ttl = ttls.iter().copied().max().unwrap_or(0);
+    let sampler = TargetSampler::new(placement, config.target);
+    let chunks = (pool.threads() * 4).max(1);
+    let per_chunk = config.trials.div_ceil(chunks);
+    let horizon = plan.horizon().max(1);
+
+    #[derive(Default, Clone)]
+    struct Acc {
+        points: Vec<PointAcc>,
+        faults: Vec<FaultStats>,
+        trials: u64,
+        dead_sources: u64,
+    }
+
+    let partials: Vec<Acc> = pool.par_map_indexed(chunks, |c| {
+        let mut engine = FloodEngine::new(n);
+        let mut acc = Acc {
+            points: vec![PointAcc::default(); ttls.len()],
+            faults: vec![FaultStats::default(); ttls.len()],
+            ..Default::default()
+        };
+        let lo = c * per_chunk;
+        let hi = (lo + per_chunk).min(config.trials);
+        for trial in lo..hi {
+            let key = trial as u64;
+            let mut rng = Pcg64::new(child_seed(config.seed, key));
+            let source = rng.index(n) as u32;
+            let object = sampler.sample(&mut rng);
+            let time = trial as u64 % horizon;
+            let nonce = child_seed(config.seed ^ FAULT_NONCE_STREAM, key);
+            let source = if plan.alive_at(source, time) {
+                source
+            } else {
+                acc.dead_sources += 1;
+                match plan.first_alive_from(source, time) {
+                    Some(s) => s,
+                    None => {
+                        // Whole network down at this tick: the trial
+                        // fails at every TTL with zero messages.
+                        acc.trials += 1;
+                        continue;
+                    }
+                }
+            };
+            let (census, level_stats) = engine.flood_census_faulty(
+                graph,
+                source,
+                max_ttl,
+                sampler.placement.holders(object),
+                forwarders,
+                plan,
+                time,
+                nonce,
+            );
+            acc.trials += 1;
+            let levels = census.levels();
+            for (i, &ttl) in ttls.iter().enumerate() {
+                let out = census.at(ttl);
+                acc.points[i].successes += out.found as u64;
+                acc.points[i].reached += out.reached as u64;
+                acc.points[i].messages += out.messages;
+                acc.faults[i].absorb(&level_stats[ttl.min(levels) as usize]);
+            }
+        }
+        acc
+    });
+
+    let mut totals = vec![PointAcc::default(); ttls.len()];
+    let mut faults = vec![FaultStats::default(); ttls.len()];
+    let mut trials = 0u64;
+    let mut dead_sources = 0u64;
+    for acc in partials {
+        for (total, p) in totals.iter_mut().zip(&acc.points) {
+            total.absorb(p);
+        }
+        for (total, f) in faults.iter_mut().zip(&acc.faults) {
+            total.absorb(f);
+        }
+        trials += acc.trials;
+        dead_sources += acc.dead_sources;
+    }
+    totals
+        .iter()
+        .zip(ttls)
+        .zip(faults)
+        .map(|((total, &ttl), f)| FaultySweepPoint {
+            point: total.point(ttl, trials, n),
+            faults: f,
+            dead_sources,
+        })
         .collect()
 }
 
-/// Sweeps TTLs, producing one curve (e.g. one Figure 8 line).
-pub fn sweep_ttl(
+/// Reference faulty TTL sweep: one full faulty flood per (trial, TTL)
+/// over the same trial and nonce streams as [`sweep_ttl_faulty`]. The
+/// census sweep is pinned bitwise against this.
+pub fn sweep_ttl_faulty_reference(
     pool: &Pool,
     graph: &Graph,
     placement: &Placement,
     forwarders: Option<&[bool]>,
     ttls: &[u32],
     config: &SimConfig,
-) -> Vec<SweepPoint> {
+    plan: &FaultPlan,
+) -> Vec<FaultySweepPoint> {
+    assert!(graph.num_nodes() > 0 && placement.num_objects() > 0);
+    assert_eq!(
+        plan.num_nodes(),
+        graph.num_nodes(),
+        "fault plan must cover every node"
+    );
+    let sampler = TargetSampler::new(placement, config.target);
     ttls.iter()
-        .map(|&ttl| flood_trials(pool, graph, placement, forwarders, ttl, config))
+        .map(|&ttl| {
+            flood_trials_faulty_with_sampler(pool, graph, &sampler, forwarders, ttl, config, plan)
+        })
         .collect()
 }
 
@@ -383,12 +648,112 @@ mod tests {
                 ..Default::default()
             },
         );
+        // Common random numbers across TTLs: monotonicity is exact per
+        // trial, hence exact in the aggregate — no tolerance needed.
         for w in curve.windows(2) {
             assert!(
-                w[1].success_rate >= w[0].success_rate - 0.02,
-                "success should not decrease with TTL: {curve:?}"
+                w[1].success_rate >= w[0].success_rate,
+                "success must not decrease with TTL: {curve:?}"
             );
             assert!(w[1].mean_reached >= w[0].mean_reached);
+            assert!(w[1].mean_messages >= w[0].mean_messages);
+        }
+    }
+
+    #[test]
+    fn census_sweep_matches_reference_bitwise() {
+        let t = erdos_renyi(500, 5.0, 30);
+        let p = Placement::generate(PlacementModel::UniformK(4), 500, 100, 31);
+        let cfg = SimConfig {
+            trials: 600,
+            ..Default::default()
+        };
+        let ttls = [0u32, 1, 2, 3, 4, 6];
+        let census = sweep_ttl(&pool(), &t.graph, &p, None, &ttls, &cfg);
+        let reference = sweep_ttl_reference(&pool(), &t.graph, &p, None, &ttls, &cfg);
+        assert_eq!(census.len(), reference.len());
+        for (a, b) in census.iter().zip(&reference) {
+            assert_eq!(a.ttl, b.ttl);
+            assert_eq!(a.success_rate.to_bits(), b.success_rate.to_bits());
+            assert_eq!(a.mean_reached.to_bits(), b.mean_reached.to_bits());
+            assert_eq!(a.mean_messages.to_bits(), b.mean_messages.to_bits());
+            assert_eq!(
+                a.mean_reach_fraction.to_bits(),
+                b.mean_reach_fraction.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn single_ttl_census_equals_flood_trials() {
+        // The acceptance pin: census(ttls=[T]) == reference flood at T
+        // over the same trial stream, bitwise.
+        let t = erdos_renyi(400, 5.0, 33);
+        let p = Placement::generate(PlacementModel::UniformK(3), 400, 80, 34);
+        let cfg = SimConfig {
+            trials: 500,
+            ..Default::default()
+        };
+        for ttl in [0u32, 2, 5] {
+            let census = sweep_ttl(&pool(), &t.graph, &p, None, &[ttl], &cfg);
+            let reference = flood_trials(&pool(), &t.graph, &p, None, ttl, &cfg);
+            assert_eq!(census.len(), 1);
+            assert_eq!(
+                census[0].success_rate.to_bits(),
+                reference.success_rate.to_bits()
+            );
+            assert_eq!(
+                census[0].mean_messages.to_bits(),
+                reference.mean_messages.to_bits()
+            );
+            assert_eq!(
+                census[0].mean_reached.to_bits(),
+                reference.mean_reached.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_census_sweep_matches_reference_bitwise() {
+        use qcp_faults::FaultConfig;
+        let t = erdos_renyi(400, 5.0, 35);
+        let p = Placement::generate(PlacementModel::UniformK(4), 400, 80, 36);
+        let cfg = SimConfig {
+            trials: 500,
+            ..Default::default()
+        };
+        let ttls = [1u32, 2, 3, 5];
+        for plan in [
+            FaultPlan::none(400),
+            FaultPlan::build(
+                400,
+                &FaultConfig {
+                    loss: 0.25,
+                    churn: 0.3,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let census = sweep_ttl_faulty(&pool(), &t.graph, &p, None, &ttls, &cfg, &plan);
+            let reference =
+                sweep_ttl_faulty_reference(&pool(), &t.graph, &p, None, &ttls, &cfg, &plan);
+            for (a, b) in census.iter().zip(&reference) {
+                assert_eq!(a.point.ttl, b.point.ttl);
+                assert_eq!(
+                    a.point.success_rate.to_bits(),
+                    b.point.success_rate.to_bits()
+                );
+                assert_eq!(
+                    a.point.mean_messages.to_bits(),
+                    b.point.mean_messages.to_bits()
+                );
+                assert_eq!(
+                    a.point.mean_reached.to_bits(),
+                    b.point.mean_reached.to_bits()
+                );
+                assert_eq!(a.faults, b.faults);
+                assert_eq!(a.dead_sources, b.dead_sources);
+            }
         }
     }
 
@@ -441,6 +806,58 @@ mod tests {
         let a = flood_trials(&pool(), &t.graph, &p, None, 2, &cfg);
         let b = flood_trials(&pool(), &t.graph, &p, None, 2, &cfg);
         assert_eq!(a, b);
+        let ca = sweep_ttl(&pool(), &t.graph, &p, None, &[1, 2, 3], &cfg);
+        let cb = sweep_ttl(&pool(), &t.graph, &p, None, &[1, 2, 3], &cfg);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn zero_trial_config_fails_loudly() {
+        let t = erdos_renyi(100, 5.0, 40);
+        let p = Placement::generate(PlacementModel::UniformK(2), 100, 20, 41);
+        let _ = sweep_ttl(
+            &pool(),
+            &t.graph,
+            &p,
+            None,
+            &[1, 2],
+            &SimConfig {
+                trials: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn zero_trial_reference_fails_loudly_too() {
+        let t = erdos_renyi(100, 5.0, 42);
+        let p = Placement::generate(PlacementModel::UniformK(2), 100, 20, 43);
+        let _ = flood_trials(
+            &pool(),
+            &t.graph,
+            &p,
+            None,
+            1,
+            &SimConfig {
+                trials: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn empty_ttl_list_yields_empty_curve() {
+        let t = erdos_renyi(100, 5.0, 44);
+        let p = Placement::generate(PlacementModel::UniformK(2), 100, 20, 45);
+        let cfg = SimConfig {
+            trials: 10,
+            ..Default::default()
+        };
+        assert!(sweep_ttl(&pool(), &t.graph, &p, None, &[], &cfg).is_empty());
+        let plan = FaultPlan::none(100);
+        assert!(sweep_ttl_faulty(&pool(), &t.graph, &p, None, &[], &cfg, &plan).is_empty());
     }
 
     #[test]
@@ -520,6 +937,9 @@ mod tests {
         let a = flood_trials_faulty(&p1, &t.graph, &p, None, 3, &cfg, &plan);
         let b = flood_trials_faulty(&p4, &t.graph, &p, None, 3, &cfg, &plan);
         assert_eq!(a, b, "fault sweep must not depend on thread count");
+        let ca = sweep_ttl_faulty(&p1, &t.graph, &p, None, &[1, 2, 4], &cfg, &plan);
+        let cb = sweep_ttl_faulty(&p4, &t.graph, &p, None, &[1, 2, 4], &cfg, &plan);
+        assert_eq!(ca, cb, "census sweep must not depend on thread count");
     }
 
     #[test]

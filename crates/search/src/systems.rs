@@ -337,6 +337,12 @@ pub struct ExpandingRingSearch {
     engine: FloodEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
+    /// Total rings attempted across every query served (for reports):
+    /// `rings_attempted / queries` is the mean iterative-deepening depth,
+    /// the knob §V's "rapidly identify rare queries" observation turns on.
+    pub rings_attempted: u64,
+    /// Total queries served.
+    pub queries: u64,
 }
 
 impl ExpandingRingSearch {
@@ -347,7 +353,17 @@ impl ExpandingRingSearch {
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
             faults: None,
+            rings_attempted: 0,
+            queries: 0,
         }
+    }
+
+    /// Mean number of rings a query needed (0.0 before any query).
+    pub fn mean_rings(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.rings_attempted as f64 / self.queries as f64
     }
 
     /// Creates an expanding-ring system under `faults`: each ring is an
@@ -372,6 +388,7 @@ impl SearchSystem for ExpandingRingSearch {
     ) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
+        self.queries += 1;
         if let Some(ctx) = &mut self.faults {
             let (time, nonce) = ctx.next_query();
             let (out, stats) = qcp_overlay::expanding::expanding_ring_search_faulty(
@@ -385,6 +402,7 @@ impl SearchSystem for ExpandingRingSearch {
                 time,
                 nonce,
             );
+            self.rings_attempted += out.rings as u64;
             return SearchOutcome {
                 success: out.found,
                 messages: out.messages,
@@ -400,6 +418,7 @@ impl SearchSystem for ExpandingRingSearch {
             &holders,
             Some(&self.forwarders),
         );
+        self.rings_attempted += out.rings as u64;
         SearchOutcome {
             success: out.found,
             messages: out.messages,
@@ -465,5 +484,22 @@ mod expanding_tests {
             a.messages,
             b.messages
         );
+    }
+
+    #[test]
+    fn ring_depth_accounting_tracks_queries() {
+        let w = world();
+        let mut rng = Pcg64::new(3);
+        let mut ring = ExpandingRingSearch::new(&w, 4);
+        assert_eq!(ring.mean_rings(), 0.0, "no queries yet");
+        let queries: Vec<QuerySpec> = (0..50).map(|_| w.sample_query(&mut rng)).collect();
+        for q in &queries {
+            ring.search(&w, q, &mut rng);
+        }
+        assert_eq!(ring.queries, 50);
+        assert!(ring.rings_attempted >= 50, "every query tries >=1 ring");
+        assert!(ring.rings_attempted <= 50 * 4, "bounded by max_ttl");
+        let mean = ring.mean_rings();
+        assert!((1.0..=4.0).contains(&mean), "mean depth {mean}");
     }
 }

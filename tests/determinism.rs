@@ -108,6 +108,89 @@ fn different_seeds_actually_differ() {
 }
 
 // ---------------------------------------------------------------------
+// Census vs reference: `sweep_ttl` runs ONE hop-census flood per trial
+// and reconstructs every TTL point from prefix snapshots; the reference
+// path floods once per (trial, TTL). Both consume the same trial stream
+// (RNG keyed by trial alone — common random numbers across TTLs), so
+// they must agree bit for bit, faults included.
+// ---------------------------------------------------------------------
+
+use qcp2p::faults::{FaultConfig, FaultPlan};
+use qcp2p::overlay::{sweep_ttl_faulty, sweep_ttl_faulty_reference, sweep_ttl_reference};
+
+#[test]
+fn census_sweep_equals_reference_sweep_bitwise() {
+    let t = topo();
+    let fwd = t.forwarders();
+    let pool = Pool::new(2);
+    let zipf = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        N as u32,
+        1_000,
+        7,
+    );
+    let census = sweep_ttl(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &sim(0xf18));
+    let reference = sweep_ttl_reference(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &sim(0xf18));
+    assert_eq!(census.len(), reference.len());
+    for (c, r) in census.iter().zip(&reference) {
+        assert_eq!(c.ttl, r.ttl);
+        assert_eq!(c.success_rate.to_bits(), r.success_rate.to_bits());
+        assert_eq!(c.mean_reached.to_bits(), r.mean_reached.to_bits());
+        assert_eq!(c.mean_messages.to_bits(), r.mean_messages.to_bits());
+        assert_eq!(
+            c.mean_reach_fraction.to_bits(),
+            r.mean_reach_fraction.to_bits()
+        );
+    }
+}
+
+#[test]
+fn faulty_census_sweep_equals_reference_sweep_bitwise() {
+    let t = topo();
+    let fwd = t.forwarders();
+    let pool = Pool::new(2);
+    let zipf = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        N as u32,
+        1_000,
+        7,
+    );
+    let cfg = SimConfig {
+        trials: 400,
+        seed: 0xf18,
+        ..Default::default()
+    };
+    let plan = FaultPlan::build(
+        N,
+        &FaultConfig {
+            loss: 0.10,
+            churn: 0.20,
+            seed: 0xabc,
+            ..Default::default()
+        },
+    );
+    let census = sweep_ttl_faulty(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &cfg, &plan);
+    let reference =
+        sweep_ttl_faulty_reference(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &cfg, &plan);
+    assert_eq!(census.len(), reference.len());
+    for (c, r) in census.iter().zip(&reference) {
+        assert_eq!(c.point.ttl, r.point.ttl);
+        assert_eq!(
+            c.point.success_rate.to_bits(),
+            r.point.success_rate.to_bits()
+        );
+        assert_eq!(
+            c.point.mean_messages.to_bits(),
+            r.point.mean_messages.to_bits()
+        );
+        assert_eq!(c.faults, r.faults, "ttl {}", c.point.ttl);
+        assert_eq!(c.dead_sources, r.dead_sources);
+    }
+    // Guard: the plan must actually fire, or the pin is vacuous.
+    assert!(census.iter().any(|c| c.faults.dropped > 0));
+}
+
+// ---------------------------------------------------------------------
 // fig8-churn: the fault-injected grid obeys the same contract. Fault
 // draws are stateless hashes of (plan seed, edge, nonce, message index)
 // and fault nonces live on their own seed stream, so neither thread
