@@ -88,6 +88,8 @@ fn main() {
         session.out_dir.display()
     );
     for artifact in &artifacts {
+        // qcplint: allow(nondet) — reported wall-clock per artifact; never
+        // feeds back into simulation results.
         let started = std::time::Instant::now();
         let report = session.run(artifact);
         println!(

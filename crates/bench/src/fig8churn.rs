@@ -68,8 +68,9 @@ pub fn churn_world_config(r: &Repro) -> WorldConfig {
 
 /// Builds the plan for one cell. The fault-free cell uses the explicit
 /// none-plan so its trial streams are *provably* those of the fault-free
-/// pipeline, not merely a plan whose draws all happen to pass.
-fn cell_plan(loss: f64, churn: f64, n: usize, horizon: u64, seed: u64) -> FaultPlan {
+/// pipeline, not merely a plan whose draws all happen to pass. Shared
+/// with `soak`, whose epoch-0 cells must be bitwise those of this grid.
+pub(crate) fn cell_plan(loss: f64, churn: f64, n: usize, horizon: u64, seed: u64) -> FaultPlan {
     if loss == 0.0 && churn == 0.0 {
         FaultPlan::none(n)
     } else {
@@ -300,6 +301,7 @@ pub fn fig8_churn(r: &Repro) -> String {
     let json = grid_json(r, &grid);
     let path = r.out_dir.join("fig8_churn.json");
     std::fs::write(&path, &json)
+        // qcplint: allow(panic) — artifact write failure is fatal by design.
         .unwrap_or_else(|e| panic!("failed writing {}: {e}", path.display()));
 
     // Report: success vs loss at the heaviest churn, one series per

@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod fig8churn;
 pub mod figures;
+pub mod soak;
 pub mod timing;
 
 use qcp_core::{AnalyzerConfig, Findings, QueryCentricAnalyzer};
@@ -100,6 +101,7 @@ impl Repro {
         let path = self.out_dir.join(format!("{name}.csv"));
         table
             .write_csv(&path)
+            // qcplint: allow(panic) — artifact write failure is fatal by design.
             .unwrap_or_else(|e| panic!("failed writing {}: {e}", path.display()));
         path
     }
@@ -116,6 +118,7 @@ impl Repro {
             "fig7" => figures::fig7(self),
             "fig8" => figures::fig8(self),
             "fig8-churn" => fig8churn::fig8_churn(self),
+            "soak" => soak::soak(self),
             "table1" => figures::table1(self),
             "table2" => figures::table2(self),
             "table3" => figures::table3(self),
@@ -128,6 +131,7 @@ impl Repro {
             "ablation-structured" => ablations::structured(self),
             "ablation-adaptation" => ablations::adaptation(self),
             "bench" => timing::bench(self),
+            // qcplint: allow(panic) — CLI contract: unknown ids fail fast.
             other => panic!("unknown artifact '{other}'"),
         }
     }
@@ -144,6 +148,7 @@ impl Repro {
             "fig7",
             "fig8",
             "fig8-churn",
+            "soak",
             "table1",
             "table2",
             "table3",

@@ -7,8 +7,19 @@
 //! paper's §V compares hybrid search against.
 //!
 //! Join/leave rebuild the affected finger entries. This is a simulator,
-//! not a networked implementation, so "stabilization" is immediate and
-//! deterministic — exactly what the evaluation needs.
+//! not a networked implementation, so for *those* operations
+//! "stabilization" is immediate and deterministic — exactly what the
+//! steady-state evaluation needs.
+//!
+//! The **maintenance model** (PR 4) adds the realistic departure path:
+//! [`ChordNetwork::depart`] marks a node down *without* touching anyone
+//! else's tables, so fingers and successor lists dangle exactly as they
+//! would in a deployed ring; periodic [`ChordNetwork::stabilize`] rounds
+//! (successor-list repair, one adoption per node per round) and
+//! [`ChordNetwork::fix_fingers`] rounds then heal the tables
+//! incrementally, and [`ChordNetwork::lookup_stale`] routes over the
+//! possibly-stale local tables only — succeeding, paying wasted probes,
+//! or failing outright depending on how far maintenance has caught up.
 
 use crate::ring::{in_interval_oc, in_interval_oo};
 use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
@@ -16,6 +27,10 @@ use qcp_util::hash::mix64;
 
 /// Number of finger-table entries (ring is 2^64).
 pub const FINGER_BITS: usize = 64;
+
+/// Default successor-list length *r*: Chord survives up to `r` consecutive
+/// departures between maintenance rounds.
+pub const DEFAULT_SUCC_LEN: usize = 4;
 
 /// Result of a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,12 +69,27 @@ pub struct ChordNetwork {
     ids: Vec<u64>,
     /// `fingers[v][i]` = node index of `successor(ids[v] + 2^i)`.
     fingers: Vec<Vec<u32>>,
+    /// `succ_lists[v]` = the next `succ_len` nodes clockwise after `v`
+    /// (as last refreshed — entries dangle after [`Self::depart`]).
+    succ_lists: Vec<Vec<u32>>,
+    /// Nodes marked down by [`Self::depart`]; they keep their id slot so
+    /// other nodes' stale table entries still *point* somewhere.
+    departed: Vec<bool>,
+    /// Successor-list length *r*.
+    succ_len: usize,
 }
 
 impl ChordNetwork {
-    /// Builds a network of `n` nodes with ids derived from `seed`.
+    /// Builds a network of `n` nodes with ids derived from `seed` and the
+    /// default successor-list length.
     pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_succ_len(n, seed, DEFAULT_SUCC_LEN)
+    }
+
+    /// Builds a network with an explicit successor-list length `r >= 1`.
+    pub fn with_succ_len(n: usize, seed: u64, r: usize) -> Self {
         assert!(n >= 1);
+        assert!(r >= 1, "successor list needs at least one entry");
         let mut ids: Vec<u64> = (0..n as u64).map(|i| mix64(seed ^ mix64(i))).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -67,6 +97,9 @@ impl ChordNetwork {
         let mut net = Self {
             ids,
             fingers: Vec::new(),
+            succ_lists: Vec::new(),
+            departed: vec![false; n],
+            succ_len: r,
         };
         net.rebuild_all_fingers();
         net
@@ -97,6 +130,12 @@ impl ChordNetwork {
         let n = self.ids.len();
         self.fingers = (0..n)
             .map(|v| self.build_fingers_for(self.ids[v]))
+            .collect();
+        // Successor lists: the next min(r, n-1) nodes clockwise. The ids
+        // are sorted, so index order *is* clockwise order.
+        let r = self.succ_len.min(n.saturating_sub(1));
+        self.succ_lists = (0..n)
+            .map(|v| (1..=r).map(|off| ((v + off) % n) as u32).collect())
             .collect();
     }
 
@@ -379,6 +418,7 @@ impl ChordNetwork {
             "id collision on join (astronomically unlikely)"
         );
         self.ids.insert(pos, id);
+        self.departed.insert(pos, false);
         self.rebuild_all_fingers();
         pos as u32
     }
@@ -387,6 +427,7 @@ impl ChordNetwork {
     pub fn leave(&mut self, v: u32) {
         assert!(self.ids.len() > 1, "cannot empty the ring");
         self.ids.remove(v as usize);
+        self.departed.remove(v as usize);
         self.rebuild_all_fingers();
     }
 
@@ -394,6 +435,334 @@ impl ChordNetwork {
     /// greedy-finger constant (useful in assertions and reports).
     pub fn hop_bound(&self) -> u32 {
         (self.len() as f64).log2().ceil() as u32 * 2 + 4
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance model: realistic departures + incremental repair.
+    // ------------------------------------------------------------------
+
+    /// Marks node `v` down **without repairing anyone's tables** — the
+    /// realistic counterpart of [`Self::leave`], whose instantaneous
+    /// global rebuild no deployed ring can perform. After `depart`, every
+    /// finger and successor-list entry pointing at `v` dangles until
+    /// [`Self::stabilize`] / [`Self::fix_fingers`] rounds catch up.
+    pub fn depart(&mut self, v: u32) {
+        assert!(!self.departed[v as usize], "node {v} already departed");
+        assert!(
+            self.live_count() > 1,
+            "cannot depart the last live node in the ring"
+        );
+        self.departed[v as usize] = true;
+    }
+
+    /// Brings a departed node back up: Chord's re-join, collapsed.
+    ///
+    /// The node re-bootstraps its own successor list from the live ring
+    /// (one message per entry) and *notifies* its live predecessor,
+    /// which splices it into its successor list at the sorted position
+    /// (one message) — without the notify, gossip alone could never
+    /// re-discover a returned node. The rejoiner keeps its old finger
+    /// table (sessions keep state across restarts); stale entries there
+    /// heal through [`Self::fix_fingers`] like everyone else's.
+    ///
+    /// Returns the message count of the re-join handshake.
+    pub fn rejoin(&mut self, v: u32) -> u64 {
+        assert!(self.departed[v as usize], "node {v} is not departed");
+        self.departed[v as usize] = false;
+        let n = self.len();
+        let mut messages = 0u64;
+        // Rebuild v's own successor list: next r live nodes clockwise.
+        let mut list = Vec::with_capacity(self.succ_len);
+        for off in 1..n {
+            let idx = ((v as usize + off) % n) as u32;
+            if !self.departed[idx as usize] {
+                list.push(idx);
+                messages += 1;
+                if list.len() >= self.succ_len {
+                    break;
+                }
+            }
+        }
+        self.succ_lists[v as usize] = list;
+        // Notify the live predecessor so the ring learns v is back.
+        if let Some(u) = self.first_live_counterclockwise_before(v) {
+            messages += 1;
+            let base = self.ids[u as usize];
+            let d_v = self.ids[v as usize].wrapping_sub(base);
+            let lst = &mut self.succ_lists[u as usize];
+            let pos = lst.partition_point(|&w| self.ids[w as usize].wrapping_sub(base) < d_v);
+            if lst.get(pos) != Some(&v) {
+                lst.insert(pos, v);
+                lst.truncate(self.succ_len);
+            }
+            if pos == 0 {
+                self.fingers[u as usize][0] = v;
+            }
+        }
+        messages
+    }
+
+    /// The first live node strictly counterclockwise before `v`.
+    fn first_live_counterclockwise_before(&self, v: u32) -> Option<u32> {
+        let n = self.len();
+        for off in 1..n {
+            let idx = ((v as usize + n - off) % n) as u32;
+            if !self.departed[idx as usize] {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Whether `v` is currently departed.
+    pub fn is_departed(&self, v: u32) -> bool {
+        self.departed[v as usize]
+    }
+
+    /// Number of live (non-departed) nodes.
+    pub fn live_count(&self) -> usize {
+        self.departed.iter().filter(|&&d| !d).count()
+    }
+
+    /// The liveness mask (`true` = live), indexed like the node table.
+    pub fn alive_mask(&self) -> Vec<bool> {
+        self.departed.iter().map(|&d| !d).collect()
+    }
+
+    /// Node `v`'s successor list as last refreshed (possibly stale).
+    pub fn succ_list(&self, v: u32) -> &[u32] {
+        &self.succ_lists[v as usize]
+    }
+
+    /// The first *live* node at or clockwise after `key` — the key's
+    /// owner under the current departed mask (oracle view; stale-aware
+    /// routing may or may not reach it).
+    pub fn first_live_successor_of_key(&self, key: u64) -> Option<u32> {
+        let n = self.len();
+        let start = self.ids.partition_point(|&id| id < key) % n;
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if !self.departed[idx] {
+                return Some(idx as u32);
+            }
+        }
+        None
+    }
+
+    /// The first live node strictly clockwise after node `v` (bootstrap
+    /// oracle used when a node's entire successor list is dead).
+    fn first_live_clockwise_after(&self, v: u32) -> Option<u32> {
+        let n = self.len();
+        for off in 1..n {
+            let idx = ((v as usize + off) % n) as u32;
+            if !self.departed[idx as usize] {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// One stabilization round over all live nodes (ascending index
+    /// order, in place — sequential gossip): each node probes its
+    /// successor list for the first live entry `s` (one message per
+    /// probe), adopts `[s] ++ s's list` truncated to *r* (one fetch
+    /// message), and repoints `finger[0]` at `s`. A node whose entire
+    /// list is dead re-enters via the first live node clockwise (a
+    /// bootstrap rescue, one extra message).
+    ///
+    /// Returns the round's message count. One round repairs every
+    /// immediate successor pointer; lists converge to the true next-*r*
+    /// live nodes within `O(r)` rounds — the recovery curve `repro soak`
+    /// measures.
+    pub fn stabilize(&mut self) -> u64 {
+        let n = self.len();
+        let mut messages = 0u64;
+        for v in 0..n as u32 {
+            if self.departed[v as usize] {
+                continue;
+            }
+            let mut found: Option<u32> = None;
+            for &w in &self.succ_lists[v as usize] {
+                messages += 1; // liveness probe
+                if !self.departed[w as usize] {
+                    found = Some(w);
+                    break;
+                }
+            }
+            let s = match found {
+                Some(s) => s,
+                None => {
+                    messages += 1; // bootstrap rescue
+                    match self.first_live_clockwise_after(v) {
+                        Some(s) => s,
+                        None => continue, // alone in the ring
+                    }
+                }
+            };
+            messages += 1; // fetch s's successor list
+            let mut list = Vec::with_capacity(self.succ_len);
+            list.push(s);
+            let src = self.succ_lists[s as usize].clone();
+            for w in src {
+                if list.len() >= self.succ_len {
+                    break;
+                }
+                if w != v && !list.contains(&w) {
+                    list.push(w);
+                }
+            }
+            self.succ_lists[v as usize] = list;
+            self.fingers[v as usize][0] = s;
+        }
+        messages
+    }
+
+    /// One finger-repair round: every live node repoints each finger
+    /// entry that targets a departed node at the first live successor of
+    /// the finger's ring target (the outcome of a `find_successor`
+    /// lookup, collapsed to one accounting message per repaired entry).
+    ///
+    /// Returns the round's message count.
+    pub fn fix_fingers(&mut self) -> u64 {
+        let n = self.len();
+        let mut messages = 0u64;
+        for v in 0..n as u32 {
+            if self.departed[v as usize] {
+                continue;
+            }
+            for i in 0..FINGER_BITS {
+                let f = self.fingers[v as usize][i];
+                if !self.departed[f as usize] {
+                    continue;
+                }
+                let target = self.ids[v as usize].wrapping_add(1u64 << i);
+                if let Some(nf) = self.first_live_successor_of_key(target) {
+                    self.fingers[v as usize][i] = nf;
+                    messages += 1;
+                }
+            }
+        }
+        messages
+    }
+
+    /// Number of table entries (fingers + successor lists) of live nodes
+    /// that point at departed nodes. Decays to zero as maintenance
+    /// rounds catch up; `repro soak` tracks the decay.
+    pub fn stale_entries(&self) -> usize {
+        let mut stale = 0usize;
+        for v in 0..self.len() {
+            if self.departed[v] {
+                continue;
+            }
+            stale += self.fingers[v]
+                .iter()
+                .filter(|&&f| self.departed[f as usize])
+                .count();
+            stale += self.succ_lists[v]
+                .iter()
+                .filter(|&&w| self.departed[w as usize])
+                .count();
+        }
+        stale
+    }
+
+    /// Lookup over **possibly-stale local tables only** — no oracle in
+    /// the routing loop. Each hop: probe the successor list for the first
+    /// live entry `s` (a probe to a dead entry is a wasted message); if
+    /// `key ∈ (current, s]`, `s` owns it (one final hop); otherwise route
+    /// via the closest preceding live finger inside `(current, key)`
+    /// (probing a dead finger wastes a message), falling back to `s`.
+    ///
+    /// Returns `(None, messages)` when routing fails: the source is
+    /// departed, or some node on the path has a fully-dead successor
+    /// list (the dangling-pointer failure mode that [`Self::stabilize`]
+    /// repairs). Progress is strictly clockwise, so the loop terminates.
+    pub fn lookup_stale(&self, from: u32, key: u64) -> (Option<LookupResult>, u64) {
+        let n = self.len();
+        if self.departed[from as usize] {
+            return (None, 0);
+        }
+        if n == 1 {
+            return (Some(LookupResult { owner: 0, hops: 0 }), 0);
+        }
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut messages = 0u64;
+        loop {
+            let cur_id = self.ids[current as usize];
+            // First live entry of the local successor list.
+            let mut live_succ: Option<u32> = None;
+            for &w in &self.succ_lists[current as usize] {
+                messages += 1; // liveness probe
+                if !self.departed[w as usize] {
+                    live_succ = Some(w);
+                    break;
+                }
+            }
+            let Some(s) = live_succ else {
+                // Dangling: every successor this node knows is dead.
+                return (None, messages);
+            };
+            if in_interval_oc(key, cur_id, self.ids[s as usize]) {
+                return (
+                    Some(LookupResult {
+                        owner: s,
+                        hops: hops + 1,
+                    }),
+                    messages + 1,
+                );
+            }
+            let mut next: Option<u32> = None;
+            for i in (0..FINGER_BITS).rev() {
+                let f = self.fingers[current as usize][i];
+                if f == current {
+                    continue;
+                }
+                if in_interval_oo(self.ids[f as usize], cur_id, key) {
+                    messages += 1; // probe the candidate finger
+                    if self.departed[f as usize] {
+                        continue; // wasted probe; try a shorter finger
+                    }
+                    next = Some(f);
+                    break;
+                }
+            }
+            current = next.unwrap_or(s);
+            messages += 1; // the hop itself
+            hops += 1;
+            if hops as usize > 2 * n + FINGER_BITS {
+                // Defensive guard; unreachable under clockwise progress.
+                return (None, messages);
+            }
+        }
+    }
+
+    /// Asserts the successor-list invariants for every live node: no
+    /// self-entries, length at most *r*, and entries in strictly
+    /// increasing clockwise distance. Panics on violation (a `repro
+    /// soak` runtime invariant).
+    pub fn check_successor_lists(&self) {
+        for v in 0..self.len() as u32 {
+            if self.departed[v as usize] {
+                continue;
+            }
+            let list = &self.succ_lists[v as usize];
+            assert!(
+                list.len() <= self.succ_len,
+                "successor list of {v} overflows r={}",
+                self.succ_len
+            );
+            let base = self.ids[v as usize];
+            let mut prev: Option<u64> = None;
+            for &w in list {
+                assert!(w != v, "successor list of {v} contains itself");
+                let d = self.ids[w as usize].wrapping_sub(base);
+                if let Some(p) = prev {
+                    assert!(d > p, "successor list of {v} is not in clockwise order");
+                }
+                prev = Some(d);
+            }
+        }
     }
 }
 
@@ -726,6 +1095,67 @@ mod faulty_tests {
     }
 
     #[test]
+    fn stabilize_converges_and_restores_lookups_after_mass_departure() {
+        let mut net = ChordNetwork::new(200, 41);
+        // Depart 25% of the ring, scattered deterministically.
+        for v in (0..200u32).filter(|v| v % 4 == 0) {
+            net.depart(v);
+        }
+        assert!(net.stale_entries() > 0, "departures must dangle");
+        // r stabilize rounds heal successor lists; one fix_fingers round
+        // then heals the fingers.
+        let mut repair_messages = 0u64;
+        for _ in 0..DEFAULT_SUCC_LEN {
+            repair_messages += net.stabilize();
+            net.check_successor_lists();
+        }
+        repair_messages += net.fix_fingers();
+        assert!(repair_messages > 0);
+        assert_eq!(
+            net.stale_entries(),
+            0,
+            "r stabilize rounds + fix_fingers must purge every stale entry"
+        );
+        // Post-repair, stale-table routing agrees with the live oracle.
+        for k in 0..60u64 {
+            let key = mix64(k ^ 0x5eed);
+            let from = (1 + 4 * (k % 40)) as u32; // live sources
+            let (r, _) = net.lookup_stale(from, key);
+            let r = r.expect("post-stabilize lookup must succeed");
+            assert_eq!(Some(r.owner), net.first_live_successor_of_key(key));
+        }
+    }
+
+    #[test]
+    fn rejoin_notify_reintegrates_the_node() {
+        let mut net = ChordNetwork::new(64, 43);
+        let v = 20u32;
+        net.depart(v);
+        for _ in 0..DEFAULT_SUCC_LEN {
+            net.stabilize();
+        }
+        net.fix_fingers();
+        assert_eq!(net.stale_entries(), 0);
+        // While v is down, keys it owned resolve to its live successor.
+        let key = net.id_of(v); // v's own id: v owns it when alive
+        let (r, _) = net.lookup_stale(1, key);
+        assert_ne!(r.expect("lookup must resolve").owner, v);
+        // Rejoin: the notify handshake re-links v; stabilize gossip then
+        // spreads it; lookups route to v again.
+        let msgs = net.rejoin(v);
+        assert!(msgs > 0, "rejoin handshake costs messages");
+        net.check_successor_lists();
+        for _ in 0..DEFAULT_SUCC_LEN {
+            net.stabilize();
+            net.check_successor_lists();
+        }
+        net.fix_fingers();
+        let (r, _) = net.lookup_stale(1, key);
+        assert_eq!(r.expect("lookup must resolve").owner, v);
+        assert_eq!(Some(v), net.first_live_successor_of_key(key));
+    }
+
+    #[test]
     fn zero_retry_policy_fails_fast_but_still_counts() {
         let net = ChordNetwork::new(64, 34);
         let plan = FaultPlan::build(
@@ -748,5 +1178,70 @@ mod faulty_tests {
         }
         assert_eq!(total.retries, 0, "fail-fast policy never retries");
         assert_eq!(total.dropped, total.timeouts);
+    }
+}
+
+#[cfg(test)]
+mod dangling_regression {
+    //! Satellite regression (ISSUE 4): a departure must *dangle* —
+    //! other nodes' fingers and successor lists keep pointing at the
+    //! departed node until maintenance repairs them. These tests pin the
+    //! broken state first, then assert the stabilization rounds fix it.
+
+    use super::*;
+
+    #[test]
+    fn depart_without_maintenance_leaves_dangling_pointers() {
+        // r = 1: a single departed successor is enough to strand a node.
+        let mut net = ChordNetwork::with_succ_len(32, 44, 1);
+        let v = 10u32;
+        let succ_of_v = net.succ_list(v)[0];
+        net.depart(succ_of_v);
+        // Pin the dangling behavior: v's only successor entry is dead,
+        // and nobody repaired it.
+        assert!(net.is_departed(net.succ_list(v)[0]));
+        assert!(net.stale_entries() > 0, "depart must leave stale entries");
+        // A lookup that must leave v through its successor fails outright
+        // — the dangling-pointer failure mode.
+        let key = net.id_of(succ_of_v); // owned by the departed node's successor region
+        let (r, messages) = net.lookup_stale(v, key);
+        assert!(r.is_none(), "stranded node must fail the lookup");
+        assert!(messages > 0, "the failure costs wasted probes");
+    }
+
+    #[test]
+    fn stabilize_fixes_the_dangling_pointers_and_lookups_succeed() {
+        let mut net = ChordNetwork::with_succ_len(32, 44, 1);
+        let v = 10u32;
+        let succ_of_v = net.succ_list(v)[0];
+        net.depart(succ_of_v);
+        // The fix: stabilization rounds (with the bootstrap rescue for
+        // fully-dead lists) plus finger repair.
+        net.stabilize();
+        net.fix_fingers();
+        net.check_successor_lists();
+        assert_eq!(net.stale_entries(), 0);
+        // Post-stabilize, every lookup from a live source succeeds and
+        // agrees with the live-ring oracle.
+        for k in 0..40u64 {
+            let key = mix64(k ^ 0xabcd);
+            for from in [v, 0u32, 31] {
+                let (r, _) = net.lookup_stale(from, key);
+                let r = r.expect("post-stabilize lookup must succeed");
+                assert_eq!(Some(r.owner), net.first_live_successor_of_key(key));
+            }
+        }
+    }
+
+    #[test]
+    fn leave_keeps_departed_mask_aligned() {
+        let mut net = ChordNetwork::new(16, 45);
+        net.depart(5);
+        net.leave(11); // indices past 11 shift down
+        assert_eq!(net.len(), 15);
+        assert!(net.is_departed(5), "depart mark must survive the shift");
+        assert_eq!(net.live_count(), 14);
+        let joined = net.join(0x7e57);
+        assert!(!net.is_departed(joined));
     }
 }

@@ -197,6 +197,62 @@ impl DhtIndex {
     pub fn remove_node(&mut self, v: u32) -> FxHashMap<u64, Vec<u32>> {
         self.storage.remove(v as usize)
     }
+
+    /// Re-replicates posting lists orphaned by owner departure: every
+    /// list held by a node that is down under `alive` is copied (merged)
+    /// onto the key's first **alive** successor — the owner that faulty
+    /// queries actually resolve, so their `stale_misses` decay as this
+    /// maintenance catches up with churn.
+    ///
+    /// Modeling note: in a deployed ring the data survives on the
+    /// owner's `r` successor replicas; the simulator keeps one copy and
+    /// lets the maintenance daemon re-materialize it on the new owner.
+    /// The down node keeps its copy (it may come back; publishes are
+    /// idempotent merges, so double-placement is harmless).
+    ///
+    /// Keys are visited in sorted order per node (never hash order), so
+    /// the pass is deterministic. A transfer is skipped when the
+    /// destination already holds every object (the daemon compares digests
+    /// before shipping), so the pass is *idempotent with zero cost at the
+    /// fixed point*: a second identical call returns `(0, 0)`. Returns
+    /// `(lists_copied, messages)` with one transfer message per copied
+    /// list.
+    pub fn re_replicate(&mut self, net: &ChordNetwork, alive: &[bool]) -> (u64, u64) {
+        assert_eq!(alive.len(), net.len(), "alive mask must cover the ring");
+        let mut lists = 0u64;
+        let mut messages = 0u64;
+        for h in 0..net.len() {
+            if alive[h] || self.storage[h].is_empty() {
+                continue;
+            }
+            let mut keys: Vec<u64> = self.storage[h].keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let Some(dest) = net.first_alive_successor(key, alive) else {
+                    continue; // nobody alive to host the list
+                };
+                if dest as usize == h {
+                    continue;
+                }
+                let Some(src) = self.storage[h].get(&key).cloned() else {
+                    continue;
+                };
+                let list = self.storage[dest as usize].entry(key).or_default();
+                let mut changed = false;
+                for object in src {
+                    if let Err(pos) = list.binary_search(&object) {
+                        list.insert(pos, object);
+                        changed = true;
+                    }
+                }
+                if changed {
+                    lists += 1;
+                    messages += 1;
+                }
+            }
+        }
+        (lists, messages)
+    }
 }
 
 fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
@@ -330,7 +386,6 @@ mod tests {
 
     #[test]
     fn stranded_posting_on_departed_owner_counts_stale() {
-        use qcp_faults::FaultConfig;
         let net = ChordNetwork::new(48, 5);
         let mut idx = DhtIndex::new(&net);
         idx.publish(&net, 0, "stale-term", 9);
@@ -340,31 +395,113 @@ mod tests {
         // routing still resolves (some successor alive) and the querier
         // lives. Deterministic scan over seeds and ticks.
         let policy = RetryPolicy::default();
-        let found = (0..200u64).find_map(|seed| {
-            let plan = FaultPlan::build(
-                48,
-                &FaultConfig {
-                    loss: 0.0,
-                    churn: 0.6,
-                    seed,
-                    ..Default::default()
-                },
-            );
-            (0..1_000u64)
-                .find(|&t| {
-                    !plan.alive_at(home, t)
-                        && plan.alive_at(0, t)
-                        && net.first_alive_successor_at(key, &plan, t).is_some()
-                })
-                .map(|t| (plan, t))
-        });
-        let (plan, t) = found.expect("churn=0.6 must down the home node somewhere");
+        let (plan, t) = stranding_scenario(&net, home, key);
         let (out, stats) = idx.query_keys_faulty(&net, 0, &[key], &plan, &policy, t, 11);
         assert!(
             out.results.is_empty(),
             "posting stranded on dead owner is unreachable"
         );
         assert_eq!(stats.stale_misses, 1, "stranded posting must count stale");
+    }
+
+    /// Deterministic scan for a `(plan, time)` where `home` is down, node
+    /// 0 is alive, and routing can still resolve the key — shared by the
+    /// staleness and re-replication tests.
+    #[cfg(test)]
+    fn stranding_scenario(net: &ChordNetwork, home: u32, key: u64) -> (qcp_faults::FaultPlan, u64) {
+        use qcp_faults::FaultConfig;
+        (0..200u64)
+            .find_map(|seed| {
+                let plan = FaultPlan::build(
+                    net.len(),
+                    &FaultConfig {
+                        loss: 0.0,
+                        churn: 0.6,
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                (0..1_000u64)
+                    .find(|&t| {
+                        !plan.alive_at(home, t)
+                            && plan.alive_at(0, t)
+                            && net.first_alive_successor_at(key, &plan, t).is_some()
+                    })
+                    .map(|t| (plan, t))
+            })
+            .expect("churn=0.6 must down the home node somewhere")
+    }
+
+    #[test]
+    fn re_replication_decays_stale_misses() {
+        let net = ChordNetwork::new(48, 5);
+        let mut idx = DhtIndex::new(&net);
+        idx.publish(&net, 0, "stale-term", 9);
+        let key = key_for_term("stale-term");
+        let home = net.successor_of_key(key);
+        let policy = RetryPolicy::default();
+        let (plan, t) = stranding_scenario(&net, home, key);
+        // Before maintenance: the posting is stranded and counted stale.
+        let (out, stats) = idx.query_keys_faulty(&net, 0, &[key], &plan, &policy, t, 11);
+        assert!(out.results.is_empty());
+        assert_eq!(stats.stale_misses, 1);
+        // One maintenance pass at the churn snapshot: the orphaned list is
+        // copied to the first alive successor...
+        let alive = plan.alive_mask_at(t);
+        let (lists, messages) = idx.re_replicate(&net, &alive);
+        assert_eq!(lists, 1, "exactly the stranded list moves");
+        assert_eq!(messages, 1);
+        // ...and the same query now succeeds with zero stale misses.
+        let (out, stats) = idx.query_keys_faulty(&net, 0, &[key], &plan, &policy, t, 11);
+        assert_eq!(out.results, vec![9], "re-replicated posting is reachable");
+        assert_eq!(stats.stale_misses, 0, "stale miss decays after maintenance");
+        // The pass is idempotent with zero cost at the fixed point.
+        assert_eq!(idx.re_replicate(&net, &alive), (0, 0));
+    }
+
+    #[test]
+    fn re_replicate_is_deterministic_and_noop_when_all_alive() {
+        let net = ChordNetwork::new(48, 5);
+        let mut a = DhtIndex::new(&net);
+        for (i, term) in ["aa", "bb", "cc", "dd"].iter().enumerate() {
+            a.publish(&net, i as u32, term, i as u32);
+        }
+        let mut b = a.clone();
+        // All alive: nothing is orphaned, nothing moves.
+        let all = vec![true; net.len()];
+        assert_eq!(a.re_replicate(&net, &all), (0, 0));
+        // Under churn: two independent runs produce identical storage and
+        // identical accounting.
+        let mut alive = vec![true; net.len()];
+        for (term, owner) in ["aa", "bb", "cc", "dd"]
+            .iter()
+            .map(|t| (*t, net.successor_of_key(key_for_term(t))))
+        {
+            let _ = term;
+            alive[owner as usize] = false;
+        }
+        let ra = a.re_replicate(&net, &alive);
+        let rb = b.re_replicate(&net, &alive);
+        assert_eq!(ra, rb);
+        assert!(ra.0 >= 1, "downed owners must orphan at least one list");
+        for v in 0..net.len() {
+            let mut ka: Vec<u64> = a.storage[v].keys().copied().collect();
+            let mut kb: Vec<u64> = b.storage[v].keys().copied().collect();
+            ka.sort_unstable();
+            kb.sort_unstable();
+            assert_eq!(ka, kb, "storage diverged at node {v}");
+            for k in ka {
+                assert_eq!(a.storage[v][&k], b.storage[v][&k]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask must cover the ring")]
+    fn re_replicate_rejects_short_mask() {
+        let net = ChordNetwork::new(8, 1);
+        let mut idx = DhtIndex::new(&net);
+        let _ = idx.re_replicate(&net, &[true; 4]);
     }
 
     #[test]

@@ -215,6 +215,50 @@ impl FaultPlan {
         unit(h) < p
     }
 
+    /// Freezes the session schedule to its snapshot at tick `t`: nodes
+    /// alive at `t` never go down in the frozen plan, nodes down at `t`
+    /// are down forever. Loss, latency, seed, and horizon are preserved,
+    /// so per-message drop draws and link latencies stay **bitwise
+    /// identical** to the source plan.
+    ///
+    /// This is the recovery-epoch primitive of the `repro soak`
+    /// experiment: within an epoch the population is held at the churn
+    /// snapshot while repair rounds run, so success-rate movement across
+    /// rounds is attributable to maintenance, not to further churn.
+    pub fn frozen_at(&self, t: u64) -> FaultPlan {
+        let n = self.num_nodes();
+        let mut down_start = vec![u64::MAX; n];
+        let mut down_end = vec![u64::MAX; n];
+        for v in 0..n as u32 {
+            if !self.alive_at(v, t) {
+                down_start[v as usize] = 0;
+                down_end[v as usize] = u64::MAX;
+            }
+        }
+        FaultPlan {
+            loss: self.loss,
+            mean_latency: self.mean_latency,
+            seed: self.seed,
+            horizon: self.horizon,
+            down_start,
+            down_end,
+        }
+    }
+
+    /// A copy with message loss silenced: every drop draw passes, while
+    /// sessions, latency, seed, and horizon are untouched. The `repro
+    /// soak` recovery rounds measure under `frozen_at(t).silence_loss()`
+    /// so the per-trial success is a pure function of overlay structure —
+    /// which is what makes the within-epoch recovery curve *provably*
+    /// monotone under repair (adding alive–alive edges can only grow a
+    /// TTL-bounded flood's reach).
+    pub fn silence_loss(&self) -> FaultPlan {
+        FaultPlan {
+            loss: 0.0,
+            ..self.clone()
+        }
+    }
+
     /// Latency of link `{u, v}` in ticks: fixed per link, uniform in
     /// `[1, 2*mean - 1]` so the mean over links is `mean_latency`.
     #[inline]
@@ -375,5 +419,64 @@ mod tests {
     #[should_panic(expected = "loss out of [0,1]")]
     fn invalid_loss_rejected() {
         let _ = FaultPlan::build(10, &cfg(1.5, 0.0));
+    }
+
+    #[test]
+    fn frozen_plan_pins_the_snapshot_for_all_time() {
+        let p = FaultPlan::build(600, &cfg(0.1, 0.4));
+        let t = 400;
+        let f = p.frozen_at(t);
+        assert!(p.dead_count_at(t) > 0, "churn=0.4 must down someone by 400");
+        for v in 0..600u32 {
+            let snapshot = p.alive_at(v, t);
+            for probe in [0u64, 1, t, 999, u64::MAX - 1] {
+                assert_eq!(
+                    f.alive_at(v, probe),
+                    snapshot,
+                    "frozen plan must hold node {v} at its t={t} state forever"
+                );
+            }
+        }
+        assert_eq!(f.alive_mask_at(0), p.alive_mask_at(t));
+    }
+
+    #[test]
+    fn frozen_plan_preserves_loss_and_latency_draws() {
+        let p = FaultPlan::build(100, &cfg(0.3, 0.4));
+        let f = p.frozen_at(123);
+        for m in 0..300u64 {
+            let (u, v) = ((m % 60) as u32, 60 + (m % 40) as u32);
+            assert_eq!(p.drop_message(u, v, 9, m), f.drop_message(u, v, 9, m));
+            assert_eq!(p.edge_loss(u, v).to_bits(), f.edge_loss(u, v).to_bits());
+            assert_eq!(p.latency(u, v), f.latency(u, v));
+        }
+        assert_eq!(p.horizon(), f.horizon());
+    }
+
+    #[test]
+    fn silencing_loss_keeps_sessions_and_drops_nothing() {
+        let p = FaultPlan::build(300, &cfg(0.4, 0.3));
+        let s = p.silence_loss();
+        for m in 0..500u64 {
+            assert!(!s.drop_message((m % 100) as u32, 100 + (m % 50) as u32, 3, m));
+        }
+        for v in 0..300u32 {
+            for t in [0u64, 400, 999] {
+                assert_eq!(p.alive_at(v, t), s.alive_at(v, t));
+            }
+        }
+        assert_eq!(p.latency(4, 9), s.latency(4, 9));
+    }
+
+    #[test]
+    fn freezing_a_fault_free_instant_yields_a_none_like_plan() {
+        // Zero loss + freeze at a tick where nobody is down (tick where
+        // dead count is 0) must satisfy `is_none`, so fault-aware engines
+        // take their exact fault-free path.
+        let p = FaultPlan::build(50, &cfg(0.0, 0.3));
+        let t = (0..1_000u64)
+            .find(|&t| p.dead_count_at(t) == 0)
+            .expect("churn=0.3 leaves some tick fully alive");
+        assert!(p.frozen_at(t).is_none());
     }
 }

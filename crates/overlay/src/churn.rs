@@ -78,11 +78,28 @@ fn rebuild(graph: &Graph, alive: Vec<bool>) -> ChurnedOverlay {
 }
 
 /// Filters a sorted holder list down to alive peers.
+///
+/// # Precondition
+///
+/// Every holder id must index into `alive`: `h < alive.len()` for all
+/// `h` in `holders`. Holder lists come from [`crate::Placement`] over the
+/// same node universe as the alive mask, so a violation means the caller
+/// mixed a placement with a mask from a different topology — a logic bug,
+/// caught eagerly by a `debug_assert!` here (and by the slice bounds check
+/// in release builds).
 pub fn surviving_holders(holders: &[u32], alive: &[bool]) -> Vec<u32> {
     holders
         .iter()
         .copied()
-        .filter(|&h| alive[h as usize])
+        .filter(|&h| {
+            debug_assert!(
+                (h as usize) < alive.len(),
+                "holder {h} out of range for alive mask of {} nodes — \
+                 placement and churn mask must cover the same node universe",
+                alive.len()
+            );
+            alive[h as usize]
+        })
         .collect()
 }
 
@@ -147,6 +164,17 @@ mod tests {
         let alive = vec![true, false, true, false];
         assert_eq!(surviving_holders(&[0, 1, 2, 3], &alive), vec![0, 2]);
         assert!(surviving_holders(&[1, 3], &alive).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for alive mask")]
+    #[cfg(debug_assertions)]
+    fn surviving_holders_rejects_out_of_range_holder() {
+        // A holder id from a bigger universe than the mask: the
+        // debug_assert must fire with a diagnosable message rather than
+        // letting the raw index panic explain nothing.
+        let alive = vec![true, true];
+        let _ = surviving_holders(&[0, 5], &alive);
     }
 
     #[test]

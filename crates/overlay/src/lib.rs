@@ -17,7 +17,9 @@
 //! * [`walk`] — k-walker random walks;
 //! * [`expanding`] — expanding-ring (iterative deepening) search;
 //! * [`sim`] — parallel trial sweeps producing success-rate curves
-//!   (Figure 8) with deterministic per-trial seeds.
+//!   (Figure 8) with deterministic per-trial seeds;
+//! * [`repair`] — self-healing maintenance: deterministic pruning of dead
+//!   edges and degree-band re-wiring (the `repro soak` recovery loop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod flood;
 pub mod graph;
 pub mod metrics;
 pub mod placement;
+pub mod repair;
 pub mod sim;
 pub mod topology;
 pub mod walk;
@@ -38,6 +41,9 @@ pub use flood::{CensusOutcome, FloodEngine, FloodOutcome};
 pub use graph::Graph;
 pub use metrics::{graph_metrics, GraphMetrics};
 pub use placement::{Placement, PlacementModel};
+pub use repair::{
+    check_repair_invariants, repair_round, Attachment, Maintainer, MaintenancePolicy, RepairStats,
+};
 pub use sim::{
     flood_trials, flood_trials_faulty, sweep_ttl, sweep_ttl_faulty, sweep_ttl_faulty_reference,
     sweep_ttl_reference, FaultySweepPoint, SimConfig, SweepPoint, TargetModel,

@@ -1,0 +1,534 @@
+//! Self-healing overlay maintenance: deterministic neighbor repair.
+//!
+//! PR 2/3 gave the stack churn and faults, but every failure was
+//! permanent — degraded-mode curves only ever went down. This module
+//! closes the loop: a [`MaintenancePolicy`] describes how survivors
+//! re-wire after departures (probe budget, target-degree band, candidate
+//! sampling), and [`repair_round`] applies one deterministic round of it:
+//!
+//! 1. **detect** — edges touching nodes that are dead under the caller's
+//!    alive mask are pruned (the "ping your neighbors" step, collapsed to
+//!    its outcome);
+//! 2. **re-wire** — every alive node whose surviving degree fell below
+//!    `degree_min` probes for fresh neighbors, drawn [`Attachment::Uniform`]ly
+//!    (Erdős–Rényi-style topologies) or by [`Attachment::Preferential`]
+//!    degree-weighted sampling (Barabási–Albert / ultrapeer topologies, whose
+//!    degree distribution the repair should regrow, not flatten);
+//! 3. **re-admit** — a node whose `FaultPlan` session comes back up
+//!    reappears in the alive mask with degree zero, is therefore deficient,
+//!    and gets wired back in by the same mechanism. No special case.
+//!
+//! # Determinism contract
+//!
+//! Every candidate draw comes from a `Pcg64` stream keyed by the stateless
+//! triple `(policy seed, node, round)` — never by visit order, thread id,
+//! or map iteration. Proposal generation runs data-parallel over the
+//! deficient nodes (chunk-ordered merge), and proposals are applied
+//! serially in ascending node order, so a repair round is bit-identical
+//! across runs and thread-pool widths, like the rest of the stack.
+
+use crate::graph::Graph;
+use qcp_util::hash::mix64;
+use qcp_util::rng::{child_seed, Pcg64};
+use qcp_util::FxHashSet;
+use qcp_xpar::Pool;
+
+/// Dedicated `Pcg64` stream selector for repair draws, so repair shares no
+/// randomness with trial RNGs, fault plans, or placement.
+const REPAIR_STREAM: u64 = 0x5e1f_4ea1_0000_0001;
+
+/// How re-attachment candidates are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// Uniform over alive nodes — matches Erdős–Rényi-style topologies
+    /// whose degree distribution is flat.
+    Uniform,
+    /// Degree-weighted (`degree + 1`) over alive nodes — preferential
+    /// re-attachment regrows the heavy tail of Barabási–Albert and
+    /// two-tier ultrapeer topologies instead of flattening it. The `+ 1`
+    /// keeps freshly re-admitted (degree-zero) nodes reachable as targets.
+    Preferential,
+}
+
+/// Parameters of the self-healing maintenance layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenancePolicy {
+    /// Repair wires a node back up when its surviving degree falls below
+    /// this floor.
+    pub degree_min: usize,
+    /// Repair never raises a node's degree above this ceiling (nodes whose
+    /// *original* degree exceeds it — topology hubs — are left alone).
+    pub degree_max: usize,
+    /// Candidate probes a deficient node may issue per round.
+    pub probe_budget: usize,
+    /// Candidate sampling model.
+    pub attachment: Attachment,
+    /// Root seed of every repair draw.
+    pub seed: u64,
+}
+
+impl MaintenancePolicy {
+    /// Uniform-attachment policy (Erdős–Rényi-style topologies).
+    pub fn uniform(degree_min: usize, degree_max: usize, probe_budget: usize, seed: u64) -> Self {
+        Self::checked(
+            degree_min,
+            degree_max,
+            probe_budget,
+            Attachment::Uniform,
+            seed,
+        )
+    }
+
+    /// Preferential-attachment policy (BA / ultrapeer topologies).
+    pub fn preferential(
+        degree_min: usize,
+        degree_max: usize,
+        probe_budget: usize,
+        seed: u64,
+    ) -> Self {
+        Self::checked(
+            degree_min,
+            degree_max,
+            probe_budget,
+            Attachment::Preferential,
+            seed,
+        )
+    }
+
+    fn checked(
+        degree_min: usize,
+        degree_max: usize,
+        probe_budget: usize,
+        attachment: Attachment,
+        seed: u64,
+    ) -> Self {
+        assert!(degree_min >= 1, "degree_min must be at least 1");
+        assert!(degree_min <= degree_max, "degree band must be nonempty");
+        Self {
+            degree_min,
+            degree_max,
+            probe_budget,
+            attachment,
+            seed,
+        }
+    }
+}
+
+/// Accounting for one (or several absorbed) repair rounds.
+///
+/// The message model charges one message per probe and two per accepted
+/// edge (the connect request and its ack), giving the identity
+/// `messages == probes + 2 * added` — checked by [`RepairStats::check_identity`]
+/// and the `repro soak` runtime invariants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Edges pruned because an endpoint is dead.
+    pub pruned: u64,
+    /// Alive nodes below the degree floor at the start of the round.
+    pub deficient: u64,
+    /// Candidate probes issued.
+    pub probes: u64,
+    /// Edges added.
+    pub added: u64,
+    /// Maintenance messages: `probes + 2 * added`.
+    pub messages: u64,
+}
+
+impl RepairStats {
+    /// Accumulates `other` into `self` field by field.
+    pub fn absorb(&mut self, other: &RepairStats) {
+        self.pruned += other.pruned;
+        self.deficient += other.deficient;
+        self.probes += other.probes;
+        self.added += other.added;
+        self.messages += other.messages;
+    }
+
+    /// Asserts the repair-message accounting identity.
+    pub fn check_identity(&self) {
+        assert!(
+            self.messages == self.probes + 2 * self.added,
+            "repair accounting broken: messages {} != probes {} + 2*added {}",
+            self.messages,
+            self.probes,
+            self.added
+        );
+    }
+}
+
+/// One deterministic maintenance round over `graph` under the `alive` mask.
+///
+/// Returns the repaired graph (same node-id space; dead nodes isolated)
+/// and the round's [`RepairStats`]. See the module docs for the three
+/// phases and the determinism contract. `alive.len()` must equal
+/// `graph.num_nodes()`.
+pub fn repair_round(
+    pool: &Pool,
+    graph: &Graph,
+    alive: &[bool],
+    policy: &MaintenancePolicy,
+    round: u64,
+) -> (Graph, RepairStats) {
+    let n = graph.num_nodes();
+    assert_eq!(alive.len(), n, "alive mask must cover the graph");
+    let mut stats = RepairStats::default();
+
+    // Phase 1: detect — prune edges with a dead endpoint, compute
+    // surviving degrees.
+    let mut deg: Vec<u32> = vec![0; n];
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(graph.num_edges());
+    for u in 0..n as u32 {
+        for &v in graph.neighbors(u) {
+            if u < v {
+                if alive[u as usize] && alive[v as usize] {
+                    edges.push((u, v));
+                    deg[u as usize] += 1;
+                    deg[v as usize] += 1;
+                } else {
+                    stats.pruned += 1;
+                }
+            }
+        }
+    }
+
+    // Candidate universe: alive nodes in ascending id order (deterministic
+    // by construction), plus cumulative degree weights for preferential
+    // sampling.
+    let alive_nodes: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+    let deficient: Vec<u32> = alive_nodes
+        .iter()
+        .copied()
+        .filter(|&v| (deg[v as usize] as usize) < policy.degree_min)
+        .collect();
+    stats.deficient = deficient.len() as u64;
+    if alive_nodes.len() <= 1 || deficient.is_empty() {
+        let repaired = Graph::from_edges(n, &edges);
+        stats.messages = stats.probes + 2 * stats.added;
+        return (repaired, stats);
+    }
+    // prefix[i] = total weight of alive_nodes[..=i]; weight = degree + 1.
+    let prefix: Vec<u64> = match policy.attachment {
+        Attachment::Uniform => Vec::new(),
+        Attachment::Preferential => {
+            let mut acc = 0u64;
+            alive_nodes
+                .iter()
+                .map(|&v| {
+                    acc += deg[v as usize] as u64 + 1;
+                    acc
+                })
+                .collect()
+        }
+    };
+
+    // Phase 2: re-wire — parallel proposal generation, one stateless RNG
+    // stream per (policy seed, node, round).
+    let proposals: Vec<(Vec<u32>, u64)> = pool.par_map(&deficient, |&u| {
+        let need = policy.degree_min - deg[u as usize] as usize;
+        let mut rng = Pcg64::with_stream(
+            child_seed(policy.seed ^ mix64(u as u64), round),
+            REPAIR_STREAM,
+        );
+        let mut picks: Vec<u32> = Vec::with_capacity(need);
+        let mut probes = 0u64;
+        for _ in 0..policy.probe_budget {
+            if picks.len() >= need {
+                break;
+            }
+            probes += 1;
+            let v = match policy.attachment {
+                Attachment::Uniform => alive_nodes[rng.index(alive_nodes.len())],
+                Attachment::Preferential => {
+                    // prefix is nonempty and strictly increasing; total
+                    // weight >= alive count >= 2 here.
+                    let total = prefix[prefix.len() - 1];
+                    let x = rng.below(total);
+                    alive_nodes[prefix.partition_point(|&p| p <= x)]
+                }
+            };
+            if v == u || picks.contains(&v) {
+                continue;
+            }
+            // Existing surviving edge? (u and v are both alive, so an
+            // old u–v edge was not pruned.)
+            if graph.neighbors(u).contains(&v) {
+                continue;
+            }
+            picks.push(v);
+        }
+        (picks, probes)
+    });
+
+    // Phase 3: apply — serial, ascending node order; accept an edge only
+    // while both endpoints stay inside the band.
+    let mut new_keys: FxHashSet<u64> = FxHashSet::default();
+    for (&u, (picks, probes)) in deficient.iter().zip(&proposals) {
+        stats.probes += probes;
+        for &v in picks {
+            if (deg[u as usize] as usize) >= policy.degree_min {
+                break;
+            }
+            if (deg[v as usize] as usize) >= policy.degree_max {
+                continue;
+            }
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            let key = ((a as u64) << 32) | b as u64;
+            if !new_keys.insert(key) {
+                continue;
+            }
+            edges.push((a, b));
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+            stats.added += 1;
+        }
+    }
+    stats.messages = stats.probes + 2 * stats.added;
+    (Graph::from_edges(n, &edges), stats)
+}
+
+/// Asserts the post-round maintenance invariants; panics on violation.
+///
+/// * no repaired edge touches a dead node, and adjacency is symmetric;
+/// * the degree band is respected: every alive node ends at or below
+///   `max(surviving degree before repair, policy.degree_max)` — repair
+///   may leave pre-existing hubs above the ceiling but never *raises*
+///   anyone past it;
+/// * the repair-message accounting identity holds.
+pub fn check_repair_invariants(
+    before: &Graph,
+    after: &Graph,
+    alive: &[bool],
+    policy: &MaintenancePolicy,
+    stats: &RepairStats,
+) {
+    assert_eq!(after.num_nodes(), before.num_nodes());
+    assert_eq!(alive.len(), after.num_nodes());
+    for u in 0..after.num_nodes() as u32 {
+        let d = after.degree(u);
+        if !alive[u as usize] {
+            assert!(d == 0, "dead node {u} kept {d} edges after repair");
+            continue;
+        }
+        let surviving_before = before
+            .neighbors(u)
+            .iter()
+            .filter(|&&v| alive[v as usize])
+            .count();
+        assert!(
+            d <= surviving_before.max(policy.degree_max),
+            "degree band violated at {u}: {d} > max({surviving_before}, {})",
+            policy.degree_max
+        );
+        for &v in after.neighbors(u) {
+            assert!(alive[v as usize], "repaired edge {u}-{v} touches dead node");
+            assert!(
+                after.neighbors(v).contains(&u),
+                "repaired edge {u}-{v} is one-way"
+            );
+        }
+    }
+    stats.check_identity();
+}
+
+/// Drives [`repair_round`]s over an owned graph, carrying the evolving
+/// topology, the round counter, and cumulative [`RepairStats`] across an
+/// epoch schedule (the shape `repro soak` consumes).
+#[derive(Debug, Clone)]
+pub struct Maintainer {
+    graph: Graph,
+    policy: MaintenancePolicy,
+    round: u64,
+    totals: RepairStats,
+}
+
+impl Maintainer {
+    /// Starts maintenance over `graph` under `policy`.
+    pub fn new(graph: Graph, policy: MaintenancePolicy) -> Self {
+        Self {
+            graph,
+            policy,
+            round: 0,
+            totals: RepairStats::default(),
+        }
+    }
+
+    /// The current (possibly repaired) topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &MaintenancePolicy {
+        &self.policy
+    }
+
+    /// Rounds applied so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    /// Cumulative stats over all rounds.
+    pub fn totals(&self) -> RepairStats {
+        self.totals
+    }
+
+    /// Applies one repair round under `alive`, advances the round counter,
+    /// and returns that round's stats. The round index feeds the draw keys,
+    /// so step sequences are reproducible but rounds are not identical.
+    pub fn step(&mut self, pool: &Pool, alive: &[bool]) -> RepairStats {
+        let (repaired, stats) = repair_round(pool, &self.graph, alive, &self.policy, self.round);
+        check_repair_invariants(&self.graph, &repaired, alive, &self.policy, &stats);
+        self.graph = repaired;
+        self.round += 1;
+        self.totals.absorb(&stats);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{erdos_renyi, gnutella_two_tier, TopologyConfig};
+
+    fn kill(n: usize, every: usize) -> Vec<bool> {
+        (0..n).map(|i| i % every != 0).collect()
+    }
+
+    #[test]
+    fn repair_prunes_dead_edges_and_refills_degrees() {
+        let t = erdos_renyi(400, 6.0, 11);
+        let alive = kill(400, 4); // 25% dead
+        let policy = MaintenancePolicy::uniform(3, 8, 16, 0x5ea1);
+        let pool = Pool::new(2);
+        let (g, stats) = repair_round(&pool, &t.graph, &alive, &policy, 0);
+        check_repair_invariants(&t.graph, &g, &alive, &policy, &stats);
+        assert!(stats.pruned > 0, "25% churn must prune edges");
+        assert!(stats.added > 0, "pruning must leave someone deficient");
+        stats.check_identity();
+        // Every alive node that can reach the floor does.
+        let alive_count = alive.iter().filter(|&&a| a).count();
+        assert!(alive_count > policy.degree_min);
+        for u in 0..400u32 {
+            if alive[u as usize] {
+                assert!(
+                    g.degree(u) >= policy.degree_min || stats.probes >= policy.probe_budget as u64,
+                    "node {u} still deficient at degree {}",
+                    g.degree(u)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_is_deterministic_across_pool_widths() {
+        let t = gnutella_two_tier(&TopologyConfig {
+            num_nodes: 500,
+            ..Default::default()
+        });
+        let alive = kill(500, 5);
+        let policy = MaintenancePolicy::preferential(3, 30, 12, 0xbeef);
+        let narrow = Pool::new(1);
+        let wide = Pool::new(4);
+        let (g1, s1) = repair_round(&narrow, &t.graph, &alive, &policy, 3);
+        let (g4, s4) = repair_round(&wide, &t.graph, &alive, &policy, 3);
+        assert_eq!(s1, s4);
+        for u in 0..500u32 {
+            assert_eq!(g1.neighbors(u), g4.neighbors(u), "adjacency differs at {u}");
+        }
+    }
+
+    #[test]
+    fn no_deficiency_means_no_op() {
+        let t = erdos_renyi(300, 8.0, 13);
+        let alive = vec![true; 300];
+        // Floor of 1: ER(mean 8) leaves nobody isolated at this size/seed.
+        let policy = MaintenancePolicy::uniform(1, 10, 8, 1);
+        let pool = Pool::new(2);
+        let (g, stats) = repair_round(&pool, &t.graph, &alive, &policy, 0);
+        assert_eq!(stats.added, 0);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.messages, stats.probes);
+        assert_eq!(g.num_edges(), t.graph.num_edges());
+    }
+
+    #[test]
+    fn readmitted_node_is_rewired() {
+        let t = erdos_renyi(200, 5.0, 17);
+        // Node 7 dies...
+        let mut alive = vec![true; 200];
+        alive[7] = false;
+        let policy = MaintenancePolicy::uniform(2, 8, 16, 0x1ce);
+        let pool = Pool::new(2);
+        let (g, _) = repair_round(&pool, &t.graph, &alive, &policy, 0);
+        assert_eq!(g.degree(7), 0, "dead node must be isolated");
+        // ...and its session comes back: the next round re-wires it.
+        alive[7] = true;
+        let (g2, stats2) = repair_round(&pool, &g, &alive, &policy, 1);
+        assert!(
+            g2.degree(7) >= policy.degree_min,
+            "re-admitted node stuck at degree {}",
+            g2.degree(7)
+        );
+        assert!(stats2.added > 0);
+    }
+
+    #[test]
+    fn preferential_attachment_favors_hubs() {
+        // A hub with 30 edges vs. many degree-1 satellites: preferential
+        // repair of fresh nodes should connect to the hub far more often
+        // than uniform would.
+        let mut edges: Vec<(u32, u32)> = (1..=30).map(|v| (0u32, v)).collect();
+        // Fifty isolated nodes to repair (ids 31..81).
+        edges.push((81, 82)); // keep the graph size at 83
+        let g = Graph::from_edges(83, &edges);
+        let alive = vec![true; 83];
+        let pool = Pool::new(2);
+        let pref = MaintenancePolicy::preferential(1, 100, 8, 42);
+        let (gp, _) = repair_round(&pool, &g, &alive, &pref, 0);
+        let unif = MaintenancePolicy::uniform(1, 100, 8, 42);
+        let (gu, _) = repair_round(&pool, &g, &alive, &unif, 0);
+        assert!(
+            gp.degree(0) > gu.degree(0),
+            "preferential ({}) must out-attach uniform ({}) at the hub",
+            gp.degree(0),
+            gu.degree(0)
+        );
+    }
+
+    #[test]
+    fn maintainer_accumulates_and_converges() {
+        let t = erdos_renyi(300, 6.0, 23);
+        let alive = kill(300, 3); // 33% dead
+        let policy = MaintenancePolicy::uniform(3, 9, 16, 7);
+        let pool = Pool::new(2);
+        let mut m = Maintainer::new(t.graph.clone(), policy);
+        let first = m.step(&pool, &alive);
+        assert!(first.pruned > 0);
+        let mut last = first;
+        for _ in 0..5 {
+            last = m.step(&pool, &alive);
+            assert_eq!(last.pruned, 0, "round 1+ sees no dead edges");
+        }
+        assert_eq!(m.rounds_run(), 6);
+        m.totals().check_identity();
+        // Converged: no deficient nodes remain, so the last round added
+        // nothing and the graph is at a fixed point.
+        assert_eq!(last.deficient, 0);
+        assert_eq!(last.added, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree band must be nonempty")]
+    fn inverted_band_rejected() {
+        let _ = MaintenancePolicy::uniform(5, 4, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask must cover the graph")]
+    fn short_mask_rejected() {
+        let t = erdos_renyi(50, 4.0, 1);
+        let pool = Pool::new(1);
+        let policy = MaintenancePolicy::uniform(2, 6, 4, 0);
+        let _ = repair_round(&pool, &t.graph, &[true; 10], &policy, 0);
+    }
+}

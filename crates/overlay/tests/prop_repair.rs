@@ -1,0 +1,197 @@
+//! Property tests for the deterministic self-healing maintenance layer
+//! (`qcp_overlay::repair`).
+//!
+//! Four families of invariants, matching the module's contract:
+//!
+//! 1. **Fixed point / idempotence** — once a round prunes nothing and adds
+//!    nothing, every further round under the same alive mask is a no-op:
+//!    the adjacency is bitwise stable and stats stay at zero work.
+//! 2. **Liveness hygiene** — a repaired graph never wires a dead node:
+//!    dead nodes end isolated and every surviving edge joins two alive
+//!    endpoints, symmetrically.
+//! 3. **Degree band** — repair never raises any node past the policy
+//!    ceiling; pre-existing hubs may stay above it but never grow.
+//! 4. **Thread-width determinism** — a round computed on a 1-thread pool
+//!    is bit-identical (adjacency and stats) to the same round on a
+//!    4-thread pool.
+
+use proptest::prelude::*;
+use qcp_overlay::repair::{
+    check_repair_invariants, repair_round, Attachment, Maintainer, MaintenancePolicy,
+};
+use qcp_overlay::{topology, Graph};
+use qcp_util::hash::mix64;
+use qcp_xpar::Pool;
+
+/// A small Erdős–Rényi world derived from a seed.
+fn world(seed: u64, n: usize) -> Graph {
+    topology::erdos_renyi(n, 5.0, seed).graph
+}
+
+/// A pseudo-random alive mask: node `v` is dead when its mixed id clears
+/// a bar derived from `frac` (so `frac` ≈ dead fraction). Node 0 is
+/// always kept alive so the mask never goes fully dead.
+fn mask(seed: u64, n: usize, frac: f64) -> Vec<bool> {
+    let bar = (frac * u64::MAX as f64) as u64;
+    let mut m: Vec<bool> = (0..n as u64).map(|v| mix64(seed ^ v) >= bar).collect();
+    m[0] = true;
+    m
+}
+
+fn policy(attachment: Attachment, seed: u64) -> MaintenancePolicy {
+    match attachment {
+        Attachment::Uniform => MaintenancePolicy::uniform(3, 9, 16, seed),
+        Attachment::Preferential => MaintenancePolicy::preferential(3, 9, 16, seed),
+    }
+}
+
+fn attachments() -> [Attachment; 2] {
+    [Attachment::Uniform, Attachment::Preferential]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Once a maintainer converges (a round that prunes and adds nothing),
+    /// repair is idempotent: further rounds leave the adjacency bitwise
+    /// unchanged and do zero work besides probing nobody.
+    #[test]
+    fn repair_is_idempotent_at_fixed_point(seed in 0u64..500, mseed in 0u64..500,
+                                           dead in 0.0f64..0.45) {
+        let g = world(seed, 250);
+        let alive = mask(mseed, 250, dead);
+        let pool = Pool::new(2);
+        for attachment in attachments() {
+            let mut m = Maintainer::new(g.clone(), policy(attachment, seed ^ 0x51de));
+            // Drive to the fixed point: with a probe budget comfortably
+            // above the floor this takes one or two rounds.
+            let mut converged = false;
+            for _ in 0..6 {
+                let s = m.step(&pool, &alive);
+                if s.pruned == 0 && s.added == 0 && s.deficient == 0 {
+                    converged = true;
+                    break;
+                }
+            }
+            prop_assert!(converged, "maintainer failed to reach a fixed point");
+            let frozen: Vec<Vec<u32>> =
+                (0..250u32).map(|v| m.graph().neighbors(v).to_vec()).collect();
+            let s = m.step(&pool, &alive);
+            prop_assert_eq!(s.pruned, 0);
+            prop_assert_eq!(s.added, 0);
+            prop_assert_eq!(s.deficient, 0);
+            prop_assert_eq!(s.messages, s.probes);
+            for v in 0..250u32 {
+                prop_assert_eq!(m.graph().neighbors(v), &frozen[v as usize][..]);
+            }
+        }
+    }
+
+    /// A repaired graph never touches a dead node: dead nodes are
+    /// isolated, every edge joins two alive endpoints, and adjacency
+    /// stays symmetric.
+    #[test]
+    fn repair_never_wires_dead_nodes(seed in 0u64..500, mseed in 0u64..500,
+                                     dead in 0.0f64..0.6, round in 0u64..8) {
+        let g = world(seed, 250);
+        let alive = mask(mseed, 250, dead);
+        let pool = Pool::new(2);
+        for attachment in attachments() {
+            let p = policy(attachment, seed ^ 0xdead);
+            let (r, stats) = repair_round(&pool, &g, &alive, &p, round);
+            stats.check_identity();
+            for u in 0..250u32 {
+                if !alive[u as usize] {
+                    prop_assert_eq!(r.degree(u), 0, "dead node {} kept edges", u);
+                }
+                for &v in r.neighbors(u) {
+                    prop_assert!(alive[u as usize] && alive[v as usize]);
+                    prop_assert!(r.neighbors(v).contains(&u), "edge {}-{} one-way", u, v);
+                }
+            }
+        }
+    }
+
+    /// Repair keeps every node inside the degree band: nobody is raised
+    /// past the ceiling (hubs already above it may keep their surviving
+    /// degree but never grow), and — with a generous probe budget over a
+    /// connected-enough world — every deficient node is lifted to the
+    /// floor.
+    #[test]
+    fn degrees_stay_within_the_band(seed in 0u64..500, mseed in 0u64..500,
+                                    dead in 0.0f64..0.45) {
+        let g = world(seed, 250);
+        let alive = mask(mseed, 250, dead);
+        let pool = Pool::new(2);
+        for attachment in attachments() {
+            let p = policy(attachment, seed ^ 0xba2d);
+            let (r, stats) = repair_round(&pool, &g, &alive, &p, 0);
+            // The library's own invariant checker covers the ceiling.
+            check_repair_invariants(&g, &r, &alive, &p, &stats);
+            for u in 0..250u32 {
+                if !alive[u as usize] {
+                    continue;
+                }
+                let surviving = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&v| alive[v as usize])
+                    .count();
+                prop_assert!(
+                    r.degree(u) <= surviving.max(p.degree_max),
+                    "node {} raised past the band: {} > max({}, {})",
+                    u, r.degree(u), surviving, p.degree_max
+                );
+            }
+        }
+    }
+
+    /// One repair round is bit-identical across thread-pool widths:
+    /// adjacency lists and stats from a 1-thread pool equal those from a
+    /// 4-thread pool.
+    #[test]
+    fn repair_is_bitwise_identical_across_pool_widths(seed in 0u64..500, mseed in 0u64..500,
+                                                      dead in 0.0f64..0.5, round in 0u64..8) {
+        let g = world(seed, 250);
+        let alive = mask(mseed, 250, dead);
+        let narrow = Pool::new(1);
+        let wide = Pool::new(4);
+        for attachment in attachments() {
+            let p = policy(attachment, seed ^ 0x7ead);
+            let (g1, s1) = repair_round(&narrow, &g, &alive, &p, round);
+            let (g4, s4) = repair_round(&wide, &g, &alive, &p, round);
+            prop_assert_eq!(s1, s4);
+            for u in 0..250u32 {
+                prop_assert_eq!(g1.neighbors(u), g4.neighbors(u), "adjacency differs at {}", u);
+            }
+        }
+    }
+}
+
+/// The floor guarantee at a concrete scale: a single round may strand a
+/// node whose picks all hit ceiling-saturated peers, but a short round
+/// sequence lifts every alive node to `degree_min` — outside `proptest!`
+/// because it wants a fixed world.
+#[test]
+fn a_few_rounds_reach_the_floor_with_budget_to_spare() {
+    let g = world(0x100f, 400);
+    let alive = mask(0xf100, 400, 0.35);
+    let pool = Pool::new(2);
+    for attachment in attachments() {
+        let p = policy(attachment, 0x0f10);
+        let mut m = Maintainer::new(g.clone(), p);
+        for _ in 0..4 {
+            m.step(&pool, &alive);
+        }
+        m.totals().check_identity();
+        for u in 0..400u32 {
+            if alive[u as usize] {
+                assert!(
+                    m.graph().degree(u) >= p.degree_min,
+                    "node {u} left deficient at degree {}",
+                    m.graph().degree(u)
+                );
+            }
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! pays the flood *and* the DHT cost and ends up strictly worse than a
 //! pure DHT. The [`DhtOnlySearch`] baseline makes that comparison direct.
 
-use crate::systems::{FaultContext, SearchOutcome, SearchSystem};
+use crate::systems::{FaultContext, MaintenanceSchedule, SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_dht::{ChordNetwork, DhtIndex};
 use qcp_faults::FaultStats;
@@ -54,6 +54,8 @@ pub struct HybridSearch {
     engine: FloodEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
+    maintenance: Option<MaintenanceSchedule>,
+    repair_messages: u64,
     /// Queries that fell back to the DHT (for reports).
     pub fallbacks: u64,
     /// Total queries served.
@@ -74,6 +76,8 @@ impl HybridSearch {
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
             faults: None,
+            maintenance: None,
+            repair_messages: 0,
             fallbacks: 0,
             queries: 0,
         }
@@ -96,6 +100,22 @@ impl HybridSearch {
         s
     }
 
+    /// Attaches a maintenance schedule: before every `schedule`-th query
+    /// the index re-replicates posting lists stranded on departed owners
+    /// (against the plan's alive mask at that query's tick), so stale
+    /// misses decay mid-workload. Only meaningful together with
+    /// [`Self::with_faults`]; without a fault context every node is
+    /// alive and the pass is a free no-op.
+    pub fn with_maintenance(mut self, schedule: MaintenanceSchedule) -> Self {
+        self.maintenance = Some(schedule);
+        self
+    }
+
+    /// Maintenance passes fired so far (0 without a schedule).
+    pub fn maintenance_passes(&self) -> u64 {
+        self.maintenance.as_ref().map_or(0, |m| m.passes)
+    }
+
     /// Fraction of queries that needed the structured fallback.
     pub fn fallback_rate(&self) -> f64 {
         if self.queries == 0 {
@@ -109,6 +129,16 @@ impl HybridSearch {
         // qcplint: allow(panic) — only called when `faults` is set.
         let ctx = self.faults.as_mut().expect("faulty path requires context");
         let (time, nonce) = ctx.next_query();
+        // The repair daemon runs on the query clock, independent of the
+        // issuer: stranded posting lists move to their first alive
+        // successor, so later lookups stop missing stale.
+        if let Some(sched) = &mut self.maintenance {
+            if sched.due() {
+                let alive = ctx.plan.alive_mask_at(time);
+                let (_, messages) = self.index.re_replicate(&self.net, &alive);
+                self.repair_messages += messages;
+            }
+        }
         if !ctx.plan.alive_at(query.source, time) {
             // A departed peer issues nothing.
             return SearchOutcome {
@@ -210,7 +240,7 @@ impl SearchSystem for HybridSearch {
     }
 
     fn maintenance_messages(&self) -> u64 {
-        self.index.publish_hops()
+        self.index.publish_hops() + self.repair_messages
     }
 }
 
@@ -220,6 +250,8 @@ pub struct DhtOnlySearch {
     net: ChordNetwork,
     index: DhtIndex,
     faults: Option<FaultContext>,
+    maintenance: Option<MaintenanceSchedule>,
+    repair_messages: u64,
 }
 
 impl DhtOnlySearch {
@@ -231,6 +263,8 @@ impl DhtOnlySearch {
             net,
             index,
             faults: None,
+            maintenance: None,
+            repair_messages: 0,
         }
     }
 
@@ -240,6 +274,19 @@ impl DhtOnlySearch {
         let mut s = Self::new(world, seed);
         s.faults = Some(faults);
         s
+    }
+
+    /// Attaches a maintenance schedule (see
+    /// [`HybridSearch::with_maintenance`]): the index heals mid-workload
+    /// by re-replicating orphaned posting lists every `schedule`-th query.
+    pub fn with_maintenance(mut self, schedule: MaintenanceSchedule) -> Self {
+        self.maintenance = Some(schedule);
+        self
+    }
+
+    /// Maintenance passes fired so far (0 without a schedule).
+    pub fn maintenance_passes(&self) -> u64 {
+        self.maintenance.as_ref().map_or(0, |m| m.passes)
     }
 }
 
@@ -258,6 +305,13 @@ impl SearchSystem for DhtOnlySearch {
         let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
         if let Some(ctx) = &mut self.faults {
             let (time, nonce) = ctx.next_query();
+            if let Some(sched) = &mut self.maintenance {
+                if sched.due() {
+                    let alive = ctx.plan.alive_mask_at(time);
+                    let (_, messages) = self.index.re_replicate(&self.net, &alive);
+                    self.repair_messages += messages;
+                }
+            }
             let (out, stats) = self.index.query_keys_faulty(
                 &self.net,
                 query.source,
@@ -284,7 +338,7 @@ impl SearchSystem for DhtOnlySearch {
     }
 
     fn maintenance_messages(&self) -> u64 {
-        self.index.publish_hops()
+        self.index.publish_hops() + self.repair_messages
     }
 }
 
@@ -580,6 +634,81 @@ mod faulty_tests {
             stats.stale_misses > 0,
             "50% churn strands postings on departed owners: {stats:?}"
         );
+    }
+
+    #[test]
+    fn maintenance_heals_the_index_mid_workload() {
+        let w = world();
+        let qs = queries(&w, 300);
+        // Same plan both times: churn strands postings; only one system
+        // runs the repair daemon.
+        let mut plain = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.0, 0.5, 25));
+        let mut healed = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.0, 0.5, 25))
+            .with_maintenance(crate::systems::MaintenanceSchedule::every(20));
+        let (rate_plain, stats_plain) = run(&mut plain, &w, &qs);
+        let (rate_healed, stats_healed) = run(&mut healed, &w, &qs);
+        assert!(stats_plain.stale_misses > 0, "churn must strand postings");
+        assert!(
+            stats_healed.stale_misses < stats_plain.stale_misses,
+            "re-replication must decay stale misses: {} vs {}",
+            stats_healed.stale_misses,
+            stats_plain.stale_misses
+        );
+        assert!(
+            rate_healed >= rate_plain,
+            "healing cannot hurt success: {rate_healed} vs {rate_plain}"
+        );
+        assert_eq!(healed.maintenance_passes(), (qs.len() as u64 - 1) / 20);
+        assert!(
+            healed.maintenance_messages() > plain.maintenance_messages(),
+            "repair transfers are accounted as maintenance cost"
+        );
+    }
+
+    #[test]
+    fn hybrid_accepts_a_maintenance_schedule() {
+        let w = world();
+        let qs = queries(&w, 200);
+        let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.0, 0.5, 27))
+            .with_maintenance(crate::systems::MaintenanceSchedule::every(25));
+        let publish_cost = sys.maintenance_messages();
+        let (_, stats) = run(&mut sys, &w, &qs);
+        assert!(sys.maintenance_passes() > 0);
+        assert!(
+            sys.maintenance_messages() > publish_cost,
+            "passes under churn must move at least one list"
+        );
+        // Zero loss: nothing is dropped, so nothing retries or times out —
+        // the daemon adds no fault noise of its own.
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.retries + stats.timeouts, 0);
+    }
+
+    #[test]
+    fn maintenance_under_none_plan_is_inert() {
+        let w = world();
+        let qs = queries(&w, 80);
+        let none = || FaultContext::new(FaultPlan::none(500), RetryPolicy::default(), 1);
+        let mut bare = DhtOnlySearch::with_faults(&w, 9, none());
+        let mut scheduled = DhtOnlySearch::with_faults(&w, 9, none())
+            .with_maintenance(crate::systems::MaintenanceSchedule::every(10));
+        let mut rng = Pcg64::new(31);
+        for q in &qs {
+            let a = bare.search(&w, q, &mut rng);
+            let b = scheduled.search(&w, q, &mut rng);
+            assert_eq!(a, b, "all-alive maintenance must be a perfect no-op");
+        }
+        assert_eq!(
+            bare.maintenance_messages(),
+            scheduled.maintenance_messages()
+        );
+        assert!(scheduled.maintenance_passes() > 0, "schedule still fires");
+    }
+
+    #[test]
+    #[should_panic(expected = "maintenance period must be positive")]
+    fn zero_period_schedule_rejected() {
+        let _ = crate::systems::MaintenanceSchedule::every(0);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use hybrid::{DhtOnlySearch, HybridSearch};
 pub use qrp::QrpFloodSearch;
 pub use synopsis::{SynopsisPolicy, SynopsisSearch};
 pub use systems::{
-    ExpandingRingSearch, FaultContext, FloodSearch, RandomWalkSearch, SearchOutcome, SearchSystem,
+    ExpandingRingSearch, FaultContext, FloodSearch, MaintenanceSchedule, RandomWalkSearch,
+    SearchOutcome, SearchSystem,
 };
 pub use world::{QuerySpec, SearchWorld, WorldConfig};

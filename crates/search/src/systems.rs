@@ -57,6 +57,56 @@ impl FaultContext {
     }
 }
 
+/// A periodic maintenance schedule driven by the query clock.
+///
+/// Systems that accept one (see [`HybridSearch::with_maintenance`] and
+/// [`DhtOnlySearch::with_maintenance`]) run a repair pass immediately
+/// before every `period`-th query, so a degraded index heals *mid*
+/// workload instead of only between experiments: stale-miss counters
+/// decay as re-replication catches up with the fault plan's churn.
+///
+/// The schedule is pure bookkeeping — it decides *when*, the owning
+/// system decides *what* (for the DHT-backed systems: one
+/// [`re_replicate`](qcp_dht::DhtIndex::re_replicate) pass against the
+/// plan's alive mask at the current tick). Firing depends only on the
+/// count of queries served, never on query outcomes, so attaching a
+/// schedule cannot perturb per-query fault draws.
+///
+/// [`HybridSearch::with_maintenance`]: crate::hybrid::HybridSearch::with_maintenance
+/// [`DhtOnlySearch::with_maintenance`]: crate::hybrid::DhtOnlySearch::with_maintenance
+#[derive(Debug, Clone)]
+pub struct MaintenanceSchedule {
+    period: u64,
+    served: u64,
+    /// Maintenance passes fired so far (for reports).
+    pub passes: u64,
+}
+
+impl MaintenanceSchedule {
+    /// A pass before every `period`-th query (the first pass fires just
+    /// before query number `period`, counting from 1 — never before the
+    /// very first query, whose index is still fresh by construction).
+    pub fn every(period: u64) -> Self {
+        assert!(period > 0, "maintenance period must be positive");
+        Self {
+            period,
+            served: 0,
+            passes: 0,
+        }
+    }
+
+    /// Advances the served-query count; returns whether a maintenance
+    /// pass is due before this query.
+    pub fn due(&mut self) -> bool {
+        let fire = self.served > 0 && self.served.is_multiple_of(self.period);
+        self.served = self.served.wrapping_add(1);
+        if fire {
+            self.passes += 1;
+        }
+        fire
+    }
+}
+
 /// A search system: given a world and a query, locate a matching peer.
 pub trait SearchSystem {
     /// Display name for reports.

@@ -155,12 +155,12 @@ impl Default for LintConfig {
         Self {
             sim_facing: [
                 "overlay", "search", "dht", "faults", "sketch", "tracegen", "analysis", "terms",
-                "zipf", "core",
+                "zipf", "core", "bench",
             ]
             .map(String::from)
             .to_vec(),
             hot_path: [
-                "overlay", "search", "dht", "faults", "sketch", "zipf", "core", "xpar",
+                "overlay", "search", "dht", "faults", "sketch", "zipf", "core", "xpar", "bench",
             ]
             .map(String::from)
             .to_vec(),
@@ -641,6 +641,20 @@ mod tests {
             &ctx(name, FileKind::Lib),
             &LintConfig::default(),
         )
+    }
+
+    #[test]
+    fn bench_is_sim_facing_and_hot_path() {
+        // `repro soak` (and the rest of the artifact pipeline) emits
+        // seeded simulation results, so `bench` lib code answers to the
+        // determinism rules and the panic discipline like the kernels do.
+        let cfg = LintConfig::default();
+        assert!(cfg.sim_facing.iter().any(|c| c == "bench"));
+        assert!(cfg.hot_path.iter().any(|c| c == "bench"));
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint("bench", src).iter().any(|d| d.rule == Rule::Nondet));
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint("bench", src).iter().any(|d| d.rule == Rule::Panic));
     }
 
     #[test]

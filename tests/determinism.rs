@@ -313,6 +313,174 @@ fn fig8_churn_zero_fault_cell_reproduces_fig8() {
     }
 }
 
+// ---------------------------------------------------------------------
+// soak: the self-healing recovery experiment rides the same contract.
+// Repair draws are keyed by (policy seed, node, round), ring sync and
+// re-replication walk sorted structures, and every epoch's measurement
+// plan is a frozen snapshot — so soak must be bit-identical across runs
+// and pool widths, and its epoch-0 baselines must be bitwise the
+// fig8-churn cells (zero maintenance == plain churn grid).
+// ---------------------------------------------------------------------
+
+use qcp_bench::soak::{soak_data, SoakCell};
+
+/// Every f64 as raw bits + every integer counter, in cell/epoch/round order.
+fn soak_fingerprint(cells: &[SoakCell]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let push_round = |out: &mut Vec<u64>, round: &qcp_bench::soak::SoakRound| {
+        out.push(round.round);
+        for fp in &round.flood {
+            out.push(fp.point.ttl as u64);
+            out.push(fp.point.success_rate.to_bits());
+            out.push(fp.point.mean_messages.to_bits());
+            out.push(fp.point.mean_reach_fraction.to_bits());
+            out.push(fp.faults.dropped);
+            out.push(fp.faults.dead_targets);
+            out.push(fp.faults.ticks);
+            out.push(fp.dead_sources);
+        }
+        out.extend([
+            round.repair.pruned,
+            round.repair.deficient,
+            round.repair.probes,
+            round.repair.added,
+            round.repair.messages,
+            round.ring_messages,
+            round.stale_entries,
+            round.lookups_ok,
+            round.lookup_total,
+            round.stale_misses,
+            round.rereplication_messages,
+            round.components,
+            round.largest_fraction.to_bits(),
+            round.alive_fraction.to_bits(),
+        ]);
+    };
+    for cell in cells {
+        out.push(cell.loss.to_bits());
+        out.push(cell.churn.to_bits());
+        push_round(&mut out, &cell.baseline);
+        for epoch in &cell.epochs {
+            out.push(epoch.epoch);
+            out.push(epoch.tick);
+            out.push(epoch.sync_messages);
+            for round in &epoch.rounds {
+                push_round(&mut out, round);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn soak_same_seed_is_bit_identical() {
+    let r = churn_session();
+    let pool = Pool::new(2);
+    let a = soak_fingerprint(&soak_data(&r, &pool));
+    let b = soak_fingerprint(&soak_data(&r, &pool));
+    assert_eq!(a, b, "soak must reproduce bit-identical results");
+}
+
+#[test]
+fn soak_thread_width_does_not_leak() {
+    let r = churn_session();
+    let a = soak_fingerprint(&soak_data(&r, &Pool::new(1)));
+    let b = soak_fingerprint(&soak_data(&r, &Pool::new(4)));
+    assert_eq!(
+        a, b,
+        "repair proposals merge chunk-ordered and apply serially; pool \
+         width must not perturb a single bit"
+    );
+}
+
+#[test]
+fn soak_baselines_are_bitwise_fig8_churn_cells() {
+    // Zero maintenance reduces to the plain churn grid: every soak cell's
+    // epoch-0 baseline flood curve must be bitwise the fig8-churn cell at
+    // the same (loss, churn) — same topology, placement, plan seed, and
+    // trial streams, with no repair applied.
+    let r = churn_session();
+    let pool = Pool::new(2);
+    let grid = fig8_churn_data(&r, &pool);
+    let cells = soak_data(&r, &pool);
+    for cell in &cells {
+        let reference = grid
+            .iter()
+            .find(|c| c.loss == cell.loss && c.churn == cell.churn)
+            .expect("every soak cell is a fig8-churn cell");
+        assert_eq!(cell.baseline.round, 0);
+        assert_eq!(cell.baseline.repair, Default::default());
+        assert_eq!(cell.baseline.flood.len(), reference.flood.len());
+        for (s, f) in cell.baseline.flood.iter().zip(&reference.flood) {
+            assert_eq!(s.point.ttl, f.point.ttl);
+            assert_eq!(
+                s.point.success_rate.to_bits(),
+                f.point.success_rate.to_bits(),
+                "loss {} churn {} ttl {}: baseline must match fig8-churn",
+                cell.loss,
+                cell.churn,
+                s.point.ttl
+            );
+            assert_eq!(
+                s.point.mean_messages.to_bits(),
+                f.point.mean_messages.to_bits()
+            );
+            assert_eq!(
+                s.point.mean_reach_fraction.to_bits(),
+                f.point.mean_reach_fraction.to_bits()
+            );
+            assert_eq!(s.faults, f.faults);
+            assert_eq!(s.dead_sources, f.dead_sources);
+        }
+    }
+}
+
+#[test]
+fn soak_zero_fault_cell_reproduces_fig8() {
+    // Transitivity check made explicit: the soak (0, 0) baseline equals
+    // the fault-free Figure-8 Zipf sweep bit for bit.
+    let r = churn_session();
+    let pool = Pool::new(2);
+    let cells = soak_data(&r, &pool);
+    let clean = cells
+        .iter()
+        .find(|c| c.loss == 0.0 && c.churn == 0.0)
+        .expect("soak includes the fault-free anchor cell");
+
+    let topo = gnutella_two_tier(&qcp_bench::figures::fig8_topology(Scale::Test));
+    let fwd = topo.forwarders();
+    let n = topo.graph.num_nodes() as u32;
+    let placement = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        n,
+        (n / 2).max(1_000),
+        r.seed ^ 0x21f,
+    );
+    let sim = SimConfig {
+        trials: r.trials,
+        seed: r.seed,
+        ..Default::default()
+    };
+    let plain = sweep_ttl(
+        &pool,
+        &topo.graph,
+        &placement,
+        Some(&fwd),
+        &[1, 2, 3, 4, 5],
+        &sim,
+    );
+    assert_eq!(plain.len(), clean.baseline.flood.len());
+    for (p, f) in plain.iter().zip(&clean.baseline.flood) {
+        assert_eq!(p.ttl, f.point.ttl);
+        assert_eq!(p.success_rate.to_bits(), f.point.success_rate.to_bits());
+        assert_eq!(p.mean_messages.to_bits(), f.point.mean_messages.to_bits());
+        assert_eq!(
+            p.mean_reach_fraction.to_bits(),
+            f.point.mean_reach_fraction.to_bits()
+        );
+    }
+}
+
 #[test]
 fn fig8_churn_faults_actually_bite() {
     // Guard: the heaviest cell must differ from the clean one, otherwise
