@@ -11,9 +11,8 @@ use qcp_core::analysis::{
 };
 use qcp_core::overlay::topology::{gnutella_two_tier, TopologyConfig};
 use qcp_core::overlay::{flood_trials, Placement, PlacementModel, SimConfig};
-use qcp_core::search::hybrid::{DhtOnlySearch, HybridSearch};
 use qcp_core::search::{
-    evaluate, gen_queries, FloodSearch, SearchWorld, WorkloadConfig, WorldConfig,
+    evaluate, gen_queries, SearchSpec, SearchWorld, WorkloadConfig, WorldConfig,
 };
 use qcp_core::terms::TermDict;
 use qcp_core::tracegen::{
@@ -197,9 +196,9 @@ fn table3(c: &mut Criterion) {
         },
     );
     c.bench_function("table3_hybrid_vs_dht", |b| {
-        let mut flood = FloodSearch::new(&world, 3);
-        let mut hybrid = HybridSearch::new(&world, 3, 20, 10);
-        let mut dht = DhtOnlySearch::new(&world, 10);
+        let mut flood = SearchSpec::flood(3).build(&world);
+        let mut hybrid = SearchSpec::hybrid(3, 20, 10).build(&world);
+        let mut dht = SearchSpec::dht_only(10).build(&world);
         b.iter(|| {
             evaluate(
                 &world,

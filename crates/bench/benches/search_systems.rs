@@ -2,10 +2,9 @@
 //! ablation A1/A5 kernels under the Criterion microscope.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use qcp_core::search::hybrid::{DhtOnlySearch, HybridSearch};
 use qcp_core::search::{
-    gen_queries, FloodSearch, GiaSearch, RandomWalkSearch, SearchSystem, SearchWorld,
-    SynopsisPolicy, SynopsisSearch, WorkloadConfig, WorldConfig,
+    gen_queries, GiaSearch, SearchSpec, SearchSystem, SearchWorld, SynopsisPolicy, SynopsisSearch,
+    WorkloadConfig, WorldConfig,
 };
 use qcp_core::util::rng::Pcg64;
 use std::hint::black_box;
@@ -37,11 +36,17 @@ fn search_systems(c: &mut Criterion) {
     let mut qc = SynopsisSearch::new(&world, SynopsisPolicy::QueryCentric, 12, 40);
     qc.observe_queries(&world, &train, 0.5);
     let mut systems: Vec<(&str, Box<dyn SearchSystem>)> = vec![
-        ("flood_ttl3", Box::new(FloodSearch::new(&world, 3))),
-        ("walk_k4_ttl20", Box::new(RandomWalkSearch::new(4, 20))),
+        ("flood_ttl3", Box::new(SearchSpec::flood(3).build(&world))),
+        (
+            "walk_k4_ttl20",
+            Box::new(SearchSpec::walk(4, 20).build(&world)),
+        ),
         ("gia_ttl30", Box::new(GiaSearch::new(&world, 30, 1))),
-        ("hybrid", Box::new(HybridSearch::new(&world, 3, 20, 2))),
-        ("dht_only", Box::new(DhtOnlySearch::new(&world, 2))),
+        (
+            "hybrid",
+            Box::new(SearchSpec::hybrid(3, 20, 2).build(&world)),
+        ),
+        ("dht_only", Box::new(SearchSpec::dht_only(2).build(&world))),
         (
             "synopsis_content",
             Box::new(SynopsisSearch::new(

@@ -7,8 +7,8 @@ use qcp_core::overlay::topology::{
 };
 use qcp_core::overlay::{flood_trials, Placement, PlacementModel, SimConfig};
 use qcp_core::search::{
-    evaluate, gen_queries, AdvertiseSearch, FloodSearch, GiaSearch, RandomWalkSearch, SearchWorld,
-    SynopsisPolicy, SynopsisSearch, WorkloadConfig, WorldConfig,
+    evaluate, gen_queries, AdvertiseSearch, GiaSearch, SearchSpec, SearchWorld, SynopsisPolicy,
+    SynopsisSearch, WorkloadConfig, WorldConfig,
 };
 use qcp_core::util::table::{fnum, percent};
 use qcp_core::util::Table;
@@ -57,8 +57,8 @@ pub fn synopsis(r: &Repro) -> String {
     );
     let budget = 12;
     let ttl = 40;
-    let mut flood = FloodSearch::new(&world, 3);
-    let mut walk = RandomWalkSearch::new(1, ttl);
+    let mut flood = SearchSpec::flood(3).build(&world);
+    let mut walk = SearchSpec::walk(1, ttl).build(&world);
     let mut ads = AdvertiseSearch::new(&world, 8, ttl, r.seed ^ 0xad5);
     let mut content = SynopsisSearch::new(&world, SynopsisPolicy::ContentCentric, budget, ttl);
     let mut query_centric = SynopsisSearch::new(&world, SynopsisPolicy::QueryCentric, budget, ttl);
@@ -159,7 +159,7 @@ pub fn mismatch(r: &Repro) -> String {
                 seed: r.seed ^ 0x3b,
             },
         );
-        let mut flood = FloodSearch::new(&world, 3);
+        let mut flood = SearchSpec::flood(3).build(&world);
         let mut qc = SynopsisSearch::new(&world, SynopsisPolicy::QueryCentric, 12, 40);
         qc.observe_queries(&world, &train, 0.5);
         let mut cc = SynopsisSearch::new(&world, SynopsisPolicy::ContentCentric, 12, 40);
@@ -268,10 +268,10 @@ pub fn walk(r: &Repro) -> String {
         );
     };
     for (k, ttl) in [(1usize, 64u32), (2, 32), (4, 16), (8, 8), (16, 4), (32, 2)] {
-        run(&mut RandomWalkSearch::new(k, ttl));
+        run(&mut SearchSpec::walk(k, ttl).build(&world));
     }
-    run(&mut FloodSearch::new(&world, 2));
-    run(&mut FloodSearch::new(&world, 3));
+    run(&mut SearchSpec::flood(2).build(&world));
+    run(&mut SearchSpec::flood(3).build(&world));
     r.write_csv("ablation_walk", &t);
     format!(
         "== A5 — walkers x TTL at a fixed 64-step budget, vs flooding ==\n{}\n{out}Few long walkers beat many short ones on sparse content; flooding buys its success rate with orders of magnitude more messages.\n",

@@ -11,13 +11,14 @@
 //! Output: `fig8_churn.csv` (flat rows) and `fig8_churn.json`
 //! (hand-written, structured per cell) under the session directory.
 
+use crate::rows::{fault_cells, flood_point_json, jf};
 use crate::{Repro, Scale};
 use qcp_core::faults::{FaultConfig, FaultPlan, RetryPolicy};
 use qcp_core::overlay::topology::gnutella_two_tier;
-use qcp_core::overlay::{sweep_ttl_faulty, FaultySweepPoint, Placement, PlacementModel, SimConfig};
+use qcp_core::overlay::{sweep_ttl_faulty, Placement, PlacementModel, SimConfig, SweepPoint};
 use qcp_core::search::{
-    evaluate, gen_queries, ComparisonRow, DhtOnlySearch, FaultContext, FloodSearch, HybridSearch,
-    SearchWorld, WorkloadConfig, WorldConfig,
+    evaluate, gen_queries, ComparisonRow, FaultContext, SearchSpec, SearchWorld, WorkloadConfig,
+    WorldConfig,
 };
 use qcp_core::util::plot::{render, PlotConfig, Series};
 use qcp_core::util::rng::child_seed;
@@ -39,8 +40,9 @@ pub struct Fig8ChurnCell {
     pub loss: f64,
     /// Fraction of peers that churn within the workload horizon.
     pub churn: f64,
-    /// Figure-8 Zipf flood curve (TTL 1..=5) under this cell's plan.
-    pub flood: Vec<FaultySweepPoint>,
+    /// Figure-8 Zipf flood curve (TTL 1..=5) under this cell's plan
+    /// (every point carries `Some` fault stats — the sweep is faulty).
+    pub flood: Vec<SweepPoint>,
     /// flood / hybrid / DHT-only rows over the shared search world.
     pub systems: Vec<ComparisonRow>,
 }
@@ -158,9 +160,13 @@ pub fn fig8_churn_data(r: &Repro, pool: &Pool) -> Vec<Fig8ChurnCell> {
                     child_seed(r.seed ^ 0xf8c2, cell << 8 | stream),
                 )
             };
-            let mut flood_sys = FloodSearch::with_faults(&world, 3, ctx(1));
-            let mut hybrid = HybridSearch::with_faults(&world, 2, 5, r.seed ^ 0x4b1d, ctx(2));
-            let mut dht = DhtOnlySearch::with_faults(&world, r.seed ^ 0xd47, ctx(3));
+            let mut flood_sys = SearchSpec::flood(3).faults(ctx(1)).build(&world);
+            let mut hybrid = SearchSpec::hybrid(2, 5, r.seed ^ 0x4b1d)
+                .faults(ctx(2))
+                .build(&world);
+            let mut dht = SearchSpec::dht_only(r.seed ^ 0xd47)
+                .faults(ctx(3))
+                .build(&world);
             let systems = evaluate(
                 &world,
                 &mut [&mut flood_sys, &mut hybrid, &mut dht],
@@ -176,15 +182,6 @@ pub fn fig8_churn_data(r: &Repro, pool: &Pool) -> Vec<Fig8ChurnCell> {
         }
     }
     grid
-}
-
-/// A finite `f64` as a JSON number; NaN/inf as `null` (JSON has neither).
-fn jf(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".into()
-    }
 }
 
 /// Hand-written JSON for the grid (the workspace vendors no serde).
@@ -205,19 +202,7 @@ fn grid_json(r: &Repro, grid: &[Fig8ChurnCell]) -> String {
         );
         for (j, fp) in cell.flood.iter().enumerate() {
             let sep = if j == 0 { "" } else { ", " };
-            let _ = write!(
-                s,
-                "{sep}{{\"ttl\": {}, \"success_rate\": {}, \"mean_messages\": {}, \
-                 \"mean_reach_fraction\": {}, \"dropped\": {}, \"dead_targets\": {}, \
-                 \"dead_sources\": {}}}",
-                fp.point.ttl,
-                jf(fp.point.success_rate),
-                jf(fp.point.mean_messages),
-                jf(fp.point.mean_reach_fraction),
-                fp.faults.dropped,
-                fp.faults.dead_targets,
-                fp.dead_sources,
-            );
+            let _ = write!(s, "{sep}{}", flood_point_json(fp));
         }
         s.push_str("], \"systems\": [");
         for (j, row) in cell.systems.iter().enumerate() {
@@ -266,32 +251,34 @@ pub fn fig8_churn(r: &Repro) -> String {
     ]);
     for cell in &grid {
         for fp in &cell.flood {
+            let [dropped, dead_targets, retries, timeouts, stale] = fault_cells(&fp.faults());
             t.row([
                 fnum(cell.loss, 2),
                 fnum(cell.churn, 2),
-                format!("fig8-flood(ttl={})", fp.point.ttl),
-                fnum(fp.point.success_rate, 5),
-                fnum(fp.point.mean_messages, 1),
-                fp.faults.dropped.to_string(),
-                fp.faults.dead_targets.to_string(),
-                "0".into(),
-                "0".into(),
-                "0".into(),
+                format!("fig8-flood(ttl={})", fp.ttl),
+                fnum(fp.success_rate, 5),
+                fnum(fp.mean_messages, 1),
+                dropped,
+                dead_targets,
+                retries,
+                timeouts,
+                stale,
                 fp.dead_sources.to_string(),
             ]);
         }
         for row in &cell.systems {
+            let [dropped, dead_targets, retries, timeouts, stale] = fault_cells(&row.faults);
             t.row([
                 fnum(cell.loss, 2),
                 fnum(cell.churn, 2),
                 row.system.clone(),
                 fnum(row.success_rate, 5),
                 fnum(row.mean_messages, 1),
-                row.faults.dropped.to_string(),
-                row.faults.dead_targets.to_string(),
-                row.faults.retries.to_string(),
-                row.faults.timeouts.to_string(),
-                row.faults.stale_misses.to_string(),
+                dropped,
+                dead_targets,
+                retries,
+                timeouts,
+                stale,
                 "0".into(),
             ]);
         }
@@ -326,7 +313,7 @@ pub fn fig8_churn(r: &Repro) -> String {
     }
     let flood_pts: Vec<(f64, f64)> = LOSSES
         .iter()
-        .map(|&l| (l, at(l, worst_churn).flood[4].point.success_rate))
+        .map(|&l| (l, at(l, worst_churn).flood[4].success_rate))
         .collect();
     series.push(Series::new("fig8-flood(ttl=5)".to_string(), flood_pts));
 
@@ -344,7 +331,7 @@ pub fn fig8_churn(r: &Repro) -> String {
     let _ = writeln!(
         out,
         "fault-free anchor: fig8 zipf ttl5 success {} (bitwise-identical to `repro fig8`)",
-        percent(clean.flood[4].point.success_rate),
+        percent(clean.flood[4].success_rate),
     );
     for si in 0..clean.systems.len() {
         let c = &clean.systems[si];

@@ -483,10 +483,8 @@ pub fn table2(r: &Repro) -> String {
 
 /// Virtual table T3: hybrid vs pure-DHT comparison (§V implication).
 pub fn table3(r: &Repro) -> String {
-    use qcp_core::search::hybrid::{DhtOnlySearch, HybridSearch};
     use qcp_core::search::{
-        evaluate, gen_queries, FloodSearch, QrpFloodSearch, SearchWorld, WorkloadConfig,
-        WorldConfig,
+        evaluate, gen_queries, QrpFloodSearch, SearchSpec, SearchWorld, WorkloadConfig, WorldConfig,
     };
 
     let world = SearchWorld::generate(&WorldConfig {
@@ -508,10 +506,12 @@ pub fn table3(r: &Repro) -> String {
             seed: r.seed ^ 0x90e,
         },
     );
-    let mut flood = FloodSearch::new(&world, 3);
+    let mut flood = SearchSpec::flood(3).build(&world);
     let mut qrp = QrpFloodSearch::new(&world, 3, 4096);
-    let mut hybrid = HybridSearch::new(&world, 3, 20, r.seed);
-    let mut dht = DhtOnlySearch::new(&world, r.seed);
+    let mut hybrid = SearchSpec::hybrid(3, 20, r.seed)
+        .build(&world)
+        .into_hybrid();
+    let mut dht = SearchSpec::dht_only(r.seed).build(&world);
     let rows = evaluate(
         &world,
         &mut [&mut flood, &mut qrp, &mut hybrid, &mut dht],

@@ -15,6 +15,8 @@
 pub mod ablations;
 pub mod fig8churn;
 pub mod figures;
+pub mod profile;
+pub mod rows;
 pub mod soak;
 pub mod timing;
 
@@ -130,6 +132,7 @@ impl Repro {
             "ablation-churn" => ablations::churn(self),
             "ablation-structured" => ablations::structured(self),
             "ablation-adaptation" => ablations::adaptation(self),
+            "profile" => profile::profile(self),
             "bench" => timing::bench(self),
             // qcplint: allow(panic) — CLI contract: unknown ids fail fast.
             other => panic!("unknown artifact '{other}'"),
@@ -160,6 +163,7 @@ impl Repro {
             "ablation-churn",
             "ablation-structured",
             "ablation-adaptation",
+            "profile",
         ]
     }
 }

@@ -1,0 +1,122 @@
+//! Shared row/JSON formatting for sweep points and fault counters.
+//!
+//! `fig8-churn`, `soak`, and `bench` all serialize [`SweepPoint`]s and
+//! [`FaultStats`] into CSV cells and hand-written JSON (the workspace
+//! vendors no serde). Before the [`SweepPoint`] merge each artifact
+//! carried its own copy of this formatting — clean and faulty variants
+//! included — which is exactly the duplication this module deletes:
+//! every consumer now formats both shapes through one code path,
+//! branching only on `stats.is_some()`.
+
+use qcp_core::faults::FaultStats;
+use qcp_core::overlay::SweepPoint;
+use qcp_core::util::table::fnum;
+use std::fmt::Write as _;
+
+/// A finite `f64` as a JSON number; NaN/inf as `null` (JSON has neither).
+pub fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// One sweep point as a JSON object. Fault-free points (`stats == None`)
+/// emit the plain quartet; faulty points append their degraded-mode
+/// accounting — the same branch every artifact takes.
+pub fn flood_point_json(fp: &SweepPoint) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"ttl\": {}, \"success_rate\": {}, \"mean_messages\": {}, \
+         \"mean_reach_fraction\": {}",
+        fp.ttl,
+        jf(fp.success_rate),
+        jf(fp.mean_messages),
+        jf(fp.mean_reach_fraction),
+    );
+    if let Some(stats) = fp.stats {
+        let _ = write!(
+            s,
+            ", \"dropped\": {}, \"dead_targets\": {}, \"dead_sources\": {}",
+            stats.dropped, stats.dead_targets, fp.dead_sources,
+        );
+    }
+    s.push('}');
+    s
+}
+
+/// The five fault-counter CSV cells shared by flood and system rows:
+/// `dropped, dead_targets, retries, timeouts, stale_misses`. Flood rows
+/// pass [`SweepPoint::faults`] (all-zero when fault-free); system rows
+/// pass their [`ComparisonRow`] counters directly.
+///
+/// [`SweepPoint::faults`]: qcp_core::overlay::SweepPoint::faults
+/// [`ComparisonRow`]: qcp_core::search::ComparisonRow
+pub fn fault_cells(stats: &FaultStats) -> [String; 5] {
+    [
+        stats.dropped.to_string(),
+        stats.dead_targets.to_string(),
+        stats.retries.to_string(),
+        stats.timeouts.to_string(),
+        stats.stale_misses.to_string(),
+    ]
+}
+
+/// The three success/cost CSV cells of a sweep point:
+/// `success_rate, mean_messages, mean_reach_fraction`.
+pub fn point_cells(fp: &SweepPoint) -> [String; 3] {
+    [
+        fnum(fp.success_rate, 5),
+        fnum(fp.mean_messages, 1),
+        fnum(fp.mean_reach_fraction, 5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(stats: Option<FaultStats>) -> SweepPoint {
+        SweepPoint {
+            ttl: 3,
+            success_rate: 0.5,
+            mean_reached: 10.0,
+            mean_reach_fraction: 0.1,
+            mean_messages: 42.5,
+            stats,
+            dead_sources: 2,
+        }
+    }
+
+    #[test]
+    fn clean_point_json_has_no_fault_fields() {
+        let s = flood_point_json(&point(None));
+        assert!(s.contains("\"ttl\": 3"));
+        assert!(!s.contains("dropped"));
+    }
+
+    #[test]
+    fn faulty_point_json_carries_counters() {
+        let s = flood_point_json(&point(Some(FaultStats {
+            dropped: 7,
+            ..Default::default()
+        })));
+        assert!(s.contains("\"dropped\": 7"));
+        assert!(s.contains("\"dead_sources\": 2"));
+    }
+
+    #[test]
+    fn jf_maps_non_finite_to_null() {
+        assert_eq!(jf(1.5), "1.5");
+        assert_eq!(jf(f64::NAN), "null");
+        assert_eq!(jf(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn cell_shapes() {
+        assert_eq!(fault_cells(&FaultStats::default())[0], "0");
+        assert_eq!(point_cells(&point(None))[1], "42.5");
+    }
+}

@@ -45,13 +45,14 @@
 //!   misses non-increasing across the rounds of an epoch.
 
 use crate::fig8churn::{cell_plan, CHURNS, LOSSES};
+use crate::rows::{flood_point_json, jf};
 use crate::Repro;
 use qcp_core::dht::{ChordNetwork, DhtIndex, DEFAULT_SUCC_LEN};
 use qcp_core::faults::{FaultPlan, RetryPolicy};
 use qcp_core::overlay::topology::gnutella_two_tier;
 use qcp_core::overlay::{
-    sweep_ttl_faulty, FaultySweepPoint, Graph, Maintainer, MaintenancePolicy, Placement,
-    PlacementModel, RepairStats, SimConfig,
+    sweep_ttl_faulty, Graph, Maintainer, MaintenancePolicy, Placement, PlacementModel, RepairStats,
+    SimConfig, SweepPoint,
 };
 use qcp_core::util::hash::mix64;
 use qcp_core::util::rng::{child_seed, Pcg64};
@@ -84,8 +85,9 @@ const DHT_PROBES: usize = 200;
 pub struct SoakRound {
     /// Repair rounds applied before this measurement (0 = none yet).
     pub round: u64,
-    /// Figure-8 TTL sweep under the epoch's measurement plan.
-    pub flood: Vec<FaultySweepPoint>,
+    /// Figure-8 TTL sweep under the epoch's measurement plan (faulty
+    /// sweep: every point carries `Some` fault stats).
+    pub flood: Vec<SweepPoint>,
     /// Overlay repair stats for the round that preceded this measurement
     /// (all zero at round 0 and in the baseline).
     pub repair: RepairStats,
@@ -413,12 +415,12 @@ pub fn soak_data(r: &Repro, pool: &Pool) -> Vec<SoakCell> {
             for w in rounds.windows(2) {
                 for (a, b) in w[0].flood.iter().zip(&w[1].flood) {
                     assert!(
-                        b.point.success_rate >= a.point.success_rate,
+                        b.success_rate >= a.success_rate,
                         "soak epoch {e} ttl {}: success regressed {} -> {} \
                          across a repair round",
-                        a.point.ttl,
-                        a.point.success_rate,
-                        b.point.success_rate
+                        a.ttl,
+                        a.success_rate,
+                        b.success_rate
                     );
                 }
                 assert!(
@@ -459,28 +461,11 @@ pub fn soak_data(r: &Repro, pool: &Pool) -> Vec<SoakCell> {
     cells
 }
 
-/// A finite `f64` as a JSON number; NaN/inf as `null`.
-fn jf(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".into()
-    }
-}
-
 fn round_json(s: &mut String, round: &SoakRound) {
     let _ = write!(s, "{{\"round\": {}, \"flood\": [", round.round);
     for (j, fp) in round.flood.iter().enumerate() {
         let sep = if j == 0 { "" } else { ", " };
-        let _ = write!(
-            s,
-            "{sep}{{\"ttl\": {}, \"success_rate\": {}, \"mean_messages\": {}, \
-             \"mean_reach_fraction\": {}}}",
-            fp.point.ttl,
-            jf(fp.point.success_rate),
-            jf(fp.point.mean_messages),
-            jf(fp.point.mean_reach_fraction),
-        );
+        let _ = write!(s, "{sep}{}", flood_point_json(fp));
     }
     let _ = write!(
         s,
@@ -551,10 +536,10 @@ fn push_rows(t: &mut Table, loss: f64, churn: f64, epoch: u64, round: &SoakRound
             fnum(churn, 2),
             epoch.to_string(),
             round.round.to_string(),
-            fp.point.ttl.to_string(),
-            fnum(fp.point.success_rate, 5),
-            fnum(fp.point.mean_messages, 1),
-            fnum(fp.point.mean_reach_fraction, 5),
+            fp.ttl.to_string(),
+            fnum(fp.success_rate, 5),
+            fnum(fp.mean_messages, 1),
+            fnum(fp.mean_reach_fraction, 5),
             fnum(round.alive_fraction, 5),
             round.components.to_string(),
             fnum(round.largest_fraction, 5),
@@ -642,8 +627,8 @@ pub fn soak(r: &Repro) -> String {
             cell.loss,
             cell.churn,
             last.epoch,
-            first.flood[deep].point.success_rate,
-            healed.flood[deep].point.success_rate,
+            first.flood[deep].success_rate,
+            healed.flood[deep].success_rate,
             first.components,
             healed.components,
             first.stale_misses,
@@ -736,10 +721,7 @@ mod tests {
                 assert_eq!(round.alive_fraction, 1.0);
                 // Identical graph + CRN trials: the curve never moves.
                 for (a, b) in clean.baseline.flood.iter().zip(&round.flood) {
-                    assert_eq!(
-                        a.point.success_rate.to_bits(),
-                        b.point.success_rate.to_bits()
-                    );
+                    assert_eq!(a.success_rate.to_bits(), b.success_rate.to_bits());
                 }
             }
         }

@@ -168,12 +168,12 @@ fn time_config(r: &Repro, scale: Scale, label: &'static str, threads: usize) -> 
 
     for (c, f) in faulty_census.iter().zip(&faulty_reference) {
         assert_eq!(
-            c.point.success_rate.to_bits(),
-            f.point.success_rate.to_bits(),
+            c.success_rate.to_bits(),
+            f.success_rate.to_bits(),
             "faulty census diverged from reference at ttl {}",
-            c.point.ttl
+            c.ttl
         );
-        assert_eq!(c.faults, f.faults, "ttl {}", c.point.ttl);
+        assert_eq!(c.stats, f.stats, "ttl {}", c.ttl);
     }
 
     SweepTiming {

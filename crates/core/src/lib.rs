@@ -27,6 +27,7 @@
 pub use qcp_analysis as analysis;
 pub use qcp_dht as dht;
 pub use qcp_faults as faults;
+pub use qcp_obs as obs;
 pub use qcp_overlay as overlay;
 pub use qcp_search as search;
 pub use qcp_sketch as sketch;

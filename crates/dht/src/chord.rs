@@ -23,6 +23,7 @@
 
 use crate::ring::{in_interval_oc, in_interval_oo};
 use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
+use qcp_obs::{Counter, Event, Kernel, Recorder};
 use qcp_util::hash::mix64;
 
 /// Number of finger-table entries (ring is 2^64).
@@ -352,6 +353,96 @@ impl ChordNetwork {
             },
             stats,
         )
+    }
+
+    /// [`Self::lookup_faulty`] with an explicit [`Recorder`].
+    ///
+    /// Recording happens **after** the lookup completes, from the
+    /// returned result and stats alone — the recorder is write-only and
+    /// can never perturb routing, retries, or fault draws, so the
+    /// returned pair is bitwise-identical to [`Self::lookup_faulty`]'s
+    /// (pinned in tests). Records under [`Kernel::ChordLookup`]: one
+    /// span, the message total, the per-hop histogram entry at the
+    /// successful hop count, the full fault counters, and a
+    /// [`Event::Hit`] / [`Event::Miss`] outcome.
+    #[allow(clippy::too_many_arguments)] // mirrors lookup_faulty plus the recorder
+    pub fn lookup_faulty_rec<R: Recorder>(
+        &self,
+        from: u32,
+        key: u64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        time: u64,
+        nonce: u64,
+        rec: &mut R,
+    ) -> (FaultyLookupResult, FaultStats) {
+        let (result, stats) = self.lookup_faulty(from, key, plan, policy, time, nonce);
+        rec.rec_span(Kernel::ChordLookup);
+        rec.rec_count(Kernel::ChordLookup, Counter::Messages, result.messages);
+        rec.rec_faults(Kernel::ChordLookup, &stats);
+        if result.owner.is_some() {
+            rec.rec_hop(Kernel::ChordLookup, result.hops, 1);
+            rec.rec_event(Kernel::ChordLookup, Event::Hit);
+        } else {
+            rec.rec_event(Kernel::ChordLookup, Event::Miss);
+        }
+        (result, stats)
+    }
+
+    /// [`Self::lookup`] with an explicit [`Recorder`] (fault-free path:
+    /// one message per hop). Same write-only, record-after contract as
+    /// [`Self::lookup_faulty_rec`].
+    pub fn lookup_rec<R: Recorder>(&self, from: u32, key: u64, rec: &mut R) -> LookupResult {
+        let result = self.lookup(from, key);
+        rec.rec_span(Kernel::ChordLookup);
+        rec.rec_count(Kernel::ChordLookup, Counter::Messages, result.hops as u64);
+        rec.rec_hop(Kernel::ChordLookup, result.hops, 1);
+        rec.rec_event(Kernel::ChordLookup, Event::Hit);
+        result
+    }
+
+    /// [`Self::lookup_stale`] with an explicit [`Recorder`] (stale-table
+    /// routing; wasted probes included in the message count). Same
+    /// write-only, record-after contract as [`Self::lookup_faulty_rec`].
+    pub fn lookup_stale_rec<R: Recorder>(
+        &self,
+        from: u32,
+        key: u64,
+        rec: &mut R,
+    ) -> (Option<LookupResult>, u64) {
+        let (result, messages) = self.lookup_stale(from, key);
+        rec.rec_span(Kernel::ChordLookup);
+        rec.rec_count(Kernel::ChordLookup, Counter::Messages, messages);
+        match result {
+            Some(r) => {
+                rec.rec_hop(Kernel::ChordLookup, r.hops, 1);
+                rec.rec_event(Kernel::ChordLookup, Event::Hit);
+            }
+            None => rec.rec_event(Kernel::ChordLookup, Event::Miss),
+        }
+        (result, messages)
+    }
+
+    /// [`Self::stabilize`] with an explicit [`Recorder`]: records the
+    /// round's message bill under [`Kernel::Stabilize`] after the round
+    /// completes (the round itself is recorder-free, so table evolution
+    /// is identical with recording on or off).
+    pub fn stabilize_rec<R: Recorder>(&mut self, rec: &mut R) -> u64 {
+        let messages = self.stabilize();
+        rec.rec_span(Kernel::Stabilize);
+        rec.rec_count(Kernel::Stabilize, Counter::Messages, messages);
+        messages
+    }
+
+    /// [`Self::fix_fingers`] with an explicit [`Recorder`]: the finger
+    /// probes are tallied under [`Kernel::Stabilize`] as
+    /// [`Counter::Probes`] (stabilize and fix-fingers form one
+    /// maintenance kernel in the profile breakdown).
+    pub fn fix_fingers_rec<R: Recorder>(&mut self, rec: &mut R) -> u64 {
+        let messages = self.fix_fingers();
+        rec.rec_span(Kernel::Stabilize);
+        rec.rec_count(Kernel::Stabilize, Counter::Probes, messages);
+        messages
     }
 
     /// Best next hop from `current` toward the node owning `owner_id`:
@@ -1092,6 +1183,82 @@ mod faulty_tests {
             let b = net.lookup_faulty(3, key, &plan, &policy, k, k);
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn recorded_lookup_is_bitwise_identical_and_reconciles() {
+        use qcp_obs::MetricsRecorder;
+        let net = ChordNetwork::new(128, 33);
+        let plan = FaultPlan::build(
+            128,
+            &FaultConfig {
+                loss: 0.25,
+                churn: 0.25,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        let mut rec = MetricsRecorder::new();
+        let mut messages = 0u64;
+        let mut expect = FaultStats::default();
+        let mut hits = 0u64;
+        let trials = 40u64;
+        for k in 0..trials {
+            let key = mix64(k);
+            let plain = net.lookup_faulty(3, key, &plan, &policy, k, k);
+            let (result, stats) = net.lookup_faulty_rec(3, key, &plan, &policy, k, k, &mut rec);
+            assert_eq!((result, stats), plain, "recording must not perturb routing");
+            messages += result.messages;
+            expect.absorb(&stats);
+            hits += result.owner.is_some() as u64;
+        }
+        // Reconciliation: recorded totals equal the summed outcomes, and
+        // the recorded fault counters are exactly the FaultStats sums.
+        assert_eq!(rec.spans(Kernel::ChordLookup), trials);
+        assert_eq!(rec.total(Kernel::ChordLookup, Counter::Messages), messages);
+        assert_eq!(rec.fault_stats(Kernel::ChordLookup), expect);
+        assert_eq!(rec.event_count(Kernel::ChordLookup, Event::Hit), hits);
+        assert_eq!(
+            rec.event_count(Kernel::ChordLookup, Event::Miss),
+            trials - hits
+        );
+        assert_eq!(rec.hop_weight(Kernel::ChordLookup), hits);
+        // The retrying-engine identity survives aggregation through the
+        // recorder: dropped == retries + timeouts.
+        let f = rec.fault_stats(Kernel::ChordLookup);
+        assert_eq!(f.dropped, f.retries + f.timeouts);
+    }
+
+    #[test]
+    fn recorded_maintenance_matches_plain_rounds() {
+        use qcp_obs::MetricsRecorder;
+        let build = || {
+            let mut net = ChordNetwork::new(200, 41);
+            for v in (0..200u32).filter(|v| v % 4 == 0) {
+                net.depart(v);
+            }
+            net
+        };
+        // Run the same maintenance schedule on two identical rings, one
+        // recorded and one not: the per-round bills and the final table
+        // state must agree exactly, and the recorder totals must
+        // reconcile with the summed bills.
+        let mut plain = build();
+        let mut recorded = build();
+        let mut rec = MetricsRecorder::new();
+        let mut stab = 0u64;
+        for _ in 0..DEFAULT_SUCC_LEN {
+            let a = plain.stabilize();
+            let b = recorded.stabilize_rec(&mut rec);
+            assert_eq!(a, b, "recording must not change the round bill");
+            stab += b;
+        }
+        let fix = recorded.fix_fingers_rec(&mut rec);
+        assert_eq!(plain.fix_fingers(), fix);
+        assert_eq!(plain.stale_entries(), recorded.stale_entries());
+        assert_eq!(rec.total(Kernel::Stabilize, Counter::Messages), stab);
+        assert_eq!(rec.total(Kernel::Stabilize, Counter::Probes), fix);
+        assert_eq!(rec.spans(Kernel::Stabilize), DEFAULT_SUCC_LEN as u64 + 1);
     }
 
     #[test]

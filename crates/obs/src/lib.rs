@@ -1,0 +1,521 @@
+//! `qcp-obs` — the deterministic observability layer.
+//!
+//! The paper's Figure-8 argument is an *accounting* argument — success
+//! rate versus messages per query — so every kernel in the workspace is
+//! ultimately a message/hop bookkeeper. This crate gives that
+//! bookkeeping one first-class home: a [`Recorder`] trait threaded
+//! through the instrumented hot paths (flood census, random walks,
+//! expanding ring, Chord lookup/stabilize, overlay repair), with two
+//! implementations:
+//!
+//! * [`NoopRecorder`] — the zero-sized default. Every method is an
+//!   empty `#[inline(always)]` body, so monomorphized kernels compile
+//!   to *exactly* the uninstrumented code. Recording off costs nothing.
+//! * [`MetricsRecorder`] — dense ordered counters (`Kernel` × `Counter`
+//!   matrix), per-hop histograms, and span-scoped event tallies.
+//!
+//! # The determinism contract
+//!
+//! Recorders are **write-only**: no kernel may read recorder state to
+//! make a control-flow or RNG decision, and no recorder method returns
+//! a value. Consequently simulation outputs are bitwise identical with
+//! recording on or off (pinned by proptests in `qcp-overlay` /
+//! `qcp-search` and by `tests/determinism.rs`). Parallel sweeps give
+//! each work chunk a private child via [`Recorder::fork`] and merge the
+//! children back **in chunk order** via [`Recorder::absorb`] — the same
+//! discipline the statistics accumulators use — so recorded totals are
+//! independent of pool width too.
+//!
+//! # Reconciliation
+//!
+//! [`MetricsRecorder`] totals are not a parallel bookkeeping universe:
+//! they must reconcile *exactly* with the existing accounting structs.
+//! `Recorder::rec_faults` mirrors a [`FaultStats`] into counters
+//! field-by-field, and the `repro profile` artifact asserts the
+//! identities (`wasted = dropped + dead_targets`, DHT
+//! `dropped = retries + timeouts`, repair
+//! `messages = probes + 2·added`) hold on the recorded side as well.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qcp_faults::FaultStats;
+
+/// Instrumented kernels. Indexes the counter matrix of
+/// [`MetricsRecorder`]; the order is stable and is the order used by
+/// the `repro profile` artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kernel {
+    /// BFS flooding (single floods and the hop census).
+    Flood,
+    /// k-walker random walks.
+    Walk,
+    /// Expanding-ring (iterative deepening) search.
+    ExpandingRing,
+    /// Chord greedy lookups (plain, faulty, and stale-table).
+    ChordLookup,
+    /// Chord maintenance: stabilize / fix-fingers / rejoin rounds.
+    Stabilize,
+    /// Unstructured-overlay repair rounds (`repair_round`).
+    Repair,
+}
+
+impl Kernel {
+    /// Number of kernels (matrix dimension).
+    pub const COUNT: usize = 6;
+    /// Every kernel, in index order.
+    pub const ALL: [Kernel; Kernel::COUNT] = [
+        Kernel::Flood,
+        Kernel::Walk,
+        Kernel::ExpandingRing,
+        Kernel::ChordLookup,
+        Kernel::Stabilize,
+        Kernel::Repair,
+    ];
+
+    /// Stable snake_case name (used as the JSON key in `profile.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Flood => "flood",
+            Kernel::Walk => "walk",
+            Kernel::ExpandingRing => "expanding_ring",
+            Kernel::ChordLookup => "chord_lookup",
+            Kernel::Stabilize => "stabilize",
+            Kernel::Repair => "repair",
+        }
+    }
+
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Ordered counters recorded per kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Counter {
+    /// Transmissions (the Figure-8 x-axis currency).
+    Messages,
+    /// Messages lost in flight ([`FaultStats::dropped`]).
+    Dropped,
+    /// Messages sent to departed peers ([`FaultStats::dead_targets`]).
+    DeadTargets,
+    /// Re-transmissions after a drop ([`FaultStats::retries`]).
+    Retries,
+    /// Hops abandoned after the retry budget ([`FaultStats::timeouts`]).
+    Timeouts,
+    /// Stale-index misses ([`FaultStats::stale_misses`]).
+    StaleMisses,
+    /// Simulated ticks spent ([`FaultStats::ticks`]).
+    Ticks,
+    /// Liveness/candidate probes (repair, stabilization).
+    Probes,
+    /// Edges re-wired by repair (`RepairStats::added`).
+    Rewires,
+    /// Dead edges pruned by repair (`RepairStats::pruned`).
+    Pruned,
+    /// Rings attempted by expanding-ring schedules.
+    Rings,
+}
+
+impl Counter {
+    /// Number of counters (matrix dimension).
+    pub const COUNT: usize = 11;
+    /// Every counter, in index order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Messages,
+        Counter::Dropped,
+        Counter::DeadTargets,
+        Counter::Retries,
+        Counter::Timeouts,
+        Counter::StaleMisses,
+        Counter::Ticks,
+        Counter::Probes,
+        Counter::Rewires,
+        Counter::Pruned,
+        Counter::Rings,
+    ];
+
+    /// Stable snake_case name (the JSON key in `profile.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Messages => "messages",
+            Counter::Dropped => "dropped",
+            Counter::DeadTargets => "dead_targets",
+            Counter::Retries => "retries",
+            Counter::Timeouts => "timeouts",
+            Counter::StaleMisses => "stale_misses",
+            Counter::Ticks => "ticks",
+            Counter::Probes => "probes",
+            Counter::Rewires => "rewires",
+            Counter::Pruned => "pruned",
+            Counter::Rings => "rings",
+        }
+    }
+
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Span-scoped events: discrete outcomes tallied per kernel span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// The span resolved its query/lookup.
+    Hit,
+    /// The span ran to completion without resolving.
+    Miss,
+    /// The issuing node was down; the span aborted at cost zero.
+    DeadSource,
+    /// A hybrid span fell back from flooding to the DHT.
+    Fallback,
+}
+
+impl Event {
+    /// Number of events (matrix dimension).
+    pub const COUNT: usize = 4;
+    /// Every event, in index order.
+    pub const ALL: [Event; Event::COUNT] =
+        [Event::Hit, Event::Miss, Event::DeadSource, Event::Fallback];
+
+    /// Stable snake_case name (the JSON key in `profile.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::Hit => "hit",
+            Event::Miss => "miss",
+            Event::DeadSource => "dead_source",
+            Event::Fallback => "fallback",
+        }
+    }
+
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// The write-only recording interface threaded through kernel hot paths.
+///
+/// # Contract
+///
+/// * **Write-only.** No method returns data; implementations must never
+///   be consulted by kernel control flow or RNG streams. (The qcplint
+///   `O1` family additionally forbids recorder calls in `#[cfg]`-varying
+///   positions, so a build-feature flip cannot change call counts.)
+/// * **Monomorphized.** Kernels take `R: Recorder` type parameters; with
+///   [`NoopRecorder`] every call inlines to nothing.
+/// * **Chunk-ordered merge.** Parallel drivers call [`Recorder::fork`]
+///   once per chunk and [`Recorder::absorb`] the children back in chunk
+///   index order. All counters are additive, so totals are independent
+///   of pool width.
+pub trait Recorder: Sized + Send + Sync {
+    /// Opens one kernel span (one flood, one lookup, one repair round…).
+    fn rec_span(&mut self, kernel: Kernel);
+    /// Adds `n` to a kernel counter.
+    fn rec_count(&mut self, kernel: Kernel, counter: Counter, n: u64);
+    /// Adds weight `n` to the kernel's per-hop histogram at `hop`.
+    fn rec_hop(&mut self, kernel: Kernel, hop: u32, n: u64);
+    /// Tallies one span-scoped event.
+    fn rec_event(&mut self, kernel: Kernel, event: Event);
+    /// Creates an empty child recorder of the same configuration (for
+    /// per-chunk recording in parallel drivers).
+    fn fork(&self) -> Self;
+    /// Merges a forked child back. Drivers call this in chunk order.
+    fn absorb(&mut self, child: Self);
+
+    /// Mirrors a [`FaultStats`] into the kernel's counters, one field
+    /// per counter. Provided so every instrumented site maps fault
+    /// accounting identically (the `repro profile` reconciliation
+    /// depends on this being the only mapping).
+    #[inline(always)]
+    fn rec_faults(&mut self, kernel: Kernel, stats: &FaultStats) {
+        self.rec_count(kernel, Counter::Dropped, stats.dropped);
+        self.rec_count(kernel, Counter::DeadTargets, stats.dead_targets);
+        self.rec_count(kernel, Counter::Retries, stats.retries);
+        self.rec_count(kernel, Counter::Timeouts, stats.timeouts);
+        self.rec_count(kernel, Counter::StaleMisses, stats.stale_misses);
+        self.rec_count(kernel, Counter::Ticks, stats.ticks);
+    }
+}
+
+/// The default recorder: a zero-sized type whose methods are all empty.
+/// Kernels monomorphized over `NoopRecorder` compile to exactly the
+/// uninstrumented code — recording off is free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn rec_span(&mut self, _kernel: Kernel) {}
+    #[inline(always)]
+    fn rec_count(&mut self, _kernel: Kernel, _counter: Counter, _n: u64) {}
+    #[inline(always)]
+    fn rec_hop(&mut self, _kernel: Kernel, _hop: u32, _n: u64) {}
+    #[inline(always)]
+    fn rec_event(&mut self, _kernel: Kernel, _event: Event) {}
+    #[inline(always)]
+    fn fork(&self) -> Self {
+        NoopRecorder
+    }
+    #[inline(always)]
+    fn absorb(&mut self, _child: Self) {}
+    #[inline(always)]
+    fn rec_faults(&mut self, _kernel: Kernel, _stats: &FaultStats) {}
+}
+
+/// The metrics recorder: dense `Kernel × Counter` totals, per-kernel
+/// per-hop histograms, and span/event tallies. Purely additive state —
+/// merging forked children is order-insensitive arithmetic, but drivers
+/// still absorb in chunk order by contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsRecorder {
+    spans: [u64; Kernel::COUNT],
+    counters: [[u64; Counter::COUNT]; Kernel::COUNT],
+    events: [[u64; Event::COUNT]; Kernel::COUNT],
+    hops: [Vec<u64>; Kernel::COUNT],
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self {
+            spans: [0; Kernel::COUNT],
+            counters: [[0; Counter::COUNT]; Kernel::COUNT],
+            events: [[0; Event::COUNT]; Kernel::COUNT],
+            hops: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    /// Number of spans opened for `kernel`.
+    pub fn spans(&self, kernel: Kernel) -> u64 {
+        self.spans[kernel.idx()]
+    }
+
+    /// Total recorded for `(kernel, counter)`.
+    pub fn total(&self, kernel: Kernel, counter: Counter) -> u64 {
+        self.counters[kernel.idx()][counter.idx()]
+    }
+
+    /// Tally for `(kernel, event)`.
+    pub fn event_count(&self, kernel: Kernel, event: Event) -> u64 {
+        self.events[kernel.idx()][event.idx()]
+    }
+
+    /// The kernel's per-hop histogram (`hist[h]` = weight recorded at
+    /// hop `h`); empty when nothing was recorded.
+    pub fn hop_histogram(&self, kernel: Kernel) -> &[u64] {
+        &self.hops[kernel.idx()]
+    }
+
+    /// Sum of the kernel's hop histogram weights.
+    pub fn hop_weight(&self, kernel: Kernel) -> u64 {
+        self.hops[kernel.idx()].iter().sum()
+    }
+
+    /// The recorded faults of `kernel`, reassembled as a [`FaultStats`]
+    /// — the inverse of [`Recorder::rec_faults`], used by the
+    /// reconciliation checks.
+    pub fn fault_stats(&self, kernel: Kernel) -> FaultStats {
+        FaultStats {
+            dropped: self.total(kernel, Counter::Dropped),
+            dead_targets: self.total(kernel, Counter::DeadTargets),
+            retries: self.total(kernel, Counter::Retries),
+            timeouts: self.total(kernel, Counter::Timeouts),
+            stale_misses: self.total(kernel, Counter::StaleMisses),
+            ticks: self.total(kernel, Counter::Ticks),
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self == &Self::new()
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    #[inline]
+    fn rec_span(&mut self, kernel: Kernel) {
+        self.spans[kernel.idx()] += 1;
+    }
+
+    #[inline]
+    fn rec_count(&mut self, kernel: Kernel, counter: Counter, n: u64) {
+        self.counters[kernel.idx()][counter.idx()] += n;
+    }
+
+    #[inline]
+    fn rec_hop(&mut self, kernel: Kernel, hop: u32, n: u64) {
+        let hist = &mut self.hops[kernel.idx()];
+        let need = hop as usize + 1;
+        if hist.len() < need {
+            hist.resize(need, 0);
+        }
+        hist[hop as usize] += n;
+    }
+
+    #[inline]
+    fn rec_event(&mut self, kernel: Kernel, event: Event) {
+        self.events[kernel.idx()][event.idx()] += 1;
+    }
+
+    fn fork(&self) -> Self {
+        Self::new()
+    }
+
+    fn absorb(&mut self, child: Self) {
+        for k in 0..Kernel::COUNT {
+            self.spans[k] += child.spans[k];
+            for c in 0..Counter::COUNT {
+                self.counters[k][c] += child.counters[k][c];
+            }
+            for e in 0..Event::COUNT {
+                self.events[k][e] += child.events[k][e];
+            }
+            let hist = &mut self.hops[k];
+            if hist.len() < child.hops[k].len() {
+                hist.resize(child.hops[k].len(), 0);
+            }
+            for (h, w) in child.hops[k].iter().enumerate() {
+                hist[h] += w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_index_tables_are_consistent() {
+        assert_eq!(Kernel::ALL.len(), Kernel::COUNT);
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+        assert_eq!(Event::ALL.len(), Event::COUNT);
+        for (i, k) in Kernel::ALL.iter().enumerate() {
+            assert_eq!(k.idx(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.idx(), i);
+        }
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.idx(), i);
+        }
+        // Names are unique (they key the JSON emission).
+        let mut names: Vec<&str> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Kernel::COUNT);
+    }
+
+    #[test]
+    fn noop_recorder_is_inert_and_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        let mut r = NoopRecorder;
+        r.rec_span(Kernel::Flood);
+        r.rec_count(Kernel::Flood, Counter::Messages, 10);
+        r.rec_hop(Kernel::Flood, 3, 2);
+        r.rec_event(Kernel::Flood, Event::Hit);
+        r.rec_faults(Kernel::Flood, &FaultStats::default());
+        let child = r.fork();
+        r.absorb(child);
+    }
+
+    #[test]
+    fn metrics_recorder_accumulates() {
+        let mut r = MetricsRecorder::new();
+        assert!(r.is_empty());
+        r.rec_span(Kernel::Walk);
+        r.rec_span(Kernel::Walk);
+        r.rec_count(Kernel::Walk, Counter::Messages, 7);
+        r.rec_count(Kernel::Walk, Counter::Messages, 3);
+        r.rec_hop(Kernel::Walk, 2, 1);
+        r.rec_hop(Kernel::Walk, 0, 4);
+        r.rec_event(Kernel::Walk, Event::Miss);
+        assert_eq!(r.spans(Kernel::Walk), 2);
+        assert_eq!(r.total(Kernel::Walk, Counter::Messages), 10);
+        assert_eq!(r.hop_histogram(Kernel::Walk), &[4, 0, 1]);
+        assert_eq!(r.hop_weight(Kernel::Walk), 5);
+        assert_eq!(r.event_count(Kernel::Walk, Event::Miss), 1);
+        assert_eq!(r.event_count(Kernel::Walk, Event::Hit), 0);
+        assert_eq!(r.spans(Kernel::Flood), 0);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn fork_is_empty_and_absorb_merges() {
+        let mut parent = MetricsRecorder::new();
+        parent.rec_count(Kernel::Flood, Counter::Messages, 5);
+        parent.rec_hop(Kernel::Flood, 1, 1);
+        let mut child = parent.fork();
+        assert!(child.is_empty(), "fork must start empty");
+        child.rec_count(Kernel::Flood, Counter::Messages, 2);
+        child.rec_hop(Kernel::Flood, 4, 3);
+        child.rec_span(Kernel::Repair);
+        parent.absorb(child);
+        assert_eq!(parent.total(Kernel::Flood, Counter::Messages), 7);
+        assert_eq!(parent.hop_histogram(Kernel::Flood), &[0, 1, 0, 0, 3]);
+        assert_eq!(parent.spans(Kernel::Repair), 1);
+    }
+
+    #[test]
+    fn absorb_totals_are_chunk_order_insensitive() {
+        // The contract demands chunk-ordered absorption; the additive
+        // state makes the totals order-insensitive, which is what makes
+        // 1- vs 4-thread runs agree.
+        let chunks: Vec<MetricsRecorder> = (0..5u64)
+            .map(|i| {
+                let mut c = MetricsRecorder::new();
+                c.rec_count(Kernel::ChordLookup, Counter::Retries, i);
+                c.rec_hop(Kernel::ChordLookup, i as u32, 1);
+                c
+            })
+            .collect();
+        let mut fwd = MetricsRecorder::new();
+        for c in chunks.clone() {
+            fwd.absorb(c);
+        }
+        let mut rev = MetricsRecorder::new();
+        for c in chunks.into_iter().rev() {
+            rev.absorb(c);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.total(Kernel::ChordLookup, Counter::Retries), 10);
+    }
+
+    #[test]
+    fn rec_faults_round_trips_through_fault_stats() {
+        let stats = FaultStats {
+            dropped: 3,
+            dead_targets: 4,
+            retries: 2,
+            timeouts: 1,
+            stale_misses: 6,
+            ticks: 99,
+        };
+        let mut r = MetricsRecorder::new();
+        r.rec_faults(Kernel::ChordLookup, &stats);
+        assert_eq!(r.fault_stats(Kernel::ChordLookup), stats);
+        // Identity mirrors the FaultStats one.
+        assert_eq!(
+            r.total(Kernel::ChordLookup, Counter::Dropped)
+                + r.total(Kernel::ChordLookup, Counter::DeadTargets),
+            stats.wasted()
+        );
+    }
+
+    #[test]
+    fn hop_histogram_grows_to_fit() {
+        let mut r = MetricsRecorder::new();
+        r.rec_hop(Kernel::Flood, 10, 1);
+        assert_eq!(r.hop_histogram(Kernel::Flood).len(), 11);
+        r.rec_hop(Kernel::Flood, 2, 1);
+        assert_eq!(r.hop_histogram(Kernel::Flood).len(), 11);
+    }
+}

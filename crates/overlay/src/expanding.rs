@@ -22,9 +22,10 @@
 //! asymmetry is deliberate — iterative deepening doubles as coarse retry
 //! under loss — so the faulty path keeps the per-ring loop.
 
-use crate::flood::{CensusOutcome, FloodEngine, FloodOutcome};
+use crate::flood::{CensusOutcome, FloodEngine, FloodOutcome, FloodSpec};
 use crate::graph::Graph;
 use qcp_faults::{FaultPlan, FaultStats};
+use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
 use qcp_util::hash::mix64;
 
 /// Result of an expanding-ring search.
@@ -94,8 +95,50 @@ pub fn expanding_ring_search(
     holders: &[u32],
     forwarders: Option<&[bool]>,
 ) -> ExpandingOutcome {
-    let census = engine.flood_census_pruned(graph, source, max_ttl, holders, forwarders);
-    schedule_over_census(&census, max_ttl, graph.num_nodes() as u32)
+    expanding_ring_search_rec(
+        engine,
+        graph,
+        source,
+        max_ttl,
+        holders,
+        forwarders,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`expanding_ring_search`] with an instrumentation [`Recorder`]: the
+/// underlying pruned census records under [`Kernel::Flood`]; the ring
+/// schedule itself records under [`Kernel::ExpandingRing`]. Write-only,
+/// so outcomes are recorder-independent.
+#[allow(clippy::too_many_arguments)] // mirrors the plain search + recorder
+pub fn expanding_ring_search_rec<R: Recorder>(
+    engine: &mut FloodEngine,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+    rec: &mut R,
+) -> ExpandingOutcome {
+    rec.rec_span(Kernel::ExpandingRing);
+    let spec = FloodSpec::new(max_ttl).pruned();
+    let (census, _) = engine.run(graph, source, holders, forwarders, &spec, rec);
+    let out = schedule_over_census(&census, max_ttl, graph.num_nodes() as u32);
+    record_schedule(rec, &out);
+    out
+}
+
+/// Records one completed ring schedule under [`Kernel::ExpandingRing`].
+fn record_schedule<R: Recorder>(rec: &mut R, out: &ExpandingOutcome) {
+    rec.rec_count(Kernel::ExpandingRing, Counter::Messages, out.messages);
+    rec.rec_count(Kernel::ExpandingRing, Counter::Rings, out.rings as u64);
+    if let Some(ttl) = out.found_at_ttl {
+        rec.rec_hop(Kernel::ExpandingRing, ttl, 1);
+    }
+    rec.rec_event(
+        Kernel::ExpandingRing,
+        if out.found { Event::Hit } else { Event::Miss },
+    );
 }
 
 /// Fault-aware expanding-ring search: each ring floods through
@@ -107,6 +150,57 @@ pub fn expanding_ring_search(
 /// the census shortcut does not apply (see the module docs).
 #[allow(clippy::too_many_arguments)] // mirrors the plain search + fault context
 pub fn expanding_ring_search_faulty(
+    engine: &mut FloodEngine,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+    plan: &FaultPlan,
+    time: u64,
+    nonce: u64,
+) -> (ExpandingOutcome, FaultStats) {
+    expanding_ring_search_faulty_rec(
+        engine,
+        graph,
+        source,
+        max_ttl,
+        holders,
+        forwarders,
+        plan,
+        time,
+        nonce,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`expanding_ring_search_faulty`] with an instrumentation
+/// [`Recorder`]; write-only, so outcomes and stats are
+/// recorder-independent.
+#[allow(clippy::too_many_arguments)] // mirrors the faulty search + recorder
+pub fn expanding_ring_search_faulty_rec<R: Recorder>(
+    engine: &mut FloodEngine,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+    plan: &FaultPlan,
+    time: u64,
+    nonce: u64,
+    rec: &mut R,
+) -> (ExpandingOutcome, FaultStats) {
+    rec.rec_span(Kernel::ExpandingRing);
+    let (out, stats) = expanding_ring_faulty_impl(
+        engine, graph, source, max_ttl, holders, forwarders, plan, time, nonce,
+    );
+    record_schedule(rec, &out);
+    rec.rec_faults(Kernel::ExpandingRing, &stats);
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the plain search + fault context
+fn expanding_ring_faulty_impl(
     engine: &mut FloodEngine,
     graph: &Graph,
     source: u32,

@@ -23,6 +23,74 @@
 
 use crate::graph::Graph;
 use qcp_faults::{FaultPlan, FaultStats};
+use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
+
+/// Fault context of a [`FloodSpec`]: the plan plus the query's position
+/// in the plan's streams.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodFaults<'p> {
+    /// The fault plan every transmission consults.
+    pub plan: &'p FaultPlan,
+    /// Workload tick at which the query is issued.
+    pub time: u64,
+    /// Per-query nonce in the plan's drop stream.
+    pub nonce: u64,
+}
+
+/// One unified description of a flood — the single entry point behind
+/// which `flood` / `flood_faulty` / `flood_census` /
+/// `flood_census_faulty` / `flood_census_pruned` collapse (the legacy
+/// methods remain as the reference oracles their bitwise pins run
+/// against).
+///
+/// [`FloodEngine::run`] always returns the full hop census plus the
+/// per-level cumulative [`FaultStats`]; a single-TTL outcome is
+/// `census.at(ttl)` — bit-identical to the corresponding legacy call by
+/// the BFS prefix property.
+///
+/// ```
+/// use qcp_overlay::{FloodEngine, FloodSpec, Graph};
+/// use qcp_obs::NoopRecorder;
+///
+/// let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let mut engine = FloodEngine::new(4);
+/// let spec = FloodSpec::new(2);
+/// let (census, _stats) = engine.run(&graph, 0, &[2], None, &spec, &mut NoopRecorder);
+/// assert!(census.at(2).found);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FloodSpec<'p> {
+    /// Deepest hop level to census.
+    pub max_ttl: u32,
+    /// Fault context; `None` runs fault-free.
+    pub plan: Option<FloodFaults<'p>>,
+    /// Stop expanding once the level containing the first hit is
+    /// complete (the expanding-ring driver's early exit).
+    pub pruned: bool,
+}
+
+impl<'p> FloodSpec<'p> {
+    /// A fault-free, unpruned census to `max_ttl`.
+    pub fn new(max_ttl: u32) -> Self {
+        Self {
+            max_ttl,
+            plan: None,
+            pruned: false,
+        }
+    }
+
+    /// Attaches a fault plan (every transmission consults it).
+    pub fn faulty(mut self, plan: &'p FaultPlan, time: u64, nonce: u64) -> Self {
+        self.plan = Some(FloodFaults { plan, time, nonce });
+        self
+    }
+
+    /// Enables the early exit at the first-hit level.
+    pub fn pruned(mut self) -> Self {
+        self.pruned = true;
+        self
+    }
+}
 
 /// Per-hop census of one flood: the cumulative coverage and cost of every
 /// TTL prefix of a single BFS (see the module docs for why prefixes of
@@ -196,7 +264,70 @@ impl FloodEngine {
         holders: &[u32],
         forwarders: Option<&[bool]>,
     ) -> CensusOutcome {
-        self.census_impl(graph, source, max_ttl, holders, forwarders, false)
+        self.census_impl(
+            graph,
+            source,
+            max_ttl,
+            holders,
+            forwarders,
+            false,
+            &mut NoopRecorder,
+        )
+    }
+
+    /// Unified flood entry point: runs the census described by `spec`,
+    /// recording into `rec` (pass [`NoopRecorder`] for free
+    /// no-instrumentation runs). Returns the census plus the per-level
+    /// *cumulative* [`FaultStats`] (all-zero entries for fault-free
+    /// specs, so consumers index uniformly).
+    ///
+    /// Dispatch table (each arm bit-identical to the legacy method):
+    ///
+    /// | `plan`  | `pruned` | behaves as                       |
+    /// |---------|----------|----------------------------------|
+    /// | `None`  | `false`  | [`Self::flood_census`]           |
+    /// | `None`  | `true`   | [`Self::flood_census_pruned`]    |
+    /// | `Some`  | `false`  | [`Self::flood_census_faulty`]    |
+    /// | `Some`  | `true`   | faulty census with the early exit |
+    ///
+    /// and `census.at(t)` reconstructs [`Self::flood`] /
+    /// [`Self::flood_faulty`] at TTL `t` (the BFS prefix property).
+    pub fn run<R: Recorder>(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+        spec: &FloodSpec<'_>,
+        rec: &mut R,
+    ) -> (CensusOutcome, Vec<FaultStats>) {
+        match spec.plan {
+            None => {
+                let census = self.census_impl(
+                    graph,
+                    source,
+                    spec.max_ttl,
+                    holders,
+                    forwarders,
+                    spec.pruned,
+                    rec,
+                );
+                let stats = vec![FaultStats::default(); census.reached.len()];
+                (census, stats)
+            }
+            Some(f) => self.census_faulty_impl(
+                graph,
+                source,
+                spec.max_ttl,
+                holders,
+                forwarders,
+                f.plan,
+                f.time,
+                f.nonce,
+                spec.pruned,
+                rec,
+            ),
+        }
     }
 
     /// Like [`Self::flood_census`], but stops expanding as soon as the
@@ -212,10 +343,19 @@ impl FloodEngine {
         holders: &[u32],
         forwarders: Option<&[bool]>,
     ) -> CensusOutcome {
-        self.census_impl(graph, source, max_ttl, holders, forwarders, true)
+        self.census_impl(
+            graph,
+            source,
+            max_ttl,
+            holders,
+            forwarders,
+            true,
+            &mut NoopRecorder,
+        )
     }
 
-    fn census_impl(
+    #[allow(clippy::too_many_arguments)] // the spec entry point is the public face
+    fn census_impl<R: Recorder>(
         &mut self,
         graph: &Graph,
         source: u32,
@@ -223,8 +363,10 @@ impl FloodEngine {
         holders: &[u32],
         forwarders: Option<&[bool]>,
         stop_on_hit: bool,
+        rec: &mut R,
     ) -> CensusOutcome {
         debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+        rec.rec_span(Kernel::Flood);
         self.begin();
         let epoch = self.epoch;
         let mut reached = 1u32;
@@ -243,6 +385,7 @@ impl FloodEngine {
         while hop < max_ttl && !self.frontier.is_empty() {
             hop += 1;
             self.next.clear();
+            let level_start = messages;
             for &u in &self.frontier {
                 // Only forwarders expand (the source always sends).
                 if u != source {
@@ -253,6 +396,8 @@ impl FloodEngine {
                     }
                 }
                 for &v in graph.neighbors(u) {
+                    // qcplint: allow(direct-counter) — census prefix-sum
+                    // ground truth; mirrored into the recorder per level.
                     messages += 1;
                     if self.mark[v as usize] != epoch {
                         self.mark[v as usize] = epoch;
@@ -267,6 +412,7 @@ impl FloodEngine {
             std::mem::swap(&mut self.frontier, &mut self.next);
             cum_reached.push(reached);
             cum_messages.push(messages);
+            rec.rec_hop(Kernel::Flood, hop, messages - level_start);
             // Expanding-ring early exit: the successful ring is
             // `max(first_hit_hop, 1)`, and its prefix sums are complete
             // once this level is.
@@ -274,6 +420,15 @@ impl FloodEngine {
                 break;
             }
         }
+        rec.rec_count(Kernel::Flood, Counter::Messages, messages);
+        rec.rec_event(
+            Kernel::Flood,
+            if first_hit_hop.is_some() {
+                Event::Hit
+            } else {
+                Event::Miss
+            },
+        );
         CensusOutcome {
             reached: cum_reached,
             messages: cum_messages,
@@ -301,8 +456,38 @@ impl FloodEngine {
         time: u64,
         nonce: u64,
     ) -> (CensusOutcome, Vec<FaultStats>) {
+        self.census_faulty_impl(
+            graph,
+            source,
+            max_ttl,
+            holders,
+            forwarders,
+            plan,
+            time,
+            nonce,
+            false,
+            &mut NoopRecorder,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // the spec entry point is the public face
+    fn census_faulty_impl<R: Recorder>(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        max_ttl: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+        plan: &FaultPlan,
+        time: u64,
+        nonce: u64,
+        stop_on_hit: bool,
+        rec: &mut R,
+    ) -> (CensusOutcome, Vec<FaultStats>) {
         debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+        rec.rec_span(Kernel::Flood);
         if !plan.alive_at(source, time) {
+            rec.rec_event(Kernel::Flood, Event::DeadSource);
             return (
                 CensusOutcome {
                     reached: vec![0],
@@ -333,6 +518,7 @@ impl FloodEngine {
             hop += 1;
             self.next.clear();
             let mut stats = FaultStats::default();
+            let level_start = messages;
             for &u in &self.frontier {
                 // Only forwarders expand (the source always sends).
                 if u != source {
@@ -343,12 +529,18 @@ impl FloodEngine {
                     }
                 }
                 for &v in graph.neighbors(u) {
+                    // qcplint: allow(direct-counter) — census prefix-sum
+                    // ground truth; mirrored into the recorder per level.
                     messages += 1;
                     if !plan.alive_at(v, time) {
+                        // qcplint: allow(direct-counter) — per-level
+                        // FaultStats increment; mirrored via rec_faults.
                         stats.dead_targets += 1;
                         continue;
                     }
                     if plan.drop_message(u, v, nonce, messages) {
+                        // qcplint: allow(direct-counter) — per-level
+                        // FaultStats increment; mirrored via rec_faults.
                         stats.dropped += 1;
                         continue;
                     }
@@ -365,9 +557,24 @@ impl FloodEngine {
             std::mem::swap(&mut self.frontier, &mut self.next);
             cum_reached.push(reached);
             cum_messages.push(messages);
+            rec.rec_hop(Kernel::Flood, hop, messages - level_start);
+            rec.rec_faults(Kernel::Flood, &stats);
             level_stats.push(stats);
+            // Expanding-ring early exit, as in the fault-free census.
+            if stop_on_hit && first_hit_hop.is_some() {
+                break;
+            }
         }
         FaultStats::accumulate_prefix(&mut level_stats);
+        rec.rec_count(Kernel::Flood, Counter::Messages, messages);
+        rec.rec_event(
+            Kernel::Flood,
+            if first_hit_hop.is_some() {
+                Event::Hit
+            } else {
+                Event::Miss
+            },
+        );
         (
             CensusOutcome {
                 reached: cum_reached,
@@ -833,6 +1040,121 @@ mod faulty_tests {
             assert_eq!((out.reached, out.messages), (0, 0));
         }
         assert_eq!(stats, vec![FaultStats::default()]);
+    }
+
+    #[test]
+    fn spec_dispatch_matches_every_legacy_method() {
+        // The unified entry point must be bitwise the legacy calls it
+        // replaces, for every cell of its dispatch table.
+        let g = er(400, 7);
+        let plan = FaultPlan::build(
+            400,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.25,
+                horizon: 64,
+                ..Default::default()
+            },
+        );
+        let holders = [9u32, 210, 390];
+        let mut a = FloodEngine::new(400);
+        let mut b = FloodEngine::new(400);
+        for src in [0u32, 33, 399] {
+            // plan=None, pruned=false ⇔ flood_census.
+            let (census, stats) = a.run(
+                &g,
+                src,
+                &holders,
+                None,
+                &FloodSpec::new(6),
+                &mut NoopRecorder,
+            );
+            assert_eq!(census, b.flood_census(&g, src, 6, &holders, None));
+            assert_eq!(stats.len(), census.reached.len());
+            assert!(stats.iter().all(|s| *s == FaultStats::default()));
+            // plan=None, pruned=true ⇔ flood_census_pruned.
+            let (census, _) = a.run(
+                &g,
+                src,
+                &holders,
+                None,
+                &FloodSpec::new(6).pruned(),
+                &mut NoopRecorder,
+            );
+            assert_eq!(census, b.flood_census_pruned(&g, src, 6, &holders, None));
+            // plan=Some, pruned=false ⇔ flood_census_faulty.
+            let spec = FloodSpec::new(6).faulty(&plan, 11, src as u64);
+            let (census, stats) = a.run(&g, src, &holders, None, &spec, &mut NoopRecorder);
+            let (census2, stats2) =
+                b.flood_census_faulty(&g, src, 6, &holders, None, &plan, 11, src as u64);
+            assert_eq!((census, stats), (census2, stats2));
+        }
+    }
+
+    #[test]
+    fn spec_faulty_pruned_is_a_prefix_of_the_full_faulty_census() {
+        let g = er(300, 8);
+        let plan = FaultPlan::build(
+            300,
+            &FaultConfig {
+                loss: 0.15,
+                churn: 0.1,
+                horizon: 32,
+                ..Default::default()
+            },
+        );
+        let holders = [150u32, 222];
+        let mut e = FloodEngine::new(300);
+        let spec = FloodSpec::new(8).faulty(&plan, 3, 4).pruned();
+        let (pruned, pstats) = e.run(&g, 3, &holders, None, &spec, &mut NoopRecorder);
+        let (full, fstats) = e.flood_census_faulty(&g, 3, 8, &holders, None, &plan, 3, 4);
+        assert_eq!(pruned.first_hit_hop, full.first_hit_hop);
+        for l in 0..pruned.reached.len() {
+            assert_eq!(pruned.reached[l], full.reached[l], "level {l}");
+            assert_eq!(pruned.messages[l], full.messages[l], "level {l}");
+            assert_eq!(pstats[l], fstats[l], "level {l}");
+        }
+    }
+
+    #[test]
+    fn recording_does_not_perturb_and_totals_reconcile() {
+        use qcp_obs::MetricsRecorder;
+        let g = er(400, 9);
+        let plan = FaultPlan::build(
+            400,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.2,
+                horizon: 64,
+                ..Default::default()
+            },
+        );
+        let holders = [40u32, 333];
+        let mut e = FloodEngine::new(400);
+        for spec in [
+            FloodSpec::new(5),
+            FloodSpec::new(5).pruned(),
+            FloodSpec::new(5).faulty(&plan, 7, 1),
+            FloodSpec::new(5).faulty(&plan, 7, 1).pruned(),
+        ] {
+            let mut metrics = MetricsRecorder::new();
+            let off = e.run(&g, 2, &holders, None, &spec, &mut NoopRecorder);
+            let on = e.run(&g, 2, &holders, None, &spec, &mut metrics);
+            assert_eq!(off, on, "recording must not perturb the census");
+            let (census, stats) = on;
+            // Reconciliation: recorded totals equal the outcome's.
+            assert_eq!(
+                metrics.total(Kernel::Flood, Counter::Messages),
+                *census.messages.last().expect("non-empty census"),
+            );
+            assert_eq!(metrics.hop_weight(Kernel::Flood), {
+                let last = *census.messages.last().expect("non-empty");
+                last - census.messages[0]
+            });
+            let total = stats.last().expect("non-empty stats");
+            assert_eq!(metrics.fault_stats(Kernel::Flood), *total);
+            assert_eq!(metrics.spans(Kernel::Flood), 1);
+        }
     }
 
     #[test]

@@ -37,16 +37,18 @@ pub mod walk;
 
 pub use churn::{fail_highest_degree, fail_random, ChurnedOverlay};
 pub use expanding::{expanding_ring_search, expanding_ring_search_faulty, ExpandingOutcome};
-pub use flood::{CensusOutcome, FloodEngine, FloodOutcome};
+pub use flood::{CensusOutcome, FloodEngine, FloodFaults, FloodOutcome, FloodSpec};
 pub use graph::Graph;
 pub use metrics::{graph_metrics, GraphMetrics};
 pub use placement::{Placement, PlacementModel};
 pub use repair::{
-    check_repair_invariants, repair_round, Attachment, Maintainer, MaintenancePolicy, RepairStats,
+    check_repair_invariants, repair_round, repair_round_rec, Attachment, Maintainer,
+    MaintenancePolicy, RepairStats,
 };
 pub use sim::{
-    flood_trials, flood_trials_faulty, sweep_ttl, sweep_ttl_faulty, sweep_ttl_faulty_reference,
-    sweep_ttl_reference, FaultySweepPoint, SimConfig, SweepPoint, TargetModel,
+    flood_trials, flood_trials_faulty, sweep_ttl, sweep_ttl_faulty, sweep_ttl_faulty_rec,
+    sweep_ttl_faulty_reference, sweep_ttl_rec, sweep_ttl_reference, SimConfig, SweepPoint,
+    TargetModel,
 };
 pub use topology::TopologyConfig;
 pub use walk::{random_walk_search, random_walk_search_faulty, WalkOutcome};

@@ -24,10 +24,11 @@
 //! bitwise-equal in tests, the census one is just ≥3× cheaper on the
 //! 8-TTL Figure-8 curve (`repro bench`).
 
-use crate::flood::FloodEngine;
+use crate::flood::{FloodEngine, FloodSpec};
 use crate::graph::Graph;
 use crate::placement::Placement;
 use qcp_faults::{FaultPlan, FaultStats};
+use qcp_obs::{NoopRecorder, Recorder};
 use qcp_util::rng::{child_seed, Pcg64};
 use qcp_xpar::Pool;
 
@@ -70,7 +71,11 @@ impl Default for SimConfig {
     }
 }
 
-/// One point of the success-rate curve.
+/// One point of the success-rate curve — fault-free and fault sweeps
+/// share this type: fault-free sweeps leave `stats == None`, faulty
+/// sweeps (even under [`FaultPlan::none`]) carry `Some` aggregated
+/// degraded-mode accounting, and every consumer formats both shapes
+/// through the same code path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// TTL used.
@@ -83,6 +88,22 @@ pub struct SweepPoint {
     pub mean_reach_fraction: f64,
     /// Mean messages per query.
     pub mean_messages: f64,
+    /// Fault counters summed across all trials at this TTL; `None` for
+    /// fault-free sweeps (which never consult a [`FaultPlan`]).
+    pub stats: Option<FaultStats>,
+    /// Trials whose sampled source was down at query time and had to be
+    /// re-issued from the next alive peer (0 when churn is off). Source
+    /// liveness is TTL-independent, so under common random numbers every
+    /// point of one curve reports the same count.
+    pub dead_sources: u64,
+}
+
+impl SweepPoint {
+    /// The fault counters, defaulting to all-zero for fault-free points
+    /// — lets consumers format clean and degraded curves uniformly.
+    pub fn faults(&self) -> FaultStats {
+        self.stats.unwrap_or_default()
+    }
 }
 
 /// Cumulative-weight target sampler, built **once per sweep** (not per
@@ -156,6 +177,8 @@ impl PointAcc {
             mean_reached: self.reached as f64 / t,
             mean_reach_fraction: self.reached as f64 / t / n as f64,
             mean_messages: self.messages as f64 / t,
+            stats: None,
+            dead_sources: 0,
         }
     }
 }
@@ -225,21 +248,6 @@ fn flood_trials_with_sampler(
     total.point(ttl, trials, n)
 }
 
-/// One point of a fault-sweep curve: the plain success/cost numbers plus
-/// the degraded-mode accounting aggregated over every trial at this TTL.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultySweepPoint {
-    /// Success/reach/cost point, same semantics as the fault-free sweep.
-    pub point: SweepPoint,
-    /// Fault counters summed across all trials at this TTL.
-    pub faults: FaultStats,
-    /// Trials whose sampled source was down at query time and had to be
-    /// re-issued from the next alive peer (0 when churn is off). Source
-    /// liveness is TTL-independent, so under common random numbers every
-    /// point of one curve reports the same count.
-    pub dead_sources: u64,
-}
-
 /// Runs `config.trials` flooded queries at a single TTL under `plan` —
 /// the faulty per-TTL *reference* path.
 ///
@@ -266,7 +274,7 @@ pub fn flood_trials_faulty(
     ttl: u32,
     config: &SimConfig,
     plan: &FaultPlan,
-) -> FaultySweepPoint {
+) -> SweepPoint {
     assert!(graph.num_nodes() > 0 && placement.num_objects() > 0);
     assert_eq!(
         plan.num_nodes(),
@@ -286,7 +294,7 @@ fn flood_trials_faulty_with_sampler(
     ttl: u32,
     config: &SimConfig,
     plan: &FaultPlan,
-) -> FaultySweepPoint {
+) -> SweepPoint {
     let n = graph.num_nodes();
     let chunks = (pool.threads() * 4).max(1);
     let per_chunk = config.trials.div_ceil(chunks);
@@ -351,10 +359,10 @@ fn flood_trials_faulty_with_sampler(
         total.faults.absorb(&p.faults);
         total.dead_sources += p.dead_sources;
     }
-    FaultySweepPoint {
-        point: total.point.point(ttl, total.trials, n),
-        faults: total.faults,
+    SweepPoint {
+        stats: Some(total.faults),
         dead_sources: total.dead_sources,
+        ..total.point.point(ttl, total.trials, n)
     }
 }
 
@@ -372,6 +380,34 @@ pub fn sweep_ttl(
     ttls: &[u32],
     config: &SimConfig,
 ) -> Vec<SweepPoint> {
+    sweep_ttl_rec(
+        pool,
+        graph,
+        placement,
+        forwarders,
+        ttls,
+        config,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`sweep_ttl`] with an explicit [`Recorder`]. Each worker chunk forks
+/// a child recorder and the children are absorbed **in chunk-index
+/// order** after the parallel section, so the merged recorder state —
+/// like the sweep itself — is independent of pool width. The recorder is
+/// write-only: it is never consulted by the trial RNG or control flow,
+/// so the returned curve is bitwise-identical whether `rec` is a
+/// [`NoopRecorder`] or a [`qcp_obs::MetricsRecorder`] (pinned in tests).
+#[allow(clippy::too_many_arguments)] // mirrors sweep_ttl plus the recorder
+pub fn sweep_ttl_rec<R: Recorder>(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttls: &[u32],
+    config: &SimConfig,
+    rec: &mut R,
+) -> Vec<SweepPoint> {
     let n = graph.num_nodes();
     assert!(n > 0 && placement.num_objects() > 0);
     if ttls.is_empty() {
@@ -382,22 +418,26 @@ pub fn sweep_ttl(
     let chunks = (pool.threads() * 4).max(1);
     let per_chunk = config.trials.div_ceil(chunks);
 
-    let partials: Vec<(Vec<PointAcc>, u64)> = pool.par_map_indexed(chunks, |c| {
+    let parent: &R = &*rec;
+    let partials: Vec<(Vec<PointAcc>, u64, R)> = pool.par_map_indexed(chunks, |c| {
         let mut engine = FloodEngine::new(n);
+        let mut child = parent.fork();
         let mut accs = vec![PointAcc::default(); ttls.len()];
         let mut trials = 0u64;
         let lo = c * per_chunk;
         let hi = (lo + per_chunk).min(config.trials);
+        let spec = FloodSpec::new(max_ttl);
         for trial in lo..hi {
             let mut rng = Pcg64::new(child_seed(config.seed, trial as u64));
             let source = rng.index(n) as u32;
             let object = sampler.sample(&mut rng);
-            let census = engine.flood_census(
+            let (census, _) = engine.run(
                 graph,
                 source,
-                max_ttl,
                 sampler.placement.holders(object),
                 forwarders,
+                &spec,
+                &mut child,
             );
             trials += 1;
             for (acc, &ttl) in accs.iter_mut().zip(ttls) {
@@ -407,16 +447,17 @@ pub fn sweep_ttl(
                 acc.messages += out.messages;
             }
         }
-        (accs, trials)
+        (accs, trials, child)
     });
 
     let mut totals = vec![PointAcc::default(); ttls.len()];
     let mut trials = 0u64;
-    for (accs, t) in partials {
+    for (accs, t, child) in partials {
         for (total, p) in totals.iter_mut().zip(&accs) {
             total.absorb(p);
         }
         trials += t;
+        rec.absorb(child);
     }
     totals
         .iter()
@@ -456,7 +497,32 @@ pub fn sweep_ttl_faulty(
     ttls: &[u32],
     config: &SimConfig,
     plan: &FaultPlan,
-) -> Vec<FaultySweepPoint> {
+) -> Vec<SweepPoint> {
+    sweep_ttl_faulty_rec(
+        pool,
+        graph,
+        placement,
+        forwarders,
+        ttls,
+        config,
+        plan,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`sweep_ttl_faulty`] with an explicit [`Recorder`] — same fork /
+/// chunk-ordered-absorb contract as [`sweep_ttl_rec`].
+#[allow(clippy::too_many_arguments)] // mirrors sweep_ttl_faulty plus the recorder
+pub fn sweep_ttl_faulty_rec<R: Recorder>(
+    pool: &Pool,
+    graph: &Graph,
+    placement: &Placement,
+    forwarders: Option<&[bool]>,
+    ttls: &[u32],
+    config: &SimConfig,
+    plan: &FaultPlan,
+    rec: &mut R,
+) -> Vec<SweepPoint> {
     let n = graph.num_nodes();
     assert!(n > 0 && placement.num_objects() > 0);
     assert_eq!(plan.num_nodes(), n, "fault plan must cover every node");
@@ -477,8 +543,10 @@ pub fn sweep_ttl_faulty(
         dead_sources: u64,
     }
 
-    let partials: Vec<Acc> = pool.par_map_indexed(chunks, |c| {
+    let parent: &R = &*rec;
+    let partials: Vec<(Acc, R)> = pool.par_map_indexed(chunks, |c| {
         let mut engine = FloodEngine::new(n);
+        let mut child = parent.fork();
         let mut acc = Acc {
             points: vec![PointAcc::default(); ttls.len()],
             faults: vec![FaultStats::default(); ttls.len()],
@@ -507,15 +575,14 @@ pub fn sweep_ttl_faulty(
                     }
                 }
             };
-            let (census, level_stats) = engine.flood_census_faulty(
+            let spec = FloodSpec::new(max_ttl).faulty(plan, time, nonce);
+            let (census, level_stats) = engine.run(
                 graph,
                 source,
-                max_ttl,
                 sampler.placement.holders(object),
                 forwarders,
-                plan,
-                time,
-                nonce,
+                &spec,
+                &mut child,
             );
             acc.trials += 1;
             let levels = census.levels();
@@ -527,14 +594,14 @@ pub fn sweep_ttl_faulty(
                 acc.faults[i].absorb(&level_stats[ttl.min(levels) as usize]);
             }
         }
-        acc
+        (acc, child)
     });
 
     let mut totals = vec![PointAcc::default(); ttls.len()];
     let mut faults = vec![FaultStats::default(); ttls.len()];
     let mut trials = 0u64;
     let mut dead_sources = 0u64;
-    for acc in partials {
+    for (acc, child) in partials {
         for (total, p) in totals.iter_mut().zip(&acc.points) {
             total.absorb(p);
         }
@@ -543,15 +610,16 @@ pub fn sweep_ttl_faulty(
         }
         trials += acc.trials;
         dead_sources += acc.dead_sources;
+        rec.absorb(child);
     }
     totals
         .iter()
         .zip(ttls)
         .zip(faults)
-        .map(|((total, &ttl), f)| FaultySweepPoint {
-            point: total.point(ttl, trials, n),
-            faults: f,
+        .map(|((total, &ttl), f)| SweepPoint {
+            stats: Some(f),
             dead_sources,
+            ..total.point(ttl, trials, n)
         })
         .collect()
 }
@@ -567,7 +635,7 @@ pub fn sweep_ttl_faulty_reference(
     ttls: &[u32],
     config: &SimConfig,
     plan: &FaultPlan,
-) -> Vec<FaultySweepPoint> {
+) -> Vec<SweepPoint> {
     assert!(graph.num_nodes() > 0 && placement.num_objects() > 0);
     assert_eq!(
         plan.num_nodes(),
@@ -738,20 +806,11 @@ mod tests {
             let reference =
                 sweep_ttl_faulty_reference(&pool(), &t.graph, &p, None, &ttls, &cfg, &plan);
             for (a, b) in census.iter().zip(&reference) {
-                assert_eq!(a.point.ttl, b.point.ttl);
-                assert_eq!(
-                    a.point.success_rate.to_bits(),
-                    b.point.success_rate.to_bits()
-                );
-                assert_eq!(
-                    a.point.mean_messages.to_bits(),
-                    b.point.mean_messages.to_bits()
-                );
-                assert_eq!(
-                    a.point.mean_reached.to_bits(),
-                    b.point.mean_reached.to_bits()
-                );
-                assert_eq!(a.faults, b.faults);
+                assert_eq!(a.ttl, b.ttl);
+                assert_eq!(a.success_rate.to_bits(), b.success_rate.to_bits());
+                assert_eq!(a.mean_messages.to_bits(), b.mean_messages.to_bits());
+                assert_eq!(a.mean_reached.to_bits(), b.mean_reached.to_bits());
+                assert_eq!(a.stats, b.stats);
                 assert_eq!(a.dead_sources, b.dead_sources);
             }
         }
@@ -872,10 +931,11 @@ mod tests {
         let plain = sweep_ttl(&pool(), &t.graph, &p, None, &[1, 2, 3], &cfg);
         let faulty = sweep_ttl_faulty(&pool(), &t.graph, &p, None, &[1, 2, 3], &cfg, &plan);
         for (a, b) in plain.iter().zip(&faulty) {
-            assert_eq!(a.success_rate.to_bits(), b.point.success_rate.to_bits());
-            assert_eq!(a.mean_reached.to_bits(), b.point.mean_reached.to_bits());
-            assert_eq!(a.mean_messages.to_bits(), b.point.mean_messages.to_bits());
-            assert_eq!(b.faults, FaultStats::default());
+            assert_eq!(a.success_rate.to_bits(), b.success_rate.to_bits());
+            assert_eq!(a.mean_reached.to_bits(), b.mean_reached.to_bits());
+            assert_eq!(a.mean_messages.to_bits(), b.mean_messages.to_bits());
+            assert_eq!(a.stats, None, "fault-free sweep must not carry stats");
+            assert_eq!(b.stats, Some(FaultStats::default()));
             assert_eq!(b.dead_sources, 0);
         }
     }
@@ -901,18 +961,18 @@ mod tests {
         );
         let degraded = flood_trials_faulty(&pool(), &t.graph, &p, None, 3, &cfg, &harsh);
         assert!(
-            degraded.point.success_rate < clean.point.success_rate,
+            degraded.success_rate < clean.success_rate,
             "40% loss + 30% churn must hurt: {} vs {}",
-            degraded.point.success_rate,
-            clean.point.success_rate
+            degraded.success_rate,
+            clean.success_rate
         );
-        assert!(degraded.faults.dropped > 0);
-        assert!(degraded.faults.dead_targets > 0);
+        assert!(degraded.faults().dropped > 0);
+        assert!(degraded.faults().dead_targets > 0);
         assert!(
             degraded.dead_sources > 0,
             "30% churn must down some sources"
         );
-        assert!(degraded.faults.wasted() <= degraded.point.mean_messages as u64 * 1_500 + 1_500);
+        assert!(degraded.faults().wasted() <= degraded.mean_messages as u64 * 1_500 + 1_500);
     }
 
     #[test]
@@ -940,6 +1000,81 @@ mod tests {
         let ca = sweep_ttl_faulty(&p1, &t.graph, &p, None, &[1, 2, 4], &cfg, &plan);
         let cb = sweep_ttl_faulty(&p4, &t.graph, &p, None, &[1, 2, 4], &cfg, &plan);
         assert_eq!(ca, cb, "census sweep must not depend on thread count");
+    }
+
+    #[test]
+    fn recorded_sweep_is_bitwise_identical_and_thread_independent() {
+        use qcp_faults::FaultConfig;
+        use qcp_obs::{Counter, Kernel, MetricsRecorder};
+        let t = erdos_renyi(300, 5.0, 50);
+        let p = Placement::generate(PlacementModel::UniformK(3), 300, 60, 51);
+        let cfg = SimConfig {
+            trials: 400,
+            ..Default::default()
+        };
+        let ttls = [1u32, 2, 4];
+
+        // Fault-free: recording on vs off, and 1- vs 4-thread pools.
+        let plain = sweep_ttl(&pool(), &t.graph, &p, None, &ttls, &cfg);
+        let mut rec1 = MetricsRecorder::new();
+        let r1 = sweep_ttl_rec(&Pool::new(1), &t.graph, &p, None, &ttls, &cfg, &mut rec1);
+        let mut rec4 = MetricsRecorder::new();
+        let r4 = sweep_ttl_rec(&Pool::new(4), &t.graph, &p, None, &ttls, &cfg, &mut rec4);
+        assert_eq!(plain, r1, "recording must not perturb the sweep");
+        assert_eq!(plain, r4);
+        assert_eq!(rec1, rec4, "merged recorder state must be pool-independent");
+        assert_eq!(rec1.spans(Kernel::Flood), cfg.trials as u64);
+        // Every trial's census runs at max(ttls): recorded messages are
+        // the max-TTL totals, which bound the curve's largest point.
+        let max_pt = plain.last().unwrap();
+        assert_eq!(
+            rec1.total(Kernel::Flood, Counter::Messages),
+            (max_pt.mean_messages * cfg.trials as f64).round() as u64
+        );
+
+        // Faulty: same three-way identity plus fault-counter reconciliation.
+        let plan = FaultPlan::build(
+            300,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.2,
+                ..Default::default()
+            },
+        );
+        let base = sweep_ttl_faulty(&pool(), &t.graph, &p, None, &ttls, &cfg, &plan);
+        let mut frec1 = MetricsRecorder::new();
+        let f1 = sweep_ttl_faulty_rec(
+            &Pool::new(1),
+            &t.graph,
+            &p,
+            None,
+            &ttls,
+            &cfg,
+            &plan,
+            &mut frec1,
+        );
+        let mut frec4 = MetricsRecorder::new();
+        let f4 = sweep_ttl_faulty_rec(
+            &Pool::new(4),
+            &t.graph,
+            &p,
+            None,
+            &ttls,
+            &cfg,
+            &plan,
+            &mut frec4,
+        );
+        assert_eq!(base, f1);
+        assert_eq!(base, f4);
+        assert_eq!(frec1, frec4);
+        // Recorded fault counters are the max-TTL cumulative stats, which
+        // dominate every point's aggregate on each axis.
+        let recorded = frec1.fault_stats(Kernel::Flood);
+        for pt in &base {
+            let s = pt.faults();
+            assert!(recorded.dropped >= s.dropped);
+            assert!(recorded.dead_targets >= s.dead_targets);
+        }
     }
 
     #[test]

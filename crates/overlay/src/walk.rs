@@ -6,6 +6,7 @@
 
 use crate::graph::Graph;
 use qcp_faults::{FaultPlan, FaultStats};
+use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
 use qcp_util::rng::Pcg64;
 
 /// Result of one k-walker search.
@@ -35,12 +36,31 @@ pub fn random_walk_search(
     holders: &[u32],
     rng: &mut Pcg64,
 ) -> WalkOutcome {
+    random_walk_search_rec(graph, source, k, ttl, holders, rng, &mut NoopRecorder)
+}
+
+/// [`random_walk_search`] with an instrumentation [`Recorder`]. The
+/// recorder is write-only — outcomes are bitwise identical for any
+/// recorder (pinned by the recorder-parity proptests).
+#[allow(clippy::too_many_arguments)] // mirrors the walk + recorder
+pub fn random_walk_search_rec<R: Recorder>(
+    graph: &Graph,
+    source: u32,
+    k: usize,
+    ttl: u32,
+    holders: &[u32],
+    rng: &mut Pcg64,
+    rec: &mut R,
+) -> WalkOutcome {
     debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+    rec.rec_span(Kernel::Walk);
     let mut messages = 0u64;
     let mut found_at_step: Option<u32> = None;
     let mut visited: Vec<u32> = vec![source];
 
     if holders.binary_search(&source).is_ok() {
+        rec.rec_hop(Kernel::Walk, 0, 1);
+        rec.rec_event(Kernel::Walk, Event::Hit);
         return WalkOutcome {
             found: true,
             found_at_step: Some(0),
@@ -84,6 +104,18 @@ pub fn random_walk_search(
     }
     visited.sort_unstable();
     visited.dedup();
+    rec.rec_count(Kernel::Walk, Counter::Messages, messages);
+    if let Some(step) = found_at_step {
+        rec.rec_hop(Kernel::Walk, step, 1);
+    }
+    rec.rec_event(
+        Kernel::Walk,
+        if found_at_step.is_some() {
+            Event::Hit
+        } else {
+            Event::Miss
+        },
+    );
     WalkOutcome {
         found: found_at_step.is_some(),
         found_at_step,
@@ -112,9 +144,40 @@ pub fn random_walk_search_faulty(
     time: u64,
     nonce: u64,
 ) -> (WalkOutcome, FaultStats) {
+    random_walk_search_faulty_rec(
+        graph,
+        source,
+        k,
+        ttl,
+        holders,
+        rng,
+        plan,
+        time,
+        nonce,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`random_walk_search_faulty`] with an instrumentation [`Recorder`];
+/// write-only, so outcomes and stats are recorder-independent.
+#[allow(clippy::too_many_arguments)] // mirrors the faulty walk + recorder
+pub fn random_walk_search_faulty_rec<R: Recorder>(
+    graph: &Graph,
+    source: u32,
+    k: usize,
+    ttl: u32,
+    holders: &[u32],
+    rng: &mut Pcg64,
+    plan: &FaultPlan,
+    time: u64,
+    nonce: u64,
+    rec: &mut R,
+) -> (WalkOutcome, FaultStats) {
     debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+    rec.rec_span(Kernel::Walk);
     let mut stats = FaultStats::default();
     if !plan.alive_at(source, time) {
+        rec.rec_event(Kernel::Walk, Event::DeadSource);
         return (
             WalkOutcome {
                 found: false,
@@ -130,6 +193,8 @@ pub fn random_walk_search_faulty(
     let mut visited: Vec<u32> = vec![source];
 
     if holders.binary_search(&source).is_ok() {
+        rec.rec_hop(Kernel::Walk, 0, 1);
+        rec.rec_event(Kernel::Walk, Event::Hit);
         return (
             WalkOutcome {
                 found: true,
@@ -186,6 +251,19 @@ pub fn random_walk_search_faulty(
     }
     visited.sort_unstable();
     visited.dedup();
+    rec.rec_count(Kernel::Walk, Counter::Messages, messages);
+    rec.rec_faults(Kernel::Walk, &stats);
+    if let Some(step) = found_at_step {
+        rec.rec_hop(Kernel::Walk, step, 1);
+    }
+    rec.rec_event(
+        Kernel::Walk,
+        if found_at_step.is_some() {
+            Event::Hit
+        } else {
+            Event::Miss
+        },
+    );
     (
         WalkOutcome {
             found: found_at_step.is_some(),

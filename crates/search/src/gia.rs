@@ -146,7 +146,6 @@ impl SearchSystem for GiaSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::systems::RandomWalkSearch;
     use crate::world::WorldConfig;
 
     fn world() -> SearchWorld {
@@ -193,7 +192,7 @@ mod tests {
         let mut rng = Pcg64::new(3);
         let queries: Vec<QuerySpec> = (0..300).map(|_| w.sample_query(&mut rng)).collect();
         let mut gia = GiaSearch::new(&w, 30, 4);
-        let mut walk = RandomWalkSearch::new(1, 30);
+        let mut walk = crate::spec::SearchSpec::walk(1, 30).build(&w).into_walk();
         let mut gia_hits = 0;
         let mut walk_hits = 0;
         for q in &queries {

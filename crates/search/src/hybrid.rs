@@ -11,11 +11,13 @@
 //! pays the flood *and* the DHT cost and ends up strictly worse than a
 //! pure DHT. The [`DhtOnlySearch`] baseline makes that comparison direct.
 
+use crate::spec::SearchSpec;
 use crate::systems::{FaultContext, MaintenanceSchedule, SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_dht::{ChordNetwork, DhtIndex};
 use qcp_faults::FaultStats;
-use qcp_overlay::flood::FloodEngine;
+use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
+use qcp_overlay::flood::{FloodEngine, FloodSpec};
 use qcp_util::hash::mix64;
 use qcp_util::rng::Pcg64;
 
@@ -42,9 +44,28 @@ fn build_index(world: &SearchWorld, net: &ChordNetwork) -> DhtIndex {
     index
 }
 
+/// Records one completed structured lookup (record-after style: the
+/// lookup's own accounting is the source of truth, the recorder only
+/// mirrors it, so recording cannot perturb the lookup).
+fn record_lookup<R: Recorder>(rec: &mut R, messages: u64, hops: u32, success: bool) {
+    rec.rec_span(Kernel::ChordLookup);
+    rec.rec_count(Kernel::ChordLookup, Counter::Messages, messages);
+    rec.rec_hop(Kernel::ChordLookup, hops, 1);
+    rec.rec_event(
+        Kernel::ChordLookup,
+        if success { Event::Hit } else { Event::Miss },
+    );
+}
+
 /// Flood-then-DHT hybrid search.
+///
+/// Generic over an instrumentation [`Recorder`] (default
+/// [`NoopRecorder`], which compiles recording away): the flood phase
+/// records in-kernel under [`Kernel::Flood`]; the structured fallback
+/// and repair passes record after the fact under
+/// [`Kernel::ChordLookup`] / [`Kernel::Repair`].
 #[derive(Debug)]
-pub struct HybridSearch {
+pub struct HybridSearch<R: Recorder = NoopRecorder> {
     /// Unstructured phase TTL.
     pub flood_ttl: u32,
     /// Result-count threshold below which the query is "rare".
@@ -56,6 +77,7 @@ pub struct HybridSearch {
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
     repair_messages: u64,
+    recorder: R,
     /// Queries that fell back to the DHT (for reports).
     pub fallbacks: u64,
     /// Total queries served.
@@ -65,7 +87,49 @@ pub struct HybridSearch {
 impl HybridSearch {
     /// Creates the hybrid system: Chord ring over the same peer population
     /// plus a fully published inverted index.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::hybrid(flood_ttl, rare_threshold, seed).build(world)"
+    )]
     pub fn new(world: &SearchWorld, flood_ttl: u32, rare_threshold: u32, seed: u64) -> Self {
+        SearchSpec::hybrid(flood_ttl, rare_threshold, seed)
+            .build(world)
+            .into_hybrid()
+    }
+
+    /// Creates the hybrid system under a fault context. The flood phase
+    /// is fire-and-forget (lost messages are just lost); the DHT fallback
+    /// is request/response — every hop gets explicit timeouts and the
+    /// bounded-retry-with-backoff of `faults.policy`. A query whose
+    /// issuer is down at query time fails outright.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::hybrid(flood_ttl, rare_threshold, seed).faults(faults).build(world)"
+    )]
+    pub fn with_faults(
+        world: &SearchWorld,
+        flood_ttl: u32,
+        rare_threshold: u32,
+        seed: u64,
+        faults: FaultContext,
+    ) -> Self {
+        SearchSpec::hybrid(flood_ttl, rare_threshold, seed)
+            .faults(faults)
+            .build(world)
+            .into_hybrid()
+    }
+}
+
+impl<R: Recorder> HybridSearch<R> {
+    /// Builder-internal constructor (see [`SearchSpec::hybrid`]).
+    pub(crate) fn assemble(
+        world: &SearchWorld,
+        flood_ttl: u32,
+        rare_threshold: u32,
+        seed: u64,
+        faults: Option<FaultContext>,
+        recorder: R,
+    ) -> Self {
         let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
         let index = build_index(world, &net);
         Self {
@@ -75,29 +139,23 @@ impl HybridSearch {
             index,
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
-            faults: None,
+            faults,
             maintenance: None,
             repair_messages: 0,
+            recorder,
             fallbacks: 0,
             queries: 0,
         }
     }
 
-    /// Creates the hybrid system under a fault context. The flood phase
-    /// is fire-and-forget (lost messages are just lost); the DHT fallback
-    /// is request/response — every hop gets explicit timeouts and the
-    /// bounded-retry-with-backoff of `faults.policy`. A query whose
-    /// issuer is down at query time fails outright.
-    pub fn with_faults(
-        world: &SearchWorld,
-        flood_ttl: u32,
-        rare_threshold: u32,
-        seed: u64,
-        faults: FaultContext,
-    ) -> Self {
-        let mut s = Self::new(world, flood_ttl, rare_threshold, seed);
-        s.faults = Some(faults);
-        s
+    /// The recorder this system has been writing into.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the system, returning its recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
     }
 
     /// Attaches a maintenance schedule: before every `schedule`-th query
@@ -137,10 +195,15 @@ impl HybridSearch {
                 let alive = ctx.plan.alive_mask_at(time);
                 let (_, messages) = self.index.re_replicate(&self.net, &alive);
                 self.repair_messages += messages;
+                self.recorder.rec_span(Kernel::Repair);
+                self.recorder
+                    .rec_count(Kernel::Repair, Counter::Messages, messages);
             }
         }
         if !ctx.plan.alive_at(query.source, time) {
             // A departed peer issues nothing.
+            self.recorder.rec_span(Kernel::Flood);
+            self.recorder.rec_event(Kernel::Flood, Event::DeadSource);
             return SearchOutcome {
                 success: false,
                 messages: 0,
@@ -150,16 +213,19 @@ impl HybridSearch {
         }
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
-        let (flood, mut stats) = self.engine.flood_faulty(
+        // Unified flood entry: the census at `flood_ttl` reconstructs
+        // the legacy `flood_faulty` call bitwise (BFS prefix property).
+        let spec = FloodSpec::new(self.flood_ttl).faulty(&ctx.plan, time, nonce);
+        let (census, level_stats) = self.engine.run(
             &world.topology.graph,
             query.source,
-            self.flood_ttl,
             &holders,
             Some(&self.forwarders),
-            &ctx.plan,
-            time,
-            nonce,
+            &spec,
+            &mut self.recorder,
         );
+        let flood = census.at(self.flood_ttl);
+        let mut stats = level_stats[self.flood_ttl.min(census.levels()) as usize];
         let hits = self.engine.hits_in_last_flood(&holders);
         if hits >= self.rare_threshold {
             return SearchOutcome {
@@ -182,6 +248,13 @@ impl HybridSearch {
             mix64(nonce ^ 0xd47),
         );
         stats.absorb(&dht_stats);
+        self.recorder.rec_span(Kernel::ChordLookup);
+        self.recorder
+            .rec_event(Kernel::ChordLookup, Event::Fallback);
+        self.recorder
+            .rec_count(Kernel::ChordLookup, Counter::Messages, dht.messages);
+        self.recorder.rec_hop(Kernel::ChordLookup, dht.hops, 1);
+        self.recorder.rec_faults(Kernel::ChordLookup, &dht_stats);
         SearchOutcome {
             success: flood.found || !dht.results.is_empty(),
             messages: flood.messages + dht.messages,
@@ -191,7 +264,7 @@ impl HybridSearch {
     }
 }
 
-impl SearchSystem for HybridSearch {
+impl<R: Recorder> SearchSystem for HybridSearch<R> {
     fn name(&self) -> String {
         format!(
             "hybrid(ttl={},rare<{})",
@@ -211,13 +284,16 @@ impl SearchSystem for HybridSearch {
         }
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
-        let flood = self.engine.flood(
+        let spec = FloodSpec::new(self.flood_ttl);
+        let (census, _) = self.engine.run(
             &world.topology.graph,
             query.source,
-            self.flood_ttl,
             &holders,
             Some(&self.forwarders),
+            &spec,
+            &mut self.recorder,
         );
+        let flood = census.at(self.flood_ttl);
         let hits = self.engine.hits_in_last_flood(&holders);
         if hits >= self.rare_threshold {
             return SearchOutcome {
@@ -231,6 +307,12 @@ impl SearchSystem for HybridSearch {
         self.fallbacks += 1;
         let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
         let dht = self.index.query_keys(&self.net, query.source, &keys);
+        self.recorder.rec_span(Kernel::ChordLookup);
+        self.recorder
+            .rec_event(Kernel::ChordLookup, Event::Fallback);
+        self.recorder
+            .rec_count(Kernel::ChordLookup, Counter::Messages, dht.messages);
+        self.recorder.rec_hop(Kernel::ChordLookup, dht.hops, 1);
         SearchOutcome {
             success: flood.found || !dht.results.is_empty(),
             messages: flood.messages + dht.messages,
@@ -245,35 +327,69 @@ impl SearchSystem for HybridSearch {
 }
 
 /// Pure structured search: every query goes straight to the DHT index.
+///
+/// Generic over an instrumentation [`Recorder`] (default
+/// [`NoopRecorder`]); lookups record after the fact under
+/// [`Kernel::ChordLookup`], repair passes under [`Kernel::Repair`].
 #[derive(Debug)]
-pub struct DhtOnlySearch {
+pub struct DhtOnlySearch<R: Recorder = NoopRecorder> {
     net: ChordNetwork,
     index: DhtIndex,
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
     repair_messages: u64,
+    recorder: R,
 }
 
 impl DhtOnlySearch {
     /// Builds the ring + index.
+    #[deprecated(since = "0.1.0", note = "use SearchSpec::dht_only(seed).build(world)")]
     pub fn new(world: &SearchWorld, seed: u64) -> Self {
+        SearchSpec::dht_only(seed).build(world).into_dht_only()
+    }
+
+    /// Builds the ring + index with every lookup hop subject to
+    /// `faults.plan`, retried under `faults.policy`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::dht_only(seed).faults(faults).build(world)"
+    )]
+    pub fn with_faults(world: &SearchWorld, seed: u64, faults: FaultContext) -> Self {
+        SearchSpec::dht_only(seed)
+            .faults(faults)
+            .build(world)
+            .into_dht_only()
+    }
+}
+
+impl<R: Recorder> DhtOnlySearch<R> {
+    /// Builder-internal constructor (see [`SearchSpec::dht_only`]).
+    pub(crate) fn assemble(
+        world: &SearchWorld,
+        seed: u64,
+        faults: Option<FaultContext>,
+        recorder: R,
+    ) -> Self {
         let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
         let index = build_index(world, &net);
         Self {
             net,
             index,
-            faults: None,
+            faults,
             maintenance: None,
             repair_messages: 0,
+            recorder,
         }
     }
 
-    /// Builds the ring + index with every lookup hop subject to
-    /// `faults.plan`, retried under `faults.policy`.
-    pub fn with_faults(world: &SearchWorld, seed: u64, faults: FaultContext) -> Self {
-        let mut s = Self::new(world, seed);
-        s.faults = Some(faults);
-        s
+    /// The recorder this system has been writing into.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the system, returning its recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
     }
 
     /// Attaches a maintenance schedule (see
@@ -290,7 +406,7 @@ impl DhtOnlySearch {
     }
 }
 
-impl SearchSystem for DhtOnlySearch {
+impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
     fn name(&self) -> String {
         "dht-only".to_string()
     }
@@ -310,6 +426,9 @@ impl SearchSystem for DhtOnlySearch {
                     let alive = ctx.plan.alive_mask_at(time);
                     let (_, messages) = self.index.re_replicate(&self.net, &alive);
                     self.repair_messages += messages;
+                    self.recorder.rec_span(Kernel::Repair);
+                    self.recorder
+                        .rec_count(Kernel::Repair, Counter::Messages, messages);
                 }
             }
             let (out, stats) = self.index.query_keys_faulty(
@@ -321,16 +440,21 @@ impl SearchSystem for DhtOnlySearch {
                 time,
                 nonce,
             );
+            let success = !out.results.is_empty();
+            record_lookup(&mut self.recorder, out.messages, out.hops, success);
+            self.recorder.rec_faults(Kernel::ChordLookup, &stats);
             return SearchOutcome {
-                success: !out.results.is_empty(),
+                success,
                 messages: out.messages,
                 hops: Some(out.hops),
                 faults: stats,
             };
         }
         let out = self.index.query_keys(&self.net, query.source, &keys);
+        let success = !out.results.is_empty();
+        record_lookup(&mut self.recorder, out.messages, out.hops, success);
         SearchOutcome {
-            success: !out.results.is_empty(),
+            success,
             messages: out.messages,
             hops: Some(out.hops),
             faults: FaultStats::default(),
@@ -361,7 +485,7 @@ mod tests {
     #[test]
     fn dht_only_always_finds_published_content() {
         let w = world();
-        let mut dht = DhtOnlySearch::new(&w, 1);
+        let mut dht = SearchSpec::dht_only(1).build(&w).into_dht_only();
         let mut rng = Pcg64::new(2);
         for obj in [3u32, 77, 512] {
             let q = QuerySpec {
@@ -376,7 +500,7 @@ mod tests {
     #[test]
     fn dht_only_fails_cleanly_for_absent_terms() {
         let w = world();
-        let mut dht = DhtOnlySearch::new(&w, 1);
+        let mut dht = SearchSpec::dht_only(1).build(&w).into_dht_only();
         let mut rng = Pcg64::new(3);
         let out = dht.search(
             &w,
@@ -396,7 +520,7 @@ mod tests {
         let rare_obj = (0..w.num_objects() as u32)
             .find(|&o| w.placement.replicas(o) == 1)
             .expect("zipf placement has singletons");
-        let mut hybrid = HybridSearch::new(&w, 2, 5, 4);
+        let mut hybrid = SearchSpec::hybrid(2, 5, 4).build(&w).into_hybrid();
         let mut rng = Pcg64::new(5);
         let q = QuerySpec {
             terms: w.object_terms[rare_obj as usize].clone(),
@@ -410,8 +534,8 @@ mod tests {
     #[test]
     fn hybrid_pays_more_than_dht_when_floods_fail() {
         let w = world();
-        let mut hybrid = HybridSearch::new(&w, 3, 20, 6);
-        let mut dht = DhtOnlySearch::new(&w, 6);
+        let mut hybrid = SearchSpec::hybrid(3, 20, 6).build(&w).into_hybrid();
+        let mut dht = SearchSpec::dht_only(6).build(&w).into_dht_only();
         let mut rng = Pcg64::new(7);
         let queries: Vec<QuerySpec> = (0..150).map(|_| w.sample_query(&mut rng)).collect();
         let mut hybrid_msgs = 0u64;
@@ -441,7 +565,7 @@ mod tests {
             .max_by_key(|&o| w.placement.replicas(o))
             .unwrap();
         assert!(w.placement.replicas(popular) >= 10, "need a popular object");
-        let mut hybrid = HybridSearch::new(&w, 4, 3, 8);
+        let mut hybrid = SearchSpec::hybrid(4, 3, 8).build(&w).into_hybrid();
         let mut rng = Pcg64::new(9);
         let q = QuerySpec {
             terms: w.object_terms[popular as usize].clone(),
@@ -458,7 +582,7 @@ mod tests {
     #[test]
     fn maintenance_cost_reported() {
         let w = world();
-        let hybrid = HybridSearch::new(&w, 2, 10, 10);
+        let hybrid = SearchSpec::hybrid(2, 10, 10).build(&w).into_hybrid();
         assert!(hybrid.maintenance_messages() > 0);
     }
 }
@@ -522,14 +646,15 @@ mod faulty_tests {
     fn none_plan_hybrid_matches_fault_free_success() {
         let w = world();
         let qs = queries(&w, 120);
-        let mut plain = HybridSearch::new(&w, 2, 5, 4);
-        let mut faulty = HybridSearch::with_faults(
-            &w,
-            2,
-            5,
-            4,
-            FaultContext::new(FaultPlan::none(500), RetryPolicy::default(), 1),
-        );
+        let mut plain = SearchSpec::hybrid(2, 5, 4).build(&w).into_hybrid();
+        let mut faulty = SearchSpec::hybrid(2, 5, 4)
+            .faults(FaultContext::new(
+                FaultPlan::none(500),
+                RetryPolicy::default(),
+                1,
+            ))
+            .build(&w)
+            .into_hybrid();
         let mut rng = Pcg64::new(9);
         for q in &qs {
             let a = plain.search(&w, q, &mut rng);
@@ -551,7 +676,10 @@ mod faulty_tests {
         let qs = queries(&w, 200);
         let mut rates = Vec::new();
         for loss in [0.0f64, 0.25, 0.6] {
-            let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, loss, 0.0, 21));
+            let mut sys = SearchSpec::hybrid(2, 5, 4)
+                .faults(ctx(500, loss, 0.0, 21))
+                .build(&w)
+                .into_hybrid();
             rates.push(run(&mut sys, &w, &qs).0);
         }
         for wnd in rates.windows(2) {
@@ -572,7 +700,10 @@ mod faulty_tests {
         let qs = queries(&w, 200);
         let mut rates = Vec::new();
         for churn in [0.0f64, 0.25, 0.6] {
-            let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.0, churn, 22));
+            let mut sys = SearchSpec::hybrid(2, 5, 4)
+                .faults(ctx(500, 0.0, churn, 22))
+                .build(&w)
+                .into_hybrid();
             rates.push(run(&mut sys, &w, &qs).0);
         }
         for wnd in rates.windows(2) {
@@ -591,7 +722,10 @@ mod faulty_tests {
     fn hybrid_counters_respect_the_accounting_identities() {
         let w = world();
         let qs = queries(&w, 150);
-        let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.3, 0.2, 23));
+        let mut sys = SearchSpec::hybrid(2, 5, 4)
+            .faults(ctx(500, 0.3, 0.2, 23))
+            .build(&w)
+            .into_hybrid();
         let (_, stats) = run(&mut sys, &w, &qs);
         assert!(stats.dropped > 0, "30% loss must drop");
         assert!(stats.retries > 0, "DHT fallback must retry");
@@ -610,7 +744,10 @@ mod faulty_tests {
     fn dht_only_drops_are_all_retried_or_timed_out() {
         let w = world();
         let qs = queries(&w, 120);
-        let mut sys = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.3, 0.0, 24));
+        let mut sys = SearchSpec::dht_only(6)
+            .faults(ctx(500, 0.3, 0.0, 24))
+            .build(&w)
+            .into_dht_only();
         let (rate, stats) = run(&mut sys, &w, &qs);
         assert!(stats.dropped > 0);
         assert_eq!(
@@ -619,7 +756,7 @@ mod faulty_tests {
             "request/response engine: every drop is retried or times out"
         );
         // Retries keep the DHT useful under 30% loss.
-        let mut clean = DhtOnlySearch::new(&w, 6);
+        let mut clean = SearchSpec::dht_only(6).build(&w).into_dht_only();
         let (clean_rate, _) = run(&mut clean, &w, &qs);
         assert!(rate > clean_rate * 0.5, "{rate} vs clean {clean_rate}");
     }
@@ -628,7 +765,10 @@ mod faulty_tests {
     fn stale_misses_surface_under_churn() {
         let w = world();
         let qs = queries(&w, 250);
-        let mut sys = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.0, 0.5, 25));
+        let mut sys = SearchSpec::dht_only(6)
+            .faults(ctx(500, 0.0, 0.5, 25))
+            .build(&w)
+            .into_dht_only();
         let (_, stats) = run(&mut sys, &w, &qs);
         assert!(
             stats.stale_misses > 0,
@@ -642,9 +782,15 @@ mod faulty_tests {
         let qs = queries(&w, 300);
         // Same plan both times: churn strands postings; only one system
         // runs the repair daemon.
-        let mut plain = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.0, 0.5, 25));
-        let mut healed = DhtOnlySearch::with_faults(&w, 6, ctx(500, 0.0, 0.5, 25))
-            .with_maintenance(crate::systems::MaintenanceSchedule::every(20));
+        let mut plain = SearchSpec::dht_only(6)
+            .faults(ctx(500, 0.0, 0.5, 25))
+            .build(&w)
+            .into_dht_only();
+        let mut healed = SearchSpec::dht_only(6)
+            .faults(ctx(500, 0.0, 0.5, 25))
+            .maintenance(crate::systems::MaintenanceSchedule::every(20))
+            .build(&w)
+            .into_dht_only();
         let (rate_plain, stats_plain) = run(&mut plain, &w, &qs);
         let (rate_healed, stats_healed) = run(&mut healed, &w, &qs);
         assert!(stats_plain.stale_misses > 0, "churn must strand postings");
@@ -669,8 +815,11 @@ mod faulty_tests {
     fn hybrid_accepts_a_maintenance_schedule() {
         let w = world();
         let qs = queries(&w, 200);
-        let mut sys = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.0, 0.5, 27))
-            .with_maintenance(crate::systems::MaintenanceSchedule::every(25));
+        let mut sys = SearchSpec::hybrid(2, 5, 4)
+            .faults(ctx(500, 0.0, 0.5, 27))
+            .maintenance(crate::systems::MaintenanceSchedule::every(25))
+            .build(&w)
+            .into_hybrid();
         let publish_cost = sys.maintenance_messages();
         let (_, stats) = run(&mut sys, &w, &qs);
         assert!(sys.maintenance_passes() > 0);
@@ -689,9 +838,15 @@ mod faulty_tests {
         let w = world();
         let qs = queries(&w, 80);
         let none = || FaultContext::new(FaultPlan::none(500), RetryPolicy::default(), 1);
-        let mut bare = DhtOnlySearch::with_faults(&w, 9, none());
-        let mut scheduled = DhtOnlySearch::with_faults(&w, 9, none())
-            .with_maintenance(crate::systems::MaintenanceSchedule::every(10));
+        let mut bare = SearchSpec::dht_only(9)
+            .faults(none())
+            .build(&w)
+            .into_dht_only();
+        let mut scheduled = SearchSpec::dht_only(9)
+            .faults(none())
+            .maintenance(crate::systems::MaintenanceSchedule::every(10))
+            .build(&w)
+            .into_dht_only();
         let mut rng = Pcg64::new(31);
         for q in &qs {
             let a = bare.search(&w, q, &mut rng);
@@ -715,8 +870,11 @@ mod faulty_tests {
     fn eval_rows_carry_fault_counters() {
         let w = world();
         let qs = queries(&w, 60);
-        let mut faulty = HybridSearch::with_faults(&w, 2, 5, 4, ctx(500, 0.3, 0.2, 26));
-        let mut plain = HybridSearch::new(&w, 2, 5, 4);
+        let mut faulty = SearchSpec::hybrid(2, 5, 4)
+            .faults(ctx(500, 0.3, 0.2, 26))
+            .build(&w)
+            .into_hybrid();
+        let mut plain = SearchSpec::hybrid(2, 5, 4).build(&w).into_hybrid();
         let rows = crate::eval::evaluate(
             &w,
             &mut [&mut faulty as &mut dyn SearchSystem, &mut plain],

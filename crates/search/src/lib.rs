@@ -8,6 +8,9 @@
 //!   model with the planted query/file popularity mismatch;
 //! * [`systems`] — the [`SearchSystem`](systems::SearchSystem) trait and
 //!   baseline implementations: TTL flooding, k-walker random walks;
+//! * [`spec`] — the unified [`SearchSpec`](spec::SearchSpec) builder:
+//!   one entry point for every baseline system, with optional fault
+//!   contexts, maintenance schedules, and instrumentation recorders;
 //! * [`gia`] — the Gia baseline (paper ref [17]): capacity-weighted
 //!   topology roles, one-hop replication, biased walks;
 //! * [`hybrid`] — flood-then-DHT hybrid search with the Loo et al.
@@ -32,6 +35,7 @@ pub mod eval;
 pub mod gia;
 pub mod hybrid;
 pub mod qrp;
+pub mod spec;
 pub mod synopsis;
 pub mod systems;
 pub mod world;
@@ -41,6 +45,7 @@ pub use eval::{evaluate, gen_queries, ComparisonRow, WorkloadConfig};
 pub use gia::GiaSearch;
 pub use hybrid::{DhtOnlySearch, HybridSearch};
 pub use qrp::QrpFloodSearch;
+pub use spec::{Built, SearchSpec};
 pub use synopsis::{SynopsisPolicy, SynopsisSearch};
 pub use systems::{
     ExpandingRingSearch, FaultContext, FloodSearch, MaintenanceSchedule, RandomWalkSearch,

@@ -1,0 +1,650 @@
+//! The unified search-system builder: one [`SearchSpec`] entry point
+//! replacing the `new`/`with_faults` constructor pairs.
+//!
+//! ```
+//! use qcp_search::{SearchSpec, SearchSystem};
+//! use qcp_search::world::{SearchWorld, WorldConfig};
+//! use qcp_util::rng::Pcg64;
+//!
+//! let world = SearchWorld::generate(&WorldConfig {
+//!     num_peers: 200,
+//!     num_objects: 1_000,
+//!     num_terms: 2_000,
+//!     head_size: 40,
+//!     seed: 7,
+//!     ..Default::default()
+//! });
+//! let mut flood = SearchSpec::flood(3).build(&world);
+//! let mut rng = Pcg64::new(1);
+//! let q = world.sample_query(&mut rng);
+//! let out = flood.search(&world, &q, &mut rng);
+//! assert!(out.messages > 0 || out.success);
+//! ```
+//!
+//! Attach a fault context with [`SearchSpec::faults`], a repair schedule
+//! with [`SearchSpec::maintenance`] (DHT-backed systems only), and an
+//! instrumentation recorder with [`SearchSpec::recorder`]:
+//!
+//! ```ignore
+//! let sys = SearchSpec::hybrid(2, 5, 42)
+//!     .faults(ctx)
+//!     .maintenance(MaintenanceSchedule::every(20))
+//!     .recorder(MetricsRecorder::new())
+//!     .build(&world);
+//! ```
+//!
+//! Every spec builds bitwise-identically to the deprecated constructor
+//! it replaces (pinned by `shims_build_bitwise_identical_systems`).
+
+use crate::hybrid::{DhtOnlySearch, HybridSearch};
+use crate::systems::{
+    ExpandingRingSearch, FaultContext, FloodSearch, MaintenanceSchedule, RandomWalkSearch,
+    SearchOutcome, SearchSystem,
+};
+use crate::world::{QuerySpec, SearchWorld};
+use qcp_obs::{NoopRecorder, Recorder};
+use qcp_util::rng::Pcg64;
+
+/// Which system a [`SearchSpec`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// TTL-limited flooding.
+    Flood { ttl: u32 },
+    /// k-walker random walks.
+    Walk { walkers: usize, ttl: u32 },
+    /// Iterative-deepening ring floods.
+    ExpandingRing { max_ttl: u32 },
+    /// Flood-then-DHT hybrid.
+    Hybrid {
+        flood_ttl: u32,
+        rare_threshold: u32,
+        seed: u64,
+    },
+    /// Pure structured search.
+    DhtOnly { seed: u64 },
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Flood { .. } => "flood",
+            Kind::Walk { .. } => "walk",
+            Kind::ExpandingRing { .. } => "expanding-ring",
+            Kind::Hybrid { .. } => "hybrid",
+            Kind::DhtOnly { .. } => "dht-only",
+        }
+    }
+}
+
+/// Builder for every search system in the crate's baseline suite.
+///
+/// Start from a kind constructor ([`Self::flood`], [`Self::walk`],
+/// [`Self::expanding_ring`], [`Self::hybrid`], [`Self::dht_only`]),
+/// chain optional attachments, then [`Self::build`] against a world.
+/// The recorder defaults to [`NoopRecorder`], which monomorphizes all
+/// instrumentation away — an unrecorded build is exactly the
+/// pre-observability system.
+#[derive(Debug)]
+pub struct SearchSpec<R: Recorder = NoopRecorder> {
+    kind: Kind,
+    faults: Option<FaultContext>,
+    maintenance: Option<MaintenanceSchedule>,
+    recorder: R,
+}
+
+impl SearchSpec<NoopRecorder> {
+    fn of(kind: Kind) -> Self {
+        Self {
+            kind,
+            faults: None,
+            maintenance: None,
+            recorder: NoopRecorder,
+        }
+    }
+
+    /// Gnutella-style flooding with the given TTL.
+    pub fn flood(ttl: u32) -> Self {
+        Self::of(Kind::Flood { ttl })
+    }
+
+    /// `walkers` random walkers of `ttl` steps each.
+    pub fn walk(walkers: usize, ttl: u32) -> Self {
+        Self::of(Kind::Walk { walkers, ttl })
+    }
+
+    /// Expanding-ring (iterative deepening) floods up to `max_ttl`.
+    pub fn expanding_ring(max_ttl: u32) -> Self {
+        Self::of(Kind::ExpandingRing { max_ttl })
+    }
+
+    /// Flood-then-DHT hybrid (Loo et al. rare-query rule).
+    pub fn hybrid(flood_ttl: u32, rare_threshold: u32, seed: u64) -> Self {
+        Self::of(Kind::Hybrid {
+            flood_ttl,
+            rare_threshold,
+            seed,
+        })
+    }
+
+    /// Pure structured (Chord inverted-index) search.
+    pub fn dht_only(seed: u64) -> Self {
+        Self::of(Kind::DhtOnly { seed })
+    }
+}
+
+impl<R: Recorder> SearchSpec<R> {
+    /// Runs the system under `faults`: flood/walk phases are
+    /// fire-and-forget, DHT phases request/response with
+    /// retry/backoff per `faults.policy`.
+    pub fn faults(mut self, faults: FaultContext) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a mid-workload repair schedule. Only the DHT-backed
+    /// kinds ([`Self::hybrid`], [`Self::dht_only`]) run repair passes;
+    /// [`Self::build`] rejects the attachment on any other kind.
+    pub fn maintenance(mut self, schedule: MaintenanceSchedule) -> Self {
+        self.maintenance = Some(schedule);
+        self
+    }
+
+    /// Swaps in an instrumentation recorder (type-changing: the built
+    /// system is monomorphized over the recorder, so a
+    /// [`NoopRecorder`] build stays zero-overhead).
+    pub fn recorder<R2: Recorder>(self, recorder: R2) -> SearchSpec<R2> {
+        SearchSpec {
+            kind: self.kind,
+            faults: self.faults,
+            maintenance: self.maintenance,
+            recorder,
+        }
+    }
+
+    /// Builds the described system against `world`.
+    pub fn build(self, world: &SearchWorld) -> Built<R> {
+        let SearchSpec {
+            kind,
+            faults,
+            maintenance,
+            recorder,
+        } = self;
+        assert!(
+            maintenance.is_none() || matches!(kind, Kind::Hybrid { .. } | Kind::DhtOnly { .. }),
+            "maintenance schedules apply only to the DHT-backed systems, not {}",
+            kind.name()
+        );
+        match kind {
+            Kind::Flood { ttl } => {
+                Built::Flood(FloodSearch::assemble(world, ttl, faults, recorder))
+            }
+            Kind::Walk { walkers, ttl } => {
+                Built::Walk(RandomWalkSearch::assemble(walkers, ttl, faults, recorder))
+            }
+            Kind::ExpandingRing { max_ttl } => Built::ExpandingRing(ExpandingRingSearch::assemble(
+                world, max_ttl, faults, recorder,
+            )),
+            Kind::Hybrid {
+                flood_ttl,
+                rare_threshold,
+                seed,
+            } => {
+                let mut sys = HybridSearch::assemble(
+                    world,
+                    flood_ttl,
+                    rare_threshold,
+                    seed,
+                    faults,
+                    recorder,
+                );
+                if let Some(m) = maintenance {
+                    sys = sys.with_maintenance(m);
+                }
+                Built::Hybrid(sys)
+            }
+            Kind::DhtOnly { seed } => {
+                let mut sys = DhtOnlySearch::assemble(world, seed, faults, recorder);
+                if let Some(m) = maintenance {
+                    sys = sys.with_maintenance(m);
+                }
+                Built::DhtOnly(sys)
+            }
+        }
+    }
+}
+
+/// A system built from a [`SearchSpec`]: use it directly through
+/// [`SearchSystem`] (it delegates to the inner system), or unwrap the
+/// concrete type with the `into_*` extractors when system-specific
+/// reporting fields are needed.
+#[derive(Debug)]
+pub enum Built<R: Recorder = NoopRecorder> {
+    /// [`SearchSpec::flood`].
+    Flood(FloodSearch<R>),
+    /// [`SearchSpec::walk`].
+    Walk(RandomWalkSearch<R>),
+    /// [`SearchSpec::expanding_ring`].
+    ExpandingRing(ExpandingRingSearch<R>),
+    /// [`SearchSpec::hybrid`].
+    Hybrid(HybridSearch<R>),
+    /// [`SearchSpec::dht_only`].
+    DhtOnly(DhtOnlySearch<R>),
+}
+
+impl<R: Recorder> Built<R> {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Built::Flood(_) => "flood",
+            Built::Walk(_) => "walk",
+            Built::ExpandingRing(_) => "expanding-ring",
+            Built::Hybrid(_) => "hybrid",
+            Built::DhtOnly(_) => "dht-only",
+        }
+    }
+
+    /// Unwraps a [`SearchSpec::flood`] build.
+    pub fn into_flood(self) -> FloodSearch<R> {
+        match self {
+            Built::Flood(s) => s,
+            // qcplint: allow(panic) — extractor misuse is a programming
+            // error; fail fast with the actual kind.
+            other => panic!("built system is {}, not flood", other.kind_name()),
+        }
+    }
+
+    /// Unwraps a [`SearchSpec::walk`] build.
+    pub fn into_walk(self) -> RandomWalkSearch<R> {
+        match self {
+            Built::Walk(s) => s,
+            // qcplint: allow(panic) — extractor misuse fails fast.
+            other => panic!("built system is {}, not walk", other.kind_name()),
+        }
+    }
+
+    /// Unwraps a [`SearchSpec::expanding_ring`] build.
+    pub fn into_expanding_ring(self) -> ExpandingRingSearch<R> {
+        match self {
+            Built::ExpandingRing(s) => s,
+            // qcplint: allow(panic) — extractor misuse fails fast.
+            other => panic!("built system is {}, not expanding-ring", other.kind_name()),
+        }
+    }
+
+    /// Unwraps a [`SearchSpec::hybrid`] build.
+    pub fn into_hybrid(self) -> HybridSearch<R> {
+        match self {
+            Built::Hybrid(s) => s,
+            // qcplint: allow(panic) — extractor misuse fails fast.
+            other => panic!("built system is {}, not hybrid", other.kind_name()),
+        }
+    }
+
+    /// Unwraps a [`SearchSpec::dht_only`] build.
+    pub fn into_dht_only(self) -> DhtOnlySearch<R> {
+        match self {
+            Built::DhtOnly(s) => s,
+            // qcplint: allow(panic) — extractor misuse fails fast.
+            other => panic!("built system is {}, not dht-only", other.kind_name()),
+        }
+    }
+
+    /// The recorder the inner system has been writing into.
+    pub fn recorder(&self) -> &R {
+        match self {
+            Built::Flood(s) => s.recorder(),
+            Built::Walk(s) => s.recorder(),
+            Built::ExpandingRing(s) => s.recorder(),
+            Built::Hybrid(s) => s.recorder(),
+            Built::DhtOnly(s) => s.recorder(),
+        }
+    }
+
+    /// Consumes the system, returning its recorder.
+    pub fn into_recorder(self) -> R {
+        match self {
+            Built::Flood(s) => s.into_recorder(),
+            Built::Walk(s) => s.into_recorder(),
+            Built::ExpandingRing(s) => s.into_recorder(),
+            Built::Hybrid(s) => s.into_recorder(),
+            Built::DhtOnly(s) => s.into_recorder(),
+        }
+    }
+}
+
+impl<R: Recorder> SearchSystem for Built<R> {
+    fn name(&self) -> String {
+        match self {
+            Built::Flood(s) => s.name(),
+            Built::Walk(s) => s.name(),
+            Built::ExpandingRing(s) => s.name(),
+            Built::Hybrid(s) => s.name(),
+            Built::DhtOnly(s) => s.name(),
+        }
+    }
+
+    fn search(&mut self, world: &SearchWorld, query: &QuerySpec, rng: &mut Pcg64) -> SearchOutcome {
+        match self {
+            Built::Flood(s) => s.search(world, query, rng),
+            Built::Walk(s) => s.search(world, query, rng),
+            Built::ExpandingRing(s) => s.search(world, query, rng),
+            Built::Hybrid(s) => s.search(world, query, rng),
+            Built::DhtOnly(s) => s.search(world, query, rng),
+        }
+    }
+
+    fn maintenance_messages(&self) -> u64 {
+        match self {
+            Built::Flood(s) => s.maintenance_messages(),
+            Built::Walk(s) => s.maintenance_messages(),
+            Built::ExpandingRing(s) => s.maintenance_messages(),
+            Built::Hybrid(s) => s.maintenance_messages(),
+            Built::DhtOnly(s) => s.maintenance_messages(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use qcp_faults::{FaultConfig, FaultPlan, RetryPolicy};
+    use qcp_obs::{Counter, Event, Kernel, MetricsRecorder};
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 400,
+            num_objects: 3_000,
+            num_terms: 4_000,
+            head_size: 80,
+            seed: 99,
+            ..Default::default()
+        })
+    }
+
+    fn ctx(seed: u64) -> FaultContext {
+        FaultContext::new(
+            FaultPlan::build(
+                400,
+                &FaultConfig {
+                    loss: 0.2,
+                    churn: 0.2,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            RetryPolicy::default(),
+            seed ^ 0x0c7e,
+        )
+    }
+
+    fn queries(w: &SearchWorld, n: usize) -> Vec<QuerySpec> {
+        let mut rng = Pcg64::new(13);
+        (0..n).map(|_| w.sample_query(&mut rng)).collect()
+    }
+
+    /// Runs a query set and collects the raw outcomes.
+    fn outcomes(
+        sys: &mut dyn SearchSystem,
+        w: &SearchWorld,
+        qs: &[QuerySpec],
+    ) -> Vec<SearchOutcome> {
+        let mut rng = Pcg64::new(77);
+        qs.iter().map(|q| sys.search(w, q, &mut rng)).collect()
+    }
+
+    /// The deprecated constructor shims and the builder are the same
+    /// code path: outcome streams are bitwise identical.
+    #[test]
+    #[allow(deprecated)]
+    fn shims_build_bitwise_identical_systems() {
+        let w = world();
+        let qs = queries(&w, 60);
+        // (shim, builder) pairs for every system kind, faulty and not.
+        let pairs: Vec<(Box<dyn SearchSystem>, Box<dyn SearchSystem>)> = vec![
+            (
+                Box::new(FloodSearch::new(&w, 3)),
+                Box::new(SearchSpec::flood(3).build(&w)),
+            ),
+            (
+                Box::new(FloodSearch::with_faults(&w, 3, ctx(5))),
+                Box::new(SearchSpec::flood(3).faults(ctx(5)).build(&w)),
+            ),
+            (
+                Box::new(RandomWalkSearch::new(4, 20)),
+                Box::new(SearchSpec::walk(4, 20).build(&w)),
+            ),
+            (
+                Box::new(RandomWalkSearch::with_faults(4, 20, ctx(6))),
+                Box::new(SearchSpec::walk(4, 20).faults(ctx(6)).build(&w)),
+            ),
+            (
+                Box::new(ExpandingRingSearch::new(&w, 4)),
+                Box::new(SearchSpec::expanding_ring(4).build(&w)),
+            ),
+            (
+                Box::new(ExpandingRingSearch::with_faults(&w, 4, ctx(7))),
+                Box::new(SearchSpec::expanding_ring(4).faults(ctx(7)).build(&w)),
+            ),
+            (
+                Box::new(HybridSearch::new(&w, 2, 5, 11)),
+                Box::new(SearchSpec::hybrid(2, 5, 11).build(&w)),
+            ),
+            (
+                Box::new(HybridSearch::with_faults(&w, 2, 5, 11, ctx(8))),
+                Box::new(SearchSpec::hybrid(2, 5, 11).faults(ctx(8)).build(&w)),
+            ),
+            (
+                Box::new(DhtOnlySearch::new(&w, 9)),
+                Box::new(SearchSpec::dht_only(9).build(&w)),
+            ),
+            (
+                Box::new(DhtOnlySearch::with_faults(&w, 9, ctx(9))),
+                Box::new(SearchSpec::dht_only(9).faults(ctx(9)).build(&w)),
+            ),
+        ];
+        for (mut shim, mut built) in pairs {
+            assert_eq!(shim.name(), built.name());
+            let a = outcomes(shim.as_mut(), &w, &qs);
+            let b = outcomes(built.as_mut(), &w, &qs);
+            assert_eq!(a, b, "shim and builder diverged for {}", shim.name());
+        }
+    }
+
+    /// Extractors hand back the concrete system with its reporting
+    /// fields intact.
+    #[test]
+    fn extractors_return_concrete_systems() {
+        let w = world();
+        let flood = SearchSpec::flood(3).build(&w).into_flood();
+        assert_eq!(flood.ttl, 3);
+        let walk = SearchSpec::walk(2, 9).build(&w).into_walk();
+        assert_eq!((walk.walkers, walk.ttl), (2, 9));
+        let ring = SearchSpec::expanding_ring(5)
+            .build(&w)
+            .into_expanding_ring();
+        assert_eq!(ring.max_ttl, 5);
+        let hybrid = SearchSpec::hybrid(2, 5, 1).build(&w).into_hybrid();
+        assert_eq!((hybrid.flood_ttl, hybrid.rare_threshold), (2, 5));
+        let _ = SearchSpec::dht_only(1).build(&w).into_dht_only();
+    }
+
+    #[test]
+    #[should_panic(expected = "not flood")]
+    fn wrong_extractor_fails_fast() {
+        let w = world();
+        let _ = SearchSpec::walk(1, 5).build(&w).into_flood();
+    }
+
+    #[test]
+    #[should_panic(expected = "maintenance schedules apply only")]
+    fn maintenance_on_flood_rejected() {
+        let w = world();
+        let _ = SearchSpec::flood(3)
+            .maintenance(MaintenanceSchedule::every(10))
+            .build(&w);
+    }
+
+    /// Recording is write-only: a [`MetricsRecorder`] build returns the
+    /// same outcome stream (bitwise) as the default `NoopRecorder`
+    /// build, for every kind, with and without faults.
+    #[test]
+    fn metrics_recorder_never_perturbs_outcomes() {
+        let w = world();
+        let qs = queries(&w, 50);
+        let specs: Vec<(Box<dyn SearchSystem>, Box<dyn SearchSystem>)> = vec![
+            (
+                Box::new(SearchSpec::flood(3).build(&w)),
+                Box::new(
+                    SearchSpec::flood(3)
+                        .recorder(MetricsRecorder::new())
+                        .build(&w),
+                ),
+            ),
+            (
+                Box::new(SearchSpec::flood(3).faults(ctx(21)).build(&w)),
+                Box::new(
+                    SearchSpec::flood(3)
+                        .faults(ctx(21))
+                        .recorder(MetricsRecorder::new())
+                        .build(&w),
+                ),
+            ),
+            (
+                Box::new(SearchSpec::walk(4, 20).faults(ctx(22)).build(&w)),
+                Box::new(
+                    SearchSpec::walk(4, 20)
+                        .faults(ctx(22))
+                        .recorder(MetricsRecorder::new())
+                        .build(&w),
+                ),
+            ),
+            (
+                Box::new(SearchSpec::expanding_ring(4).faults(ctx(23)).build(&w)),
+                Box::new(
+                    SearchSpec::expanding_ring(4)
+                        .faults(ctx(23))
+                        .recorder(MetricsRecorder::new())
+                        .build(&w),
+                ),
+            ),
+            (
+                Box::new(SearchSpec::hybrid(2, 5, 11).faults(ctx(24)).build(&w)),
+                Box::new(
+                    SearchSpec::hybrid(2, 5, 11)
+                        .faults(ctx(24))
+                        .recorder(MetricsRecorder::new())
+                        .build(&w),
+                ),
+            ),
+            (
+                Box::new(SearchSpec::dht_only(9).faults(ctx(25)).build(&w)),
+                Box::new(
+                    SearchSpec::dht_only(9)
+                        .faults(ctx(25))
+                        .recorder(MetricsRecorder::new())
+                        .build(&w),
+                ),
+            ),
+        ];
+        for (mut plain, mut recorded) in specs {
+            let name = plain.name();
+            let a = outcomes(plain.as_mut(), &w, &qs);
+            let b = outcomes(recorded.as_mut(), &w, &qs);
+            assert_eq!(a, b, "recording perturbed outcomes for {name}");
+        }
+    }
+
+    /// Recorded message totals reconcile exactly with the outcome
+    /// stream's message counts, per system kind.
+    #[test]
+    fn recorded_messages_reconcile_with_outcomes() {
+        let w = world();
+        let qs = queries(&w, 50);
+        // Flood: everything lands under Kernel::Flood.
+        let mut flood = SearchSpec::flood(3)
+            .faults(ctx(31))
+            .recorder(MetricsRecorder::new())
+            .build(&w)
+            .into_flood();
+        let out = outcomes(&mut flood, &w, &qs);
+        let total: u64 = out.iter().map(|o| o.messages).sum();
+        let rec = flood.recorder();
+        assert_eq!(rec.total(Kernel::Flood, Counter::Messages), total);
+        assert_eq!(rec.spans(Kernel::Flood), qs.len() as u64);
+        let hits = out.iter().filter(|o| o.success).count() as u64;
+        let dead = rec.event_count(Kernel::Flood, Event::DeadSource);
+        assert_eq!(rec.event_count(Kernel::Flood, Event::Hit), hits);
+        assert_eq!(
+            rec.event_count(Kernel::Flood, Event::Miss) + dead + hits,
+            qs.len() as u64
+        );
+        // Walk.
+        let mut walk = SearchSpec::walk(4, 20)
+            .faults(ctx(32))
+            .recorder(MetricsRecorder::new())
+            .build(&w)
+            .into_walk();
+        let out = outcomes(&mut walk, &w, &qs);
+        let total: u64 = out.iter().map(|o| o.messages).sum();
+        assert_eq!(
+            walk.recorder().total(Kernel::Walk, Counter::Messages),
+            total
+        );
+        // Hybrid: flood + chord-lookup kernels partition the cost.
+        let mut hybrid = SearchSpec::hybrid(2, 5, 11)
+            .faults(ctx(33))
+            .recorder(MetricsRecorder::new())
+            .build(&w)
+            .into_hybrid();
+        let out = outcomes(&mut hybrid, &w, &qs);
+        let total: u64 = out.iter().map(|o| o.messages).sum();
+        let rec = hybrid.recorder();
+        assert_eq!(
+            rec.total(Kernel::Flood, Counter::Messages)
+                + rec.total(Kernel::ChordLookup, Counter::Messages),
+            total
+        );
+        assert_eq!(
+            rec.event_count(Kernel::ChordLookup, Event::Fallback),
+            hybrid.fallbacks
+        );
+        // DHT-only: lookups under ChordLookup; fault totals mirrored.
+        let mut dht = SearchSpec::dht_only(9)
+            .faults(ctx(34))
+            .recorder(MetricsRecorder::new())
+            .build(&w)
+            .into_dht_only();
+        let out = outcomes(&mut dht, &w, &qs);
+        let total: u64 = out.iter().map(|o| o.messages).sum();
+        let mut faults = qcp_faults::FaultStats::default();
+        for o in &out {
+            faults.absorb(&o.faults);
+        }
+        let rec = dht.recorder();
+        assert_eq!(rec.total(Kernel::ChordLookup, Counter::Messages), total);
+        assert_eq!(rec.fault_stats(Kernel::ChordLookup), faults);
+    }
+
+    /// `Built` delegates maintenance accounting and supports the
+    /// maintenance attachment for DHT-backed kinds.
+    #[test]
+    fn built_delegates_maintenance() {
+        let w = world();
+        let qs = queries(&w, 60);
+        let mut sys = SearchSpec::dht_only(9)
+            .faults(ctx(41))
+            .maintenance(MaintenanceSchedule::every(10))
+            .recorder(MetricsRecorder::new())
+            .build(&w);
+        let before = sys.maintenance_messages();
+        let _ = outcomes(&mut sys, &w, &qs);
+        assert!(sys.maintenance_messages() >= before);
+        let dht = sys.into_dht_only();
+        assert!(dht.maintenance_passes() > 0);
+        // Repair passes recorded one span each.
+        assert_eq!(
+            dht.recorder().spans(Kernel::Repair),
+            dht.maintenance_passes()
+        );
+    }
+}

@@ -1,9 +1,12 @@
 //! The search-system interface and the two classic baselines.
 
+use crate::spec::SearchSpec;
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
-use qcp_overlay::flood::FloodEngine;
-use qcp_overlay::walk::{random_walk_search, random_walk_search_faulty};
+use qcp_obs::{NoopRecorder, Recorder};
+use qcp_overlay::expanding::{expanding_ring_search_faulty_rec, expanding_ring_search_rec};
+use qcp_overlay::flood::{FloodEngine, FloodSpec};
+use qcp_overlay::walk::{random_walk_search_faulty_rec, random_walk_search_rec};
 use qcp_util::rng::{child_seed, Pcg64};
 
 /// Result of one query through one system.
@@ -124,36 +127,70 @@ pub trait SearchSystem {
 }
 
 /// Gnutella-style TTL-limited flooding.
+///
+/// Generic over an instrumentation [`Recorder`]; the default
+/// [`NoopRecorder`] monomorphizes every recording call away, so the
+/// uninstrumented system is exactly the pre-recorder code.
 #[derive(Debug)]
-pub struct FloodSearch {
+pub struct FloodSearch<R: Recorder = NoopRecorder> {
     /// Flood TTL.
     pub ttl: u32,
     engine: FloodEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
+    recorder: R,
 }
 
-impl FloodSearch {
-    /// Creates a flooding system for `world`.
-    pub fn new(world: &SearchWorld, ttl: u32) -> Self {
+impl<R: Recorder> FloodSearch<R> {
+    /// Builder-internal constructor (see [`SearchSpec::flood`]).
+    pub(crate) fn assemble(
+        world: &SearchWorld,
+        ttl: u32,
+        faults: Option<FaultContext>,
+        recorder: R,
+    ) -> Self {
         Self {
             ttl,
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
-            faults: None,
+            faults,
+            recorder,
         }
+    }
+
+    /// The recorder this system has been writing into.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the system, returning its recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+}
+
+impl FloodSearch {
+    /// Creates a flooding system for `world`.
+    #[deprecated(since = "0.1.0", note = "use SearchSpec::flood(ttl).build(world)")]
+    pub fn new(world: &SearchWorld, ttl: u32) -> Self {
+        SearchSpec::flood(ttl).build(world).into_flood()
     }
 
     /// Creates a flooding system whose every transmission consults
     /// `faults` (fire-and-forget: drops are never retried).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::flood(ttl).faults(faults).build(world)"
+    )]
     pub fn with_faults(world: &SearchWorld, ttl: u32, faults: FaultContext) -> Self {
-        let mut s = Self::new(world, ttl);
-        s.faults = Some(faults);
-        s
+        SearchSpec::flood(ttl)
+            .faults(faults)
+            .build(world)
+            .into_flood()
     }
 }
 
-impl SearchSystem for FloodSearch {
+impl<R: Recorder> SearchSystem for FloodSearch<R> {
     fn name(&self) -> String {
         format!("flood(ttl={})", self.ttl)
     }
@@ -166,71 +203,94 @@ impl SearchSystem for FloodSearch {
     ) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
-        if let Some(ctx) = &mut self.faults {
-            let (time, nonce) = ctx.next_query();
-            let (out, stats) = self.engine.flood_faulty(
-                &world.topology.graph,
-                query.source,
-                self.ttl,
-                &holders,
-                Some(&self.forwarders),
-                &ctx.plan,
-                time,
-                nonce,
-            );
-            return SearchOutcome {
-                success: out.found,
-                messages: out.messages,
-                hops: out.found_at_hop,
-                faults: stats,
-            };
+        // Draw the fault clock first (field-disjoint from engine/recorder),
+        // then run the one unified flood entry point: the census at
+        // `ttl` reconstructs the standalone flood bitwise (the BFS
+        // prefix property, pinned in qcp-overlay).
+        let draw = self.faults.as_mut().map(FaultContext::next_query);
+        let mut spec = FloodSpec::new(self.ttl);
+        if let (Some(ctx), Some((time, nonce))) = (self.faults.as_ref(), draw) {
+            spec = spec.faulty(&ctx.plan, time, nonce);
         }
-        let out = self.engine.flood(
+        let (census, stats) = self.engine.run(
             &world.topology.graph,
             query.source,
-            self.ttl,
             &holders,
             Some(&self.forwarders),
+            &spec,
+            &mut self.recorder,
         );
+        let out = census.at(self.ttl);
+        let level = self.ttl.min(census.levels()) as usize;
         SearchOutcome {
             success: out.found,
             messages: out.messages,
             hops: out.found_at_hop,
-            faults: FaultStats::default(),
+            faults: stats[level],
         }
     }
 }
 
 /// k-walker random walk search.
 #[derive(Debug)]
-pub struct RandomWalkSearch {
+pub struct RandomWalkSearch<R: Recorder = NoopRecorder> {
     /// Number of walkers.
     pub walkers: usize,
     /// Steps per walker.
     pub ttl: u32,
     faults: Option<FaultContext>,
+    recorder: R,
+}
+
+impl<R: Recorder> RandomWalkSearch<R> {
+    /// Builder-internal constructor (see [`SearchSpec::walk`]).
+    pub(crate) fn assemble(
+        walkers: usize,
+        ttl: u32,
+        faults: Option<FaultContext>,
+        recorder: R,
+    ) -> Self {
+        Self {
+            walkers,
+            ttl,
+            faults,
+            recorder,
+        }
+    }
+
+    /// The recorder this system has been writing into.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the system, returning its recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
 }
 
 impl RandomWalkSearch {
     /// Creates a walk system.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::walk(walkers, ttl).build(world)"
+    )]
     pub fn new(walkers: usize, ttl: u32) -> Self {
-        Self {
-            walkers,
-            ttl,
-            faults: None,
-        }
+        Self::assemble(walkers, ttl, None, NoopRecorder)
     }
 
     /// Creates a walk system running under `faults`: a step toward a
     /// dead or unreachable peer strands the walker for that step.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::walk(walkers, ttl).faults(faults).build(world)"
+    )]
     pub fn with_faults(walkers: usize, ttl: u32, faults: FaultContext) -> Self {
-        let mut s = Self::new(walkers, ttl);
-        s.faults = Some(faults);
-        s
+        Self::assemble(walkers, ttl, Some(faults), NoopRecorder)
     }
 }
 
-impl SearchSystem for RandomWalkSearch {
+impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
     fn name(&self) -> String {
         format!("walk(k={},ttl={})", self.walkers, self.ttl)
     }
@@ -240,7 +300,7 @@ impl SearchSystem for RandomWalkSearch {
         let holders = world.holders_of(&matching);
         if let Some(ctx) = &mut self.faults {
             let (time, nonce) = ctx.next_query();
-            let (out, stats) = random_walk_search_faulty(
+            let (out, stats) = random_walk_search_faulty_rec(
                 &world.topology.graph,
                 query.source,
                 self.walkers,
@@ -250,6 +310,7 @@ impl SearchSystem for RandomWalkSearch {
                 &ctx.plan,
                 time,
                 nonce,
+                &mut self.recorder,
             );
             return SearchOutcome {
                 success: out.found,
@@ -258,13 +319,14 @@ impl SearchSystem for RandomWalkSearch {
                 faults: stats,
             };
         }
-        let out = random_walk_search(
+        let out = random_walk_search_rec(
             &world.topology.graph,
             query.source,
             self.walkers,
             self.ttl,
             &holders,
             rng,
+            &mut self.recorder,
         );
         SearchOutcome {
             success: out.found,
@@ -304,7 +366,7 @@ mod tests {
         let w = world();
         let obj = 5u32;
         let holder = w.placement.holders(obj)[0];
-        let mut sys = FloodSearch::new(&w, 0);
+        let mut sys = SearchSpec::flood(0).build(&w).into_flood();
         let q = QuerySpec {
             terms: w.object_terms[obj as usize].clone(),
             source: holder,
@@ -322,8 +384,8 @@ mod tests {
         let queries: Vec<QuerySpec> = (0..150).map(|_| w.sample_query(&mut rng)).collect();
         let mut hits_low = 0;
         let mut hits_high = 0;
-        let mut low = FloodSearch::new(&w, 1);
-        let mut high = FloodSearch::new(&w, 5);
+        let mut low = SearchSpec::flood(1).build(&w).into_flood();
+        let mut high = SearchSpec::flood(5).build(&w).into_flood();
         for q in &queries {
             if low.search(&w, q, &mut rng).success {
                 hits_low += 1;
@@ -344,8 +406,8 @@ mod tests {
             source: 3,
         };
         let mut rng = Pcg64::new(3);
-        let mut flood = FloodSearch::new(&w, 6);
-        let mut walk = RandomWalkSearch::new(8, 100);
+        let mut flood = SearchSpec::flood(6).build(&w).into_flood();
+        let mut walk = SearchSpec::walk(8, 100).build(&w).into_walk();
         assert!(!flood.search(&w, &q, &mut rng).success);
         assert!(!walk.search(&w, &q, &mut rng).success);
     }
@@ -355,8 +417,8 @@ mod tests {
         let w = world();
         let mut rng = Pcg64::new(4);
         let q = query_for_object(&w, 100);
-        let mut flood = FloodSearch::new(&w, 5);
-        let mut walk = RandomWalkSearch::new(4, 20);
+        let mut flood = SearchSpec::flood(5).build(&w).into_flood();
+        let mut walk = SearchSpec::walk(4, 20).build(&w).into_walk();
         let f = flood.search(&w, &q, &mut rng);
         let wk = walk.search(&w, &q, &mut rng);
         assert!(
@@ -370,8 +432,14 @@ mod tests {
     #[test]
     fn names_describe_parameters() {
         let w = world();
-        assert_eq!(FloodSearch::new(&w, 3).name(), "flood(ttl=3)");
-        assert_eq!(RandomWalkSearch::new(2, 7).name(), "walk(k=2,ttl=7)");
+        assert_eq!(
+            SearchSpec::flood(3).build(&w).into_flood().name(),
+            "flood(ttl=3)"
+        );
+        assert_eq!(
+            SearchSpec::walk(2, 7).build(&w).into_walk().name(),
+            "walk(k=2,ttl=7)"
+        );
     }
 }
 
@@ -381,12 +449,13 @@ mod tests {
 /// "lower TTL values … rapidly identify rare queries" is this system's
 /// failure mode under Zipf placement.
 #[derive(Debug)]
-pub struct ExpandingRingSearch {
+pub struct ExpandingRingSearch<R: Recorder = NoopRecorder> {
     /// Deepest ring to try.
     pub max_ttl: u32,
     engine: FloodEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
+    recorder: R,
     /// Total rings attempted across every query served (for reports):
     /// `rings_attempted / queries` is the mean iterative-deepening depth,
     /// the knob §V's "rapidly identify rare queries" observation turns on.
@@ -395,14 +464,20 @@ pub struct ExpandingRingSearch {
     pub queries: u64,
 }
 
-impl ExpandingRingSearch {
-    /// Creates an expanding-ring system for `world`.
-    pub fn new(world: &SearchWorld, max_ttl: u32) -> Self {
+impl<R: Recorder> ExpandingRingSearch<R> {
+    /// Builder-internal constructor (see [`SearchSpec::expanding_ring`]).
+    pub(crate) fn assemble(
+        world: &SearchWorld,
+        max_ttl: u32,
+        faults: Option<FaultContext>,
+        recorder: R,
+    ) -> Self {
         Self {
             max_ttl,
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
-            faults: None,
+            faults,
+            recorder,
             rings_attempted: 0,
             queries: 0,
         }
@@ -416,16 +491,44 @@ impl ExpandingRingSearch {
         self.rings_attempted as f64 / self.queries as f64
     }
 
-    /// Creates an expanding-ring system under `faults`: each ring is an
-    /// independent lossy flood, so deeper rings double as coarse retries.
-    pub fn with_faults(world: &SearchWorld, max_ttl: u32, faults: FaultContext) -> Self {
-        let mut s = Self::new(world, max_ttl);
-        s.faults = Some(faults);
-        s
+    /// The recorder this system has been writing into.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the system, returning its recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
     }
 }
 
-impl SearchSystem for ExpandingRingSearch {
+impl ExpandingRingSearch {
+    /// Creates an expanding-ring system for `world`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::expanding_ring(max_ttl).build(world)"
+    )]
+    pub fn new(world: &SearchWorld, max_ttl: u32) -> Self {
+        SearchSpec::expanding_ring(max_ttl)
+            .build(world)
+            .into_expanding_ring()
+    }
+
+    /// Creates an expanding-ring system under `faults`: each ring is an
+    /// independent lossy flood, so deeper rings double as coarse retries.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SearchSpec::expanding_ring(max_ttl).faults(faults).build(world)"
+    )]
+    pub fn with_faults(world: &SearchWorld, max_ttl: u32, faults: FaultContext) -> Self {
+        SearchSpec::expanding_ring(max_ttl)
+            .faults(faults)
+            .build(world)
+            .into_expanding_ring()
+    }
+}
+
+impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
     fn name(&self) -> String {
         format!("expanding-ring(max={})", self.max_ttl)
     }
@@ -441,7 +544,7 @@ impl SearchSystem for ExpandingRingSearch {
         self.queries += 1;
         if let Some(ctx) = &mut self.faults {
             let (time, nonce) = ctx.next_query();
-            let (out, stats) = qcp_overlay::expanding::expanding_ring_search_faulty(
+            let (out, stats) = expanding_ring_search_faulty_rec(
                 &mut self.engine,
                 &world.topology.graph,
                 query.source,
@@ -451,6 +554,7 @@ impl SearchSystem for ExpandingRingSearch {
                 &ctx.plan,
                 time,
                 nonce,
+                &mut self.recorder,
             );
             self.rings_attempted += out.rings as u64;
             return SearchOutcome {
@@ -460,13 +564,14 @@ impl SearchSystem for ExpandingRingSearch {
                 faults: stats,
             };
         }
-        let out = qcp_overlay::expanding::expanding_ring_search(
+        let out = expanding_ring_search_rec(
             &mut self.engine,
             &world.topology.graph,
             query.source,
             self.max_ttl,
             &holders,
             Some(&self.forwarders),
+            &mut self.recorder,
         );
         self.rings_attempted += out.rings as u64;
         SearchOutcome {
@@ -499,8 +604,10 @@ mod expanding_tests {
         let w = world();
         let mut rng = Pcg64::new(1);
         let queries: Vec<QuerySpec> = (0..150).map(|_| w.sample_query(&mut rng)).collect();
-        let mut ring = ExpandingRingSearch::new(&w, 4);
-        let mut flood = FloodSearch::new(&w, 4);
+        let mut ring = SearchSpec::expanding_ring(4)
+            .build(&w)
+            .into_expanding_ring();
+        let mut flood = SearchSpec::flood(4).build(&w).into_flood();
         for q in &queries {
             let a = ring.search(&w, q, &mut rng);
             let b = flood.search(&w, q, &mut rng);
@@ -523,8 +630,10 @@ mod expanding_tests {
             terms: w.object_terms[obj as usize].clone(),
             source: neighbor,
         };
-        let mut ring = ExpandingRingSearch::new(&w, 5);
-        let mut flood = FloodSearch::new(&w, 5);
+        let mut ring = SearchSpec::expanding_ring(5)
+            .build(&w)
+            .into_expanding_ring();
+        let mut flood = SearchSpec::flood(5).build(&w).into_flood();
         let a = ring.search(&w, &q, &mut rng);
         let b = flood.search(&w, &q, &mut rng);
         assert!(a.success);
@@ -540,7 +649,9 @@ mod expanding_tests {
     fn ring_depth_accounting_tracks_queries() {
         let w = world();
         let mut rng = Pcg64::new(3);
-        let mut ring = ExpandingRingSearch::new(&w, 4);
+        let mut ring = SearchSpec::expanding_ring(4)
+            .build(&w)
+            .into_expanding_ring();
         assert_eq!(ring.mean_rings(), 0.0, "no queries yet");
         let queries: Vec<QuerySpec> = (0..50).map(|_| w.sample_query(&mut rng)).collect();
         for q in &queries {

@@ -1,0 +1,10 @@
+//! O1 fixture: counter bookkeeping outside the Recorder and a
+//! cfg-gated recorder call. Three violations on purpose.
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump(rec: &mut impl Recorder) {
+    TOTAL.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "metrics")]
+    rec.rec_count(Kernel::Flood, Counter::Messages, 1);
+}

@@ -1,0 +1,11 @@
+//! O1-clean: recording is unconditional (NoopRecorder makes it free),
+//! and the one piece of non-recorder state carries an audited waiver.
+
+pub fn flood_step(rec: &mut impl Recorder, messages: u64) {
+    rec.rec_span(Kernel::Flood);
+    rec.rec_count(Kernel::Flood, Counter::Messages, messages);
+    rec.rec_hop(Kernel::Flood, 1, messages);
+}
+
+// qcplint: allow(direct-counter) — audited: init-once flag, never a recorded total.
+static READY: AtomicU64 = AtomicU64::new(0);

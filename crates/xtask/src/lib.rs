@@ -1,7 +1,7 @@
 //! The qcp2p workspace static-analysis gate (qcplint).
 //!
 //! Run as `cargo xtask lint` (alias for `cargo run -p qcp-xtask -- lint`).
-//! Walks every tracked `.rs` file in the workspace and enforces the four
+//! Walks every tracked `.rs` file in the workspace and enforces the five
 //! rule families described in `DESIGN.md`:
 //!
 //! * **D1 `nondet`** — no wall-clock / OS-entropy nondeterminism in
@@ -13,7 +13,12 @@
 //!   — every `unsafe` is documented with `// SAFETY:` and confined to the
 //!   crates allowed to use it; everyone else forbids it at the crate root,
 //! * **P1 `panic`** — no `unwrap()` / `expect(` / `panic!(` in non-test
-//!   library code of hot-path crates without an allow pragma.
+//!   library code of hot-path crates without an allow pragma,
+//! * **O1 `direct-counter` / `cfg-recorder`** — instrumented crates keep
+//!   all bookkeeping inside the write-only `Recorder` API: no ad-hoc
+//!   atomic/`static mut` counters without an audited pragma, and no
+//!   `#[cfg(...)]` / `cfg!(...)`-gated recorder calls (conditional
+//!   recording would let metrics builds diverge from metric-free ones).
 //!
 //! The library half (this file + [`lexer`] + [`rules`]) is pure: it maps
 //! `(path, source) -> Vec<Diagnostic>` with no I/O, so the whole engine is

@@ -19,6 +19,13 @@
 //!   its crate roots.
 //! * **P1 `panic`** — no `unwrap()` / `expect(` / `panic!(` in non-test
 //!   library code of hot-path crates.
+//! * **O1 `direct-counter` / `cfg-recorder`** — observability
+//!   discipline in the instrumented crates: message/hop tallies flow
+//!   through the write-only `qcp_obs::Recorder` (fork/absorb for
+//!   parallel chunks), never through ad-hoc shared counters
+//!   (`AtomicU64`, `static mut`, `fetch_add`); and recorder calls may
+//!   not sit under `#[cfg]` / `cfg!` gates, so a build-feature flip can
+//!   never change recorded call counts.
 //!
 //! Any rule can be locally waived with an audited pragma on the line or
 //! the line above: `// qcplint: allow(<rule>) — <reason>`. A pragma
@@ -44,6 +51,11 @@ pub enum Rule {
     ForbiddenUnsafe,
     /// P1: panic-family call in hot-path library code.
     Panic,
+    /// O1a: ad-hoc shared counter state in instrumented code, bypassing
+    /// the write-only `Recorder`.
+    DirectCounter,
+    /// O1b: recorder call under a `#[cfg]` / `cfg!` gate.
+    CfgRecorder,
     /// Malformed or unjustified `qcplint: allow(..)` pragma.
     BadPragma,
 }
@@ -58,6 +70,8 @@ impl Rule {
             Rule::MissingForbid => "missing-forbid",
             Rule::ForbiddenUnsafe => "forbidden-unsafe",
             Rule::Panic => "panic",
+            Rule::DirectCounter => "direct-counter",
+            Rule::CfgRecorder => "cfg-recorder",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -69,6 +83,7 @@ impl Rule {
             Rule::UnorderedIter => "D2",
             Rule::UndocumentedUnsafe | Rule::MissingForbid | Rule::ForbiddenUnsafe => "S1",
             Rule::Panic => "P1",
+            Rule::DirectCounter | Rule::CfgRecorder => "O1",
             Rule::BadPragma => "P0",
         }
     }
@@ -81,6 +96,8 @@ impl Rule {
             "undocumented-unsafe",
             "forbidden-unsafe",
             "panic",
+            "direct-counter",
+            "cfg-recorder",
         ]
     }
 }
@@ -148,6 +165,9 @@ pub struct LintConfig {
     pub hot_path: Vec<String>,
     /// Crates allowed to contain `unsafe` (with SAFETY comments).
     pub unsafe_allowed: Vec<String>,
+    /// Crates whose hot paths are threaded with `qcp_obs::Recorder`
+    /// instrumentation (O1).
+    pub instrumented: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -165,6 +185,9 @@ impl Default for LintConfig {
             .map(String::from)
             .to_vec(),
             unsafe_allowed: ["xpar"].map(String::from).to_vec(),
+            instrumented: ["overlay", "dht", "search", "bench", "obs"]
+                .map(String::from)
+                .to_vec(),
         }
     }
 }
@@ -195,6 +218,27 @@ const ORDER_SENSITIVE_CALLS: &[&str] = &[
 /// Panic-family tokens banned from hot-path library code (rule P1).
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
 
+/// Ad-hoc shared counter state that bypasses the write-only `Recorder`
+/// (rule O1a): shared atomics and mutable statics make recorded totals
+/// scheduling-dependent and invisible to the fork/absorb merge.
+const DIRECT_COUNTER_TOKENS: &[&str] = &[
+    "AtomicU64",
+    "AtomicU32",
+    "AtomicUsize",
+    "fetch_add",
+    "static mut",
+];
+
+/// The `qcp_obs::Recorder` entry points (rule O1b): these calls may not
+/// sit under `#[cfg]` gates.
+const RECORDER_CALLS: &[&str] = &[
+    "rec_span(",
+    "rec_count(",
+    "rec_hop(",
+    "rec_event(",
+    "rec_faults(",
+];
+
 /// Lints one file's source text under the given context and config.
 pub fn lint_source(
     path: &Path,
@@ -208,6 +252,7 @@ pub fn lint_source(
     let sim_facing = cfg.sim_facing.contains(&ctx.crate_name);
     let hot_path = cfg.hot_path.contains(&ctx.crate_name);
     let unsafe_allowed = cfg.unsafe_allowed.contains(&ctx.crate_name);
+    let instrumented = cfg.instrumented.contains(&ctx.crate_name);
 
     // Pragma scan runs on every line, even in tests: a malformed pragma
     // anywhere is a defect in the audit trail.
@@ -334,9 +379,55 @@ pub fn lint_source(
                 }
             }
         }
+
+        // O1: observability discipline in instrumented crates.
+        if instrumented {
+            // O1a: counter state outside the Recorder.
+            for token in DIRECT_COUNTER_TOKENS {
+                if contains_token(&line.code, token) && !allowed(Rule::DirectCounter) {
+                    out.push(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::DirectCounter,
+                        message: format!(
+                            "`{token}` is un-audited direct counter state in an \
+                             instrumented hot path; route the tally through the \
+                             write-only Recorder (rec_count/rec_span, fork/absorb \
+                             for parallel chunks) or annotate \
+                             `// qcplint: allow(direct-counter) — <reason>`"
+                        ),
+                    });
+                }
+            }
+            // O1b: cfg-gated recorder calls.
+            if RECORDER_CALLS.iter().any(|t| contains_token(&line.code, t)) {
+                let gated_here =
+                    line.code.contains("#[cfg(") || contains_token(&line.code, "cfg!(");
+                let gated_above = preceding_code_line(&lines, i)
+                    .is_some_and(|l| l.code.trim_start().starts_with("#[cfg("));
+                if (gated_here || gated_above) && !allowed(Rule::CfgRecorder) {
+                    out.push(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::CfgRecorder,
+                        message: "recorder call under a `#[cfg]` gate: a build-feature \
+                                  flip would change recorded call counts; record \
+                                  unconditionally (NoopRecorder is free) or annotate \
+                                  `// qcplint: allow(cfg-recorder) — <reason>`"
+                            .to_string(),
+                    });
+                }
+            }
+        }
     }
 
     out
+}
+
+/// The nearest line above `i` that holds code (skipping blank and
+/// comment-only lines), if any.
+fn preceding_code_line(lines: &[LineView], i: usize) -> Option<&LineView> {
+    lines[..i].iter().rev().find(|l| !l.is_code_blank())
 }
 
 /// Identifiers declared (or annotated) as `FxHashMap`/`FxHashSet` in this
@@ -745,6 +836,44 @@ mod tests {
     fn p1_pragma_on_previous_line() {
         let src = "fn f(v: &[u32]) -> u32 {\n // qcplint: allow(panic) — caller guarantees nonempty by construction\n *v.first().unwrap()\n}\n";
         assert!(lint("overlay", src).is_empty());
+    }
+
+    #[test]
+    fn o1_direct_counter_fires_in_instrumented_crates() {
+        let src = "static MESSAGES: AtomicU64 = AtomicU64::new(0);\n";
+        assert!(lint("search", src)
+            .iter()
+            .any(|d| d.rule == Rule::DirectCounter));
+        assert!(lint("overlay", "fn f() { C.fetch_add(1, Relaxed); }\n")
+            .iter()
+            .any(|d| d.rule == Rule::DirectCounter));
+        // Non-instrumented crates (e.g. the unsafe core) are exempt.
+        assert!(lint("xpar", src)
+            .iter()
+            .all(|d| d.rule != Rule::DirectCounter));
+    }
+
+    #[test]
+    fn o1_direct_counter_pragma_suppresses() {
+        let src = "// qcplint: allow(direct-counter) — audited: a one-time init flag, \
+                   never a result counter\nstatic READY: AtomicU64 = AtomicU64::new(0);\n";
+        assert!(lint("search", src).is_empty());
+    }
+
+    #[test]
+    fn o1_cfg_recorder_fires_on_gated_calls() {
+        let gated_above =
+            "#[cfg(feature = \"obs\")]\nrec.rec_count(Kernel::Flood, Counter::Messages, n);\n";
+        assert!(lint("overlay", gated_above)
+            .iter()
+            .any(|d| d.rule == Rule::CfgRecorder));
+        let gated_inline = "fn f() { if cfg!(debug_assertions) { rec.rec_span(Kernel::Walk); } }\n";
+        assert!(lint("dht", gated_inline)
+            .iter()
+            .any(|d| d.rule == Rule::CfgRecorder));
+        // Unconditional recording is the contract — no diagnostic.
+        let plain = "fn f() { rec.rec_span(Kernel::Walk); rec.rec_hop(Kernel::Walk, 2, 1); }\n";
+        assert!(lint("dht", plain).is_empty());
     }
 
     #[test]

@@ -34,6 +34,10 @@ fn bad_ws_trips_every_rule() {
     );
     // 3 direct panic sites; the reason-less pragma does not suppress.
     assert_eq!(counts.get(Rule::Panic.key()), Some(&3), "{report}");
+    // counters.rs: an AtomicU64 static + a fetch_add, and one cfg-gated
+    // recorder call.
+    assert_eq!(counts.get(Rule::DirectCounter.key()), Some(&2), "{report}");
+    assert_eq!(counts.get(Rule::CfgRecorder.key()), Some(&1), "{report}");
     // 2 malformed pragmas in badpragma.rs + 1 reason-less one in panics.rs.
     assert_eq!(counts.get(Rule::BadPragma.key()), Some(&3), "{report}");
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use qcp2p::search::{
-    evaluate, gen_queries, RandomWalkSearch, SearchWorld, SynopsisPolicy, SynopsisSearch,
-    WorkloadConfig, WorldConfig,
+    evaluate, gen_queries, SearchSpec, SearchWorld, SynopsisPolicy, SynopsisSearch, WorkloadConfig,
+    WorldConfig,
 };
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
         },
     );
 
-    let mut blind = RandomWalkSearch::new(1, ttl);
+    let mut blind = SearchSpec::walk(1, ttl).build(&world);
     let mut content = SynopsisSearch::new(&world, SynopsisPolicy::ContentCentric, budget, ttl);
     let mut adaptive = SynopsisSearch::new(&world, SynopsisPolicy::QueryCentric, budget, ttl);
 

@@ -6,8 +6,7 @@
 //! cargo run --release --example hybrid_vs_dht
 //! ```
 
-use qcp2p::search::hybrid::{DhtOnlySearch, HybridSearch};
-use qcp2p::search::{evaluate, gen_queries, FloodSearch, SearchWorld, WorkloadConfig, WorldConfig};
+use qcp2p::search::{evaluate, gen_queries, SearchSpec, SearchWorld, WorkloadConfig, WorldConfig};
 
 fn main() {
     let world = SearchWorld::generate(&WorldConfig {
@@ -31,9 +30,9 @@ fn main() {
         },
     );
 
-    let mut flood = FloodSearch::new(&world, 3);
-    let mut hybrid = HybridSearch::new(&world, 3, 20, 37);
-    let mut dht = DhtOnlySearch::new(&world, 37);
+    let mut flood = SearchSpec::flood(3).build(&world);
+    let mut hybrid = SearchSpec::hybrid(3, 20, 37).build(&world).into_hybrid();
+    let mut dht = SearchSpec::dht_only(37).build(&world);
     let rows = evaluate(
         &world,
         &mut [&mut flood, &mut hybrid, &mut dht],

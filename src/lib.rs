@@ -20,6 +20,7 @@
 //! | [`tracegen`] | `qcp-tracegen` | Gnutella/iTunes/query trace generators |
 //! | [`analysis`] | `qcp-analysis` | the paper's measurement pipeline (Figs 1–7) |
 //! | [`faults`] | `qcp-faults` | deterministic fault plans: loss, churn, latency, retry/backoff |
+//! | [`obs`] | `qcp-obs` | write-only recorders: per-kernel message/hop/fault breakdowns |
 //! | [`overlay`] | `qcp-overlay` | topologies, placement, flood/walk simulation (Fig 8) |
 //! | [`dht`] | `qcp-dht` | Chord ring + distributed keyword index |
 //! | [`search`] | `qcp-search` | flood/walk/Gia/hybrid/synopsis search systems |
@@ -53,6 +54,7 @@
 pub use qcp_core::analysis;
 pub use qcp_core::dht;
 pub use qcp_core::faults;
+pub use qcp_core::obs;
 pub use qcp_core::overlay;
 pub use qcp_core::search;
 pub use qcp_core::sketch;

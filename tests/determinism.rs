@@ -174,20 +174,14 @@ fn faulty_census_sweep_equals_reference_sweep_bitwise() {
         sweep_ttl_faulty_reference(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &cfg, &plan);
     assert_eq!(census.len(), reference.len());
     for (c, r) in census.iter().zip(&reference) {
-        assert_eq!(c.point.ttl, r.point.ttl);
-        assert_eq!(
-            c.point.success_rate.to_bits(),
-            r.point.success_rate.to_bits()
-        );
-        assert_eq!(
-            c.point.mean_messages.to_bits(),
-            r.point.mean_messages.to_bits()
-        );
-        assert_eq!(c.faults, r.faults, "ttl {}", c.point.ttl);
+        assert_eq!(c.ttl, r.ttl);
+        assert_eq!(c.success_rate.to_bits(), r.success_rate.to_bits());
+        assert_eq!(c.mean_messages.to_bits(), r.mean_messages.to_bits());
+        assert_eq!(c.faults(), r.faults(), "ttl {}", c.ttl);
         assert_eq!(c.dead_sources, r.dead_sources);
     }
     // Guard: the plan must actually fire, or the pin is vacuous.
-    assert!(census.iter().any(|c| c.faults.dropped > 0));
+    assert!(census.iter().any(|c| c.faults().dropped > 0));
 }
 
 // ---------------------------------------------------------------------
@@ -214,13 +208,13 @@ fn churn_fingerprint(grid: &[Fig8ChurnCell]) -> Vec<u64> {
         out.push(cell.loss.to_bits());
         out.push(cell.churn.to_bits());
         for fp in &cell.flood {
-            out.push(fp.point.ttl as u64);
-            out.push(fp.point.success_rate.to_bits());
-            out.push(fp.point.mean_messages.to_bits());
-            out.push(fp.point.mean_reach_fraction.to_bits());
-            out.push(fp.faults.dropped);
-            out.push(fp.faults.dead_targets);
-            out.push(fp.faults.ticks);
+            out.push(fp.ttl as u64);
+            out.push(fp.success_rate.to_bits());
+            out.push(fp.mean_messages.to_bits());
+            out.push(fp.mean_reach_fraction.to_bits());
+            out.push(fp.faults().dropped);
+            out.push(fp.faults().dead_targets);
+            out.push(fp.faults().ticks);
             out.push(fp.dead_sources);
         }
         for row in &cell.systems {
@@ -271,7 +265,10 @@ fn fig8_churn_zero_fault_cell_reproduces_fig8() {
         .iter()
         .find(|c| c.loss == 0.0 && c.churn == 0.0)
         .expect("grid contains the fault-free cell");
-    assert_eq!(clean.flood.iter().map(|f| f.faults.dropped).sum::<u64>(), 0);
+    assert_eq!(
+        clean.flood.iter().map(|f| f.faults().dropped).sum::<u64>(),
+        0
+    );
     assert_eq!(clean.flood.iter().map(|f| f.dead_sources).sum::<u64>(), 0);
 
     let topo = gnutella_two_tier(&qcp_bench::figures::fig8_topology(Scale::Test));
@@ -298,17 +295,17 @@ fn fig8_churn_zero_fault_cell_reproduces_fig8() {
     );
     assert_eq!(plain.len(), clean.flood.len());
     for (p, f) in plain.iter().zip(&clean.flood) {
-        assert_eq!(p.ttl, f.point.ttl);
+        assert_eq!(p.ttl, f.ttl);
         assert_eq!(
             p.success_rate.to_bits(),
-            f.point.success_rate.to_bits(),
+            f.success_rate.to_bits(),
             "ttl {}: zero-fault success must match fig8 exactly",
             p.ttl
         );
-        assert_eq!(p.mean_messages.to_bits(), f.point.mean_messages.to_bits());
+        assert_eq!(p.mean_messages.to_bits(), f.mean_messages.to_bits());
         assert_eq!(
             p.mean_reach_fraction.to_bits(),
-            f.point.mean_reach_fraction.to_bits()
+            f.mean_reach_fraction.to_bits()
         );
     }
 }
@@ -330,13 +327,13 @@ fn soak_fingerprint(cells: &[SoakCell]) -> Vec<u64> {
     let push_round = |out: &mut Vec<u64>, round: &qcp_bench::soak::SoakRound| {
         out.push(round.round);
         for fp in &round.flood {
-            out.push(fp.point.ttl as u64);
-            out.push(fp.point.success_rate.to_bits());
-            out.push(fp.point.mean_messages.to_bits());
-            out.push(fp.point.mean_reach_fraction.to_bits());
-            out.push(fp.faults.dropped);
-            out.push(fp.faults.dead_targets);
-            out.push(fp.faults.ticks);
+            out.push(fp.ttl as u64);
+            out.push(fp.success_rate.to_bits());
+            out.push(fp.mean_messages.to_bits());
+            out.push(fp.mean_reach_fraction.to_bits());
+            out.push(fp.faults().dropped);
+            out.push(fp.faults().dead_targets);
+            out.push(fp.faults().ticks);
             out.push(fp.dead_sources);
         }
         out.extend([
@@ -412,24 +409,21 @@ fn soak_baselines_are_bitwise_fig8_churn_cells() {
         assert_eq!(cell.baseline.repair, Default::default());
         assert_eq!(cell.baseline.flood.len(), reference.flood.len());
         for (s, f) in cell.baseline.flood.iter().zip(&reference.flood) {
-            assert_eq!(s.point.ttl, f.point.ttl);
+            assert_eq!(s.ttl, f.ttl);
             assert_eq!(
-                s.point.success_rate.to_bits(),
-                f.point.success_rate.to_bits(),
+                s.success_rate.to_bits(),
+                f.success_rate.to_bits(),
                 "loss {} churn {} ttl {}: baseline must match fig8-churn",
                 cell.loss,
                 cell.churn,
-                s.point.ttl
+                s.ttl
             );
+            assert_eq!(s.mean_messages.to_bits(), f.mean_messages.to_bits());
             assert_eq!(
-                s.point.mean_messages.to_bits(),
-                f.point.mean_messages.to_bits()
+                s.mean_reach_fraction.to_bits(),
+                f.mean_reach_fraction.to_bits()
             );
-            assert_eq!(
-                s.point.mean_reach_fraction.to_bits(),
-                f.point.mean_reach_fraction.to_bits()
-            );
-            assert_eq!(s.faults, f.faults);
+            assert_eq!(s.faults(), f.faults());
             assert_eq!(s.dead_sources, f.dead_sources);
         }
     }
@@ -471,12 +465,12 @@ fn soak_zero_fault_cell_reproduces_fig8() {
     );
     assert_eq!(plain.len(), clean.baseline.flood.len());
     for (p, f) in plain.iter().zip(&clean.baseline.flood) {
-        assert_eq!(p.ttl, f.point.ttl);
-        assert_eq!(p.success_rate.to_bits(), f.point.success_rate.to_bits());
-        assert_eq!(p.mean_messages.to_bits(), f.point.mean_messages.to_bits());
+        assert_eq!(p.ttl, f.ttl);
+        assert_eq!(p.success_rate.to_bits(), f.success_rate.to_bits());
+        assert_eq!(p.mean_messages.to_bits(), f.mean_messages.to_bits());
         assert_eq!(
             p.mean_reach_fraction.to_bits(),
-            f.point.mean_reach_fraction.to_bits()
+            f.mean_reach_fraction.to_bits()
         );
     }
 }
@@ -493,9 +487,151 @@ fn fig8_churn_faults_actually_bite() {
         .iter()
         .max_by(|a, b| (a.loss + a.churn).total_cmp(&(b.loss + b.churn)))
         .expect("nonempty grid");
-    assert!(worst.flood.iter().any(|f| f.faults.dropped > 0));
+    assert!(worst.flood.iter().any(|f| f.faults().dropped > 0));
     assert_ne!(
         churn_fingerprint(std::slice::from_ref(clean)),
         churn_fingerprint(std::slice::from_ref(worst))
+    );
+}
+
+// ---------------------------------------------------------------------
+// profile + recorder: the observability layer rides the same contract.
+// Recorders are write-only (no kernel consults recorder state), so
+// recording ON vs OFF must leave every simulation output bit-identical;
+// recorded totals merge chunk-ordered, so pool width must not perturb
+// the profile either.
+// ---------------------------------------------------------------------
+
+use qcp2p::obs::{Counter, Kernel, MetricsRecorder, NoopRecorder};
+use qcp2p::overlay::{sweep_ttl_faulty_rec, sweep_ttl_rec};
+use qcp_bench::profile::{profile_data, ProfileData};
+
+#[test]
+fn recording_on_vs_off_is_bit_identical() {
+    let t = topo();
+    let fwd = t.forwarders();
+    let pool = Pool::new(2);
+    let zipf = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        N as u32,
+        1_000,
+        7,
+    );
+    let cfg = SimConfig {
+        trials: 400,
+        seed: 0xf18,
+        ..Default::default()
+    };
+    let mut noop = NoopRecorder;
+    let mut metrics = MetricsRecorder::new();
+    let off = sweep_ttl_rec(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &cfg, &mut noop);
+    let on = sweep_ttl_rec(
+        &pool,
+        &t.graph,
+        &zipf,
+        Some(&fwd),
+        &TTLS,
+        &cfg,
+        &mut metrics,
+    );
+    let plain = sweep_ttl(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &cfg);
+    assert_eq!(off, on, "recording must not perturb the sweep");
+    assert_eq!(plain, on, "the recorded sweep must equal the plain sweep");
+    assert!(
+        metrics.total(Kernel::Flood, Counter::Messages) > 0,
+        "guard: the recorder must actually have recorded traffic"
+    );
+
+    // Faulty path: same claim with a live fault plan.
+    let plan = FaultPlan::build(
+        N,
+        &FaultConfig {
+            loss: 0.10,
+            churn: 0.20,
+            seed: 0xabc,
+            ..Default::default()
+        },
+    );
+    let mut noop = NoopRecorder;
+    let mut metrics = MetricsRecorder::new();
+    let off = sweep_ttl_faulty_rec(
+        &pool,
+        &t.graph,
+        &zipf,
+        Some(&fwd),
+        &TTLS,
+        &cfg,
+        &plan,
+        &mut noop,
+    );
+    let on = sweep_ttl_faulty_rec(
+        &pool,
+        &t.graph,
+        &zipf,
+        Some(&fwd),
+        &TTLS,
+        &cfg,
+        &plan,
+        &mut metrics,
+    );
+    let plain = sweep_ttl_faulty(&pool, &t.graph, &zipf, Some(&fwd), &TTLS, &cfg, &plan);
+    assert_eq!(off, on, "recording must not perturb the faulty sweep");
+    assert_eq!(
+        plain, on,
+        "the recorded faulty sweep must equal the plain one"
+    );
+    assert!(
+        metrics.fault_stats(Kernel::Flood).dropped > 0,
+        "guard: the plan must actually fire into the recorder"
+    );
+}
+
+fn profile_session() -> qcp_bench::Repro {
+    let mut r = qcp_bench::Repro::new(std::env::temp_dir().join("qcp-determinism"), Scale::Test);
+    r.trials = 120;
+    r.seed = 0x0b5;
+    r
+}
+
+/// Everything the profile emits, flattened: per-kernel spans, the full
+/// counter matrix, event tallies, hop histograms, and per-system totals.
+fn profile_fingerprint(data: &ProfileData) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in Kernel::ALL {
+        out.push(data.master.spans(k));
+        for c in Counter::ALL {
+            out.push(data.master.total(k, c));
+        }
+        for e in qcp2p::obs::Event::ALL {
+            out.push(data.master.event_count(k, e));
+        }
+        out.extend(data.master.hop_histogram(k).iter().copied());
+    }
+    for sys in &data.systems {
+        out.push(sys.queries as u64);
+        out.push(sys.hits);
+        out.push(sys.messages);
+    }
+    out
+}
+
+#[test]
+fn profile_same_seed_is_bit_identical() {
+    let r = profile_session();
+    let pool = Pool::new(2);
+    let a = profile_fingerprint(&profile_data(&r, &pool));
+    let b = profile_fingerprint(&profile_data(&r, &pool));
+    assert_eq!(a, b, "profile must reproduce bit-identical results");
+}
+
+#[test]
+fn profile_thread_width_does_not_leak() {
+    let r = profile_session();
+    let a = profile_fingerprint(&profile_data(&r, &Pool::new(1)));
+    let b = profile_fingerprint(&profile_data(&r, &Pool::new(4)));
+    assert_eq!(
+        a, b,
+        "recorders fork per chunk and absorb in chunk order; pool width \
+         must not perturb the profile"
     );
 }

@@ -2,10 +2,9 @@
 //! shared world and workload, asserting the cross-system orderings the
 //! paper's Sections V–VII predict.
 
-use qcp2p::search::hybrid::{DhtOnlySearch, HybridSearch};
 use qcp2p::search::{
-    evaluate, gen_queries, FloodSearch, GiaSearch, RandomWalkSearch, SearchWorld, SynopsisPolicy,
-    SynopsisSearch, WorkloadConfig, WorldConfig,
+    evaluate, gen_queries, GiaSearch, SearchSpec, SearchWorld, SynopsisPolicy, SynopsisSearch,
+    WorkloadConfig, WorldConfig,
 };
 
 fn world() -> SearchWorld {
@@ -29,8 +28,8 @@ fn dht_dominates_flood_on_success_and_cost() {
             seed: 1,
         },
     );
-    let mut flood = FloodSearch::new(&w, 3);
-    let mut dht = DhtOnlySearch::new(&w, 2);
+    let mut flood = SearchSpec::flood(3).build(&w);
+    let mut dht = SearchSpec::dht_only(2).build(&w);
     let rows = evaluate(&w, &mut [&mut flood, &mut dht], &queries, 3);
     let (flood_row, dht_row) = (&rows[0], &rows[1]);
     // The DHT finds everything that exists; flooding misses the tail.
@@ -49,8 +48,8 @@ fn hybrid_matches_dht_success_at_higher_cost() {
             seed: 4,
         },
     );
-    let mut hybrid = HybridSearch::new(&w, 3, 20, 5);
-    let mut dht = DhtOnlySearch::new(&w, 5);
+    let mut hybrid = SearchSpec::hybrid(3, 20, 5).build(&w).into_hybrid();
+    let mut dht = SearchSpec::dht_only(5).build(&w);
     let rows = evaluate(&w, &mut [&mut hybrid, &mut dht], &queries, 6);
     assert!((rows[0].success_rate - rows[1].success_rate).abs() < 0.03);
     assert!(
@@ -77,9 +76,9 @@ fn gia_beats_blind_walk_loses_to_dht() {
             seed: 7,
         },
     );
-    let mut walk = RandomWalkSearch::new(1, 30);
+    let mut walk = SearchSpec::walk(1, 30).build(&w);
     let mut gia = GiaSearch::new(&w, 30, 8);
-    let mut dht = DhtOnlySearch::new(&w, 8);
+    let mut dht = SearchSpec::dht_only(8).build(&w);
     let rows = evaluate(&w, &mut [&mut walk, &mut gia, &mut dht], &queries, 9);
     assert!(
         rows[1].success_rate > rows[0].success_rate,
@@ -136,11 +135,11 @@ fn all_systems_report_consistent_outcomes() {
         },
     );
     let mut systems: Vec<Box<dyn SearchSystem>> = vec![
-        Box::new(FloodSearch::new(&w, 2)),
-        Box::new(RandomWalkSearch::new(4, 25)),
+        Box::new(SearchSpec::flood(2).build(&w)),
+        Box::new(SearchSpec::walk(4, 25).build(&w)),
         Box::new(GiaSearch::new(&w, 25, 14)),
-        Box::new(HybridSearch::new(&w, 2, 10, 15)),
-        Box::new(DhtOnlySearch::new(&w, 15)),
+        Box::new(SearchSpec::hybrid(2, 10, 15).build(&w)),
+        Box::new(SearchSpec::dht_only(15).build(&w)),
         Box::new(SynopsisSearch::new(&w, SynopsisPolicy::QueryCentric, 8, 25)),
     ];
     let mut rng = Pcg64::new(16);
@@ -180,8 +179,8 @@ fn uniform_world_lifts_every_unstructured_system() {
     for ttl in [2u32, 3] {
         let qz = gen_queries(&zipf_world, &cfg);
         let qu = gen_queries(&uniform_world, &cfg);
-        let mut fz = FloodSearch::new(&zipf_world, ttl);
-        let mut fu = FloodSearch::new(&uniform_world, ttl);
+        let mut fz = SearchSpec::flood(ttl).build(&zipf_world);
+        let mut fu = SearchSpec::flood(ttl).build(&uniform_world);
         let rz = evaluate(&zipf_world, &mut [&mut fz], &qz, 18);
         let ru = evaluate(&uniform_world, &mut [&mut fu], &qu, 18);
         assert!(
