@@ -134,7 +134,7 @@ pub fn fig8_churn_data(r: &Repro, pool: &Pool) -> Vec<Fig8ChurnCell> {
                 churn,
                 topo.graph.num_nodes(),
                 r.trials as u64,
-                child_seed(r.seed ^ 0xf8c0, cell),
+                child_seed(r.seed ^ crate::FAULT_PLAN_TAG, cell),
             );
             let flood = sweep_ttl_faulty(
                 pool,

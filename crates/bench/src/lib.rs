@@ -20,6 +20,12 @@ pub mod rows;
 pub mod soak;
 pub mod timing;
 
+/// Domain tag for per-cell fault-plan seeds. `fig8churn` and `soak`
+/// share it *deliberately*: the soak experiment's per-cell flood
+/// baseline must run against the exact fault plan the churn grid used,
+/// so its round-0 curves are comparable with Figure 8.
+pub(crate) const FAULT_PLAN_TAG: u64 = 0xf8c0;
+
 use qcp_core::{AnalyzerConfig, Findings, QueryCentricAnalyzer};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;

@@ -79,6 +79,13 @@ const PUBLISHED_KEYS: usize = 600;
 /// `(source, key)` probes per DHT measurement.
 const DHT_PROBES: usize = 200;
 
+/// Domain tag for DHT-measurement seeds. The round-0 baseline and the
+/// per-epoch measurements draw from the same stream *on purpose*,
+/// separated by their nonces (`cell << 8` vs `cell << 8 | e << 4 |
+/// round`; epochs are 1-based, so the low byte is nonzero there and
+/// the nonces never collide).
+const DHT_MEASURE_TAG: u64 = 0x50af;
+
 /// One measurement: the Figure-8 flood curve plus structural and DHT
 /// health metrics, taken after `round` repair rounds of an epoch.
 #[derive(Debug, Clone)]
@@ -278,7 +285,7 @@ pub fn soak_data(r: &Repro, pool: &Pool) -> Vec<SoakCell> {
             churn,
             n,
             r.trials as u64,
-            child_seed(r.seed ^ 0xf8c0, cell),
+            child_seed(r.seed ^ crate::FAULT_PLAN_TAG, cell),
         );
 
         // Fresh per cell: the overlay maintainer, the Chord ring, and the
@@ -316,7 +323,7 @@ pub fn soak_data(r: &Repro, pool: &Pool) -> Vec<SoakCell> {
             &policy,
             &pairs0,
             &keys,
-            child_seed(r.seed ^ 0x50af, cell << 8),
+            child_seed(r.seed ^ DHT_MEASURE_TAG, cell << 8),
         );
         let baseline = SoakRound {
             round: 0,
@@ -387,7 +394,7 @@ pub fn soak_data(r: &Repro, pool: &Pool) -> Vec<SoakCell> {
                     &policy,
                     &pairs,
                     &keys,
-                    child_seed(r.seed ^ 0x50af, (cell << 8) | (e << 4) | round),
+                    child_seed(r.seed ^ DHT_MEASURE_TAG, (cell << 8) | (e << 4) | round),
                 );
                 rounds.push(SoakRound {
                     round,

@@ -396,8 +396,6 @@ impl FloodEngine {
                     }
                 }
                 for &v in graph.neighbors(u) {
-                    // qcplint: allow(direct-counter) — census prefix-sum
-                    // ground truth; mirrored into the recorder per level.
                     messages += 1;
                     if self.mark[v as usize] != epoch {
                         self.mark[v as usize] = epoch;
@@ -529,18 +527,12 @@ impl FloodEngine {
                     }
                 }
                 for &v in graph.neighbors(u) {
-                    // qcplint: allow(direct-counter) — census prefix-sum
-                    // ground truth; mirrored into the recorder per level.
                     messages += 1;
                     if !plan.alive_at(v, time) {
-                        // qcplint: allow(direct-counter) — per-level
-                        // FaultStats increment; mirrored via rec_faults.
                         stats.dead_targets += 1;
                         continue;
                     }
                     if plan.drop_message(u, v, nonce, messages) {
-                        // qcplint: allow(direct-counter) — per-level
-                        // FaultStats increment; mirrored via rec_faults.
                         stats.dropped += 1;
                         continue;
                     }

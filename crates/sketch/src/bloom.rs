@@ -51,7 +51,7 @@ impl BloomFilter {
     #[inline]
     fn probes(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
         let h1 = mix64(key);
-        let h2 = mix64(key ^ 0x9e37_79b9_7f4a_7c15) | 1; // odd => full period
+        let h2 = mix64(key ^ crate::PROBE_H2_TAG) | 1; // odd => full period
         let m = self.m as u64;
         (0..self.k).map(move |i| (h1.wrapping_add(h2.wrapping_mul(i as u64)) % m) as usize)
     }

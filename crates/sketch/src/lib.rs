@@ -24,6 +24,13 @@ pub mod bloom;
 pub mod counting;
 pub mod synopsis;
 
+/// Domain tag for the second probe hash of the double-hashed Bloom
+/// variants (the splitmix64 golden gamma). `BloomFilter` and
+/// `CountingBloom` share it *deliberately*: a counting filter sized
+/// like a plain filter must probe the same cells for the same key, so
+/// membership answers agree between the two representations.
+pub(crate) const PROBE_H2_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
+
 pub use attenuated::AttenuatedBloom;
 pub use bloom::BloomFilter;
 pub use counting::CountingBloom;

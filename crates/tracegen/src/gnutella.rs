@@ -115,6 +115,8 @@ fn unique_tag(seed: u64, counter: u64) -> String {
     tag.push_str("tk");
     for _ in 0..6 {
         let d = (x % 36) as u32;
+        // qcplint: allow(panic) — `d % 10` is always a valid base-10
+        // digit, so from_digit cannot fail.
         let c = char::from_digit(d % 10, 10).unwrap();
         tag.push(if d < 10 {
             c

@@ -39,6 +39,8 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // qcplint: allow(panic) — chunks_exact(8) yields exactly
+            // 8-byte slices, so the array conversion cannot fail.
             let word = u64::from_le_bytes(chunk.try_into().unwrap());
             self.add_to_hash(word);
         }

@@ -165,6 +165,8 @@ pub fn logspace_ranks(len: usize, max_points: usize) -> Vec<usize> {
             last = rank;
         }
     }
+    // qcplint: allow(panic) — `out` always holds rank 0 from the first
+    // loop iteration, so `last()` cannot be None.
     if *out.last().unwrap() != len - 1 {
         out.push(len - 1);
     }

@@ -1,0 +1,19 @@
+//! Fixture: seed-stream aliasing between stateless-hash draw sites.
+//! Must trip `seed-stream-alias` once (the second site of the shared
+//! raw tag) and leave one `stale-pragma` warning behind.
+
+/// First draw site: becomes the anchor for the shared tag.
+pub fn route_jitter(seed: u64, edge: u64) -> u64 {
+    mix64(seed ^ 0xabad_1dea ^ edge)
+}
+
+/// Second draw site: reuses the raw tag — this is the flagged line.
+pub fn probe_jitter(seed: u64, node: u64) -> u64 {
+    mix64(seed ^ 0xabad_1dea ^ node)
+}
+
+/// A waiver that waives nothing: no nondet source anywhere near it.
+pub fn settled(x: u64) -> u64 {
+    // qcplint: allow(nondet) — left over from a removed wall-clock read.
+    x.rotate_left(7)
+}

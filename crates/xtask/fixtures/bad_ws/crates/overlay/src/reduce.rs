@@ -1,0 +1,13 @@
+//! Fixture: f64 accumulation in a width-dependent parallel reduce.
+//! Must trip `float-reduce-order` once — the u64 reduce is fine.
+
+/// Float reduce: chunk boundaries move with pool width, and float
+/// addition is non-associative — flagged.
+pub fn mean_latency(pool: &Pool, xs: &[f64]) -> f64 {
+    pool.par_reduce(xs, 0.0, |acc, x| acc + x) / xs.len() as f64
+}
+
+/// Integer reduce: associative, width-independent — not flagged.
+pub fn total_hops(pool: &Pool, xs: &[u64]) -> u64 {
+    pool.par_reduce(xs, 0u64, |acc, x| acc + x)
+}

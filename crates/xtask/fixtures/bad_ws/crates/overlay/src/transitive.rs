@@ -1,0 +1,12 @@
+//! Fixture: sim-facing entry points that launder hazards through a
+//! helper crate the per-file pass exempts. The diagnostics land in
+//! `crates/util/src/helper.rs` (`transitive-nondet`, `panic-reachable`)
+//! — this file only provides the reachable entry path.
+
+use qcp_util::helper::{pick_retry, tick_epoch};
+
+/// Sim-facing entry: reaches `Instant::now` and an `unwrap` in `util`.
+pub fn run_trial(seed: u64) -> u64 {
+    let epoch = tick_epoch();
+    epoch ^ pick_retry(seed)
+}

@@ -1,0 +1,15 @@
+//! Fixture: hazards in a helper crate that per-file scoping exempts —
+//! `util` is neither sim-facing (D1 silent) nor hot-path (P1 silent).
+//! Both fns are called from `overlay::run_trial`, so the taint pass
+//! must flag them: `transitive-nondet` and `panic-reachable`.
+
+/// Unaudited wall-clock read, reachable from a sim-facing entry.
+pub fn tick_epoch() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+/// Unaudited unwrap, reachable from a hot-path entry.
+pub fn pick_retry(seed: u64) -> u64 {
+    let table = [3u64, 5, 7];
+    *table.iter().max_by_key(|&&x| seed % x).unwrap()
+}

@@ -1,0 +1,22 @@
+//! Fixture: sanctioned cross-crate patterns — none of the taint
+//! families may fire here.
+
+/// Deliberately shared domain tag, hoisted into one named const: D3
+/// exempts named constants (the duplication is visible and greppable).
+const PAIRED_TAG: u64 = 0x5eed_50a7;
+
+/// First draw site over the named tag.
+pub fn forward_jitter(seed: u64, edge: u64) -> u64 {
+    mix64(seed ^ PAIRED_TAG ^ edge)
+}
+
+/// Second draw site over the same named tag — exempt.
+pub fn reverse_jitter(seed: u64, edge: u64) -> u64 {
+    mix64(seed ^ PAIRED_TAG ^ edge.rotate_left(32))
+}
+
+/// Entry that reaches the *audited* helper-crate sources: the audits at
+/// the source sites cover every caller, so nothing fires.
+pub fn run_trial(seed: u64) -> u64 {
+    qcp_util::helper::epoch_label() ^ qcp_util::helper::clamp_retry(seed)
+}

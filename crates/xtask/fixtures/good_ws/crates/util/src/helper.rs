@@ -1,0 +1,18 @@
+//! Fixture: helper-crate hazards carrying source-site audits. The
+//! taint pass must honor the base-rule pragmas (and count them used —
+//! no `stale-pragma` warnings here).
+
+/// Wall-clock read audited at the source: covers every caller.
+pub fn epoch_label() -> u64 {
+    // qcplint: allow(nondet) — label feeds log file names only; no
+    // simulation draw ever reads it.
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+/// Unwrap audited at the source: covers every caller.
+pub fn clamp_retry(seed: u64) -> u64 {
+    let table = [3u64, 5, 7];
+    // qcplint: allow(panic) — the table is a nonempty literal, so max
+    // over it cannot be None.
+    *table.iter().max_by_key(|&&x| seed % x).unwrap()
+}

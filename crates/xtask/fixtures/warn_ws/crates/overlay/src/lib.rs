@@ -1,0 +1,9 @@
+//! Fixture: a clean workspace whose only defect is a stale waiver —
+//! must exit 0 normally and 1 under `--deny-warnings`.
+#![forbid(unsafe_code)]
+
+/// No panic anywhere near the pragma below.
+pub fn double(x: u64) -> u64 {
+    // qcplint: allow(panic) — left over from a removed unwrap.
+    x << 1
+}

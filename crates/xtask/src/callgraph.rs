@@ -1,0 +1,423 @@
+//! The cross-crate call graph.
+//!
+//! Nodes are workspace functions keyed by `(crate, name)` — same-name
+//! functions within one crate merge into one node (a deliberate
+//! over-approximation that keeps resolution module-free). Edges come
+//! from the parser's [`CallRef`]s, resolved with a small, deterministic
+//! rule set:
+//!
+//! * **bare calls** resolve to a same-crate function first, then to an
+//!   explicit `use` import, then to a glob-imported crate, then to the
+//!   unique workspace function of that name (skipped when ambiguous);
+//! * **path calls** resolve through the leading segment: a `qcp_*`
+//!   crate root, `crate`, an uppercase `Type::method` qualified lookup,
+//!   or a same-crate module path;
+//! * **method calls** resolve to *every* workspace `impl` method of
+//!   that name — over-approximate on purpose: a taint rule would rather
+//!   follow a few spurious edges than miss a real one.
+//!
+//! Vendored dependency stubs (`vendor/`) and test code never enter the
+//! graph: per-file rules still cover them, but their internals are not
+//! simulation semantics.
+
+use crate::parser::{CallRef, ParsedFile};
+use std::collections::BTreeMap;
+
+/// One function node (same-crate same-name items merged).
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Owning crate directory name (`overlay`, `util`, ...).
+    pub krate: String,
+    /// Bare function name.
+    pub name: String,
+    /// Any `pub` declaration among the merged items.
+    pub is_pub: bool,
+    /// Any merged item declared inside an `impl` block.
+    pub is_method: bool,
+    /// Body extents: (file index, 0-based line range) per merged item.
+    pub bodies: Vec<(usize, std::ops::Range<usize>)>,
+}
+
+impl FnNode {
+    /// `crate::name` label used in diagnostic path rendering.
+    pub fn label(&self) -> String {
+        format!("{}::{}", self.krate, self.name)
+    }
+}
+
+/// One parsed file presented to the graph builder.
+pub struct GraphInput<'a> {
+    /// Index of this file in the caller's file table.
+    pub file: usize,
+    /// Owning crate directory name.
+    pub krate: &'a str,
+    /// Parse result.
+    pub parsed: &'a ParsedFile,
+    /// Per-fn exclusion (true = skip: test region, test file, ...).
+    pub skip_fn: Vec<bool>,
+}
+
+/// The assembled graph.
+pub struct CallGraph {
+    /// All nodes, sorted by `(crate, name)`.
+    pub nodes: Vec<FnNode>,
+    /// Forward adjacency, per node, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+    by_key: BTreeMap<(String, String), usize>,
+}
+
+/// Maps a `use`/path root segment to a workspace crate directory name.
+///
+/// Package names are `qcp-<dir>` exported as `qcp_<dir>`; the root
+/// package is `qcp2p`. Anything else (std, vendor stubs) maps to none.
+pub fn crate_of_root(root: &str) -> Option<String> {
+    if root == "qcp2p" {
+        return Some("qcp2p".to_string());
+    }
+    root.strip_prefix("qcp_").map(|d| d.to_string())
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files.
+    pub fn build(inputs: &[GraphInput<'_>]) -> Self {
+        // Pass 1: nodes, merged by (crate, name), in deterministic order.
+        let mut by_key: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for input in inputs {
+            for (fi, f) in input.parsed.fns.iter().enumerate() {
+                if input.skip_fn.get(fi).copied().unwrap_or(false) {
+                    continue;
+                }
+                let key = (input.krate.to_string(), f.name.clone());
+                if !by_key.contains_key(&key) {
+                    by_key.insert(key.clone(), 0);
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort();
+        let mut nodes: Vec<FnNode> = keys
+            .iter()
+            .map(|(krate, name)| FnNode {
+                krate: krate.clone(),
+                name: name.clone(),
+                is_pub: false,
+                is_method: false,
+                bodies: Vec::new(),
+            })
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            *by_key.get_mut(key).expect("key inserted above") = i;
+        }
+
+        // Secondary indices for resolution.
+        let mut method_index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut qual_index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut bare_index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for input in inputs {
+            for (fi, f) in input.parsed.fns.iter().enumerate() {
+                if input.skip_fn.get(fi).copied().unwrap_or(false) {
+                    continue;
+                }
+                let idx = by_key[&(input.krate.to_string(), f.name.clone())];
+                let node = &mut nodes[idx];
+                node.is_pub |= f.is_pub;
+                node.is_method |= f.is_method;
+                node.bodies.push((input.file, f.body.clone()));
+                if f.is_method {
+                    method_index.entry(f.name.as_str()).or_default().push(idx);
+                }
+                if let Some(q) = &f.qual {
+                    qual_index.entry(q.clone()).or_default().push(idx);
+                }
+                bare_index.entry(f.name.as_str()).or_default().push(idx);
+            }
+        }
+        for v in method_index.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in qual_index.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in bare_index.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        // Pass 2: edges, resolved per file (imports are file-scoped).
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for input in inputs {
+            let imports = &input.parsed.imports;
+            for (fi, f) in input.parsed.fns.iter().enumerate() {
+                if input.skip_fn.get(fi).copied().unwrap_or(false) {
+                    continue;
+                }
+                let caller = by_key[&(input.krate.to_string(), f.name.clone())];
+                for call in &f.calls {
+                    let targets = resolve(
+                        call,
+                        input.krate,
+                        imports,
+                        &by_key,
+                        &method_index,
+                        &qual_index,
+                        &bare_index,
+                    );
+                    for t in targets {
+                        if t != caller {
+                            edges[caller].push(t);
+                        }
+                    }
+                }
+            }
+        }
+        for v in edges.iter_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        Self {
+            nodes,
+            edges,
+            by_key,
+        }
+    }
+
+    /// Node index by `(crate, name)`.
+    pub fn lookup(&self, krate: &str, name: &str) -> Option<usize> {
+        self.by_key
+            .get(&(krate.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// Multi-source BFS from `entries` (deduplicated, processed in
+    /// sorted order). Returns `(dist, parent)` with `usize::MAX` for
+    /// unreached nodes; parents reconstruct one shortest call path and
+    /// are deterministic because nodes and adjacency are sorted.
+    pub fn reach(&self, entries: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let n = self.nodes.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut starts: Vec<usize> = entries.to_vec();
+        starts.sort_unstable();
+        starts.dedup();
+        for &s in &starts {
+            if dist[s] == usize::MAX {
+                dist[s] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// Renders the entry→node call path as `a::f -> b::g -> c::h`.
+    pub fn path_to(&self, parent: &[usize], mut node: usize) -> String {
+        let mut labels = vec![self.nodes[node].label()];
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            labels.push(self.nodes[node].label());
+        }
+        labels.reverse();
+        labels.join(" -> ")
+    }
+}
+
+/// Resolves one call to target node indices (possibly empty).
+fn resolve(
+    call: &CallRef,
+    krate: &str,
+    imports: &[crate::parser::Import],
+    by_key: &BTreeMap<(String, String), usize>,
+    method_index: &BTreeMap<&str, Vec<usize>>,
+    qual_index: &BTreeMap<String, Vec<usize>>,
+    bare_index: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let key = |k: &str, n: &str| by_key.get(&(k.to_string(), n.to_string())).copied();
+    match call {
+        CallRef::Bare(name) => {
+            // Same crate wins.
+            if let Some(idx) = key(krate, name) {
+                return vec![idx];
+            }
+            // Explicit import of this local name.
+            for imp in imports {
+                if imp.local == *name {
+                    if let Some(k) = crate_of_root(&imp.root) {
+                        if let Some(idx) = key(&k, &imp.item) {
+                            return vec![idx];
+                        }
+                    }
+                    return Vec::new(); // imported from std/vendor: external
+                }
+            }
+            // Glob imports.
+            let mut out = Vec::new();
+            for imp in imports {
+                if imp.local == "*" {
+                    if let Some(k) = crate_of_root(&imp.root) {
+                        if let Some(idx) = key(&k, name) {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+            // Unique across the workspace, else unresolved.
+            match bare_index.get(name.as_str()) {
+                Some(v) if v.len() == 1 => vec![v[0]],
+                _ => Vec::new(),
+            }
+        }
+        CallRef::Path(segs, name) => {
+            let head = &segs[0];
+            // Crate-qualified: `qcp_util::hash::mix64(..)`.
+            if let Some(k) = crate_of_root(head) {
+                return key(&k, name).into_iter().collect();
+            }
+            // Self-crate path: `crate::module::helper(..)`.
+            if head == "crate" || head == "self" || head == "super" {
+                return key(krate, name).into_iter().collect();
+            }
+            // `Type::method(..)` — qualified impl lookup, any crate. The
+            // *last* segment carries the type (`dht::chord::ChordNetwork`).
+            let tail = segs.last().expect("segs nonempty");
+            if tail.chars().next().is_some_and(|c| c.is_uppercase()) {
+                // An import may alias the type name; resolution is by the
+                // definition-site type name, which `use .. as ..` of types
+                // rarely changes in this workspace.
+                return qual_index
+                    .get(&format!("{tail}::{name}"))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            // Lowercase module path: same-crate module, or an imported
+            // module alias (`use qcp_util::hash; hash::mix64(..)`).
+            for imp in imports {
+                if imp.local == *tail {
+                    if let Some(k) = crate_of_root(&imp.root) {
+                        if let Some(idx) = key(&k, name) {
+                            return vec![idx];
+                        }
+                    }
+                }
+            }
+            key(krate, name).into_iter().collect()
+        }
+        CallRef::Method(name) => method_index.get(name.as_str()).cloned().unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+    use crate::parser::parse_file;
+
+    fn input<'a>(file: usize, krate: &'a str, parsed: &'a ParsedFile) -> GraphInput<'a> {
+        let skip_fn = vec![false; parsed.fns.len()];
+        GraphInput {
+            file,
+            krate,
+            parsed,
+            skip_fn,
+        }
+    }
+
+    #[test]
+    fn same_crate_and_import_resolution() {
+        let overlay = parse_file(&split_lines(
+            "use qcp_util::hash::hash_bytes;\npub fn sweep() {\n    step();\n    hash_bytes(b);\n}\nfn step() {}\n",
+        ));
+        let util = parse_file(&split_lines("pub fn hash_bytes(b: &[u8]) -> u64 { 0 }\n"));
+        let g = CallGraph::build(&[input(0, "overlay", &overlay), input(1, "util", &util)]);
+        let sweep = g.lookup("overlay", "sweep").unwrap();
+        let step = g.lookup("overlay", "step").unwrap();
+        let hb = g.lookup("util", "hash_bytes").unwrap();
+        assert_eq!(g.edges[sweep], {
+            let mut v = vec![step, hb];
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn method_calls_over_approximate() {
+        let a = parse_file(&split_lines(
+            "impl Engine {\n    pub fn run(&self) { helper(); }\n}\npub fn drive(e: &Engine) {\n    e.run();\n}\nfn helper() {}\n",
+        ));
+        let g = CallGraph::build(&[input(0, "overlay", &a)]);
+        let drive = g.lookup("overlay", "drive").unwrap();
+        let run = g.lookup("overlay", "run").unwrap();
+        assert!(g.edges[drive].contains(&run));
+    }
+
+    #[test]
+    fn qualified_type_calls_resolve_across_crates() {
+        let util = parse_file(&split_lines(
+            "impl Pcg64 {\n    pub fn with_stream(seed: u64, s: u64) -> Self { todo() }\n}\nfn todo() -> Pcg64 { loop {} }\n",
+        ));
+        let overlay = parse_file(&split_lines(
+            "pub fn build(seed: u64) {\n    let rng = Pcg64::with_stream(seed, 0x707e);\n}\n",
+        ));
+        let g = CallGraph::build(&[input(0, "util", &util), input(1, "overlay", &overlay)]);
+        let build = g.lookup("overlay", "build").unwrap();
+        let ws = g.lookup("util", "with_stream").unwrap();
+        assert!(g.edges[build].contains(&ws));
+    }
+
+    #[test]
+    fn reach_and_path_rendering() {
+        let a = parse_file(&split_lines(
+            "pub fn entry() { mid(); }\nfn mid() { sink(); }\nfn sink() {}\nfn island() {}\n",
+        ));
+        let g = CallGraph::build(&[input(0, "overlay", &a)]);
+        let entry = g.lookup("overlay", "entry").unwrap();
+        let sink = g.lookup("overlay", "sink").unwrap();
+        let island = g.lookup("overlay", "island").unwrap();
+        let (dist, parent) = g.reach(&[entry]);
+        assert_eq!(dist[sink], 2);
+        assert_eq!(dist[island], usize::MAX);
+        assert_eq!(
+            g.path_to(&parent, sink),
+            "overlay::entry -> overlay::mid -> overlay::sink"
+        );
+    }
+
+    #[test]
+    fn skipped_fns_stay_out() {
+        let parsed = parse_file(&split_lines("fn live() {}\nfn testish() { live(); }\n"));
+        let mut inp = input(0, "overlay", &parsed);
+        inp.skip_fn[1] = true;
+        let g = CallGraph::build(&[inp]);
+        assert!(g.lookup("overlay", "live").is_some());
+        assert!(g.lookup("overlay", "testish").is_none());
+    }
+
+    #[test]
+    fn ambiguous_bare_calls_unresolved() {
+        let a = parse_file(&split_lines("pub fn go() { shared(); }\n"));
+        let b = parse_file(&split_lines("pub fn shared() {}\n"));
+        let c = parse_file(&split_lines("pub fn shared() {}\n"));
+        let g = CallGraph::build(&[
+            input(0, "overlay", &a),
+            input(1, "util", &b),
+            input(2, "terms", &c),
+        ]);
+        let go = g.lookup("overlay", "go").unwrap();
+        assert!(g.edges[go].is_empty(), "ambiguous call must not resolve");
+    }
+}

@@ -1,0 +1,606 @@
+//! A lightweight item parser on top of the line lexer.
+//!
+//! qcplint's cross-crate rules (D3/D4/P2/F1) need more structure than
+//! per-line token hits: which function a line belongs to, what that
+//! function calls, and what each file imports. This module recovers
+//! exactly that — `fn` items with body extents, `impl` blocks (so
+//! methods get a `Type::name` qualified alias), `use` imports, and call
+//! expressions — by brace/paren tracking over the lexer's
+//! comment-and-string-stripped [`LineView`]s. It is deliberately *not*
+//! a Rust grammar: no types, no expressions, no macros. The
+//! approximations (documented per function) are chosen so the call
+//! graph built on top over-approximates reachability slightly rather
+//! than silently dropping edges qcplint's taint rules depend on.
+
+use crate::lexer::LineView;
+use std::ops::Range;
+
+/// One `fn` item with its body extent.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` when declared inside an `impl` block.
+    pub qual: Option<String>,
+    /// Declared with any `pub` visibility (incl. `pub(crate)`).
+    pub is_pub: bool,
+    /// Declared inside an `impl` block (callable as `.name(..)`).
+    pub is_method: bool,
+    /// 0-based line index of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based line range covering the declaration and body.
+    pub body: Range<usize>,
+    /// Call expressions found in the body, deduplicated in order.
+    pub calls: Vec<CallRef>,
+}
+
+/// A call expression, classified by how the callee is named.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallRef {
+    /// `foo(..)` — unqualified call.
+    Bare(String),
+    /// `a::b::foo(..)` — path call; fields are (path segments, name).
+    Path(Vec<String>, String),
+    /// `.foo(..)` — method call.
+    Method(String),
+}
+
+/// One name imported by a `use` item.
+#[derive(Debug, Clone)]
+pub struct Import {
+    /// The local name usable at call sites (alias-aware; `*` for globs).
+    pub local: String,
+    /// The item name at the definition site (differs under `as`).
+    pub item: String,
+    /// First path segment (`qcp_util`, `std`, `crate`, ...).
+    pub root: String,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All `fn` items, in declaration order.
+    pub fns: Vec<FnItem>,
+    /// All `use` imports.
+    pub imports: Vec<Import>,
+}
+
+/// What an opening brace belongs to, for the frame stack.
+#[derive(Debug)]
+enum Frame {
+    /// `fn` body; index into the under-construction fn list.
+    Fn(usize),
+    /// `impl` block body; holds the implemented type name.
+    Impl(String),
+    /// Any other brace (struct, match, block, closure, ...).
+    Other,
+}
+
+/// A `fn` or `impl` header seen but whose `{` has not arrived yet.
+#[derive(Debug)]
+enum Pending {
+    Fn { item: usize },
+    Impl { type_name: String },
+}
+
+/// Parses `lines` (from [`crate::lexer::split_lines`]) into items.
+pub fn parse_file(lines: &[LineView]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // `use` statements may wrap; accumulate until `;`.
+    let mut use_buf: Option<String> = None;
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let trimmed = code.trim();
+
+        if let Some(buf) = use_buf.as_mut() {
+            buf.push(' ');
+            buf.push_str(trimmed);
+            if trimmed.contains(';') {
+                let stmt = use_buf.take().unwrap_or_default();
+                parse_use(&stmt, &mut out.imports);
+            }
+            continue;
+        }
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            if trimmed.contains(';') {
+                parse_use(trimmed, &mut out.imports);
+            } else {
+                use_buf = Some(trimmed.to_string());
+            }
+            continue;
+        }
+
+        // Item headers. A header and its `{` may sit on different lines
+        // (long signatures, where-clauses), hence the `pending` slot.
+        for (pos, kw) in item_keywords(code) {
+            match kw {
+                "fn" => {
+                    if let Some(name) = ident_after(code, pos + 2) {
+                        let in_impl = frames.iter().rev().find_map(|f| match f {
+                            Frame::Impl(t) => Some(t.clone()),
+                            _ => None,
+                        });
+                        let is_pub = has_pub_before(code, pos);
+                        out.fns.push(FnItem {
+                            qual: in_impl.as_ref().map(|t| format!("{t}::{name}")),
+                            is_method: in_impl.is_some(),
+                            name,
+                            is_pub,
+                            decl_line: i,
+                            body: i..i + 1,
+                            calls: Vec::new(),
+                        });
+                        pending = Some(Pending::Fn {
+                            item: out.fns.len() - 1,
+                        });
+                    }
+                }
+                "impl" => {
+                    if let Some(type_name) = impl_type_name(&code[pos + 4..]) {
+                        pending = Some(Pending::Impl { type_name });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Brace/terminator tracking drives frame entry/exit. Calls are
+        // attributed in byte-position order, interleaved with the brace
+        // events, so a one-line body (`fn f() { g(); }`) credits `g` to
+        // `f` before the closing brace pops its frame.
+        let line_calls = extract_calls_pos(code);
+        let mut next_call = 0usize;
+        for (pos, c) in code.char_indices() {
+            if matches!(c, '{' | '}' | ';') {
+                while next_call < line_calls.len() && line_calls[next_call].0 < pos {
+                    attribute_call(&mut out, &frames, &line_calls[next_call].1);
+                    next_call += 1;
+                }
+            }
+            match c {
+                '{' => match pending.take() {
+                    Some(Pending::Fn { item }) => frames.push(Frame::Fn(item)),
+                    Some(Pending::Impl { type_name }) => frames.push(Frame::Impl(type_name)),
+                    None => frames.push(Frame::Other),
+                },
+                '}' => {
+                    if let Some(Frame::Fn(item)) = frames.pop() {
+                        out.fns[item].body.end = i + 1;
+                    }
+                }
+                // `fn f(..);` — a bodiless trait/extern declaration.
+                ';' => {
+                    if matches!(pending, Some(Pending::Fn { .. })) {
+                        pending = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (_, call) in &line_calls[next_call..] {
+            attribute_call(&mut out, &frames, call);
+        }
+    }
+
+    // Unclosed frames (truncated input): extend bodies to EOF.
+    for frame in frames {
+        if let Frame::Fn(item) = frame {
+            out.fns[item].body.end = lines.len();
+        }
+    }
+    out
+}
+
+/// `fn` / `impl` keyword occurrences in `code`, at token boundaries.
+fn item_keywords(code: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for kw in ["fn", "impl"] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(kw) {
+            let at = start + pos;
+            let before_ok = at == 0 || !is_ident_char(code[..at].chars().last().unwrap_or(' '));
+            let after = code[at + kw.len()..].chars().next();
+            let after_ok = after.is_none_or(|c| !is_ident_char(c));
+            if before_ok && after_ok {
+                out.push((at, kw));
+            }
+            start = at + kw.len();
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The identifier starting at or after byte `from` (skipping whitespace).
+fn ident_after(code: &str, from: usize) -> Option<String> {
+    let rest = code.get(from..)?.trim_start();
+    let ident: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// True when a `pub` token precedes byte `pos` on this line.
+fn has_pub_before(code: &str, pos: usize) -> bool {
+    crate::lexer::contains_token(&code[..pos], "pub")
+}
+
+/// The implemented type name of an `impl` header: `impl Foo`,
+/// `impl<T> Foo<T>`, `impl Trait for Foo` all yield `Foo`.
+fn impl_type_name(after_impl: &str) -> Option<String> {
+    let mut rest = after_impl.trim_start();
+    // Skip the generic parameter list, if any.
+    if rest.starts_with('<') {
+        let mut depth = 0usize;
+        let mut end = rest.len();
+        for (idx, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = idx + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = rest[end..].trim_start();
+    }
+    // `impl Trait for Type` — the type is what methods hang off.
+    if let Some(pos) = rest.find(" for ") {
+        rest = rest[pos + 5..].trim_start();
+    }
+    // Strip leading `&`/`mut`/path qualifiers down to the head ident.
+    let rest = rest.trim_start_matches(['&', ' ']);
+    let ident: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_lowercase()) {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Credits one call to the innermost enclosing `fn` frame, if any.
+fn attribute_call(out: &mut ParsedFile, frames: &[Frame], call: &CallRef) {
+    let Some(item) = frames.iter().rev().find_map(|f| match f {
+        Frame::Fn(item) => Some(*item),
+        _ => None,
+    }) else {
+        return;
+    };
+    if !out.fns[item].calls.contains(call) {
+        out.fns[item].calls.push(call.clone());
+    }
+}
+
+/// Rust keywords and binding forms that precede `(` without being calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "as", "fn", "loop", "move", "else", "let",
+    "pub", "where", "box", "yield", "await", "dyn", "ref", "mut",
+];
+
+/// Extracts call expressions from one line of code text.
+///
+/// Approximations: macro invocations (`name!(`) are skipped; turbofish
+/// calls (`collect::<T>(`) are skipped (the `(` follows `>`); bare
+/// uppercase names (`Some(`, tuple-struct constructors) are skipped,
+/// but *path* calls with uppercase heads (`Pcg64::new(`) are kept so
+/// inherent constructors resolve.
+pub fn extract_calls(code: &str) -> Vec<CallRef> {
+    extract_calls_pos(code)
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect()
+}
+
+/// [`extract_calls`] with the byte position of each call's `(`, in
+/// ascending order — lets the parser interleave calls with brace events.
+fn extract_calls_pos(code: &str) -> Vec<(usize, CallRef)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'(' {
+            continue;
+        }
+        // The identifier immediately before the paren.
+        let name_end = pos;
+        let mut name_start = pos;
+        while name_start > 0 && is_ident_char(bytes[name_start - 1] as char) {
+            name_start -= 1;
+        }
+        if name_start == name_end {
+            continue; // `(` after non-ident: tuple, turbofish `>`, `!`...
+        }
+        let name = &code[name_start..name_end];
+        if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if NON_CALL_IDENTS.contains(&name) {
+            continue;
+        }
+        // What precedes the name?
+        let before = &code[..name_start];
+        let prev = before.chars().last();
+        if prev == Some('!') {
+            continue; // macro definition site `macro_rules!` etc.
+        }
+        // `fn name(` — a declaration, not a call.
+        if crate::lexer::contains_token(before.trim_end(), "fn")
+            && before.trim_end().ends_with("fn")
+        {
+            continue;
+        }
+        if prev == Some('.') {
+            // Numeric method receiver (`1.0f64.sqrt(`) is still a call.
+            out.push((pos, CallRef::Method(name.to_string())));
+            continue;
+        }
+        if before.ends_with("::") {
+            // Walk the whole path backwards: `a::b::name(`.
+            let mut segs: Vec<String> = Vec::new();
+            let mut cursor = before;
+            while cursor.ends_with("::") {
+                cursor = &cursor[..cursor.len() - 2];
+                let seg_end = cursor.len();
+                let mut seg_start = seg_end;
+                while seg_start > 0 && is_ident_char(cursor.as_bytes()[seg_start - 1] as char) {
+                    seg_start -= 1;
+                }
+                if seg_start == seg_end {
+                    break; // `<T as Trait>::name(` and friends: give up.
+                }
+                segs.push(cursor[seg_start..seg_end].to_string());
+                cursor = &cursor[..seg_start];
+            }
+            if segs.is_empty() {
+                continue;
+            }
+            segs.reverse();
+            out.push((pos, CallRef::Path(segs, name.to_string())));
+            continue;
+        }
+        // Bare call. Skip uppercase heads: `Some(`, `Ok(`, tuple structs.
+        if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+            continue;
+        }
+        out.push((pos, CallRef::Bare(name.to_string())));
+    }
+    out
+}
+
+/// Parses one complete `use ...;` statement into imports.
+fn parse_use(stmt: &str, out: &mut Vec<Import>) {
+    let stmt = stmt.trim();
+    let stmt = stmt.strip_prefix("pub ").unwrap_or(stmt).trim_start();
+    let Some(stmt) = stmt.strip_prefix("use ") else {
+        return;
+    };
+    let stmt = stmt.trim_end_matches(';').trim();
+    parse_use_tree(stmt, &[], out);
+}
+
+/// Recursively parses a use-tree (`a::b::{c, d as e, f::*}`).
+fn parse_use_tree(tree: &str, prefix: &[String], out: &mut Vec<Import>) {
+    let tree = tree.trim();
+    if tree.is_empty() {
+        return;
+    }
+    if let Some(brace) = tree.find('{') {
+        // `head::{...}` — recurse over top-level comma-separated arms.
+        let head = tree[..brace].trim().trim_end_matches("::");
+        let mut prefix = prefix.to_vec();
+        prefix.extend(head.split("::").map(|s| s.trim().to_string()));
+        let inner = tree[brace + 1..].trim_end_matches('}');
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (idx, c) in inner.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    parse_use_tree(&inner[start..idx], &prefix, out);
+                    start = idx + 1;
+                }
+                _ => {}
+            }
+        }
+        parse_use_tree(&inner[start..], &prefix, out);
+        return;
+    }
+    // Leaf: `a::b::item`, `item as alias`, `a::*`.
+    let (path_part, alias) = match tree.split_once(" as ") {
+        Some((p, a)) => (p.trim(), Some(a.trim().to_string())),
+        None => (tree, None),
+    };
+    let mut segs: Vec<String> = prefix.to_vec();
+    segs.extend(
+        path_part
+            .split("::")
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty()),
+    );
+    let Some(item) = segs.last().cloned() else {
+        return;
+    };
+    let root = segs.first().cloned().unwrap_or_default();
+    if root == item {
+        // `use qcp_util;` — a crate-level import, callable as a path.
+        return;
+    }
+    out.push(Import {
+        local: alias.unwrap_or_else(|| item.clone()),
+        item,
+        root,
+    });
+}
+
+/// Captures the balanced-paren argument text of a call starting at the
+/// `(` found at byte `open` of line `start` (0-based), concatenating
+/// across lines. Returns the argument text (parens excluded) and the
+/// 0-based line index where the call closes. Used for rules that must
+/// inspect whole call expressions (F1, D3) without a statement parser.
+pub fn call_arg_text(lines: &[LineView], start: usize, open: usize) -> (String, usize) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    let mut line_idx = start;
+    let mut first = true;
+    while line_idx < lines.len() {
+        let code = &lines[line_idx].code;
+        let from = if first { open } else { 0 };
+        for c in code[from.min(code.len())..].chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth > 1 {
+                        text.push(c);
+                    }
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (text, line_idx);
+                    }
+                    text.push(c);
+                }
+                _ => {
+                    if depth >= 1 {
+                        text.push(c);
+                    }
+                }
+            }
+        }
+        text.push(' ');
+        first = false;
+        line_idx += 1;
+    }
+    (text, lines.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&split_lines(src))
+    }
+
+    #[test]
+    fn fn_items_with_bodies() {
+        let src = "pub fn alpha() {\n    beta();\n}\n\nfn beta() {\n    gamma(1);\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "alpha");
+        assert!(p.fns[0].is_pub);
+        assert_eq!(p.fns[0].body, 0..3);
+        assert_eq!(p.fns[0].calls, vec![CallRef::Bare("beta".into())]);
+        assert!(!p.fns[1].is_pub);
+        assert_eq!(p.fns[1].calls, vec![CallRef::Bare("gamma".into())]);
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_names() {
+        let src = "impl Engine {\n    pub fn run(&self) {\n        self.step();\n    }\n}\nimpl Iterator for Engine {\n    fn next(&mut self) -> Option<u32> { helper() }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qual.as_deref(), Some("Engine::run"));
+        assert!(p.fns[0].is_method);
+        assert_eq!(p.fns[0].calls, vec![CallRef::Method("step".into())]);
+        assert_eq!(p.fns[1].qual.as_deref(), Some("Engine::next"));
+    }
+
+    #[test]
+    fn nested_fns_attribute_calls_to_innermost() {
+        let src = "fn outer() {\n    fn inner() {\n        deep();\n    }\n    shallow();\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].name, "outer");
+        assert_eq!(p.fns[1].name, "inner");
+        assert_eq!(p.fns[1].calls, vec![CallRef::Bare("deep".into())]);
+        assert_eq!(p.fns[0].calls, vec![CallRef::Bare("shallow".into())]);
+    }
+
+    #[test]
+    fn multiline_signatures_and_trait_decls() {
+        let src = "fn long(\n    a: u32,\n    b: u32,\n) -> u32 {\n    a + b\n}\ntrait T {\n    fn decl(&self);\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].body, 0..6);
+        // The bodiless trait decl keeps its one-line extent.
+        assert_eq!(p.fns[1].name, "decl");
+        assert_eq!(p.fns[1].body.len(), 1);
+    }
+
+    #[test]
+    fn call_classification() {
+        let calls = extract_calls("qcp_util::hash::mix64(x) + helper(y) + obj.method(z)");
+        assert!(calls.contains(&CallRef::Path(
+            vec!["qcp_util".into(), "hash".into()],
+            "mix64".into()
+        )));
+        assert!(calls.contains(&CallRef::Bare("helper".into())));
+        assert!(calls.contains(&CallRef::Method("method".into())));
+    }
+
+    #[test]
+    fn non_calls_are_skipped() {
+        assert!(extract_calls("if (x) { }").is_empty());
+        assert!(extract_calls("let y = Some(3);").is_empty());
+        assert!(
+            extract_calls("let v: Vec<u32> = xs.iter().collect::<Vec<u32>>();")
+                .iter()
+                .all(|c| *c == CallRef::Method("iter".into()))
+        );
+        assert!(extract_calls("format!(…)").is_empty());
+        assert!(extract_calls("fn declared(x: u32)").is_empty());
+    }
+
+    #[test]
+    fn path_ctor_calls_are_kept() {
+        let calls = extract_calls("let rng = Pcg64::with_stream(seed, 0x707e);");
+        assert_eq!(
+            calls,
+            vec![CallRef::Path(vec!["Pcg64".into()], "with_stream".into())]
+        );
+    }
+
+    #[test]
+    fn use_imports() {
+        let src = "use qcp_util::hash::{mix64, hash_bytes as hb};\nuse qcp_overlay::flood::flood_census;\npub use std::fmt;\n";
+        let p = parse(src);
+        let find = |local: &str| p.imports.iter().find(|i| i.local == local);
+        let m = find("mix64").expect("mix64 imported");
+        assert_eq!(m.root, "qcp_util");
+        let hb = find("hb").expect("alias imported");
+        assert_eq!(hb.item, "hash_bytes");
+        assert_eq!(find("flood_census").unwrap().root, "qcp_overlay");
+    }
+
+    #[test]
+    fn multiline_use() {
+        let src =
+            "use qcp_search::{\n    spec::SearchSpec,\n    world::build_world,\n};\nfn f() {}\n";
+        let p = parse(src);
+        assert!(p.imports.iter().any(|i| i.local == "build_world"));
+        assert_eq!(p.fns.len(), 1);
+    }
+
+    #[test]
+    fn call_arg_text_spans_lines() {
+        let lines = split_lines("pool.par_reduce(\n    &xs,\n    0.0f64,\n    |x| *x,\n)");
+        let open = lines[0].code.find('(').unwrap();
+        let (text, end) = call_arg_text(&lines, 0, open);
+        assert!(text.contains("0.0f64"));
+        assert_eq!(end, 4);
+    }
+}

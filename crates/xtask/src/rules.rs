@@ -1,6 +1,6 @@
-//! qcplint's rule engine.
+//! qcplint's rule engine (per-file half).
 //!
-//! Four rule families guard the project invariants that make the paper's
+//! The rule families guard the project invariants that make the paper's
 //! figures (seeded simulation, Figs 1–8) bit-for-bit reproducible and
 //! keep the `qcp-xpar` unsafe core auditable:
 //!
@@ -27,10 +27,19 @@
 //!   not sit under `#[cfg]` / `cfg!` gates, so a build-feature flip can
 //!   never change recorded call counts.
 //!
+//! The cross-crate families — **D3 `seed-stream-alias`**, **D4
+//! `transitive-nondet`**, **P2 `panic-reachable`**, **F1
+//! `float-reduce-order`** — live in [`crate::taint`] on top of the call
+//! graph; this module defines their [`Rule`] identities, pragma keys,
+//! and `--explain` texts so the whole rule table stays in one place.
+//!
 //! Any rule can be locally waived with an audited pragma on the line or
 //! the line above: `// qcplint: allow(<rule>) — <reason>`. A pragma
 //! without a reason, or naming an unknown rule, is itself a violation
-//! (`bad-pragma`), so waivers stay greppable and justified.
+//! (`bad-pragma`), so waivers stay greppable and justified. A
+//! well-formed pragma that suppresses nothing (and audits no taint
+//! source) is reported as a **W1 `stale-pragma`** warning — waivers
+//! must not outlive the hazard they waived.
 
 use crate::lexer::{contains_token, split_lines, LineView};
 use std::fmt;
@@ -56,6 +65,23 @@ pub enum Rule {
     DirectCounter,
     /// O1b: recorder call under a `#[cfg]` / `cfg!` gate.
     CfgRecorder,
+    /// D3: two stateless-hash draw sites share the same raw domain-tag
+    /// literal — their streams alias for equal seeds.
+    SeedStreamAlias,
+    /// D4: a sim-facing `pub fn` transitively reaches a D1/D2 source in
+    /// a crate that per-file scoping exempts.
+    TransitiveNondet,
+    /// P2: a hot-path entry point transitively reaches an unaudited
+    /// panic site in a crate that P1's per-file scoping exempts.
+    PanicReachable,
+    /// F1: f64 accumulation flows into a `qcp-xpar` parallel reduction
+    /// whose chunk grouping depends on thread count.
+    FloatReduceOrder,
+    /// W1 (warning): a well-formed pragma that suppresses no diagnostic
+    /// and audits no taint source.
+    StalePragma,
+    /// W1 (warning): a baseline entry that matches no diagnostic.
+    StaleBaseline,
     /// Malformed or unjustified `qcplint: allow(..)` pragma.
     BadPragma,
 }
@@ -72,11 +98,17 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::DirectCounter => "direct-counter",
             Rule::CfgRecorder => "cfg-recorder",
+            Rule::SeedStreamAlias => "seed-stream-alias",
+            Rule::TransitiveNondet => "transitive-nondet",
+            Rule::PanicReachable => "panic-reachable",
+            Rule::FloatReduceOrder => "float-reduce-order",
+            Rule::StalePragma => "stale-pragma",
+            Rule::StaleBaseline => "stale-baseline",
             Rule::BadPragma => "bad-pragma",
         }
     }
 
-    /// The rule family named in ISSUE/DESIGN docs (D1/D2/S1/P1).
+    /// The rule family named in ISSUE/DESIGN docs (D1–D4/S1/P1–P2/O1/F1/W1).
     pub fn family(self) -> &'static str {
         match self {
             Rule::Nondet => "D1",
@@ -84,8 +116,19 @@ impl Rule {
             Rule::UndocumentedUnsafe | Rule::MissingForbid | Rule::ForbiddenUnsafe => "S1",
             Rule::Panic => "P1",
             Rule::DirectCounter | Rule::CfgRecorder => "O1",
+            Rule::SeedStreamAlias => "D3",
+            Rule::TransitiveNondet => "D4",
+            Rule::PanicReachable => "P2",
+            Rule::FloatReduceOrder => "F1",
+            Rule::StalePragma | Rule::StaleBaseline => "W1",
             Rule::BadPragma => "P0",
         }
+    }
+
+    /// True for rules reported as warnings, not violations: they never
+    /// fail the gate unless `--deny-warnings` is set.
+    pub fn is_warning(self) -> bool {
+        matches!(self, Rule::StalePragma | Rule::StaleBaseline)
     }
 
     /// All pragma-addressable rule keys.
@@ -98,7 +141,164 @@ impl Rule {
             "panic",
             "direct-counter",
             "cfg-recorder",
+            "seed-stream-alias",
+            "transitive-nondet",
+            "panic-reachable",
+            "float-reduce-order",
         ]
+    }
+
+    /// Every rule, in report order — drives `--explain` and docs.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::Nondet,
+            Rule::UnorderedIter,
+            Rule::SeedStreamAlias,
+            Rule::TransitiveNondet,
+            Rule::UndocumentedUnsafe,
+            Rule::MissingForbid,
+            Rule::ForbiddenUnsafe,
+            Rule::Panic,
+            Rule::PanicReachable,
+            Rule::DirectCounter,
+            Rule::CfgRecorder,
+            Rule::FloatReduceOrder,
+            Rule::StalePragma,
+            Rule::StaleBaseline,
+            Rule::BadPragma,
+        ]
+    }
+
+    /// Resolves a `--explain` argument: a rule key (`seed-stream-alias`)
+    /// or a family name (`D3`, case-insensitive; families with several
+    /// rules resolve to each member).
+    pub fn by_key_or_family(arg: &str) -> Vec<Rule> {
+        let mut out: Vec<Rule> = Rule::all()
+            .iter()
+            .copied()
+            .filter(|r| r.key() == arg || r.family().eq_ignore_ascii_case(arg))
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// The long-form `--explain` text: what the rule catches, why it
+    /// matters for the reproduction, and how to fix or audit a finding.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Nondet => {
+                "D1 nondet — ambient nondeterminism in sim-facing library code.\n\
+                 Catches: `thread_rng`, `rand::random`, `SystemTime::now`, `Instant::now`,\n\
+                 `RandomState` outside test code in the sim-facing crates.\n\
+                 Why: every figure is a pure function of the experiment seed; one ambient\n\
+                 draw makes runs unrepeatable and thread counts observable.\n\
+                 Fix: derive randomness from the seed (qcp_util::rng); keep timing in\n\
+                 qcp-bench behind `// qcplint: allow(nondet) — <reason>`."
+            }
+            Rule::UnorderedIter => {
+                "D2 unordered-iter — hash-order iteration over FxHashMap/FxHashSet.\n\
+                 Catches: `.iter()`/`.keys()`/`for x in &map`-style iteration over tracked\n\
+                 Fx bindings in sim-facing library code.\n\
+                 Why: hash order couples results to hasher internals and insertion\n\
+                 history; it has already produced two real RNG-stream bugs (PR 1).\n\
+                 Fix: collect-and-sort, use a BTreeMap, or audit with\n\
+                 `// qcplint: allow(unordered-iter) — <why order cannot leak>`."
+            }
+            Rule::SeedStreamAlias => {
+                "D3 seed-stream-alias — two stateless-hash draw sites share a domain tag.\n\
+                 Catches: two `mix64`/`child_seed`/`Pcg64::with_stream` draw sites whose\n\
+                 raw hex-literal domain tag is identical (workspace-wide, lib code).\n\
+                 Why: draws are keyed by `(seed, domain-tag, nonce)`; a shared tag makes\n\
+                 two nominally independent streams (e.g. faults vs repair) emit identical\n\
+                 values for equal seeds — silent cross-layer correlation.\n\
+                 Fix: give each draw family a fresh tag; if the sharing is deliberate,\n\
+                 hoist the literal into one named constant (named tags are exempt — the\n\
+                 shared name documents the intent) or audit with\n\
+                 `// qcplint: allow(seed-stream-alias) — <reason>`."
+            }
+            Rule::TransitiveNondet => {
+                "D4 transitive-nondet — a sim-facing pub fn reaches a nondeterminism\n\
+                 source through helper crates that per-file scoping exempts.\n\
+                 Catches: call paths from sim-facing public functions to D1 tokens or D2\n\
+                 hash-order iteration sitting in non-sim-facing crates (util, obs, ...).\n\
+                 Why: D1/D2 scope by crate, so a helper crate could launder wall-clock or\n\
+                 hash-order data into simulation results; the call graph closes that hole.\n\
+                 Fix: remove the source, or audit it at the source site with the base\n\
+                 rule's pragma (`allow(nondet)` / `allow(unordered-iter)`), or waive the\n\
+                 path with `// qcplint: allow(transitive-nondet) — <reason>`."
+            }
+            Rule::UndocumentedUnsafe => {
+                "S1 undocumented-unsafe — `unsafe` without an adjacent justification.\n\
+                 Every unsafe block/fn in the designated unsafe core must be immediately\n\
+                 preceded by `// SAFETY:` (or a `# Safety` doc section) stating the\n\
+                 invariant that makes it sound."
+            }
+            Rule::MissingForbid => {
+                "S1 missing-forbid — a crate root without `#![forbid(unsafe_code)]`.\n\
+                 Every crate except the designated unsafe core must forbid unsafe at the\n\
+                 root, so the auditable surface stays one crate wide."
+            }
+            Rule::ForbiddenUnsafe => {
+                "S1 forbidden-unsafe — `unsafe` outside the designated unsafe core.\n\
+                 Move the code into the core (with a SAFETY argument) or redesign."
+            }
+            Rule::Panic => {
+                "P1 panic — `.unwrap()`/`.expect(`/`panic!(` in hot-path library code.\n\
+                 A panic mid-sweep aborts the whole experiment; hot-path code returns\n\
+                 Results or documents the invariant with\n\
+                 `// qcplint: allow(panic) — <why it cannot fire>`."
+            }
+            Rule::PanicReachable => {
+                "P2 panic-reachable — a hot-path entry point transitively reaches an\n\
+                 unaudited panic site in an exempt crate.\n\
+                 Catches: call paths from hot-path pub fns to `.unwrap()`/`.expect(`/\n\
+                 `panic!(` in crates P1 does not scan (util, tracegen, ...).\n\
+                 Why: P1 is file-local, so a helper's unwrap still aborts the sweep.\n\
+                 Fix: return a Result, or audit the *site* with\n\
+                 `// qcplint: allow(panic) — <reason>` (the audit covers every path),\n\
+                 or waive with `// qcplint: allow(panic-reachable) — <reason>`."
+            }
+            Rule::DirectCounter => {
+                "O1 direct-counter — ad-hoc shared counter state in instrumented code.\n\
+                 Tallies flow through the write-only qcp_obs::Recorder (fork/absorb for\n\
+                 parallel chunks); atomics and `static mut` make totals\n\
+                 scheduling-dependent and invisible to the merge."
+            }
+            Rule::CfgRecorder => {
+                "O1 cfg-recorder — a Recorder call under `#[cfg]`/`cfg!`.\n\
+                 Conditional recording lets a metrics build diverge from the metric-free\n\
+                 one; record unconditionally (NoopRecorder is free)."
+            }
+            Rule::FloatReduceOrder => {
+                "F1 float-reduce-order — f64 accumulation in a thread-shaped reduction.\n\
+                 Catches: `par_reduce` calls whose arguments involve f64 values.\n\
+                 Why: `Pool::par_reduce` folds per-chunk partials whose boundaries depend\n\
+                 on pool width; f64 addition is not associative, so the same seed can\n\
+                 produce different bits at different thread counts — breaking the\n\
+                 cross-width determinism pin.\n\
+                 Fix: par_map (order-preserving) then fold sequentially in index order,\n\
+                 accumulate in integers, or audit with\n\
+                 `// qcplint: allow(float-reduce-order) — <reason>`."
+            }
+            Rule::StalePragma => {
+                "W1 stale-pragma — an allow pragma that no longer suppresses anything.\n\
+                 A well-formed `qcplint: allow(..)` that suppressed no diagnostic and\n\
+                 audited no taint source this run is dead weight that hides future\n\
+                 regressions; delete it. Reported as a warning (exit 0) unless\n\
+                 `--deny-warnings` is set."
+            }
+            Rule::StaleBaseline => {
+                "W1 stale-baseline — a baseline entry that matched no diagnostic.\n\
+                 The workspace outgrew the grandfathered finding; remove the entry (or\n\
+                 regenerate with `--write-baseline`) so the baseline only ever shrinks."
+            }
+            Rule::BadPragma => {
+                "bad-pragma — a malformed `qcplint: allow(..)` pragma.\n\
+                 Pragmas must start the comment, name known rules, and carry a reason:\n\
+                 `// qcplint: allow(<rule>) — <reason>`. A typo must never silently\n\
+                 suppress a rule."
+            }
+        }
     }
 }
 
@@ -193,7 +393,7 @@ impl Default for LintConfig {
 }
 
 /// Tokens that make seeded simulation irreproducible (rule D1).
-const NONDET_TOKENS: &[&str] = &[
+pub(crate) const NONDET_TOKENS: &[&str] = &[
     "thread_rng",
     "rand::random",
     "SystemTime::now",
@@ -216,7 +416,7 @@ const ORDER_SENSITIVE_CALLS: &[&str] = &[
 ];
 
 /// Panic-family tokens banned from hot-path library code (rule P1).
-const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+pub(crate) const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
 
 /// Ad-hoc shared counter state that bypasses the write-only `Recorder`
 /// (rule O1a): shared atomics and mutable statics make recorded totals
@@ -239,7 +439,97 @@ const RECORDER_CALLS: &[&str] = &[
     "rec_faults(",
 ];
 
+/// All pragmas of one file, with per-entry usage tracking.
+///
+/// Every rule that honors a pragma routes its lookup through
+/// [`PragmaSet::allows`], which marks the matched entry used; entries
+/// still unused after the whole run (per-file rules *and* taint
+/// analysis) are exactly the W1 `stale-pragma` findings.
+#[derive(Debug, Default, Clone)]
+pub struct PragmaSet {
+    /// Well-formed pragma entries, in line order.
+    entries: Vec<PragmaEntry>,
+    /// Malformed pragmas: (0-based line, message).
+    errors: Vec<(usize, String)>,
+}
+
+/// One well-formed `qcplint: allow(..)` pragma.
+#[derive(Debug, Clone)]
+pub struct PragmaEntry {
+    /// 0-based line index of the pragma comment.
+    pub line: usize,
+    /// Rule keys the pragma names.
+    pub keys: Vec<String>,
+    /// Whether any rule consulted and matched this pragma.
+    pub used: bool,
+}
+
+impl PragmaSet {
+    /// Scans every line of a file for pragmas.
+    pub fn collect(lines: &[LineView]) -> Self {
+        let mut set = PragmaSet::default();
+        for (i, line) in lines.iter().enumerate() {
+            match parse_pragma(&line.comment) {
+                Ok(Some(keys)) => set.entries.push(PragmaEntry {
+                    line: i,
+                    keys,
+                    used: false,
+                }),
+                Ok(None) => {}
+                Err(msg) => set.errors.push((i, msg)),
+            }
+        }
+        set
+    }
+
+    /// True when line `i`, or any line of the contiguous comment-only
+    /// block directly above it, carries a pragma naming `rule`; the
+    /// matched entry is marked used. (Allowing the whole block lets the
+    /// mandatory reason wrap across lines.)
+    pub fn allows(&mut self, lines: &[LineView], i: usize, rule: Rule) -> bool {
+        if self.match_at(i, rule) {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let line = &lines[j];
+            if !line.is_code_blank() || line.comment.trim().is_empty() {
+                break;
+            }
+            if self.match_at(j, rule) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn match_at(&mut self, line: usize, rule: Rule) -> bool {
+        for entry in &mut self.entries {
+            if entry.line == line && entry.keys.iter().any(|k| k == rule.key()) {
+                entry.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Malformed pragmas found at collection time.
+    pub fn errors(&self) -> &[(usize, String)] {
+        &self.errors
+    }
+
+    /// Entries never matched by any rule (W1 `stale-pragma` candidates).
+    pub fn stale(&self) -> impl Iterator<Item = &PragmaEntry> {
+        self.entries.iter().filter(|e| !e.used)
+    }
+}
+
 /// Lints one file's source text under the given context and config.
+///
+/// Convenience wrapper over [`lint_lines`] for string-driven tests; the
+/// workspace walk uses `lint_lines` directly so pragma usage survives
+/// into the taint phase.
 pub fn lint_source(
     path: &Path,
     source: &str,
@@ -247,6 +537,18 @@ pub fn lint_source(
     cfg: &LintConfig,
 ) -> Vec<Diagnostic> {
     let lines = split_lines(source);
+    let mut pragmas = PragmaSet::collect(&lines);
+    lint_lines(path, &lines, ctx, cfg, &mut pragmas)
+}
+
+/// Lints one file's lexed lines, routing pragma lookups through `pragmas`.
+pub fn lint_lines(
+    path: &Path,
+    lines: &[LineView],
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    pragmas: &mut PragmaSet,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
 
     let sim_facing = cfg.sim_facing.contains(&ctx.crate_name);
@@ -256,15 +558,13 @@ pub fn lint_source(
 
     // Pragma scan runs on every line, even in tests: a malformed pragma
     // anywhere is a defect in the audit trail.
-    for (i, line) in lines.iter().enumerate() {
-        if let Some(err) = pragma_error(&line.comment) {
-            out.push(Diagnostic {
-                file: path.to_path_buf(),
-                line: i + 1,
-                rule: Rule::BadPragma,
-                message: err,
-            });
-        }
+    for (i, err) in pragmas.errors() {
+        out.push(Diagnostic {
+            file: path.to_path_buf(),
+            line: i + 1,
+            rule: Rule::BadPragma,
+            message: err.clone(),
+        });
     }
 
     // S1b: crate roots must forbid unsafe (except the unsafe core).
@@ -286,19 +586,18 @@ pub fn lint_source(
         }
     }
 
-    let fx_idents = collect_fx_idents(&lines);
-    let test_lines = compute_test_regions(&lines);
+    let fx_idents = collect_fx_idents(lines);
+    let test_lines = compute_test_regions(lines);
 
     for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
         let in_test = ctx.kind == FileKind::Test || test_lines[i];
-        let allowed = |rule: Rule| pragma_allows(&lines, i, rule);
 
         // S1a / S1c: unsafe hygiene applies everywhere, tests included —
         // an unsound test is still unsound.
         if contains_token(&line.code, "unsafe") {
             if !unsafe_allowed {
-                if !allowed(Rule::ForbiddenUnsafe) {
+                if !pragmas.allows(lines, i, Rule::ForbiddenUnsafe) {
                     out.push(Diagnostic {
                         file: path.to_path_buf(),
                         line: lineno,
@@ -310,7 +609,9 @@ pub fn lint_source(
                         ),
                     });
                 }
-            } else if !has_safety_comment(&lines, i) && !allowed(Rule::UndocumentedUnsafe) {
+            } else if !has_safety_comment(lines, i)
+                && !pragmas.allows(lines, i, Rule::UndocumentedUnsafe)
+            {
                 out.push(Diagnostic {
                     file: path.to_path_buf(),
                     line: lineno,
@@ -329,7 +630,7 @@ pub fn lint_source(
         // D1: nondeterminism sources in sim-facing library code.
         if sim_facing {
             for token in NONDET_TOKENS {
-                if contains_token(&line.code, token) && !allowed(Rule::Nondet) {
+                if contains_token(&line.code, token) && !pragmas.allows(lines, i, Rule::Nondet) {
                     out.push(Diagnostic {
                         file: path.to_path_buf(),
                         line: lineno,
@@ -346,7 +647,7 @@ pub fn lint_source(
         // D2: hash-order iteration over Fx maps/sets.
         if sim_facing {
             if let Some(ident) = find_unordered_iteration(&line.code, &fx_idents) {
-                if !allowed(Rule::UnorderedIter) {
+                if !pragmas.allows(lines, i, Rule::UnorderedIter) {
                     out.push(Diagnostic {
                         file: path.to_path_buf(),
                         line: lineno,
@@ -365,7 +666,7 @@ pub fn lint_source(
         // P1: panic discipline in hot-path library code.
         if hot_path {
             for token in PANIC_TOKENS {
-                if contains_token(&line.code, token) && !allowed(Rule::Panic) {
+                if contains_token(&line.code, token) && !pragmas.allows(lines, i, Rule::Panic) {
                     out.push(Diagnostic {
                         file: path.to_path_buf(),
                         line: lineno,
@@ -384,7 +685,9 @@ pub fn lint_source(
         if instrumented {
             // O1a: counter state outside the Recorder.
             for token in DIRECT_COUNTER_TOKENS {
-                if contains_token(&line.code, token) && !allowed(Rule::DirectCounter) {
+                if contains_token(&line.code, token)
+                    && !pragmas.allows(lines, i, Rule::DirectCounter)
+                {
                     out.push(Diagnostic {
                         file: path.to_path_buf(),
                         line: lineno,
@@ -403,9 +706,9 @@ pub fn lint_source(
             if RECORDER_CALLS.iter().any(|t| contains_token(&line.code, t)) {
                 let gated_here =
                     line.code.contains("#[cfg(") || contains_token(&line.code, "cfg!(");
-                let gated_above = preceding_code_line(&lines, i)
+                let gated_above = preceding_code_line(lines, i)
                     .is_some_and(|l| l.code.trim_start().starts_with("#[cfg("));
-                if (gated_here || gated_above) && !allowed(Rule::CfgRecorder) {
+                if (gated_here || gated_above) && !pragmas.allows(lines, i, Rule::CfgRecorder) {
                     out.push(Diagnostic {
                         file: path.to_path_buf(),
                         line: lineno,
@@ -434,7 +737,7 @@ fn preceding_code_line(lines: &[LineView], i: usize) -> Option<&LineView> {
 /// file. A purely lexical approximation of type inference: it catches
 /// `let m: FxHashMap<..>`, struct fields, fn params, and
 /// `let m = FxHashMap::default()` / `..collect::<FxHashSet<..>>()`.
-fn collect_fx_idents(lines: &[LineView]) -> Vec<String> {
+pub(crate) fn collect_fx_idents(lines: &[LineView]) -> Vec<String> {
     let mut idents = Vec::new();
     for line in lines {
         let code = &line.code;
@@ -516,7 +819,7 @@ fn trailing_ident(text: &str) -> Option<String> {
 
 /// Finds an order-sensitive iteration over a known Fx identifier:
 /// `ident.iter()`, `for x in &ident`, `for x in ident`, etc.
-fn find_unordered_iteration(code: &str, fx_idents: &[String]) -> Option<String> {
+pub(crate) fn find_unordered_iteration(code: &str, fx_idents: &[String]) -> Option<String> {
     for ident in fx_idents {
         for call in ORDER_SENSITIVE_CALLS {
             let needle = format!("{ident}{call}");
@@ -571,39 +874,6 @@ fn has_safety_comment(lines: &[LineView], i: usize) -> bool {
         break;
     }
     false
-}
-
-/// True when line `i`, or any line of the contiguous comment-only block
-/// directly above it, carries a well-formed
-/// `qcplint: allow(<rule>) — <reason>` pragma naming `rule`. (Allowing
-/// the whole block lets the mandatory reason wrap across lines.)
-fn pragma_allows(lines: &[LineView], i: usize, rule: Rule) -> bool {
-    let check = |line: &LineView| {
-        parse_pragma(&line.comment)
-            .ok()
-            .flatten()
-            .is_some_and(|keys| keys.iter().any(|k| k == rule.key()))
-    };
-    if check(&lines[i]) {
-        return true;
-    }
-    let mut j = i;
-    while j > 0 {
-        j -= 1;
-        let line = &lines[j];
-        if !line.is_code_blank() || line.comment.trim().is_empty() {
-            break;
-        }
-        if check(line) {
-            return true;
-        }
-    }
-    false
-}
-
-/// `Err(msg)` when the comment holds a malformed pragma.
-fn pragma_error(comment: &str) -> Option<String> {
-    parse_pragma(comment).err()
 }
 
 /// Parses `qcplint: allow(a, b) — reason` out of comment text.
@@ -664,7 +934,7 @@ fn parse_pragma(comment: &str) -> Result<Option<Vec<String>>, String> {
 
 /// Per-line flags: true when the line sits inside a `#[cfg(test)]` (or
 /// test/bench-gated) region or a `#[test]`/`#[bench]` function.
-fn compute_test_regions(lines: &[LineView]) -> Vec<bool> {
+pub(crate) fn compute_test_regions(lines: &[LineView]) -> Vec<bool> {
     let mut flags = vec![false; lines.len()];
     let mut depth: i64 = 0;
     // Brace depths at which a test region was entered.

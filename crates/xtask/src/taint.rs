@@ -1,0 +1,699 @@
+//! Cross-crate taint analysis (qcplint's workspace half).
+//!
+//! The per-file rules in [`crate::rules`] are scoped by crate lists: D1
+//! only fires in sim-facing crates, P1 only in hot-path crates. That
+//! scoping is exactly what a helper crate exploits by accident — a
+//! `util` function may call `Instant::now` freely, and the per-file pass
+//! stays silent even when a sim-facing `pub fn` calls that helper on
+//! every trial. This module closes those blind spots with four rule
+//! families built on [`crate::parser`] + [`crate::callgraph`]:
+//!
+//! * **D3 `seed-stream-alias`** — two stateless-hash draw sites
+//!   (`mix64` / `child_seed` xor-tags, `Pcg64::with_stream` stream
+//!   selectors) keyed by the same *raw hex-literal* domain tag. Equal
+//!   tags mean equal streams for equal seeds: logically independent
+//!   draws silently correlate. Named constants are exempt by
+//!   construction — hoisting a shared tag into one named `const` is the
+//!   prescribed remediation for *intentional* sharing, and the named
+//!   form is self-documenting where a duplicated literal is a typo
+//!   waiting to happen.
+//! * **D4 `transitive-nondet`** — a D1/D2 source in a crate the
+//!   per-file pass exempts, reachable from a sim-facing `pub fn`.
+//! * **P2 `panic-reachable`** — an unaudited panic site in a crate P1
+//!   exempts, reachable from a hot-path `pub fn`.
+//! * **F1 `float-reduce-order`** — f64 accumulation flowing into a
+//!   `qcp-xpar` `par_reduce`, whose chunk grouping depends on pool
+//!   width: float addition is non-associative, so the merged sum can
+//!   differ bit-for-bit across thread counts. Fix: `par_map` the chunks
+//!   and fold them sequentially in index order.
+//!
+//! Sources already audited with the base-rule pragma
+//! (`allow(nondet)` / `allow(unordered-iter)` / `allow(panic)`) do not
+//! propagate — the audit at the source covers every caller, and the
+//! lookup marks the pragma used so W1 stale detection sees it. The
+//! taint-rule pragmas (`allow(transitive-nondet)` etc.) waive a
+//! specific finding at its reported site.
+//!
+//! Vendored dependency stubs (`vendor/`) and test code are invisible
+//! here: they are not simulation semantics.
+
+use crate::callgraph::{CallGraph, GraphInput};
+use crate::lexer::contains_token;
+use crate::parser::call_arg_text;
+use crate::rules::{Diagnostic, FileKind, LintConfig, Rule, NONDET_TOKENS, PANIC_TOKENS};
+use crate::FileRecord;
+use std::collections::BTreeMap;
+
+/// Runs all cross-crate rule families over the loaded workspace.
+///
+/// Pragma lookups route through each file's [`crate::rules::PragmaSet`]
+/// so source audits count as pragma *uses* for W1.
+pub fn analyze(files: &mut [FileRecord], cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // The call graph over non-vendor, non-test library code.
+    let graph = build_graph(files);
+
+    out.extend(seed_stream_alias(files));
+    out.extend(reachability_family(
+        files,
+        &graph,
+        &ReachSpec {
+            rule: Rule::TransitiveNondet,
+            entry_crates: &cfg.sim_facing,
+            what: "nondeterminism source",
+        },
+    ));
+    out.extend(reachability_family(
+        files,
+        &graph,
+        &ReachSpec {
+            rule: Rule::PanicReachable,
+            entry_crates: &cfg.hot_path,
+            what: "panic site",
+        },
+    ));
+    out.extend(float_reduce_order(files));
+    out
+}
+
+/// True when this file participates in cross-crate analysis at all.
+///
+/// `xtask` itself is excluded like vendor code: no workspace crate
+/// links against the lint tool, so any edge into it is a resolution
+/// artifact of the name-based over-approximation, not a real call.
+fn analyzable(rec: &FileRecord) -> bool {
+    rec.ctx.kind == FileKind::Lib && !rec.rel.starts_with("vendor") && rec.ctx.crate_name != "xtask"
+}
+
+/// True when line `i` of `rec` is live library code (not a test region).
+fn live_line(rec: &FileRecord, i: usize) -> bool {
+    !rec.test_lines.get(i).copied().unwrap_or(false)
+}
+
+/// Assembles the workspace call graph, excluding vendor stubs, test
+/// files, and fns whose declaration sits inside a `#[cfg(test)]` region.
+fn build_graph(files: &[FileRecord]) -> CallGraph {
+    let mut inputs = Vec::new();
+    for (fi, rec) in files.iter().enumerate() {
+        if !analyzable(rec) {
+            continue;
+        }
+        let skip_fn = rec
+            .parsed
+            .fns
+            .iter()
+            .map(|f| !live_line(rec, f.decl_line))
+            .collect();
+        inputs.push(GraphInput {
+            file: fi,
+            krate: &rec.ctx.crate_name,
+            parsed: &rec.parsed,
+            skip_fn,
+        });
+    }
+    CallGraph::build(&inputs)
+}
+
+/// The innermost fn of `rec` whose body covers line `i`, as a graph key.
+fn enclosing_fn(rec: &FileRecord, i: usize) -> Option<&str> {
+    rec.parsed
+        .fns
+        .iter()
+        .filter(|f| f.body.contains(&i))
+        .min_by_key(|f| f.body.len())
+        .map(|f| f.name.as_str())
+}
+
+/// Calls through which draw-site domain tags flow, and how the tag is
+/// attached: `Xor` tags sit xor-adjacent inside the argument
+/// (`mix64(seed ^ 0xTAG)`), `Stream` tags are the literal second
+/// argument (`Pcg64::with_stream(seed, 0xTAG)`). The two classes hash
+/// differently, so equal values across classes do not alias.
+const DRAW_CALLS: &[(&str, TagClass)] = &[
+    ("mix64", TagClass::Xor),
+    ("child_seed", TagClass::Xor),
+    ("with_stream", TagClass::Stream),
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TagClass {
+    Xor,
+    Stream,
+}
+
+/// D3: raw hex-literal domain tags shared across draw sites.
+fn seed_stream_alias(files: &mut [FileRecord]) -> Vec<Diagnostic> {
+    // (class, tag value) -> sites as (file index, 0-based line).
+    let mut sites: BTreeMap<(TagClass, u128), Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, rec) in files.iter().enumerate() {
+        if !analyzable(rec) {
+            continue;
+        }
+        for i in 0..rec.lines.len() {
+            if !live_line(rec, i) {
+                continue;
+            }
+            for &(callee, class) in DRAW_CALLS {
+                for open in call_sites(&rec.lines[i].code, callee) {
+                    let (args, _) = call_arg_text(&rec.lines, i, open);
+                    for tag in extract_tags(&args, class) {
+                        let entry = sites.entry((class, tag)).or_default();
+                        if !entry.contains(&(fi, i)) {
+                            entry.push((fi, i));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((_, tag), mut group) in sites {
+        if group.len() < 2 {
+            continue;
+        }
+        // Deterministic anchor: the lexically first site keeps the tag;
+        // every later duplicate is flagged.
+        group.sort_by(|a, b| (&files[a.0].rel, a.1).cmp(&(&files[b.0].rel, b.1)));
+        let (afi, ai) = group[0];
+        let anchor = format!("{}:{}", files[afi].rel.display(), ai + 1);
+        for &(fi, i) in &group[1..] {
+            let rec = &mut files[fi];
+            if rec.pragmas.allows(&rec.lines, i, Rule::SeedStreamAlias) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: rec.rel.clone(),
+                line: i + 1,
+                rule: Rule::SeedStreamAlias,
+                message: format!(
+                    "draw site reuses domain tag {tag:#x} already used at {anchor}; \
+                     equal (seed, tag) pairs alias the stateless-hash stream — pick a \
+                     fresh tag, or hoist the shared value into one named const if the \
+                     coupling is intentional"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Byte offsets of `(` for each boundary-checked call of `callee` in `code`.
+fn call_sites(code: &str, callee: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(callee) {
+        let at = start + pos;
+        start = at + callee.len();
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &code[at + callee.len()..];
+        if before_ok && after.starts_with('(') {
+            out.push(at + callee.len());
+        }
+    }
+    out
+}
+
+/// Extracts domain-tag values from one call's argument text.
+fn extract_tags(args: &str, class: TagClass) -> Vec<u128> {
+    match class {
+        // Every hex literal immediately adjacent to a `^`, on either side.
+        TagClass::Xor => {
+            let mut out = Vec::new();
+            for (idx, _) in args.match_indices('^') {
+                if let Some(v) = hex_literal_at(args[idx + 1..].trim_start()) {
+                    out.push(v);
+                }
+                if let Some(v) = hex_literal_ending(args[..idx].trim_end()) {
+                    out.push(v);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        // The second top-level argument, when it is a bare hex literal.
+        TagClass::Stream => {
+            let second = split_top_level(args).into_iter().nth(1);
+            second
+                .and_then(|a| hex_literal_exact(a.trim()))
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+/// Splits argument text on top-level commas (paren/bracket-aware).
+fn split_top_level(args: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (idx, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&args[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&args[start..]);
+    out
+}
+
+/// Parses a hex literal starting exactly at the head of `s`.
+fn hex_literal_at(s: &str) -> Option<u128> {
+    let body = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"))?;
+    let digits: String = body
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    // A type suffix (`u64`) may follow; anything alphanumeric that is
+    // not a hex digit ends the literal, which is fine for tag purposes.
+    if digits.is_empty() {
+        None
+    } else {
+        u128::from_str_radix(&digits, 16).ok()
+    }
+}
+
+/// Parses a hex literal ending exactly at the tail of `s`.
+fn hex_literal_ending(s: &str) -> Option<u128> {
+    let end = s.len();
+    let mut start = end;
+    while start > 0 && {
+        let c = s.as_bytes()[start - 1] as char;
+        c.is_ascii_hexdigit() || c == '_'
+    } {
+        start -= 1;
+    }
+    let with_prefix = s[..start].ends_with("0x") || s[..start].ends_with("0X");
+    if !with_prefix {
+        return None;
+    }
+    hex_literal_at(&s[start - 2..])
+}
+
+/// Parses a string that is exactly one hex literal (optional suffix).
+fn hex_literal_exact(s: &str) -> Option<u128> {
+    let v = hex_literal_at(s)?;
+    // Reject expressions: everything after the digits must be a numeric
+    // type suffix.
+    let body = &s[2..];
+    let rest: String = body
+        .chars()
+        .skip_while(|c| c.is_ascii_hexdigit() || *c == '_')
+        .collect();
+    matches!(rest.as_str(), "" | "u64" | "u128" | "u32").then_some(v)
+}
+
+/// One reachability-style family (D4 / P2): sources in exempt crates,
+/// entries in covered crates, diagnostics where the two meet.
+struct ReachSpec<'a> {
+    rule: Rule,
+    entry_crates: &'a [String],
+    what: &'static str,
+}
+
+fn reachability_family(
+    files: &mut [FileRecord],
+    graph: &CallGraph,
+    spec: &ReachSpec<'_>,
+) -> Vec<Diagnostic> {
+    // Entry points: pub fns of covered crates.
+    let entries: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_pub && spec.entry_crates.contains(&n.krate))
+        .map(|(i, _)| i)
+        .collect();
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let (dist, parent) = graph.reach(&entries);
+
+    let mut out = Vec::new();
+    for rec in files.iter_mut() {
+        if !analyzable(rec) || spec.entry_crates.contains(&rec.ctx.crate_name) {
+            // Sources inside covered crates are the per-file rules' job.
+            continue;
+        }
+        let krate = rec.ctx.crate_name.clone();
+        for i in 0..rec.lines.len() {
+            if !live_line(rec, i) {
+                continue;
+            }
+            let Some(token) = source_token_at(rec, i, spec.rule) else {
+                continue;
+            };
+            // An audited base-rule pragma at the source covers every
+            // caller (and counts as a pragma use for W1).
+            if audited_at_source(rec, i, spec.rule) {
+                continue;
+            }
+            let Some(node) = enclosing_fn(rec, i).and_then(|f| graph.lookup(&krate, f)) else {
+                continue;
+            };
+            if dist[node] == usize::MAX {
+                continue;
+            }
+            if rec.pragmas.allows(&rec.lines, i, spec.rule) {
+                continue;
+            }
+            let path = graph.path_to(&parent, node);
+            out.push(Diagnostic {
+                file: rec.rel.clone(),
+                line: i + 1,
+                rule: spec.rule,
+                message: format!(
+                    "`{token}` is a {what} reachable from entry path {path}; the \
+                     per-file pass exempts crate `{krate}`, but callers inherit the \
+                     hazard — fix it here, or audit with \
+                     `// qcplint: allow({base}) — <reason>`",
+                    what = spec.what,
+                    base = base_rule_keys(spec.rule),
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The offending token at line `i`, if this line is a source for `rule`.
+fn source_token_at(rec: &FileRecord, i: usize, rule: Rule) -> Option<String> {
+    let code = &rec.lines[i].code;
+    match rule {
+        Rule::TransitiveNondet => {
+            for token in NONDET_TOKENS {
+                if contains_token(code, token) {
+                    return Some((*token).to_string());
+                }
+            }
+            let fx = crate::rules::collect_fx_idents(&rec.lines);
+            crate::rules::find_unordered_iteration(code, &fx)
+                .map(|ident| format!("hash-order iteration over `{ident}`"))
+        }
+        Rule::PanicReachable => PANIC_TOKENS
+            .iter()
+            .find(|t| contains_token(code, t))
+            .map(|t| (*t).to_string()),
+        _ => None,
+    }
+}
+
+/// True when the base per-file rule is pragma-audited at the source.
+fn audited_at_source(rec: &mut FileRecord, i: usize, rule: Rule) -> bool {
+    match rule {
+        Rule::TransitiveNondet => {
+            rec.pragmas.allows(&rec.lines, i, Rule::Nondet)
+                || rec.pragmas.allows(&rec.lines, i, Rule::UnorderedIter)
+        }
+        Rule::PanicReachable => rec.pragmas.allows(&rec.lines, i, Rule::Panic),
+        _ => false,
+    }
+}
+
+/// The base-rule pragma key(s) that audit a source for `rule`.
+fn base_rule_keys(rule: Rule) -> &'static str {
+    match rule {
+        Rule::TransitiveNondet => "nondet",
+        Rule::PanicReachable => "panic",
+        _ => "",
+    }
+}
+
+/// F1: f64 data flowing into a thread-width-dependent parallel reduce.
+fn float_reduce_order(files: &mut [FileRecord]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rec in files.iter_mut() {
+        if !analyzable(rec) {
+            continue;
+        }
+        for i in 0..rec.lines.len() {
+            if !live_line(rec, i) {
+                continue;
+            }
+            for open in call_sites(&rec.lines[i].code, "par_reduce") {
+                let (args, _) = call_arg_text(&rec.lines, i, open);
+                if !(contains_token(&args, "f64") || has_float_literal(&args)) {
+                    continue;
+                }
+                if rec.pragmas.allows(&rec.lines, i, Rule::FloatReduceOrder) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: rec.rel.clone(),
+                    line: i + 1,
+                    rule: Rule::FloatReduceOrder,
+                    message: "f64 accumulation in `par_reduce`: chunk grouping depends \
+                              on pool width and float addition is non-associative, so \
+                              the merged value can differ across thread counts; use \
+                              `par_map` + a sequential fold in index order (or integer \
+                              accumulation), or annotate \
+                              `// qcplint: allow(float-reduce-order) — <reason>`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when `text` holds a float literal (`digit . digit`).
+fn has_float_literal(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    bytes
+        .windows(3)
+        .any(|w| w[1] == b'.' && w[0].is_ascii_digit() && w[2].is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+    use crate::parser::parse_file;
+    use crate::rules::{FileContext, PragmaSet};
+    use std::path::PathBuf;
+
+    fn record(rel: &str, krate: &str, src: &str) -> FileRecord {
+        let lines = split_lines(src);
+        let parsed = parse_file(&lines);
+        let pragmas = PragmaSet::collect(&lines);
+        let test_lines = crate::rules::compute_test_regions(&lines);
+        FileRecord {
+            rel: PathBuf::from(rel),
+            ctx: FileContext {
+                crate_name: krate.to_string(),
+                kind: FileKind::Lib,
+                is_crate_root: false,
+            },
+            lines,
+            parsed,
+            pragmas,
+            test_lines,
+        }
+    }
+
+    fn keys(diags: &[Diagnostic]) -> Vec<(&'static str, String, usize)> {
+        diags
+            .iter()
+            .map(|d| (d.rule.key(), d.file.display().to_string(), d.line))
+            .collect()
+    }
+
+    #[test]
+    fn d3_flags_shared_raw_tags_across_files() {
+        let mut files = vec![
+            record(
+                "crates/sketch/src/a.rs",
+                "sketch",
+                "pub fn h1(k: u64) -> u64 {\n    mix64(k ^ 0x9e37_79b9)\n}\n",
+            ),
+            record(
+                "crates/faults/src/b.rs",
+                "faults",
+                "pub fn h2(k: u64) -> u64 {\n    mix64(k ^ 0x9e3779b9)\n}\n",
+            ),
+        ];
+        // Sites sort by path: faults/ is the anchor, sketch/ is flagged.
+        let out = seed_stream_alias(&mut files);
+        assert_eq!(
+            keys(&out),
+            vec![("seed-stream-alias", "crates/sketch/src/a.rs".into(), 2)]
+        );
+        assert!(out[0].message.contains("crates/faults/src/b.rs:2"));
+    }
+
+    #[test]
+    fn d3_named_consts_and_distinct_tags_are_exempt() {
+        let mut files = vec![
+            record(
+                "crates/a/src/x.rs",
+                "a",
+                "pub fn h(k: u64) -> u64 {\n    mix64(k ^ TAG_A)\n}\npub fn g(k: u64) -> u64 {\n    mix64(k ^ TAG_A)\n}\n",
+            ),
+            record(
+                "crates/b/src/y.rs",
+                "b",
+                "pub fn h(k: u64) -> u64 {\n    mix64(k ^ 0x1111)\n}\npub fn g(k: u64) -> u64 {\n    mix64(k ^ 0x2222)\n}\n",
+            ),
+        ];
+        assert!(seed_stream_alias(&mut files).is_empty());
+    }
+
+    #[test]
+    fn d3_stream_class_does_not_alias_xor_class() {
+        let mut files = vec![record(
+            "crates/a/src/x.rs",
+            "a",
+            "pub fn h(seed: u64) {\n    let r = Pcg64::with_stream(seed, 0xabcd);\n    let t = mix64(seed ^ 0xabcd);\n}\n",
+        )];
+        assert!(seed_stream_alias(&mut files).is_empty());
+    }
+
+    #[test]
+    fn d3_pragma_waives_the_later_site() {
+        let mut files = vec![record(
+            "crates/a/src/x.rs",
+            "a",
+            "pub fn h(k: u64) -> u64 {\n    mix64(k ^ 0x5555)\n}\npub fn g(k: u64) -> u64 {\n    // qcplint: allow(seed-stream-alias) — deliberate paired stream\n    mix64(k ^ 0x5555)\n}\n",
+        )];
+        assert!(seed_stream_alias(&mut files).is_empty());
+        assert_eq!(files[0].pragmas.stale().count(), 0);
+    }
+
+    #[test]
+    fn d4_reaches_helper_crates_from_sim_entries() {
+        let mut files = vec![
+            record(
+                "crates/overlay/src/lib.rs",
+                "overlay",
+                "use qcp_util::tick;\npub fn run_trial(seed: u64) {\n    tick();\n}\n",
+            ),
+            record(
+                "crates/util/src/time.rs",
+                "util",
+                "pub fn tick() {\n    let t = Instant::now();\n}\n",
+            ),
+        ];
+        let cfg = LintConfig::default();
+        let graph = build_graph(&files);
+        let out = reachability_family(
+            &mut files,
+            &graph,
+            &ReachSpec {
+                rule: Rule::TransitiveNondet,
+                entry_crates: &cfg.sim_facing,
+                what: "nondeterminism source",
+            },
+        );
+        assert_eq!(
+            keys(&out),
+            vec![("transitive-nondet", "crates/util/src/time.rs".into(), 2)]
+        );
+        assert!(out[0].message.contains("overlay::run_trial -> util::tick"));
+    }
+
+    #[test]
+    fn d4_audited_source_and_unreachable_source_stay_silent() {
+        let mut files = vec![
+            record(
+                "crates/overlay/src/lib.rs",
+                "overlay",
+                "use qcp_util::tick;\npub fn run_trial(seed: u64) {\n    tick();\n}\n",
+            ),
+            record(
+                "crates/util/src/time.rs",
+                "util",
+                "pub fn tick() {\n    // qcplint: allow(nondet) — wall clock feeds logging only\n    let t = Instant::now();\n}\npub fn island() {\n    let t = Instant::now();\n}\n",
+            ),
+        ];
+        let cfg = LintConfig::default();
+        let graph = build_graph(&files);
+        let out = reachability_family(
+            &mut files,
+            &graph,
+            &ReachSpec {
+                rule: Rule::TransitiveNondet,
+                entry_crates: &cfg.sim_facing,
+                what: "nondeterminism source",
+            },
+        );
+        assert!(out.is_empty(), "audited + unreachable: {out:?}");
+        // The audit counted as a pragma use.
+        assert_eq!(files[1].pragmas.stale().count(), 0);
+    }
+
+    #[test]
+    fn p2_reaches_panics_in_exempt_crates() {
+        let mut files = vec![
+            record(
+                "crates/search/src/lib.rs",
+                "search",
+                "use qcp_util::pick;\npub fn walk(seed: u64) {\n    pick();\n}\n",
+            ),
+            record(
+                "crates/util/src/sel.rs",
+                "util",
+                "pub fn pick() {\n    let v = table().last().unwrap();\n}\nfn table() -> Vec<u32> { Vec::new() }\n",
+            ),
+        ];
+        let cfg = LintConfig::default();
+        let graph = build_graph(&files);
+        let out = reachability_family(
+            &mut files,
+            &graph,
+            &ReachSpec {
+                rule: Rule::PanicReachable,
+                entry_crates: &cfg.hot_path,
+                what: "panic site",
+            },
+        );
+        assert_eq!(
+            keys(&out),
+            vec![("panic-reachable", "crates/util/src/sel.rs".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn f1_flags_float_reduce_and_honors_pragma() {
+        let mut files = vec![record(
+            "crates/analysis/src/sum.rs",
+            "analysis",
+            "pub fn total(pool: &Pool, xs: &[f64]) -> f64 {\n    pool.par_reduce(xs, 0.0, |a, b| a + b)\n}\npub fn count(pool: &Pool, xs: &[u64]) -> u64 {\n    pool.par_reduce(xs, 0, |a, b| a + b)\n}\npub fn waived(pool: &Pool, xs: &[f64]) -> f64 {\n    // qcplint: allow(float-reduce-order) — Kahan-compensated merge\n    pool.par_reduce(xs, 0.0f64, |a, b| a + b)\n}\n",
+        )];
+        let out = float_reduce_order(&mut files);
+        assert_eq!(
+            keys(&out),
+            vec![("float-reduce-order", "crates/analysis/src/sum.rs".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn tag_extraction_shapes() {
+        assert_eq!(
+            extract_tags("self.seed ^ 0x10f5_ed6e ^ edge_key(u, v)", TagClass::Xor),
+            vec![0x10f5_ed6e]
+        );
+        assert_eq!(extract_tags("0xdead ^ seed", TagClass::Xor), vec![0xdead]);
+        // wrapping_mul factors and plain literals are not tags.
+        assert!(extract_tags("seed.wrapping_mul(0xa076_1d64)", TagClass::Xor).is_empty());
+        assert_eq!(
+            extract_tags(
+                "config.seed ^ mix64(node as u64), 0xc8de_5e55",
+                TagClass::Stream
+            ),
+            vec![0xc8de_5e55]
+        );
+        assert!(extract_tags("seed, stream_var", TagClass::Stream).is_empty());
+    }
+}
