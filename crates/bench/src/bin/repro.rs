@@ -8,8 +8,9 @@
 //! ```
 //!
 //! Artifacts: fig1..fig8, fig8-churn, table1..table3, ablation-synopsis,
-//! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk, and
-//! `bench` (the Figure-8 perf-trajectory harness; not part of `all`).
+//! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk,
+//! `profile`, `latency` (the deadline grid on the virtual-time engine),
+//! and `bench` (the Figure-8 perf-trajectory harness; not part of `all`).
 
 #![forbid(unsafe_code)]
 

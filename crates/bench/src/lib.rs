@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod fig8churn;
 pub mod figures;
+pub mod latency;
 pub mod profile;
 pub mod rows;
 pub mod soak;
@@ -139,6 +140,7 @@ impl Repro {
             "ablation-structured" => ablations::structured(self),
             "ablation-adaptation" => ablations::adaptation(self),
             "profile" => profile::profile(self),
+            "latency" => latency::latency(self),
             "bench" => timing::bench(self),
             // qcplint: allow(panic) — CLI contract: unknown ids fail fast.
             other => panic!("unknown artifact '{other}'"),
@@ -170,6 +172,7 @@ impl Repro {
             "ablation-structured",
             "ablation-adaptation",
             "profile",
+            "latency",
         ]
     }
 }

@@ -34,6 +34,7 @@ pub use qcp_sketch as sketch;
 pub use qcp_terms as terms;
 pub use qcp_tracegen as tracegen;
 pub use qcp_util as util;
+pub use qcp_vtime as vtime;
 pub use qcp_xpar as xpar;
 pub use qcp_zipf as zipf;
 

@@ -25,6 +25,7 @@ use crate::ring::{in_interval_oc, in_interval_oo};
 use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
 use qcp_obs::{Counter, Event, Kernel, Recorder};
 use qcp_util::hash::mix64;
+use qcp_vtime::Calendar;
 
 /// Number of finger-table entries (ring is 2^64).
 pub const FINGER_BITS: usize = 64;
@@ -52,6 +53,39 @@ pub struct FaultyLookupResult {
     pub hops: u32,
     /// Total transmissions, including retries and wasted probes.
     pub messages: u64,
+}
+
+/// Result of a virtual-time lookup ([`ChordNetwork::lookup_timed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedLookupResult {
+    /// The resolved owner, or `None` when routing failed or the cutoff
+    /// landed first.
+    pub owner: Option<u32>,
+    /// Successful routing hops taken.
+    pub hops: u32,
+    /// Total transmissions, including retries and abandoned attempts.
+    pub messages: u64,
+    /// Virtual time the lookup consumed: link latencies of delivered
+    /// replies plus every timeout waited out (the cutoff, when
+    /// truncated).
+    pub elapsed: u64,
+    /// Whether the `cutoff` stopped the lookup before it resolved.
+    pub truncated: bool,
+}
+
+/// Tie-break keys for the per-attempt reply/timer race on the calendar:
+/// at an exact tie the reply pops first — a reply landing on the
+/// timeout tick is accepted, the retry is not fired.
+const REPLY_TIE: u64 = 0;
+const TIMER_TIE: u64 = 1;
+
+/// One in-flight race entry of [`ChordNetwork::lookup_timed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Wire {
+    /// The candidate's response to a delivered transmission.
+    Reply,
+    /// The sender's retransmission timer.
+    Timer,
 }
 
 /// A Chord network of simulated nodes.
@@ -382,6 +416,162 @@ impl ChordNetwork {
         rec.rec_faults(Kernel::ChordLookup, &stats);
         if result.owner.is_some() {
             rec.rec_hop(Kernel::ChordLookup, result.hops, 1);
+            rec.rec_event(Kernel::ChordLookup, Event::Hit);
+        } else {
+            rec.rec_event(Kernel::ChordLookup, Event::Miss);
+        }
+        (result, stats)
+    }
+
+    /// Virtual-time fault-aware lookup: [`Self::lookup_faulty`] with the
+    /// timeout expiry made *real* on the `qcp-vtime` calendar.
+    ///
+    /// Per attempt the router schedules two events: the candidate's
+    /// reply at `now + plan.latency(current, cand)` (only when the
+    /// candidate is alive and the transmission is not dropped) and the
+    /// retransmission timer at `now + policy.timeout_for(attempt,
+    /// nonce)` (jittered when the policy carries a jitter seed). The
+    /// earlier event wins the race:
+    ///
+    /// * **reply first** — the hop is delivered and the pending timer is
+    ///   abandoned;
+    /// * **timer first** — the attempt is charged
+    ///   ([`FaultStats::dropped`] / [`FaultStats::dead_targets`] when the
+    ///   message actually went missing; *nothing* when a slow reply was
+    ///   merely outrun — that abandoned attempt is why the timed path's
+    ///   identity relaxes to `dropped <= retries + timeouts`) and the
+    ///   policy's ladder decides between a retry and a hop timeout.
+    ///
+    /// Dead candidates never reply, so — unlike the instant-timeout
+    /// path, which discovers departure in one probe — they cost the
+    /// *full* retry ladder before exclusion, one `dead_targets` entry
+    /// per attempt. `cutoff` (relative to the lookup's start) truncates
+    /// the lookup when the next event would land past it.
+    ///
+    /// Elapsed virtual time is `Calendar::now` at exit and is also
+    /// stored in [`FaultStats::ticks`].
+    #[allow(clippy::too_many_arguments)] // mirrors `lookup_faulty` + the cutoff
+    pub fn lookup_timed(
+        &self,
+        from: u32,
+        key: u64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        time: u64,
+        nonce: u64,
+        cutoff: Option<u64>,
+    ) -> (TimedLookupResult, FaultStats) {
+        assert_eq!(plan.num_nodes(), self.len(), "plan must cover the ring");
+        let mut stats = FaultStats::default();
+        let mut result = TimedLookupResult {
+            owner: None,
+            hops: 0,
+            messages: 0,
+            elapsed: 0,
+            truncated: false,
+        };
+        if !plan.alive_at(from, time) {
+            return (result, stats);
+        }
+        let Some(owner) = self.first_alive_successor_at(key, plan, time) else {
+            return (result, stats);
+        };
+        let owner_id = self.ids[owner as usize];
+        let mut cal: Calendar<Wire> = Calendar::new();
+        let mut current = from;
+        // Fingers ruled out for this lookup (timed out or found dead).
+        let mut excluded: Vec<u32> = Vec::new();
+        'route: while current != owner {
+            let Some(cand) = self.next_hop_candidate(current, owner_id, &excluded) else {
+                break 'route; // every route to the owner is excluded
+            };
+            let alive = plan.alive_at(cand, time);
+            let mut attempt = 0u32;
+            loop {
+                result.messages += 1;
+                let dropped = alive && plan.drop_message(current, cand, nonce, result.messages);
+                if alive && !dropped {
+                    cal.schedule_after(plan.latency(current, cand), REPLY_TIE, Wire::Reply);
+                }
+                cal.schedule_after(policy.timeout_for(attempt, nonce), TIMER_TIE, Wire::Timer);
+                // qcplint: allow(panic) — a timer was scheduled just above.
+                let next_t = cal.peek_time().expect("a timer is always pending");
+                if cutoff.is_some_and(|c| next_t > c) {
+                    result.truncated = true;
+                    // qcplint: allow(panic) — truncation is set only under `Some`.
+                    result.elapsed = cutoff.expect("truncation implies a cutoff");
+                    stats.ticks = result.elapsed;
+                    return (result, stats);
+                }
+                // qcplint: allow(panic) — a timer was scheduled just above.
+                let (_, ev) = cal.pop().expect("a timer is always pending");
+                // The race is decided: abandon the loser (the timer
+                // after a delivery, or a reply slower than the timer).
+                cal.clear();
+                match ev {
+                    Wire::Reply => {
+                        current = cand;
+                        result.hops += 1;
+                        break;
+                    }
+                    Wire::Timer => {
+                        if !alive {
+                            stats.dead_targets += 1;
+                        } else if dropped {
+                            stats.dropped += 1;
+                        }
+                        if attempt >= policy.max_retries {
+                            stats.timeouts += 1;
+                            if cand == owner {
+                                // The destination itself is unreachable:
+                                // no repair can route around the owner.
+                                break 'route;
+                            }
+                            excluded.push(cand);
+                            break;
+                        }
+                        attempt += 1;
+                        stats.retries += 1;
+                    }
+                }
+            }
+            debug_assert!(
+                (result.hops as usize) <= 2 * self.len() + FINGER_BITS,
+                "timed routing loop"
+            );
+        }
+        if current == owner {
+            result.owner = Some(owner);
+        }
+        result.elapsed = cal.now();
+        stats.ticks = result.elapsed;
+        (result, stats)
+    }
+
+    /// [`Self::lookup_timed`] with an explicit [`Recorder`]. Same
+    /// write-only, record-after contract as [`Self::lookup_faulty_rec`];
+    /// successful lookups additionally record their elapsed virtual time
+    /// in the [`Kernel::ChordLookup`] latency histogram
+    /// ([`Recorder::rec_time`]).
+    #[allow(clippy::too_many_arguments)] // mirrors lookup_timed plus the recorder
+    pub fn lookup_timed_rec<R: Recorder>(
+        &self,
+        from: u32,
+        key: u64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        time: u64,
+        nonce: u64,
+        cutoff: Option<u64>,
+        rec: &mut R,
+    ) -> (TimedLookupResult, FaultStats) {
+        let (result, stats) = self.lookup_timed(from, key, plan, policy, time, nonce, cutoff);
+        rec.rec_span(Kernel::ChordLookup);
+        rec.rec_count(Kernel::ChordLookup, Counter::Messages, result.messages);
+        rec.rec_faults(Kernel::ChordLookup, &stats);
+        if result.owner.is_some() {
+            rec.rec_hop(Kernel::ChordLookup, result.hops, 1);
+            rec.rec_time(Kernel::ChordLookup, result.elapsed, 1);
             rec.rec_event(Kernel::ChordLookup, Event::Hit);
         } else {
             rec.rec_event(Kernel::ChordLookup, Event::Miss);
@@ -1337,6 +1527,7 @@ mod faulty_tests {
             max_retries: 0,
             base_timeout: 4,
             backoff: 2,
+            jitter: None,
         };
         let mut total = FaultStats::default();
         for k in 0..40u64 {
@@ -1345,6 +1536,192 @@ mod faulty_tests {
         }
         assert_eq!(total.retries, 0, "fail-fast policy never retries");
         assert_eq!(total.dropped, total.timeouts);
+    }
+}
+
+#[cfg(test)]
+mod timed_tests {
+    //! Virtual-time lookup: the reply/timer race, the relaxed
+    //! accounting identity, and deadline truncation.
+    use super::*;
+    use qcp_faults::FaultConfig;
+
+    #[test]
+    fn none_plan_timed_lookup_matches_the_oracle_with_unit_latency() {
+        let net = ChordNetwork::new(256, 50);
+        let plan = FaultPlan::none(256);
+        let policy = RetryPolicy::default();
+        for k in 0..60u64 {
+            let key = mix64(k ^ 0x71);
+            let (r, stats) = net.lookup_timed(7, key, &plan, &policy, 0, k, None);
+            assert_eq!(r.owner, Some(net.successor_of_key(key)));
+            assert!(!r.truncated);
+            // Unit latency, no loss: every message is a delivered hop
+            // and each hop costs exactly one tick.
+            assert_eq!(r.messages, r.hops as u64);
+            assert_eq!(r.elapsed, r.hops as u64);
+            assert_eq!(stats.ticks, r.elapsed);
+            assert_eq!(stats.wasted(), 0);
+            assert_eq!(stats.retries + stats.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn timer_outruns_slow_replies_relaxing_the_drop_identity() {
+        // No loss, no churn — but mean latency 8 makes many replies
+        // slower than the first (4-tick) timeout. Those attempts are
+        // abandoned, not dropped: retries happen with dropped == 0,
+        // the timed path's relaxed identity.
+        let net = ChordNetwork::new(256, 51);
+        let plan = FaultPlan::build(
+            256,
+            &FaultConfig {
+                loss: 0.0,
+                churn: 0.0,
+                mean_latency: 8,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        let mut total = FaultStats::default();
+        for k in 0..40u64 {
+            let key = mix64(k ^ 0x9a);
+            let (r, stats) = net.lookup_timed((k % 256) as u32, key, &plan, &policy, 0, k, None);
+            total.absorb(&stats);
+            assert_eq!(r.owner, Some(net.successor_of_key(key)), "k {k}");
+            assert!(r.messages >= r.hops as u64 + stats.wasted());
+        }
+        assert_eq!(total.dropped, 0, "no loss configured");
+        assert!(total.retries > 0, "slow replies must be outrun");
+        assert!(total.dropped <= total.retries + total.timeouts);
+    }
+
+    #[test]
+    fn dead_candidates_cost_the_full_retry_ladder() {
+        // Loss 0 + churn: the only timer fires are dead candidates, and
+        // each costs exactly (max_retries + 1) silent attempts before
+        // its single hop timeout.
+        let net = ChordNetwork::new(200, 52);
+        let plan = FaultPlan::build(
+            200,
+            &FaultConfig {
+                loss: 0.0,
+                churn: 0.5,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        let mut total = FaultStats::default();
+        for t in [0u64, 200, 700] {
+            for k in 0..40u64 {
+                let (_, stats) =
+                    net.lookup_timed((k % 200) as u32, mix64(k ^ t), &plan, &policy, t, k, None);
+                total.absorb(&stats);
+            }
+        }
+        assert!(total.dead_targets > 0, "50% churn must hit dead fingers");
+        assert_eq!(total.dropped, 0);
+        assert_eq!(
+            total.dead_targets,
+            (policy.max_retries as u64 + 1) * total.timeouts,
+            "each dead candidate runs the whole ladder"
+        );
+    }
+
+    #[test]
+    fn cutoff_truncates_at_the_deadline() {
+        let net = ChordNetwork::new(256, 53);
+        let plan = FaultPlan::build(
+            256,
+            &FaultConfig {
+                loss: 0.0,
+                churn: 0.0,
+                mean_latency: 6,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        let key = mix64(0xdead);
+        let (full, _) = net.lookup_timed(3, key, &plan, &policy, 0, 1, None);
+        assert!(full.owner.is_some());
+        if full.elapsed > 1 {
+            let cutoff = full.elapsed / 2;
+            let (cut, stats) = net.lookup_timed(3, key, &plan, &policy, 0, 1, Some(cutoff));
+            assert!(cut.truncated);
+            assert!(cut.owner.is_none());
+            assert_eq!(cut.elapsed, cutoff);
+            assert_eq!(stats.ticks, cutoff);
+        }
+        // A generous cutoff changes nothing.
+        let (easy, _) = net.lookup_timed(3, key, &plan, &policy, 0, 1, Some(full.elapsed));
+        assert_eq!(easy, full);
+    }
+
+    #[test]
+    fn timed_lookup_is_deterministic_with_and_without_jitter() {
+        let net = ChordNetwork::new(128, 54);
+        let plan = FaultPlan::build(
+            128,
+            &FaultConfig {
+                loss: 0.25,
+                churn: 0.25,
+                mean_latency: 4,
+                ..Default::default()
+            },
+        );
+        for policy in [
+            RetryPolicy::default(),
+            RetryPolicy {
+                jitter: Some(0x5eed),
+                ..Default::default()
+            },
+        ] {
+            for k in 0..30u64 {
+                let key = mix64(k);
+                let a = net.lookup_timed(3, key, &plan, &policy, k, k, Some(200));
+                let b = net.lookup_timed(3, key, &plan, &policy, k, k, Some(200));
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_timed_lookup_is_bitwise_identical_and_reconciles() {
+        use qcp_obs::MetricsRecorder;
+        let net = ChordNetwork::new(128, 55);
+        let plan = FaultPlan::build(
+            128,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.2,
+                mean_latency: 3,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy::default();
+        let mut rec = MetricsRecorder::new();
+        let mut hits = 0u64;
+        let mut elapsed_sum = 0u64;
+        let trials = 40u64;
+        for k in 0..trials {
+            let key = mix64(k);
+            let plain = net.lookup_timed(3, key, &plan, &policy, k, k, Some(300));
+            let (result, stats) =
+                net.lookup_timed_rec(3, key, &plan, &policy, k, k, Some(300), &mut rec);
+            assert_eq!((result, stats), plain, "recording must not perturb routing");
+            if result.owner.is_some() {
+                hits += 1;
+                elapsed_sum += result.elapsed;
+            }
+        }
+        assert_eq!(rec.spans(Kernel::ChordLookup), trials);
+        assert_eq!(rec.event_count(Kernel::ChordLookup, Event::Hit), hits);
+        // The latency histogram holds one entry per successful lookup,
+        // totaling the summed elapsed time.
+        assert_eq!(rec.time_weight(Kernel::ChordLookup), hits);
+        let hist = rec.time_histogram(Kernel::ChordLookup);
+        let mass: u64 = hist.iter().enumerate().map(|(t, &n)| t as u64 * n).sum();
+        assert_eq!(mass, elapsed_sum);
     }
 }
 

@@ -24,6 +24,25 @@ pub struct DhtQueryOutcome {
     pub messages: u64,
 }
 
+/// Outcome of a deadline-bounded DHT keyword query
+/// ([`DhtIndex::query_keys_timed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedQueryOutcome {
+    /// Objects matching all terms *resolved so far* — the full AND
+    /// intersection when the query completed, the best-so-far partial
+    /// intersection when the deadline landed mid-query.
+    pub results: Vec<u32>,
+    /// Total routing hops across the resolved term lookups.
+    pub hops: u32,
+    /// Total messages: lookup transmissions plus posting-list transfers.
+    pub messages: u64,
+    /// Virtual time consumed: lookup elapsed times plus transfer
+    /// latencies, serial across terms.
+    pub elapsed: u64,
+    /// Whether the budget ran out before every term resolved.
+    pub deadline_exceeded: bool,
+}
+
 /// The index: per-node storage of term posting lists.
 #[derive(Debug, Clone)]
 pub struct DhtIndex {
@@ -183,6 +202,106 @@ impl DhtIndex {
             },
             stats,
         )
+    }
+
+    /// Deadline-bounded multi-key AND query on the virtual-time engine.
+    ///
+    /// Term lookups run *serially* on one virtual timeline — each term
+    /// routes with [`ChordNetwork::lookup_timed`] under the budget that
+    /// remains after its predecessors, and a resolved term's
+    /// posting-list transfer charges one message plus
+    /// `plan.latency(from, owner)` ticks before the next term starts.
+    ///
+    /// Degradation contract (the deadline-degraded search's backbone):
+    ///
+    /// * a lookup truncated by the budget — or a budget already
+    ///   exhausted before a term starts — sets `deadline_exceeded` and
+    ///   returns the **best-so-far partial intersection** over the terms
+    ///   that did resolve (possibly over-approximate: unresolved terms
+    ///   never filtered it);
+    /// * a lookup that fails outright *within* the budget keeps the
+    ///   fail-hard semantics of [`Self::query_keys_faulty`]: the AND
+    ///   query returns no results (the querier cannot distinguish "no
+    ///   postings" from "index unreachable");
+    /// * stale-miss accounting is identical to the instant-path query.
+    #[allow(clippy::too_many_arguments)] // mirrors `query_keys_faulty` + the budget
+    pub fn query_keys_timed(
+        &self,
+        net: &ChordNetwork,
+        from: u32,
+        terms: &[u64],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        time: u64,
+        nonce: u64,
+        budget: Option<u64>,
+    ) -> (TimedQueryOutcome, FaultStats) {
+        let mut stats = FaultStats::default();
+        let mut out = TimedQueryOutcome {
+            results: Vec::new(),
+            hops: 0,
+            messages: 0,
+            elapsed: 0,
+            deadline_exceeded: false,
+        };
+        if terms.is_empty() {
+            return (out, stats);
+        }
+        let mut result: Option<Vec<u32>> = None;
+        for (i, &key) in terms.iter().enumerate() {
+            let remaining = budget.map(|b| b.saturating_sub(out.elapsed));
+            if remaining == Some(0) {
+                out.deadline_exceeded = true;
+                break;
+            }
+            let (r, term_stats) = net.lookup_timed(
+                from,
+                key,
+                plan,
+                policy,
+                time,
+                mix64(nonce ^ i as u64),
+                remaining,
+            );
+            stats.absorb(&term_stats);
+            out.hops += r.hops;
+            out.messages += r.messages;
+            out.elapsed += r.elapsed;
+            if r.truncated {
+                out.deadline_exceeded = true;
+                break; // partial intersection over the resolved terms
+            }
+            let Some(owner) = r.owner else {
+                // Routing failed within budget: the AND fails outright.
+                result = Some(Vec::new());
+                break;
+            };
+            out.messages += 1; // posting-list transfer
+            let transfer = plan.latency(from, owner);
+            out.elapsed += transfer;
+            stats.ticks += transfer;
+            let list = self.storage[owner as usize].get(&key);
+            if list.is_none() {
+                let home = net.successor_of_key(key);
+                if home != owner && self.storage[home as usize].contains_key(&key) {
+                    stats.stale_misses += 1;
+                }
+            }
+            let empty: Vec<u32> = Vec::new();
+            let list = list.unwrap_or(&empty);
+            result = Some(match result {
+                None => list.clone(),
+                Some(acc) => intersect_sorted(&acc, list),
+            });
+            if result.as_ref().is_some_and(|r| r.is_empty()) {
+                break; // AND already failed; remaining terms can't help
+            }
+        }
+        if budget.is_some_and(|b| out.elapsed > b) {
+            out.deadline_exceeded = true;
+        }
+        out.results = result.unwrap_or_default();
+        (out, stats)
     }
 
     /// Removes node `v`'s storage slot, keeping the index aligned with the
@@ -381,6 +500,83 @@ mod tests {
             assert_eq!(plain.results, faulty.results, "terms {terms:?}");
             assert_eq!(stats.wasted(), 0);
             assert_eq!(stats.stale_misses, 0);
+        }
+    }
+
+    #[test]
+    fn timed_query_with_generous_budget_matches_plain_results() {
+        let (net, idx) = indexed_net();
+        let plan = FaultPlan::none(64);
+        let policy = RetryPolicy::default();
+        for terms in [vec!["madonna"], vec!["madonna", "hits"], vec!["unknown"]] {
+            let keys: Vec<u64> = terms.iter().map(|t| key_for_term(t)).collect();
+            let plain = idx.query_keys(&net, 0, &keys);
+            let (faulty, _) = idx.query_keys_faulty(&net, 0, &keys, &plan, &policy, 0, 7);
+            for budget in [None, Some(10_000)] {
+                let (timed, stats) =
+                    idx.query_keys_timed(&net, 0, &keys, &plan, &policy, 0, 7, budget);
+                assert_eq!(plain.results, timed.results, "terms {terms:?}");
+                // Same router as the instant fault path: identical route.
+                assert_eq!(faulty.hops, timed.hops, "terms {terms:?} budget {budget:?}");
+                assert_eq!(faulty.messages, timed.messages, "terms {terms:?}");
+                assert!(!timed.deadline_exceeded);
+                assert_eq!(stats.ticks, timed.elapsed);
+            }
+        }
+    }
+
+    #[test]
+    fn timed_query_degrades_to_partial_results_at_the_deadline() {
+        let (net, idx) = indexed_net();
+        let plan = FaultPlan::none(64);
+        let policy = RetryPolicy::default();
+        let keys: Vec<u64> = ["madonna", "hits"]
+            .iter()
+            .map(|t| key_for_term(t))
+            .collect();
+        let (full, _) = idx.query_keys_timed(&net, 0, &keys, &plan, &policy, 0, 7, None);
+        assert_eq!(full.results, vec![2]);
+        assert!(full.elapsed > 1, "two lookups plus transfers take time");
+        // Find a budget that resolves the first term but not the second:
+        // the partial intersection is term one's whole posting list —
+        // over-approximate best-so-far, flagged as deadline-exceeded.
+        let partial = (1..full.elapsed).find_map(|budget| {
+            let (out, _) = idx.query_keys_timed(&net, 0, &keys, &plan, &policy, 0, 7, Some(budget));
+            (out.deadline_exceeded && !out.results.is_empty()).then_some(out)
+        });
+        let partial = partial.expect("some budget must cut between the two terms");
+        assert_eq!(partial.results, vec![1, 2], "madonna postings, unfiltered");
+        assert!(partial.elapsed <= full.elapsed);
+        // Budget 0-ish: exceeded before anything resolves.
+        let (none, _) = idx.query_keys_timed(&net, 0, &keys, &plan, &policy, 0, 7, Some(1));
+        assert!(none.deadline_exceeded);
+        assert!(none.results.is_empty());
+    }
+
+    #[test]
+    fn timed_query_is_deterministic_under_faults() {
+        use qcp_faults::FaultConfig;
+        let (net, idx) = indexed_net();
+        let plan = FaultPlan::build(
+            64,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.2,
+                mean_latency: 4,
+                ..Default::default()
+            },
+        );
+        let policy = RetryPolicy {
+            jitter: Some(0xfee1),
+            ..Default::default()
+        };
+        let keys: Vec<u64> = ["madonna", "hits"]
+            .iter()
+            .map(|t| key_for_term(t))
+            .collect();
+        for t in 0..20u64 {
+            let run = || idx.query_keys_timed(&net, 0, &keys, &plan, &policy, t, t, Some(150));
+            assert_eq!(run(), run());
         }
     }
 

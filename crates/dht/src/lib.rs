@@ -22,7 +22,9 @@ pub mod index;
 pub mod pastry;
 pub mod ring;
 
-pub use chord::{ChordNetwork, FaultyLookupResult, LookupResult, DEFAULT_SUCC_LEN};
-pub use index::{DhtIndex, DhtQueryOutcome};
+pub use chord::{
+    ChordNetwork, FaultyLookupResult, LookupResult, TimedLookupResult, DEFAULT_SUCC_LEN,
+};
+pub use index::{DhtIndex, DhtQueryOutcome, TimedQueryOutcome};
 pub use pastry::{PastryNetwork, RouteResult};
 pub use ring::{distance_cw, in_interval_oc, key_for_name, key_for_term};

@@ -112,7 +112,7 @@ impl FaultPlan {
         }
         Self {
             loss: config.loss,
-            mean_latency: config.mean_latency.max(1),
+            mean_latency: config.mean_latency,
             seed: config.seed,
             horizon,
             down_start,
@@ -261,6 +261,13 @@ impl FaultPlan {
 
     /// Latency of link `{u, v}` in ticks: fixed per link, uniform in
     /// `[1, 2*mean - 1]` so the mean over links is `mean_latency`.
+    ///
+    /// This is the **single clamp site** for degenerate means: a
+    /// configured `mean_latency` of 0 (or 1) yields the unit latency 1
+    /// on every link — a message can never be delivered in zero virtual
+    /// time. `build` stores the configured value verbatim and
+    /// [`FaultPlan::none`] declares mean 1, so both funnel through the
+    /// same `m <= 1` branch here rather than clamping at construction.
     #[inline]
     pub fn latency(&self, u: u32, v: u32) -> u64 {
         let m = self.mean_latency as u64;
@@ -401,6 +408,35 @@ mod tests {
         }
         let mean = total as f64 / links as f64;
         assert!((mean - 3.0).abs() < 0.2, "mean latency {mean}");
+    }
+
+    #[test]
+    fn zero_mean_latency_clamps_to_unit_latency() {
+        // The clamp lives in `latency()` alone: a configured mean of 0
+        // behaves exactly like mean 1 (and like `FaultPlan::none`) —
+        // every link delivers in one tick, never zero.
+        let zero = FaultPlan::build(
+            50,
+            &FaultConfig {
+                mean_latency: 0,
+                ..cfg(0.0, 0.0)
+            },
+        );
+        let one = FaultPlan::build(
+            50,
+            &FaultConfig {
+                mean_latency: 1,
+                ..cfg(0.0, 0.0)
+            },
+        );
+        let none = FaultPlan::none(50);
+        for u in 0..50u32 {
+            for v in (u + 1)..50u32 {
+                assert_eq!(zero.latency(u, v), 1);
+                assert_eq!(one.latency(u, v), 1);
+                assert_eq!(none.latency(u, v), 1);
+            }
+        }
     }
 
     #[test]

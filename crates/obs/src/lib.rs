@@ -170,14 +170,22 @@ pub enum Event {
     DeadSource,
     /// A hybrid span fell back from flooding to the DHT.
     Fallback,
+    /// The span hit its virtual-time deadline and returned best-so-far
+    /// partial results instead of completing.
+    DeadlineExceeded,
 }
 
 impl Event {
     /// Number of events (matrix dimension).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
     /// Every event, in index order.
-    pub const ALL: [Event; Event::COUNT] =
-        [Event::Hit, Event::Miss, Event::DeadSource, Event::Fallback];
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::Hit,
+        Event::Miss,
+        Event::DeadSource,
+        Event::Fallback,
+        Event::DeadlineExceeded,
+    ];
 
     /// Stable snake_case name (the JSON key in `profile.json`).
     pub fn name(self) -> &'static str {
@@ -186,6 +194,7 @@ impl Event {
             Event::Miss => "miss",
             Event::DeadSource => "dead_source",
             Event::Fallback => "fallback",
+            Event::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
@@ -216,6 +225,10 @@ pub trait Recorder: Sized + Send + Sync {
     fn rec_count(&mut self, kernel: Kernel, counter: Counter, n: u64);
     /// Adds weight `n` to the kernel's per-hop histogram at `hop`.
     fn rec_hop(&mut self, kernel: Kernel, hop: u32, n: u64);
+    /// Adds weight `n` to the kernel's virtual-time histogram at `tick`
+    /// (time-to-first-hit in the event-driven kernels). Callers record
+    /// deadline-bounded tick values, so the histogram stays dense.
+    fn rec_time(&mut self, kernel: Kernel, tick: u64, n: u64);
     /// Tallies one span-scoped event.
     fn rec_event(&mut self, kernel: Kernel, event: Event);
     /// Creates an empty child recorder of the same configuration (for
@@ -253,6 +266,8 @@ impl Recorder for NoopRecorder {
     #[inline(always)]
     fn rec_hop(&mut self, _kernel: Kernel, _hop: u32, _n: u64) {}
     #[inline(always)]
+    fn rec_time(&mut self, _kernel: Kernel, _tick: u64, _n: u64) {}
+    #[inline(always)]
     fn rec_event(&mut self, _kernel: Kernel, _event: Event) {}
     #[inline(always)]
     fn fork(&self) -> Self {
@@ -274,6 +289,7 @@ pub struct MetricsRecorder {
     counters: [[u64; Counter::COUNT]; Kernel::COUNT],
     events: [[u64; Event::COUNT]; Kernel::COUNT],
     hops: [Vec<u64>; Kernel::COUNT],
+    times: [Vec<u64>; Kernel::COUNT],
 }
 
 impl Default for MetricsRecorder {
@@ -290,6 +306,7 @@ impl MetricsRecorder {
             counters: [[0; Counter::COUNT]; Kernel::COUNT],
             events: [[0; Event::COUNT]; Kernel::COUNT],
             hops: std::array::from_fn(|_| Vec::new()),
+            times: std::array::from_fn(|_| Vec::new()),
         }
     }
 
@@ -317,6 +334,18 @@ impl MetricsRecorder {
     /// Sum of the kernel's hop histogram weights.
     pub fn hop_weight(&self, kernel: Kernel) -> u64 {
         self.hops[kernel.idx()].iter().sum()
+    }
+
+    /// The kernel's virtual-time histogram (`hist[t]` = weight recorded
+    /// at tick `t` — time-to-first-hit in the event-driven kernels);
+    /// empty when nothing was recorded.
+    pub fn time_histogram(&self, kernel: Kernel) -> &[u64] {
+        &self.times[kernel.idx()]
+    }
+
+    /// Sum of the kernel's time histogram weights.
+    pub fn time_weight(&self, kernel: Kernel) -> u64 {
+        self.times[kernel.idx()].iter().sum()
     }
 
     /// The recorded faults of `kernel`, reassembled as a [`FaultStats`]
@@ -361,6 +390,16 @@ impl Recorder for MetricsRecorder {
     }
 
     #[inline]
+    fn rec_time(&mut self, kernel: Kernel, tick: u64, n: u64) {
+        let hist = &mut self.times[kernel.idx()];
+        let need = tick as usize + 1;
+        if hist.len() < need {
+            hist.resize(need, 0);
+        }
+        hist[tick as usize] += n;
+    }
+
+    #[inline]
     fn rec_event(&mut self, kernel: Kernel, event: Event) {
         self.events[kernel.idx()][event.idx()] += 1;
     }
@@ -384,6 +423,13 @@ impl Recorder for MetricsRecorder {
             }
             for (h, w) in child.hops[k].iter().enumerate() {
                 hist[h] += w;
+            }
+            let times = &mut self.times[k];
+            if times.len() < child.times[k].len() {
+                times.resize(child.times[k].len(), 0);
+            }
+            for (t, w) in child.times[k].iter().enumerate() {
+                times[t] += w;
             }
         }
     }
@@ -421,6 +467,7 @@ mod tests {
         r.rec_span(Kernel::Flood);
         r.rec_count(Kernel::Flood, Counter::Messages, 10);
         r.rec_hop(Kernel::Flood, 3, 2);
+        r.rec_time(Kernel::Flood, 7, 1);
         r.rec_event(Kernel::Flood, Event::Hit);
         r.rec_faults(Kernel::Flood, &FaultStats::default());
         let child = r.fork();
@@ -457,11 +504,28 @@ mod tests {
         assert!(child.is_empty(), "fork must start empty");
         child.rec_count(Kernel::Flood, Counter::Messages, 2);
         child.rec_hop(Kernel::Flood, 4, 3);
+        child.rec_time(Kernel::Flood, 2, 5);
         child.rec_span(Kernel::Repair);
         parent.absorb(child);
         assert_eq!(parent.total(Kernel::Flood, Counter::Messages), 7);
         assert_eq!(parent.hop_histogram(Kernel::Flood), &[0, 1, 0, 0, 3]);
+        assert_eq!(parent.time_histogram(Kernel::Flood), &[0, 0, 5]);
         assert_eq!(parent.spans(Kernel::Repair), 1);
+    }
+
+    #[test]
+    fn time_histogram_accumulates_and_merges() {
+        let mut r = MetricsRecorder::new();
+        r.rec_time(Kernel::Walk, 4, 1);
+        r.rec_time(Kernel::Walk, 0, 2);
+        r.rec_time(Kernel::Walk, 4, 1);
+        assert_eq!(r.time_histogram(Kernel::Walk), &[2, 0, 0, 0, 2]);
+        assert_eq!(r.time_weight(Kernel::Walk), 4);
+        assert_eq!(r.time_histogram(Kernel::Flood), &[] as &[u64]);
+        let mut other = MetricsRecorder::new();
+        other.rec_time(Kernel::Walk, 6, 3);
+        r.absorb(other);
+        assert_eq!(r.time_histogram(Kernel::Walk), &[2, 0, 0, 0, 2, 0, 3]);
     }
 
     #[test]

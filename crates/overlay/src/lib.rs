@@ -15,6 +15,8 @@
 //!   reusable engine (epoch-stamped visit marks, zero per-query allocation
 //!   in the hot path);
 //! * [`walk`] — k-walker random walks;
+//! * [`event`] — event-driven flood/walk on the `qcp-vtime` calendar:
+//!   per-link latencies, delivery-time fault checks, deadline cutoffs;
 //! * [`expanding`] — expanding-ring (iterative deepening) search;
 //! * [`sim`] — parallel trial sweeps producing success-rate curves
 //!   (Figure 8) with deterministic per-trial seeds;
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod event;
 pub mod expanding;
 pub mod flood;
 pub mod graph;
@@ -36,6 +39,9 @@ pub mod topology;
 pub mod walk;
 
 pub use churn::{fail_highest_degree, fail_random, ChurnedOverlay};
+pub use event::{
+    event_flood, event_flood_rec, event_walk, event_walk_rec, EventFloodOutcome, EventWalkOutcome,
+};
 pub use expanding::{expanding_ring_search, expanding_ring_search_faulty, ExpandingOutcome};
 pub use flood::{CensusOutcome, FloodEngine, FloodFaults, FloodOutcome, FloodSpec};
 pub use graph::Graph;

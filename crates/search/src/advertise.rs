@@ -77,6 +77,8 @@ impl SearchSystem for AdvertiseSearch {
                 messages: 0,
                 hops: None,
                 faults: Default::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         // Local store first, then a short random consultation walk.
@@ -86,6 +88,8 @@ impl SearchSystem for AdvertiseSearch {
                 messages: 0,
                 hops: Some(0),
                 faults: Default::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         let graph = &world.topology.graph;
@@ -117,6 +121,8 @@ impl SearchSystem for AdvertiseSearch {
                     messages,
                     hops: Some(step),
                     faults: Default::default(),
+                    elapsed: 0,
+                    deadline_exceeded: false,
                 };
             }
         }
@@ -125,6 +131,8 @@ impl SearchSystem for AdvertiseSearch {
             messages,
             hops: None,
             faults: Default::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 

@@ -84,6 +84,8 @@ impl SearchSystem for GiaSearch {
                 messages: 0,
                 hops: None,
                 faults: Default::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         let graph = &world.topology.graph;
@@ -98,6 +100,8 @@ impl SearchSystem for GiaSearch {
                 messages: 0,
                 hops: Some(0),
                 faults: Default::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         for step in 1..=self.ttl {
@@ -131,6 +135,8 @@ impl SearchSystem for GiaSearch {
                     messages,
                     hops: Some(step),
                     faults: Default::default(),
+                    elapsed: 0,
+                    deadline_exceeded: false,
                 };
             }
         }
@@ -139,6 +145,8 @@ impl SearchSystem for GiaSearch {
             messages,
             hops: None,
             faults: Default::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 }

@@ -17,15 +17,24 @@ use crate::world::{QuerySpec, SearchWorld};
 use qcp_dht::{ChordNetwork, DhtIndex};
 use qcp_faults::FaultStats;
 use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
+use qcp_overlay::event_flood_rec;
 use qcp_overlay::flood::{FloodEngine, FloodSpec};
 use qcp_util::hash::mix64;
 use qcp_util::rng::Pcg64;
+use qcp_vtime::Deadline;
 
 /// Ring key for a world term id.
 #[inline]
 fn term_key(term: u32) -> u64 {
     mix64(term as u64 ^ 0xd47_0000_7e21)
 }
+
+/// Domain tag deriving the DHT-phase nonce from a query's fault nonce.
+/// The synchronous fallback and the deadline fallback share it
+/// *deliberately*: both paths must address the same per-query fault
+/// stream, or a generous deadline could not reproduce the synchronous
+/// outcome (pinned by `spec::deadline_tests`).
+const DHT_PHASE_TAG: u64 = 0xd47;
 
 /// Builds the global DHT index for a world: every object published under
 /// every one of its terms, from one of its holders.
@@ -76,6 +85,7 @@ pub struct HybridSearch<R: Recorder = NoopRecorder> {
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
+    deadline: Option<Deadline>,
     repair_messages: u64,
     recorder: R,
     /// Queries that fell back to the DHT (for reports).
@@ -128,6 +138,7 @@ impl<R: Recorder> HybridSearch<R> {
         rare_threshold: u32,
         seed: u64,
         faults: Option<FaultContext>,
+        deadline: Option<Deadline>,
         recorder: R,
     ) -> Self {
         let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
@@ -141,6 +152,7 @@ impl<R: Recorder> HybridSearch<R> {
             forwarders: world.topology.forwarders(),
             faults,
             maintenance: None,
+            deadline,
             repair_messages: 0,
             recorder,
             fallbacks: 0,
@@ -209,6 +221,8 @@ impl<R: Recorder> HybridSearch<R> {
                 messages: 0,
                 hops: None,
                 faults: FaultStats::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         let matching = world.matching_objects(&query.terms);
@@ -233,6 +247,8 @@ impl<R: Recorder> HybridSearch<R> {
                 messages: flood.messages,
                 hops: flood.found_at_hop,
                 faults: stats,
+                elapsed: stats.ticks,
+                deadline_exceeded: false,
             };
         }
         // Rare query: re-issue over the DHT with retry/backoff per hop.
@@ -245,7 +261,7 @@ impl<R: Recorder> HybridSearch<R> {
             &ctx.plan,
             &ctx.policy,
             time,
-            mix64(nonce ^ 0xd47),
+            mix64(nonce ^ DHT_PHASE_TAG),
         );
         stats.absorb(&dht_stats);
         self.recorder.rec_span(Kernel::ChordLookup);
@@ -260,6 +276,121 @@ impl<R: Recorder> HybridSearch<R> {
             messages: flood.messages + dht.messages,
             hops: flood.found_at_hop.or(Some(dht.hops)),
             faults: stats,
+            elapsed: stats.ticks,
+            deadline_exceeded: false,
+        }
+    }
+
+    /// The deadline query path: an event-driven flood phase cut off at
+    /// the deadline, then — for rare queries — the timed DHT fallback
+    /// against whatever budget the flood left. A query that runs out of
+    /// time degrades to its best-so-far answer: the flood's hit if it
+    /// had one, or the DHT's partial intersection, with
+    /// `deadline_exceeded` marking that the clock ended the search.
+    fn search_deadline(
+        &mut self,
+        world: &SearchWorld,
+        query: &QuerySpec,
+        deadline: Deadline,
+    ) -> SearchOutcome {
+        // qcplint: allow(panic) — build() rejects deadline sans faults.
+        let ctx = self.faults.as_mut().expect("deadline requires faults");
+        let (time, nonce) = ctx.next_query();
+        if let Some(sched) = &mut self.maintenance {
+            if sched.due() {
+                let alive = ctx.plan.alive_mask_at(time);
+                let (_, messages) = self.index.re_replicate(&self.net, &alive);
+                self.repair_messages += messages;
+                self.recorder.rec_span(Kernel::Repair);
+                self.recorder
+                    .rec_count(Kernel::Repair, Counter::Messages, messages);
+            }
+        }
+        if !ctx.plan.alive_at(query.source, time) {
+            self.recorder.rec_span(Kernel::Flood);
+            self.recorder.rec_event(Kernel::Flood, Event::DeadSource);
+            return SearchOutcome {
+                success: false,
+                messages: 0,
+                hops: None,
+                faults: FaultStats::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
+            };
+        }
+        let matching = world.matching_objects(&query.terms);
+        let holders = world.holders_of(&matching);
+        let (flood, mut stats) = event_flood_rec(
+            &world.topology.graph,
+            query.source,
+            self.flood_ttl,
+            &holders,
+            Some(&self.forwarders),
+            &ctx.plan,
+            time,
+            nonce,
+            Some(deadline.ticks),
+            &mut self.recorder,
+        );
+        if flood.holders_reached >= self.rare_threshold {
+            let exceeded = flood.truncated && !flood.flood.found;
+            if exceeded {
+                self.recorder
+                    .rec_event(Kernel::Flood, Event::DeadlineExceeded);
+            }
+            return SearchOutcome {
+                success: true,
+                messages: flood.flood.messages,
+                hops: flood.flood.found_at_hop,
+                faults: stats,
+                elapsed: flood.first_hit_time.unwrap_or(flood.completion_time),
+                deadline_exceeded: exceeded,
+            };
+        }
+        // Rare query: the timed DHT phase starts when the flood drains
+        // (or is cut off) and inherits only the remaining budget.
+        self.fallbacks += 1;
+        let keys: Vec<u64> = query.terms.iter().map(|&t| term_key(t)).collect();
+        let budget = deadline.ticks.saturating_sub(flood.completion_time);
+        let (dht, dht_stats) = self.index.query_keys_timed(
+            &self.net,
+            query.source,
+            &keys,
+            &ctx.plan,
+            &ctx.policy,
+            time,
+            mix64(nonce ^ DHT_PHASE_TAG),
+            Some(budget),
+        );
+        stats.absorb(&dht_stats);
+        let success = flood.flood.found || !dht.results.is_empty();
+        let elapsed = if flood.flood.found {
+            // qcplint: allow(panic) — `found` implies a hit time.
+            flood.first_hit_time.expect("flood hit carries a time")
+        } else {
+            flood.completion_time + dht.elapsed
+        };
+        self.recorder.rec_span(Kernel::ChordLookup);
+        self.recorder
+            .rec_event(Kernel::ChordLookup, Event::Fallback);
+        self.recorder
+            .rec_count(Kernel::ChordLookup, Counter::Messages, dht.messages);
+        self.recorder.rec_hop(Kernel::ChordLookup, dht.hops, 1);
+        self.recorder.rec_faults(Kernel::ChordLookup, &dht_stats);
+        if success && !flood.flood.found {
+            self.recorder.rec_time(Kernel::ChordLookup, elapsed, 1);
+        }
+        if dht.deadline_exceeded {
+            self.recorder
+                .rec_event(Kernel::ChordLookup, Event::DeadlineExceeded);
+        }
+        SearchOutcome {
+            success,
+            messages: flood.flood.messages + dht.messages,
+            hops: flood.flood.found_at_hop.or(Some(dht.hops)),
+            faults: stats,
+            elapsed,
+            deadline_exceeded: dht.deadline_exceeded,
         }
     }
 }
@@ -279,6 +410,9 @@ impl<R: Recorder> SearchSystem for HybridSearch<R> {
         _rng: &mut Pcg64,
     ) -> SearchOutcome {
         self.queries += 1;
+        if let Some(deadline) = self.deadline {
+            return self.search_deadline(world, query, deadline);
+        }
         if self.faults.is_some() {
             return self.search_faulty(world, query);
         }
@@ -301,6 +435,8 @@ impl<R: Recorder> SearchSystem for HybridSearch<R> {
                 messages: flood.messages,
                 hops: flood.found_at_hop,
                 faults: FaultStats::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         // Rare query: re-issue over the DHT.
@@ -318,6 +454,8 @@ impl<R: Recorder> SearchSystem for HybridSearch<R> {
             messages: flood.messages + dht.messages,
             hops: flood.found_at_hop.or(Some(dht.hops)),
             faults: FaultStats::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 
@@ -337,6 +475,7 @@ pub struct DhtOnlySearch<R: Recorder = NoopRecorder> {
     index: DhtIndex,
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
+    deadline: Option<Deadline>,
     repair_messages: u64,
     recorder: R,
 }
@@ -368,6 +507,7 @@ impl<R: Recorder> DhtOnlySearch<R> {
         world: &SearchWorld,
         seed: u64,
         faults: Option<FaultContext>,
+        deadline: Option<Deadline>,
         recorder: R,
     ) -> Self {
         let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
@@ -377,6 +517,7 @@ impl<R: Recorder> DhtOnlySearch<R> {
             index,
             faults,
             maintenance: None,
+            deadline,
             repair_messages: 0,
             recorder,
         }
@@ -431,6 +572,39 @@ impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
                         .rec_count(Kernel::Repair, Counter::Messages, messages);
                 }
             }
+            if let Some(deadline) = self.deadline {
+                // Deadline path: per-hop timeout expiry on the event
+                // calendar, degrading to a partial (per-term best-so-far)
+                // intersection when the budget runs out.
+                let (out, stats) = self.index.query_keys_timed(
+                    &self.net,
+                    query.source,
+                    &keys,
+                    &ctx.plan,
+                    &ctx.policy,
+                    time,
+                    nonce,
+                    Some(deadline.ticks),
+                );
+                let success = !out.results.is_empty();
+                record_lookup(&mut self.recorder, out.messages, out.hops, success);
+                self.recorder.rec_faults(Kernel::ChordLookup, &stats);
+                if success {
+                    self.recorder.rec_time(Kernel::ChordLookup, out.elapsed, 1);
+                }
+                if out.deadline_exceeded {
+                    self.recorder
+                        .rec_event(Kernel::ChordLookup, Event::DeadlineExceeded);
+                }
+                return SearchOutcome {
+                    success,
+                    messages: out.messages,
+                    hops: Some(out.hops),
+                    faults: stats,
+                    elapsed: out.elapsed,
+                    deadline_exceeded: out.deadline_exceeded,
+                };
+            }
             let (out, stats) = self.index.query_keys_faulty(
                 &self.net,
                 query.source,
@@ -448,6 +622,8 @@ impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
                 messages: out.messages,
                 hops: Some(out.hops),
                 faults: stats,
+                elapsed: stats.ticks,
+                deadline_exceeded: false,
             };
         }
         let out = self.index.query_keys(&self.net, query.source, &keys);
@@ -458,6 +634,8 @@ impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
             messages: out.messages,
             hops: Some(out.hops),
             faults: FaultStats::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 

@@ -152,6 +152,8 @@ impl SearchSystem for QrpFloodSearch {
             messages,
             hops: found_at,
             faults: Default::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 

@@ -44,6 +44,7 @@ use crate::systems::{
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_obs::{NoopRecorder, Recorder};
 use qcp_util::rng::Pcg64;
+use qcp_vtime::Deadline;
 
 /// Which system a [`SearchSpec`] describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,7 @@ pub struct SearchSpec<R: Recorder = NoopRecorder> {
     kind: Kind,
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
+    deadline: Option<Deadline>,
     recorder: R,
 }
 
@@ -98,6 +100,7 @@ impl SearchSpec<NoopRecorder> {
             kind,
             faults: None,
             maintenance: None,
+            deadline: None,
             recorder: NoopRecorder,
         }
     }
@@ -149,6 +152,19 @@ impl<R: Recorder> SearchSpec<R> {
         self
     }
 
+    /// Attaches a virtual-time deadline: the system answers with
+    /// whatever it has by `deadline.ticks` ticks into each query and
+    /// reports `deadline_exceeded` when the clock — not the search —
+    /// ended it. Deadline queries run on the event-driven engines, so a
+    /// fault context is required ([`Self::build`] rejects a deadline
+    /// without one); attach `FaultPlan::none` for a pure-latency run.
+    ///
+    /// [`FaultPlan::none`]: qcp_faults::FaultPlan::none
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Swaps in an instrumentation recorder (type-changing: the built
     /// system is monomorphized over the recorder, so a
     /// [`NoopRecorder`] build stays zero-overhead).
@@ -157,6 +173,7 @@ impl<R: Recorder> SearchSpec<R> {
             kind: self.kind,
             faults: self.faults,
             maintenance: self.maintenance,
+            deadline: self.deadline,
             recorder,
         }
     }
@@ -167,6 +184,7 @@ impl<R: Recorder> SearchSpec<R> {
             kind,
             faults,
             maintenance,
+            deadline,
             recorder,
         } = self;
         assert!(
@@ -174,15 +192,20 @@ impl<R: Recorder> SearchSpec<R> {
             "maintenance schedules apply only to the DHT-backed systems, not {}",
             kind.name()
         );
+        assert!(
+            deadline.is_none() || faults.is_some(),
+            "a deadline needs a fault context for its latency model \
+             (attach FaultPlan::none for a pure-latency run)"
+        );
         match kind {
-            Kind::Flood { ttl } => {
-                Built::Flood(FloodSearch::assemble(world, ttl, faults, recorder))
-            }
-            Kind::Walk { walkers, ttl } => {
-                Built::Walk(RandomWalkSearch::assemble(walkers, ttl, faults, recorder))
-            }
+            Kind::Flood { ttl } => Built::Flood(FloodSearch::assemble(
+                world, ttl, faults, deadline, recorder,
+            )),
+            Kind::Walk { walkers, ttl } => Built::Walk(RandomWalkSearch::assemble(
+                walkers, ttl, faults, deadline, recorder,
+            )),
             Kind::ExpandingRing { max_ttl } => Built::ExpandingRing(ExpandingRingSearch::assemble(
-                world, max_ttl, faults, recorder,
+                world, max_ttl, faults, deadline, recorder,
             )),
             Kind::Hybrid {
                 flood_ttl,
@@ -195,6 +218,7 @@ impl<R: Recorder> SearchSpec<R> {
                     rare_threshold,
                     seed,
                     faults,
+                    deadline,
                     recorder,
                 );
                 if let Some(m) = maintenance {
@@ -203,7 +227,7 @@ impl<R: Recorder> SearchSpec<R> {
                 Built::Hybrid(sys)
             }
             Kind::DhtOnly { seed } => {
-                let mut sys = DhtOnlySearch::assemble(world, seed, faults, recorder);
+                let mut sys = DhtOnlySearch::assemble(world, seed, faults, deadline, recorder);
                 if let Some(m) = maintenance {
                     sys = sys.with_maintenance(m);
                 }
@@ -625,6 +649,17 @@ mod tests {
         assert_eq!(rec.fault_stats(Kernel::ChordLookup), faults);
     }
 
+    /// A deadline without a fault context has no latency model to run
+    /// against: `build` rejects it.
+    #[test]
+    #[should_panic(expected = "deadline needs a fault context")]
+    fn deadline_without_faults_rejected() {
+        let w = world();
+        let _ = SearchSpec::flood(3)
+            .deadline(qcp_vtime::Deadline::after(10))
+            .build(&w);
+    }
+
     /// `Built` delegates maintenance accounting and supports the
     /// maintenance attachment for DHT-backed kinds.
     #[test]
@@ -646,5 +681,267 @@ mod tests {
             dht.recorder().spans(Kernel::Repair),
             dht.maintenance_passes()
         );
+    }
+}
+
+#[cfg(test)]
+mod deadline_tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use qcp_faults::{FaultConfig, FaultPlan, RetryPolicy};
+    use qcp_obs::{Event, Kernel, MetricsRecorder};
+    use qcp_vtime::Deadline;
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 400,
+            num_objects: 3_000,
+            num_terms: 4_000,
+            head_size: 80,
+            seed: 99,
+            ..Default::default()
+        })
+    }
+
+    /// A fault context with real link latency (and optionally loss).
+    fn latent_ctx(mean_latency: u32, loss: f64, seed: u64) -> FaultContext {
+        FaultContext::new(
+            FaultPlan::build(
+                400,
+                &FaultConfig {
+                    loss,
+                    mean_latency,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            RetryPolicy::default(),
+            seed ^ 0x0c7e,
+        )
+    }
+
+    fn none_ctx() -> FaultContext {
+        FaultContext::new(FaultPlan::none(400), RetryPolicy::default(), 1)
+    }
+
+    fn queries(w: &SearchWorld, n: usize) -> Vec<QuerySpec> {
+        let mut rng = Pcg64::new(13);
+        (0..n).map(|_| w.sample_query(&mut rng)).collect()
+    }
+
+    fn outcomes(
+        sys: &mut dyn SearchSystem,
+        w: &SearchWorld,
+        qs: &[QuerySpec],
+    ) -> Vec<SearchOutcome> {
+        let mut rng = Pcg64::new(77);
+        qs.iter().map(|q| sys.search(w, q, &mut rng)).collect()
+    }
+
+    /// Under a unit-latency fault-free plan with a generous deadline the
+    /// event flood is bitwise the census, so the deadline path agrees
+    /// with the synchronous faulty path on every reported figure, and
+    /// `elapsed` is exactly the hit hop.
+    #[test]
+    fn generous_deadline_flood_matches_the_synchronous_path() {
+        let w = world();
+        let qs = queries(&w, 80);
+        let mut sync = SearchSpec::flood(3).faults(none_ctx()).build(&w);
+        let mut timed = SearchSpec::flood(3)
+            .faults(none_ctx())
+            .deadline(Deadline::after(1_000_000))
+            .build(&w);
+        let a = outcomes(&mut sync, &w, &qs);
+        let b = outcomes(&mut timed, &w, &qs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.success, y.success);
+            assert_eq!(x.messages, y.messages);
+            assert_eq!(x.hops, y.hops);
+            assert!(!y.deadline_exceeded);
+            if let Some(h) = y.hops {
+                assert_eq!(y.elapsed, u64::from(h), "unit latency: ticks == hops");
+            }
+        }
+    }
+
+    /// Same agreement for the DHT-only system: with nothing dropped and
+    /// unit latency, the timed engine routes exactly like the retry
+    /// engine and no timer ever outruns a reply.
+    #[test]
+    fn generous_deadline_dht_matches_the_synchronous_path() {
+        let w = world();
+        let qs = queries(&w, 60);
+        let mut sync = SearchSpec::dht_only(9).faults(none_ctx()).build(&w);
+        let mut timed = SearchSpec::dht_only(9)
+            .faults(none_ctx())
+            .deadline(Deadline::after(1_000_000))
+            .build(&w);
+        let a = outcomes(&mut sync, &w, &qs);
+        let b = outcomes(&mut timed, &w, &qs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.success, y.success);
+            assert_eq!(x.messages, y.messages);
+            assert_eq!(x.hops, y.hops);
+            assert!(!y.deadline_exceeded);
+        }
+    }
+
+    /// Every deadline system is deterministic: identical outcome streams
+    /// on a re-run, for all five kinds, under latency + loss.
+    #[test]
+    fn deadline_systems_are_deterministic() {
+        let w = world();
+        let qs = queries(&w, 40);
+        let build: Vec<fn() -> SearchSpec> = vec![
+            || SearchSpec::flood(3),
+            || SearchSpec::walk(4, 20),
+            || SearchSpec::expanding_ring(4),
+            || SearchSpec::hybrid(2, 5, 11),
+            || SearchSpec::dht_only(9),
+        ];
+        for mk in build {
+            let run = || {
+                let mut sys = mk()
+                    .faults(latent_ctx(4, 0.1, 31))
+                    .deadline(Deadline::after(48))
+                    .build(&w);
+                outcomes(&mut sys, &w, &qs)
+            };
+            let a = run();
+            assert_eq!(a, run(), "deadline path must be deterministic");
+            assert!(
+                a.iter().all(|o| o.elapsed <= 48 + 8 * 2),
+                "elapsed can overshoot the deadline by at most one in-flight reply"
+            );
+        }
+    }
+
+    /// Tightening the deadline only costs success; loosening it only
+    /// retires deadline misses. The hybrid degrades to explicit
+    /// `deadline_exceeded` outcomes that still carry partial results.
+    #[test]
+    fn hybrid_degrades_monotonically_with_the_deadline() {
+        let w = world();
+        let qs = queries(&w, 120);
+        let run = |ticks: u64| {
+            let mut sys = SearchSpec::hybrid(2, 5, 11)
+                .faults(latent_ctx(4, 0.0, 7))
+                .deadline(Deadline::after(ticks))
+                .build(&w);
+            let out = outcomes(&mut sys, &w, &qs);
+            let hits = out.iter().filter(|o| o.success).count();
+            let missed = out.iter().filter(|o| o.deadline_exceeded).count();
+            (hits, missed, out)
+        };
+        let (hits_tight, missed_tight, _) = run(8);
+        let (hits_mid, missed_mid, out_mid) = run(64);
+        let (hits_loose, missed_loose, _) = run(100_000);
+        assert!(hits_tight <= hits_mid && hits_mid <= hits_loose);
+        assert!(missed_tight >= missed_mid && missed_mid >= missed_loose);
+        assert_eq!(missed_loose, 0, "no budget pressure, no misses");
+        assert!(missed_tight > 0, "8 ticks cannot finish a DHT fallback");
+        // Partial results: a mid-budget miss can still answer.
+        assert!(
+            out_mid
+                .iter()
+                .any(|o| o.deadline_exceeded && (o.success || o.messages > 0)),
+            "deadline misses must surface best-so-far work"
+        );
+    }
+
+    /// Recording the deadline path is write-only (outcomes bitwise equal
+    /// to the Noop build) and the recorder sees the DeadlineExceeded
+    /// events plus a populated time histogram.
+    #[test]
+    fn deadline_recording_is_write_only_and_reconciles() {
+        let w = world();
+        let qs = queries(&w, 80);
+        let mut plain = SearchSpec::dht_only(9)
+            .faults(latent_ctx(6, 0.1, 17))
+            .deadline(Deadline::after(40))
+            .build(&w);
+        let mut recorded = SearchSpec::dht_only(9)
+            .faults(latent_ctx(6, 0.1, 17))
+            .deadline(Deadline::after(40))
+            .recorder(MetricsRecorder::new())
+            .build(&w);
+        let a = outcomes(&mut plain, &w, &qs);
+        let b = outcomes(&mut recorded, &w, &qs);
+        assert_eq!(a, b, "recording must not perturb deadline outcomes");
+        let rec = recorded.into_recorder();
+        let missed = a.iter().filter(|o| o.deadline_exceeded).count() as u64;
+        assert_eq!(
+            rec.event_count(Kernel::ChordLookup, Event::DeadlineExceeded),
+            missed
+        );
+        let successes: Vec<&SearchOutcome> = a.iter().filter(|o| o.success).collect();
+        assert_eq!(
+            rec.time_weight(Kernel::ChordLookup),
+            successes.len() as u64,
+            "one time-to-first-hit sample per success"
+        );
+        let mass: u64 = rec
+            .time_histogram(Kernel::ChordLookup)
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| i as u64 * n)
+            .sum();
+        let expect: u64 = successes.iter().map(|o| o.elapsed).sum();
+        assert_eq!(mass, expect, "histogram mass is the summed hit times");
+    }
+
+    /// The walk deadline path stops walkers at the cutoff: elapsed and
+    /// messages are bounded, and a loose deadline strictly dominates a
+    /// tight one on success.
+    #[test]
+    fn walk_deadline_truncates_and_degrades() {
+        let w = world();
+        let qs = queries(&w, 100);
+        let run = |ticks: u64| {
+            let mut sys = SearchSpec::walk(4, 30)
+                .faults(latent_ctx(5, 0.0, 23))
+                .deadline(Deadline::after(ticks))
+                .build(&w);
+            outcomes(&mut sys, &w, &qs)
+        };
+        let tight = run(10);
+        let loose = run(100_000);
+        let hits = |v: &[SearchOutcome]| v.iter().filter(|o| o.success).count();
+        assert!(hits(&tight) <= hits(&loose));
+        assert!(tight.iter().all(|o| o.elapsed <= 10));
+        assert!(loose.iter().all(|o| !o.deadline_exceeded));
+        assert!(
+            tight.iter().any(|o| o.deadline_exceeded),
+            "10 ticks at mean latency 5 must truncate some walks"
+        );
+    }
+
+    /// The expanding ring spends its budget ring by ring: with a tight
+    /// deadline the deep rings never run, so rare (distant) content is
+    /// the first casualty — the paper's query-centric trade-off under a
+    /// clock.
+    #[test]
+    fn expanding_ring_deadline_limits_depth() {
+        let w = world();
+        let qs = queries(&w, 100);
+        let run = |ticks: u64| {
+            let mut sys = SearchSpec::expanding_ring(5)
+                .faults(latent_ctx(4, 0.0, 29))
+                .deadline(Deadline::after(ticks))
+                .build(&w)
+                .into_expanding_ring();
+            let out = outcomes(&mut sys, &w, &qs);
+            (out, sys.rings_attempted)
+        };
+        let (tight, rings_tight) = run(12);
+        let (loose, rings_loose) = run(100_000);
+        let hits = |v: &[SearchOutcome]| v.iter().filter(|o| o.success).count();
+        assert!(hits(&tight) <= hits(&loose));
+        assert!(
+            rings_tight < rings_loose,
+            "budget pressure must cut rings: {rings_tight} vs {rings_loose}"
+        );
+        assert!(tight.iter().any(|o| o.deadline_exceeded));
+        assert!(loose.iter().all(|o| !o.deadline_exceeded));
     }
 }

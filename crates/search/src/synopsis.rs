@@ -135,6 +135,8 @@ impl SearchSystem for SynopsisSearch {
                 messages: 0,
                 hops: None,
                 faults: Default::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         let graph = &world.topology.graph;
@@ -147,6 +149,8 @@ impl SearchSystem for SynopsisSearch {
                 messages: 0,
                 hops: Some(0),
                 faults: Default::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
             };
         }
         let mut messages = 0u64;
@@ -192,6 +196,8 @@ impl SearchSystem for SynopsisSearch {
                     messages,
                     hops: Some(step),
                     faults: Default::default(),
+                    elapsed: 0,
+                    deadline_exceeded: false,
                 };
             }
         }
@@ -200,6 +206,8 @@ impl SearchSystem for SynopsisSearch {
             messages,
             hops: None,
             faults: Default::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 

@@ -3,11 +3,14 @@
 use crate::spec::SearchSpec;
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
-use qcp_obs::{NoopRecorder, Recorder};
+use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
 use qcp_overlay::expanding::{expanding_ring_search_faulty_rec, expanding_ring_search_rec};
 use qcp_overlay::flood::{FloodEngine, FloodSpec};
 use qcp_overlay::walk::{random_walk_search_faulty_rec, random_walk_search_rec};
+use qcp_overlay::{event_flood_rec, event_walk_rec};
+use qcp_util::hash::mix64;
 use qcp_util::rng::{child_seed, Pcg64};
+use qcp_vtime::Deadline;
 
 /// Result of one query through one system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +24,17 @@ pub struct SearchOutcome {
     /// Degraded-mode accounting for this query (all zero in fault-free
     /// runs: drops, retries, timeouts, stale index misses, ticks).
     pub faults: FaultStats,
+    /// Virtual time consumed, in ticks of the fault plan's latency model.
+    /// Under a [`Deadline`] this is the time of the first hit (the
+    /// time-to-first-hit metric) when the query succeeds, and the total
+    /// time spent when it fails; synchronous fault paths report the
+    /// engine ticks; 0 without a fault context.
+    pub elapsed: u64,
+    /// Whether a [`Deadline`] cut the query off before its engines
+    /// drained. Best-so-far results are still reported, so `success`
+    /// and `deadline_exceeded` can both be true (a partial answer that
+    /// arrived in time, with work still pending at the cutoff).
+    pub deadline_exceeded: bool,
 }
 
 /// Per-system fault context: the shared [`FaultPlan`], the retry policy
@@ -138,6 +152,7 @@ pub struct FloodSearch<R: Recorder = NoopRecorder> {
     engine: FloodEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
+    deadline: Option<Deadline>,
     recorder: R,
 }
 
@@ -147,6 +162,7 @@ impl<R: Recorder> FloodSearch<R> {
         world: &SearchWorld,
         ttl: u32,
         faults: Option<FaultContext>,
+        deadline: Option<Deadline>,
         recorder: R,
     ) -> Self {
         Self {
@@ -154,6 +170,7 @@ impl<R: Recorder> FloodSearch<R> {
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
             faults,
+            deadline,
             recorder,
         }
     }
@@ -208,6 +225,37 @@ impl<R: Recorder> SearchSystem for FloodSearch<R> {
         // `ttl` reconstructs the standalone flood bitwise (the BFS
         // prefix property, pinned in qcp-overlay).
         let draw = self.faults.as_mut().map(FaultContext::next_query);
+        if let (Some(deadline), Some((time, nonce))) = (self.deadline, draw) {
+            // Deadline path: the event-driven flood on real link
+            // latencies, cut off at the deadline.
+            // qcplint: allow(panic) — build() rejects deadline sans faults.
+            let ctx = self.faults.as_ref().expect("deadline requires faults");
+            let (out, stats) = event_flood_rec(
+                &world.topology.graph,
+                query.source,
+                self.ttl,
+                &holders,
+                Some(&self.forwarders),
+                &ctx.plan,
+                time,
+                nonce,
+                Some(deadline.ticks),
+                &mut self.recorder,
+            );
+            let exceeded = out.truncated && !out.flood.found;
+            if exceeded {
+                self.recorder
+                    .rec_event(Kernel::Flood, Event::DeadlineExceeded);
+            }
+            return SearchOutcome {
+                success: out.flood.found,
+                messages: out.flood.messages,
+                hops: out.flood.found_at_hop,
+                faults: stats,
+                elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+                deadline_exceeded: exceeded,
+            };
+        }
         let mut spec = FloodSpec::new(self.ttl);
         if let (Some(ctx), Some((time, nonce))) = (self.faults.as_ref(), draw) {
             spec = spec.faulty(&ctx.plan, time, nonce);
@@ -227,6 +275,8 @@ impl<R: Recorder> SearchSystem for FloodSearch<R> {
             messages: out.messages,
             hops: out.found_at_hop,
             faults: stats[level],
+            elapsed: stats[level].ticks,
+            deadline_exceeded: false,
         }
     }
 }
@@ -239,6 +289,7 @@ pub struct RandomWalkSearch<R: Recorder = NoopRecorder> {
     /// Steps per walker.
     pub ttl: u32,
     faults: Option<FaultContext>,
+    deadline: Option<Deadline>,
     recorder: R,
 }
 
@@ -248,12 +299,14 @@ impl<R: Recorder> RandomWalkSearch<R> {
         walkers: usize,
         ttl: u32,
         faults: Option<FaultContext>,
+        deadline: Option<Deadline>,
         recorder: R,
     ) -> Self {
         Self {
             walkers,
             ttl,
             faults,
+            deadline,
             recorder,
         }
     }
@@ -276,7 +329,7 @@ impl RandomWalkSearch {
         note = "use SearchSpec::walk(walkers, ttl).build(world)"
     )]
     pub fn new(walkers: usize, ttl: u32) -> Self {
-        Self::assemble(walkers, ttl, None, NoopRecorder)
+        Self::assemble(walkers, ttl, None, None, NoopRecorder)
     }
 
     /// Creates a walk system running under `faults`: a step toward a
@@ -286,7 +339,7 @@ impl RandomWalkSearch {
         note = "use SearchSpec::walk(walkers, ttl).faults(faults).build(world)"
     )]
     pub fn with_faults(walkers: usize, ttl: u32, faults: FaultContext) -> Self {
-        Self::assemble(walkers, ttl, Some(faults), NoopRecorder)
+        Self::assemble(walkers, ttl, Some(faults), None, NoopRecorder)
     }
 }
 
@@ -298,6 +351,42 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
     fn search(&mut self, world: &SearchWorld, query: &QuerySpec, rng: &mut Pcg64) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
+        if let Some(deadline) = self.deadline {
+            // Deadline path: walkers race over real link latencies on the
+            // event calendar; each walker draws from its own seeded
+            // stream, so this path's one extra `rng` draw (the walk seed)
+            // is its only RNG footprint.
+            // qcplint: allow(panic) — build() rejects deadline sans faults.
+            let ctx = self.faults.as_mut().expect("deadline requires faults");
+            let (time, nonce) = ctx.next_query();
+            let walk_seed = rng.next();
+            let (out, stats) = event_walk_rec(
+                &world.topology.graph,
+                query.source,
+                self.walkers,
+                self.ttl,
+                &holders,
+                walk_seed,
+                &ctx.plan,
+                time,
+                nonce,
+                Some(deadline.ticks),
+                &mut self.recorder,
+            );
+            let exceeded = out.truncated && !out.walk.found;
+            if exceeded {
+                self.recorder
+                    .rec_event(Kernel::Walk, Event::DeadlineExceeded);
+            }
+            return SearchOutcome {
+                success: out.walk.found,
+                messages: out.walk.messages,
+                hops: out.walk.found_at_step,
+                faults: stats,
+                elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+                deadline_exceeded: exceeded,
+            };
+        }
         if let Some(ctx) = &mut self.faults {
             let (time, nonce) = ctx.next_query();
             let (out, stats) = random_walk_search_faulty_rec(
@@ -317,6 +406,8 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
                 messages: out.messages,
                 hops: out.found_at_step,
                 faults: stats,
+                elapsed: stats.ticks,
+                deadline_exceeded: false,
             };
         }
         let out = random_walk_search_rec(
@@ -333,6 +424,8 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
             messages: out.messages,
             hops: out.found_at_step,
             faults: FaultStats::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 }
@@ -455,6 +548,7 @@ pub struct ExpandingRingSearch<R: Recorder = NoopRecorder> {
     engine: FloodEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
+    deadline: Option<Deadline>,
     recorder: R,
     /// Total rings attempted across every query served (for reports):
     /// `rings_attempted / queries` is the mean iterative-deepening depth,
@@ -470,6 +564,7 @@ impl<R: Recorder> ExpandingRingSearch<R> {
         world: &SearchWorld,
         max_ttl: u32,
         faults: Option<FaultContext>,
+        deadline: Option<Deadline>,
         recorder: R,
     ) -> Self {
         Self {
@@ -477,9 +572,112 @@ impl<R: Recorder> ExpandingRingSearch<R> {
             engine: FloodEngine::new(world.num_peers()),
             forwarders: world.topology.forwarders(),
             faults,
+            deadline,
             recorder,
             rings_attempted: 0,
             queries: 0,
+        }
+    }
+
+    /// The deadline query path: rings are sequential event floods on one
+    /// virtual timeline, each cut off at whatever budget the earlier
+    /// rings left. Iterative deepening under a clock is exactly the
+    /// paper's trade-off — cheap rings first, but every miss burns time
+    /// the deeper rings no longer have.
+    fn search_deadline(
+        &mut self,
+        world: &SearchWorld,
+        query: &QuerySpec,
+        deadline: Deadline,
+    ) -> SearchOutcome {
+        // qcplint: allow(panic) — build() rejects deadline sans faults.
+        let ctx = self.faults.as_mut().expect("deadline requires faults");
+        let (time, nonce) = ctx.next_query();
+        self.recorder.rec_span(Kernel::ExpandingRing);
+        if !ctx.plan.alive_at(query.source, time) {
+            self.recorder
+                .rec_event(Kernel::ExpandingRing, Event::DeadSource);
+            return SearchOutcome {
+                success: false,
+                messages: 0,
+                hops: None,
+                faults: FaultStats::default(),
+                elapsed: 0,
+                deadline_exceeded: false,
+            };
+        }
+        let matching = world.matching_objects(&query.terms);
+        let holders = world.holders_of(&matching);
+        let mut messages = 0u64;
+        let mut stats = FaultStats::default();
+        let mut spent = 0u64;
+        let mut rings = 0u64;
+        let mut exceeded = false;
+        let mut success = false;
+        let mut hops = None;
+        let mut elapsed = 0u64;
+        for ttl in 1..=self.max_ttl {
+            // Each ring is an independent flood with its own drop-stream
+            // position, as in the synchronous schedule's re-floods.
+            let ring_nonce = mix64(nonce ^ u64::from(ttl));
+            let (out, ring_stats) = event_flood_rec(
+                &world.topology.graph,
+                query.source,
+                ttl,
+                &holders,
+                Some(&self.forwarders),
+                &ctx.plan,
+                time,
+                ring_nonce,
+                Some(deadline.ticks - spent),
+                &mut self.recorder,
+            );
+            rings += 1;
+            messages += out.flood.messages;
+            stats.absorb(&ring_stats);
+            if out.flood.found {
+                success = true;
+                hops = out.flood.found_at_hop;
+                elapsed = spent + out.first_hit_time.unwrap_or(out.completion_time);
+                break;
+            }
+            spent += out.completion_time;
+            elapsed = spent;
+            if out.truncated || spent >= deadline.ticks {
+                exceeded = true;
+                break;
+            }
+        }
+        self.rings_attempted += rings;
+        // Answer-time semantics: the schedule stops at the hit, so its
+        // consumed time is `elapsed`, not the sum of full ring drains.
+        stats.ticks = elapsed;
+        self.recorder
+            .rec_count(Kernel::ExpandingRing, Counter::Messages, messages);
+        self.recorder
+            .rec_count(Kernel::ExpandingRing, Counter::Rings, rings);
+        self.recorder.rec_faults(Kernel::ExpandingRing, &stats);
+        if let Some(h) = hops {
+            self.recorder.rec_hop(Kernel::ExpandingRing, h, 1);
+        }
+        if success {
+            self.recorder.rec_time(Kernel::ExpandingRing, elapsed, 1);
+        }
+        self.recorder.rec_event(
+            Kernel::ExpandingRing,
+            if success { Event::Hit } else { Event::Miss },
+        );
+        if exceeded {
+            self.recorder
+                .rec_event(Kernel::ExpandingRing, Event::DeadlineExceeded);
+        }
+        SearchOutcome {
+            success,
+            messages,
+            hops,
+            faults: stats,
+            elapsed,
+            deadline_exceeded: exceeded,
         }
     }
 
@@ -539,9 +737,12 @@ impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
         query: &QuerySpec,
         _rng: &mut Pcg64,
     ) -> SearchOutcome {
+        self.queries += 1;
+        if let Some(deadline) = self.deadline {
+            return self.search_deadline(world, query, deadline);
+        }
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
-        self.queries += 1;
         if let Some(ctx) = &mut self.faults {
             let (time, nonce) = ctx.next_query();
             let (out, stats) = expanding_ring_search_faulty_rec(
@@ -562,6 +763,8 @@ impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
                 messages: out.messages,
                 hops: out.found_at_ttl,
                 faults: stats,
+                elapsed: stats.ticks,
+                deadline_exceeded: false,
             };
         }
         let out = expanding_ring_search_rec(
@@ -579,6 +782,8 @@ impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
             messages: out.messages,
             hops: out.found_at_ttl,
             faults: FaultStats::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
         }
     }
 }

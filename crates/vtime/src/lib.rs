@@ -1,0 +1,256 @@
+//! `qcp-vtime` — a deterministic discrete-event engine over virtual time.
+//!
+//! Every latency-sensitive kernel in the workspace (event-driven floods
+//! and walks in `qcp-overlay`, timed Chord lookups in `qcp-dht`) runs on
+//! the [`Calendar`] defined here: a priority queue of events keyed by
+//! `(virtual_time, tie_break, seq)`.
+//!
+//! The determinism contract has three legs:
+//!
+//! * **No wall clock.** Virtual time is a plain `u64` tick counter that
+//!   only [`Calendar::pop`] advances. Reading `Instant`/`SystemTime`
+//!   anywhere in this crate is banned by `cargo xtask lint` (rule D1 —
+//!   the crate is `sim_facing`).
+//! * **Stateless tie-breaks.** Two events scheduled for the same tick
+//!   are ordered by a `tie` key the caller derives as a stateless hash
+//!   of the *event identity* (edge, message index, walker id — see
+//!   [`tie_break`]), never from arrival order across threads. Runs are
+//!   therefore bitwise-identical across runs and thread-pool widths:
+//!   parallelism in this workspace is across trials/cells, and each
+//!   trial's calendar is single-threaded and fully ordered.
+//! * **Strict total order.** A monotone insertion sequence number breaks
+//!   residual `(time, tie)` collisions FIFO, so even a degenerate tie
+//!   hash cannot make `pop` order depend on heap internals.
+//!
+//! [`Deadline`] is the virtual-time budget the search layer attaches to
+//! a query ([`SearchSpec::deadline`]); kernels treat it as an event-time
+//! cutoff and report truncation instead of silently completing late.
+//!
+//! [`SearchSpec::deadline`]: https://docs.rs/qcp-search
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qcp_util::hash::mix64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Derives a tie-break key from an event's identity.
+///
+/// A thin alias over the SplitMix64 finalizer: callers fold the fields
+/// that identify the event (edge endpoints, message index, walker id)
+/// into one `u64` and hash it here. The hash is stateless, so the same
+/// event gets the same key no matter when or where it is scheduled.
+#[inline]
+pub fn tie_break(identity: u64) -> u64 {
+    mix64(identity)
+}
+
+/// A virtual-time budget for one query: the deadline in ticks after
+/// which a search must stop expanding and return best-so-far results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline {
+    /// The budget, in virtual-time ticks (latency units of the
+    /// governing `FaultPlan`).
+    pub ticks: u64,
+}
+
+impl Deadline {
+    /// A deadline `ticks` into the query's virtual timeline.
+    pub fn after(ticks: u64) -> Self {
+        Self { ticks }
+    }
+}
+
+/// One scheduled entry. Ordered by `(time, tie, seq)` — strict total
+/// order, compared field-by-field.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry<E> {
+    time: u64,
+    tie: u64,
+    seq: u64,
+    event: E,
+}
+
+/// The calendar queue: a min-heap of events in virtual time.
+///
+/// `pop` advances [`Calendar::now`] to the popped event's timestamp;
+/// scheduling into the past is a logic error and panics in debug builds.
+#[derive(Debug, Clone)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: u64,
+    seq: u64,
+}
+
+impl<E: Ord> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Ord> Calendar<E> {
+    /// An empty calendar at virtual time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the last popped event
+    /// (0 before any pop).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Pending event count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The timestamp of the next event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Schedules `event` at absolute virtual time `time` with tie-break
+    /// key `tie` (see [`tie_break`]). `time` must not precede `now`.
+    #[inline]
+    pub fn schedule_at(&mut self, time: u64, tie: u64, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            tie,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` `delay` ticks after `now`.
+    #[inline]
+    pub fn schedule_after(&mut self, delay: u64, tie: u64, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), tie, event);
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    /// Virtual time never moves backwards.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.time >= self.now, "calendar time went backwards");
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Drops every pending event without advancing `now`. Used by the
+    /// timed DHT lookup to abandon a late reply once its timer fires.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = Calendar::new();
+        c.schedule_at(5, 0, "c");
+        c.schedule_at(1, 0, "a");
+        c.schedule_at(3, 0, "b");
+        let order: Vec<_> = std::iter::from_fn(|| c.pop()).collect();
+        assert_eq!(order, vec![(1, "a"), (3, "b"), (5, "c")]);
+        assert_eq!(c.now(), 5);
+    }
+
+    #[test]
+    fn equal_times_order_by_tie_then_seq() {
+        let mut c = Calendar::new();
+        c.schedule_at(2, 9, "high-tie");
+        c.schedule_at(2, 1, "low-tie-first");
+        c.schedule_at(2, 1, "low-tie-second");
+        let order: Vec<_> = std::iter::from_fn(|| c.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["low-tie-first", "low-tie-second", "high-tie"]);
+    }
+
+    #[test]
+    fn pop_order_is_insertion_order_independent_given_distinct_ties() {
+        // The same event set inserted in two different orders pops
+        // identically: (time, tie) is a total order when ties are
+        // distinct hashes of event identity.
+        let events: Vec<(u64, u64, u32)> = (0..64u64)
+            .map(|i| (i % 7, tie_break(i), i as u32))
+            .collect();
+        let run = |perm: &[(u64, u64, u32)]| {
+            let mut c = Calendar::new();
+            for &(t, tie, id) in perm {
+                c.schedule_at(t, tie, id);
+            }
+            std::iter::from_fn(|| c.pop()).collect::<Vec<_>>()
+        };
+        let mut reversed = events.clone();
+        reversed.reverse();
+        assert_eq!(run(&events), run(&reversed));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut c = Calendar::new();
+        c.schedule_at(10, 0, 'a');
+        assert_eq!(c.pop(), Some((10, 'a')));
+        c.schedule_after(5, 0, 'b');
+        assert_eq!(c.peek_time(), Some(15));
+        assert_eq!(c.pop(), Some((15, 'b')));
+    }
+
+    #[test]
+    fn clear_abandons_pending_events_without_time_travel() {
+        let mut c = Calendar::new();
+        c.schedule_at(4, 0, 1u8);
+        c.schedule_at(8, 0, 2u8);
+        assert_eq!(c.pop(), Some((4, 1)));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.now(), 4);
+        c.schedule_after(1, 0, 3u8);
+        assert_eq!(c.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn tie_break_is_stateless_and_spreads() {
+        assert_eq!(tie_break(42), tie_break(42));
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1_000u64 {
+            assert!(seen.insert(tie_break(i)));
+        }
+    }
+
+    #[test]
+    fn deadline_constructor() {
+        assert_eq!(Deadline::after(48).ticks, 48);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut c = Calendar::new();
+        c.schedule_at(10, 0, ());
+        let _ = c.pop();
+        c.schedule_at(3, 0, ());
+    }
+}

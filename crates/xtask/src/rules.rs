@@ -375,12 +375,13 @@ impl Default for LintConfig {
         Self {
             sim_facing: [
                 "overlay", "search", "dht", "faults", "sketch", "tracegen", "analysis", "terms",
-                "zipf", "core", "bench",
+                "zipf", "core", "bench", "vtime",
             ]
             .map(String::from)
             .to_vec(),
             hot_path: [
                 "overlay", "search", "dht", "faults", "sketch", "zipf", "core", "xpar", "bench",
+                "vtime",
             ]
             .map(String::from)
             .to_vec(),
@@ -435,6 +436,7 @@ const RECORDER_CALLS: &[&str] = &[
     "rec_span(",
     "rec_count(",
     "rec_hop(",
+    "rec_time(",
     "rec_event(",
     "rec_faults(",
 ];
@@ -1016,6 +1018,33 @@ mod tests {
         assert!(lint("bench", src).iter().any(|d| d.rule == Rule::Nondet));
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert!(lint("bench", src).iter().any(|d| d.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn vtime_is_sim_facing_and_hot_path() {
+        // The event engine is the clock every latency-sensitive kernel
+        // runs on: a wall-clock read there corrupts *all* virtual-time
+        // results, so D1 bans Instant/SystemTime in `vtime` (virtual
+        // time only) and P1 holds its panic discipline. The D4/P2
+        // call-graph families inherit the same lists.
+        let cfg = LintConfig::default();
+        assert!(cfg.sim_facing.iter().any(|c| c == "vtime"));
+        assert!(cfg.hot_path.iter().any(|c| c == "vtime"));
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint("vtime", src).iter().any(|d| d.rule == Rule::Nondet));
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint("vtime", src).iter().any(|d| d.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn rec_time_is_a_guarded_recorder_call() {
+        // O1b: the new time-histogram entry point may not hide under a
+        // cfg gate any more than the other recorder calls can.
+        let src =
+            "fn f(r: &mut R) {\n #[cfg(feature = \"obs\")]\n r.rec_time(Kernel::Flood, 3, 1);\n}\n";
+        assert!(lint("overlay", src)
+            .iter()
+            .any(|d| d.rule == Rule::CfgRecorder));
     }
 
     #[test]

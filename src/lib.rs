@@ -20,6 +20,7 @@
 //! | [`tracegen`] | `qcp-tracegen` | Gnutella/iTunes/query trace generators |
 //! | [`analysis`] | `qcp-analysis` | the paper's measurement pipeline (Figs 1–7) |
 //! | [`faults`] | `qcp-faults` | deterministic fault plans: loss, churn, latency, retry/backoff |
+//! | [`vtime`] | `qcp-vtime` | deterministic discrete-event calendar over virtual time |
 //! | [`obs`] | `qcp-obs` | write-only recorders: per-kernel message/hop/fault breakdowns |
 //! | [`overlay`] | `qcp-overlay` | topologies, placement, flood/walk simulation (Fig 8) |
 //! | [`dht`] | `qcp-dht` | Chord ring + distributed keyword index |
@@ -61,6 +62,7 @@ pub use qcp_core::sketch;
 pub use qcp_core::terms;
 pub use qcp_core::tracegen;
 pub use qcp_core::util;
+pub use qcp_core::vtime;
 pub use qcp_core::xpar;
 pub use qcp_core::zipf;
 

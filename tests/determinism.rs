@@ -635,3 +635,136 @@ fn profile_thread_width_does_not_leak() {
          must not perturb the profile"
     );
 }
+
+// ---------------------------------------------------------------------
+// vtime + latency: the event-driven engine rides the same contract. At
+// unit latency with no cutoff the calendar drains deliveries in exact
+// BFS level order, so the event flood must be bitwise the PR-3 hop
+// census — pinned here at the paper's 40,000-node topology. The
+// `repro latency` deadline grid must be bit-identical across runs,
+// pool widths, and recording on/off.
+// ---------------------------------------------------------------------
+
+use qcp2p::obs::Event;
+use qcp2p::overlay::event_flood;
+use qcp2p::overlay::flood::FloodEngine;
+use qcp_bench::latency::{latency_data, latency_data_recorded};
+
+#[test]
+fn event_flood_at_forty_thousand_nodes_is_bitwise_the_census() {
+    // Scale::Default and Scale::Paper share the 40k Figure-8 topology.
+    let topo = gnutella_two_tier(&qcp_bench::figures::fig8_topology(Scale::Default));
+    let n = topo.graph.num_nodes();
+    assert_eq!(n, 40_000, "the pin must run at the paper's full scale");
+    let fwd = topo.forwarders();
+    let holders: Vec<u32> = (0..n as u32)
+        .filter(|&v| qcp2p::util::hash::mix64(0x40aa ^ v as u64).is_multiple_of(997))
+        .collect();
+    assert!(
+        holders.len() > 10,
+        "guard: the holder set must be nontrivial"
+    );
+    let plan = FaultPlan::none(n);
+    let max_ttl = 6;
+    for source in [0u32, 17_321] {
+        let mut engine = FloodEngine::new(n);
+        let census = engine.flood_census(&topo.graph, source, max_ttl, &holders, Some(&fwd));
+        for ttl in 0..=max_ttl {
+            let (out, stats) = event_flood(
+                &topo.graph,
+                source,
+                ttl,
+                &holders,
+                Some(&fwd),
+                &plan,
+                0,
+                0x40aa,
+                None,
+            );
+            assert_eq!(
+                out.flood,
+                census.at(ttl),
+                "source {source} ttl {ttl}: event flood diverged from census"
+            );
+            assert!(!out.truncated, "no cutoff was requested");
+            assert_eq!(
+                out.first_hit_time,
+                out.flood.found_at_hop.map(u64::from),
+                "unit latency: a hit at hop h is a hit at tick h"
+            );
+            assert_eq!(stats.dropped, 0, "the none-plan must not fire");
+        }
+        // The rare-query hit counter agrees with the synchronous engine.
+        let (out, _) = event_flood(
+            &topo.graph,
+            source,
+            max_ttl,
+            &holders,
+            Some(&fwd),
+            &plan,
+            0,
+            0x40aa,
+            None,
+        );
+        assert_eq!(out.holders_reached, engine.hits_in_last_flood(&holders));
+    }
+}
+
+fn latency_session() -> Repro {
+    let mut r = Repro::new(std::env::temp_dir().join("qcp-determinism"), Scale::Test);
+    r.trials = 40;
+    r.seed = 0x1a7;
+    r
+}
+
+#[test]
+fn latency_grid_same_seed_is_bit_identical() {
+    let r = latency_session();
+    let pool = Pool::new(2);
+    let a = latency_data(&r, &pool);
+    let b = latency_data(&r, &pool);
+    assert_eq!(a, b, "repro latency must reproduce bit-identical results");
+    // Guard: deadlines actually bite somewhere, or the pin is vacuous.
+    assert!(
+        a.iter()
+            .flat_map(|c| &c.systems)
+            .any(|s| s.deadline_misses > 0),
+        "guard: the deadline must end some query"
+    );
+}
+
+#[test]
+fn latency_grid_thread_width_does_not_leak() {
+    let r = latency_session();
+    let a = latency_data(&r, &Pool::new(1));
+    let b = latency_data(&r, &Pool::new(4));
+    assert_eq!(
+        a, b,
+        "cells are pure functions of (seed, cell index); pool width must \
+         not perturb the grid"
+    );
+}
+
+#[test]
+fn latency_grid_recording_on_vs_off_is_bit_identical() {
+    let r = latency_session();
+    let pool = Pool::new(2);
+    let off = latency_data(&r, &pool);
+    let (on, master) = latency_data_recorded(&r, &pool);
+    assert_eq!(off, on, "recording must not perturb the deadline grid");
+    // The master recorder reconciles with the outcome stream: one
+    // DeadlineExceeded event per clock-ended query, and the
+    // time-to-first-hit histogram is actually populated.
+    let misses: u64 = off
+        .iter()
+        .flat_map(|c| &c.systems)
+        .map(|s| s.deadline_misses)
+        .sum();
+    let events: u64 = Kernel::ALL
+        .iter()
+        .map(|&k| master.event_count(k, Event::DeadlineExceeded))
+        .sum();
+    assert_eq!(events, misses, "recorded deadline misses must reconcile");
+    let time_mass: u64 = Kernel::ALL.iter().map(|&k| master.time_weight(k)).sum();
+    assert!(time_mass > 0, "guard: rec_time must see first-hit ticks");
+}
