@@ -1,16 +1,19 @@
 //! `repro` — regenerate every figure and table of the paper.
 //!
 //! ```text
-//! repro [--scale test|smoke|default|paper] [--out DIR] [--trials N] [--seed S] ARTIFACT...
+//! repro [--scale test|smoke|default|paper] [--out DIR] [--trials N] [--seed S] [--huge] ARTIFACT...
 //! repro all
 //! repro bench --scale smoke   # census-vs-reference perf gate + BENCH_fig8.json
+//! repro scale --scale smoke   # scale ladder + scale.{csv,json} + BENCH_scale.json
 //! repro list
 //! ```
 //!
 //! Artifacts: fig1..fig8, fig8-churn, table1..table3, ablation-synopsis,
 //! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk,
 //! `profile`, `latency` (the deadline grid on the virtual-time engine),
-//! and `bench` (the Figure-8 perf-trajectory harness; not part of `all`).
+//! `bench` (the Figure-8 perf-trajectory harness), and `scale` (the
+//! million-node ladder; `--huge` appends a 10M rung). `bench` and `scale`
+//! are not part of `all`.
 
 #![forbid(unsafe_code)]
 
@@ -18,8 +21,8 @@ use qcp_bench::{Repro, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale test|smoke|default|paper] [--out DIR] [--trials N] [--seed S] <artifact>...\n\
-         artifacts: {} | bench | all | list",
+        "usage: repro [--scale test|smoke|default|paper] [--out DIR] [--trials N] [--seed S] [--huge] <artifact>...\n\
+         artifacts: {} | bench | scale | all | list",
         Repro::all_artifacts().join(" | ")
     );
     std::process::exit(2);
@@ -31,6 +34,7 @@ fn main() {
     let mut out_dir = "results".to_string();
     let mut trials: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut huge = false;
     let mut artifacts: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -54,6 +58,7 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--huge" => huge = true,
             "--help" | "-h" => usage(),
             other => artifacts.push(other.to_string()),
         }
@@ -81,6 +86,7 @@ fn main() {
     if let Some(s) = seed {
         session.seed = s;
     }
+    session.huge = huge;
 
     eprintln!(
         "repro: scale={scale:?}, trials={}, seed={}, out={}",

@@ -18,6 +18,7 @@ pub mod figures;
 pub mod latency;
 pub mod profile;
 pub mod rows;
+pub mod scale;
 pub mod soak;
 pub mod timing;
 
@@ -77,6 +78,8 @@ pub struct Repro {
     pub trials: usize,
     /// Base seed.
     pub seed: u64,
+    /// Include the 10M-node rung in `repro scale` (`--huge`).
+    pub huge: bool,
     findings: OnceLock<Findings>,
 }
 
@@ -92,6 +95,7 @@ impl Repro {
                 Scale::Paper => 10_000,
             },
             seed: 2024,
+            huge: false,
             findings: OnceLock::new(),
         }
     }
@@ -142,6 +146,7 @@ impl Repro {
             "profile" => profile::profile(self),
             "latency" => latency::latency(self),
             "bench" => timing::bench(self),
+            "scale" => scale::scale(self),
             // qcplint: allow(panic) — CLI contract: unknown ids fail fast.
             other => panic!("unknown artifact '{other}'"),
         }

@@ -5,8 +5,16 @@
 //! forwards to all its other neighbors while TTL remains. In a two-tier
 //! network only ultrapeers forward; leaves receive and answer.
 //!
-//! [`FloodEngine`] is a reusable BFS context: visit marks are epoch-stamped
-//! `u32`s, so consecutive queries on the same graph allocate nothing.
+//! [`FloodEngine`] is a reusable BFS context with two interchangeable
+//! visited-set representations (DESIGN.md §13): epoch-stamped `u32` marks
+//! (4 bytes/node, O(1) reset — the default at paper scale) and a bitset
+//! (1 bit/node, O(n/64) reset — the default at million-node scale, where
+//! the 32× smaller footprint keeps the visited set cache- and
+//! RSS-friendly). Both produce bit-identical traversals: the BFS only
+//! ever asks "newly visited?", which is representation-independent.
+//! Consecutive queries on the same graph allocate nothing either way, and
+//! [`FloodEngine::run_into`] extends that guarantee to the census vectors
+//! via a caller-held [`CensusBuf`].
 //!
 //! # The hop census and the BFS prefix property
 //!
@@ -100,7 +108,7 @@ impl<'p> FloodSpec<'p> {
 /// standalone TTL-`h` flood would report. The vectors stop at the level
 /// where the BFS exhausted the graph (or at `max_ttl`); [`Self::at`]
 /// clamps, because a deeper flood of a dead frontier changes nothing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CensusOutcome {
     /// `reached[h]` — distinct peers a TTL-`h` flood reaches (index 0 is
     /// the source alone; all-zero when a faulty census had a dead source).
@@ -148,6 +156,388 @@ pub struct FloodOutcome {
     pub messages: u64,
 }
 
+/// Caller-held census buffers for [`FloodEngine::run_into`]: sweep loops
+/// keep one per worker and reuse its vector capacity across trials, so a
+/// steady-state trial performs no heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct CensusBuf {
+    /// The census of the most recent run.
+    pub census: CensusOutcome,
+    /// Per-level *cumulative* fault stats of the most recent run
+    /// (all-zero entries for fault-free specs).
+    pub stats: Vec<FaultStats>,
+}
+
+// ---------------------------------------------------------------------
+// Visited-set representations.
+// ---------------------------------------------------------------------
+
+/// Visited-set representation of a [`FloodEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitedRepr {
+    /// Epoch-stamped `u32` per node: 4 bytes/node, O(1) per-query reset.
+    EpochMarks,
+    /// One bit per node: 32× smaller, O(n/64) per-query reset.
+    Bitset,
+}
+
+/// Node count at which [`FloodEngine::new`] switches from epoch marks to
+/// the bitset: below it the 4-byte marks' O(1) reset wins (queries touch
+/// a large fraction of the graph anyway); at and above it the bitset's
+/// footprint — 128 KiB instead of 4 MiB per million nodes — dominates.
+/// Half a mebinode, so every million-node-and-up ladder rung gets the
+/// bitset while the paper's 40k (and the golden-pinned Figure-8 runs)
+/// keep epoch marks.
+pub const BITSET_THRESHOLD: usize = 1 << 19;
+
+/// The operations a BFS needs from a visited set. The cores are generic
+/// over this trait (monomorphized — no per-visit dispatch); the engine
+/// picks the implementation once per query.
+trait VisitMarks {
+    /// Starts a new query: every node becomes unvisited.
+    fn begin(&mut self);
+    /// Marks `v` visited; true when `v` was not yet visited this query.
+    fn insert(&mut self, v: u32) -> bool;
+    /// Whether `v` was visited by the current (most recent) query.
+    fn contains(&self, v: u32) -> bool;
+}
+
+/// 4-byte epoch marks: reset is a counter bump; wraparound (once per
+/// 2^32 queries) clears the array and restarts at epoch 1.
+#[derive(Debug, Clone)]
+struct EpochMarks {
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochMarks {
+    fn new(num_nodes: usize) -> Self {
+        Self {
+            mark: vec![0; num_nodes],
+            epoch: 0,
+        }
+    }
+}
+
+impl VisitMarks for EpochMarks {
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset marks and restart epochs, so a
+            // stale mark from 2^32 queries ago can never read as visited.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, v: u32) -> bool {
+        let slot = &mut self.mark[v as usize];
+        if *slot != self.epoch {
+            *slot = self.epoch;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.mark[v as usize] == self.epoch
+    }
+}
+
+/// 1-bit-per-node marks, cleared wholesale at query start.
+#[derive(Debug, Clone)]
+struct BitMarks {
+    words: Vec<u64>,
+}
+
+impl BitMarks {
+    fn new(num_nodes: usize) -> Self {
+        Self {
+            words: vec![0; num_nodes.div_ceil(64)],
+        }
+    }
+}
+
+impl VisitMarks for BitMarks {
+    fn begin(&mut self) {
+        self.words.fill(0);
+    }
+
+    #[inline]
+    fn insert(&mut self, v: u32) -> bool {
+        let word = &mut self.words[(v >> 6) as usize];
+        let bit = 1u64 << (v & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.words[(v >> 6) as usize] & (1u64 << (v & 63)) != 0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Visited {
+    Epoch(EpochMarks),
+    Bits(BitMarks),
+}
+
+// ---------------------------------------------------------------------
+// BFS cores, generic over the visited set (monomorphic hot loops).
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)] // internal core behind the engine API
+fn flood_core<V: VisitMarks>(
+    visited: &mut V,
+    frontier: &mut Vec<u32>,
+    next: &mut Vec<u32>,
+    graph: &Graph,
+    source: u32,
+    ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+    faults: Option<FloodFaults<'_>>,
+    stats: &mut FaultStats,
+) -> FloodOutcome {
+    debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+    visited.begin();
+    frontier.clear();
+    next.clear();
+    let mut reached = 1u32;
+    let mut messages = 0u64;
+    let mut found_at_hop = None;
+    visited.insert(source);
+    if holders.binary_search(&source).is_ok() {
+        found_at_hop = Some(0);
+    }
+    frontier.push(source);
+    let mut hop = 0u32;
+    while hop < ttl && !frontier.is_empty() {
+        hop += 1;
+        next.clear();
+        for &u in frontier.iter() {
+            // Only forwarders expand (the source always sends).
+            if u != source {
+                if let Some(mask) = forwarders {
+                    if !mask[u as usize] {
+                        continue;
+                    }
+                }
+            }
+            for &v in graph.neighbors(u) {
+                messages += 1;
+                if let Some(f) = faults {
+                    if !f.plan.alive_at(v, f.time) {
+                        stats.dead_targets += 1;
+                        continue;
+                    }
+                    if f.plan.drop_message(u, v, f.nonce, messages) {
+                        stats.dropped += 1;
+                        continue;
+                    }
+                }
+                if visited.insert(v) {
+                    reached += 1;
+                    if found_at_hop.is_none() && holders.binary_search(&v).is_ok() {
+                        found_at_hop = Some(hop);
+                    }
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(frontier, next);
+    }
+    FloodOutcome {
+        found: found_at_hop.is_some(),
+        found_at_hop,
+        reached,
+        messages,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal core behind the engine API
+fn census_core<V: VisitMarks, R: Recorder>(
+    visited: &mut V,
+    frontier: &mut Vec<u32>,
+    next: &mut Vec<u32>,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+    stop_on_hit: bool,
+    rec: &mut R,
+    out: &mut CensusOutcome,
+) {
+    debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+    rec.rec_span(Kernel::Flood);
+    visited.begin();
+    frontier.clear();
+    next.clear();
+    out.reached.clear();
+    out.messages.clear();
+    out.first_hit_hop = None;
+    let mut reached = 1u32;
+    let mut messages = 0u64;
+    visited.insert(source);
+    if holders.binary_search(&source).is_ok() {
+        out.first_hit_hop = Some(0);
+    }
+    frontier.push(source);
+    out.reached.push(reached);
+    out.messages.push(messages);
+    let mut hop = 0u32;
+    while hop < max_ttl && !frontier.is_empty() {
+        hop += 1;
+        next.clear();
+        let level_start = messages;
+        for &u in frontier.iter() {
+            // Only forwarders expand (the source always sends).
+            if u != source {
+                if let Some(mask) = forwarders {
+                    if !mask[u as usize] {
+                        continue;
+                    }
+                }
+            }
+            for &v in graph.neighbors(u) {
+                messages += 1;
+                if visited.insert(v) {
+                    reached += 1;
+                    if out.first_hit_hop.is_none() && holders.binary_search(&v).is_ok() {
+                        out.first_hit_hop = Some(hop);
+                    }
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(frontier, next);
+        out.reached.push(reached);
+        out.messages.push(messages);
+        rec.rec_hop(Kernel::Flood, hop, messages - level_start);
+        // Expanding-ring early exit: the successful ring is
+        // `max(first_hit_hop, 1)`, and its prefix sums are complete
+        // once this level is.
+        if stop_on_hit && out.first_hit_hop.is_some() {
+            break;
+        }
+    }
+    rec.rec_count(Kernel::Flood, Counter::Messages, messages);
+    rec.rec_event(
+        Kernel::Flood,
+        if out.first_hit_hop.is_some() {
+            Event::Hit
+        } else {
+            Event::Miss
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)] // internal core behind the engine API
+fn census_faulty_core<V: VisitMarks, R: Recorder>(
+    visited: &mut V,
+    frontier: &mut Vec<u32>,
+    next: &mut Vec<u32>,
+    graph: &Graph,
+    source: u32,
+    max_ttl: u32,
+    holders: &[u32],
+    forwarders: Option<&[bool]>,
+    faults: FloodFaults<'_>,
+    stop_on_hit: bool,
+    rec: &mut R,
+    out: &mut CensusOutcome,
+    level_stats: &mut Vec<FaultStats>,
+) {
+    debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
+    rec.rec_span(Kernel::Flood);
+    out.reached.clear();
+    out.messages.clear();
+    out.first_hit_hop = None;
+    level_stats.clear();
+    let FloodFaults { plan, time, nonce } = faults;
+    if !plan.alive_at(source, time) {
+        rec.rec_event(Kernel::Flood, Event::DeadSource);
+        out.reached.push(0);
+        out.messages.push(0);
+        level_stats.push(FaultStats::default());
+        return;
+    }
+    visited.begin();
+    frontier.clear();
+    next.clear();
+    let mut reached = 1u32;
+    let mut messages = 0u64;
+    visited.insert(source);
+    if holders.binary_search(&source).is_ok() {
+        out.first_hit_hop = Some(0);
+    }
+    frontier.push(source);
+    out.reached.push(reached);
+    out.messages.push(messages);
+    level_stats.push(FaultStats::default());
+    let mut hop = 0u32;
+    while hop < max_ttl && !frontier.is_empty() {
+        hop += 1;
+        next.clear();
+        let mut stats = FaultStats::default();
+        let level_start = messages;
+        for &u in frontier.iter() {
+            // Only forwarders expand (the source always sends).
+            if u != source {
+                if let Some(mask) = forwarders {
+                    if !mask[u as usize] {
+                        continue;
+                    }
+                }
+            }
+            for &v in graph.neighbors(u) {
+                messages += 1;
+                if !plan.alive_at(v, time) {
+                    stats.dead_targets += 1;
+                    continue;
+                }
+                if plan.drop_message(u, v, nonce, messages) {
+                    stats.dropped += 1;
+                    continue;
+                }
+                if visited.insert(v) {
+                    reached += 1;
+                    if out.first_hit_hop.is_none() && holders.binary_search(&v).is_ok() {
+                        out.first_hit_hop = Some(hop);
+                    }
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(frontier, next);
+        out.reached.push(reached);
+        out.messages.push(messages);
+        rec.rec_hop(Kernel::Flood, hop, messages - level_start);
+        rec.rec_faults(Kernel::Flood, &stats);
+        level_stats.push(stats);
+        // Expanding-ring early exit, as in the fault-free census.
+        if stop_on_hit && out.first_hit_hop.is_some() {
+            break;
+        }
+    }
+    FaultStats::accumulate_prefix(level_stats);
+    rec.rec_count(Kernel::Flood, Counter::Messages, messages);
+    rec.rec_event(
+        Kernel::Flood,
+        if out.first_hit_hop.is_some() {
+            Event::Hit
+        } else {
+            Event::Miss
+        },
+    );
+}
+
 /// Reusable flooding engine for one graph size.
 ///
 /// ```
@@ -163,32 +553,67 @@ pub struct FloodOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FloodEngine {
-    mark: Vec<u32>,
-    epoch: u32,
+    visited: Visited,
     frontier: Vec<u32>,
     next: Vec<u32>,
 }
 
+/// Dispatches once per engine entry point into a core monomorphized over
+/// the visited-set representation (no per-visit dynamic dispatch).
+macro_rules! with_visited {
+    ($self:expr, $marks:ident => $body:expr) => {
+        match &mut $self.visited {
+            Visited::Epoch($marks) => $body,
+            Visited::Bits($marks) => $body,
+        }
+    };
+}
+
 impl FloodEngine {
-    /// Creates an engine for graphs with `num_nodes` nodes.
+    /// Creates an engine for graphs with `num_nodes` nodes, choosing the
+    /// visited-set representation by [`BITSET_THRESHOLD`].
     pub fn new(num_nodes: usize) -> Self {
+        let repr = if num_nodes >= BITSET_THRESHOLD {
+            VisitedRepr::Bitset
+        } else {
+            VisitedRepr::EpochMarks
+        };
+        Self::with_repr(num_nodes, repr)
+    }
+
+    /// Creates an engine with an explicit visited-set representation
+    /// (tests and the `repro scale` artifact pin cross-representation
+    /// equality with this).
+    pub fn with_repr(num_nodes: usize, repr: VisitedRepr) -> Self {
+        let visited = match repr {
+            VisitedRepr::EpochMarks => Visited::Epoch(EpochMarks::new(num_nodes)),
+            VisitedRepr::Bitset => Visited::Bits(BitMarks::new(num_nodes)),
+        };
         Self {
-            mark: vec![0; num_nodes],
-            epoch: 0,
+            visited,
             frontier: Vec::new(),
             next: Vec::new(),
         }
     }
 
-    fn begin(&mut self) {
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // Extremely rare wrap: reset marks and restart epochs.
-            self.mark.fill(0);
-            self.epoch = 1;
+    /// The active visited-set representation.
+    pub fn repr(&self) -> VisitedRepr {
+        match self.visited {
+            Visited::Epoch(_) => VisitedRepr::EpochMarks,
+            Visited::Bits(_) => VisitedRepr::Bitset,
         }
-        self.frontier.clear();
-        self.next.clear();
+    }
+
+    /// Resident bytes of the engine's per-trial state: the visited set
+    /// plus the frontier queues' reserved capacity. Deterministic for a
+    /// deterministic workload (capacities grow by the same doubling
+    /// sequence), so `repro scale` can report it under the byte gate.
+    pub fn mem_bytes(&self) -> usize {
+        let visited = match &self.visited {
+            Visited::Epoch(m) => m.mark.len() * std::mem::size_of::<u32>(),
+            Visited::Bits(m) => m.words.len() * std::mem::size_of::<u64>(),
+        };
+        visited + (self.frontier.capacity() + self.next.capacity()) * std::mem::size_of::<u32>()
     }
 
     /// Floods from `source` with `ttl` hops and reports coverage plus
@@ -206,50 +631,11 @@ impl FloodEngine {
         holders: &[u32],
         forwarders: Option<&[bool]>,
     ) -> FloodOutcome {
-        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
-        self.begin();
-        let epoch = self.epoch;
-        let mut reached = 1u32;
-        let mut messages = 0u64;
-        let mut found_at_hop = None;
-        self.mark[source as usize] = epoch;
-        if holders.binary_search(&source).is_ok() {
-            found_at_hop = Some(0);
-        }
-        self.frontier.push(source);
-        let mut hop = 0u32;
-        while hop < ttl && !self.frontier.is_empty() {
-            hop += 1;
-            self.next.clear();
-            for &u in &self.frontier {
-                // Only forwarders expand (the source always sends).
-                if u != source {
-                    if let Some(mask) = forwarders {
-                        if !mask[u as usize] {
-                            continue;
-                        }
-                    }
-                }
-                for &v in graph.neighbors(u) {
-                    messages += 1;
-                    if self.mark[v as usize] != epoch {
-                        self.mark[v as usize] = epoch;
-                        reached += 1;
-                        if found_at_hop.is_none() && holders.binary_search(&v).is_ok() {
-                            found_at_hop = Some(hop);
-                        }
-                        self.next.push(v);
-                    }
-                }
-            }
-            std::mem::swap(&mut self.frontier, &mut self.next);
-        }
-        FloodOutcome {
-            found: found_at_hop.is_some(),
-            found_at_hop,
-            reached,
-            messages,
-        }
+        let (frontier, next) = (&mut self.frontier, &mut self.next);
+        let mut stats = FaultStats::default();
+        with_visited!(self, marks => flood_core(
+            marks, frontier, next, graph, source, ttl, holders, forwarders, None, &mut stats,
+        ))
     }
 
     /// Hop-census flood: one BFS at `max_ttl` whose per-level snapshots
@@ -264,15 +650,13 @@ impl FloodEngine {
         holders: &[u32],
         forwarders: Option<&[bool]>,
     ) -> CensusOutcome {
-        self.census_impl(
-            graph,
-            source,
-            max_ttl,
-            holders,
-            forwarders,
-            false,
-            &mut NoopRecorder,
-        )
+        let mut out = CensusOutcome::default();
+        let (frontier, next) = (&mut self.frontier, &mut self.next);
+        with_visited!(self, marks => census_core(
+            marks, frontier, next, graph, source, max_ttl, holders, forwarders,
+            false, &mut NoopRecorder, &mut out,
+        ));
+        out
     }
 
     /// Unified flood entry point: runs the census described by `spec`,
@@ -292,6 +676,9 @@ impl FloodEngine {
     ///
     /// and `census.at(t)` reconstructs [`Self::flood`] /
     /// [`Self::flood_faulty`] at TTL `t` (the BFS prefix property).
+    ///
+    /// Allocates fresh result vectors per call; hot sweep loops use
+    /// [`Self::run_into`] with a reused [`CensusBuf`] instead.
     pub fn run<R: Recorder>(
         &mut self,
         graph: &Graph,
@@ -301,32 +688,42 @@ impl FloodEngine {
         spec: &FloodSpec<'_>,
         rec: &mut R,
     ) -> (CensusOutcome, Vec<FaultStats>) {
+        let mut buf = CensusBuf::default();
+        self.run_into(graph, source, holders, forwarders, spec, rec, &mut buf);
+        (buf.census, buf.stats)
+    }
+
+    /// [`Self::run`] writing into a caller-held [`CensusBuf`]: identical
+    /// results (bit for bit — pinned by tests), but the census vectors
+    /// reuse `buf`'s capacity, so a steady-state trial allocates nothing.
+    #[allow(clippy::too_many_arguments)] // mirrors `run` + the buffer
+    pub fn run_into<R: Recorder>(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        holders: &[u32],
+        forwarders: Option<&[bool]>,
+        spec: &FloodSpec<'_>,
+        rec: &mut R,
+        buf: &mut CensusBuf,
+    ) {
+        let (frontier, next) = (&mut self.frontier, &mut self.next);
+        let (out, level_stats) = (&mut buf.census, &mut buf.stats);
         match spec.plan {
             None => {
-                let census = self.census_impl(
-                    graph,
-                    source,
-                    spec.max_ttl,
-                    holders,
-                    forwarders,
-                    spec.pruned,
-                    rec,
-                );
-                let stats = vec![FaultStats::default(); census.reached.len()];
-                (census, stats)
+                with_visited!(self, marks => census_core(
+                    marks, frontier, next, graph, source, spec.max_ttl, holders,
+                    forwarders, spec.pruned, rec, out,
+                ));
+                level_stats.clear();
+                level_stats.resize(out.reached.len(), FaultStats::default());
             }
-            Some(f) => self.census_faulty_impl(
-                graph,
-                source,
-                spec.max_ttl,
-                holders,
-                forwarders,
-                f.plan,
-                f.time,
-                f.nonce,
-                spec.pruned,
-                rec,
-            ),
+            Some(f) => {
+                with_visited!(self, marks => census_faulty_core(
+                    marks, frontier, next, graph, source, spec.max_ttl, holders,
+                    forwarders, f, spec.pruned, rec, out, level_stats,
+                ));
+            }
         }
     }
 
@@ -343,95 +740,13 @@ impl FloodEngine {
         holders: &[u32],
         forwarders: Option<&[bool]>,
     ) -> CensusOutcome {
-        self.census_impl(
-            graph,
-            source,
-            max_ttl,
-            holders,
-            forwarders,
-            true,
-            &mut NoopRecorder,
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)] // the spec entry point is the public face
-    fn census_impl<R: Recorder>(
-        &mut self,
-        graph: &Graph,
-        source: u32,
-        max_ttl: u32,
-        holders: &[u32],
-        forwarders: Option<&[bool]>,
-        stop_on_hit: bool,
-        rec: &mut R,
-    ) -> CensusOutcome {
-        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
-        rec.rec_span(Kernel::Flood);
-        self.begin();
-        let epoch = self.epoch;
-        let mut reached = 1u32;
-        let mut messages = 0u64;
-        let mut first_hit_hop = None;
-        self.mark[source as usize] = epoch;
-        if holders.binary_search(&source).is_ok() {
-            first_hit_hop = Some(0);
-        }
-        self.frontier.push(source);
-        let mut cum_reached = Vec::with_capacity(max_ttl as usize + 1);
-        let mut cum_messages = Vec::with_capacity(max_ttl as usize + 1);
-        cum_reached.push(reached);
-        cum_messages.push(messages);
-        let mut hop = 0u32;
-        while hop < max_ttl && !self.frontier.is_empty() {
-            hop += 1;
-            self.next.clear();
-            let level_start = messages;
-            for &u in &self.frontier {
-                // Only forwarders expand (the source always sends).
-                if u != source {
-                    if let Some(mask) = forwarders {
-                        if !mask[u as usize] {
-                            continue;
-                        }
-                    }
-                }
-                for &v in graph.neighbors(u) {
-                    messages += 1;
-                    if self.mark[v as usize] != epoch {
-                        self.mark[v as usize] = epoch;
-                        reached += 1;
-                        if first_hit_hop.is_none() && holders.binary_search(&v).is_ok() {
-                            first_hit_hop = Some(hop);
-                        }
-                        self.next.push(v);
-                    }
-                }
-            }
-            std::mem::swap(&mut self.frontier, &mut self.next);
-            cum_reached.push(reached);
-            cum_messages.push(messages);
-            rec.rec_hop(Kernel::Flood, hop, messages - level_start);
-            // Expanding-ring early exit: the successful ring is
-            // `max(first_hit_hop, 1)`, and its prefix sums are complete
-            // once this level is.
-            if stop_on_hit && first_hit_hop.is_some() {
-                break;
-            }
-        }
-        rec.rec_count(Kernel::Flood, Counter::Messages, messages);
-        rec.rec_event(
-            Kernel::Flood,
-            if first_hit_hop.is_some() {
-                Event::Hit
-            } else {
-                Event::Miss
-            },
-        );
-        CensusOutcome {
-            reached: cum_reached,
-            messages: cum_messages,
-            first_hit_hop,
-        }
+        let mut out = CensusOutcome::default();
+        let (frontier, next) = (&mut self.frontier, &mut self.next);
+        with_visited!(self, marks => census_core(
+            marks, frontier, next, graph, source, max_ttl, holders, forwarders,
+            true, &mut NoopRecorder, &mut out,
+        ));
+        out
     }
 
     /// Fault-aware hop census: one faulty BFS at `max_ttl`, per-level
@@ -454,127 +769,15 @@ impl FloodEngine {
         time: u64,
         nonce: u64,
     ) -> (CensusOutcome, Vec<FaultStats>) {
-        self.census_faulty_impl(
-            graph,
-            source,
-            max_ttl,
-            holders,
-            forwarders,
-            plan,
-            time,
-            nonce,
-            false,
-            &mut NoopRecorder,
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)] // the spec entry point is the public face
-    fn census_faulty_impl<R: Recorder>(
-        &mut self,
-        graph: &Graph,
-        source: u32,
-        max_ttl: u32,
-        holders: &[u32],
-        forwarders: Option<&[bool]>,
-        plan: &FaultPlan,
-        time: u64,
-        nonce: u64,
-        stop_on_hit: bool,
-        rec: &mut R,
-    ) -> (CensusOutcome, Vec<FaultStats>) {
-        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
-        rec.rec_span(Kernel::Flood);
-        if !plan.alive_at(source, time) {
-            rec.rec_event(Kernel::Flood, Event::DeadSource);
-            return (
-                CensusOutcome {
-                    reached: vec![0],
-                    messages: vec![0],
-                    first_hit_hop: None,
-                },
-                vec![FaultStats::default()],
-            );
-        }
-        self.begin();
-        let epoch = self.epoch;
-        let mut reached = 1u32;
-        let mut messages = 0u64;
-        let mut first_hit_hop = None;
-        self.mark[source as usize] = epoch;
-        if holders.binary_search(&source).is_ok() {
-            first_hit_hop = Some(0);
-        }
-        self.frontier.push(source);
-        let mut cum_reached = Vec::with_capacity(max_ttl as usize + 1);
-        let mut cum_messages = Vec::with_capacity(max_ttl as usize + 1);
-        let mut level_stats = Vec::with_capacity(max_ttl as usize + 1);
-        cum_reached.push(reached);
-        cum_messages.push(messages);
-        level_stats.push(FaultStats::default());
-        let mut hop = 0u32;
-        while hop < max_ttl && !self.frontier.is_empty() {
-            hop += 1;
-            self.next.clear();
-            let mut stats = FaultStats::default();
-            let level_start = messages;
-            for &u in &self.frontier {
-                // Only forwarders expand (the source always sends).
-                if u != source {
-                    if let Some(mask) = forwarders {
-                        if !mask[u as usize] {
-                            continue;
-                        }
-                    }
-                }
-                for &v in graph.neighbors(u) {
-                    messages += 1;
-                    if !plan.alive_at(v, time) {
-                        stats.dead_targets += 1;
-                        continue;
-                    }
-                    if plan.drop_message(u, v, nonce, messages) {
-                        stats.dropped += 1;
-                        continue;
-                    }
-                    if self.mark[v as usize] != epoch {
-                        self.mark[v as usize] = epoch;
-                        reached += 1;
-                        if first_hit_hop.is_none() && holders.binary_search(&v).is_ok() {
-                            first_hit_hop = Some(hop);
-                        }
-                        self.next.push(v);
-                    }
-                }
-            }
-            std::mem::swap(&mut self.frontier, &mut self.next);
-            cum_reached.push(reached);
-            cum_messages.push(messages);
-            rec.rec_hop(Kernel::Flood, hop, messages - level_start);
-            rec.rec_faults(Kernel::Flood, &stats);
-            level_stats.push(stats);
-            // Expanding-ring early exit, as in the fault-free census.
-            if stop_on_hit && first_hit_hop.is_some() {
-                break;
-            }
-        }
-        FaultStats::accumulate_prefix(&mut level_stats);
-        rec.rec_count(Kernel::Flood, Counter::Messages, messages);
-        rec.rec_event(
-            Kernel::Flood,
-            if first_hit_hop.is_some() {
-                Event::Hit
-            } else {
-                Event::Miss
-            },
-        );
-        (
-            CensusOutcome {
-                reached: cum_reached,
-                messages: cum_messages,
-                first_hit_hop,
-            },
-            level_stats,
-        )
+        let mut out = CensusOutcome::default();
+        let mut level_stats = Vec::new();
+        let faults = FloodFaults { plan, time, nonce };
+        let (frontier, next) = (&mut self.frontier, &mut self.next);
+        with_visited!(self, marks => census_faulty_core(
+            marks, frontier, next, graph, source, max_ttl, holders, forwarders,
+            faults, false, &mut NoopRecorder, &mut out, &mut level_stats,
+        ));
+        (out, level_stats)
     }
 
     /// Fault-aware flood: like [`Self::flood`], but every transmission
@@ -603,7 +806,6 @@ impl FloodEngine {
         time: u64,
         nonce: u64,
     ) -> (FloodOutcome, FaultStats) {
-        debug_assert!(holders.windows(2).all(|w| w[0] < w[1]));
         let mut stats = FaultStats::default();
         if !plan.alive_at(source, time) {
             return (
@@ -616,66 +818,22 @@ impl FloodEngine {
                 stats,
             );
         }
-        self.begin();
-        let epoch = self.epoch;
-        let mut reached = 1u32;
-        let mut messages = 0u64;
-        let mut found_at_hop = None;
-        self.mark[source as usize] = epoch;
-        if holders.binary_search(&source).is_ok() {
-            found_at_hop = Some(0);
-        }
-        self.frontier.push(source);
-        let mut hop = 0u32;
-        while hop < ttl && !self.frontier.is_empty() {
-            hop += 1;
-            self.next.clear();
-            for &u in &self.frontier {
-                // Only forwarders expand (the source always sends).
-                if u != source {
-                    if let Some(mask) = forwarders {
-                        if !mask[u as usize] {
-                            continue;
-                        }
-                    }
-                }
-                for &v in graph.neighbors(u) {
-                    messages += 1;
-                    if !plan.alive_at(v, time) {
-                        stats.dead_targets += 1;
-                        continue;
-                    }
-                    if plan.drop_message(u, v, nonce, messages) {
-                        stats.dropped += 1;
-                        continue;
-                    }
-                    if self.mark[v as usize] != epoch {
-                        self.mark[v as usize] = epoch;
-                        reached += 1;
-                        if found_at_hop.is_none() && holders.binary_search(&v).is_ok() {
-                            found_at_hop = Some(hop);
-                        }
-                        self.next.push(v);
-                    }
-                }
-            }
-            std::mem::swap(&mut self.frontier, &mut self.next);
-        }
-        (
-            FloodOutcome {
-                found: found_at_hop.is_some(),
-                found_at_hop,
-                reached,
-                messages,
-            },
-            stats,
-        )
+        let faults = Some(FloodFaults { plan, time, nonce });
+        let (frontier, next) = (&mut self.frontier, &mut self.next);
+        let out = with_visited!(self, marks => flood_core(
+            marks, frontier, next, graph, source, ttl, holders, forwarders,
+            faults, &mut stats,
+        ));
+        (out, stats)
     }
 
     /// True if `node` was reached by the most recent flood.
     #[inline]
     pub fn was_reached(&self, node: u32) -> bool {
-        self.mark[node as usize] == self.epoch
+        match &self.visited {
+            Visited::Epoch(m) => m.contains(node),
+            Visited::Bits(m) => m.contains(node),
+        }
     }
 
     /// Number of `holders` reached by the most recent flood — the "result
@@ -858,6 +1016,126 @@ mod tests {
         for l in 0..=need {
             assert_eq!(pruned.at(l), full.at(l), "level {l}");
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Representation invariance and per-trial state reuse.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn default_repr_follows_the_size_threshold() {
+        assert_eq!(FloodEngine::new(5).repr(), VisitedRepr::EpochMarks);
+        assert_eq!(
+            FloodEngine::new(BITSET_THRESHOLD - 1).repr(),
+            VisitedRepr::EpochMarks
+        );
+        assert_eq!(
+            FloodEngine::new(BITSET_THRESHOLD).repr(),
+            VisitedRepr::Bitset
+        );
+    }
+
+    #[test]
+    fn bitset_census_equals_epoch_census_bitwise() {
+        let g = crate::topology::erdos_renyi(500, 5.0, 91).graph;
+        let fwd: Vec<bool> = (0..500).map(|i| i % 3 != 1).collect();
+        let mut epoch = FloodEngine::with_repr(500, VisitedRepr::EpochMarks);
+        let mut bits = FloodEngine::with_repr(500, VisitedRepr::Bitset);
+        for src in [0u32, 123, 499] {
+            let holders = [60u32, 200, 355];
+            let a = epoch.flood_census(&g, src, 6, &holders, Some(&fwd));
+            let b = bits.flood_census(&g, src, 6, &holders, Some(&fwd));
+            assert_eq!(a, b, "src {src}");
+            assert_eq!(
+                epoch.hits_in_last_flood(&holders),
+                bits.hits_in_last_flood(&holders)
+            );
+            for v in 0..500 {
+                assert_eq!(epoch.was_reached(v), bits.was_reached(v), "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_into_reuses_buffers_and_matches_run() {
+        let g = crate::topology::erdos_renyi(300, 5.0, 92).graph;
+        let mut e = FloodEngine::new(300);
+        let mut buf = CensusBuf::default();
+        let holders = [40u32, 222];
+        for src in [0u32, 7, 150, 299] {
+            let spec = FloodSpec::new(5);
+            e.run_into(&g, src, &holders, None, &spec, &mut NoopRecorder, &mut buf);
+            let (census, stats) = e.run(&g, src, &holders, None, &spec, &mut NoopRecorder);
+            assert_eq!(buf.census, census, "src {src}");
+            assert_eq!(buf.stats, stats, "src {src}");
+        }
+        // Steady state: capacities must be stable (no per-trial realloc).
+        let caps = (
+            buf.census.reached.capacity(),
+            buf.census.messages.capacity(),
+            buf.stats.capacity(),
+        );
+        for src in [11u32, 33, 254] {
+            e.run_into(
+                &g,
+                src,
+                &holders,
+                None,
+                &FloodSpec::new(5),
+                &mut NoopRecorder,
+                &mut buf,
+            );
+        }
+        assert_eq!(
+            caps,
+            (
+                buf.census.reached.capacity(),
+                buf.census.messages.capacity(),
+                buf.stats.capacity(),
+            ),
+            "steady-state trials must not grow the census buffers"
+        );
+    }
+
+    #[test]
+    fn epoch_wrap_keeps_floods_correct() {
+        // Regression: force the epoch counter to the wrap boundary and
+        // check that queries across it stay correct — a stale mark from
+        // before the wrap must never read as visited.
+        let g = path();
+        let mut e = FloodEngine::with_repr(5, VisitedRepr::EpochMarks);
+        // Populate marks at a pre-wrap epoch.
+        let out = e.flood(&g, 0, 4, &[4], None);
+        assert_eq!(out.reached, 5);
+        match &mut e.visited {
+            Visited::Epoch(m) => m.epoch = u32::MAX - 2,
+            Visited::Bits(_) => unreachable!("constructed with epoch marks"),
+        }
+        // Also plant a stale mark equal to a *future* post-wrap epoch (1):
+        // the wrap reset must clear it or node 3 would be skipped.
+        match &mut e.visited {
+            Visited::Epoch(m) => m.mark[3] = 1,
+            Visited::Bits(_) => unreachable!(),
+        }
+        for i in 0..6u32 {
+            let out = e.flood(&g, 0, 4, &[4], None);
+            assert_eq!(out.reached, 5, "flood {i} across the epoch wrap");
+            assert_eq!(out.found_at_hop, Some(4), "flood {i}");
+            assert_eq!(out.messages, 7, "flood {i}");
+        }
+        // The counter did wrap and restart.
+        match &e.visited {
+            Visited::Epoch(m) => assert!(m.epoch >= 1 && m.epoch < u32::MAX - 2),
+            Visited::Bits(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mem_bytes_reflects_representation() {
+        let epoch = FloodEngine::with_repr(1_000, VisitedRepr::EpochMarks);
+        let bits = FloodEngine::with_repr(1_000, VisitedRepr::Bitset);
+        assert_eq!(epoch.mem_bytes(), 4_000);
+        assert_eq!(bits.mem_bytes(), 16 * 8); // ceil(1000/64) u64 words
     }
 }
 
@@ -1168,5 +1446,58 @@ mod faulty_tests {
         // A different nonce sees different drops.
         let c = e.flood_faulty(&g, 5, 4, &[200], None, &plan, 42, 8);
         assert!(a != c || a.0.messages == 0, "nonce must perturb drops");
+    }
+
+    #[test]
+    fn faulty_run_into_matches_run_with_reused_buffer() {
+        let g = er(300, 12);
+        let plan = FaultPlan::build(
+            300,
+            &FaultConfig {
+                loss: 0.2,
+                churn: 0.3,
+                horizon: 64,
+                ..Default::default()
+            },
+        );
+        let holders = [17u32, 290];
+        let mut e = FloodEngine::new(300);
+        let mut buf = CensusBuf::default();
+        // Interleave faulty and fault-free specs through one buffer,
+        // including a dead-source trial, to exercise every reset path.
+        for (src, time) in [(0u32, 0u64), (33, 17), (150, 40), (299, 63), (12, 5)] {
+            let spec = FloodSpec::new(6).faulty(&plan, time, src as u64);
+            e.run_into(&g, src, &holders, None, &spec, &mut NoopRecorder, &mut buf);
+            let (census, stats) = e.run(&g, src, &holders, None, &spec, &mut NoopRecorder);
+            assert_eq!(buf.census, census, "src {src}");
+            assert_eq!(buf.stats, stats, "src {src}");
+            let clean = FloodSpec::new(6);
+            e.run_into(&g, src, &holders, None, &clean, &mut NoopRecorder, &mut buf);
+            let (census, stats) = e.run(&g, src, &holders, None, &clean, &mut NoopRecorder);
+            assert_eq!(buf.census, census, "clean src {src}");
+            assert_eq!(buf.stats, stats, "clean src {src}");
+        }
+    }
+
+    #[test]
+    fn bitset_faulty_census_equals_epoch_faulty_census_bitwise() {
+        let g = er(400, 13);
+        let plan = FaultPlan::build(
+            400,
+            &FaultConfig {
+                loss: 0.25,
+                churn: 0.2,
+                horizon: 64,
+                ..Default::default()
+            },
+        );
+        let mut epoch = FloodEngine::with_repr(400, VisitedRepr::EpochMarks);
+        let mut bits = FloodEngine::with_repr(400, VisitedRepr::Bitset);
+        let holders = [71u32, 340];
+        for (src, time, nonce) in [(0u32, 0u64, 1u64), (13, 17, 2), (399, 40, 3)] {
+            let a = epoch.flood_census_faulty(&g, src, 6, &holders, None, &plan, time, nonce);
+            let b = bits.flood_census_faulty(&g, src, 6, &holders, None, &plan, time, nonce);
+            assert_eq!(a, b, "src {src}");
+        }
     }
 }

@@ -43,7 +43,10 @@ pub use event::{
     event_flood, event_flood_rec, event_walk, event_walk_rec, EventFloodOutcome, EventWalkOutcome,
 };
 pub use expanding::{expanding_ring_search, expanding_ring_search_faulty, ExpandingOutcome};
-pub use flood::{CensusOutcome, FloodEngine, FloodFaults, FloodOutcome, FloodSpec};
+pub use flood::{
+    CensusBuf, CensusOutcome, FloodEngine, FloodFaults, FloodOutcome, FloodSpec, VisitedRepr,
+    BITSET_THRESHOLD,
+};
 pub use graph::Graph;
 pub use metrics::{graph_metrics, GraphMetrics};
 pub use placement::{Placement, PlacementModel};

@@ -6,6 +6,14 @@
 //! measured power law, mean ≈ the crawl's). [`Placement`] stores, per
 //! object, the sorted list of holder peers; membership checks during
 //! flooding are binary searches over those (typically tiny) lists.
+//!
+//! Holder lists live in one CSR-style posting store — `offsets` into a
+//! single `packed` array of peer ids — instead of a `Vec<Vec<u32>>`
+//! (DESIGN.md §13): two allocations total rather than one per object,
+//! no 24-byte `Vec` header and no allocator slack per (typically
+//! single-replica) list, and objects queried together share cache lines.
+//! The public API is unchanged; [`Placement::holders`] returns the same
+//! sorted slice it always did.
 
 use qcp_util::rng::Pcg64;
 use qcp_zipf::DiscretePowerLaw;
@@ -26,8 +34,13 @@ pub enum PlacementModel {
 /// A realized placement.
 #[derive(Debug, Clone)]
 pub struct Placement {
-    /// Sorted holder peers per object.
-    holders: Vec<Vec<u32>>,
+    /// Posting-store offsets: holders of object `o` are
+    /// `packed[offsets[o] as usize..offsets[o + 1] as usize]`. `u64`
+    /// because total replicas across objects can exceed `u32::MAX` at
+    /// the 10M-node scale.
+    offsets: Vec<u64>,
+    /// All holder lists back to back, each sorted ascending.
+    packed: Vec<u32>,
     num_peers: u32,
 }
 
@@ -45,45 +58,61 @@ impl Placement {
                 None
             }
         };
-        let holders: Vec<Vec<u32>> = (0..num_objects)
-            .map(|_| {
-                let r = match model {
-                    PlacementModel::UniformK(k) => k,
-                    PlacementModel::ZipfReplicas { .. } => {
-                        // qcplint: allow(panic) — `law` is Some exactly
-                        // when the model is ZipfReplicas, established by
-                        // the match right above.
-                        law.as_ref().unwrap().sample(&mut rng) as u32
-                    }
-                };
-                let mut peers: Vec<u32> = rng
-                    .sample_distinct(num_peers as usize, r as usize)
+        let mut offsets = Vec::with_capacity(num_objects as usize + 1);
+        offsets.push(0u64);
+        let mut packed: Vec<u32> = Vec::new();
+        for _ in 0..num_objects {
+            let r = match model {
+                PlacementModel::UniformK(k) => k,
+                PlacementModel::ZipfReplicas { .. } => {
+                    // qcplint: allow(panic) — `law` is Some exactly
+                    // when the model is ZipfReplicas, established by
+                    // the match right above.
+                    law.as_ref().unwrap().sample(&mut rng) as u32
+                }
+            };
+            let start = packed.len();
+            packed.extend(
+                rng.sample_distinct(num_peers as usize, r as usize)
                     .into_iter()
-                    .map(|p| p as u32)
-                    .collect();
-                peers.sort_unstable();
-                peers
-            })
-            .collect();
-        Self { holders, num_peers }
+                    .map(|p| p as u32),
+            );
+            packed[start..].sort_unstable();
+            offsets.push(packed.len() as u64);
+        }
+        Self {
+            offsets,
+            packed,
+            num_peers,
+        }
     }
 
     /// Builds a placement from explicit holder lists (e.g. the ground
     /// truth of a generated crawl). Lists are sorted and deduplicated.
-    pub fn from_holder_lists(num_peers: u32, mut holders: Vec<Vec<u32>>) -> Self {
-        for h in &mut holders {
-            h.sort_unstable();
-            h.dedup();
-            if let Some(&max) = h.last() {
+    pub fn from_holder_lists(num_peers: u32, holders: Vec<Vec<u32>>) -> Self {
+        let mut offsets = Vec::with_capacity(holders.len() + 1);
+        offsets.push(0u64);
+        let mut packed: Vec<u32> = Vec::with_capacity(holders.iter().map(Vec::len).sum());
+        for h in holders {
+            let start = packed.len();
+            packed.extend(h);
+            packed[start..].sort_unstable();
+            dedup_tail(&mut packed, start);
+            if let Some(&max) = packed.last().filter(|_| packed.len() > start) {
                 assert!(max < num_peers, "holder peer out of range");
             }
+            offsets.push(packed.len() as u64);
         }
-        Self { holders, num_peers }
+        Self {
+            offsets,
+            packed,
+            num_peers,
+        }
     }
 
     /// Number of objects.
     pub fn num_objects(&self) -> usize {
-        self.holders.len()
+        self.offsets.len() - 1
     }
 
     /// Peer population size.
@@ -94,33 +123,54 @@ impl Placement {
     /// Sorted holders of `object`.
     #[inline]
     pub fn holders(&self, object: u32) -> &[u32] {
-        &self.holders[object as usize]
+        let o = object as usize;
+        &self.packed[self.offsets[o] as usize..self.offsets[o + 1] as usize]
     }
 
     /// True if `peer` holds `object`.
     #[inline]
     pub fn peer_holds(&self, peer: u32, object: u32) -> bool {
-        self.holders[object as usize].binary_search(&peer).is_ok()
+        self.holders(object).binary_search(&peer).is_ok()
     }
 
     /// Replica count of `object`.
     #[inline]
     pub fn replicas(&self, object: u32) -> u32 {
-        self.holders[object as usize].len() as u32
+        let o = object as usize;
+        (self.offsets[o + 1] - self.offsets[o]) as u32
     }
 
     /// Mean replicas per object.
     pub fn mean_replicas(&self) -> f64 {
-        if self.holders.is_empty() {
+        if self.num_objects() == 0 {
             return 0.0;
         }
-        self.holders.iter().map(|h| h.len()).sum::<usize>() as f64 / self.holders.len() as f64
+        self.packed.len() as f64 / self.num_objects() as f64
     }
 
     /// Replication ratio of `object` (replicas / peers).
     pub fn replication_ratio(&self, object: u32) -> f64 {
         self.replicas(object) as f64 / self.num_peers as f64
     }
+
+    /// Resident bytes of the posting store (length-based, so the figure
+    /// is deterministic and reportable under `repro scale`'s byte gate).
+    pub fn mem_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.packed.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// In-place dedup of the sorted tail `v[start..]` (the list being packed).
+fn dedup_tail(v: &mut Vec<u32>, start: usize) {
+    let mut write = start;
+    for read in start..v.len() {
+        if write == start || v[write - 1] != v[read] {
+            v[write] = v[read];
+            write += 1;
+        }
+    }
+    v.truncate(write);
 }
 
 #[cfg(test)]
@@ -169,12 +219,30 @@ mod tests {
     }
 
     #[test]
+    fn from_holder_lists_keeps_empty_and_later_lists_separate() {
+        let p = Placement::from_holder_lists(10, vec![vec![], vec![3, 3, 1], vec![], vec![7]]);
+        assert_eq!(p.num_objects(), 4);
+        assert_eq!(p.holders(0), &[] as &[u32]);
+        assert_eq!(p.holders(1), &[1, 3]);
+        assert_eq!(p.holders(2), &[] as &[u32]);
+        assert_eq!(p.holders(3), &[7]);
+        assert_eq!(p.replicas(1), 2);
+    }
+
+    #[test]
     fn deterministic_for_seed() {
         let a = Placement::generate(PlacementModel::UniformK(4), 100, 30, 7);
         let b = Placement::generate(PlacementModel::UniformK(4), 100, 30, 7);
         for o in 0..30 {
             assert_eq!(a.holders(o), b.holders(o));
         }
+    }
+
+    #[test]
+    fn mem_bytes_counts_the_posting_store() {
+        let p = Placement::from_holder_lists(10, vec![vec![1, 2], vec![3]]);
+        // 3 u64 offsets + 3 packed u32 holders.
+        assert_eq!(p.mem_bytes(), 3 * 8 + 3 * 4);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! bitwise-equal in tests, the census one is just ≥3× cheaper on the
 //! 8-TTL Figure-8 curve (`repro bench`).
 
-use crate::flood::{FloodEngine, FloodSpec};
+use crate::flood::{CensusBuf, FloodEngine, FloodSpec};
 use crate::graph::Graph;
 use crate::placement::Placement;
 use qcp_faults::{FaultPlan, FaultStats};
@@ -420,7 +420,10 @@ pub fn sweep_ttl_rec<R: Recorder>(
 
     let parent: &R = &*rec;
     let partials: Vec<(Vec<PointAcc>, u64, R)> = pool.par_map_indexed(chunks, |c| {
+        // Arena state per chunk: one engine and one census buffer serve
+        // every trial, so the steady-state trial loop allocates nothing.
         let mut engine = FloodEngine::new(n);
+        let mut buf = CensusBuf::default();
         let mut child = parent.fork();
         let mut accs = vec![PointAcc::default(); ttls.len()];
         let mut trials = 0u64;
@@ -431,17 +434,18 @@ pub fn sweep_ttl_rec<R: Recorder>(
             let mut rng = Pcg64::new(child_seed(config.seed, trial as u64));
             let source = rng.index(n) as u32;
             let object = sampler.sample(&mut rng);
-            let (census, _) = engine.run(
+            engine.run_into(
                 graph,
                 source,
                 sampler.placement.holders(object),
                 forwarders,
                 &spec,
                 &mut child,
+                &mut buf,
             );
             trials += 1;
             for (acc, &ttl) in accs.iter_mut().zip(ttls) {
-                let out = census.at(ttl);
+                let out = buf.census.at(ttl);
                 acc.successes += out.found as u64;
                 acc.reached += out.reached as u64;
                 acc.messages += out.messages;
@@ -545,7 +549,9 @@ pub fn sweep_ttl_faulty_rec<R: Recorder>(
 
     let parent: &R = &*rec;
     let partials: Vec<(Acc, R)> = pool.par_map_indexed(chunks, |c| {
+        // Arena state per chunk, as in the fault-free sweep.
         let mut engine = FloodEngine::new(n);
+        let mut buf = CensusBuf::default();
         let mut child = parent.fork();
         let mut acc = Acc {
             points: vec![PointAcc::default(); ttls.len()],
@@ -576,22 +582,23 @@ pub fn sweep_ttl_faulty_rec<R: Recorder>(
                 }
             };
             let spec = FloodSpec::new(max_ttl).faulty(plan, time, nonce);
-            let (census, level_stats) = engine.run(
+            engine.run_into(
                 graph,
                 source,
                 sampler.placement.holders(object),
                 forwarders,
                 &spec,
                 &mut child,
+                &mut buf,
             );
             acc.trials += 1;
-            let levels = census.levels();
+            let levels = buf.census.levels();
             for (i, &ttl) in ttls.iter().enumerate() {
-                let out = census.at(ttl);
+                let out = buf.census.at(ttl);
                 acc.points[i].successes += out.found as u64;
                 acc.points[i].reached += out.reached as u64;
                 acc.points[i].messages += out.messages;
-                acc.faults[i].absorb(&level_stats[ttl.min(levels) as usize]);
+                acc.faults[i].absorb(&buf.stats[ttl.min(levels) as usize]);
             }
         }
         (acc, child)

@@ -7,9 +7,8 @@
 //! forming a dense random mesh, with leaves attached to a few ultrapeers
 //! each; only ultrapeers route queries.
 
-use crate::graph::Graph;
+use crate::graph::{dedup_pairs_first_occurrence, Graph};
 use qcp_util::rng::Pcg64;
-use qcp_util::FxHashSet;
 
 /// Node role in a two-tier topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +75,14 @@ impl Default for TopologyConfig {
 }
 
 /// Generates a two-tier Gnutella-like topology.
+///
+/// Streaming construction: only the small ultrapeer mesh (ring + chords,
+/// `O(n_ultra · mesh_degree)` pairs) is buffered and deduplicated; the
+/// leaf-attachment edges — the bulk of the graph, provably unique and
+/// disjoint from the mesh (every leaf id exceeds every ultrapeer id) —
+/// are streamed straight into the CSR degree/scatter passes by replaying
+/// a cloned RNG, so peak transient memory is proportional to the
+/// ultrapeer tier, not the node count.
 pub fn gnutella_two_tier(config: &TopologyConfig) -> Topology {
     assert!(config.num_nodes >= 4);
     assert!((0.0..=1.0).contains(&config.ultrapeer_fraction));
@@ -83,28 +90,40 @@ pub fn gnutella_two_tier(config: &TopologyConfig) -> Topology {
     let n_ultra = ((n as f64 * config.ultrapeer_fraction) as usize).max(2);
     let mut rng = Pcg64::with_stream(config.seed, 0x707e);
 
-    let mut edges: Vec<(u32, u32)> = Vec::new();
     // Ultrapeer mesh: ring (guarantees connectivity) + random chords up to
-    // the target mean degree.
-    for u in 0..n_ultra {
-        edges.push((u as u32, ((u + 1) % n_ultra) as u32));
-    }
+    // the target mean degree. Chords can duplicate ring edges or each
+    // other; first-occurrence dedup reproduces the historical edge-list
+    // construction bit for bit.
     let chords = n_ultra * config.ultra_mesh_degree.saturating_sub(2) / 2;
+    let mut mesh: Vec<(u32, u32)> = Vec::with_capacity(n_ultra + chords);
+    for u in 0..n_ultra {
+        mesh.push((u as u32, ((u + 1) % n_ultra) as u32));
+    }
     for _ in 0..chords {
         let a = rng.index(n_ultra) as u32;
         let b = rng.index(n_ultra) as u32;
         if a != b {
-            edges.push((a, b));
+            mesh.push((a, b));
         }
     }
-    // Leaves attach to `leaf_degree` distinct ultrapeers.
-    for leaf in n_ultra..n {
-        let k = config.leaf_degree.min(n_ultra);
-        for u in rng.sample_distinct(n_ultra, k) {
-            edges.push((leaf as u32, u as u32));
+    dedup_pairs_first_occurrence(&mut mesh);
+
+    // Leaves attach to `leaf_degree` distinct ultrapeers. `rng` now sits
+    // at the start of the leaf draws; both stream passes replay it from a
+    // clone, emitting the identical sequence.
+    let leaf_rng = rng;
+    let graph = Graph::from_unique_edge_stream(n, |sink| {
+        for &(a, b) in &mesh {
+            sink(a, b);
         }
-    }
-    let graph = Graph::from_edges(n, &edges);
+        let mut r = leaf_rng.clone();
+        for leaf in n_ultra..n {
+            let k = config.leaf_degree.min(n_ultra);
+            for u in r.sample_distinct(n_ultra, k) {
+                sink(leaf as u32, u as u32);
+            }
+        }
+    });
     let kinds = (0..n)
         .map(|i| {
             if i < n_ultra {
@@ -139,41 +158,52 @@ pub fn erdos_renyi(n: usize, mean_degree: f64, seed: u64) -> Topology {
 
 /// Barabási–Albert preferential attachment: each new node attaches `m`
 /// edges to existing nodes with probability proportional to degree.
+///
+/// The repeated-endpoints multiset *is* the edge list — edge `i` is the
+/// pair `(endpoints[2i], endpoints[2i+1])`, every pair is unique (seed
+/// clique pairs are distinct; each later node attaches to `m` distinct
+/// smaller ids), so the CSR is built by streaming consecutive pairs with
+/// no separate `Vec<(u32, u32)>`.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Topology {
     assert!(n > m && m >= 1);
     let mut rng = Pcg64::with_stream(seed, 0xba0a);
     // Repeated-endpoints list: sampling uniformly from it implements
     // preferential attachment.
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
-    let mut edges: Vec<(u32, u32)> = Vec::new();
     // Seed clique over m+1 nodes.
     for a in 0..=m {
         for b in (a + 1)..=m {
-            edges.push((a as u32, b as u32));
             endpoints.push(a as u32);
             endpoints.push(b as u32);
         }
     }
+    let mut attach: Vec<u32> = Vec::with_capacity(m);
     for v in (m + 1)..n {
-        let mut targets: FxHashSet<u32> = FxHashSet::default();
-        while targets.len() < m {
+        // Rejection-sample m distinct targets. The linear `contains` scan
+        // over ≤ m accepted targets replaces a per-node hash set: the
+        // accept/reject decisions — and therefore the RNG draw sequence —
+        // are identical, and m is small (single digits in every caller).
+        attach.clear();
+        while attach.len() < m {
             let t = endpoints[rng.index(endpoints.len())];
-            targets.insert(t);
+            if !attach.contains(&t) {
+                attach.push(t);
+            }
         }
-        // Sort before iterating: set order would leak hasher internals
-        // into the edge list and the endpoints multiset, perturbing every
-        // later preferential-attachment draw.
-        // qcplint: allow(unordered-iter) — collected then fully sorted on
-        // the next line before any order-sensitive use.
-        let mut attach: Vec<u32> = targets.into_iter().collect();
+        // Sort before emitting: attachment order must not depend on the
+        // draw order within one node's target set (historical contract).
         attach.sort_unstable();
-        for t in attach {
-            edges.push((v as u32, t));
+        for &t in &attach {
             endpoints.push(v as u32);
             endpoints.push(t);
         }
     }
-    flat(Graph::from_edges(n, &edges))
+    let graph = Graph::from_unique_edge_stream(n, |sink| {
+        for pair in endpoints.chunks_exact(2) {
+            sink(pair[0], pair[1]);
+        }
+    });
+    flat(graph)
 }
 
 /// Random `k`-regular-ish graph via the configuration model with rejection

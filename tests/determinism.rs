@@ -768,3 +768,131 @@ fn latency_grid_recording_on_vs_off_is_bit_identical() {
     let time_mass: u64 = Kernel::ALL.iter().map(|&k| master.time_weight(k)).sum();
     assert!(time_mass > 0, "guard: rec_time must see first-hit ticks");
 }
+
+// ---------------------------------------------------------------------
+// The 40k golden pin: Figure-8 census numbers captured BEFORE the
+// memory-layout refactor (streaming CSR topology build, packed
+// placement, visited-set representations, census buffer reuse). Every
+// future representation swap must leave these exact bits alone — this
+// is the issue's non-negotiable contract, stronger than the
+// self-consistency pins above because it detects a drift that changes
+// both sides of an internal comparison at once.
+// ---------------------------------------------------------------------
+
+/// Captured from the pre-refactor pipeline: per TTL ∈ {1..5}, the bit
+/// patterns of (success_rate, mean_messages, mean_reach_fraction,
+/// mean_reached) for the 40k two-tier Figure-8 census sweep below.
+const GOLDEN_40K_CURVE: [u64; 20] = [
+    0x0000000000000000,
+    0x401a570a3d70a3d7,
+    0x3f28dac258d5842b,
+    0x401e570a3d70a3d7,
+    0x0000000000000000,
+    0x405d26147ae147ae,
+    0x3f673b42cc2d6a9c,
+    0x405c5bd70a3d70a4,
+    0x3fa70a3d70a3d70a,
+    0x4092a49eb851eb85,
+    0x3f9cce67d77fae35,
+    0x409194fae147ae14,
+    0x3fd3d70a3d70a3d7,
+    0x40c5d40000000000,
+    0x3fccb913e81450ef,
+    0x40c187f666666666,
+    0x3fed1eb851eb851f,
+    0x40f24cc23d70a3d7,
+    0x3feab25247cb70ac,
+    0x40e04b56b851eb85,
+];
+
+/// Runs the golden workload and flattens the curve to bit patterns.
+fn golden_40k_curve<R: qcp2p::obs::Recorder>(pool: &Pool, rec: &mut R) -> Vec<u64> {
+    let topo = gnutella_two_tier(&qcp_bench::figures::fig8_topology(Scale::Default));
+    let n = topo.graph.num_nodes();
+    let fwd = topo.forwarders();
+    let placement = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        n as u32,
+        (n as u32 / 2).max(1_000),
+        2024 ^ 0x21f,
+    );
+    let sim = SimConfig {
+        trials: 200,
+        seed: 0xf18,
+        ..Default::default()
+    };
+    let pts = sweep_ttl_rec(
+        pool,
+        &topo.graph,
+        &placement,
+        Some(&fwd),
+        &[1, 2, 3, 4, 5],
+        &sim,
+        rec,
+    );
+    let mut bits = Vec::with_capacity(pts.len() * 4);
+    for pt in &pts {
+        bits.push(pt.success_rate.to_bits());
+        bits.push(pt.mean_messages.to_bits());
+        bits.push(pt.mean_reach_fraction.to_bits());
+        bits.push(pt.mean_reached.to_bits());
+    }
+    bits
+}
+
+#[test]
+fn forty_thousand_node_graph_matches_pre_refactor_shape() {
+    // The streamed CSR build must reproduce the historical edge-list
+    // build exactly: same edge count, same degrees, same neighbor
+    // *order* (walks index neighbor lists by position, so order is
+    // load-bearing).
+    let topo = gnutella_two_tier(&qcp_bench::figures::fig8_topology(Scale::Default));
+    let g = &topo.graph;
+    assert_eq!(g.num_edges(), 131_969);
+    for (node, degree) in [
+        (0, 22),
+        (1, 28),
+        (17, 22),
+        (5_999, 21),
+        (6_000, 3),
+        (39_999, 3),
+    ] {
+        assert_eq!(g.degree(node), degree, "degree of node {node}");
+    }
+    let mut h = 0xcbf29ce484222325u64;
+    for node in [0u32, 1, 17, 5_999, 6_000, 39_999] {
+        for &w in g.neighbors(node) {
+            h = (h ^ w as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    assert_eq!(
+        h, 0xd25644539e714a7c,
+        "neighbor order drifted from the pre-refactor graph"
+    );
+}
+
+#[test]
+fn forty_thousand_node_census_matches_pre_refactor_golden() {
+    // Same seed, 1- vs 4-thread, recording on and off: all four cells
+    // must hit the captured constants exactly.
+    for threads in [1usize, 4] {
+        let pool = Pool::new(threads);
+        let plain = golden_40k_curve(&pool, &mut NoopRecorder);
+        assert_eq!(
+            plain,
+            GOLDEN_40K_CURVE.to_vec(),
+            "{threads}-thread unrecorded curve drifted from the golden capture"
+        );
+        let mut metrics = MetricsRecorder::new();
+        let recorded = golden_40k_curve(&pool, &mut metrics);
+        assert_eq!(
+            recorded,
+            GOLDEN_40K_CURVE.to_vec(),
+            "{threads}-thread recorded curve drifted from the golden capture"
+        );
+        assert!(
+            metrics.total(Kernel::Flood, Counter::Messages) > 0,
+            "guard: the recorder must actually have recorded traffic"
+        );
+    }
+}
