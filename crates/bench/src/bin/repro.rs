@@ -11,6 +11,7 @@
 //! Artifacts: fig1..fig8, fig8-churn, table1..table3, ablation-synopsis,
 //! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk,
 //! `profile`, `latency` (the deadline grid on the virtual-time engine),
+//! `overload` (the capacity/admission/shedding grid on the same engine),
 //! `bench` (the Figure-8 perf-trajectory harness), and `scale` (the
 //! million-node ladder; `--huge` appends a 10M rung). `bench` and `scale`
 //! are not part of `all`.

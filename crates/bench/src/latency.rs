@@ -56,6 +56,22 @@ pub const POLICIES: [&str; 2] = ["fixed", "jittered"];
 /// latency 8 its expected cost alone overruns the budget.
 pub const DEADLINE_TICKS: u64 = 48;
 
+/// Domain tags for this artifact's seed derivations (world build, fault
+/// plan, retry contexts, per-run seeds, workload generation). Public
+/// and shared by name with `repro overload`, whose every cell pins the
+/// fault side to this artifact's cell 0 — the same tags on the same
+/// master seed are what make its unlimited baseline bitwise identical
+/// to latency cell 0.
+pub const WORLD_TAG: u64 = 0x1a70;
+/// See [`WORLD_TAG`].
+pub const PLAN_TAG: u64 = 0x1a71;
+/// See [`WORLD_TAG`].
+pub const CTX_TAG: u64 = 0x1a72;
+/// See [`WORLD_TAG`].
+pub const RUN_TAG: u64 = 0x1a73;
+/// See [`WORLD_TAG`].
+pub const QUERY_TAG: u64 = 0x1a74;
+
 /// Per-system aggregates for one grid cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemLatency {
@@ -216,14 +232,14 @@ fn cell<R: Recorder, F: Fn() -> R>(
             horizon: (queries.len() as u64).max(1),
             mean_latency,
             rejoin: true,
-            seed: child_seed(seed ^ 0x1a71, idx as u64),
+            seed: child_seed(seed ^ PLAN_TAG, idx as u64),
         },
     );
     let ctx = |stream: u64| {
         FaultContext::new(
             plan.clone(),
             policy,
-            child_seed(seed ^ 0x1a72, (idx as u64) << 8 | stream),
+            child_seed(seed ^ CTX_TAG, (idx as u64) << 8 | stream),
         )
     };
     let specs = [
@@ -241,7 +257,7 @@ fn cell<R: Recorder, F: Fn() -> R>(
             .deadline(Deadline::after(DEADLINE_TICKS))
             .recorder(make())
             .build(world);
-        systems.push(run_system(&mut built, world, queries, seed ^ 0x1a73));
+        systems.push(run_system(&mut built, world, queries, seed ^ RUN_TAG));
         recorders.push(built.into_recorder());
     }
     (
@@ -266,14 +282,14 @@ where
         num_peers: sz.peers,
         num_objects: sz.objects,
         num_terms: sz.terms,
-        seed: r.seed ^ 0x1a70,
+        seed: r.seed ^ WORLD_TAG,
         ..Default::default()
     });
     let queries = gen_queries(
         &world,
         &WorkloadConfig {
             num_queries: sz.queries,
-            seed: r.seed ^ 0x1a74,
+            seed: r.seed ^ QUERY_TAG,
         },
     );
     let n = MEAN_LATENCIES.len() * LOSSES.len() * POLICIES.len();

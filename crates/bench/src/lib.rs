@@ -16,6 +16,7 @@ pub mod ablations;
 pub mod fig8churn;
 pub mod figures;
 pub mod latency;
+pub mod overload;
 pub mod profile;
 pub mod rows;
 pub mod scale;
@@ -145,6 +146,7 @@ impl Repro {
             "ablation-adaptation" => ablations::adaptation(self),
             "profile" => profile::profile(self),
             "latency" => latency::latency(self),
+            "overload" => overload::overload(self),
             "bench" => timing::bench(self),
             "scale" => scale::scale(self),
             // qcplint: allow(panic) — CLI contract: unknown ids fail fast.
@@ -178,6 +180,7 @@ impl Repro {
             "ablation-adaptation",
             "profile",
             "latency",
+            "overload",
         ]
     }
 }

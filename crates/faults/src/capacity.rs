@@ -1,0 +1,423 @@
+//! Deterministic per-node service capacity: the overload model.
+//!
+//! The kernels in `qcp-overlay` historically assumed every node forwards
+//! instantly with infinite capacity — under that assumption "heavy
+//! traffic" is free and congestive collapse is unobservable. Gia
+//! (Chawathe et al., SIGCOMM'03) showed that capacity-aware flow
+//! control — per-node queues, token-style admission, one-hop load
+//! shedding — is what lets unstructured search survive load. This
+//! module supplies the deterministic version of that machinery:
+//!
+//! * a **capacity ladder**: each node draws a service *tier* from Gia's
+//!   measured heavy-tailed capacity distribution (the same ladder
+//!   `qcp-search`'s Gia baseline uses, shared here as [`gia_tier`]),
+//!   mapped to a service interval in virtual-time ticks per dequeue;
+//! * **bounded FIFO queues**: each node buffers at most
+//!   [`CapacityPlan::queue_bound`] messages; a full queue invokes a
+//!   [`ShedPolicy`];
+//! * **offered background load**: the sweep variable. Rather than
+//!   simulating a whole concurrent workload per query, the plan seeds
+//!   each node's queue with a synthetic backlog drawn statelessly from
+//!   `(seed, node, query nonce)` and scaled by the offered load — the
+//!   standing queue a node at that load would carry — and applies
+//!   token-style **admission control** at query ingress with a
+//!   rejection probability that grows with the load×service-interval
+//!   product.
+//!
+//! # Determinism contract
+//!
+//! Every draw is a pure stateless hash on its own stream tag
+//! ([`CAP_SERVICE_TAG`], [`CAP_BACKLOG_TAG`], [`CAP_ADMIT_TAG`]), so
+//! service tiers, backlogs, and admission verdicts are independent of
+//! traversal order and thread count. The backlog and admission hashes
+//! do **not** fold the offered load into the hashed bits — the uniform
+//! draw is fixed per `(node, nonce)` and only *compared* against a
+//! threshold that is monotone in the load — so raising the offered
+//! load can only raise every node's backlog and every query's
+//! rejection odds pointwise. That pointwise monotonicity is what makes
+//! the `repro overload` saturation ladder's shed-rate columns monotone
+//! by construction rather than by luck. An [`CapacityPlan::unlimited`]
+//! plan draws nothing and sheds nothing, so capacity-aware code paths
+//! reproduce the capacity-free numbers exactly.
+
+use crate::plan::unit;
+use qcp_util::hash::mix64;
+
+/// Stream tag for per-node service-tier draws.
+pub const CAP_SERVICE_TAG: u64 = 0xca9a_c117_5e18_ce01;
+/// Stream tag for per-(node, query) synthetic backlog draws.
+pub const CAP_BACKLOG_TAG: u64 = 0xca9a_c117_bac1_0602;
+/// Stream tag for per-query admission draws.
+pub const CAP_ADMIT_TAG: u64 = 0xca9a_c117_ad31_7003;
+
+/// Admission headroom: the load×interval product at which a query is
+/// certainly rejected. Below it the rejection probability is the
+/// product over this constant, so light load admits nearly everything.
+const ADMIT_HEADROOM: f64 = 512.0;
+
+/// Gia's measured capacity multipliers, slowest tier first
+/// (1x/10x/100x/1000x/10000x — the SIGCOMM'03 distribution).
+pub const GIA_MULTIPLIERS: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// Service interval per tier, in virtual-time ticks per dequeue
+/// (slowest tier first). A tier-4 node drains one message per tick; a
+/// tier-0 node needs 16 ticks per message.
+pub const TIER_INTERVALS: [u64; 5] = [16, 8, 4, 2, 1];
+
+/// Maps a uniform draw in `[0, 1)` to a Gia capacity tier (index into
+/// [`GIA_MULTIPLIERS`] / [`TIER_INTERVALS`]): 20% at tier 0, 45% at
+/// tier 1, 30% at tier 2, 4.9% at tier 3, 0.1% at tier 4. Shared with
+/// `qcp-search`'s Gia baseline so both layers quantize one ladder.
+#[inline]
+pub fn gia_tier(u: f64) -> usize {
+    if u < 0.20 {
+        0
+    } else if u < 0.65 {
+        1
+    } else if u < 0.95 {
+        2
+    } else if u < 0.999 {
+        3
+    } else {
+        4
+    }
+}
+
+/// What to evict when a bounded queue overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedPolicy {
+    /// Shed the arriving message (tail drop — Gnutella's de-facto rule).
+    DropNewest,
+    /// Evict the oldest queued message in favor of the arrival.
+    DropOldest,
+    /// Evict the queued message with the least remaining TTL (the one
+    /// least likely to still reach a holder), oldest on ties.
+    TtlPriority,
+}
+
+impl ShedPolicy {
+    /// Every policy, in sweep order.
+    pub const ALL: [ShedPolicy; 3] = [
+        ShedPolicy::DropNewest,
+        ShedPolicy::DropOldest,
+        ShedPolicy::TtlPriority,
+    ];
+
+    /// Stable kebab-case name (the CSV/JSON key in `overload.{csv,json}`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::DropNewest => "drop-newest",
+            ShedPolicy::DropOldest => "drop-oldest",
+            ShedPolicy::TtlPriority => "ttl-priority",
+        }
+    }
+}
+
+/// How service capacity is distributed across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CapacityModel {
+    /// Every node serves at the ladder's middle tier (tier 2).
+    Uniform,
+    /// Heterogeneous: each node draws a tier from the Gia ladder via a
+    /// stateless hash of `(plan seed, node)`.
+    GiaLadder,
+}
+
+impl CapacityModel {
+    /// Every model, in sweep order.
+    pub const ALL: [CapacityModel; 2] = [CapacityModel::Uniform, CapacityModel::GiaLadder];
+
+    /// Stable name (the CSV/JSON key in `overload.{csv,json}`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CapacityModel::Uniform => "uniform",
+            CapacityModel::GiaLadder => "gia",
+        }
+    }
+}
+
+/// Overload-model parameters.
+#[derive(Debug, Clone)]
+pub struct CapacityConfig {
+    /// Offered background load, in queries injected per virtual tick
+    /// across the overlay. 0 = an idle network (queues start empty and
+    /// admission always passes); the saturation sweep's x-axis.
+    pub offered_load: f64,
+    /// Per-node queue bound, in messages (≥ 1).
+    pub queue_bound: u32,
+    /// What to evict when a queue overflows.
+    pub policy: ShedPolicy,
+    /// How service capacity is spread across nodes.
+    pub model: CapacityModel,
+    /// Seed for every stateless draw this plan makes.
+    pub seed: u64,
+}
+
+/// A built capacity plan: heterogeneous per-node service rates, bounded
+/// queues, a shedding policy, and admission control — all resolved by
+/// stateless hashing, nothing stored per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPlan {
+    limited: bool,
+    offered_load: f64,
+    queue_bound: u32,
+    policy: ShedPolicy,
+    model: CapacityModel,
+    seed: u64,
+}
+
+impl CapacityPlan {
+    /// The inert plan: infinite capacity, no queues, no shedding, no
+    /// admission control. Kernels running under it are bitwise
+    /// identical to kernels with no capacity plan at all.
+    pub fn unlimited() -> Self {
+        Self {
+            limited: false,
+            offered_load: 0.0,
+            queue_bound: u32::MAX,
+            policy: ShedPolicy::DropNewest,
+            model: CapacityModel::Uniform,
+            seed: 0,
+        }
+    }
+
+    /// Builds a limited plan from `config`.
+    pub fn build(config: &CapacityConfig) -> Self {
+        assert!(
+            config.offered_load.is_finite() && config.offered_load >= 0.0,
+            "offered load must be finite and non-negative"
+        );
+        assert!(config.queue_bound >= 1, "queue bound must be positive");
+        Self {
+            limited: true,
+            offered_load: config.offered_load,
+            queue_bound: config.queue_bound,
+            policy: config.policy,
+            model: config.model,
+            seed: config.seed,
+        }
+    }
+
+    /// Whether this is the inert unlimited plan.
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        !self.limited
+    }
+
+    /// The offered background load (queries per virtual tick).
+    #[inline]
+    pub fn offered_load(&self) -> f64 {
+        self.offered_load
+    }
+
+    /// The per-node queue bound.
+    #[inline]
+    pub fn queue_bound(&self) -> u32 {
+        self.queue_bound
+    }
+
+    /// The shedding policy.
+    #[inline]
+    pub fn policy(&self) -> ShedPolicy {
+        self.policy
+    }
+
+    /// The capacity-heterogeneity model.
+    #[inline]
+    pub fn model(&self) -> CapacityModel {
+        self.model
+    }
+
+    /// The capacity tier of `node` (index into [`TIER_INTERVALS`]).
+    #[inline]
+    pub fn tier(&self, node: u32) -> usize {
+        match self.model {
+            CapacityModel::Uniform => 2,
+            CapacityModel::GiaLadder => {
+                gia_tier(unit(mix64(self.seed ^ CAP_SERVICE_TAG ^ u64::from(node))))
+            }
+        }
+    }
+
+    /// Ticks between successive dequeues at `node` (≥ 1). The unlimited
+    /// plan answers 1, but callers on the unlimited path never consult
+    /// it — delivery there is immediate, not queued.
+    #[inline]
+    pub fn service_interval(&self, node: u32) -> u64 {
+        if !self.limited {
+            return 1;
+        }
+        TIER_INTERVALS[self.tier(node)]
+    }
+
+    /// The synthetic standing backlog `node`'s queue carries when the
+    /// query named by `nonce` arrives: the background traffic the
+    /// offered load implies, drawn statelessly per `(node, nonce)` and
+    /// clamped to the queue bound. Monotone in the offered load
+    /// pointwise (the uniform draw never folds the load into the hash).
+    #[inline]
+    pub fn backlog(&self, node: u32, nonce: u64) -> u32 {
+        if !self.limited {
+            return 0;
+        }
+        let u = unit(mix64(
+            mix64(self.seed ^ CAP_BACKLOG_TAG ^ u64::from(node)) ^ nonce,
+        ));
+        let raw = u * self.offered_load * self.service_interval(node) as f64;
+        (raw as u64).min(u64::from(self.queue_bound)) as u32
+    }
+
+    /// Token-style admission control at query ingress: whether the
+    /// query named by `nonce`, issued at `source`, is admitted. The
+    /// rejection probability is the load×service-interval product over
+    /// a fixed headroom, so light load admits nearly everything and a
+    /// saturated slow node refuses nearly everything. Monotone in the
+    /// offered load pointwise.
+    #[inline]
+    pub fn admit(&self, source: u32, nonce: u64) -> bool {
+        if !self.limited {
+            return true;
+        }
+        let u = unit(mix64(
+            mix64(self.seed ^ CAP_ADMIT_TAG ^ u64::from(source)) ^ nonce,
+        ));
+        let reject = self.offered_load * self.service_interval(source) as f64 / ADMIT_HEADROOM;
+        u >= reject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(load: f64, model: CapacityModel) -> CapacityPlan {
+        CapacityPlan::build(&CapacityConfig {
+            offered_load: load,
+            queue_bound: 8,
+            policy: ShedPolicy::DropNewest,
+            model,
+            seed: 0xcafe,
+        })
+    }
+
+    #[test]
+    fn gia_tier_matches_the_sigcomm_distribution() {
+        assert_eq!(gia_tier(0.0), 0);
+        assert_eq!(gia_tier(0.19), 0);
+        assert_eq!(gia_tier(0.20), 1);
+        assert_eq!(gia_tier(0.64), 1);
+        assert_eq!(gia_tier(0.65), 2);
+        assert_eq!(gia_tier(0.94), 2);
+        assert_eq!(gia_tier(0.95), 3);
+        assert_eq!(gia_tier(0.9989), 3);
+        assert_eq!(gia_tier(0.999), 4);
+        assert_eq!(GIA_MULTIPLIERS.len(), TIER_INTERVALS.len());
+    }
+
+    #[test]
+    fn gia_ladder_spreads_tiers_and_uniform_does_not() {
+        let gia = plan(1.0, CapacityModel::GiaLadder);
+        let uni = plan(1.0, CapacityModel::Uniform);
+        let mut tiers: Vec<usize> = (0..2_000).map(|n| gia.tier(n)).collect();
+        tiers.sort_unstable();
+        tiers.dedup();
+        assert!(tiers.len() >= 3, "expected several tiers, got {tiers:?}");
+        assert!((0..2_000).all(|n| uni.tier(n) == 2));
+        assert!((0..2_000).all(|n| uni.service_interval(n) == TIER_INTERVALS[2]));
+    }
+
+    #[test]
+    fn draws_are_stateless_and_reproducible() {
+        let a = plan(4.0, CapacityModel::GiaLadder);
+        let b = plan(4.0, CapacityModel::GiaLadder);
+        for n in 0..200u32 {
+            assert_eq!(a.tier(n), b.tier(n));
+            assert_eq!(a.backlog(n, 7), b.backlog(n, 7));
+            assert_eq!(a.admit(n, 7), b.admit(n, 7));
+        }
+        // Distinct nonces decorrelate the per-query draws.
+        assert!((0..200u32).any(|n| a.backlog(n, 1) != a.backlog(n, 2)));
+    }
+
+    #[test]
+    fn backlog_is_pointwise_monotone_in_offered_load_and_bounded() {
+        let loads = [0.0, 0.5, 2.0, 8.0, 32.0];
+        for n in 0..300u32 {
+            for nonce in [1u64, 99, 12345] {
+                let mut prev = 0u32;
+                for &l in &loads {
+                    let b = plan(l, CapacityModel::GiaLadder).backlog(n, nonce);
+                    assert!(b >= prev, "backlog fell from {prev} to {b} at load {l}");
+                    assert!(b <= 8, "backlog {b} exceeds queue bound");
+                    prev = b;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admission_is_pointwise_monotone_in_offered_load() {
+        let loads = [0.0, 0.5, 2.0, 8.0, 32.0, 128.0];
+        let mut rejected_at_high = 0u32;
+        for n in 0..300u32 {
+            for nonce in [3u64, 42, 4242] {
+                let mut was_rejected = false;
+                for &l in &loads {
+                    let admitted = plan(l, CapacityModel::GiaLadder).admit(n, nonce);
+                    assert!(
+                        !(admitted && was_rejected),
+                        "admission flipped back on at load {l}"
+                    );
+                    was_rejected = !admitted;
+                }
+                if was_rejected {
+                    rejected_at_high += 1;
+                }
+            }
+        }
+        assert!(rejected_at_high > 0, "heavy load must reject something");
+    }
+
+    #[test]
+    fn zero_load_admits_everything_with_empty_backlogs() {
+        let p = plan(0.0, CapacityModel::GiaLadder);
+        for n in 0..300u32 {
+            assert!(p.admit(n, n as u64));
+            assert_eq!(p.backlog(n, n as u64), 0);
+        }
+        assert!(!p.is_unlimited(), "zero load is still a limited plan");
+    }
+
+    #[test]
+    fn unlimited_plan_is_inert() {
+        let p = CapacityPlan::unlimited();
+        assert!(p.is_unlimited());
+        for n in 0..100u32 {
+            assert!(p.admit(n, 5));
+            assert_eq!(p.backlog(n, 5), 0);
+            assert_eq!(p.service_interval(n), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queue bound must be positive")]
+    fn zero_queue_bound_is_rejected() {
+        CapacityPlan::build(&CapacityConfig {
+            offered_load: 1.0,
+            queue_bound: 0,
+            policy: ShedPolicy::DropNewest,
+            model: CapacityModel::Uniform,
+            seed: 1,
+        });
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let mut names: Vec<&str> = ShedPolicy::ALL.iter().map(|p| p.name()).collect();
+        names.extend(CapacityModel::ALL.iter().map(|m| m.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+}

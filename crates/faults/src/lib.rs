@@ -11,6 +11,10 @@
 //! * [`plan`] — the seeded [`FaultPlan`](plan::FaultPlan): per-edge
 //!   message-drop probabilities, a per-link latency model, and a node
 //!   up/down *session schedule* that fires mid-workload;
+//! * [`capacity`] — the seeded [`CapacityPlan`](capacity::CapacityPlan):
+//!   heterogeneous per-node service rates on the Gia ladder, bounded
+//!   FIFO queues with pluggable shedding policies, and token-style
+//!   admission control — the deterministic overload model;
 //! * [`stats`] — [`FaultStats`](stats::FaultStats) degraded-mode
 //!   accounting (drops, dead targets, retries, timeouts, staleness
 //!   misses, elapsed ticks) and the [`RetryPolicy`](stats::RetryPolicy)
@@ -33,8 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod plan;
 pub mod stats;
 
+pub use capacity::{CapacityConfig, CapacityModel, CapacityPlan, ShedPolicy};
 pub use plan::{FaultConfig, FaultPlan};
 pub use stats::{FaultStats, RetryPolicy};

@@ -23,7 +23,7 @@ use qcp_util::rng::Pcg64;
 
 /// Converts hash bits to a uniform `f64` in `[0, 1)` (53-bit precision).
 #[inline]
-fn unit(x: u64) -> f64 {
+pub(crate) fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

@@ -116,11 +116,22 @@ pub enum Counter {
     Pruned,
     /// Rings attempted by expanding-ring schedules.
     Rings,
+    /// Messages admitted into a bounded per-node queue (overload model).
+    Enqueued,
+    /// Messages dequeued and processed at a node's service rate.
+    Served,
+    /// Messages evicted by the shedding policy when a queue overflowed.
+    Shed,
+    /// Total ticks messages spent queued before service (sum; divide by
+    /// [`Counter::Served`] for the mean queue delay).
+    QueueDelay,
+    /// Queries refused by admission control at ingress.
+    AdmissionRejected,
 }
 
 impl Counter {
     /// Number of counters (matrix dimension).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 16;
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Messages,
@@ -134,6 +145,11 @@ impl Counter {
         Counter::Rewires,
         Counter::Pruned,
         Counter::Rings,
+        Counter::Enqueued,
+        Counter::Served,
+        Counter::Shed,
+        Counter::QueueDelay,
+        Counter::AdmissionRejected,
     ];
 
     /// Stable snake_case name (the JSON key in `profile.json`).
@@ -150,6 +166,11 @@ impl Counter {
             Counter::Rewires => "rewires",
             Counter::Pruned => "pruned",
             Counter::Rings => "rings",
+            Counter::Enqueued => "enqueued",
+            Counter::Served => "served",
+            Counter::Shed => "shed",
+            Counter::QueueDelay => "queue_delay",
+            Counter::AdmissionRejected => "admission_rejected",
         }
     }
 
@@ -173,11 +194,15 @@ pub enum Event {
     /// The span hit its virtual-time deadline and returned best-so-far
     /// partial results instead of completing.
     DeadlineExceeded,
+    /// The span ran degraded under capacity pressure: the admission
+    /// gate refused it, or the shedding policy evicted at least one of
+    /// its messages from a full queue.
+    Overloaded,
 }
 
 impl Event {
     /// Number of events (matrix dimension).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
     /// Every event, in index order.
     pub const ALL: [Event; Event::COUNT] = [
         Event::Hit,
@@ -185,6 +210,7 @@ impl Event {
         Event::DeadSource,
         Event::Fallback,
         Event::DeadlineExceeded,
+        Event::Overloaded,
     ];
 
     /// Stable snake_case name (the JSON key in `profile.json`).
@@ -195,6 +221,7 @@ impl Event {
             Event::DeadSource => "dead_source",
             Event::Fallback => "fallback",
             Event::DeadlineExceeded => "deadline_exceeded",
+            Event::Overloaded => "overloaded",
         }
     }
 
@@ -229,6 +256,11 @@ pub trait Recorder: Sized + Send + Sync {
     /// (time-to-first-hit in the event-driven kernels). Callers record
     /// deadline-bounded tick values, so the histogram stays dense.
     fn rec_time(&mut self, kernel: Kernel, tick: u64, n: u64);
+    /// Adds weight `n` to the kernel's queue-length histogram at `len`
+    /// (observed per-node queue occupancy at enqueue time in the
+    /// overload model). Lengths are bounded by the capacity plan's
+    /// queue bound, so the histogram stays dense.
+    fn rec_queue(&mut self, kernel: Kernel, len: u32, n: u64);
     /// Tallies one span-scoped event.
     fn rec_event(&mut self, kernel: Kernel, event: Event);
     /// Creates an empty child recorder of the same configuration (for
@@ -268,6 +300,8 @@ impl Recorder for NoopRecorder {
     #[inline(always)]
     fn rec_time(&mut self, _kernel: Kernel, _tick: u64, _n: u64) {}
     #[inline(always)]
+    fn rec_queue(&mut self, _kernel: Kernel, _len: u32, _n: u64) {}
+    #[inline(always)]
     fn rec_event(&mut self, _kernel: Kernel, _event: Event) {}
     #[inline(always)]
     fn fork(&self) -> Self {
@@ -290,6 +324,7 @@ pub struct MetricsRecorder {
     events: [[u64; Event::COUNT]; Kernel::COUNT],
     hops: [Vec<u64>; Kernel::COUNT],
     times: [Vec<u64>; Kernel::COUNT],
+    qlens: [Vec<u64>; Kernel::COUNT],
 }
 
 impl Default for MetricsRecorder {
@@ -307,6 +342,7 @@ impl MetricsRecorder {
             events: [[0; Event::COUNT]; Kernel::COUNT],
             hops: std::array::from_fn(|_| Vec::new()),
             times: std::array::from_fn(|_| Vec::new()),
+            qlens: std::array::from_fn(|_| Vec::new()),
         }
     }
 
@@ -346,6 +382,18 @@ impl MetricsRecorder {
     /// Sum of the kernel's time histogram weights.
     pub fn time_weight(&self, kernel: Kernel) -> u64 {
         self.times[kernel.idx()].iter().sum()
+    }
+
+    /// The kernel's queue-length histogram (`hist[l]` = weight recorded
+    /// at occupancy `l` — per-node queue depth seen at enqueue time in
+    /// the overload model); empty when nothing was recorded.
+    pub fn queue_histogram(&self, kernel: Kernel) -> &[u64] {
+        &self.qlens[kernel.idx()]
+    }
+
+    /// Sum of the kernel's queue-length histogram weights.
+    pub fn queue_weight(&self, kernel: Kernel) -> u64 {
+        self.qlens[kernel.idx()].iter().sum()
     }
 
     /// The recorded faults of `kernel`, reassembled as a [`FaultStats`]
@@ -400,6 +448,16 @@ impl Recorder for MetricsRecorder {
     }
 
     #[inline]
+    fn rec_queue(&mut self, kernel: Kernel, len: u32, n: u64) {
+        let hist = &mut self.qlens[kernel.idx()];
+        let need = len as usize + 1;
+        if hist.len() < need {
+            hist.resize(need, 0);
+        }
+        hist[len as usize] += n;
+    }
+
+    #[inline]
     fn rec_event(&mut self, kernel: Kernel, event: Event) {
         self.events[kernel.idx()][event.idx()] += 1;
     }
@@ -430,6 +488,13 @@ impl Recorder for MetricsRecorder {
             }
             for (t, w) in child.times[k].iter().enumerate() {
                 times[t] += w;
+            }
+            let qlens = &mut self.qlens[k];
+            if qlens.len() < child.qlens[k].len() {
+                qlens.resize(child.qlens[k].len(), 0);
+            }
+            for (l, w) in child.qlens[k].iter().enumerate() {
+                qlens[l] += w;
             }
         }
     }
@@ -468,6 +533,7 @@ mod tests {
         r.rec_count(Kernel::Flood, Counter::Messages, 10);
         r.rec_hop(Kernel::Flood, 3, 2);
         r.rec_time(Kernel::Flood, 7, 1);
+        r.rec_queue(Kernel::Flood, 2, 1);
         r.rec_event(Kernel::Flood, Event::Hit);
         r.rec_faults(Kernel::Flood, &FaultStats::default());
         let child = r.fork();
@@ -526,6 +592,22 @@ mod tests {
         other.rec_time(Kernel::Walk, 6, 3);
         r.absorb(other);
         assert_eq!(r.time_histogram(Kernel::Walk), &[2, 0, 0, 0, 2, 0, 3]);
+    }
+
+    #[test]
+    fn queue_histogram_accumulates_and_merges() {
+        let mut r = MetricsRecorder::new();
+        r.rec_queue(Kernel::Flood, 3, 2);
+        r.rec_queue(Kernel::Flood, 0, 1);
+        r.rec_queue(Kernel::Flood, 3, 1);
+        assert_eq!(r.queue_histogram(Kernel::Flood), &[1, 0, 0, 3]);
+        assert_eq!(r.queue_weight(Kernel::Flood), 4);
+        assert_eq!(r.queue_histogram(Kernel::Walk), &[] as &[u64]);
+        let mut other = MetricsRecorder::new();
+        other.rec_queue(Kernel::Flood, 5, 7);
+        r.absorb(other);
+        assert_eq!(r.queue_histogram(Kernel::Flood), &[1, 0, 0, 3, 0, 7]);
+        assert!(!r.is_empty());
     }
 
     #[test]

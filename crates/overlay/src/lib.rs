@@ -17,6 +17,9 @@
 //! * [`walk`] — k-walker random walks;
 //! * [`event`] — event-driven flood/walk on the `qcp-vtime` calendar:
 //!   per-link latencies, delivery-time fault checks, deadline cutoffs;
+//! * [`overload`] — capacity-aware event kernels: bounded per-node
+//!   queues, per-node service rates on the Gia ladder, and load
+//!   shedding (the `qcp-faults` `CapacityPlan` overload model);
 //! * [`expanding`] — expanding-ring (iterative deepening) search;
 //! * [`sim`] — parallel trial sweeps producing success-rate curves
 //!   (Figure 8) with deterministic per-trial seeds;
@@ -32,6 +35,7 @@ pub mod expanding;
 pub mod flood;
 pub mod graph;
 pub mod metrics;
+pub mod overload;
 pub mod placement;
 pub mod repair;
 pub mod sim;
@@ -49,6 +53,7 @@ pub use flood::{
 };
 pub use graph::Graph;
 pub use metrics::{graph_metrics, GraphMetrics};
+pub use overload::{OverloadEngine, OverloadOutcome};
 pub use placement::{Placement, PlacementModel};
 pub use repair::{
     check_repair_invariants, repair_round, repair_round_rec, Attachment, Maintainer,

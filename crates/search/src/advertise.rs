@@ -11,7 +11,7 @@
 //! term is proportional to how much content carries it, not to how often
 //! users ask for it.
 
-use crate::systems::{SearchOutcome, SearchSystem};
+use crate::systems::{OverloadStats, SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_util::rng::Pcg64;
 use qcp_util::{FxHashMap, FxHashSet};
@@ -79,6 +79,7 @@ impl SearchSystem for AdvertiseSearch {
                 faults: Default::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         // Local store first, then a short random consultation walk.
@@ -90,6 +91,7 @@ impl SearchSystem for AdvertiseSearch {
                 faults: Default::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let graph = &world.topology.graph;
@@ -123,6 +125,7 @@ impl SearchSystem for AdvertiseSearch {
                     faults: Default::default(),
                     elapsed: 0,
                     deadline_exceeded: false,
+                    overload: OverloadStats::default(),
                 };
             }
         }
@@ -133,6 +136,7 @@ impl SearchSystem for AdvertiseSearch {
             faults: Default::default(),
             elapsed: 0,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 

@@ -12,8 +12,9 @@
 //! (the Gia paper's own 1x/10x/100x/1000x gnutella-like distribution),
 //! biases walks by capacity, and answers queries from one-hop indices.
 
-use crate::systems::{SearchOutcome, SearchSystem};
+use crate::systems::{OverloadStats, SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
+use qcp_faults::capacity::{gia_tier, GIA_MULTIPLIERS};
 use qcp_util::rng::Pcg64;
 use qcp_util::FxHashSet;
 
@@ -31,22 +32,11 @@ impl GiaSearch {
     pub fn new(world: &SearchWorld, ttl: u32, seed: u64) -> Self {
         let mut rng = Pcg64::with_stream(seed, 0x61a);
         // Gia's measured capacity distribution: 20% at 1x, 45% at 10x,
-        // 30% at 100x, 4.9% at 1000x, 0.1% at 10000x.
+        // 30% at 100x, 4.9% at 1000x, 0.1% at 10000x. The ladder is
+        // shared with the qcp-faults overload model; the sequential
+        // 0x61a draw stream here predates it and stays bitwise intact.
         let capacities = (0..world.num_peers())
-            .map(|_| {
-                let u = rng.next_f64();
-                if u < 0.20 {
-                    1.0
-                } else if u < 0.65 {
-                    10.0
-                } else if u < 0.95 {
-                    100.0
-                } else if u < 0.999 {
-                    1_000.0
-                } else {
-                    10_000.0
-                }
-            })
+            .map(|_| GIA_MULTIPLIERS[gia_tier(rng.next_f64())])
             .collect();
         Self { ttl, capacities }
     }
@@ -86,6 +76,7 @@ impl SearchSystem for GiaSearch {
                 faults: Default::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let graph = &world.topology.graph;
@@ -102,6 +93,7 @@ impl SearchSystem for GiaSearch {
                 faults: Default::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         for step in 1..=self.ttl {
@@ -137,6 +129,7 @@ impl SearchSystem for GiaSearch {
                     faults: Default::default(),
                     elapsed: 0,
                     deadline_exceeded: false,
+                    overload: OverloadStats::default(),
                 };
             }
         }
@@ -147,6 +140,7 @@ impl SearchSystem for GiaSearch {
             faults: Default::default(),
             elapsed: 0,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 }

@@ -12,13 +12,15 @@
 //! pure DHT. The [`DhtOnlySearch`] baseline makes that comparison direct.
 
 use crate::spec::SearchSpec;
-use crate::systems::{FaultContext, MaintenanceSchedule, SearchOutcome, SearchSystem};
+use crate::systems::{
+    reject_admission, FaultContext, MaintenanceSchedule, OverloadStats, SearchOutcome, SearchSystem,
+};
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_dht::{ChordNetwork, DhtIndex};
-use qcp_faults::FaultStats;
+use qcp_faults::{CapacityPlan, FaultStats};
 use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
-use qcp_overlay::event_flood_rec;
 use qcp_overlay::flood::{FloodEngine, FloodSpec};
+use qcp_overlay::{event_flood_rec, OverloadEngine, OverloadOutcome};
 use qcp_util::hash::mix64;
 use qcp_util::rng::Pcg64;
 use qcp_vtime::Deadline;
@@ -82,10 +84,12 @@ pub struct HybridSearch<R: Recorder = NoopRecorder> {
     net: ChordNetwork,
     index: DhtIndex,
     engine: FloodEngine,
+    overload: OverloadEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
     deadline: Option<Deadline>,
+    capacity: Option<CapacityPlan>,
     repair_messages: u64,
     recorder: R,
     /// Queries that fell back to the DHT (for reports).
@@ -131,7 +135,10 @@ impl HybridSearch {
 }
 
 impl<R: Recorder> HybridSearch<R> {
-    /// Builder-internal constructor (see [`SearchSpec::hybrid`]).
+    /// Builder-internal constructor (see [`SearchSpec::hybrid`]). The
+    /// parameter list mirrors the spec's fields one-to-one; callers go
+    /// through the builder, never this signature.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         world: &SearchWorld,
         flood_ttl: u32,
@@ -139,6 +146,7 @@ impl<R: Recorder> HybridSearch<R> {
         seed: u64,
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
+        capacity: Option<CapacityPlan>,
         recorder: R,
     ) -> Self {
         let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
@@ -149,10 +157,12 @@ impl<R: Recorder> HybridSearch<R> {
             net,
             index,
             engine: FloodEngine::new(world.num_peers()),
+            overload: OverloadEngine::new(),
             forwarders: world.topology.forwarders(),
             faults,
             maintenance: None,
             deadline,
+            capacity,
             repair_messages: 0,
             recorder,
             fallbacks: 0,
@@ -223,6 +233,7 @@ impl<R: Recorder> HybridSearch<R> {
                 faults: FaultStats::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let matching = world.matching_objects(&query.terms);
@@ -249,6 +260,7 @@ impl<R: Recorder> HybridSearch<R> {
                 faults: stats,
                 elapsed: stats.ticks,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         // Rare query: re-issue over the DHT with retry/backoff per hop.
@@ -278,6 +290,7 @@ impl<R: Recorder> HybridSearch<R> {
             faults: stats,
             elapsed: stats.ticks,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 
@@ -306,6 +319,13 @@ impl<R: Recorder> HybridSearch<R> {
                     .rec_count(Kernel::Repair, Counter::Messages, messages);
             }
         }
+        if let Some(cap) = &self.capacity {
+            // Ingress admission control: a refused query pays nothing
+            // and skips both phases.
+            if !cap.admit(query.source, nonce) {
+                return reject_admission(Kernel::Flood, &mut self.recorder);
+            }
+        }
         if !ctx.plan.alive_at(query.source, time) {
             self.recorder.rec_span(Kernel::Flood);
             self.recorder.rec_event(Kernel::Flood, Event::DeadSource);
@@ -316,22 +336,48 @@ impl<R: Recorder> HybridSearch<R> {
                 faults: FaultStats::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let matching = world.matching_objects(&query.terms);
         let holders = world.holders_of(&matching);
-        let (flood, mut stats) = event_flood_rec(
-            &world.topology.graph,
-            query.source,
-            self.flood_ttl,
-            &holders,
-            Some(&self.forwarders),
-            &ctx.plan,
-            time,
-            nonce,
-            Some(deadline.ticks),
-            &mut self.recorder,
-        );
+        // The flood phase alone is capacity-bound; the structured
+        // fallback models provisioned infrastructure and keeps its
+        // retry/timeout semantics.
+        let (flood, mut stats, over) = match &self.capacity {
+            Some(cap) => self.overload.flood_rec(
+                &world.topology.graph,
+                query.source,
+                self.flood_ttl,
+                &holders,
+                Some(&self.forwarders),
+                &ctx.plan,
+                cap,
+                time,
+                nonce,
+                Some(deadline.ticks),
+                &mut self.recorder,
+            ),
+            None => {
+                let (flood, stats) = event_flood_rec(
+                    &world.topology.graph,
+                    query.source,
+                    self.flood_ttl,
+                    &holders,
+                    Some(&self.forwarders),
+                    &ctx.plan,
+                    time,
+                    nonce,
+                    Some(deadline.ticks),
+                    &mut self.recorder,
+                );
+                (flood, stats, OverloadOutcome::default())
+            }
+        };
+        let overload = OverloadStats::from_outcome(&over);
+        if overload.overloaded {
+            self.recorder.rec_event(Kernel::Flood, Event::Overloaded);
+        }
         if flood.holders_reached >= self.rare_threshold {
             let exceeded = flood.truncated && !flood.flood.found;
             if exceeded {
@@ -345,6 +391,7 @@ impl<R: Recorder> HybridSearch<R> {
                 faults: stats,
                 elapsed: flood.first_hit_time.unwrap_or(flood.completion_time),
                 deadline_exceeded: exceeded,
+                overload,
             };
         }
         // Rare query: the timed DHT phase starts when the flood drains
@@ -391,6 +438,7 @@ impl<R: Recorder> HybridSearch<R> {
             faults: stats,
             elapsed,
             deadline_exceeded: dht.deadline_exceeded,
+            overload,
         }
     }
 }
@@ -437,6 +485,7 @@ impl<R: Recorder> SearchSystem for HybridSearch<R> {
                 faults: FaultStats::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         // Rare query: re-issue over the DHT.
@@ -456,6 +505,7 @@ impl<R: Recorder> SearchSystem for HybridSearch<R> {
             faults: FaultStats::default(),
             elapsed: 0,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 
@@ -476,6 +526,7 @@ pub struct DhtOnlySearch<R: Recorder = NoopRecorder> {
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
     deadline: Option<Deadline>,
+    capacity: Option<CapacityPlan>,
     repair_messages: u64,
     recorder: R,
 }
@@ -508,6 +559,7 @@ impl<R: Recorder> DhtOnlySearch<R> {
         seed: u64,
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
+        capacity: Option<CapacityPlan>,
         recorder: R,
     ) -> Self {
         let net = ChordNetwork::new(world.num_peers(), seed ^ 0xcd);
@@ -518,6 +570,7 @@ impl<R: Recorder> DhtOnlySearch<R> {
             faults,
             maintenance: None,
             deadline,
+            capacity,
             repair_messages: 0,
             recorder,
         }
@@ -573,6 +626,13 @@ impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
                 }
             }
             if let Some(deadline) = self.deadline {
+                // The DHT is provisioned infrastructure: no queueing
+                // model, but the ingress admission gate still applies.
+                if let Some(cap) = &self.capacity {
+                    if !cap.admit(query.source, nonce) {
+                        return reject_admission(Kernel::ChordLookup, &mut self.recorder);
+                    }
+                }
                 // Deadline path: per-hop timeout expiry on the event
                 // calendar, degrading to a partial (per-term best-so-far)
                 // intersection when the budget runs out.
@@ -603,6 +663,7 @@ impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
                     faults: stats,
                     elapsed: out.elapsed,
                     deadline_exceeded: out.deadline_exceeded,
+                    overload: OverloadStats::default(),
                 };
             }
             let (out, stats) = self.index.query_keys_faulty(
@@ -624,6 +685,7 @@ impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
                 faults: stats,
                 elapsed: stats.ticks,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let out = self.index.query_keys(&self.net, query.source, &keys);
@@ -636,6 +698,7 @@ impl<R: Recorder> SearchSystem for DhtOnlySearch<R> {
             faults: FaultStats::default(),
             elapsed: 0,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 

@@ -44,11 +44,12 @@ pub use advertise::AdvertiseSearch;
 pub use eval::{evaluate, gen_queries, ComparisonRow, WorkloadConfig};
 pub use gia::GiaSearch;
 pub use hybrid::{DhtOnlySearch, HybridSearch};
+pub use qcp_faults::{CapacityConfig, CapacityModel, CapacityPlan, ShedPolicy};
 pub use qrp::QrpFloodSearch;
 pub use spec::{Built, SearchSpec};
 pub use synopsis::{SynopsisPolicy, SynopsisSearch};
 pub use systems::{
-    ExpandingRingSearch, FaultContext, FloodSearch, MaintenanceSchedule, RandomWalkSearch,
-    SearchOutcome, SearchSystem,
+    ExpandingRingSearch, FaultContext, FloodSearch, MaintenanceSchedule, OverloadStats,
+    RandomWalkSearch, SearchOutcome, SearchSystem,
 };
 pub use world::{QuerySpec, SearchWorld, WorldConfig};

@@ -42,6 +42,7 @@ use crate::systems::{
     SearchOutcome, SearchSystem,
 };
 use crate::world::{QuerySpec, SearchWorld};
+use qcp_faults::CapacityPlan;
 use qcp_obs::{NoopRecorder, Recorder};
 use qcp_util::rng::Pcg64;
 use qcp_vtime::Deadline;
@@ -91,6 +92,7 @@ pub struct SearchSpec<R: Recorder = NoopRecorder> {
     faults: Option<FaultContext>,
     maintenance: Option<MaintenanceSchedule>,
     deadline: Option<Deadline>,
+    capacity: Option<CapacityPlan>,
     recorder: R,
 }
 
@@ -101,6 +103,7 @@ impl SearchSpec<NoopRecorder> {
             faults: None,
             maintenance: None,
             deadline: None,
+            capacity: None,
             recorder: NoopRecorder,
         }
     }
@@ -165,6 +168,22 @@ impl<R: Recorder> SearchSpec<R> {
         self
     }
 
+    /// Attaches a capacity plan: every node serves its queue at the
+    /// plan's per-node rate behind a bounded FIFO, overflow is shed by
+    /// the plan's policy, and query ingress passes token-style admission
+    /// control. Outcomes gain [`OverloadStats`] and compose with
+    /// [`Self::deadline`] best-so-far answers. Capacity runs on the
+    /// event engines, so it requires both a fault context and a deadline
+    /// ([`Self::build`] rejects anything less); an
+    /// [`unlimited`](CapacityPlan::unlimited) plan is bitwise the plain
+    /// deadline path.
+    ///
+    /// [`OverloadStats`]: crate::systems::OverloadStats
+    pub fn capacity(mut self, capacity: CapacityPlan) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
     /// Swaps in an instrumentation recorder (type-changing: the built
     /// system is monomorphized over the recorder, so a
     /// [`NoopRecorder`] build stays zero-overhead).
@@ -174,6 +193,7 @@ impl<R: Recorder> SearchSpec<R> {
             faults: self.faults,
             maintenance: self.maintenance,
             deadline: self.deadline,
+            capacity: self.capacity,
             recorder,
         }
     }
@@ -185,6 +205,7 @@ impl<R: Recorder> SearchSpec<R> {
             faults,
             maintenance,
             deadline,
+            capacity,
             recorder,
         } = self;
         assert!(
@@ -197,15 +218,20 @@ impl<R: Recorder> SearchSpec<R> {
             "a deadline needs a fault context for its latency model \
              (attach FaultPlan::none for a pure-latency run)"
         );
+        assert!(
+            capacity.is_none() || (faults.is_some() && deadline.is_some()),
+            "a capacity plan runs on the event engines: attach a fault \
+             context and a deadline first"
+        );
         match kind {
             Kind::Flood { ttl } => Built::Flood(FloodSearch::assemble(
-                world, ttl, faults, deadline, recorder,
+                world, ttl, faults, deadline, capacity, recorder,
             )),
             Kind::Walk { walkers, ttl } => Built::Walk(RandomWalkSearch::assemble(
-                walkers, ttl, faults, deadline, recorder,
+                walkers, ttl, faults, deadline, capacity, recorder,
             )),
             Kind::ExpandingRing { max_ttl } => Built::ExpandingRing(ExpandingRingSearch::assemble(
-                world, max_ttl, faults, deadline, recorder,
+                world, max_ttl, faults, deadline, capacity, recorder,
             )),
             Kind::Hybrid {
                 flood_ttl,
@@ -219,6 +245,7 @@ impl<R: Recorder> SearchSpec<R> {
                     seed,
                     faults,
                     deadline,
+                    capacity,
                     recorder,
                 );
                 if let Some(m) = maintenance {
@@ -227,7 +254,8 @@ impl<R: Recorder> SearchSpec<R> {
                 Built::Hybrid(sys)
             }
             Kind::DhtOnly { seed } => {
-                let mut sys = DhtOnlySearch::assemble(world, seed, faults, deadline, recorder);
+                let mut sys =
+                    DhtOnlySearch::assemble(world, seed, faults, deadline, capacity, recorder);
                 if let Some(m) = maintenance {
                     sys = sys.with_maintenance(m);
                 }
@@ -943,5 +971,229 @@ mod deadline_tests {
         );
         assert!(tight.iter().any(|o| o.deadline_exceeded));
         assert!(loose.iter().all(|o| !o.deadline_exceeded));
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+    use crate::systems::OverloadStats;
+    use crate::world::WorldConfig;
+    use qcp_faults::{
+        CapacityConfig, CapacityModel, CapacityPlan, FaultConfig, FaultPlan, RetryPolicy,
+        ShedPolicy,
+    };
+    use qcp_obs::{Counter, Event, Kernel, MetricsRecorder};
+    use qcp_vtime::Deadline;
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 400,
+            num_objects: 3_000,
+            num_terms: 4_000,
+            head_size: 80,
+            seed: 99,
+            ..Default::default()
+        })
+    }
+
+    fn latent_ctx(mean_latency: u32, loss: f64, seed: u64) -> FaultContext {
+        FaultContext::new(
+            FaultPlan::build(
+                400,
+                &FaultConfig {
+                    loss,
+                    mean_latency,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            RetryPolicy::default(),
+            seed ^ 0x0c7e,
+        )
+    }
+
+    fn heavy_cap(load: f64, seed: u64) -> CapacityPlan {
+        CapacityPlan::build(&CapacityConfig {
+            offered_load: load,
+            queue_bound: 4,
+            policy: ShedPolicy::DropNewest,
+            model: CapacityModel::GiaLadder,
+            seed,
+        })
+    }
+
+    fn queries(w: &SearchWorld, n: usize) -> Vec<QuerySpec> {
+        let mut rng = Pcg64::new(13);
+        (0..n).map(|_| w.sample_query(&mut rng)).collect()
+    }
+
+    fn outcomes(
+        sys: &mut dyn SearchSystem,
+        w: &SearchWorld,
+        qs: &[QuerySpec],
+    ) -> Vec<SearchOutcome> {
+        let mut rng = Pcg64::new(77);
+        qs.iter().map(|q| sys.search(w, q, &mut rng)).collect()
+    }
+
+    fn all_kinds() -> Vec<fn() -> SearchSpec> {
+        vec![
+            || SearchSpec::flood(3),
+            || SearchSpec::walk(4, 20),
+            || SearchSpec::expanding_ring(4),
+            || SearchSpec::hybrid(2, 5, 11),
+            || SearchSpec::dht_only(9),
+        ]
+    }
+
+    /// An unlimited capacity plan is the plain deadline path, bitwise,
+    /// for every system kind: same outcomes, all-zero overload stats.
+    #[test]
+    fn unlimited_capacity_is_bitwise_the_deadline_path() {
+        let w = world();
+        let qs = queries(&w, 40);
+        for mk in all_kinds() {
+            let mut plain = mk()
+                .faults(latent_ctx(4, 0.1, 31))
+                .deadline(Deadline::after(48))
+                .build(&w);
+            let mut capped = mk()
+                .faults(latent_ctx(4, 0.1, 31))
+                .deadline(Deadline::after(48))
+                .capacity(CapacityPlan::unlimited())
+                .build(&w);
+            let a = outcomes(&mut plain, &w, &qs);
+            let b = outcomes(&mut capped, &w, &qs);
+            assert_eq!(a, b, "unlimited capacity must be a perfect no-op");
+            assert!(b.iter().all(|o| o.overload == OverloadStats::default()));
+        }
+    }
+
+    /// A zero-tick deadline is the degenerate endpoint: every system
+    /// answers immediately with best-so-far (nothing, usually), charges
+    /// zero virtual time, and marks the cut-off explicitly.
+    #[test]
+    fn zero_tick_deadline_degrades_immediately_on_all_systems() {
+        let w = world();
+        let qs = queries(&w, 60);
+        for mk in all_kinds() {
+            let run = || {
+                let mut sys = mk()
+                    .faults(latent_ctx(4, 0.0, 31))
+                    .deadline(Deadline::after(0))
+                    .build(&w);
+                outcomes(&mut sys, &w, &qs)
+            };
+            let out = run();
+            let name = mk().build(&w).name();
+            assert!(
+                out.iter().all(|o| o.elapsed == 0),
+                "{name}: zero budget cannot consume time"
+            );
+            assert!(
+                out.iter().any(|o| o.deadline_exceeded),
+                "{name}: a zero budget must cut off real work"
+            );
+            assert_eq!(out, run(), "{name}: endpoint must be deterministic");
+        }
+    }
+
+    /// At zero ticks the flood still answers from local knowledge: a
+    /// query issued by a holder is an instant hit at hop 0.
+    #[test]
+    fn zero_tick_deadline_keeps_the_instant_source_hit() {
+        let w = world();
+        let obj = 5u32;
+        let holder = w.placement.holders(obj)[0];
+        let q = QuerySpec {
+            terms: w.object_terms[obj as usize].clone(),
+            source: holder,
+        };
+        let mut sys = SearchSpec::flood(3)
+            .faults(latent_ctx(4, 0.0, 31))
+            .deadline(Deadline::after(0))
+            .build(&w);
+        let mut rng = Pcg64::new(1);
+        let out = sys.search(&w, &q, &mut rng);
+        assert!(out.success, "the source's own shelf needs no budget");
+        assert_eq!(out.hops, Some(0));
+        assert_eq!(out.elapsed, 0);
+    }
+
+    /// Overload under pressure: a small queue bound and a hot offered
+    /// load shed real work, flag the outcomes, and reconcile with the
+    /// recorder's Overloaded events and AdmissionRejected counter.
+    #[test]
+    fn limited_capacity_sheds_and_flags_overload() {
+        let w = world();
+        let qs = queries(&w, 80);
+        let mut sys = SearchSpec::flood(3)
+            .faults(latent_ctx(4, 0.0, 31))
+            .deadline(Deadline::after(48))
+            .capacity(heavy_cap(32.0, 0xca9))
+            .recorder(MetricsRecorder::new())
+            .build(&w);
+        let out = outcomes(&mut sys, &w, &qs);
+        let overloaded = out.iter().filter(|o| o.overload.overloaded).count() as u64;
+        let rejected: u64 = out.iter().map(|o| o.overload.admission_rejected).sum();
+        let shed: u64 = out.iter().map(|o| o.overload.shed).sum();
+        assert!(shed > 0, "offered load 32 against bound 4 must shed");
+        assert!(rejected > 0, "tier-0 issuers must fail the admission gate");
+        assert!(overloaded > 0);
+        let rec = sys.into_recorder();
+        assert_eq!(
+            rec.event_count(Kernel::Flood, Event::Overloaded),
+            overloaded
+        );
+        assert_eq!(
+            rec.total(Kernel::Flood, Counter::AdmissionRejected),
+            rejected
+        );
+        assert_eq!(rec.total(Kernel::Flood, Counter::Shed), shed);
+        assert_eq!(rec.spans(Kernel::Flood), qs.len() as u64);
+    }
+
+    /// Recording the capacity path is write-only: MetricsRecorder and
+    /// NoopRecorder builds return bitwise-identical outcome streams.
+    #[test]
+    fn capacity_recording_is_write_only() {
+        let w = world();
+        let qs = queries(&w, 40);
+        for mk in all_kinds() {
+            let mut plain = mk()
+                .faults(latent_ctx(4, 0.1, 37))
+                .deadline(Deadline::after(48))
+                .capacity(heavy_cap(8.0, 0x0ca))
+                .build(&w);
+            let mut recorded = mk()
+                .faults(latent_ctx(4, 0.1, 37))
+                .deadline(Deadline::after(48))
+                .capacity(heavy_cap(8.0, 0x0ca))
+                .recorder(MetricsRecorder::new())
+                .build(&w);
+            let a = outcomes(&mut plain, &w, &qs);
+            let b = outcomes(&mut recorded, &w, &qs);
+            assert_eq!(a, b, "recording must not perturb capacity outcomes");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity plan runs on the event engines")]
+    fn capacity_without_faults_rejected() {
+        let w = world();
+        let _ = SearchSpec::flood(3)
+            .capacity(CapacityPlan::unlimited())
+            .build(&w);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity plan runs on the event engines")]
+    fn capacity_without_deadline_rejected() {
+        let w = world();
+        let _ = SearchSpec::flood(3)
+            .faults(latent_ctx(4, 0.0, 1))
+            .capacity(CapacityPlan::unlimited())
+            .build(&w);
     }
 }

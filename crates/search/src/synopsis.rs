@@ -19,7 +19,7 @@
 //! Ablation A1 runs both at identical budgets and shows the query-centric
 //! policy resolving substantially more queries per synopsis bit.
 
-use crate::systems::{SearchOutcome, SearchSystem};
+use crate::systems::{OverloadStats, SearchOutcome, SearchSystem};
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_sketch::{SynopsisBudget, TermSynopsis};
 use qcp_util::rng::Pcg64;
@@ -137,6 +137,7 @@ impl SearchSystem for SynopsisSearch {
                 faults: Default::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let graph = &world.topology.graph;
@@ -151,6 +152,7 @@ impl SearchSystem for SynopsisSearch {
                 faults: Default::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let mut messages = 0u64;
@@ -198,6 +200,7 @@ impl SearchSystem for SynopsisSearch {
                     faults: Default::default(),
                     elapsed: 0,
                     deadline_exceeded: false,
+                    overload: OverloadStats::default(),
                 };
             }
         }
@@ -208,6 +211,7 @@ impl SearchSystem for SynopsisSearch {
             faults: Default::default(),
             elapsed: 0,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 

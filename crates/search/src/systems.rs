@@ -2,12 +2,12 @@
 
 use crate::spec::SearchSpec;
 use crate::world::{QuerySpec, SearchWorld};
-use qcp_faults::{FaultPlan, FaultStats, RetryPolicy};
+use qcp_faults::{CapacityPlan, FaultPlan, FaultStats, RetryPolicy};
 use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
 use qcp_overlay::expanding::{expanding_ring_search_faulty_rec, expanding_ring_search_rec};
 use qcp_overlay::flood::{FloodEngine, FloodSpec};
 use qcp_overlay::walk::{random_walk_search_faulty_rec, random_walk_search_rec};
-use qcp_overlay::{event_flood_rec, event_walk_rec};
+use qcp_overlay::{event_flood_rec, event_walk_rec, OverloadEngine, OverloadOutcome};
 use qcp_util::hash::mix64;
 use qcp_util::rng::{child_seed, Pcg64};
 use qcp_vtime::Deadline;
@@ -35,6 +35,95 @@ pub struct SearchOutcome {
     /// and `deadline_exceeded` can both be true (a partial answer that
     /// arrived in time, with work still pending at the cutoff).
     pub deadline_exceeded: bool,
+    /// Overload accounting under a [`CapacityPlan`] (all zero without
+    /// one, and under an unlimited plan).
+    pub overload: OverloadStats,
+}
+
+/// Per-query overload accounting, populated when a [`CapacityPlan`] is
+/// attached (see `SearchSpec::capacity`). Composes with [`Deadline`]
+/// best-so-far answers: an overloaded query still reports whatever it
+/// found before shedding cost it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadStats {
+    /// Query messages admitted into a node queue.
+    pub enqueued: u64,
+    /// Query messages dequeued and processed at their node's rate.
+    pub served: u64,
+    /// Query messages evicted by the shedding policy.
+    pub shed: u64,
+    /// Synthetic background entries this query's arrivals displaced
+    /// from full queues — refused background work.
+    pub displaced: u64,
+    /// Synthetic background entries seeded into queues the query
+    /// touched — the background work offered alongside the query.
+    pub backlog_seeded: u64,
+    /// Total ticks the query's messages waited in queues.
+    pub queue_delay: u64,
+    /// 1 when the ingress admission gate rejected the query outright.
+    pub admission_rejected: u64,
+    /// Degraded flag: the query lost work to shedding or was refused
+    /// admission. The answer (if any) is best-so-far, not exhaustive.
+    pub overloaded: bool,
+}
+
+impl OverloadStats {
+    /// Accounting for a query rejected at the admission gate.
+    pub fn rejected() -> Self {
+        Self {
+            admission_rejected: 1,
+            overloaded: true,
+            ..Self::default()
+        }
+    }
+
+    /// Folds one kernel run's overload outcome into this query's stats.
+    pub fn absorb_outcome(&mut self, o: &OverloadOutcome) {
+        self.enqueued += o.enqueued;
+        self.served += o.served;
+        self.shed += o.shed;
+        self.displaced += o.displaced;
+        self.backlog_seeded += o.backlog_seeded;
+        self.queue_delay += o.queue_delay;
+        self.overloaded |= o.shed > 0;
+    }
+
+    /// Stats for a single kernel run.
+    pub fn from_outcome(o: &OverloadOutcome) -> Self {
+        let mut s = Self::default();
+        s.absorb_outcome(o);
+        s
+    }
+
+    /// Aggregates another query's stats (for workload-level reporting).
+    pub fn absorb(&mut self, other: &OverloadStats) {
+        self.enqueued += other.enqueued;
+        self.served += other.served;
+        self.shed += other.shed;
+        self.displaced += other.displaced;
+        self.backlog_seeded += other.backlog_seeded;
+        self.queue_delay += other.queue_delay;
+        self.admission_rejected += other.admission_rejected;
+        self.overloaded |= other.overloaded;
+    }
+}
+
+/// The outcome of a query the admission gate refused: zero cost, zero
+/// answer, explicitly overloaded. Records the span (the query still
+/// happened), the rejection counter, and the overload event.
+pub(crate) fn reject_admission<R: Recorder>(kernel: Kernel, rec: &mut R) -> SearchOutcome {
+    rec.rec_span(kernel);
+    rec.rec_count(kernel, Counter::AdmissionRejected, 1);
+    rec.rec_event(kernel, Event::Overloaded);
+    SearchOutcome {
+        success: false,
+        messages: 0,
+        hops: None,
+        faults: FaultStats::default(),
+        elapsed: 0,
+        deadline_exceeded: false,
+        overload: OverloadStats::rejected(),
+    }
 }
 
 /// Per-system fault context: the shared [`FaultPlan`], the retry policy
@@ -150,9 +239,11 @@ pub struct FloodSearch<R: Recorder = NoopRecorder> {
     /// Flood TTL.
     pub ttl: u32,
     engine: FloodEngine,
+    overload: OverloadEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
     deadline: Option<Deadline>,
+    capacity: Option<CapacityPlan>,
     recorder: R,
 }
 
@@ -163,14 +254,17 @@ impl<R: Recorder> FloodSearch<R> {
         ttl: u32,
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
+        capacity: Option<CapacityPlan>,
         recorder: R,
     ) -> Self {
         Self {
             ttl,
             engine: FloodEngine::new(world.num_peers()),
+            overload: OverloadEngine::new(),
             forwarders: world.topology.forwarders(),
             faults,
             deadline,
+            capacity,
             recorder,
         }
     }
@@ -230,6 +324,45 @@ impl<R: Recorder> SearchSystem for FloodSearch<R> {
             // latencies, cut off at the deadline.
             // qcplint: allow(panic) — build() rejects deadline sans faults.
             let ctx = self.faults.as_ref().expect("deadline requires faults");
+            if let Some(cap) = &self.capacity {
+                // Capacity path: bounded queues and service rates on the
+                // overload engine (bitwise the plain event flood under an
+                // unlimited plan), gated by ingress admission control.
+                if !cap.admit(query.source, nonce) {
+                    return reject_admission(Kernel::Flood, &mut self.recorder);
+                }
+                let (out, stats, over) = self.overload.flood_rec(
+                    &world.topology.graph,
+                    query.source,
+                    self.ttl,
+                    &holders,
+                    Some(&self.forwarders),
+                    &ctx.plan,
+                    cap,
+                    time,
+                    nonce,
+                    Some(deadline.ticks),
+                    &mut self.recorder,
+                );
+                let exceeded = out.truncated && !out.flood.found;
+                if exceeded {
+                    self.recorder
+                        .rec_event(Kernel::Flood, Event::DeadlineExceeded);
+                }
+                let overload = OverloadStats::from_outcome(&over);
+                if overload.overloaded {
+                    self.recorder.rec_event(Kernel::Flood, Event::Overloaded);
+                }
+                return SearchOutcome {
+                    success: out.flood.found,
+                    messages: out.flood.messages,
+                    hops: out.flood.found_at_hop,
+                    faults: stats,
+                    elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+                    deadline_exceeded: exceeded,
+                    overload,
+                };
+            }
             let (out, stats) = event_flood_rec(
                 &world.topology.graph,
                 query.source,
@@ -254,6 +387,7 @@ impl<R: Recorder> SearchSystem for FloodSearch<R> {
                 faults: stats,
                 elapsed: out.first_hit_time.unwrap_or(out.completion_time),
                 deadline_exceeded: exceeded,
+                overload: OverloadStats::default(),
             };
         }
         let mut spec = FloodSpec::new(self.ttl);
@@ -277,6 +411,7 @@ impl<R: Recorder> SearchSystem for FloodSearch<R> {
             faults: stats[level],
             elapsed: stats[level].ticks,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 }
@@ -288,8 +423,10 @@ pub struct RandomWalkSearch<R: Recorder = NoopRecorder> {
     pub walkers: usize,
     /// Steps per walker.
     pub ttl: u32,
+    overload: OverloadEngine,
     faults: Option<FaultContext>,
     deadline: Option<Deadline>,
+    capacity: Option<CapacityPlan>,
     recorder: R,
 }
 
@@ -300,13 +437,16 @@ impl<R: Recorder> RandomWalkSearch<R> {
         ttl: u32,
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
+        capacity: Option<CapacityPlan>,
         recorder: R,
     ) -> Self {
         Self {
             walkers,
             ttl,
+            overload: OverloadEngine::new(),
             faults,
             deadline,
+            capacity,
             recorder,
         }
     }
@@ -329,7 +469,7 @@ impl RandomWalkSearch {
         note = "use SearchSpec::walk(walkers, ttl).build(world)"
     )]
     pub fn new(walkers: usize, ttl: u32) -> Self {
-        Self::assemble(walkers, ttl, None, None, NoopRecorder)
+        Self::assemble(walkers, ttl, None, None, None, NoopRecorder)
     }
 
     /// Creates a walk system running under `faults`: a step toward a
@@ -339,7 +479,7 @@ impl RandomWalkSearch {
         note = "use SearchSpec::walk(walkers, ttl).faults(faults).build(world)"
     )]
     pub fn with_faults(walkers: usize, ttl: u32, faults: FaultContext) -> Self {
-        Self::assemble(walkers, ttl, Some(faults), None, NoopRecorder)
+        Self::assemble(walkers, ttl, Some(faults), None, None, NoopRecorder)
     }
 }
 
@@ -360,6 +500,47 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
             let ctx = self.faults.as_mut().expect("deadline requires faults");
             let (time, nonce) = ctx.next_query();
             let walk_seed = rng.next();
+            if let Some(cap) = &self.capacity {
+                // Capacity path: walker steps queue for service at each
+                // node (bitwise the plain event walk under an unlimited
+                // plan). The walk seed is drawn before the admission
+                // gate, so rejection never shifts later queries' draws.
+                if !cap.admit(query.source, nonce) {
+                    return reject_admission(Kernel::Walk, &mut self.recorder);
+                }
+                let (out, stats, over) = self.overload.walk_rec(
+                    &world.topology.graph,
+                    query.source,
+                    self.walkers,
+                    self.ttl,
+                    &holders,
+                    walk_seed,
+                    &ctx.plan,
+                    cap,
+                    time,
+                    nonce,
+                    Some(deadline.ticks),
+                    &mut self.recorder,
+                );
+                let exceeded = out.truncated && !out.walk.found;
+                if exceeded {
+                    self.recorder
+                        .rec_event(Kernel::Walk, Event::DeadlineExceeded);
+                }
+                let overload = OverloadStats::from_outcome(&over);
+                if overload.overloaded {
+                    self.recorder.rec_event(Kernel::Walk, Event::Overloaded);
+                }
+                return SearchOutcome {
+                    success: out.walk.found,
+                    messages: out.walk.messages,
+                    hops: out.walk.found_at_step,
+                    faults: stats,
+                    elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+                    deadline_exceeded: exceeded,
+                    overload,
+                };
+            }
             let (out, stats) = event_walk_rec(
                 &world.topology.graph,
                 query.source,
@@ -385,6 +566,7 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
                 faults: stats,
                 elapsed: out.first_hit_time.unwrap_or(out.completion_time),
                 deadline_exceeded: exceeded,
+                overload: OverloadStats::default(),
             };
         }
         if let Some(ctx) = &mut self.faults {
@@ -408,6 +590,7 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
                 faults: stats,
                 elapsed: stats.ticks,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let out = random_walk_search_rec(
@@ -426,6 +609,7 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
             faults: FaultStats::default(),
             elapsed: 0,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 }
@@ -546,9 +730,11 @@ pub struct ExpandingRingSearch<R: Recorder = NoopRecorder> {
     /// Deepest ring to try.
     pub max_ttl: u32,
     engine: FloodEngine,
+    overload: OverloadEngine,
     forwarders: Vec<bool>,
     faults: Option<FaultContext>,
     deadline: Option<Deadline>,
+    capacity: Option<CapacityPlan>,
     recorder: R,
     /// Total rings attempted across every query served (for reports):
     /// `rings_attempted / queries` is the mean iterative-deepening depth,
@@ -565,14 +751,17 @@ impl<R: Recorder> ExpandingRingSearch<R> {
         max_ttl: u32,
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
+        capacity: Option<CapacityPlan>,
         recorder: R,
     ) -> Self {
         Self {
             max_ttl,
             engine: FloodEngine::new(world.num_peers()),
+            overload: OverloadEngine::new(),
             forwarders: world.topology.forwarders(),
             faults,
             deadline,
+            capacity,
             recorder,
             rings_attempted: 0,
             queries: 0,
@@ -593,6 +782,13 @@ impl<R: Recorder> ExpandingRingSearch<R> {
         // qcplint: allow(panic) — build() rejects deadline sans faults.
         let ctx = self.faults.as_mut().expect("deadline requires faults");
         let (time, nonce) = ctx.next_query();
+        if let Some(cap) = &self.capacity {
+            // Admission control gates the whole deepening schedule: a
+            // rejected query never issues its first ring.
+            if !cap.admit(query.source, nonce) {
+                return reject_admission(Kernel::ExpandingRing, &mut self.recorder);
+            }
+        }
         self.recorder.rec_span(Kernel::ExpandingRing);
         if !ctx.plan.alive_at(query.source, time) {
             self.recorder
@@ -604,6 +800,7 @@ impl<R: Recorder> ExpandingRingSearch<R> {
                 faults: FaultStats::default(),
                 elapsed: 0,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let matching = world.matching_objects(&query.terms);
@@ -616,22 +813,42 @@ impl<R: Recorder> ExpandingRingSearch<R> {
         let mut success = false;
         let mut hops = None;
         let mut elapsed = 0u64;
+        let mut overload = OverloadStats::default();
         for ttl in 1..=self.max_ttl {
             // Each ring is an independent flood with its own drop-stream
             // position, as in the synchronous schedule's re-floods.
             let ring_nonce = mix64(nonce ^ u64::from(ttl));
-            let (out, ring_stats) = event_flood_rec(
-                &world.topology.graph,
-                query.source,
-                ttl,
-                &holders,
-                Some(&self.forwarders),
-                &ctx.plan,
-                time,
-                ring_nonce,
-                Some(deadline.ticks - spent),
-                &mut self.recorder,
-            );
+            let (out, ring_stats) = match &self.capacity {
+                Some(cap) => {
+                    let (out, ring_stats, over) = self.overload.flood_rec(
+                        &world.topology.graph,
+                        query.source,
+                        ttl,
+                        &holders,
+                        Some(&self.forwarders),
+                        &ctx.plan,
+                        cap,
+                        time,
+                        ring_nonce,
+                        Some(deadline.ticks - spent),
+                        &mut self.recorder,
+                    );
+                    overload.absorb_outcome(&over);
+                    (out, ring_stats)
+                }
+                None => event_flood_rec(
+                    &world.topology.graph,
+                    query.source,
+                    ttl,
+                    &holders,
+                    Some(&self.forwarders),
+                    &ctx.plan,
+                    time,
+                    ring_nonce,
+                    Some(deadline.ticks - spent),
+                    &mut self.recorder,
+                ),
+            };
             rings += 1;
             messages += out.flood.messages;
             stats.absorb(&ring_stats);
@@ -671,6 +888,10 @@ impl<R: Recorder> ExpandingRingSearch<R> {
             self.recorder
                 .rec_event(Kernel::ExpandingRing, Event::DeadlineExceeded);
         }
+        if overload.overloaded {
+            self.recorder
+                .rec_event(Kernel::ExpandingRing, Event::Overloaded);
+        }
         SearchOutcome {
             success,
             messages,
@@ -678,6 +899,7 @@ impl<R: Recorder> ExpandingRingSearch<R> {
             faults: stats,
             elapsed,
             deadline_exceeded: exceeded,
+            overload,
         }
     }
 
@@ -765,6 +987,7 @@ impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
                 faults: stats,
                 elapsed: stats.ticks,
                 deadline_exceeded: false,
+                overload: OverloadStats::default(),
             };
         }
         let out = expanding_ring_search_rec(
@@ -784,6 +1007,7 @@ impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
             faults: FaultStats::default(),
             elapsed: 0,
             deadline_exceeded: false,
+            overload: OverloadStats::default(),
         }
     }
 }

@@ -160,6 +160,25 @@ impl<E: Ord> Calendar<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Rewinds the calendar to virtual time 0 for reuse across trials:
+    /// drops every pending event, resets `now` and the insertion
+    /// sequence, and **retains the heap's allocation**. Per-trial event
+    /// loops that keep one calendar around therefore allocate nothing
+    /// in steady state (the PR 8 arena discipline).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.now = 0;
+        self.seq = 0;
+    }
+
+    /// The heap's retained capacity, in entries. Exposed so reuse tests
+    /// (and curious drivers) can verify that [`Calendar::reset`] keeps
+    /// the allocation instead of shrinking it.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +247,32 @@ mod tests {
         assert_eq!(c.now(), 4);
         c.schedule_after(1, 0, 3u8);
         assert_eq!(c.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn reset_rewinds_time_and_retains_capacity() {
+        let mut c = Calendar::new();
+        for i in 0..256u64 {
+            c.schedule_at(i, tie_break(i), i);
+        }
+        let cap = c.capacity();
+        assert!(cap >= 256);
+        assert_eq!(c.pop(), Some((0, 0)));
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(c.now(), 0, "reset rewinds virtual time");
+        assert_eq!(c.capacity(), cap, "reset retains the heap allocation");
+        // The rewound calendar accepts early times again (clear() alone
+        // would leave `now` stuck at the last popped timestamp) and
+        // replays identically: same events, same pop order, no growth.
+        for i in 0..256u64 {
+            c.schedule_at(i, tie_break(i), i);
+        }
+        assert_eq!(c.capacity(), cap, "steady-state reuse allocates nothing");
+        let order: Vec<_> = std::iter::from_fn(|| c.pop()).collect();
+        assert_eq!(order.len(), 256);
+        assert_eq!(order[0], (0, 0));
+        assert_eq!(order[255], (255, 255));
     }
 
     #[test]

@@ -437,6 +437,7 @@ const RECORDER_CALLS: &[&str] = &[
     "rec_count(",
     "rec_hop(",
     "rec_time(",
+    "rec_queue(",
     "rec_event(",
     "rec_faults(",
 ];
@@ -1042,6 +1043,17 @@ mod tests {
         // cfg gate any more than the other recorder calls can.
         let src =
             "fn f(r: &mut R) {\n #[cfg(feature = \"obs\")]\n r.rec_time(Kernel::Flood, 3, 1);\n}\n";
+        assert!(lint("overlay", src)
+            .iter()
+            .any(|d| d.rule == Rule::CfgRecorder));
+    }
+
+    #[test]
+    fn rec_queue_is_a_guarded_recorder_call() {
+        // O1b: the overload layer's queue-length histogram entry point
+        // is covered like every other recorder call.
+        let src =
+            "fn f(r: &mut R) {\n #[cfg(feature = \"obs\")]\n r.rec_queue(Kernel::Flood, 3, 1);\n}\n";
         assert!(lint("overlay", src)
             .iter()
             .any(|d| d.rule == Rule::CfgRecorder));

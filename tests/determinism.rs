@@ -896,3 +896,103 @@ fn forty_thousand_node_census_matches_pre_refactor_golden() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// overload: the capacity layer rides the same contract. The `repro
+// overload` grid must be bit-identical across runs, pool widths, and
+// recording on/off — and its trailing unlimited-capacity baseline cell
+// must be byte-identical to `repro latency` cell 0 (same world, same
+// fault plan, same streams; the overload layer adds nothing when
+// capacity is unbounded).
+// ---------------------------------------------------------------------
+
+use qcp_bench::overload::{overload_data, overload_data_recorded, BASELINE};
+
+#[test]
+fn overload_grid_same_seed_is_bit_identical() {
+    let r = latency_session();
+    let pool = Pool::new(2);
+    let a = overload_data(&r, &pool);
+    let b = overload_data(&r, &pool);
+    assert_eq!(a, b, "repro overload must reproduce bit-identical results");
+    // Guards: the capacity layer actually bites somewhere, at both ends
+    // of the pipeline, or the pin is vacuous.
+    assert!(
+        a.iter().flat_map(|c| &c.systems).any(|s| s.shed > 0),
+        "guard: some cell must shed queued work"
+    );
+    assert!(
+        a.iter()
+            .flat_map(|c| &c.systems)
+            .any(|s| s.admission_rejected > 0),
+        "guard: some cell must refuse ingress"
+    );
+}
+
+#[test]
+fn overload_grid_thread_width_does_not_leak() {
+    let r = latency_session();
+    let a = overload_data(&r, &Pool::new(1));
+    let b = overload_data(&r, &Pool::new(4));
+    assert_eq!(
+        a, b,
+        "cells are pure functions of (seed, cell index); pool width must \
+         not perturb the grid"
+    );
+}
+
+#[test]
+fn overload_grid_recording_on_vs_off_is_bit_identical() {
+    let r = latency_session();
+    let pool = Pool::new(2);
+    let off = overload_data(&r, &pool);
+    let (on, master) = overload_data_recorded(&r, &pool);
+    assert_eq!(off, on, "recording must not perturb the overload grid");
+    // Per-system reconciliation runs inside overload_data_recorded;
+    // here, pin the master's aggregate mass: the shed counter and the
+    // queue-length histogram must both be populated.
+    let shed: u64 = off.iter().flat_map(|c| &c.systems).map(|s| s.shed).sum();
+    let recorded_shed: u64 = Kernel::ALL
+        .iter()
+        .map(|&k| master.total(k, Counter::Shed))
+        .sum();
+    assert_eq!(recorded_shed, shed, "recorded sheds must reconcile");
+    let qmass: u64 = Kernel::ALL.iter().map(|&k| master.queue_weight(k)).sum();
+    assert!(qmass > 0, "guard: rec_queue must see queue lengths");
+}
+
+#[test]
+fn overload_unlimited_baseline_is_bitwise_latency_cell_zero() {
+    let r = latency_session();
+    let pool = Pool::new(2);
+    let over = overload_data(&r, &pool);
+    let lat = latency_data(&r, &pool);
+    let baseline = &over[BASELINE];
+    // Latency cell 0 is (mean latency 1, loss 0.0, fixed backoff) —
+    // exactly the fault derivations every overload cell shares.
+    let cell0 = &lat[0];
+    assert_eq!(cell0.mean_latency, 1, "grid layout drifted");
+    assert_eq!(cell0.loss, 0.0, "grid layout drifted");
+    assert_eq!(cell0.policy, "fixed", "grid layout drifted");
+    assert_eq!(baseline.systems.len(), cell0.systems.len());
+    for (o, l) in baseline.systems.iter().zip(&cell0.systems) {
+        assert_eq!(o.system, l.system);
+        assert_eq!(o.queries, l.queries);
+        assert_eq!(
+            (o.hits, o.deadline_misses, o.p50, o.p99),
+            (l.hits, l.deadline_misses, l.p50, l.p99),
+            "{}: unlimited-capacity outcomes diverged from the plain \
+             deadline path",
+            o.system
+        );
+        // SystemLatency stores the mean; recompute it with the same
+        // float expression and compare raw bits.
+        let mean = o.messages as f64 / (o.queries as f64).max(1.0);
+        assert_eq!(
+            mean.to_bits(),
+            l.mean_messages.to_bits(),
+            "{}: message volume diverged",
+            o.system
+        );
+    }
+}
