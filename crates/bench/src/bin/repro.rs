@@ -8,23 +8,20 @@
 //! repro list
 //! ```
 //!
-//! Artifacts: fig1..fig8, fig8-churn, table1..table3, ablation-synopsis,
-//! ablation-gia, ablation-mismatch, ablation-topology, ablation-walk,
-//! `profile`, `latency` (the deadline grid on the virtual-time engine),
-//! `overload` (the capacity/admission/shedding grid on the same engine),
-//! `bench` (the Figure-8 perf-trajectory harness), and `scale` (the
-//! million-node ladder; `--huge` appends a 10M rung). `bench` and `scale`
-//! are not part of `all`.
+//! The artifact set (ids, descriptions, `all` membership) comes from the
+//! declarative registry in `qcp_bench::ARTIFACTS`; `repro list` prints it.
+//! `bench` and `scale` are registered but opt out of `all`.
 
 #![forbid(unsafe_code)]
 
-use qcp_bench::{Repro, Scale};
+use qcp_bench::{Repro, Scale, ARTIFACTS};
 
 fn usage() -> ! {
+    let names: Vec<&str> = ARTIFACTS.iter().map(|a| a.name).collect();
     eprintln!(
         "usage: repro [--scale test|smoke|default|paper] [--out DIR] [--trials N] [--seed S] [--huge] <artifact>...\n\
-         artifacts: {} | bench | scale | all | list",
-        Repro::all_artifacts().join(" | ")
+         artifacts: {} | all | list",
+        names.join(" | ")
     );
     std::process::exit(2);
 }
@@ -68,8 +65,10 @@ fn main() {
         usage();
     }
     if artifacts.iter().any(|a| a == "list") {
-        for a in Repro::all_artifacts() {
-            println!("{a}");
+        let width = ARTIFACTS.iter().map(|a| a.name.len()).max().unwrap_or(0);
+        for a in ARTIFACTS {
+            let tag = if a.in_all { "" } else { "  [not in `all`]" };
+            println!("{:width$}  {}{tag}", a.name, a.description);
         }
         return;
     }

@@ -14,6 +14,7 @@
 
 pub mod ablations;
 pub mod fig8churn;
+pub mod fig8repl;
 pub mod figures;
 pub mod latency;
 pub mod overload;
@@ -122,68 +123,213 @@ impl Repro {
 
     /// Runs one named artifact; returns the rendered report.
     pub fn run(&self, what: &str) -> String {
-        match what {
-            "fig1" => figures::fig1(self),
-            "fig2" => figures::fig2(self),
-            "fig3" => figures::fig3(self),
-            "fig4" => figures::fig4(self),
-            "fig5" => figures::fig5(self),
-            "fig6" => figures::fig6(self),
-            "fig7" => figures::fig7(self),
-            "fig8" => figures::fig8(self),
-            "fig8-churn" => fig8churn::fig8_churn(self),
-            "soak" => soak::soak(self),
-            "table1" => figures::table1(self),
-            "table2" => figures::table2(self),
-            "table3" => figures::table3(self),
-            "ablation-synopsis" => ablations::synopsis(self),
-            "ablation-gia" => ablations::gia(self),
-            "ablation-mismatch" => ablations::mismatch(self),
-            "ablation-topology" => ablations::topology(self),
-            "ablation-walk" => ablations::walk(self),
-            "ablation-churn" => ablations::churn(self),
-            "ablation-structured" => ablations::structured(self),
-            "ablation-adaptation" => ablations::adaptation(self),
-            "profile" => profile::profile(self),
-            "latency" => latency::latency(self),
-            "overload" => overload::overload(self),
-            "bench" => timing::bench(self),
-            "scale" => scale::scale(self),
+        let artifact = Artifact::find(what)
             // qcplint: allow(panic) — CLI contract: unknown ids fail fast.
-            other => panic!("unknown artifact '{other}'"),
-        }
+            .unwrap_or_else(|| panic!("unknown artifact '{what}'"));
+        (artifact.run)(self)
     }
 
-    /// Every artifact id, in report order.
-    pub fn all_artifacts() -> &'static [&'static str] {
-        &[
-            "fig1",
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig8-churn",
-            "soak",
-            "table1",
-            "table2",
-            "table3",
-            "ablation-synopsis",
-            "ablation-gia",
-            "ablation-mismatch",
-            "ablation-topology",
-            "ablation-walk",
-            "ablation-churn",
-            "ablation-structured",
-            "ablation-adaptation",
-            "profile",
-            "latency",
-            "overload",
-        ]
+    /// Every `repro all` artifact id, in report order (the registry
+    /// entries that opt in; `bench` and `scale` stay manual-only).
+    pub fn all_artifacts() -> Vec<&'static str> {
+        ARTIFACTS
+            .iter()
+            .filter(|a| a.in_all)
+            .map(|a| a.name)
+            .collect()
     }
 }
+
+/// One registered repro artifact: CLI id, one-line description for
+/// `repro list`, whether `repro all` includes it, and its entry point.
+///
+/// `Repro::run`, `Repro::all_artifacts`, `repro list` and the CLI usage
+/// string all derive from the [`ARTIFACTS`] table — adding an artifact
+/// is one row here, nothing else.
+pub struct Artifact {
+    /// CLI id (`repro <name>`).
+    pub name: &'static str,
+    /// One-line description shown by `repro list`.
+    pub description: &'static str,
+    /// Whether `repro all` runs it (`bench`/`scale` opt out: they are
+    /// perf/scale harnesses, not figure regenerations).
+    pub in_all: bool,
+    /// Runs the artifact against a session; returns the rendered report.
+    pub run: fn(&Repro) -> String,
+}
+
+impl Artifact {
+    /// Looks up a registry entry by CLI id.
+    pub fn find(name: &str) -> Option<&'static Artifact> {
+        ARTIFACTS.iter().find(|a| a.name == name)
+    }
+}
+
+/// The artifact registry, in report order.
+pub const ARTIFACTS: &[Artifact] = &[
+    Artifact {
+        name: "fig1",
+        description: "client session lengths (rank-frequency)",
+        in_all: true,
+        run: figures::fig1,
+    },
+    Artifact {
+        name: "fig2",
+        description: "queries per client (rank-frequency)",
+        in_all: true,
+        run: figures::fig2,
+    },
+    Artifact {
+        name: "fig3",
+        description: "query popularity distribution",
+        in_all: true,
+        run: figures::fig3,
+    },
+    Artifact {
+        name: "fig4",
+        description: "song/artist popularity distributions",
+        in_all: true,
+        run: figures::fig4,
+    },
+    Artifact {
+        name: "fig5",
+        description: "query/file popularity mismatch scatter",
+        in_all: true,
+        run: figures::fig5,
+    },
+    Artifact {
+        name: "fig6",
+        description: "query-stream self-similarity over time",
+        in_all: true,
+        run: figures::fig6,
+    },
+    Artifact {
+        name: "fig7",
+        description: "query/file keyword-set similarity",
+        in_all: true,
+        run: figures::fig7,
+    },
+    Artifact {
+        name: "fig8",
+        description: "flood success vs TTL: uniform-k and Zipf placement",
+        in_all: true,
+        run: figures::fig8,
+    },
+    Artifact {
+        name: "fig8-churn",
+        description: "Figure-8 flood under loss x churn fault grid",
+        in_all: true,
+        run: fig8churn::fig8_churn,
+    },
+    Artifact {
+        name: "fig8-repl",
+        description: "Figure-8 counterfactual: replication scheme x budget grid",
+        in_all: true,
+        run: fig8repl::fig8_repl,
+    },
+    Artifact {
+        name: "soak",
+        description: "churn/repair soak loop with recovery curves",
+        in_all: true,
+        run: soak::soak,
+    },
+    Artifact {
+        name: "table1",
+        description: "trace summary statistics",
+        in_all: true,
+        run: figures::table1,
+    },
+    Artifact {
+        name: "table2",
+        description: "query categories and hit rates",
+        in_all: true,
+        run: figures::table2,
+    },
+    Artifact {
+        name: "table3",
+        description: "system comparison: success and message cost",
+        in_all: true,
+        run: figures::table3,
+    },
+    Artifact {
+        name: "ablation-synopsis",
+        description: "synopsis policy ablation (content- vs query-centric)",
+        in_all: true,
+        run: ablations::synopsis,
+    },
+    Artifact {
+        name: "ablation-gia",
+        description: "Gia capacity-ladder ablation",
+        in_all: true,
+        run: ablations::gia,
+    },
+    Artifact {
+        name: "ablation-mismatch",
+        description: "query/file mismatch strength ablation",
+        in_all: true,
+        run: ablations::mismatch,
+    },
+    Artifact {
+        name: "ablation-topology",
+        description: "topology generator ablation",
+        in_all: true,
+        run: ablations::topology,
+    },
+    Artifact {
+        name: "ablation-walk",
+        description: "walker count/TTL ablation",
+        in_all: true,
+        run: ablations::walk,
+    },
+    Artifact {
+        name: "ablation-churn",
+        description: "churn-rate ablation",
+        in_all: true,
+        run: ablations::churn,
+    },
+    Artifact {
+        name: "ablation-structured",
+        description: "structured (DHT) baseline ablation",
+        in_all: true,
+        run: ablations::structured,
+    },
+    Artifact {
+        name: "ablation-adaptation",
+        description: "adaptive synopsis re-weighting ablation",
+        in_all: true,
+        run: ablations::adaptation,
+    },
+    Artifact {
+        name: "profile",
+        description: "hot-path profile of the Figure-8 kernels",
+        in_all: true,
+        run: profile::profile,
+    },
+    Artifact {
+        name: "latency",
+        description: "deadline grid on the virtual-time engine",
+        in_all: true,
+        run: latency::latency,
+    },
+    Artifact {
+        name: "overload",
+        description: "capacity/admission/shedding grid",
+        in_all: true,
+        run: overload::overload,
+    },
+    Artifact {
+        name: "bench",
+        description: "Figure-8 perf-trajectory harness (BENCH_fig8.json)",
+        in_all: false,
+        run: timing::bench,
+    },
+    Artifact {
+        name: "scale",
+        description: "million-node scale ladder (--huge adds 10M)",
+        in_all: false,
+        run: scale::scale,
+    },
+];
 
 /// Formats a `(rank, count)` series as a `rank,value` CSV table.
 pub fn rank_table(series: &[(u64, u64)], value_name: &str) -> qcp_core::util::Table {
@@ -220,5 +366,22 @@ mod tests {
         let t = rank_table(&[(1, 10), (2, 5)], "clients");
         assert_eq!(t.len(), 2);
         assert!(t.to_csv().starts_with("rank,clients\n1,10\n"));
+    }
+
+    #[test]
+    fn artifact_registry_is_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for a in ARTIFACTS {
+            assert!(seen.insert(a.name), "duplicate artifact id {}", a.name);
+            assert!(!a.description.is_empty(), "{} needs a description", a.name);
+        }
+        // The perf/scale harnesses stay out of `repro all`.
+        for manual in ["bench", "scale"] {
+            let a = Artifact::find(manual).unwrap();
+            assert!(!a.in_all, "{manual} must not run under `repro all`");
+        }
+        assert!(Repro::all_artifacts().contains(&"fig8-repl"));
+        assert!(!Repro::all_artifacts().contains(&"bench"));
+        assert!(Artifact::find("no-such-artifact").is_none());
     }
 }

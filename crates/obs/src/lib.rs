@@ -127,11 +127,16 @@ pub enum Counter {
     QueueDelay,
     /// Queries refused by admission control at ingress.
     AdmissionRejected,
+    /// Extra replicas placed by the attached replication plan.
+    CopiesPlaced,
+    /// Successful queries rescued by replication: the same search over
+    /// the owner-only placement would have missed.
+    CopiesHit,
 }
 
 impl Counter {
     /// Number of counters (matrix dimension).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Messages,
@@ -150,6 +155,8 @@ impl Counter {
         Counter::Shed,
         Counter::QueueDelay,
         Counter::AdmissionRejected,
+        Counter::CopiesPlaced,
+        Counter::CopiesHit,
     ];
 
     /// Stable snake_case name (the JSON key in `profile.json`).
@@ -171,6 +178,8 @@ impl Counter {
             Counter::Shed => "shed",
             Counter::QueueDelay => "queue_delay",
             Counter::AdmissionRejected => "admission_rejected",
+            Counter::CopiesPlaced => "copies_placed",
+            Counter::CopiesHit => "copies_hit",
         }
     }
 

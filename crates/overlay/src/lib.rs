@@ -21,6 +21,10 @@
 //!   queues, per-node service rates on the Gia ladder, and load
 //!   shedding (the `qcp-faults` `CapacityPlan` overload model);
 //! * [`expanding`] — expanding-ring (iterative deepening) search;
+//! * [`replicate`] — pluggable replication schemes (owner-only, path,
+//!   random-walk, square-root/proportional allocation, Gia one-hop):
+//!   deterministic `Placement → Placement` transforms under an exact
+//!   extra-copy budget — the Figure-8 counterfactual;
 //! * [`sim`] — parallel trial sweeps producing success-rate curves
 //!   (Figure 8) with deterministic per-trial seeds;
 //! * [`repair`] — self-healing maintenance: deterministic pruning of dead
@@ -38,6 +42,7 @@ pub mod metrics;
 pub mod overload;
 pub mod placement;
 pub mod repair;
+pub mod replicate;
 pub mod sim;
 pub mod topology;
 pub mod walk;
@@ -54,11 +59,12 @@ pub use flood::{
 pub use graph::Graph;
 pub use metrics::{graph_metrics, GraphMetrics};
 pub use overload::{OverloadEngine, OverloadOutcome};
-pub use placement::{Placement, PlacementModel};
+pub use placement::{Placement, PlacementBuilder, PlacementModel};
 pub use repair::{
     check_repair_invariants, repair_round, repair_round_rec, Attachment, Maintainer,
     MaintenancePolicy, RepairStats,
 };
+pub use replicate::{Popularity, ReplicationPlan, ReplicationScheme};
 pub use sim::{
     flood_trials, flood_trials_faulty, sweep_ttl, sweep_ttl_faulty, sweep_ttl_faulty_rec,
     sweep_ttl_faulty_reference, sweep_ttl_rec, sweep_ttl_reference, SimConfig, SweepPoint,

@@ -87,26 +87,89 @@ impl Placement {
         }
     }
 
+    /// Starts a streaming posting-store builder: push holders one at a
+    /// time, close each object, and get the CSR store directly — no
+    /// per-object `Vec` materialization (DESIGN.md §13 memory budget).
+    pub fn builder(num_peers: u32) -> PlacementBuilder {
+        PlacementBuilder {
+            offsets: vec![0u64],
+            packed: Vec::new(),
+            num_peers,
+        }
+    }
+
     /// Builds a placement from explicit holder lists (e.g. the ground
     /// truth of a generated crawl). Lists are sorted and deduplicated.
+    ///
+    /// Convenience wrapper over [`Placement::builder`]; prefer the
+    /// builder on hot paths, which never materializes per-object `Vec`s.
     pub fn from_holder_lists(num_peers: u32, holders: Vec<Vec<u32>>) -> Self {
-        let mut offsets = Vec::with_capacity(holders.len() + 1);
-        offsets.push(0u64);
-        let mut packed: Vec<u32> = Vec::with_capacity(holders.iter().map(Vec::len).sum());
+        let mut b = Self::builder(num_peers);
         for h in holders {
-            let start = packed.len();
-            packed.extend(h);
-            packed[start..].sort_unstable();
-            dedup_tail(&mut packed, start);
-            if let Some(&max) = packed.last().filter(|_| packed.len() > start) {
-                assert!(max < num_peers, "holder peer out of range");
+            for peer in h {
+                b.push_holder(peer);
             }
-            offsets.push(packed.len() as u64);
+            b.finish_object();
+        }
+        b.build()
+    }
+
+    /// Rebuilds the posting store with `extras` appended: each
+    /// `(object, peer)` pair adds one replica. Budget-conserving by
+    /// construction — the result holds exactly `self` plus every extra,
+    /// and the rebuild is a single counting pass over the CSR arrays
+    /// (two allocations, no per-object `Vec`s). Panics if an extra is
+    /// out of range or duplicates an existing holder: replication
+    /// schemes must place distinct copies, or the budget would silently
+    /// deflate.
+    pub fn with_extra_copies(&self, extras: &[(u32, u32)]) -> Self {
+        let num_objects = self.num_objects();
+        let mut offsets = Vec::with_capacity(num_objects + 1);
+        offsets.push(0u64);
+        let mut count = vec![0u64; num_objects];
+        for &(object, peer) in extras {
+            assert!(
+                (object as usize) < num_objects,
+                "extra copy object out of range"
+            );
+            assert!(peer < self.num_peers, "extra copy peer out of range");
+            count[object as usize] += 1;
+        }
+        for o in 0..num_objects {
+            let len = self.offsets[o + 1] - self.offsets[o] + count[o];
+            offsets.push(offsets[o] + len);
+        }
+        let mut packed = vec![0u32; self.packed.len() + extras.len()];
+        // Lay down the base lists, leaving a gap of `count[o]` slots per
+        // object, then drop the extras into the gaps and re-sort only
+        // the objects that actually grew.
+        let mut cursor: Vec<u64> = offsets[..num_objects].to_vec();
+        for (o, cur) in cursor.iter_mut().enumerate() {
+            let base = self.holders(o as u32);
+            let at = *cur as usize;
+            packed[at..at + base.len()].copy_from_slice(base);
+            *cur += base.len() as u64;
+        }
+        for &(object, peer) in extras {
+            let o = object as usize;
+            packed[cursor[o] as usize] = peer;
+            cursor[o] += 1;
+        }
+        for o in 0..num_objects {
+            if count[o] == 0 {
+                continue;
+            }
+            let list = &mut packed[offsets[o] as usize..offsets[o + 1] as usize];
+            list.sort_unstable();
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "duplicate holder after replication"
+            );
         }
         Self {
             offsets,
             packed,
-            num_peers,
+            num_peers: self.num_peers,
         }
     }
 
@@ -158,6 +221,57 @@ impl Placement {
     pub fn mem_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u64>()
             + self.packed.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Streaming CSR construction for [`Placement`]: holders are pushed
+/// directly into the packed posting array and each object is closed with
+/// [`finish_object`](PlacementBuilder::finish_object), which sorts and
+/// deduplicates the open tail in place. Replication schemes and trace
+/// loaders build placements through this API without ever allocating a
+/// per-object `Vec` (the PR 8 memory budget: two allocations total).
+#[derive(Debug, Clone)]
+pub struct PlacementBuilder {
+    offsets: Vec<u64>,
+    packed: Vec<u32>,
+    num_peers: u32,
+}
+
+impl PlacementBuilder {
+    /// Adds a holder to the currently open object.
+    #[inline]
+    pub fn push_holder(&mut self, peer: u32) {
+        assert!(peer < self.num_peers, "holder peer out of range");
+        self.packed.push(peer);
+    }
+
+    /// Closes the current object: sorts and deduplicates its holder
+    /// list and opens the next object (which may be left empty).
+    pub fn finish_object(&mut self) {
+        // qcplint: allow(panic) — builder starts with one offset and
+        // only ever pushes, so `last` always exists.
+        let start = *self.offsets.last().unwrap() as usize;
+        self.packed[start..].sort_unstable();
+        dedup_tail(&mut self.packed, start);
+        self.offsets.push(self.packed.len() as u64);
+    }
+
+    /// Number of objects closed so far.
+    pub fn num_objects(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Finalizes the posting store. Any holders pushed after the last
+    /// [`finish_object`](PlacementBuilder::finish_object) are dropped —
+    /// objects exist only once closed.
+    pub fn build(mut self) -> Placement {
+        // qcplint: allow(panic) — offsets is never empty by construction.
+        self.packed.truncate(*self.offsets.last().unwrap() as usize);
+        Placement {
+            offsets: self.offsets,
+            packed: self.packed,
+            num_peers: self.num_peers,
+        }
     }
 }
 
@@ -255,5 +369,68 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_holder_lists_validates_range() {
         let _ = Placement::from_holder_lists(4, vec![vec![4]]);
+    }
+
+    #[test]
+    fn builder_matches_from_holder_lists() {
+        let lists = vec![vec![5, 2, 5, 9], vec![], vec![3, 3, 1], vec![7]];
+        let a = Placement::from_holder_lists(10, lists.clone());
+        let mut b = Placement::builder(10);
+        for h in &lists {
+            for &p in h {
+                b.push_holder(p);
+            }
+            b.finish_object();
+        }
+        let b = b.build();
+        assert_eq!(a.num_objects(), b.num_objects());
+        for o in 0..a.num_objects() as u32 {
+            assert_eq!(a.holders(o), b.holders(o));
+        }
+    }
+
+    #[test]
+    fn builder_drops_unclosed_tail() {
+        let mut b = Placement::builder(10);
+        b.push_holder(1);
+        b.finish_object();
+        b.push_holder(2); // never closed
+        let p = b.build();
+        assert_eq!(p.num_objects(), 1);
+        assert_eq!(p.holders(0), &[1]);
+    }
+
+    #[test]
+    fn with_extra_copies_appends_and_conserves() {
+        let base = Placement::from_holder_lists(10, vec![vec![1, 5], vec![0], vec![]]);
+        let grown = base.with_extra_copies(&[(0, 3), (2, 9), (0, 8), (2, 2)]);
+        assert_eq!(grown.holders(0), &[1, 3, 5, 8]);
+        assert_eq!(grown.holders(1), &[0]);
+        assert_eq!(grown.holders(2), &[2, 9]);
+        assert_eq!(grown.mem_bytes(), base.mem_bytes() + 4 * 4);
+        // Base untouched.
+        assert_eq!(base.holders(0), &[1, 5]);
+    }
+
+    #[test]
+    fn with_extra_copies_empty_is_bitwise_identity() {
+        let base = Placement::generate(PlacementModel::UniformK(3), 50, 20, 3);
+        let same = base.with_extra_copies(&[]);
+        assert_eq!(base.offsets, same.offsets);
+        assert_eq!(base.packed, same.packed);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate holder after replication")]
+    fn with_extra_copies_rejects_duplicate_holder() {
+        let base = Placement::from_holder_lists(10, vec![vec![1, 5]]);
+        let _ = base.with_extra_copies(&[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra copy peer out of range")]
+    fn with_extra_copies_validates_peer_range() {
+        let base = Placement::from_holder_lists(4, vec![vec![1]]);
+        let _ = base.with_extra_copies(&[(0, 4)]);
     }
 }

@@ -1,0 +1,197 @@
+//! Property tests for the pluggable replication layer
+//! (`qcp_overlay::replicate`).
+//!
+//! Four families of invariants, matching the module's contract:
+//!
+//! 1. **Exact budget conservation** — every scheme at every budget adds
+//!    exactly `budget` copies, never fewer (the deterministic fallback
+//!    scan absorbs hash collisions) and never more.
+//! 2. **Holder-set hygiene** — every object's holder list stays sorted,
+//!    strictly increasing (no duplicate holder), and within the peer
+//!    population; the base holders all survive.
+//! 3. **Owner-only identity** — the owner-only plan is bitwise inert
+//!    for any seed: same offsets, same packed holders.
+//! 4. **Prefix nesting** — the placement at a smaller budget is a
+//!    subset of the placement at any larger budget under the same plan;
+//!    this is what makes `fig8-repl` success *exactly* monotone.
+//!
+//! Applies are single-threaded pure functions, so run-to-run
+//! determinism is covered here; thread-width determinism of the grid
+//! built on top lives in `tests/determinism.rs`.
+
+use proptest::prelude::*;
+use qcp_overlay::topology::{gnutella_two_tier, TopologyConfig};
+use qcp_overlay::{
+    Graph, Placement, PlacementModel, Popularity, ReplicationPlan, ReplicationScheme,
+};
+
+const PEERS: usize = 300;
+const OBJECTS: u32 = 150;
+
+/// A small two-tier world + Zipf placement derived from a seed.
+fn world(seed: u64) -> (Graph, Placement) {
+    let topo = gnutella_two_tier(&TopologyConfig {
+        num_nodes: PEERS,
+        seed,
+        ..Default::default()
+    });
+    let p = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        PEERS as u32,
+        OBJECTS,
+        seed ^ 0x21f,
+    );
+    (topo.graph, p)
+}
+
+fn total_copies(p: &Placement) -> u64 {
+    (0..p.num_objects() as u32)
+        .map(|o| p.replicas(o) as u64)
+        .sum()
+}
+
+/// Non-identity schemes, indexable by a proptest draw.
+fn scheme(ix: usize) -> ReplicationScheme {
+    let menu = [
+        ReplicationScheme::Path,
+        ReplicationScheme::RandomWalk,
+        ReplicationScheme::SqrtAllocation,
+        ReplicationScheme::ProportionalAllocation,
+        ReplicationScheme::GiaOneHop,
+    ];
+    menu[ix % menu.len()]
+}
+
+fn popularity(ix: usize) -> Popularity {
+    let menu = [
+        Popularity::Uniform,
+        Popularity::Replicas,
+        Popularity::Zipf { s: 0.9 },
+    ];
+    menu[ix % menu.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheme × popularity conserves the budget exactly: the
+    /// output holds `base + budget` copies, no more, no fewer.
+    #[test]
+    fn budget_is_conserved_exactly(seed in 0u64..500, sx in 0usize..5,
+                                   px in 0usize..3, budget in 1u64..800) {
+        let (g, base) = world(seed);
+        let plan = ReplicationPlan {
+            scheme: scheme(sx),
+            budget,
+            popularity: popularity(px),
+            seed: seed ^ 0x5eed,
+        };
+        let out = plan.apply(&g, &base);
+        prop_assert_eq!(total_copies(&out), total_copies(&base) + budget);
+    }
+
+    /// Holder lists stay sorted, strictly increasing (no peer holds the
+    /// same object twice), in range, and keep every base holder.
+    #[test]
+    fn holder_sets_stay_clean(seed in 0u64..500, sx in 0usize..5,
+                              px in 0usize..3, budget in 1u64..800) {
+        let (g, base) = world(seed);
+        let plan = ReplicationPlan {
+            scheme: scheme(sx),
+            budget,
+            popularity: popularity(px),
+            seed: seed ^ 0xc1ea,
+        };
+        let out = plan.apply(&g, &base);
+        for o in 0..base.num_objects() as u32 {
+            let h = out.holders(o);
+            prop_assert!(
+                h.windows(2).all(|w| w[0] < w[1]),
+                "object {}: holders must be sorted with no duplicates", o
+            );
+            prop_assert!(h.iter().all(|&p| p < PEERS as u32));
+            for &p in base.holders(o) {
+                prop_assert!(out.peer_holds(p, o), "base holder {} of {} lost", p, o);
+            }
+        }
+    }
+
+    /// The owner-only plan is the bitwise identity for any seed.
+    #[test]
+    fn owner_only_is_bitwise_identity(seed in 0u64..500, pseed in 0u64..500) {
+        let (g, base) = world(seed);
+        let out = ReplicationPlan::owner_only(pseed).apply(&g, &base);
+        prop_assert_eq!(out.num_peers(), base.num_peers());
+        prop_assert_eq!(out.num_objects(), base.num_objects());
+        for o in 0..base.num_objects() as u32 {
+            prop_assert_eq!(out.holders(o), base.holders(o), "object {} drifted", o);
+        }
+    }
+
+    /// Budgets nest as prefixes: every copy placed at budget `b` is also
+    /// placed at budget `b + extra` under the same plan. (The monotone
+    /// success columns of `fig8-repl` rest on exactly this.)
+    #[test]
+    fn budgets_nest_as_prefixes(seed in 0u64..500, sx in 0usize..5,
+                                px in 0usize..3, b in 1u64..400, extra in 1u64..400) {
+        let (g, base) = world(seed);
+        let mk = |budget| ReplicationPlan {
+            scheme: scheme(sx),
+            budget,
+            popularity: popularity(px),
+            seed: seed ^ 0x9e57,
+        };
+        let small = mk(b).apply(&g, &base);
+        let large = mk(b + extra).apply(&g, &base);
+        for o in 0..base.num_objects() as u32 {
+            for &p in small.holders(o) {
+                prop_assert!(
+                    large.peer_holds(p, o),
+                    "copy ({}, {}) placed at budget {} missing at budget {}",
+                    o, p, b, b + extra
+                );
+            }
+        }
+    }
+
+    /// `apply` is a pure function of `(plan, graph, base)`: two calls
+    /// agree holder-for-holder.
+    #[test]
+    fn apply_is_deterministic(seed in 0u64..500, sx in 0usize..5,
+                              px in 0usize..3, budget in 1u64..800) {
+        let (g, base) = world(seed);
+        let plan = ReplicationPlan {
+            scheme: scheme(sx),
+            budget,
+            popularity: popularity(px),
+            seed: seed ^ 0xd00d,
+        };
+        let a = plan.apply(&g, &base);
+        let b = plan.apply(&g, &base);
+        for o in 0..base.num_objects() as u32 {
+            prop_assert_eq!(a.holders(o), b.holders(o));
+        }
+    }
+}
+
+/// Saturation stress at a concrete scale: a budget close to the free
+/// capacity forces the fallback scan through heavily saturated objects
+/// and must still conserve the budget exactly — outside `proptest!`
+/// because it wants the worst case, not a random one.
+#[test]
+fn near_capacity_budget_is_still_conserved() {
+    let (g, base) = world(0xca9);
+    let capacity = PEERS as u64 * OBJECTS as u64 - total_copies(&base);
+    let budget = capacity - 3;
+    for s in [
+        ReplicationScheme::ProportionalAllocation,
+        ReplicationScheme::GiaOneHop,
+    ] {
+        let out = ReplicationPlan::new(s, budget, 0x5a7).apply(&g, &base);
+        assert_eq!(total_copies(&out), total_copies(&base) + budget);
+        for o in 0..base.num_objects() as u32 {
+            let h = out.holders(o);
+            assert!(h.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

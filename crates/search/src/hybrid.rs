@@ -11,6 +11,7 @@
 //! pays the flood *and* the DHT cost and ends up strictly worse than a
 //! pure DHT. The [`DhtOnlySearch`] baseline makes that comparison direct.
 
+#[cfg(any(test, doc))]
 use crate::spec::SearchSpec;
 use crate::systems::{
     reject_admission, FaultContext, MaintenanceSchedule, OverloadStats, SearchOutcome, SearchSystem,
@@ -96,42 +97,6 @@ pub struct HybridSearch<R: Recorder = NoopRecorder> {
     pub fallbacks: u64,
     /// Total queries served.
     pub queries: u64,
-}
-
-impl HybridSearch {
-    /// Creates the hybrid system: Chord ring over the same peer population
-    /// plus a fully published inverted index.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::hybrid(flood_ttl, rare_threshold, seed).build(world)"
-    )]
-    pub fn new(world: &SearchWorld, flood_ttl: u32, rare_threshold: u32, seed: u64) -> Self {
-        SearchSpec::hybrid(flood_ttl, rare_threshold, seed)
-            .build(world)
-            .into_hybrid()
-    }
-
-    /// Creates the hybrid system under a fault context. The flood phase
-    /// is fire-and-forget (lost messages are just lost); the DHT fallback
-    /// is request/response — every hop gets explicit timeouts and the
-    /// bounded-retry-with-backoff of `faults.policy`. A query whose
-    /// issuer is down at query time fails outright.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::hybrid(flood_ttl, rare_threshold, seed).faults(faults).build(world)"
-    )]
-    pub fn with_faults(
-        world: &SearchWorld,
-        flood_ttl: u32,
-        rare_threshold: u32,
-        seed: u64,
-        faults: FaultContext,
-    ) -> Self {
-        SearchSpec::hybrid(flood_ttl, rare_threshold, seed)
-            .faults(faults)
-            .build(world)
-            .into_hybrid()
-    }
 }
 
 impl<R: Recorder> HybridSearch<R> {
@@ -529,27 +494,6 @@ pub struct DhtOnlySearch<R: Recorder = NoopRecorder> {
     capacity: Option<CapacityPlan>,
     repair_messages: u64,
     recorder: R,
-}
-
-impl DhtOnlySearch {
-    /// Builds the ring + index.
-    #[deprecated(since = "0.1.0", note = "use SearchSpec::dht_only(seed).build(world)")]
-    pub fn new(world: &SearchWorld, seed: u64) -> Self {
-        SearchSpec::dht_only(seed).build(world).into_dht_only()
-    }
-
-    /// Builds the ring + index with every lookup hop subject to
-    /// `faults.plan`, retried under `faults.policy`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::dht_only(seed).faults(faults).build(world)"
-    )]
-    pub fn with_faults(world: &SearchWorld, seed: u64, faults: FaultContext) -> Self {
-        SearchSpec::dht_only(seed)
-            .faults(faults)
-            .build(world)
-            .into_dht_only()
-    }
 }
 
 impl<R: Recorder> DhtOnlySearch<R> {

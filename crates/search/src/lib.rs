@@ -9,8 +9,9 @@
 //! * [`systems`] — the [`SearchSystem`](systems::SearchSystem) trait and
 //!   baseline implementations: TTL flooding, k-walker random walks;
 //! * [`spec`] — the unified [`SearchSpec`](spec::SearchSpec) builder:
-//!   one entry point for every baseline system, with optional fault
-//!   contexts, maintenance schedules, and instrumentation recorders;
+//!   the sole entry point for every baseline system, with optional fault
+//!   contexts, maintenance schedules, replication plans, and
+//!   instrumentation recorders;
 //! * [`gia`] — the Gia baseline (paper ref [17]): capacity-weighted
 //!   topology roles, one-hop replication, biased walks;
 //! * [`hybrid`] — flood-then-DHT hybrid search with the Loo et al.
@@ -45,6 +46,7 @@ pub use eval::{evaluate, gen_queries, ComparisonRow, WorkloadConfig};
 pub use gia::GiaSearch;
 pub use hybrid::{DhtOnlySearch, HybridSearch};
 pub use qcp_faults::{CapacityConfig, CapacityModel, CapacityPlan, ShedPolicy};
+pub use qcp_overlay::{Popularity, ReplicationPlan, ReplicationScheme};
 pub use qrp::QrpFloodSearch;
 pub use spec::{Built, SearchSpec};
 pub use synopsis::{SynopsisPolicy, SynopsisSearch};

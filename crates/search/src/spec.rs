@@ -33,17 +33,26 @@
 //!     .build(&world);
 //! ```
 //!
-//! Every spec builds bitwise-identically to the deprecated constructor
-//! it replaces (pinned by `shims_build_bitwise_identical_systems`).
+//! The builder is the sole entry point (the `new`/`with_faults`
+//! constructor pairs it replaced are gone); building is deterministic —
+//! two identical specs produce bitwise-identical systems (pinned by
+//! `rebuilds_are_bitwise_identical`).
+//!
+//! [`SearchSpec::replication`] attaches a replication plan to the
+//! unstructured kinds: the built system searches over the plan's
+//! replicated placement, records the plan's budget as `CopiesPlaced`,
+//! and counts `CopiesHit` — queries that succeed against the replicated
+//! placement but would have missed against the owner-only base.
 
 use crate::hybrid::{DhtOnlySearch, HybridSearch};
 use crate::systems::{
     ExpandingRingSearch, FaultContext, FloodSearch, MaintenanceSchedule, RandomWalkSearch,
-    SearchOutcome, SearchSystem,
+    ReplicaSet, SearchOutcome, SearchSystem,
 };
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_faults::CapacityPlan;
 use qcp_obs::{NoopRecorder, Recorder};
+use qcp_overlay::ReplicationPlan;
 use qcp_util::rng::Pcg64;
 use qcp_vtime::Deadline;
 
@@ -93,6 +102,7 @@ pub struct SearchSpec<R: Recorder = NoopRecorder> {
     maintenance: Option<MaintenanceSchedule>,
     deadline: Option<Deadline>,
     capacity: Option<CapacityPlan>,
+    replication: Option<ReplicationPlan>,
     recorder: R,
 }
 
@@ -104,6 +114,7 @@ impl SearchSpec<NoopRecorder> {
             maintenance: None,
             deadline: None,
             capacity: None,
+            replication: None,
             recorder: NoopRecorder,
         }
     }
@@ -184,6 +195,26 @@ impl<R: Recorder> SearchSpec<R> {
         self
     }
 
+    /// Attaches a replication plan: [`Self::build`] applies the plan's
+    /// scheme to the world's placement once (an exact-budget,
+    /// deterministic `Placement → Placement` transform — see
+    /// [`ReplicationPlan`]) and the built system searches over the
+    /// replicated holders. The plan's budget is recorded as
+    /// `CopiesPlaced`; every query that succeeds against the replicated
+    /// placement but would have missed against the owner-only base (the
+    /// identical engine run, replayed recorder-free) counts one
+    /// `CopiesHit` — the replication-rescued successes.
+    ///
+    /// Only the unstructured kinds ([`Self::flood`], [`Self::walk`],
+    /// [`Self::expanding_ring`]) accept a plan; [`Self::build`] rejects
+    /// it elsewhere. The paper's counterfactual concerns the
+    /// unstructured phase — the DHT-backed kinds publish a complete
+    /// index and re-replicate through maintenance instead.
+    pub fn replication(mut self, plan: ReplicationPlan) -> Self {
+        self.replication = Some(plan);
+        self
+    }
+
     /// Swaps in an instrumentation recorder (type-changing: the built
     /// system is monomorphized over the recorder, so a
     /// [`NoopRecorder`] build stays zero-overhead).
@@ -194,6 +225,7 @@ impl<R: Recorder> SearchSpec<R> {
             maintenance: self.maintenance,
             deadline: self.deadline,
             capacity: self.capacity,
+            replication: self.replication,
             recorder,
         }
     }
@@ -206,11 +238,21 @@ impl<R: Recorder> SearchSpec<R> {
             maintenance,
             deadline,
             capacity,
+            replication,
             recorder,
         } = self;
         assert!(
             maintenance.is_none() || matches!(kind, Kind::Hybrid { .. } | Kind::DhtOnly { .. }),
             "maintenance schedules apply only to the DHT-backed systems, not {}",
+            kind.name()
+        );
+        assert!(
+            replication.is_none()
+                || matches!(
+                    kind,
+                    Kind::Flood { .. } | Kind::Walk { .. } | Kind::ExpandingRing { .. }
+                ),
+            "replication plans apply only to the unstructured systems, not {}",
             kind.name()
         );
         assert!(
@@ -223,15 +265,16 @@ impl<R: Recorder> SearchSpec<R> {
             "a capacity plan runs on the event engines: attach a fault \
              context and a deadline first"
         );
+        let replicas = replication.map(|plan| ReplicaSet::build(world, &plan));
         match kind {
             Kind::Flood { ttl } => Built::Flood(FloodSearch::assemble(
-                world, ttl, faults, deadline, capacity, recorder,
+                world, ttl, faults, deadline, capacity, replicas, recorder,
             )),
             Kind::Walk { walkers, ttl } => Built::Walk(RandomWalkSearch::assemble(
-                walkers, ttl, faults, deadline, capacity, recorder,
+                walkers, ttl, faults, deadline, capacity, replicas, recorder,
             )),
             Kind::ExpandingRing { max_ttl } => Built::ExpandingRing(ExpandingRingSearch::assemble(
-                world, max_ttl, faults, deadline, capacity, recorder,
+                world, max_ttl, faults, deadline, capacity, replicas, recorder,
             )),
             Kind::Hybrid {
                 flood_ttl,
@@ -444,61 +487,62 @@ mod tests {
         qs.iter().map(|q| sys.search(w, q, &mut rng)).collect()
     }
 
-    /// The deprecated constructor shims and the builder are the same
-    /// code path: outcome streams are bitwise identical.
+    /// Building is deterministic: two identical specs produce systems
+    /// with bitwise-identical outcome streams, for every kind, faulty
+    /// and not. (Successor of the retired shim==builder pins, now that
+    /// the builder is the sole entry point.)
     #[test]
-    #[allow(deprecated)]
-    fn shims_build_bitwise_identical_systems() {
+    fn rebuilds_are_bitwise_identical() {
         let w = world();
         let qs = queries(&w, 60);
-        // (shim, builder) pairs for every system kind, faulty and not.
+        // Two independent builds of the same spec, per kind.
         let pairs: Vec<(Box<dyn SearchSystem>, Box<dyn SearchSystem>)> = vec![
             (
-                Box::new(FloodSearch::new(&w, 3)),
+                Box::new(SearchSpec::flood(3).build(&w)),
                 Box::new(SearchSpec::flood(3).build(&w)),
             ),
             (
-                Box::new(FloodSearch::with_faults(&w, 3, ctx(5))),
+                Box::new(SearchSpec::flood(3).faults(ctx(5)).build(&w)),
                 Box::new(SearchSpec::flood(3).faults(ctx(5)).build(&w)),
             ),
             (
-                Box::new(RandomWalkSearch::new(4, 20)),
+                Box::new(SearchSpec::walk(4, 20).build(&w)),
                 Box::new(SearchSpec::walk(4, 20).build(&w)),
             ),
             (
-                Box::new(RandomWalkSearch::with_faults(4, 20, ctx(6))),
+                Box::new(SearchSpec::walk(4, 20).faults(ctx(6)).build(&w)),
                 Box::new(SearchSpec::walk(4, 20).faults(ctx(6)).build(&w)),
             ),
             (
-                Box::new(ExpandingRingSearch::new(&w, 4)),
+                Box::new(SearchSpec::expanding_ring(4).build(&w)),
                 Box::new(SearchSpec::expanding_ring(4).build(&w)),
             ),
             (
-                Box::new(ExpandingRingSearch::with_faults(&w, 4, ctx(7))),
+                Box::new(SearchSpec::expanding_ring(4).faults(ctx(7)).build(&w)),
                 Box::new(SearchSpec::expanding_ring(4).faults(ctx(7)).build(&w)),
             ),
             (
-                Box::new(HybridSearch::new(&w, 2, 5, 11)),
+                Box::new(SearchSpec::hybrid(2, 5, 11).build(&w)),
                 Box::new(SearchSpec::hybrid(2, 5, 11).build(&w)),
             ),
             (
-                Box::new(HybridSearch::with_faults(&w, 2, 5, 11, ctx(8))),
+                Box::new(SearchSpec::hybrid(2, 5, 11).faults(ctx(8)).build(&w)),
                 Box::new(SearchSpec::hybrid(2, 5, 11).faults(ctx(8)).build(&w)),
             ),
             (
-                Box::new(DhtOnlySearch::new(&w, 9)),
+                Box::new(SearchSpec::dht_only(9).build(&w)),
                 Box::new(SearchSpec::dht_only(9).build(&w)),
             ),
             (
-                Box::new(DhtOnlySearch::with_faults(&w, 9, ctx(9))),
+                Box::new(SearchSpec::dht_only(9).faults(ctx(9)).build(&w)),
                 Box::new(SearchSpec::dht_only(9).faults(ctx(9)).build(&w)),
             ),
         ];
-        for (mut shim, mut built) in pairs {
-            assert_eq!(shim.name(), built.name());
-            let a = outcomes(shim.as_mut(), &w, &qs);
-            let b = outcomes(built.as_mut(), &w, &qs);
-            assert_eq!(a, b, "shim and builder diverged for {}", shim.name());
+        for (mut first, mut second) in pairs {
+            assert_eq!(first.name(), second.name());
+            let a = outcomes(first.as_mut(), &w, &qs);
+            let b = outcomes(second.as_mut(), &w, &qs);
+            assert_eq!(a, b, "rebuild diverged for {}", first.name());
         }
     }
 
@@ -1194,6 +1238,191 @@ mod capacity_tests {
         let _ = SearchSpec::flood(3)
             .faults(latent_ctx(4, 0.0, 1))
             .capacity(CapacityPlan::unlimited())
+            .build(&w);
+    }
+}
+
+#[cfg(test)]
+mod replication_tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use qcp_faults::{FaultConfig, FaultPlan, RetryPolicy};
+    use qcp_obs::{Counter, Kernel, MetricsRecorder};
+    use qcp_overlay::{ReplicationPlan, ReplicationScheme};
+    use qcp_vtime::Deadline;
+
+    fn world() -> SearchWorld {
+        SearchWorld::generate(&WorldConfig {
+            num_peers: 400,
+            num_objects: 3_000,
+            num_terms: 4_000,
+            head_size: 80,
+            seed: 99,
+            ..Default::default()
+        })
+    }
+
+    fn ctx(seed: u64) -> FaultContext {
+        FaultContext::new(
+            FaultPlan::build(
+                400,
+                &FaultConfig {
+                    loss: 0.1,
+                    mean_latency: 4,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            RetryPolicy::default(),
+            seed ^ 0x0c7e,
+        )
+    }
+
+    fn queries(w: &SearchWorld, n: usize) -> Vec<QuerySpec> {
+        let mut rng = Pcg64::new(13);
+        (0..n).map(|_| w.sample_query(&mut rng)).collect()
+    }
+
+    fn outcomes(
+        sys: &mut dyn SearchSystem,
+        w: &SearchWorld,
+        qs: &[QuerySpec],
+    ) -> Vec<SearchOutcome> {
+        let mut rng = Pcg64::new(77);
+        qs.iter().map(|q| sys.search(w, q, &mut rng)).collect()
+    }
+
+    /// An owner-only plan (budget 0) is bitwise inert on every
+    /// unstructured kind: same outcome stream as no plan at all, and
+    /// zero copies-hit (the shadow always agrees with the primary).
+    #[test]
+    fn owner_only_replication_is_bitwise_inert() {
+        let w = world();
+        let qs = queries(&w, 60);
+        let kinds: Vec<fn() -> SearchSpec> =
+            vec![|| SearchSpec::flood(3), || SearchSpec::walk(4, 20), || {
+                SearchSpec::expanding_ring(4)
+            }];
+        for mk in kinds {
+            let mut plain = mk().build(&w);
+            let mut owner = mk()
+                .replication(ReplicationPlan::owner_only(0xf198))
+                .recorder(MetricsRecorder::new())
+                .build(&w);
+            let name = plain.name();
+            let a = outcomes(&mut plain, &w, &qs);
+            let b = outcomes(&mut owner, &w, &qs);
+            assert_eq!(a, b, "owner-only plan perturbed {name}");
+        }
+    }
+
+    /// Fault-free flood: the replicated census reaches the same node
+    /// set, so copies-hit is exactly the success-rate gain over the
+    /// plain build, and copies-placed is exactly the plan budget.
+    #[test]
+    fn flood_copies_hit_reconciles_exactly() {
+        let w = world();
+        let qs = queries(&w, 120);
+        let budget = 6_000u64;
+        let mut plain = SearchSpec::flood(2).build(&w);
+        let mut repl = SearchSpec::flood(2)
+            .replication(ReplicationPlan::new(
+                ReplicationScheme::SqrtAllocation,
+                budget,
+                0xf1f8,
+            ))
+            .recorder(MetricsRecorder::new())
+            .build(&w);
+        let a = outcomes(&mut plain, &w, &qs);
+        let b = outcomes(&mut repl, &w, &qs);
+        let hits_plain = a.iter().filter(|o| o.success).count() as u64;
+        let hits_repl = b.iter().filter(|o| o.success).count() as u64;
+        assert!(
+            hits_repl >= hits_plain,
+            "extra holders cannot cost flood successes: {hits_repl} < {hits_plain}"
+        );
+        let rec = repl.into_recorder();
+        assert_eq!(rec.total(Kernel::Flood, Counter::CopiesPlaced), budget);
+        assert_eq!(
+            rec.total(Kernel::Flood, Counter::CopiesHit),
+            hits_repl - hits_plain,
+            "flood reach is holder-independent, so every extra hit is a rescue"
+        );
+    }
+
+    /// Replication composes with faults + deadline + capacity on every
+    /// unstructured kind: the stack runs, stays deterministic, and the
+    /// rescue counter never exceeds the success count.
+    #[test]
+    fn replication_composes_with_the_full_stack() {
+        let w = world();
+        let qs = queries(&w, 40);
+        let kinds: Vec<(Kernel, fn() -> SearchSpec)> = vec![
+            (Kernel::Flood, || SearchSpec::flood(3)),
+            (Kernel::Walk, || SearchSpec::walk(4, 20)),
+            (Kernel::ExpandingRing, || SearchSpec::expanding_ring(4)),
+        ];
+        for (kernel, mk) in kinds {
+            let run = || {
+                let mut sys = mk()
+                    .faults(ctx(31))
+                    .deadline(Deadline::after(48))
+                    .capacity(qcp_faults::CapacityPlan::unlimited())
+                    .replication(ReplicationPlan::new(ReplicationScheme::Path, 2_000, 0xf1f8))
+                    .recorder(MetricsRecorder::new())
+                    .build(&w);
+                let out = outcomes(&mut sys, &w, &qs);
+                let rec = sys.into_recorder();
+                let hits = out.iter().filter(|o| o.success).count() as u64;
+                (out, rec.total(kernel, Counter::CopiesHit), hits)
+            };
+            let (a, hit_a, hits) = run();
+            let (b, hit_b, _) = run();
+            assert_eq!(a, b, "replicated stack must be deterministic");
+            assert_eq!(hit_a, hit_b);
+            assert!(
+                hit_a <= hits,
+                "rescues are a subset of successes: {hit_a} > {hits}"
+            );
+        }
+    }
+
+    /// Recording the replicated paths is write-only: MetricsRecorder
+    /// and NoopRecorder builds return bitwise-identical outcomes.
+    #[test]
+    fn replication_recording_is_write_only() {
+        let w = world();
+        let qs = queries(&w, 50);
+        let plan = || ReplicationPlan::new(ReplicationScheme::RandomWalk, 3_000, 0xf1f8);
+        let mut plain = SearchSpec::walk(4, 20)
+            .faults(ctx(21))
+            .replication(plan())
+            .build(&w);
+        let mut recorded = SearchSpec::walk(4, 20)
+            .faults(ctx(21))
+            .replication(plan())
+            .recorder(MetricsRecorder::new())
+            .build(&w);
+        let a = outcomes(&mut plain, &w, &qs);
+        let b = outcomes(&mut recorded, &w, &qs);
+        assert_eq!(a, b, "recording perturbed replicated walk outcomes");
+    }
+
+    #[test]
+    #[should_panic(expected = "replication plans apply only")]
+    fn replication_on_hybrid_rejected() {
+        let w = world();
+        let _ = SearchSpec::hybrid(2, 5, 11)
+            .replication(ReplicationPlan::owner_only(1))
+            .build(&w);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication plans apply only")]
+    fn replication_on_dht_only_rejected() {
+        let w = world();
+        let _ = SearchSpec::dht_only(9)
+            .replication(ReplicationPlan::owner_only(1))
             .build(&w);
     }
 }

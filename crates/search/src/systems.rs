@@ -1,5 +1,6 @@
 //! The search-system interface and the two classic baselines.
 
+#[cfg(any(test, doc))]
 use crate::spec::SearchSpec;
 use crate::world::{QuerySpec, SearchWorld};
 use qcp_faults::{CapacityPlan, FaultPlan, FaultStats, RetryPolicy};
@@ -7,10 +8,56 @@ use qcp_obs::{Counter, Event, Kernel, NoopRecorder, Recorder};
 use qcp_overlay::expanding::{expanding_ring_search_faulty_rec, expanding_ring_search_rec};
 use qcp_overlay::flood::{FloodEngine, FloodSpec};
 use qcp_overlay::walk::{random_walk_search_faulty_rec, random_walk_search_rec};
-use qcp_overlay::{event_flood_rec, event_walk_rec, OverloadEngine, OverloadOutcome};
+use qcp_overlay::{
+    event_flood_rec, event_walk_rec, OverloadEngine, OverloadOutcome, Placement, ReplicationPlan,
+};
 use qcp_util::hash::mix64;
 use qcp_util::rng::{child_seed, Pcg64};
 use qcp_vtime::Deadline;
+
+/// The replicated placement a [`SearchSpec::replication`] build searches
+/// over: the plan applied once against the world's base placement at
+/// build time, plus the copy count for the `CopiesPlaced` counter.
+///
+/// Holder lookups go through [`Self::holders_of`] instead of
+/// [`SearchWorld::holders_of`]; the world's own placement stays the
+/// owner-only ground truth, which the copies-hit shadow runs replay
+/// against.
+#[derive(Debug)]
+pub(crate) struct ReplicaSet {
+    placement: Placement,
+    /// Extra copies the plan placed (== the plan's budget, exactly).
+    copies: u64,
+}
+
+impl ReplicaSet {
+    pub(crate) fn build(world: &SearchWorld, plan: &ReplicationPlan) -> Self {
+        Self {
+            placement: plan.apply(&world.topology.graph, &world.placement),
+            copies: plan.budget,
+        }
+    }
+
+    /// Sorted, deduplicated union of the replicated holder lists
+    /// (mirrors [`SearchWorld::holders_of`] over the grown placement).
+    pub(crate) fn holders_of(&self, objects: &[u32]) -> Vec<u32> {
+        let mut peers: Vec<u32> = objects
+            .iter()
+            .flat_map(|&o| self.placement.holders(o).iter().copied())
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+}
+
+/// Records the one-time `CopiesPlaced` total at assemble time and hands
+/// the recorder back (shared by the three unstructured assembles).
+fn note_copies_placed<R: Recorder>(kernel: Kernel, replication: Option<&ReplicaSet>, rec: &mut R) {
+    if let Some(r) = replication {
+        rec.rec_count(kernel, Counter::CopiesPlaced, r.copies);
+    }
+}
 
 /// Result of one query through one system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -244,6 +291,7 @@ pub struct FloodSearch<R: Recorder = NoopRecorder> {
     faults: Option<FaultContext>,
     deadline: Option<Deadline>,
     capacity: Option<CapacityPlan>,
+    replication: Option<ReplicaSet>,
     recorder: R,
 }
 
@@ -255,8 +303,10 @@ impl<R: Recorder> FloodSearch<R> {
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
         capacity: Option<CapacityPlan>,
-        recorder: R,
+        replication: Option<ReplicaSet>,
+        mut recorder: R,
     ) -> Self {
+        note_copies_placed(Kernel::Flood, replication.as_ref(), &mut recorder);
         Self {
             ttl,
             engine: FloodEngine::new(world.num_peers()),
@@ -265,6 +315,7 @@ impl<R: Recorder> FloodSearch<R> {
             faults,
             deadline,
             capacity,
+            replication,
             recorder,
         }
     }
@@ -280,24 +331,118 @@ impl<R: Recorder> FloodSearch<R> {
     }
 }
 
-impl FloodSearch {
-    /// Creates a flooding system for `world`.
-    #[deprecated(since = "0.1.0", note = "use SearchSpec::flood(ttl).build(world)")]
-    pub fn new(world: &SearchWorld, ttl: u32) -> Self {
-        SearchSpec::flood(ttl).build(world).into_flood()
+/// One flood query against an explicit holder set: the engine body
+/// shared by the recorded primary run and the owner-only shadow run
+/// that [`SearchSpec::replication`] uses for copies-hit accounting.
+/// Admission control, engine selection (capacity / deadline / census)
+/// and event recording all happen here, against whichever recorder is
+/// passed.
+#[allow(clippy::too_many_arguments)]
+fn flood_once<R: Recorder>(
+    engine: &mut FloodEngine,
+    overload: &mut OverloadEngine,
+    forwarders: &[bool],
+    faults: Option<&FaultContext>,
+    deadline: Option<Deadline>,
+    capacity: Option<&CapacityPlan>,
+    ttl: u32,
+    world: &SearchWorld,
+    query: &QuerySpec,
+    holders: &[u32],
+    draw: Option<(u64, u64)>,
+    rec: &mut R,
+) -> SearchOutcome {
+    if let (Some(deadline), Some((time, nonce))) = (deadline, draw) {
+        // Deadline path: the event-driven flood on real link
+        // latencies, cut off at the deadline.
+        // qcplint: allow(panic) — build() rejects deadline sans faults.
+        let ctx = faults.expect("deadline requires faults");
+        if let Some(cap) = capacity {
+            // Capacity path: bounded queues and service rates on the
+            // overload engine (bitwise the plain event flood under an
+            // unlimited plan), gated by ingress admission control.
+            if !cap.admit(query.source, nonce) {
+                return reject_admission(Kernel::Flood, rec);
+            }
+            let (out, stats, over) = overload.flood_rec(
+                &world.topology.graph,
+                query.source,
+                ttl,
+                holders,
+                Some(forwarders),
+                &ctx.plan,
+                cap,
+                time,
+                nonce,
+                Some(deadline.ticks),
+                rec,
+            );
+            let exceeded = out.truncated && !out.flood.found;
+            if exceeded {
+                rec.rec_event(Kernel::Flood, Event::DeadlineExceeded);
+            }
+            let overload = OverloadStats::from_outcome(&over);
+            if overload.overloaded {
+                rec.rec_event(Kernel::Flood, Event::Overloaded);
+            }
+            return SearchOutcome {
+                success: out.flood.found,
+                messages: out.flood.messages,
+                hops: out.flood.found_at_hop,
+                faults: stats,
+                elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+                deadline_exceeded: exceeded,
+                overload,
+            };
+        }
+        let (out, stats) = event_flood_rec(
+            &world.topology.graph,
+            query.source,
+            ttl,
+            holders,
+            Some(forwarders),
+            &ctx.plan,
+            time,
+            nonce,
+            Some(deadline.ticks),
+            rec,
+        );
+        let exceeded = out.truncated && !out.flood.found;
+        if exceeded {
+            rec.rec_event(Kernel::Flood, Event::DeadlineExceeded);
+        }
+        return SearchOutcome {
+            success: out.flood.found,
+            messages: out.flood.messages,
+            hops: out.flood.found_at_hop,
+            faults: stats,
+            elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+            deadline_exceeded: exceeded,
+            overload: OverloadStats::default(),
+        };
     }
-
-    /// Creates a flooding system whose every transmission consults
-    /// `faults` (fire-and-forget: drops are never retried).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::flood(ttl).faults(faults).build(world)"
-    )]
-    pub fn with_faults(world: &SearchWorld, ttl: u32, faults: FaultContext) -> Self {
-        SearchSpec::flood(ttl)
-            .faults(faults)
-            .build(world)
-            .into_flood()
+    let mut spec = FloodSpec::new(ttl);
+    if let (Some(ctx), Some((time, nonce))) = (faults, draw) {
+        spec = spec.faulty(&ctx.plan, time, nonce);
+    }
+    let (census, stats) = engine.run(
+        &world.topology.graph,
+        query.source,
+        holders,
+        Some(forwarders),
+        &spec,
+        rec,
+    );
+    let out = census.at(ttl);
+    let level = ttl.min(census.levels()) as usize;
+    SearchOutcome {
+        success: out.found,
+        messages: out.messages,
+        hops: out.found_at_hop,
+        faults: stats[level],
+        elapsed: stats[level].ticks,
+        deadline_exceeded: false,
+        overload: OverloadStats::default(),
     }
 }
 
@@ -313,106 +458,56 @@ impl<R: Recorder> SearchSystem for FloodSearch<R> {
         _rng: &mut Pcg64,
     ) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
-        let holders = world.holders_of(&matching);
+        let holders = match &self.replication {
+            Some(r) => r.holders_of(&matching),
+            None => world.holders_of(&matching),
+        };
         // Draw the fault clock first (field-disjoint from engine/recorder),
         // then run the one unified flood entry point: the census at
         // `ttl` reconstructs the standalone flood bitwise (the BFS
         // prefix property, pinned in qcp-overlay).
         let draw = self.faults.as_mut().map(FaultContext::next_query);
-        if let (Some(deadline), Some((time, nonce))) = (self.deadline, draw) {
-            // Deadline path: the event-driven flood on real link
-            // latencies, cut off at the deadline.
-            // qcplint: allow(panic) — build() rejects deadline sans faults.
-            let ctx = self.faults.as_ref().expect("deadline requires faults");
-            if let Some(cap) = &self.capacity {
-                // Capacity path: bounded queues and service rates on the
-                // overload engine (bitwise the plain event flood under an
-                // unlimited plan), gated by ingress admission control.
-                if !cap.admit(query.source, nonce) {
-                    return reject_admission(Kernel::Flood, &mut self.recorder);
-                }
-                let (out, stats, over) = self.overload.flood_rec(
-                    &world.topology.graph,
-                    query.source,
-                    self.ttl,
-                    &holders,
-                    Some(&self.forwarders),
-                    &ctx.plan,
-                    cap,
-                    time,
-                    nonce,
-                    Some(deadline.ticks),
-                    &mut self.recorder,
-                );
-                let exceeded = out.truncated && !out.flood.found;
-                if exceeded {
-                    self.recorder
-                        .rec_event(Kernel::Flood, Event::DeadlineExceeded);
-                }
-                let overload = OverloadStats::from_outcome(&over);
-                if overload.overloaded {
-                    self.recorder.rec_event(Kernel::Flood, Event::Overloaded);
-                }
-                return SearchOutcome {
-                    success: out.flood.found,
-                    messages: out.flood.messages,
-                    hops: out.flood.found_at_hop,
-                    faults: stats,
-                    elapsed: out.first_hit_time.unwrap_or(out.completion_time),
-                    deadline_exceeded: exceeded,
-                    overload,
-                };
-            }
-            let (out, stats) = event_flood_rec(
-                &world.topology.graph,
-                query.source,
-                self.ttl,
-                &holders,
-                Some(&self.forwarders),
-                &ctx.plan,
-                time,
-                nonce,
-                Some(deadline.ticks),
-                &mut self.recorder,
-            );
-            let exceeded = out.truncated && !out.flood.found;
-            if exceeded {
-                self.recorder
-                    .rec_event(Kernel::Flood, Event::DeadlineExceeded);
-            }
-            return SearchOutcome {
-                success: out.flood.found,
-                messages: out.flood.messages,
-                hops: out.flood.found_at_hop,
-                faults: stats,
-                elapsed: out.first_hit_time.unwrap_or(out.completion_time),
-                deadline_exceeded: exceeded,
-                overload: OverloadStats::default(),
-            };
-        }
-        let mut spec = FloodSpec::new(self.ttl);
-        if let (Some(ctx), Some((time, nonce))) = (self.faults.as_ref(), draw) {
-            spec = spec.faulty(&ctx.plan, time, nonce);
-        }
-        let (census, stats) = self.engine.run(
-            &world.topology.graph,
-            query.source,
+        let out = flood_once(
+            &mut self.engine,
+            &mut self.overload,
+            &self.forwarders,
+            self.faults.as_ref(),
+            self.deadline,
+            self.capacity.as_ref(),
+            self.ttl,
+            world,
+            query,
             &holders,
-            Some(&self.forwarders),
-            &spec,
+            draw,
             &mut self.recorder,
         );
-        let out = census.at(self.ttl);
-        let level = self.ttl.min(census.levels()) as usize;
-        SearchOutcome {
-            success: out.found,
-            messages: out.messages,
-            hops: out.found_at_hop,
-            faults: stats[level],
-            elapsed: stats[level].ticks,
-            deadline_exceeded: false,
-            overload: OverloadStats::default(),
+        if out.success && self.replication.is_some() {
+            // Copies-hit accounting: replay the identical engine run
+            // (same draws, same deadline/capacity path) over the
+            // owner-only holders, recorder-free. A miss there means
+            // replication rescued this query.
+            let base = world.holders_of(&matching);
+            let mut noop = NoopRecorder;
+            let shadow = flood_once(
+                &mut self.engine,
+                &mut self.overload,
+                &self.forwarders,
+                self.faults.as_ref(),
+                self.deadline,
+                self.capacity.as_ref(),
+                self.ttl,
+                world,
+                query,
+                &base,
+                draw,
+                &mut noop,
+            );
+            if !shadow.success {
+                self.recorder
+                    .rec_count(Kernel::Flood, Counter::CopiesHit, 1);
+            }
         }
+        out
     }
 }
 
@@ -427,6 +522,7 @@ pub struct RandomWalkSearch<R: Recorder = NoopRecorder> {
     faults: Option<FaultContext>,
     deadline: Option<Deadline>,
     capacity: Option<CapacityPlan>,
+    replication: Option<ReplicaSet>,
     recorder: R,
 }
 
@@ -438,8 +534,10 @@ impl<R: Recorder> RandomWalkSearch<R> {
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
         capacity: Option<CapacityPlan>,
-        recorder: R,
+        replication: Option<ReplicaSet>,
+        mut recorder: R,
     ) -> Self {
+        note_copies_placed(Kernel::Walk, replication.as_ref(), &mut recorder);
         Self {
             walkers,
             ttl,
@@ -447,6 +545,7 @@ impl<R: Recorder> RandomWalkSearch<R> {
             faults,
             deadline,
             capacity,
+            replication,
             recorder,
         }
     }
@@ -462,24 +561,140 @@ impl<R: Recorder> RandomWalkSearch<R> {
     }
 }
 
-impl RandomWalkSearch {
-    /// Creates a walk system.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::walk(walkers, ttl).build(world)"
-    )]
-    pub fn new(walkers: usize, ttl: u32) -> Self {
-        Self::assemble(walkers, ttl, None, None, None, NoopRecorder)
+/// One walk query against an explicit holder set (see [`flood_once`]):
+/// draws the walk seed (deadline path) or walker steps (sync paths)
+/// from `rng`, so the copies-hit shadow passes a pre-primary clone to
+/// replay the exact walker trajectories over the owner-only holders.
+#[allow(clippy::too_many_arguments)]
+fn walk_once<R: Recorder>(
+    overload: &mut OverloadEngine,
+    walkers: usize,
+    ttl: u32,
+    faults: Option<&FaultContext>,
+    deadline: Option<Deadline>,
+    capacity: Option<&CapacityPlan>,
+    world: &SearchWorld,
+    query: &QuerySpec,
+    holders: &[u32],
+    draw: Option<(u64, u64)>,
+    rng: &mut Pcg64,
+    rec: &mut R,
+) -> SearchOutcome {
+    if let (Some(deadline), Some((time, nonce))) = (deadline, draw) {
+        // Deadline path: walkers race over real link latencies on the
+        // event calendar; each walker draws from its own seeded
+        // stream, so this path's one extra `rng` draw (the walk seed)
+        // is its only RNG footprint.
+        // qcplint: allow(panic) — build() rejects deadline sans faults.
+        let ctx = faults.expect("deadline requires faults");
+        let walk_seed = rng.next();
+        if let Some(cap) = capacity {
+            // Capacity path: walker steps queue for service at each
+            // node (bitwise the plain event walk under an unlimited
+            // plan). The walk seed is drawn before the admission
+            // gate, so rejection never shifts later queries' draws.
+            if !cap.admit(query.source, nonce) {
+                return reject_admission(Kernel::Walk, rec);
+            }
+            let (out, stats, over) = overload.walk_rec(
+                &world.topology.graph,
+                query.source,
+                walkers,
+                ttl,
+                holders,
+                walk_seed,
+                &ctx.plan,
+                cap,
+                time,
+                nonce,
+                Some(deadline.ticks),
+                rec,
+            );
+            let exceeded = out.truncated && !out.walk.found;
+            if exceeded {
+                rec.rec_event(Kernel::Walk, Event::DeadlineExceeded);
+            }
+            let overload = OverloadStats::from_outcome(&over);
+            if overload.overloaded {
+                rec.rec_event(Kernel::Walk, Event::Overloaded);
+            }
+            return SearchOutcome {
+                success: out.walk.found,
+                messages: out.walk.messages,
+                hops: out.walk.found_at_step,
+                faults: stats,
+                elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+                deadline_exceeded: exceeded,
+                overload,
+            };
+        }
+        let (out, stats) = event_walk_rec(
+            &world.topology.graph,
+            query.source,
+            walkers,
+            ttl,
+            holders,
+            walk_seed,
+            &ctx.plan,
+            time,
+            nonce,
+            Some(deadline.ticks),
+            rec,
+        );
+        let exceeded = out.truncated && !out.walk.found;
+        if exceeded {
+            rec.rec_event(Kernel::Walk, Event::DeadlineExceeded);
+        }
+        return SearchOutcome {
+            success: out.walk.found,
+            messages: out.walk.messages,
+            hops: out.walk.found_at_step,
+            faults: stats,
+            elapsed: out.first_hit_time.unwrap_or(out.completion_time),
+            deadline_exceeded: exceeded,
+            overload: OverloadStats::default(),
+        };
     }
-
-    /// Creates a walk system running under `faults`: a step toward a
-    /// dead or unreachable peer strands the walker for that step.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::walk(walkers, ttl).faults(faults).build(world)"
-    )]
-    pub fn with_faults(walkers: usize, ttl: u32, faults: FaultContext) -> Self {
-        Self::assemble(walkers, ttl, Some(faults), None, None, NoopRecorder)
+    if let (Some(ctx), Some((time, nonce))) = (faults, draw) {
+        let (out, stats) = random_walk_search_faulty_rec(
+            &world.topology.graph,
+            query.source,
+            walkers,
+            ttl,
+            holders,
+            rng,
+            &ctx.plan,
+            time,
+            nonce,
+            rec,
+        );
+        return SearchOutcome {
+            success: out.found,
+            messages: out.messages,
+            hops: out.found_at_step,
+            faults: stats,
+            elapsed: stats.ticks,
+            deadline_exceeded: false,
+            overload: OverloadStats::default(),
+        };
+    }
+    let out = random_walk_search_rec(
+        &world.topology.graph,
+        query.source,
+        walkers,
+        ttl,
+        holders,
+        rng,
+        rec,
+    );
+    SearchOutcome {
+        success: out.found,
+        messages: out.messages,
+        hops: out.found_at_step,
+        faults: FaultStats::default(),
+        elapsed: 0,
+        deadline_exceeded: false,
+        overload: OverloadStats::default(),
     }
 }
 
@@ -490,127 +705,51 @@ impl<R: Recorder> SearchSystem for RandomWalkSearch<R> {
 
     fn search(&mut self, world: &SearchWorld, query: &QuerySpec, rng: &mut Pcg64) -> SearchOutcome {
         let matching = world.matching_objects(&query.terms);
-        let holders = world.holders_of(&matching);
-        if let Some(deadline) = self.deadline {
-            // Deadline path: walkers race over real link latencies on the
-            // event calendar; each walker draws from its own seeded
-            // stream, so this path's one extra `rng` draw (the walk seed)
-            // is its only RNG footprint.
-            // qcplint: allow(panic) — build() rejects deadline sans faults.
-            let ctx = self.faults.as_mut().expect("deadline requires faults");
-            let (time, nonce) = ctx.next_query();
-            let walk_seed = rng.next();
-            if let Some(cap) = &self.capacity {
-                // Capacity path: walker steps queue for service at each
-                // node (bitwise the plain event walk under an unlimited
-                // plan). The walk seed is drawn before the admission
-                // gate, so rejection never shifts later queries' draws.
-                if !cap.admit(query.source, nonce) {
-                    return reject_admission(Kernel::Walk, &mut self.recorder);
-                }
-                let (out, stats, over) = self.overload.walk_rec(
-                    &world.topology.graph,
-                    query.source,
-                    self.walkers,
-                    self.ttl,
-                    &holders,
-                    walk_seed,
-                    &ctx.plan,
-                    cap,
-                    time,
-                    nonce,
-                    Some(deadline.ticks),
-                    &mut self.recorder,
-                );
-                let exceeded = out.truncated && !out.walk.found;
-                if exceeded {
-                    self.recorder
-                        .rec_event(Kernel::Walk, Event::DeadlineExceeded);
-                }
-                let overload = OverloadStats::from_outcome(&over);
-                if overload.overloaded {
-                    self.recorder.rec_event(Kernel::Walk, Event::Overloaded);
-                }
-                return SearchOutcome {
-                    success: out.walk.found,
-                    messages: out.walk.messages,
-                    hops: out.walk.found_at_step,
-                    faults: stats,
-                    elapsed: out.first_hit_time.unwrap_or(out.completion_time),
-                    deadline_exceeded: exceeded,
-                    overload,
-                };
-            }
-            let (out, stats) = event_walk_rec(
-                &world.topology.graph,
-                query.source,
-                self.walkers,
-                self.ttl,
-                &holders,
-                walk_seed,
-                &ctx.plan,
-                time,
-                nonce,
-                Some(deadline.ticks),
-                &mut self.recorder,
-            );
-            let exceeded = out.truncated && !out.walk.found;
-            if exceeded {
-                self.recorder
-                    .rec_event(Kernel::Walk, Event::DeadlineExceeded);
-            }
-            return SearchOutcome {
-                success: out.walk.found,
-                messages: out.walk.messages,
-                hops: out.walk.found_at_step,
-                faults: stats,
-                elapsed: out.first_hit_time.unwrap_or(out.completion_time),
-                deadline_exceeded: exceeded,
-                overload: OverloadStats::default(),
-            };
-        }
-        if let Some(ctx) = &mut self.faults {
-            let (time, nonce) = ctx.next_query();
-            let (out, stats) = random_walk_search_faulty_rec(
-                &world.topology.graph,
-                query.source,
-                self.walkers,
-                self.ttl,
-                &holders,
-                rng,
-                &ctx.plan,
-                time,
-                nonce,
-                &mut self.recorder,
-            );
-            return SearchOutcome {
-                success: out.found,
-                messages: out.messages,
-                hops: out.found_at_step,
-                faults: stats,
-                elapsed: stats.ticks,
-                deadline_exceeded: false,
-                overload: OverloadStats::default(),
-            };
-        }
-        let out = random_walk_search_rec(
-            &world.topology.graph,
-            query.source,
+        let holders = match &self.replication {
+            Some(r) => r.holders_of(&matching),
+            None => world.holders_of(&matching),
+        };
+        let draw = self.faults.as_mut().map(FaultContext::next_query);
+        // Snapshot the walker RNG before the primary run so the shadow
+        // replays the identical trajectories (the clone is dropped
+        // unused when the query fails or replication is off).
+        let mut shadow_rng = self.replication.as_ref().map(|_| rng.clone());
+        let out = walk_once(
+            &mut self.overload,
             self.walkers,
             self.ttl,
+            self.faults.as_ref(),
+            self.deadline,
+            self.capacity.as_ref(),
+            world,
+            query,
             &holders,
+            draw,
             rng,
             &mut self.recorder,
         );
-        SearchOutcome {
-            success: out.found,
-            messages: out.messages,
-            hops: out.found_at_step,
-            faults: FaultStats::default(),
-            elapsed: 0,
-            deadline_exceeded: false,
-            overload: OverloadStats::default(),
+        if let (true, Some(srng)) = (out.success, shadow_rng.as_mut()) {
+            let base = world.holders_of(&matching);
+            let mut noop = NoopRecorder;
+            let shadow = walk_once(
+                &mut self.overload,
+                self.walkers,
+                self.ttl,
+                self.faults.as_ref(),
+                self.deadline,
+                self.capacity.as_ref(),
+                world,
+                query,
+                &base,
+                draw,
+                srng,
+                &mut noop,
+            );
+            if !shadow.success {
+                self.recorder.rec_count(Kernel::Walk, Counter::CopiesHit, 1);
+            }
         }
+        out
     }
 }
 
@@ -735,6 +874,7 @@ pub struct ExpandingRingSearch<R: Recorder = NoopRecorder> {
     faults: Option<FaultContext>,
     deadline: Option<Deadline>,
     capacity: Option<CapacityPlan>,
+    replication: Option<ReplicaSet>,
     recorder: R,
     /// Total rings attempted across every query served (for reports):
     /// `rings_attempted / queries` is the mean iterative-deepening depth,
@@ -752,8 +892,10 @@ impl<R: Recorder> ExpandingRingSearch<R> {
         faults: Option<FaultContext>,
         deadline: Option<Deadline>,
         capacity: Option<CapacityPlan>,
-        recorder: R,
+        replication: Option<ReplicaSet>,
+        mut recorder: R,
     ) -> Self {
+        note_copies_placed(Kernel::ExpandingRing, replication.as_ref(), &mut recorder);
         Self {
             max_ttl,
             engine: FloodEngine::new(world.num_peers()),
@@ -762,144 +904,10 @@ impl<R: Recorder> ExpandingRingSearch<R> {
             faults,
             deadline,
             capacity,
+            replication,
             recorder,
             rings_attempted: 0,
             queries: 0,
-        }
-    }
-
-    /// The deadline query path: rings are sequential event floods on one
-    /// virtual timeline, each cut off at whatever budget the earlier
-    /// rings left. Iterative deepening under a clock is exactly the
-    /// paper's trade-off — cheap rings first, but every miss burns time
-    /// the deeper rings no longer have.
-    fn search_deadline(
-        &mut self,
-        world: &SearchWorld,
-        query: &QuerySpec,
-        deadline: Deadline,
-    ) -> SearchOutcome {
-        // qcplint: allow(panic) — build() rejects deadline sans faults.
-        let ctx = self.faults.as_mut().expect("deadline requires faults");
-        let (time, nonce) = ctx.next_query();
-        if let Some(cap) = &self.capacity {
-            // Admission control gates the whole deepening schedule: a
-            // rejected query never issues its first ring.
-            if !cap.admit(query.source, nonce) {
-                return reject_admission(Kernel::ExpandingRing, &mut self.recorder);
-            }
-        }
-        self.recorder.rec_span(Kernel::ExpandingRing);
-        if !ctx.plan.alive_at(query.source, time) {
-            self.recorder
-                .rec_event(Kernel::ExpandingRing, Event::DeadSource);
-            return SearchOutcome {
-                success: false,
-                messages: 0,
-                hops: None,
-                faults: FaultStats::default(),
-                elapsed: 0,
-                deadline_exceeded: false,
-                overload: OverloadStats::default(),
-            };
-        }
-        let matching = world.matching_objects(&query.terms);
-        let holders = world.holders_of(&matching);
-        let mut messages = 0u64;
-        let mut stats = FaultStats::default();
-        let mut spent = 0u64;
-        let mut rings = 0u64;
-        let mut exceeded = false;
-        let mut success = false;
-        let mut hops = None;
-        let mut elapsed = 0u64;
-        let mut overload = OverloadStats::default();
-        for ttl in 1..=self.max_ttl {
-            // Each ring is an independent flood with its own drop-stream
-            // position, as in the synchronous schedule's re-floods.
-            let ring_nonce = mix64(nonce ^ u64::from(ttl));
-            let (out, ring_stats) = match &self.capacity {
-                Some(cap) => {
-                    let (out, ring_stats, over) = self.overload.flood_rec(
-                        &world.topology.graph,
-                        query.source,
-                        ttl,
-                        &holders,
-                        Some(&self.forwarders),
-                        &ctx.plan,
-                        cap,
-                        time,
-                        ring_nonce,
-                        Some(deadline.ticks - spent),
-                        &mut self.recorder,
-                    );
-                    overload.absorb_outcome(&over);
-                    (out, ring_stats)
-                }
-                None => event_flood_rec(
-                    &world.topology.graph,
-                    query.source,
-                    ttl,
-                    &holders,
-                    Some(&self.forwarders),
-                    &ctx.plan,
-                    time,
-                    ring_nonce,
-                    Some(deadline.ticks - spent),
-                    &mut self.recorder,
-                ),
-            };
-            rings += 1;
-            messages += out.flood.messages;
-            stats.absorb(&ring_stats);
-            if out.flood.found {
-                success = true;
-                hops = out.flood.found_at_hop;
-                elapsed = spent + out.first_hit_time.unwrap_or(out.completion_time);
-                break;
-            }
-            spent += out.completion_time;
-            elapsed = spent;
-            if out.truncated || spent >= deadline.ticks {
-                exceeded = true;
-                break;
-            }
-        }
-        self.rings_attempted += rings;
-        // Answer-time semantics: the schedule stops at the hit, so its
-        // consumed time is `elapsed`, not the sum of full ring drains.
-        stats.ticks = elapsed;
-        self.recorder
-            .rec_count(Kernel::ExpandingRing, Counter::Messages, messages);
-        self.recorder
-            .rec_count(Kernel::ExpandingRing, Counter::Rings, rings);
-        self.recorder.rec_faults(Kernel::ExpandingRing, &stats);
-        if let Some(h) = hops {
-            self.recorder.rec_hop(Kernel::ExpandingRing, h, 1);
-        }
-        if success {
-            self.recorder.rec_time(Kernel::ExpandingRing, elapsed, 1);
-        }
-        self.recorder.rec_event(
-            Kernel::ExpandingRing,
-            if success { Event::Hit } else { Event::Miss },
-        );
-        if exceeded {
-            self.recorder
-                .rec_event(Kernel::ExpandingRing, Event::DeadlineExceeded);
-        }
-        if overload.overloaded {
-            self.recorder
-                .rec_event(Kernel::ExpandingRing, Event::Overloaded);
-        }
-        SearchOutcome {
-            success,
-            messages,
-            hops,
-            faults: stats,
-            elapsed,
-            deadline_exceeded: exceeded,
-            overload,
         }
     }
 
@@ -922,30 +930,199 @@ impl<R: Recorder> ExpandingRingSearch<R> {
     }
 }
 
-impl ExpandingRingSearch {
-    /// Creates an expanding-ring system for `world`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::expanding_ring(max_ttl).build(world)"
-    )]
-    pub fn new(world: &SearchWorld, max_ttl: u32) -> Self {
-        SearchSpec::expanding_ring(max_ttl)
-            .build(world)
-            .into_expanding_ring()
+/// One expanding-ring query against an explicit holder set (see
+/// [`flood_once`]): returns the outcome plus the number of rings
+/// attempted, which only the recorded primary run folds into the
+/// system's depth accounting.
+///
+/// The deadline path runs rings as sequential event floods on one
+/// virtual timeline, each cut off at whatever budget the earlier rings
+/// left. Iterative deepening under a clock is exactly the paper's
+/// trade-off — cheap rings first, but every miss burns time the deeper
+/// rings no longer have.
+#[allow(clippy::too_many_arguments)]
+fn ring_once<R: Recorder>(
+    engine: &mut FloodEngine,
+    overload: &mut OverloadEngine,
+    forwarders: &[bool],
+    faults: Option<&FaultContext>,
+    deadline: Option<Deadline>,
+    capacity: Option<&CapacityPlan>,
+    max_ttl: u32,
+    world: &SearchWorld,
+    query: &QuerySpec,
+    holders: &[u32],
+    draw: Option<(u64, u64)>,
+    rec: &mut R,
+) -> (SearchOutcome, u64) {
+    if let (Some(deadline), Some((time, nonce))) = (deadline, draw) {
+        // qcplint: allow(panic) — build() rejects deadline sans faults.
+        let ctx = faults.expect("deadline requires faults");
+        if let Some(cap) = capacity {
+            // Admission control gates the whole deepening schedule: a
+            // rejected query never issues its first ring.
+            if !cap.admit(query.source, nonce) {
+                return (reject_admission(Kernel::ExpandingRing, rec), 0);
+            }
+        }
+        rec.rec_span(Kernel::ExpandingRing);
+        if !ctx.plan.alive_at(query.source, time) {
+            rec.rec_event(Kernel::ExpandingRing, Event::DeadSource);
+            return (
+                SearchOutcome {
+                    success: false,
+                    messages: 0,
+                    hops: None,
+                    faults: FaultStats::default(),
+                    elapsed: 0,
+                    deadline_exceeded: false,
+                    overload: OverloadStats::default(),
+                },
+                0,
+            );
+        }
+        let mut messages = 0u64;
+        let mut stats = FaultStats::default();
+        let mut spent = 0u64;
+        let mut rings = 0u64;
+        let mut exceeded = false;
+        let mut success = false;
+        let mut hops = None;
+        let mut elapsed = 0u64;
+        let mut overload_stats = OverloadStats::default();
+        for ttl in 1..=max_ttl {
+            // Each ring is an independent flood with its own drop-stream
+            // position, as in the synchronous schedule's re-floods.
+            let ring_nonce = mix64(nonce ^ u64::from(ttl));
+            let (out, ring_stats) = match capacity {
+                Some(cap) => {
+                    let (out, ring_stats, over) = overload.flood_rec(
+                        &world.topology.graph,
+                        query.source,
+                        ttl,
+                        holders,
+                        Some(forwarders),
+                        &ctx.plan,
+                        cap,
+                        time,
+                        ring_nonce,
+                        Some(deadline.ticks - spent),
+                        rec,
+                    );
+                    overload_stats.absorb_outcome(&over);
+                    (out, ring_stats)
+                }
+                None => event_flood_rec(
+                    &world.topology.graph,
+                    query.source,
+                    ttl,
+                    holders,
+                    Some(forwarders),
+                    &ctx.plan,
+                    time,
+                    ring_nonce,
+                    Some(deadline.ticks - spent),
+                    rec,
+                ),
+            };
+            rings += 1;
+            messages += out.flood.messages;
+            stats.absorb(&ring_stats);
+            if out.flood.found {
+                success = true;
+                hops = out.flood.found_at_hop;
+                elapsed = spent + out.first_hit_time.unwrap_or(out.completion_time);
+                break;
+            }
+            spent += out.completion_time;
+            elapsed = spent;
+            if out.truncated || spent >= deadline.ticks {
+                exceeded = true;
+                break;
+            }
+        }
+        // Answer-time semantics: the schedule stops at the hit, so its
+        // consumed time is `elapsed`, not the sum of full ring drains.
+        stats.ticks = elapsed;
+        rec.rec_count(Kernel::ExpandingRing, Counter::Messages, messages);
+        rec.rec_count(Kernel::ExpandingRing, Counter::Rings, rings);
+        rec.rec_faults(Kernel::ExpandingRing, &stats);
+        if let Some(h) = hops {
+            rec.rec_hop(Kernel::ExpandingRing, h, 1);
+        }
+        if success {
+            rec.rec_time(Kernel::ExpandingRing, elapsed, 1);
+        }
+        rec.rec_event(
+            Kernel::ExpandingRing,
+            if success { Event::Hit } else { Event::Miss },
+        );
+        if exceeded {
+            rec.rec_event(Kernel::ExpandingRing, Event::DeadlineExceeded);
+        }
+        if overload_stats.overloaded {
+            rec.rec_event(Kernel::ExpandingRing, Event::Overloaded);
+        }
+        return (
+            SearchOutcome {
+                success,
+                messages,
+                hops,
+                faults: stats,
+                elapsed,
+                deadline_exceeded: exceeded,
+                overload: overload_stats,
+            },
+            rings,
+        );
     }
-
-    /// Creates an expanding-ring system under `faults`: each ring is an
-    /// independent lossy flood, so deeper rings double as coarse retries.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SearchSpec::expanding_ring(max_ttl).faults(faults).build(world)"
-    )]
-    pub fn with_faults(world: &SearchWorld, max_ttl: u32, faults: FaultContext) -> Self {
-        SearchSpec::expanding_ring(max_ttl)
-            .faults(faults)
-            .build(world)
-            .into_expanding_ring()
+    if let (Some(ctx), Some((time, nonce))) = (faults, draw) {
+        let (out, stats) = expanding_ring_search_faulty_rec(
+            engine,
+            &world.topology.graph,
+            query.source,
+            max_ttl,
+            holders,
+            Some(forwarders),
+            &ctx.plan,
+            time,
+            nonce,
+            rec,
+        );
+        return (
+            SearchOutcome {
+                success: out.found,
+                messages: out.messages,
+                hops: out.found_at_ttl,
+                faults: stats,
+                elapsed: stats.ticks,
+                deadline_exceeded: false,
+                overload: OverloadStats::default(),
+            },
+            out.rings as u64,
+        );
     }
+    let out = expanding_ring_search_rec(
+        engine,
+        &world.topology.graph,
+        query.source,
+        max_ttl,
+        holders,
+        Some(forwarders),
+        rec,
+    );
+    (
+        SearchOutcome {
+            success: out.found,
+            messages: out.messages,
+            hops: out.found_at_ttl,
+            faults: FaultStats::default(),
+            elapsed: 0,
+            deadline_exceeded: false,
+            overload: OverloadStats::default(),
+        },
+        out.rings as u64,
+    )
 }
 
 impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
@@ -960,55 +1137,53 @@ impl<R: Recorder> SearchSystem for ExpandingRingSearch<R> {
         _rng: &mut Pcg64,
     ) -> SearchOutcome {
         self.queries += 1;
-        if let Some(deadline) = self.deadline {
-            return self.search_deadline(world, query, deadline);
-        }
         let matching = world.matching_objects(&query.terms);
-        let holders = world.holders_of(&matching);
-        if let Some(ctx) = &mut self.faults {
-            let (time, nonce) = ctx.next_query();
-            let (out, stats) = expanding_ring_search_faulty_rec(
-                &mut self.engine,
-                &world.topology.graph,
-                query.source,
-                self.max_ttl,
-                &holders,
-                Some(&self.forwarders),
-                &ctx.plan,
-                time,
-                nonce,
-                &mut self.recorder,
-            );
-            self.rings_attempted += out.rings as u64;
-            return SearchOutcome {
-                success: out.found,
-                messages: out.messages,
-                hops: out.found_at_ttl,
-                faults: stats,
-                elapsed: stats.ticks,
-                deadline_exceeded: false,
-                overload: OverloadStats::default(),
-            };
-        }
-        let out = expanding_ring_search_rec(
+        let holders = match &self.replication {
+            Some(r) => r.holders_of(&matching),
+            None => world.holders_of(&matching),
+        };
+        let draw = self.faults.as_mut().map(FaultContext::next_query);
+        let (out, rings) = ring_once(
             &mut self.engine,
-            &world.topology.graph,
-            query.source,
+            &mut self.overload,
+            &self.forwarders,
+            self.faults.as_ref(),
+            self.deadline,
+            self.capacity.as_ref(),
             self.max_ttl,
+            world,
+            query,
             &holders,
-            Some(&self.forwarders),
+            draw,
             &mut self.recorder,
         );
-        self.rings_attempted += out.rings as u64;
-        SearchOutcome {
-            success: out.found,
-            messages: out.messages,
-            hops: out.found_at_ttl,
-            faults: FaultStats::default(),
-            elapsed: 0,
-            deadline_exceeded: false,
-            overload: OverloadStats::default(),
+        self.rings_attempted += rings;
+        if out.success && self.replication.is_some() {
+            // Copies-hit accounting (see FloodSearch::search): the
+            // shadow's rings are not depth accounting, so they are
+            // dropped along with its recording.
+            let base = world.holders_of(&matching);
+            let mut noop = NoopRecorder;
+            let (shadow, _) = ring_once(
+                &mut self.engine,
+                &mut self.overload,
+                &self.forwarders,
+                self.faults.as_ref(),
+                self.deadline,
+                self.capacity.as_ref(),
+                self.max_ttl,
+                world,
+                query,
+                &base,
+                draw,
+                &mut noop,
+            );
+            if !shadow.success {
+                self.recorder
+                    .rec_count(Kernel::ExpandingRing, Counter::CopiesHit, 1);
+            }
         }
+        out
     }
 }
 

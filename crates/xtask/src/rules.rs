@@ -1022,6 +1022,22 @@ mod tests {
     }
 
     #[test]
+    fn overlay_is_sim_facing_and_hot_path() {
+        // The replication layer (`overlay::replicate`) transforms the
+        // placements every figure sweeps, so `overlay` lib code must
+        // stay under the determinism rules (a stray wall-clock or
+        // thread_rng draw there would corrupt the fig8-repl grid's
+        // bitwise contract) and the hot-path panic discipline.
+        let cfg = LintConfig::default();
+        assert!(cfg.sim_facing.iter().any(|c| c == "overlay"));
+        assert!(cfg.hot_path.iter().any(|c| c == "overlay"));
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint("overlay", src).iter().any(|d| d.rule == Rule::Nondet));
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint("overlay", src).iter().any(|d| d.rule == Rule::Panic));
+    }
+
+    #[test]
     fn vtime_is_sim_facing_and_hot_path() {
         // The event engine is the clock every latency-sensitive kernel
         // runs on: a wall-clock read there corrupts *all* virtual-time

@@ -311,6 +311,123 @@ fn fig8_churn_zero_fault_cell_reproduces_fig8() {
 }
 
 // ---------------------------------------------------------------------
+// fig8-repl: the replication counterfactual rides the same contract.
+// Replication draws are stateless hashes of (plan seed, stream tag,
+// copy index) applied before any sweep runs, so neither thread width
+// nor the presence of a plan may perturb a single bit — and the
+// owner-only anchor must be bitwise the fault-free Figure-8 Zipf curve.
+// ---------------------------------------------------------------------
+
+use qcp2p::overlay::ReplicationScheme;
+use qcp_bench::fig8repl::{fig8_repl_data, Fig8ReplCell};
+
+fn repl_session() -> Repro {
+    let mut r = Repro::new(std::env::temp_dir().join("qcp-determinism"), Scale::Test);
+    r.trials = 40;
+    r.seed = 0xf18;
+    r
+}
+
+/// Every f64 as raw bits + every integer, in grid order.
+fn repl_fingerprint(cells: &[Fig8ReplCell]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for cell in cells {
+        out.push(cell.budget);
+        out.push(cell.mean_replicas.to_bits());
+        out.push(cell.max_replicas as u64);
+        for fp in &cell.curve {
+            out.push(fp.ttl as u64);
+            out.push(fp.success_rate.to_bits());
+            out.push(fp.mean_messages.to_bits());
+            out.push(fp.mean_reach_fraction.to_bits());
+        }
+    }
+    out
+}
+
+#[test]
+fn fig8_repl_same_seed_is_bit_identical() {
+    let r = repl_session();
+    let pool = Pool::new(2);
+    let a = repl_fingerprint(&fig8_repl_data(&r, &pool));
+    let b = repl_fingerprint(&fig8_repl_data(&r, &pool));
+    assert_eq!(a, b, "fig8-repl must reproduce bit-identical results");
+}
+
+#[test]
+fn fig8_repl_thread_width_does_not_leak() {
+    let r = repl_session();
+    let a = repl_fingerprint(&fig8_repl_data(&r, &Pool::new(1)));
+    let b = repl_fingerprint(&fig8_repl_data(&r, &Pool::new(4)));
+    assert_eq!(
+        a, b,
+        "replication is applied before the sweep and draws are stateless \
+         hashes; pool width must not perturb the grid"
+    );
+}
+
+#[test]
+fn fig8_repl_owner_only_cell_reproduces_fig8() {
+    // The owner-only anchor must equal the fault-free Figure-8 Zipf
+    // sweep bit for bit: `ReplicationPlan::owner_only` clones the base
+    // placement and the sweep consumes identical trial streams.
+    let r = repl_session();
+    let pool = Pool::new(2);
+    let cells = fig8_repl_data(&r, &pool);
+    let anchor = &cells[0];
+    assert_eq!(anchor.scheme, ReplicationScheme::OwnerOnly);
+    assert_eq!(anchor.budget, 0);
+
+    let topo = gnutella_two_tier(&qcp_bench::figures::fig8_topology(Scale::Test));
+    let fwd = topo.forwarders();
+    let n = topo.graph.num_nodes() as u32;
+    let placement = Placement::generate(
+        PlacementModel::ZipfReplicas { tau: 2.05 },
+        n,
+        (n / 2).max(1_000),
+        r.seed ^ 0x21f,
+    );
+    let sim = SimConfig {
+        trials: r.trials,
+        seed: r.seed,
+        ..Default::default()
+    };
+    let plain = sweep_ttl(
+        &pool,
+        &topo.graph,
+        &placement,
+        Some(&fwd),
+        &[1, 2, 3, 4, 5],
+        &sim,
+    );
+    assert_eq!(plain.len(), anchor.curve.len());
+    for (p, f) in plain.iter().zip(&anchor.curve) {
+        assert_eq!(p.ttl, f.ttl);
+        assert_eq!(
+            p.success_rate.to_bits(),
+            f.success_rate.to_bits(),
+            "ttl {}: owner-only success must match fig8 exactly",
+            p.ttl
+        );
+        assert_eq!(p.mean_messages.to_bits(), f.mean_messages.to_bits());
+        assert_eq!(
+            p.mean_reach_fraction.to_bits(),
+            f.mean_reach_fraction.to_bits()
+        );
+    }
+    // Guard: replication actually bites somewhere (at the reference
+    // TTL 3, where the curve is far from saturation), or the pins above
+    // could pass on a grid of identical cells.
+    let base_ttl3 = anchor.curve[2].success_rate;
+    assert!(
+        cells
+            .iter()
+            .any(|c| c.budget > 0 && c.curve[2].success_rate > base_ttl3),
+        "guard: some budget cell must beat the owner-only anchor at ttl 3"
+    );
+}
+
+// ---------------------------------------------------------------------
 // soak: the self-healing recovery experiment rides the same contract.
 // Repair draws are keyed by (policy seed, node, round), ring sync and
 // re-replication walk sorted structures, and every epoch's measurement
